@@ -1,0 +1,85 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §6:
+//!
+//! * **MCF-LTC batch size** — the Theorem-2 lower bound `m` vs halved and
+//!   doubled batches (runtime side; the latency side lives in the
+//!   `experiments` binary's output and EXPERIMENTS.md),
+//! * **AAM switching rule** — the hybrid vs pure-LGF vs pure-LRF,
+//! * **eligibility policy** — nearby-only (paper-faithful) vs the
+//!   unrestricted degenerate variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltc_bench::bench_scale;
+use ltc_core::model::Eligibility;
+use ltc_core::offline::McfLtc;
+use ltc_core::online::{run_online, Aam, AamStrategy, Laf};
+use ltc_workload::SyntheticConfig;
+
+fn bench_batch_scale(c: &mut Criterion) {
+    let instance = SyntheticConfig::default()
+        .scaled_down(bench_scale())
+        .generate();
+    let mut group = c.benchmark_group("ablation_batch_scale");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for scale in [0.5f64, 1.0, 1.5, 2.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{scale:.1}m")),
+            &instance,
+            |b, inst| b.iter(|| McfLtc::with_batch_scale(scale).run(inst)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_aam_strategy(c: &mut Criterion) {
+    let instance = SyntheticConfig::default()
+        .scaled_down(bench_scale())
+        .generate();
+    let mut group = c.benchmark_group("ablation_aam_strategy");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for strategy in [
+        AamStrategy::Hybrid,
+        AamStrategy::AlwaysLgf,
+        AamStrategy::AlwaysLrf,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &instance,
+            |b, inst| b.iter(|| run_online(inst, &mut Aam::with_strategy(strategy))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_eligibility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_eligibility");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, eligibility) in [
+        ("within-range", Eligibility::WithinRange),
+        ("unrestricted", Eligibility::Unrestricted),
+    ] {
+        let instance = SyntheticConfig {
+            eligibility,
+            ..SyntheticConfig::default()
+        }
+        .scaled_down(bench_scale())
+        .generate();
+        group.bench_with_input(BenchmarkId::new("LAF", name), &instance, |b, inst| {
+            b.iter(|| run_online(inst, &mut Laf::new()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch_scale,
+    bench_aam_strategy,
+    bench_eligibility
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Fig. 3 (c,g,k) and (d,h,l) — runtime of all five algorithms under the
+//! Normal and Uniform historical-accuracy distributions of Table IV.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltc_bench::{bench_scale, ALL_ALGOS};
+use ltc_workload::{AccuracyDistribution, SyntheticConfig};
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    for (dist_name, make) in [
+        (
+            "normal",
+            (|m| AccuracyDistribution::normal(m)) as fn(f64) -> AccuracyDistribution,
+        ),
+        ("uniform", |m| AccuracyDistribution::uniform(m)),
+    ] {
+        let mut group = c.benchmark_group(format!("fig3_accuracy_{dist_name}"));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(2));
+        for mean in [0.82f64, 0.86, 0.90] {
+            let instance = SyntheticConfig {
+                accuracy: make(mean),
+                ..SyntheticConfig::default()
+            }
+            .scaled_down(scale)
+            .generate();
+            for algo in ALL_ALGOS {
+                group.bench_with_input(
+                    BenchmarkId::new(algo.name(), format!("{mean:.2}")),
+                    &instance,
+                    |b, inst| b.iter(|| algo.run(inst, 1)),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Fig. 3 (b,f,j) — runtime of all five algorithms while varying the
+//! worker capacity `K` over the paper's grid {4, …, 8}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltc_bench::{bench_scale, ALL_ALGOS};
+use ltc_workload::SyntheticConfig;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("fig3_capacity");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for capacity in [4u32, 5, 6, 7, 8] {
+        let instance = SyntheticConfig {
+            capacity,
+            ..SyntheticConfig::default()
+        }
+        .scaled_down(scale)
+        .generate();
+        for algo in ALL_ALGOS {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), capacity),
+                &instance,
+                |b, inst| b.iter(|| algo.run(inst, 1)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

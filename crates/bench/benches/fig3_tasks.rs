@@ -1,0 +1,34 @@
+//! Fig. 3 (a,e,i) — runtime of all five algorithms while varying `|T|`
+//! over the paper's grid {1000, …, 5000} (down-scaled; see
+//! `ltc_bench::bench_scale`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltc_bench::{bench_scale, ALL_ALGOS};
+use ltc_workload::SyntheticConfig;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("fig3_tasks");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n_tasks in [1000usize, 2000, 3000, 4000, 5000] {
+        let instance = SyntheticConfig {
+            n_tasks,
+            ..SyntheticConfig::default()
+        }
+        .scaled_down(scale)
+        .generate();
+        for algo in ALL_ALGOS {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), n_tasks),
+                &instance,
+                |b, inst| b.iter(|| algo.run(inst, 1)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

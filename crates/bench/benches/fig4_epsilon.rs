@@ -1,0 +1,33 @@
+//! Fig. 4 (a,e,i) — runtime of all five algorithms while varying the
+//! tolerable error rate `ε` over the paper's grid {0.06, …, 0.22}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltc_bench::{bench_scale, ALL_ALGOS};
+use ltc_workload::SyntheticConfig;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("fig4_epsilon");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for epsilon in [0.06f64, 0.10, 0.14, 0.18, 0.22] {
+        let instance = SyntheticConfig {
+            epsilon,
+            ..SyntheticConfig::default()
+        }
+        .scaled_down(scale)
+        .generate();
+        for algo in ALL_ALGOS {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("{epsilon:.2}")),
+                &instance,
+                |b, inst| b.iter(|| algo.run(inst, 1)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

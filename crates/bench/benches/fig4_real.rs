@@ -1,0 +1,35 @@
+//! Fig. 4 (c,g,k) and (d,h,l) — runtime on the New-York-like and
+//! Tokyo-like check-in streams (Table V substitution) while varying `ε`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltc_bench::{bench_scale, ALL_ALGOS};
+use ltc_workload::CheckinCityConfig;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    for (city, base) in [
+        ("newyork", CheckinCityConfig::new_york_like()),
+        ("tokyo", CheckinCityConfig::tokyo_like()),
+    ] {
+        let mut group = c.benchmark_group(format!("fig4_real_{city}"));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(2));
+        for epsilon in [0.06f64, 0.14, 0.22] {
+            let mut cfg = base.scaled_down(scale);
+            cfg.epsilon = epsilon;
+            let instance = cfg.generate();
+            for algo in ALL_ALGOS {
+                group.bench_with_input(
+                    BenchmarkId::new(algo.name(), format!("{epsilon:.2}")),
+                    &instance,
+                    |b, inst| b.iter(|| algo.run(inst, 1)),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 4 (b,f,j) — scalability: runtime while growing `|T|` with
+//! `|W| = 400 000` (Table IV's scalability row, down-scaled).
+//!
+//! The paper's largest point (|T| = 100k) takes ~2 500 s for MCF-LTC on a
+//! 40-core server; at the default 1/64 bench scale the shape (MCF-LTC ≫
+//! online algorithms, near-linear growth for LAF/AAM) reproduces in
+//! seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltc_bench::{bench_scale, ALL_ALGOS};
+use ltc_workload::SyntheticConfig;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("fig4_scalability");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n_tasks in [10_000usize, 30_000, 50_000, 100_000] {
+        let instance = SyntheticConfig::scalability(n_tasks)
+            .scaled_down(scale)
+            .generate();
+        for algo in ALL_ALGOS {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), n_tasks),
+                &instance,
+                |b, inst| b.iter(|| algo.run(inst, 1)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Micro-benchmarks of the two substrates every LTC algorithm leans on:
+//! the uniform grid index (one radius query per arriving worker) and the
+//! min-cost-flow solver (one solve per MCF-LTC batch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltc_mcmf::FlowNetwork;
+use ltc_spatial::{GridIndex, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn grid_points(n: usize, seed: u64) -> Vec<(u32, Point)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n as u32)
+        .map(|i| {
+            (
+                i,
+                Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)),
+            )
+        })
+        .collect()
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_index");
+    for n in [1_000usize, 10_000, 100_000] {
+        let pts = grid_points(n, 7);
+        group.bench_with_input(BenchmarkId::new("build", n), &pts, |b, pts| {
+            b.iter(|| GridIndex::build(30.0, pts.iter().copied()))
+        });
+        let index = GridIndex::build(30.0, pts.iter().copied());
+        let mut rng = StdRng::seed_from_u64(8);
+        group.bench_with_input(BenchmarkId::new("query_r30", n), &index, |b, index| {
+            b.iter(|| {
+                let center = Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0));
+                index.within(center, 30.0).count()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A bipartite worker→task assignment network shaped like an MCF-LTC
+/// batch: `w` workers of capacity `k`, `t` tasks demanding 4 units, ~8
+/// eligible tasks per worker.
+fn assignment_network(
+    w: usize,
+    t: usize,
+    k: i64,
+    seed: u64,
+) -> (FlowNetwork, ltc_mcmf::NodeId, ltc_mcmf::NodeId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = FlowNetwork::with_capacity(w + t + 2, w * 9 + w + t);
+    let st = net.add_node();
+    let ed = net.add_node();
+    let workers: Vec<_> = (0..w).map(|_| net.add_node()).collect();
+    let tasks: Vec<_> = (0..t).map(|_| net.add_node()).collect();
+    for &wn in &workers {
+        net.add_edge(st, wn, k, 0.0);
+        for _ in 0..8 {
+            let tn = tasks[rng.gen_range(0..t)];
+            net.add_edge(wn, tn, 1, rng.gen_range(0.0..0.3));
+        }
+    }
+    for &tn in &tasks {
+        net.add_edge(tn, ed, 4, 0.0);
+    }
+    (net, st, ed)
+}
+
+fn bench_mcmf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcmf_sspa");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (w, t) in [(200usize, 50usize), (1000, 250), (4000, 1000)] {
+        let (proto, st, ed) = assignment_network(w, t, 6, 3);
+        group.bench_with_input(
+            BenchmarkId::new("solve", format!("{w}w_{t}t")),
+            &proto,
+            |b, proto| {
+                b.iter_batched(
+                    || proto.clone(),
+                    |mut net| net.min_cost_max_flow(st, ed),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid, bench_mcmf);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! A byte-counting global allocator.
+//!
+//! The paper reports per-algorithm memory footprints (Figs. 3–4, bottom
+//! rows). OS-level RSS is noisy and machine-dependent, so the harness
+//! counts live heap bytes exactly: the allocator tracks the current and
+//! peak number of live bytes, and [`reset_peak`]-scoped measurement resets
+//! the peak around each run.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CURRENT: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that tracks live and peak heap bytes.
+pub struct CountingAllocator;
+
+// SAFETY: delegates every allocation verbatim to `System`; the atomic
+// bookkeeping has no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            add(layout.size() as u64);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        CURRENT.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            CURRENT.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+            add(new_size as u64);
+        }
+        new_ptr
+    }
+}
+
+#[inline]
+fn add(bytes: u64) {
+    let now = CURRENT.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    // Racy max update is fine: measurement runs are single-threaded.
+    let mut peak = PEAK.load(Ordering::Relaxed);
+    while now > peak {
+        match PEAK.compare_exchange_weak(peak, now, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(p) => peak = p,
+        }
+    }
+}
+
+/// Live heap bytes right now.
+pub fn current_bytes() -> u64 {
+    CURRENT.load(Ordering::Relaxed)
+}
+
+/// Peak live heap bytes since the last [`reset_peak`].
+pub fn peak_bytes() -> u64 {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Resets the peak to the current live size and returns that baseline.
+pub fn reset_peak() -> u64 {
+    let now = current_bytes();
+    PEAK.store(now, Ordering::Relaxed);
+    now
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_a_large_allocation() {
+        let baseline = reset_peak();
+        let v = vec![0u8; 1 << 20];
+        assert!(peak_bytes() >= baseline + (1 << 20));
+        drop(v);
+        assert!(current_bytes() < baseline + (1 << 20));
+    }
+
+    #[test]
+    fn peak_survives_deallocation() {
+        let baseline = reset_peak();
+        {
+            let _v = vec![0u64; 100_000];
+        }
+        assert!(peak_bytes() >= baseline + 800_000);
+    }
+
+    #[test]
+    fn realloc_tracks_growth() {
+        let baseline = reset_peak();
+        let mut v: Vec<u8> = Vec::with_capacity(16);
+        v.extend(std::iter::repeat_n(1u8, 1 << 18));
+        assert!(peak_bytes() >= baseline + (1 << 18));
+    }
+}

@@ -1,0 +1,30 @@
+//! Shared harness for the LTC experiment suite.
+//!
+//! Provides the pieces every bench target and the `experiments` binary
+//! need: a byte-counting global allocator (the paper's *Memory (MB)*
+//! metric), a uniform runner over the five algorithms of the evaluation
+//! (Base-off, MCF-LTC, Random, LAF, AAM), and plain-text panel printing
+//! that mirrors the figures of Sec. V.
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod runner;
+
+pub use runner::{measure, Algo, Measurement, ALL_ALGOS};
+
+/// Down-scaling factor used by the Criterion benches, overridable with the
+/// `LTC_BENCH_SCALE` environment variable (1 = the paper's cardinalities).
+/// The default of 64 keeps a full `cargo bench` run in the minutes range.
+pub fn bench_scale() -> usize {
+    std::env::var("LTC_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(64)
+}
+
+/// The counting allocator is installed once here so that every binary and
+/// bench linking this crate records allocation peaks.
+#[global_allocator]
+static GLOBAL: alloc::CountingAllocator = alloc::CountingAllocator;

@@ -1,0 +1,107 @@
+//! Uniform runner over the paper's five evaluated algorithms.
+
+use crate::alloc;
+use ltc_core::model::{Instance, RunOutcome};
+use ltc_core::offline::{BaseOff, McfLtc};
+use ltc_core::online::{run_online, Aam, Laf, RandomAssign};
+use std::time::Instant;
+
+/// The five algorithms of the paper's evaluation, in the legend order of
+/// Figs. 3–4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Offline baseline (fewest-nearby-workers greedy).
+    BaseOff,
+    /// Offline min-cost-flow approximation (Algorithm 1).
+    McfLtc,
+    /// Online random baseline.
+    Random,
+    /// Online Largest Acc* First (Algorithm 2).
+    Laf,
+    /// Online Average And Maximum (Algorithm 3).
+    Aam,
+}
+
+/// All five algorithms in the paper's legend order.
+pub const ALL_ALGOS: [Algo; 5] = [
+    Algo::BaseOff,
+    Algo::McfLtc,
+    Algo::Random,
+    Algo::Laf,
+    Algo::Aam,
+];
+
+impl Algo {
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::BaseOff => "Base-off",
+            Algo::McfLtc => "MCF-LTC",
+            Algo::Random => "Random",
+            Algo::Laf => "LAF",
+            Algo::Aam => "AAM",
+        }
+    }
+
+    /// Runs the algorithm on an instance. `seed` only affects
+    /// [`Algo::Random`].
+    pub fn run(self, instance: &Instance, seed: u64) -> RunOutcome {
+        match self {
+            Algo::BaseOff => BaseOff::new().run(instance),
+            Algo::McfLtc => McfLtc::new().run(instance),
+            Algo::Random => run_online(instance, &mut RandomAssign::seeded(seed)),
+            Algo::Laf => run_online(instance, &mut Laf::new()),
+            Algo::Aam => run_online(instance, &mut Aam::new()),
+        }
+    }
+}
+
+/// One measured run: the paper's three metrics.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Max worker index (the latency); `None` when the stream was
+    /// exhausted before completing all tasks.
+    pub latency: Option<u32>,
+    /// Wall-clock seconds of the algorithm run (excludes dataset
+    /// generation).
+    pub seconds: f64,
+    /// Peak live heap bytes above the pre-run baseline.
+    pub peak_bytes: u64,
+}
+
+/// Runs one algorithm under the stopwatch and the counting allocator.
+pub fn measure(algo: Algo, instance: &Instance, seed: u64) -> Measurement {
+    let baseline = alloc::reset_peak();
+    let start = Instant::now();
+    let outcome = algo.run(instance, seed);
+    let seconds = start.elapsed().as_secs_f64();
+    let peak_bytes = alloc::peak_bytes().saturating_sub(baseline);
+    Measurement {
+        latency: outcome.latency(),
+        seconds,
+        peak_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltc_workload::SyntheticConfig;
+
+    #[test]
+    fn all_algorithms_run_and_complete_a_small_instance() {
+        let inst = SyntheticConfig::default().scaled_down(400).generate();
+        for algo in ALL_ALGOS {
+            let m = measure(algo, &inst, 1);
+            assert!(m.latency.is_some(), "{} did not complete", algo.name());
+            assert!(m.seconds >= 0.0);
+            assert!(m.peak_bytes > 0, "{} recorded no allocations", algo.name());
+        }
+    }
+
+    #[test]
+    fn names_match_paper_legend() {
+        let names: Vec<_> = ALL_ALGOS.iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["Base-off", "MCF-LTC", "Random", "LAF", "AAM"]);
+    }
+}

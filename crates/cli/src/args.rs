@@ -1,0 +1,402 @@
+//! Argument parsing for the `ltc` tool (std-only, no CLI framework).
+
+use std::fmt;
+
+/// Usage text shown by `ltc help` and on parse errors.
+pub const USAGE: &str = "\
+ltc — Latency-oriented Task Completion via spatial crowdsourcing (ICDE'18)
+
+USAGE:
+  ltc generate --preset <synthetic|newyork|tokyo> [--scale N] [--seed S]
+               [--epsilon E] [--out FILE]
+  ltc run      --input FILE --algo <aam|laf|random|mcf-ltc|base-off> [--stats]
+  ltc exact    --input FILE [--budget NODES]
+  ltc simulate --input FILE --algo <...> [--trials N] [--seed S]
+  ltc bounds   --input FILE
+  ltc help
+
+Datasets are the TSV format of ltc-workload::dataset (`ltc generate` writes
+it; omitting --out prints to stdout). `run --stats` adds per-task latency
+quantiles, capacity utilization and quality overshoot. `simulate` samples
+crowd answers and compares weighted-majority aggregation against plain
+majority and EM truth inference.";
+
+/// Which arrangement algorithm a command should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoChoice {
+    /// Online Average-And-Maximum (Algorithm 3).
+    Aam,
+    /// Online Largest-Acc*-First (Algorithm 2).
+    Laf,
+    /// Online random baseline.
+    Random,
+    /// Offline MCF-LTC (Algorithm 1).
+    McfLtc,
+    /// Offline fewest-nearby-workers baseline.
+    BaseOff,
+}
+
+impl AlgoChoice {
+    fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "aam" => Ok(AlgoChoice::Aam),
+            "laf" => Ok(AlgoChoice::Laf),
+            "random" => Ok(AlgoChoice::Random),
+            "mcf-ltc" | "mcf" => Ok(AlgoChoice::McfLtc),
+            "base-off" | "baseoff" => Ok(AlgoChoice::BaseOff),
+            other => Err(ParseError(format!("unknown algorithm `{other}`"))),
+        }
+    }
+
+    /// Display name matching the paper's legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgoChoice::Aam => "AAM",
+            AlgoChoice::Laf => "LAF",
+            AlgoChoice::Random => "Random",
+            AlgoChoice::McfLtc => "MCF-LTC",
+            AlgoChoice::BaseOff => "Base-off",
+        }
+    }
+}
+
+/// Dataset presets of `ltc generate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// Table IV synthetic grid.
+    Synthetic,
+    /// Table V New-York-like check-in stream.
+    NewYork,
+    /// Table V Tokyo-like check-in stream.
+    Tokyo,
+}
+
+impl Preset {
+    fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "synthetic" => Ok(Preset::Synthetic),
+            "newyork" | "new-york" | "ny" => Ok(Preset::NewYork),
+            "tokyo" => Ok(Preset::Tokyo),
+            other => Err(ParseError(format!("unknown preset `{other}`"))),
+        }
+    }
+}
+
+/// A fully parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `ltc generate`.
+    Generate {
+        /// Dataset family.
+        preset: Preset,
+        /// Down-scaling factor (1 = paper scale).
+        scale: usize,
+        /// RNG seed override.
+        seed: Option<u64>,
+        /// Tolerable error rate override.
+        epsilon: Option<f64>,
+        /// Output path (stdout when `None`).
+        out: Option<String>,
+    },
+    /// `ltc run`.
+    Run {
+        /// Dataset path.
+        input: String,
+        /// Algorithm to execute.
+        algo: AlgoChoice,
+        /// Print extended statistics.
+        stats: bool,
+    },
+    /// `ltc exact`.
+    Exact {
+        /// Dataset path.
+        input: String,
+        /// Branch-and-bound node budget.
+        budget: u64,
+    },
+    /// `ltc simulate`.
+    Simulate {
+        /// Dataset path.
+        input: String,
+        /// Algorithm producing the arrangement.
+        algo: AlgoChoice,
+        /// Monte-Carlo trials.
+        trials: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// `ltc bounds`.
+    Bounds {
+        /// Dataset path.
+        input: String,
+    },
+    /// `ltc help`.
+    Help,
+}
+
+/// A human-readable argument error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A tiny flag cursor over `argv`.
+struct Flags<'a> {
+    rest: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn value(&mut self, flag: &str) -> Result<Option<&'a str>, ParseError> {
+        if let Some(pos) = self.rest.iter().position(|a| a == flag) {
+            if pos + 1 >= self.rest.len() {
+                return Err(ParseError(format!("{flag} needs a value")));
+            }
+            Ok(Some(&self.rest[pos + 1]))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn present(&self, flag: &str) -> bool {
+        self.rest.iter().any(|a| a == flag)
+    }
+
+    /// Every flag must be consumed by the command's known set.
+    fn reject_unknown(&self, known: &[&str]) -> Result<(), ParseError> {
+        let mut i = 0;
+        while i < self.rest.len() {
+            let a = &self.rest[i];
+            if !a.starts_with("--") {
+                return Err(ParseError(format!("unexpected argument `{a}`")));
+            }
+            if !known.contains(&a.as_str()) {
+                return Err(ParseError(format!("unknown flag `{a}`")));
+            }
+            // Boolean flags take no value; the others take exactly one.
+            i += if a == "--stats" { 1 } else { 2 };
+        }
+        Ok(())
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, ParseError> {
+    s.parse()
+        .map_err(|_| ParseError(format!("invalid {what}: `{s}`")))
+}
+
+impl Command {
+    /// Parses `argv` (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Self, ParseError> {
+        let Some(cmd) = argv.first() else {
+            return Ok(Command::Help);
+        };
+        let mut flags = Flags { rest: &argv[1..] };
+        match cmd.as_str() {
+            "help" | "--help" | "-h" => Ok(Command::Help),
+            "generate" => {
+                flags.reject_unknown(&["--preset", "--scale", "--seed", "--epsilon", "--out"])?;
+                let preset = Preset::parse(
+                    flags
+                        .value("--preset")?
+                        .ok_or_else(|| ParseError("generate requires --preset".into()))?,
+                )?;
+                let scale = match flags.value("--scale")? {
+                    Some(v) => parse_num::<usize>(v, "scale")?,
+                    None => 1,
+                };
+                if scale == 0 {
+                    return Err(ParseError("--scale must be positive".into()));
+                }
+                let seed = flags
+                    .value("--seed")?
+                    .map(|v| parse_num(v, "seed"))
+                    .transpose()?;
+                let epsilon = flags
+                    .value("--epsilon")?
+                    .map(|v| parse_num(v, "epsilon"))
+                    .transpose()?;
+                let out = flags.value("--out")?.map(str::to_string);
+                Ok(Command::Generate {
+                    preset,
+                    scale,
+                    seed,
+                    epsilon,
+                    out,
+                })
+            }
+            "run" => {
+                flags.reject_unknown(&["--input", "--algo", "--stats"])?;
+                Ok(Command::Run {
+                    input: required_input(&mut flags)?,
+                    algo: AlgoChoice::parse(
+                        flags
+                            .value("--algo")?
+                            .ok_or_else(|| ParseError("run requires --algo".into()))?,
+                    )?,
+                    stats: flags.present("--stats"),
+                })
+            }
+            "exact" => {
+                flags.reject_unknown(&["--input", "--budget"])?;
+                Ok(Command::Exact {
+                    input: required_input(&mut flags)?,
+                    budget: match flags.value("--budget")? {
+                        Some(v) => parse_num(v, "budget")?,
+                        None => 20_000_000,
+                    },
+                })
+            }
+            "simulate" => {
+                flags.reject_unknown(&["--input", "--algo", "--trials", "--seed"])?;
+                Ok(Command::Simulate {
+                    input: required_input(&mut flags)?,
+                    algo: AlgoChoice::parse(
+                        flags
+                            .value("--algo")?
+                            .ok_or_else(|| ParseError("simulate requires --algo".into()))?,
+                    )?,
+                    trials: match flags.value("--trials")? {
+                        Some(v) => parse_num(v, "trials")?,
+                        None => 1000,
+                    },
+                    seed: match flags.value("--seed")? {
+                        Some(v) => parse_num(v, "seed")?,
+                        None => 42,
+                    },
+                })
+            }
+            "bounds" => {
+                flags.reject_unknown(&["--input"])?;
+                Ok(Command::Bounds {
+                    input: required_input(&mut flags)?,
+                })
+            }
+            other => Err(ParseError(format!("unknown command `{other}`"))),
+        }
+    }
+}
+
+fn required_input(flags: &mut Flags<'_>) -> Result<String, ParseError> {
+    Ok(flags
+        .value("--input")?
+        .ok_or_else(|| ParseError("missing --input FILE".into()))?
+        .to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn empty_argv_is_help() {
+        assert_eq!(Command::parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn generate_with_all_flags() {
+        let cmd = Command::parse(&argv(
+            "generate --preset newyork --scale 8 --seed 9 --epsilon 0.1 --out f.tsv",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                preset: Preset::NewYork,
+                scale: 8,
+                seed: Some(9),
+                epsilon: Some(0.1),
+                out: Some("f.tsv".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn generate_defaults() {
+        let cmd = Command::parse(&argv("generate --preset synthetic")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                preset: Preset::Synthetic,
+                scale: 1,
+                seed: None,
+                epsilon: None,
+                out: None,
+            }
+        );
+    }
+
+    #[test]
+    fn run_parses_algo_aliases() {
+        for (s, a) in [
+            ("aam", AlgoChoice::Aam),
+            ("mcf", AlgoChoice::McfLtc),
+            ("mcf-ltc", AlgoChoice::McfLtc),
+            ("base-off", AlgoChoice::BaseOff),
+        ] {
+            let cmd = Command::parse(&argv(&format!("run --input x.tsv --algo {s}"))).unwrap();
+            assert_eq!(
+                cmd,
+                Command::Run {
+                    input: "x.tsv".into(),
+                    algo: a,
+                    stats: false
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn run_stats_flag() {
+        let cmd = Command::parse(&argv("run --input x.tsv --algo laf --stats")).unwrap();
+        assert!(matches!(cmd, Command::Run { stats: true, .. }));
+    }
+
+    #[test]
+    fn missing_required_flags_error() {
+        assert!(Command::parse(&argv("generate")).is_err());
+        assert!(Command::parse(&argv("run --algo aam")).is_err());
+        assert!(Command::parse(&argv("run --input x.tsv")).is_err());
+        assert!(Command::parse(&argv("simulate --input x.tsv")).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_and_commands_error() {
+        assert!(Command::parse(&argv("frobnicate")).is_err());
+        assert!(Command::parse(&argv("run --input x --algo aam --frob 1")).is_err());
+        assert!(Command::parse(&argv("bounds --input x positional")).is_err());
+    }
+
+    #[test]
+    fn dangling_value_errors() {
+        assert!(Command::parse(&argv("generate --preset synthetic --scale")).is_err());
+    }
+
+    #[test]
+    fn zero_scale_rejected() {
+        assert!(Command::parse(&argv("generate --preset synthetic --scale 0")).is_err());
+    }
+
+    #[test]
+    fn simulate_defaults() {
+        let cmd = Command::parse(&argv("simulate --input d.tsv --algo random")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Simulate {
+                input: "d.tsv".into(),
+                algo: AlgoChoice::Random,
+                trials: 1000,
+                seed: 42,
+            }
+        );
+    }
+}

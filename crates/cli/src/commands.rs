@@ -1,0 +1,328 @@
+//! Execution of parsed `ltc` commands.
+
+use crate::args::{AlgoChoice, Command, Preset};
+use ltc_core::bounds::{batch_size, latency_lower_bound, latency_upper_bound};
+use ltc_core::metrics::ArrangementStats;
+use ltc_core::model::{Instance, RunOutcome};
+use ltc_core::offline::{BaseOff, ExactSolver, McfLtc};
+use ltc_core::online::{run_online, Aam, Laf, RandomAssign};
+use ltc_sim::{infer_em, infer_majority, simulate, AnswerSet, EmConfig, GroundTruth};
+use ltc_workload::{dataset, CheckinCityConfig, SyntheticConfig};
+use std::error::Error;
+use std::io::Write;
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Executes one parsed command, writing its report to `out`.
+pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
+    match cmd {
+        Command::Help => unreachable!("handled by the entry point"),
+        Command::Generate {
+            preset,
+            scale,
+            seed,
+            epsilon,
+            out: path,
+        } => generate(preset, scale, seed, epsilon, path, out),
+        Command::Run { input, algo, stats } => run_algo(&input, algo, stats, out),
+        Command::Exact { input, budget } => exact(&input, budget, out),
+        Command::Simulate {
+            input,
+            algo,
+            trials,
+            seed,
+        } => simulate_cmd(&input, algo, trials, seed, out),
+        Command::Bounds { input } => bounds(&input, out),
+    }
+}
+
+fn load(path: &str) -> Result<Instance, Box<dyn Error>> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
+    Ok(dataset::read_tsv(std::io::BufReader::new(file))?)
+}
+
+fn run_choice(instance: &Instance, algo: AlgoChoice) -> RunOutcome {
+    match algo {
+        AlgoChoice::Aam => run_online(instance, &mut Aam::new()),
+        AlgoChoice::Laf => run_online(instance, &mut Laf::new()),
+        AlgoChoice::Random => run_online(instance, &mut RandomAssign::new()),
+        AlgoChoice::McfLtc => McfLtc::new().run(instance),
+        AlgoChoice::BaseOff => BaseOff::new().run(instance),
+    }
+}
+
+fn generate(
+    preset: Preset,
+    scale: usize,
+    seed: Option<u64>,
+    epsilon: Option<f64>,
+    path: Option<String>,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let instance = match preset {
+        Preset::Synthetic => {
+            let mut cfg = SyntheticConfig::default().scaled_down(scale);
+            if let Some(s) = seed {
+                cfg.seed = s;
+            }
+            if let Some(e) = epsilon {
+                cfg.epsilon = e;
+            }
+            cfg.generate()
+        }
+        Preset::NewYork | Preset::Tokyo => {
+            let base = if preset == Preset::NewYork {
+                CheckinCityConfig::new_york_like()
+            } else {
+                CheckinCityConfig::tokyo_like()
+            };
+            let mut cfg = base.scaled_down(scale);
+            if let Some(s) = seed {
+                cfg.seed = s;
+            }
+            if let Some(e) = epsilon {
+                cfg.epsilon = e;
+            }
+            cfg.generate()
+        }
+    };
+    match path {
+        Some(p) => {
+            let file =
+                std::fs::File::create(&p).map_err(|e| format!("cannot create `{p}`: {e}"))?;
+            dataset::write_tsv(&instance, std::io::BufWriter::new(file))?;
+            writeln!(
+                out,
+                "wrote {} tasks, {} workers to {p}",
+                instance.n_tasks(),
+                instance.n_workers()
+            )?;
+        }
+        None => dataset::write_tsv(&instance, &mut *out)?,
+    }
+    Ok(())
+}
+
+fn run_algo(input: &str, algo: AlgoChoice, stats: bool, out: &mut dyn Write) -> CmdResult {
+    let instance = load(input)?;
+    let started = std::time::Instant::now();
+    let outcome = run_choice(&instance, algo);
+    let elapsed = started.elapsed().as_secs_f64();
+    writeln!(
+        out,
+        "{} on {} tasks / {} workers (δ = {:.3})",
+        algo.name(),
+        instance.n_tasks(),
+        instance.n_workers(),
+        instance.delta()
+    )?;
+    match outcome.latency() {
+        Some(l) => writeln!(out, "latency (max worker index): {l}")?,
+        None => writeln!(
+            out,
+            "INCOMPLETE: the stream ended before all tasks reached δ"
+        )?,
+    }
+    writeln!(
+        out,
+        "assignments: {}, elapsed: {elapsed:.4}s",
+        outcome.arrangement.len()
+    )?;
+    if stats {
+        let s = ArrangementStats::new(&instance, &outcome.arrangement);
+        writeln!(out, "recruited workers: {}", s.recruited_workers)?;
+        writeln!(
+            out,
+            "capacity utilization: {:.1}%",
+            100.0 * s.capacity_utilization()
+        )?;
+        if let (Some(p50), Some(p90), Some(mean)) = (
+            s.latency_quantile(0.5),
+            s.latency_quantile(0.9),
+            s.mean_latency(),
+        ) {
+            writeln!(
+                out,
+                "per-task latency: mean {mean:.1}, p50 {p50}, p90 {p90}"
+            )?;
+        }
+        if let Some(over) = s.mean_overshoot() {
+            writeln!(out, "mean quality overshoot: {over:.3} above δ")?;
+        }
+    }
+    Ok(())
+}
+
+fn exact(input: &str, budget: u64, out: &mut dyn Write) -> CmdResult {
+    let instance = load(input)?;
+    let solver = ExactSolver {
+        node_budget: budget,
+    };
+    match solver.solve(&instance) {
+        Some(result) => {
+            match result.optimal_latency {
+                Some(opt) => writeln!(out, "optimal latency: {opt}")?,
+                None => writeln!(out, "INFEASIBLE: no arrangement completes all tasks")?,
+            }
+            writeln!(out, "search nodes expanded: {}", result.nodes_expanded)?;
+        }
+        None => writeln!(
+            out,
+            "node budget ({budget}) exhausted — the instance is too large for the \
+             exact solver; try a heuristic via `ltc run`"
+        )?,
+    }
+    Ok(())
+}
+
+fn simulate_cmd(
+    input: &str,
+    algo: AlgoChoice,
+    trials: usize,
+    seed: u64,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let instance = load(input)?;
+    let outcome = run_choice(&instance, algo);
+    if !outcome.completed {
+        writeln!(out, "warning: {} left tasks unfinished", algo.name())?;
+    }
+    let truth = GroundTruth::random(instance.n_tasks(), seed);
+    let report = simulate(&instance, &outcome.arrangement, &truth, trials, seed ^ 0x51);
+    writeln!(
+        out,
+        "{} over {trials} trials: worst-task error {:.4}, mean {:.4} (ε = {})",
+        algo.name(),
+        report.max_task_error_rate(),
+        report.mean_task_error_rate(),
+        instance.params().epsilon
+    )?;
+
+    // One sampled round, aggregated three ways.
+    let answers = AnswerSet::collect(&instance, &outcome.arrangement, &truth, seed ^ 0xA7);
+    let majority = infer_majority(&answers);
+    let em = infer_em(&answers, EmConfig::default());
+    let err = |labels: &[i8]| {
+        let wrong = labels
+            .iter()
+            .enumerate()
+            .filter(|(t, &l)| l != truth.label(*t))
+            .count();
+        wrong as f64 / labels.len() as f64
+    };
+    writeln!(
+        out,
+        "single-round inference error: majority {:.4}, EM {:.4} ({} iters)",
+        err(&majority),
+        err(&em.labels),
+        em.iterations
+    )?;
+    Ok(())
+}
+
+fn bounds(input: &str, out: &mut dyn Write) -> CmdResult {
+    let instance = load(input)?;
+    writeln!(
+        out,
+        "Theorem 2 bounds for {} tasks / {} workers (δ = {:.3}, K = {}):",
+        instance.n_tasks(),
+        instance.n_workers(),
+        instance.delta(),
+        instance.params().capacity
+    )?;
+    writeln!(out, "  lower: {:.1}", latency_lower_bound(&instance))?;
+    writeln!(out, "  upper: {:.1}", latency_upper_bound(&instance))?;
+    writeln!(out, "  MCF-LTC batch size m: {}", batch_size(&instance))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    fn run_cli(line: &str) -> (i32, String) {
+        let argv: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+        let mut buf = Vec::new();
+        let code = crate::run(&argv, &mut buf);
+        (code, String::from_utf8(buf).unwrap())
+    }
+
+    fn temp_path(name: &str) -> String {
+        let dir = std::env::temp_dir().join("ltc-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, out) = run_cli("help");
+        assert_eq!(code, 0);
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_fails_with_usage() {
+        let (code, out) = run_cli("explode");
+        assert_eq!(code, 2);
+        assert!(out.contains("unknown command"));
+    }
+
+    #[test]
+    fn generate_run_simulate_bounds_pipeline() {
+        let path = temp_path("pipeline.tsv");
+        let (code, out) = run_cli(&format!(
+            "generate --preset synthetic --scale 256 --seed 3 --out {path}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("wrote"));
+
+        let (code, out) = run_cli(&format!("run --input {path} --algo aam --stats"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("latency"));
+        assert!(out.contains("capacity utilization"));
+
+        let (code, out) = run_cli(&format!("simulate --input {path} --algo laf --trials 50"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("worst-task error"));
+        assert!(out.contains("EM"));
+
+        let (code, out) = run_cli(&format!("bounds --input {path}"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("lower"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn generate_to_stdout() {
+        let (code, out) = run_cli("generate --preset newyork --scale 512");
+        assert_eq!(code, 0);
+        assert!(out.starts_with("# ltc-dataset v1"));
+        assert!(out.contains("worker\t"));
+    }
+
+    #[test]
+    fn exact_on_tiny_instance() {
+        let path = temp_path("tiny.tsv");
+        // Hand-written tiny dataset: one task, three co-located workers.
+        let data = "# ltc-dataset v1\nparams\t0.3\t1\t30\t0.66\ntask\t5\t5\n\
+                    worker\t5\t6\t0.95\nworker\t5\t6\t0.95\nworker\t5\t6\t0.95\n";
+        std::fs::write(&path, data).unwrap();
+        let (code, out) = run_cli(&format!("exact --input {path}"));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("optimal latency: 3"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let (code, out) = run_cli("run --input /nonexistent/x.tsv --algo aam");
+        assert_eq!(code, 1);
+        assert!(out.contains("cannot open"));
+    }
+
+    #[test]
+    fn execute_rejects_help() {
+        // `Help` is routed before `execute`; the pipeline still covers it
+        // via run(); nothing to assert beyond the entry-point behaviour.
+        let (code, _) = run_cli("");
+        assert_eq!(code, 0);
+    }
+}

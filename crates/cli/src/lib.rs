@@ -1,0 +1,42 @@
+//! Implementation of the `ltc` command-line tool.
+//!
+//! The binary is a thin wrapper around [`run`]; keeping the logic in a
+//! library makes every command unit-testable without spawning processes.
+//!
+//! ```text
+//! ltc generate --preset synthetic --scale 16 --out data.tsv
+//! ltc run      --input data.tsv --algo aam --stats
+//! ltc exact    --input data.tsv
+//! ltc simulate --input data.tsv --algo laf --trials 1000
+//! ltc bounds   --input data.tsv
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+use std::io::Write;
+
+/// Entry point: parses `argv` and executes the command, writing
+/// human-readable output to `out`. Returns the process exit code.
+pub fn run(argv: &[String], out: &mut dyn Write) -> i32 {
+    match args::Command::parse(argv) {
+        Ok(args::Command::Help) => {
+            let _ = writeln!(out, "{}", args::USAGE);
+            0
+        }
+        Ok(cmd) => match commands::execute(cmd, out) {
+            Ok(()) => 0,
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+                1
+            }
+        },
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}\n\n{}", args::USAGE);
+            2
+        }
+    }
+}

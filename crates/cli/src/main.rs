@@ -1,0 +1,8 @@
+//! The `ltc` command-line tool. All logic lives in the library crate so
+//! it can be unit-tested; this file only bridges to the process.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    std::process::exit(ltc_cli::run(&argv, &mut stdout));
+}

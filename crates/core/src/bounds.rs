@@ -1,0 +1,93 @@
+//! Theorem 2: lower and upper bounds on the optimal maximum latency.
+//!
+//! Assuming `|T| ≥ K`, the optimal latency `OPT` of an offline LTC
+//! instance satisfies
+//!
+//! ```text
+//! |T|·δ / K  ≤  OPT  ≤  10·|T|·δ / K + |T| / K + 1
+//! ```
+//!
+//! The lower bound substitutes the best possible contribution
+//! (`Acc* = 1`) into McNaughton's rule; the upper bound substitutes the
+//! worst eligible contribution (`Acc* > 0.1`, from the spam threshold
+//! `p_w ≥ 0.66`). MCF-LTC uses the lower bound as its batch size.
+
+use crate::model::Instance;
+
+/// Lower bound of Theorem 2: `|T|·δ / K`. Every feasible arrangement
+/// recruits at least this many workers, hence its max index is at least
+/// `⌈bound⌉`.
+pub fn latency_lower_bound(instance: &Instance) -> f64 {
+    let t = instance.n_tasks() as f64;
+    let k = instance.params().capacity as f64;
+    t * instance.delta() / k
+}
+
+/// Upper bound of Theorem 2: `10·|T|·δ/K + |T|/K + 1` — valid whenever a
+/// feasible arrangement exists at all under the paper's assumptions
+/// (`p_w ≥ 0.66`, hence `Acc* > 0.1` for eligible pairs).
+pub fn latency_upper_bound(instance: &Instance) -> f64 {
+    let t = instance.n_tasks() as f64;
+    let k = instance.params().capacity as f64;
+    let delta = instance.delta();
+    10.0 * t * delta / k + t / k + 1.0
+}
+
+/// MCF-LTC's batch size `m = ⌈|T|·⌈δ⌉ / K⌉` (Algorithm 1, line 1): the
+/// number of workers that would always suffice to finish all remaining
+/// tasks if every contribution were perfect.
+pub fn batch_size(instance: &Instance) -> usize {
+    let t = instance.n_tasks() as u64;
+    let dc = instance.delta().ceil() as u64;
+    let k = instance.params().capacity as u64;
+    (t * dc).div_ceil(k).max(1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ProblemParams, Task, Worker};
+    use ltc_spatial::Point;
+
+    fn instance(n_tasks: usize, epsilon: f64, k: u32) -> Instance {
+        let params = ProblemParams::builder()
+            .epsilon(epsilon)
+            .capacity(k)
+            .build()
+            .unwrap();
+        Instance::new(
+            vec![Task::new(Point::ORIGIN); n_tasks],
+            vec![Worker::new(Point::ORIGIN, 0.9); 10],
+            params,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn batch_size_matches_paper_example_2() {
+        // |T| = 3, ε = 0.2 ⇒ ⌈δ⌉ = 4, K = 2 ⇒ m = 6.
+        let inst = instance(3, 0.2, 2);
+        assert_eq!(batch_size(&inst), 6);
+    }
+
+    #[test]
+    fn bounds_are_ordered() {
+        for (n, eps, k) in [(3, 0.2, 2), (100, 0.14, 6), (7, 0.06, 4)] {
+            let inst = instance(n, eps, k);
+            assert!(latency_lower_bound(&inst) < latency_upper_bound(&inst));
+        }
+    }
+
+    #[test]
+    fn lower_bound_formula() {
+        let inst = instance(10, 0.2, 2);
+        let expect = 10.0 * 2.0 * 5.0f64.ln() / 2.0;
+        assert!((latency_lower_bound(&inst) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_size_is_at_least_one() {
+        let inst = instance(1, 0.9, 8);
+        assert!(batch_size(&inst) >= 1);
+    }
+}

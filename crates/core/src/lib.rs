@@ -1,0 +1,68 @@
+//! # Latency-oriented Task Completion (LTC) — core library
+//!
+//! A from-scratch Rust implementation of the problem model and every
+//! algorithm of *"Latency-oriented Task Completion via Spatial
+//! Crowdsourcing"* (Zeng, Tong, Chen, Zhou — ICDE 2018).
+//!
+//! A spatial-crowdsourcing platform holds a set of location-bound binary
+//! micro-tasks and a stream of crowd workers who check in one by one. Each
+//! worker can answer at most `K` questions; the predicted accuracy of a
+//! worker on a task decays with distance (Eq. 1 of the paper). A task is
+//! *completed* when the accumulated `Acc* = (2·Acc − 1)²` of its assigned
+//! workers reaches `δ = 2·ln(1/ε)` — by Hoeffding's inequality, weighted
+//! majority voting then errs with probability below `ε`. The **LTC
+//! problem** asks for an arrangement minimizing the *arrival index of the
+//! last recruited worker* (the latency to complete all tasks). It is
+//! NP-hard.
+//!
+//! ## Algorithms
+//!
+//! | Scenario | Algorithm | Guarantee | Strategy |
+//! |----------|-----------|-----------|----------|
+//! | offline  | [`offline::McfLtc`] (Alg. 1) | 7.5-approximation | min-cost-flow batches |
+//! | offline  | [`offline::BaseOff`] | — (paper baseline) | fewest-nearby-workers greedy |
+//! | offline  | [`offline::ExactSolver`] | optimal (small instances) | branch & bound |
+//! | online   | [`online::Laf`] (Alg. 2) | 7.967-competitive | largest `Acc*` first |
+//! | online   | [`online::Aam`] (Alg. 3) | 7.738-competitive | LGF/LRF hybrid |
+//! | online   | [`online::RandomAssign`] | — (paper baseline) | random eligible tasks |
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ltc_core::model::{Instance, ProblemParams, Task, Worker};
+//! use ltc_core::online::{run_online, Aam};
+//! use ltc_spatial::Point;
+//!
+//! let params = ProblemParams::builder()
+//!     .epsilon(0.2)
+//!     .capacity(2)
+//!     .d_max(30.0)
+//!     .build()
+//!     .unwrap();
+//! let tasks = vec![Task::new(Point::new(0.0, 0.0)), Task::new(Point::new(5.0, 5.0))];
+//! let workers: Vec<Worker> = (0..40)
+//!     .map(|i| Worker::new(Point::new((i % 7) as f64, (i % 5) as f64), 0.9))
+//!     .collect();
+//! let instance = Instance::new(tasks, workers, params).unwrap();
+//!
+//! let outcome = ltc_core::online::run_online(&instance, &mut Aam::new());
+//! assert!(outcome.completed);
+//! println!("all tasks done after {} workers", outcome.latency().unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod metrics;
+pub mod model;
+pub mod offline;
+pub mod online;
+pub mod state;
+pub mod toy;
+
+pub use model::{
+    AccuracyModel, Arrangement, Assignment, Eligibility, Instance, InstanceError, ProblemParams,
+    QualityModel, RunOutcome, Task, TaskId, Worker, WorkerId,
+};
+pub use state::{Candidate, StreamState};

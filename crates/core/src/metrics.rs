@@ -1,0 +1,201 @@
+//! Arrangement analytics: per-task latency (Def. 5), latency
+//! distributions, and worker-utilization statistics.
+//!
+//! The paper's headline metric is the *maximum* latency
+//! `MinMax(M) = max_t L_t`, but platform operators also care how the
+//! per-task latencies `L_t = max_{w∈W_t} o_w` distribute and how much of
+//! the recruited workers' capacity was actually used. This module derives
+//! those from a committed [`Arrangement`].
+
+use crate::model::{Arrangement, Instance, TaskId};
+
+/// Per-task and aggregate latency/utilization statistics.
+#[derive(Debug, Clone)]
+pub struct ArrangementStats {
+    /// `L_t` per task: the arrival index of the last worker assigned to
+    /// it; `None` when the task received no worker at all.
+    pub task_latency: Vec<Option<u32>>,
+    /// Workers assigned per task (`|W_t|`).
+    pub workers_per_task: Vec<u32>,
+    /// Accumulated quality per task (the final `S[t]`).
+    pub quality_per_task: Vec<f64>,
+    /// Number of distinct recruited workers.
+    pub recruited_workers: usize,
+    /// Total committed assignments.
+    pub assignments: usize,
+    /// Capacity `K` of the instance (for utilization).
+    capacity: u32,
+    delta: f64,
+}
+
+impl ArrangementStats {
+    /// Computes the statistics of an arrangement on its instance.
+    pub fn new(instance: &Instance, arrangement: &Arrangement) -> Self {
+        let n = instance.n_tasks();
+        let mut task_latency: Vec<Option<u32>> = vec![None; n];
+        let mut workers_per_task = vec![0u32; n];
+        let mut recruited = std::collections::HashSet::new();
+        for a in arrangement.assignments() {
+            let t = a.task.index();
+            let idx = a.worker.arrival_index();
+            task_latency[t] = Some(task_latency[t].map_or(idx, |m| m.max(idx)));
+            workers_per_task[t] += 1;
+            recruited.insert(a.worker);
+        }
+        Self {
+            task_latency,
+            workers_per_task,
+            quality_per_task: arrangement.quality_per_task(n),
+            recruited_workers: recruited.len(),
+            assignments: arrangement.len(),
+            capacity: instance.params().capacity,
+            delta: instance.delta(),
+        }
+    }
+
+    /// The paper's objective: `max_t L_t`, when every task was served.
+    pub fn max_latency(&self) -> Option<u32> {
+        let mut max = 0;
+        for l in &self.task_latency {
+            max = max.max((*l)?);
+        }
+        Some(max)
+    }
+
+    /// Mean per-task latency over served tasks (`None` if none served).
+    pub fn mean_latency(&self) -> Option<f64> {
+        let served: Vec<u32> = self.task_latency.iter().flatten().copied().collect();
+        if served.is_empty() {
+            return None;
+        }
+        Some(served.iter().map(|&l| l as f64).sum::<f64>() / served.len() as f64)
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) of per-task latencies over served
+    /// tasks, nearest-rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is outside `[0, 1]`.
+    pub fn latency_quantile(&self, q: f64) -> Option<u32> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        let mut served: Vec<u32> = self.task_latency.iter().flatten().copied().collect();
+        if served.is_empty() {
+            return None;
+        }
+        served.sort_unstable();
+        let rank = ((q * served.len() as f64).ceil() as usize).clamp(1, served.len());
+        Some(served[rank - 1])
+    }
+
+    /// Fraction of recruited workers' capacity actually used:
+    /// `assignments / (recruited · K)`. 1.0 means every recruited worker
+    /// was fully loaded.
+    pub fn capacity_utilization(&self) -> f64 {
+        if self.recruited_workers == 0 {
+            return 0.0;
+        }
+        self.assignments as f64 / (self.recruited_workers as f64 * self.capacity as f64)
+    }
+
+    /// Quality overshoot per task: `S[t] − δ` (how much quality beyond
+    /// the requirement was spent). Negative entries mark unfinished tasks.
+    pub fn quality_overshoot(&self) -> Vec<f64> {
+        self.quality_per_task
+            .iter()
+            .map(|&s| s - self.delta)
+            .collect()
+    }
+
+    /// Mean overshoot over tasks that did reach `δ` — a measure of wasted
+    /// accuracy the LGF strategy of AAM is designed to reduce.
+    pub fn mean_overshoot(&self) -> Option<f64> {
+        let over: Vec<f64> = self
+            .quality_overshoot()
+            .into_iter()
+            .filter(|&o| o >= 0.0)
+            .collect();
+        if over.is_empty() {
+            return None;
+        }
+        Some(over.iter().sum::<f64>() / over.len() as f64)
+    }
+
+    /// Whether the task was completed (reached `δ`).
+    pub fn is_completed(&self, t: TaskId) -> bool {
+        self.quality_per_task[t.index()] >= self.delta - 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ProblemParams, Task, Worker};
+    use crate::online::{run_online, Aam, Laf};
+    use crate::toy::toy_instance;
+    use ltc_spatial::Point;
+
+    #[test]
+    fn toy_laf_statistics() {
+        let inst = toy_instance(0.2);
+        let outcome = run_online(&inst, &mut Laf::new());
+        let stats = ArrangementStats::new(&inst, &outcome.arrangement);
+        assert_eq!(stats.max_latency(), Some(8));
+        // LAF trace (Example 3): t1, t2 complete at w4; t3 at w8.
+        assert_eq!(stats.task_latency, vec![Some(4), Some(4), Some(8)]);
+        assert_eq!(stats.workers_per_task, vec![4, 4, 4]);
+        assert_eq!(stats.recruited_workers, 8);
+        assert_eq!(stats.assignments, 12);
+        // 12 assignments over 8 workers × K=2 slots.
+        assert!((stats.capacity_utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let inst = toy_instance(0.2);
+        let outcome = run_online(&inst, &mut Laf::new());
+        let stats = ArrangementStats::new(&inst, &outcome.arrangement);
+        assert_eq!(stats.latency_quantile(0.0), Some(4));
+        assert_eq!(stats.latency_quantile(0.5), Some(4));
+        assert_eq!(stats.latency_quantile(1.0), Some(8));
+        assert!((stats.mean_latency().unwrap() - 16.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aam_wastes_less_quality_than_laf_on_the_toy() {
+        let inst = toy_instance(0.2);
+        let laf = ArrangementStats::new(&inst, &run_online(&inst, &mut Laf::new()).arrangement);
+        let aam = ArrangementStats::new(&inst, &run_online(&inst, &mut Aam::new()).arrangement);
+        // The LGF half of AAM exists precisely to reduce overshoot.
+        assert!(aam.mean_overshoot().unwrap() <= laf.mean_overshoot().unwrap() + 1e-9);
+    }
+
+    #[test]
+    fn empty_arrangement_statistics() {
+        let params = ProblemParams::builder()
+            .epsilon(0.2)
+            .capacity(2)
+            .build()
+            .unwrap();
+        let inst = crate::model::Instance::new(
+            vec![Task::new(Point::ORIGIN)],
+            vec![Worker::new(Point::new(1.0, 0.0), 0.9)],
+            params,
+        )
+        .unwrap();
+        let stats = ArrangementStats::new(&inst, &Arrangement::new());
+        assert_eq!(stats.max_latency(), None);
+        assert_eq!(stats.mean_latency(), None);
+        assert_eq!(stats.latency_quantile(0.5), None);
+        assert_eq!(stats.capacity_utilization(), 0.0);
+        assert!(!stats.is_completed(TaskId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn quantile_bounds_checked() {
+        let inst = toy_instance(0.2);
+        let outcome = run_online(&inst, &mut Laf::new());
+        ArrangementStats::new(&inst, &outcome.arrangement).latency_quantile(1.5);
+    }
+}

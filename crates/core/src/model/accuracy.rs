@@ -1,0 +1,199 @@
+//! Predicted-accuracy functions (paper Def. 3 / Eq. 1).
+
+use super::{ProblemParams, Task, Worker};
+
+/// How the platform predicts the accuracy of a worker on a task.
+///
+/// The paper's default (Eq. 1) is a distance-discounted sigmoid of the
+/// worker's historical accuracy; "other accuracy functions can also apply",
+/// so a tabular variant is provided for worked examples and tests where the
+/// accuracy matrix is given directly (Table I of the paper).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum AccuracyModel {
+    /// Eq. 1: `Acc(w,t) = p_w / (1 + exp(−(d_max − ‖l_w − l_t‖)))`.
+    Sigmoid,
+    /// A fixed `|W| × |T|` matrix of accuracies.
+    Table(AccuracyTable),
+}
+
+impl AccuracyModel {
+    /// Predicted accuracy `Acc(w,t) ∈ [0,1]`.
+    #[inline]
+    pub fn acc(
+        &self,
+        worker_idx: usize,
+        worker: &Worker,
+        task_idx: usize,
+        task: &Task,
+        params: &ProblemParams,
+    ) -> f64 {
+        match self {
+            AccuracyModel::Sigmoid => {
+                let d = worker.loc.distance(task.loc);
+                worker.accuracy / (1.0 + (-(params.d_max - d)).exp())
+            }
+            AccuracyModel::Table(table) => table.acc(worker_idx, task_idx),
+        }
+    }
+}
+
+/// Turns a predicted accuracy into the paper's quality contribution
+/// `Acc*(w,t) = (2·Acc(w,t) − 1)²` (from Hoeffding's inequality).
+#[inline]
+pub fn acc_star(acc: f64) -> f64 {
+    let w = 2.0 * acc - 1.0;
+    w * w
+}
+
+/// A dense row-major `|W| × |T|` accuracy matrix.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AccuracyTable {
+    n_tasks: usize,
+    values: Vec<f64>,
+}
+
+impl AccuracyTable {
+    /// Builds a table from rows-per-worker data: `values[w * n_tasks + t]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count is not a multiple of `n_tasks` or any
+    /// value is outside `[0, 1]`.
+    pub fn new(n_tasks: usize, values: Vec<f64>) -> Self {
+        assert!(n_tasks > 0, "accuracy table needs at least one task column");
+        assert!(
+            values.len().is_multiple_of(n_tasks),
+            "value count {} is not a multiple of n_tasks {}",
+            values.len(),
+            n_tasks
+        );
+        assert!(
+            values.iter().all(|v| (0.0..=1.0).contains(v)),
+            "accuracies must lie in [0, 1]"
+        );
+        Self { n_tasks, values }
+    }
+
+    /// Builds a table from a `workers × tasks` nested structure.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let n_tasks = rows.first().map_or(1, |r| r.len());
+        assert!(
+            rows.iter().all(|r| r.len() == n_tasks),
+            "all worker rows must have the same number of task entries"
+        );
+        Self::new(n_tasks, rows.concat())
+    }
+
+    /// Number of workers covered by the table.
+    pub fn n_workers(&self) -> usize {
+        self.values.len() / self.n_tasks
+    }
+
+    /// Number of tasks covered by the table.
+    pub fn n_tasks(&self) -> usize {
+        self.n_tasks
+    }
+
+    /// Accuracy of worker `w` on task `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when indices exceed the table dimensions.
+    #[inline]
+    pub fn acc(&self, worker_idx: usize, task_idx: usize) -> f64 {
+        assert!(
+            task_idx < self.n_tasks,
+            "task index {task_idx} out of range"
+        );
+        self.values[worker_idx * self.n_tasks + task_idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltc_spatial::Point;
+
+    fn params(d_max: f64) -> ProblemParams {
+        ProblemParams::builder().d_max(d_max).build().unwrap()
+    }
+
+    #[test]
+    fn sigmoid_at_dmax_is_half_pw() {
+        let p = params(30.0);
+        let w = Worker::new(Point::new(0.0, 0.0), 0.9);
+        let t = Task::new(Point::new(30.0, 0.0));
+        let acc = AccuracyModel::Sigmoid.acc(0, &w, 0, &t, &p);
+        assert!((acc - 0.45).abs() < 1e-12, "got {acc}");
+    }
+
+    #[test]
+    fn sigmoid_near_task_approaches_pw() {
+        let p = params(30.0);
+        let w = Worker::new(Point::new(0.0, 0.0), 0.9);
+        let t = Task::new(Point::new(1.0, 0.0));
+        let acc = AccuracyModel::Sigmoid.acc(0, &w, 0, &t, &p);
+        assert!((acc - 0.9).abs() < 1e-9, "got {acc}");
+    }
+
+    #[test]
+    fn sigmoid_far_from_task_approaches_zero() {
+        let p = params(30.0);
+        let w = Worker::new(Point::new(0.0, 0.0), 0.9);
+        let t = Task::new(Point::new(100.0, 0.0));
+        let acc = AccuracyModel::Sigmoid.acc(0, &w, 0, &t, &p);
+        assert!(acc < 1e-9, "got {acc}");
+    }
+
+    #[test]
+    fn sigmoid_is_monotone_in_distance() {
+        let p = params(30.0);
+        let w = Worker::new(Point::new(0.0, 0.0), 0.8);
+        let mut last = f64::INFINITY;
+        for d in [0.0, 10.0, 25.0, 29.0, 30.0, 31.0, 50.0] {
+            let acc = AccuracyModel::Sigmoid.acc(0, &w, 0, &Task::new(Point::new(d, 0.0)), &p);
+            assert!(acc < last + 1e-15, "accuracy rose with distance at {d}");
+            last = acc;
+        }
+    }
+
+    #[test]
+    fn acc_star_matches_paper_examples() {
+        // Paper Example 2: Acc = 0.96 → Acc* ≈ 0.85 (they round).
+        assert!((acc_star(0.96) - 0.8464).abs() < 1e-12);
+        assert!((acc_star(0.98) - 0.9216).abs() < 1e-12);
+        assert!((acc_star(0.94) - 0.7744).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acc_star_is_symmetric_around_half() {
+        // The degenerate corner the eligibility policy must exclude:
+        // a hopeless worker looks as good as a perfect one.
+        assert_eq!(acc_star(0.0), 1.0);
+        assert_eq!(acc_star(1.0), 1.0);
+        assert_eq!(acc_star(0.5), 0.0);
+    }
+
+    #[test]
+    fn table_lookup_row_major() {
+        let table = AccuracyTable::from_rows(&[vec![0.9, 0.8], vec![0.7, 0.6]]);
+        assert_eq!(table.n_workers(), 2);
+        assert_eq!(table.n_tasks(), 2);
+        assert_eq!(table.acc(0, 1), 0.8);
+        assert_eq!(table.acc(1, 0), 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "accuracies must lie in")]
+    fn table_rejects_out_of_range() {
+        AccuracyTable::new(1, vec![1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of task entries")]
+    fn table_rejects_ragged_rows() {
+        AccuracyTable::from_rows(&[vec![0.9, 0.8], vec![0.7]]);
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline LTC algorithms (paper Sec. III).
+//!
+//! In the offline scenario the platform knows the whole worker stream
+//! (locations, accuracies, arrival order) in advance. The problem remains
+//! NP-hard (Theorem 1, reduction from 3-partition), so the paper gives a
+//! constant-factor approximation:
+//!
+//! * [`McfLtc`] — Algorithm 1, a batched min-cost-flow algorithm with
+//!   approximation ratio 7.5 (Theorem 3),
+//! * [`BaseOff`] — the evaluation baseline ("tasks with fewer workers
+//!   nearby are greedily assigned"),
+//! * [`ExactSolver`] — an optimal branch-and-bound solver for small
+//!   instances, used to validate the approximation quality and the worked
+//!   examples.
+
+mod base_off;
+mod exact;
+mod mcf_ltc;
+
+pub use base_off::BaseOff;
+pub use exact::{ExactResult, ExactSolver};
+pub use mcf_ltc::McfLtc;

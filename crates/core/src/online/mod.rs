@@ -1,0 +1,164 @@
+//! Online LTC algorithms (paper Sec. IV).
+//!
+//! In the online scenario workers appear one by one and the platform must
+//! commit each worker's bundle of at most `K` tasks immediately (temporal
+//! constraint), with no knowledge of future arrivals. The paper proves no
+//! deterministic online algorithm can be better than 5.5-competitive and
+//! gives two greedy algorithms with constant competitive ratios:
+//!
+//! * [`Laf`] — Largest Acc* First (Algorithm 2), 7.967-competitive,
+//! * [`Aam`] — Average And Maximum (Algorithm 3), 7.738-competitive,
+//!
+//! plus the evaluation baseline [`RandomAssign`].
+//!
+//! All three implement [`OnlineAlgorithm`] and are driven by
+//! [`run_online`], which enforces the temporal constraint (one pass, no
+//! look-ahead, immediate commitment) and stops as soon as every task
+//! reaches `δ`.
+
+mod aam;
+mod laf;
+mod random;
+mod topk;
+
+pub use aam::{Aam, AamStrategy};
+pub use laf::Laf;
+pub use random::RandomAssign;
+pub(crate) use topk::TopK;
+
+use crate::model::{Instance, RunOutcome, TaskId, WorkerId};
+use crate::state::{Candidate, StreamState};
+
+/// Decision rule of an online LTC algorithm: given the arriving worker and
+/// their eligible uncompleted tasks, pick at most `K` of them.
+pub trait OnlineAlgorithm {
+    /// Human-readable algorithm name (used by the benchmark harness).
+    fn name(&self) -> &'static str;
+
+    /// Selects tasks for the arriving worker.
+    ///
+    /// `candidates` are the worker's eligible, uncompleted tasks in
+    /// ascending task-id order; implementations append at most
+    /// `state.instance().params().capacity` *distinct* task ids from
+    /// `candidates` into `picks` (pre-cleared by the driver).
+    fn assign(
+        &mut self,
+        state: &StreamState<'_>,
+        worker: WorkerId,
+        candidates: &[Candidate],
+        picks: &mut Vec<TaskId>,
+    );
+}
+
+/// Runs an online algorithm over the instance's worker stream.
+///
+/// The driver walks workers in arrival order, queries the algorithm once
+/// per worker, commits its picks irrevocably, and stops early once all
+/// tasks are completed. Violations of the capacity bound or picks outside
+/// the candidate set are programming errors and panic in debug builds;
+/// release builds defensively truncate/skip them.
+pub fn run_online<A: OnlineAlgorithm + ?Sized>(instance: &Instance, algo: &mut A) -> RunOutcome {
+    let mut state = StreamState::new(instance);
+    let capacity = instance.params().capacity as usize;
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut picks: Vec<TaskId> = Vec::new();
+
+    for w in 0..instance.n_workers() as u32 {
+        if state.all_completed() {
+            break;
+        }
+        let worker = WorkerId(w);
+        state.eligible_uncompleted(worker, &mut candidates);
+        if candidates.is_empty() {
+            continue;
+        }
+        picks.clear();
+        algo.assign(&state, worker, &candidates, &mut picks);
+        debug_assert!(
+            picks.len() <= capacity,
+            "{} exceeded capacity: {} > {capacity}",
+            algo.name(),
+            picks.len()
+        );
+        debug_assert!(
+            picks
+                .iter()
+                .all(|t| candidates.iter().any(|c| c.task == *t)),
+            "{} picked a non-candidate task",
+            algo.name()
+        );
+        picks.truncate(capacity);
+        picks.sort_unstable();
+        picks.dedup();
+        for &t in &picks {
+            state.commit(worker, t);
+        }
+    }
+    state.into_outcome()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ProblemParams, Task, Worker};
+    use ltc_spatial::Point;
+
+    /// A deliberately over-eager algorithm to exercise the driver's
+    /// defensive truncation in release mode.
+    struct TakeEverything;
+
+    impl OnlineAlgorithm for TakeEverything {
+        fn name(&self) -> &'static str {
+            "take-everything"
+        }
+        fn assign(
+            &mut self,
+            _state: &StreamState<'_>,
+            _worker: WorkerId,
+            candidates: &[Candidate],
+            picks: &mut Vec<TaskId>,
+        ) {
+            picks.extend(candidates.iter().map(|c| c.task));
+        }
+    }
+
+    fn instance(n_tasks: usize, n_workers: usize) -> Instance {
+        let params = ProblemParams::builder()
+            .epsilon(0.2)
+            .capacity(2)
+            .build()
+            .unwrap();
+        Instance::new(
+            vec![Task::new(Point::ORIGIN); n_tasks],
+            vec![Worker::new(Point::new(1.0, 0.0), 0.95); n_workers],
+            params,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "exceeded capacity"))]
+    fn driver_guards_capacity() {
+        let inst = instance(5, 40);
+        let outcome = run_online(&inst, &mut TakeEverything);
+        // Release mode: truncation keeps the arrangement feasible.
+        outcome.arrangement.check_feasible(&inst).unwrap();
+    }
+
+    #[test]
+    fn driver_stops_early_when_done() {
+        let inst = instance(1, 100);
+        let outcome = run_online(&inst, &mut super::Laf::new());
+        assert!(outcome.completed);
+        // δ(0.2) ≈ 3.22, Acc* ≈ 0.81 ⇒ 4 workers, not 100.
+        assert_eq!(outcome.latency(), Some(4));
+    }
+
+    #[test]
+    fn exhausted_stream_reports_incomplete() {
+        let inst = instance(10, 3);
+        let outcome = run_online(&inst, &mut super::Laf::new());
+        assert!(!outcome.completed);
+        assert_eq!(outcome.latency(), None);
+    }
+}

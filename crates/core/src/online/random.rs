@@ -1,0 +1,107 @@
+//! Random assignment — the paper's online baseline.
+
+use super::OnlineAlgorithm;
+use crate::model::{TaskId, WorkerId};
+use crate::state::{Candidate, StreamState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// **Random** — the naive online baseline of the paper's evaluation:
+/// "tasks nearby are assigned randomly to the worker when s/he arrives".
+///
+/// Picks `min(K, |candidates|)` distinct eligible uncompleted tasks
+/// uniformly at random (partial Fisher–Yates over the candidate list).
+/// Seeded for reproducible experiments.
+#[derive(Debug, Clone)]
+pub struct RandomAssign {
+    rng: StdRng,
+}
+
+impl RandomAssign {
+    /// Creates the baseline with a fixed default seed.
+    pub fn new() -> Self {
+        Self::seeded(0x5EED)
+    }
+
+    /// Creates the baseline with an explicit seed.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Default for RandomAssign {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlineAlgorithm for RandomAssign {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn assign(
+        &mut self,
+        state: &StreamState<'_>,
+        _worker: WorkerId,
+        candidates: &[Candidate],
+        picks: &mut Vec<TaskId>,
+    ) {
+        let k = state.instance().params().capacity as usize;
+        let take = k.min(candidates.len());
+        // Partial Fisher–Yates over an index scratch vector: O(|candidates|)
+        // setup, O(K) swaps.
+        let mut idx: Vec<usize> = (0..candidates.len()).collect();
+        for i in 0..take {
+            let j = self.rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+            picks.push(candidates[idx[i]].task);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::run_online;
+    use crate::toy::toy_instance;
+
+    #[test]
+    fn completes_the_toy_instance_feasibly() {
+        let inst = toy_instance(0.2);
+        let outcome = run_online(&inst, &mut RandomAssign::seeded(1));
+        assert!(outcome.completed);
+        outcome.arrangement.check_feasible(&inst).unwrap();
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let inst = toy_instance(0.2);
+        let a = run_online(&inst, &mut RandomAssign::seeded(9));
+        let b = run_online(&inst, &mut RandomAssign::seeded(9));
+        assert_eq!(a.arrangement.assignments(), b.arrangement.assignments());
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let inst = toy_instance(0.2);
+        let outcomes: Vec<_> = (0..8)
+            .map(|s| run_online(&inst, &mut RandomAssign::seeded(s)))
+            .collect();
+        let distinct = outcomes
+            .windows(2)
+            .filter(|w| w[0].arrangement.assignments() != w[1].arrangement.assignments())
+            .count();
+        assert!(distinct > 0, "eight seeds all produced identical runs");
+    }
+
+    #[test]
+    fn never_picks_more_than_k() {
+        let inst = toy_instance(0.2);
+        let outcome = run_online(&inst, &mut RandomAssign::seeded(3));
+        let load = outcome.arrangement.load_per_worker();
+        assert!(load.values().all(|&l| l <= 2));
+    }
+}

@@ -1,0 +1,144 @@
+//! Bounded top-K selection — the heap `Q` of Algorithms 1–3.
+//!
+//! The paper's pseudo-code "maintain[s] the size of Q under the capacity of
+//! w": a heap holding, per arriving worker, the K best (key, task) pairs.
+//! Ties on the key are broken toward the smaller task id, which reproduces
+//! the worked examples (e.g. Example 3 assigns `t1` over `t3` when both
+//! score 0.85 for `w1`).
+
+use crate::model::TaskId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A max-K selector over `(f64 key, TaskId)` pairs: keeps the K pairs with
+/// the largest keys, tie-breaking toward smaller task ids.
+#[derive(Debug)]
+pub(crate) struct TopK {
+    k: usize,
+    /// Max-heap whose *top* is the currently worst kept entry, so a better
+    /// candidate can evict it in O(log K).
+    heap: BinaryHeap<WorstFirst>,
+}
+
+#[derive(Debug, PartialEq)]
+struct WorstFirst {
+    key: f64,
+    task: TaskId,
+}
+
+impl Eq for WorstFirst {}
+
+impl Ord for WorstFirst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // "Worse" entries order as greater: smaller key first, then larger
+        // task id.
+        other
+            .key
+            .partial_cmp(&self.key)
+            .expect("selection keys must not be NaN")
+            .then_with(|| self.task.cmp(&other.task))
+    }
+}
+
+impl PartialOrd for WorstFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl TopK {
+    /// A selector keeping at most `k` entries.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offers a candidate; keeps it only if it ranks among the best K so
+    /// far.
+    pub fn offer(&mut self, key: f64, task: TaskId) {
+        debug_assert!(!key.is_nan(), "selection keys must not be NaN");
+        if self.k == 0 {
+            return;
+        }
+        self.heap.push(WorstFirst { key, task });
+        if self.heap.len() > self.k {
+            self.heap.pop();
+        }
+    }
+
+    /// Drains the kept entries, **best first**, into `out` (cleared).
+    pub fn drain_into(&mut self, out: &mut Vec<TaskId>) {
+        out.clear();
+        out.extend(self.heap.drain().map(|e| e.task));
+        // Entries drain in arbitrary heap order and there are ≤ K of them;
+        // restore best-first order by resorting (keys are gone, but the
+        // callers only need the *set*; order is normalized for
+        // reproducibility of the committed-assignment trace).
+        out.sort_unstable();
+    }
+
+    /// Number of kept entries.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(top: &mut TopK) -> Vec<u32> {
+        let mut v = Vec::new();
+        top.drain_into(&mut v);
+        v.into_iter().map(|t| t.0).collect()
+    }
+
+    #[test]
+    fn keeps_largest_keys() {
+        let mut top = TopK::new(2);
+        top.offer(0.1, TaskId(0));
+        top.offer(0.9, TaskId(1));
+        top.offer(0.5, TaskId(2));
+        top.offer(0.8, TaskId(3));
+        assert_eq!(collect(&mut top), vec![1, 3]);
+    }
+
+    #[test]
+    fn tie_breaks_toward_smaller_task() {
+        let mut top = TopK::new(2);
+        top.offer(0.85, TaskId(2)); // t3 in paper numbering
+        top.offer(0.92, TaskId(1)); // t2
+        top.offer(0.85, TaskId(0)); // t1 — ties with t3, must win
+        assert_eq!(collect(&mut top), vec![0, 1]);
+    }
+
+    #[test]
+    fn fewer_candidates_than_k() {
+        let mut top = TopK::new(5);
+        top.offer(0.5, TaskId(7));
+        assert_eq!(top.len(), 1);
+        assert_eq!(collect(&mut top), vec![7]);
+    }
+
+    #[test]
+    fn zero_k_keeps_nothing() {
+        let mut top = TopK::new(0);
+        top.offer(1.0, TaskId(0));
+        assert_eq!(top.len(), 0);
+    }
+
+    #[test]
+    fn drain_resets_the_selector() {
+        let mut top = TopK::new(2);
+        top.offer(0.5, TaskId(0));
+        let mut out = Vec::new();
+        top.drain_into(&mut out);
+        assert_eq!(top.len(), 0);
+        top.offer(0.7, TaskId(9));
+        top.drain_into(&mut out);
+        assert_eq!(out, vec![TaskId(9)]);
+    }
+}

@@ -1,0 +1,289 @@
+//! Shared streaming state for all LTC algorithms.
+//!
+//! Every algorithm of the paper — offline or online — walks the worker
+//! stream in arrival order while maintaining the accumulated quality `S[t]`
+//! per task (the `S` array of Algorithms 1–3). [`StreamState`] owns that
+//! bookkeeping plus the spatial task index used to enumerate a worker's
+//! *eligible uncompleted* tasks, so the algorithm modules contain only
+//! their decision logic.
+
+use crate::model::{Arrangement, Assignment, Eligibility, Instance, RunOutcome, TaskId, WorkerId};
+use ltc_spatial::GridIndex;
+
+/// Tolerance reused from the model layer for `S[t] ≥ δ` checks.
+const COMPLETION_EPS: f64 = 1e-9;
+
+/// A candidate assignment for an arriving worker, produced by
+/// [`StreamState::eligible_uncompleted`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// The candidate task.
+    pub task: TaskId,
+    /// Predicted accuracy `Acc(w,t)`.
+    pub acc: f64,
+    /// Quality contribution (`Acc*` under the Hoeffding model).
+    pub contribution: f64,
+}
+
+/// Mutable run state over an [`Instance`]: per-task accumulated quality,
+/// completion flags, and the committed [`Arrangement`].
+#[derive(Debug)]
+pub struct StreamState<'a> {
+    instance: &'a Instance,
+    delta: f64,
+    /// Accumulated contribution per task (the paper's `S`).
+    s: Vec<f64>,
+    completed: Vec<bool>,
+    n_uncompleted: usize,
+    arrangement: Arrangement,
+    /// Spatial index over task locations (cell size = `d_max`), used under
+    /// the nearby-only eligibility policy.
+    task_index: Option<GridIndex<u32>>,
+}
+
+impl<'a> StreamState<'a> {
+    /// Initializes the state with all tasks uncompleted.
+    pub fn new(instance: &'a Instance) -> Self {
+        let n = instance.n_tasks();
+        let task_index = match instance.params().eligibility {
+            Eligibility::WithinRange => Some(GridIndex::build(
+                instance.params().d_max,
+                instance
+                    .tasks()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| (i as u32, t.loc)),
+            )),
+            Eligibility::Unrestricted => None,
+        };
+        Self {
+            instance,
+            delta: instance.delta(),
+            s: vec![0.0; n],
+            completed: vec![false; n],
+            n_uncompleted: n,
+            arrangement: Arrangement::new(),
+            task_index,
+        }
+    }
+
+    /// The instance being solved.
+    #[inline]
+    pub fn instance(&self) -> &'a Instance {
+        self.instance
+    }
+
+    /// The completion threshold `δ`.
+    #[inline]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Accumulated quality of a task (`S[t]`).
+    #[inline]
+    pub fn quality(&self, t: TaskId) -> f64 {
+        self.s[t.index()]
+    }
+
+    /// Remaining quality a task still needs, clamped at zero.
+    #[inline]
+    pub fn remaining(&self, t: TaskId) -> f64 {
+        (self.delta - self.s[t.index()]).max(0.0)
+    }
+
+    /// Whether the task reached `δ`.
+    #[inline]
+    pub fn is_completed(&self, t: TaskId) -> bool {
+        self.completed[t.index()]
+    }
+
+    /// Number of tasks still below `δ`.
+    #[inline]
+    pub fn n_uncompleted(&self) -> usize {
+        self.n_uncompleted
+    }
+
+    /// Whether every task reached `δ`.
+    #[inline]
+    pub fn all_completed(&self) -> bool {
+        self.n_uncompleted == 0
+    }
+
+    /// The arrangement committed so far.
+    #[inline]
+    pub fn arrangement(&self) -> &Arrangement {
+        &self.arrangement
+    }
+
+    /// Enumerates the worker's **eligible, uncompleted** candidate tasks
+    /// into `out` (cleared first). Under the nearby-only policy this is a
+    /// grid range query; under the unrestricted policy it scans all tasks.
+    ///
+    /// Candidates are produced in ascending task-id order so algorithms
+    /// inherit a deterministic tie-break.
+    pub fn eligible_uncompleted(&self, w: WorkerId, out: &mut Vec<Candidate>) {
+        out.clear();
+        let inst = self.instance;
+        match &self.task_index {
+            Some(index) => {
+                let loc = inst.workers()[w.index()].loc;
+                out.extend(
+                    index
+                        .within(loc, inst.params().d_max)
+                        .filter(|&t| !self.completed[t as usize])
+                        .map(|t| self.candidate(w, TaskId(t)))
+                        .filter(|c| c.acc >= 0.5),
+                );
+                // The grid yields tasks in cell order; restore id order for
+                // deterministic downstream tie-breaking.
+                out.sort_unstable_by_key(|c| c.task);
+            }
+            None => {
+                out.extend(
+                    (0..inst.n_tasks() as u32)
+                        .filter(|&t| !self.completed[t as usize])
+                        .map(|t| self.candidate(w, TaskId(t))),
+                );
+            }
+        }
+    }
+
+    /// Builds the [`Candidate`] record for a pair (no eligibility check).
+    #[inline]
+    pub fn candidate(&self, w: WorkerId, t: TaskId) -> Candidate {
+        Candidate {
+            task: t,
+            acc: self.instance.acc(w, t),
+            contribution: self.instance.contribution(w, t),
+        }
+    }
+
+    /// Commits `(w, t)` to the arrangement and updates `S[t]`, marking the
+    /// task completed when it reaches `δ`. Returns the contribution added.
+    ///
+    /// Assignments are irrevocable (the paper's invariable constraint);
+    /// correctness of the *choice* is the algorithm's responsibility —
+    /// this method only maintains state.
+    pub fn commit(&mut self, w: WorkerId, t: TaskId) -> f64 {
+        let c = self.candidate(w, t);
+        self.arrangement.push(Assignment {
+            worker: w,
+            task: t,
+            acc: c.acc,
+            contribution: c.contribution,
+        });
+        let idx = t.index();
+        self.s[idx] += c.contribution;
+        if !self.completed[idx] && self.s[idx] >= self.delta - COMPLETION_EPS {
+            self.completed[idx] = true;
+            self.n_uncompleted -= 1;
+        }
+        c.contribution
+    }
+
+    /// Finalizes the run into a [`RunOutcome`].
+    pub fn into_outcome(self) -> RunOutcome {
+        RunOutcome {
+            completed: self.n_uncompleted == 0,
+            arrangement: self.arrangement,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ProblemParams, Task, Worker};
+    use ltc_spatial::Point;
+
+    fn instance() -> Instance {
+        let params = ProblemParams::builder()
+            .epsilon(0.3)
+            .capacity(2)
+            .d_max(30.0)
+            .build()
+            .unwrap();
+        Instance::new(
+            vec![
+                Task::new(Point::ORIGIN),
+                Task::new(Point::new(10.0, 0.0)),
+                Task::new(Point::new(400.0, 0.0)),
+            ],
+            vec![Worker::new(Point::new(1.0, 0.0), 0.95); 8],
+            params,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn eligible_skips_far_and_completed_tasks() {
+        let inst = instance();
+        let mut state = StreamState::new(&inst);
+        let mut buf = Vec::new();
+        state.eligible_uncompleted(WorkerId(0), &mut buf);
+        let ids: Vec<u32> = buf.iter().map(|c| c.task.0).collect();
+        assert_eq!(ids, vec![0, 1], "task 2 is 400 units away");
+
+        // Complete task 0 and re-query.
+        while !state.is_completed(TaskId(0)) {
+            state.commit(WorkerId(0), TaskId(0));
+        }
+        state.eligible_uncompleted(WorkerId(1), &mut buf);
+        let ids: Vec<u32> = buf.iter().map(|c| c.task.0).collect();
+        assert_eq!(ids, vec![1]);
+    }
+
+    #[test]
+    fn commit_accumulates_and_completes() {
+        let inst = instance();
+        let mut state = StreamState::new(&inst);
+        assert_eq!(state.n_uncompleted(), 3);
+        let c = state.commit(WorkerId(0), TaskId(0));
+        assert!(c > 0.7 && c < 1.0);
+        assert!((state.quality(TaskId(0)) - c).abs() < 1e-12);
+        assert!(!state.all_completed());
+        // δ(0.3) ≈ 2.408, each contribution ≈ 0.81 ⇒ 3 commits complete.
+        state.commit(WorkerId(1), TaskId(0));
+        state.commit(WorkerId(2), TaskId(0));
+        assert!(state.is_completed(TaskId(0)));
+        assert_eq!(state.n_uncompleted(), 2);
+    }
+
+    #[test]
+    fn remaining_clamps_at_zero() {
+        let inst = instance();
+        let mut state = StreamState::new(&inst);
+        for w in 0..4 {
+            state.commit(WorkerId(w), TaskId(0));
+        }
+        assert_eq!(state.remaining(TaskId(0)), 0.0);
+    }
+
+    #[test]
+    fn outcome_reflects_completion() {
+        let inst = instance();
+        let state = StreamState::new(&inst);
+        let outcome = state.into_outcome();
+        assert!(!outcome.completed);
+        assert_eq!(outcome.latency(), None);
+    }
+
+    #[test]
+    fn unrestricted_policy_scans_all_tasks() {
+        let params = ProblemParams::builder()
+            .epsilon(0.3)
+            .eligibility(crate::model::Eligibility::Unrestricted)
+            .build()
+            .unwrap();
+        let inst = Instance::new(
+            vec![Task::new(Point::ORIGIN), Task::new(Point::new(400.0, 0.0))],
+            vec![Worker::new(Point::new(1.0, 0.0), 0.95)],
+            params,
+        )
+        .unwrap();
+        let state = StreamState::new(&inst);
+        let mut buf = Vec::new();
+        state.eligible_uncompleted(WorkerId(0), &mut buf);
+        assert_eq!(buf.len(), 2);
+    }
+}

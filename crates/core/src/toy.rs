@@ -1,0 +1,120 @@
+//! The paper's running toy example (Sec. I, Examples 1–4).
+//!
+//! Three tasks at Hong Kong POIs (Think Cafe, Yee Shun Restaurant, SOGO),
+//! eight workers arriving in order `w1..w8`, historical accuracies from
+//! Table I, capacity `K = 2`.
+//!
+//! * **Example 1** uses a simplified quality model (contribution = plain
+//!   historical accuracy, fixed threshold 2.92); its offline optimum
+//!   recruits 5 workers.
+//! * **Examples 2–4** use the Hoeffding model with `ε = 0.2`
+//!   (`δ = 2·ln 5 ≈ 3.22`): MCF-LTC reports 6, LAF 8, AAM 7.
+
+use crate::model::{
+    AccuracyModel, AccuracyTable, Instance, ProblemParams, QualityModel, Task, Worker,
+};
+use ltc_spatial::Point;
+
+/// Table I of the paper: rows `w1..w8`, columns `t1..t3`.
+pub const TABLE_I: [[f64; 3]; 8] = [
+    [0.96, 0.98, 0.96],
+    [0.98, 0.96, 0.96],
+    [0.98, 0.96, 0.96],
+    [0.98, 0.98, 0.98],
+    [0.96, 0.94, 0.94],
+    [0.96, 0.96, 0.94],
+    [0.94, 0.96, 0.96],
+    [0.94, 0.94, 0.96],
+];
+
+/// Builds the toy instance under the Hoeffding quality model with the
+/// given tolerable error rate (Examples 2–4 use `ε = 0.2`).
+pub fn toy_instance(epsilon: f64) -> Instance {
+    build(
+        ProblemParams::builder()
+            .epsilon(epsilon)
+            .capacity(2)
+            .d_max(30.0)
+            .build()
+            .expect("toy parameters are valid"),
+    )
+}
+
+/// Builds the toy instance of Example 1: contribution = historical
+/// accuracy, completion threshold 2.92.
+pub fn toy_example1_instance() -> Instance {
+    build(
+        ProblemParams::builder()
+            .epsilon(0.2) // unused under FixedThreshold but must be valid
+            .capacity(2)
+            .d_max(30.0)
+            .quality(QualityModel::FixedThreshold(2.92))
+            .build()
+            .expect("toy parameters are valid"),
+    )
+}
+
+fn build(params: ProblemParams) -> Instance {
+    // Fig. 1 shows all eight workers checking in near the three POIs; the
+    // toy uses the tabulated accuracies directly, so co-locate everyone
+    // well within d_max to make every pair eligible.
+    let tasks = vec![
+        Task::new(Point::new(0.0, 0.0)), // t1: Think Cafe
+        Task::new(Point::new(5.0, 0.0)), // t2: Yee Shun Restaurant
+        Task::new(Point::new(0.0, 5.0)), // t3: SOGO Hong Kong
+    ];
+    let workers: Vec<Worker> = TABLE_I
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            // Historical accuracy: the row maximum (only used by
+            // validation; the table supplies per-task accuracies).
+            let p = row.iter().cloned().fold(f64::MIN, f64::max);
+            Worker::new(Point::new(1.0 + (i % 3) as f64, 1.0 + (i / 3) as f64), p)
+        })
+        .collect();
+    let table = AccuracyTable::new(3, TABLE_I.concat());
+    Instance::with_accuracy(tasks, workers, params, AccuracyModel::Table(table))
+        .expect("the toy instance is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{TaskId, WorkerId};
+
+    #[test]
+    fn table_matches_paper_layout() {
+        let inst = toy_instance(0.2);
+        // Spot checks against Table I (t-row, w-column in the paper).
+        assert_eq!(inst.acc(WorkerId(0), TaskId(0)), 0.96); // t1,w1
+        assert_eq!(inst.acc(WorkerId(1), TaskId(0)), 0.98); // t1,w2
+        assert_eq!(inst.acc(WorkerId(0), TaskId(1)), 0.98); // t2,w1
+        assert_eq!(inst.acc(WorkerId(7), TaskId(2)), 0.96); // t3,w8
+        assert_eq!(inst.acc(WorkerId(4), TaskId(1)), 0.94); // t2,w5
+    }
+
+    #[test]
+    fn every_pair_is_eligible() {
+        let inst = toy_instance(0.2);
+        for w in 0..8 {
+            for t in 0..3 {
+                assert!(inst.is_eligible(WorkerId(w), TaskId(t)));
+            }
+        }
+    }
+
+    #[test]
+    fn example_2_delta() {
+        let inst = toy_instance(0.2);
+        assert!((inst.delta() - 3.2188758248682006).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example_1_threshold() {
+        let inst = toy_example1_instance();
+        assert_eq!(inst.delta(), 2.92);
+        // Contribution is the plain accuracy under the fixed threshold.
+        assert_eq!(inst.contribution(WorkerId(0), TaskId(1)), 0.98);
+    }
+}

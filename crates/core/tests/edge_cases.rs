@@ -1,0 +1,237 @@
+//! Edge cases and failure injection across the core algorithms: extreme
+//! parameters, degenerate geometry, and starved streams must produce
+//! clean `Incomplete` outcomes — never panics, hangs, or constraint
+//! violations.
+
+use ltc_core::model::{
+    AccuracyModel, AccuracyTable, Eligibility, Instance, ProblemParams, Task, Worker,
+};
+use ltc_core::offline::{BaseOff, ExactSolver, McfLtc};
+use ltc_core::online::{run_online, Aam, Laf, RandomAssign};
+use ltc_spatial::Point;
+
+fn all_outcomes(inst: &Instance) -> Vec<(&'static str, ltc_core::model::RunOutcome)> {
+    vec![
+        ("mcf", McfLtc::new().run(inst)),
+        ("base", BaseOff::new().run(inst)),
+        ("laf", run_online(inst, &mut Laf::new())),
+        ("aam", run_online(inst, &mut Aam::new())),
+        ("rand", run_online(inst, &mut RandomAssign::seeded(4))),
+    ]
+}
+
+fn assert_all_feasible_or_incomplete(inst: &Instance) {
+    for (name, o) in all_outcomes(inst) {
+        if o.completed {
+            o.arrangement
+                .check_feasible(inst)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        } else {
+            assert_eq!(o.latency(), None, "{name} claimed latency while incomplete");
+        }
+    }
+}
+
+#[test]
+fn near_one_epsilon_makes_tasks_trivial() {
+    // ε = 0.95 ⇒ δ ≈ 0.103: a single decent worker completes a task.
+    let params = ProblemParams::builder()
+        .epsilon(0.95)
+        .capacity(1)
+        .build()
+        .unwrap();
+    let inst = Instance::new(
+        vec![Task::new(Point::ORIGIN); 3],
+        vec![Worker::new(Point::new(1.0, 0.0), 0.9); 5],
+        params,
+    )
+    .unwrap();
+    let o = run_online(&inst, &mut Laf::new());
+    assert!(o.completed);
+    assert_eq!(o.latency(), Some(3), "one worker per task");
+    assert_all_feasible_or_incomplete(&inst);
+}
+
+#[test]
+fn extreme_epsilon_starves_the_stream() {
+    // ε = 0.0001 ⇒ δ ≈ 18.4: fifteen workers cannot finish even 1 task.
+    let params = ProblemParams::builder()
+        .epsilon(1e-4)
+        .capacity(1)
+        .build()
+        .unwrap();
+    let inst = Instance::new(
+        vec![Task::new(Point::ORIGIN)],
+        vec![Worker::new(Point::new(1.0, 0.0), 0.99); 15],
+        params,
+    )
+    .unwrap();
+    assert_all_feasible_or_incomplete(&inst);
+    assert!(!run_online(&inst, &mut Laf::new()).completed);
+}
+
+#[test]
+fn no_workers_at_all() {
+    let params = ProblemParams::default();
+    let inst = Instance::new(vec![Task::new(Point::ORIGIN)], vec![], params).unwrap();
+    assert_all_feasible_or_incomplete(&inst);
+    let exact = ExactSolver::new().solve(&inst).unwrap();
+    assert_eq!(exact.optimal_latency, None);
+}
+
+#[test]
+fn single_worker_single_task() {
+    let params = ProblemParams::builder()
+        .epsilon(0.9)
+        .capacity(1)
+        .build()
+        .unwrap();
+    let inst = Instance::new(
+        vec![Task::new(Point::ORIGIN)],
+        vec![Worker::new(Point::new(0.5, 0.0), 0.95)],
+        params,
+    )
+    .unwrap();
+    for (name, o) in all_outcomes(&inst) {
+        assert!(o.completed, "{name}");
+        assert_eq!(o.latency(), Some(1), "{name}");
+    }
+}
+
+#[test]
+fn all_workers_colocated_with_all_tasks() {
+    // Degenerate geometry: everything at one point (duplicate locations).
+    let params = ProblemParams::builder()
+        .epsilon(0.2)
+        .capacity(2)
+        .build()
+        .unwrap();
+    let inst = Instance::new(
+        vec![Task::new(Point::ORIGIN); 4],
+        vec![Worker::new(Point::ORIGIN, 0.9); 40],
+        params,
+    )
+    .unwrap();
+    assert_all_feasible_or_incomplete(&inst);
+    for (name, o) in all_outcomes(&inst) {
+        assert!(o.completed, "{name} failed on the dense point");
+    }
+}
+
+#[test]
+fn more_capacity_than_tasks() {
+    // K = 8 > |T| = 2: workers take every open task; no waste, no panic.
+    let params = ProblemParams::builder()
+        .epsilon(0.2)
+        .capacity(8)
+        .build()
+        .unwrap();
+    let inst = Instance::new(
+        vec![Task::new(Point::ORIGIN), Task::new(Point::new(2.0, 0.0))],
+        vec![Worker::new(Point::new(1.0, 0.0), 0.9); 20],
+        params,
+    )
+    .unwrap();
+    for (name, o) in all_outcomes(&inst) {
+        assert!(o.completed, "{name}");
+        // δ(0.2) ≈ 3.22, Acc* ≈ 0.64 ⇒ 6 workers serving both tasks each.
+        assert_eq!(o.latency(), Some(6), "{name}");
+    }
+}
+
+#[test]
+fn distant_task_clusters_split_the_stream() {
+    // Two far-apart villages; workers alternate between them. Every
+    // algorithm must route each worker only to its own village.
+    let params = ProblemParams::builder()
+        .epsilon(0.25)
+        .capacity(2)
+        .build()
+        .unwrap();
+    let tasks = vec![
+        Task::new(Point::ORIGIN),
+        Task::new(Point::new(10_000.0, 0.0)),
+    ];
+    let workers: Vec<Worker> = (0..30)
+        .map(|i| {
+            let base = if i % 2 == 0 { 0.0 } else { 10_000.0 };
+            Worker::new(Point::new(base + 1.0, 0.0), 0.92)
+        })
+        .collect();
+    let inst = Instance::new(tasks, workers, params).unwrap();
+    for (name, o) in all_outcomes(&inst) {
+        assert!(o.completed, "{name}");
+        for a in o.arrangement.assignments() {
+            let worker_village = a.worker.0 % 2;
+            assert_eq!(worker_village, a.task.0, "{name} assigned across villages");
+        }
+    }
+}
+
+#[test]
+fn huge_coordinates_do_not_break_the_grid() {
+    let params = ProblemParams::builder()
+        .epsilon(0.3)
+        .capacity(1)
+        .build()
+        .unwrap();
+    let offset = 1e12;
+    let inst = Instance::new(
+        vec![Task::new(Point::new(offset, -offset))],
+        vec![Worker::new(Point::new(offset + 1.0, -offset), 0.95); 4],
+        params,
+    )
+    .unwrap();
+    let o = run_online(&inst, &mut Laf::new());
+    assert!(o.completed);
+}
+
+#[test]
+fn table_model_with_unrestricted_policy() {
+    // Tabular accuracies with the unrestricted policy: all pairs usable.
+    let params = ProblemParams::builder()
+        .epsilon(0.3)
+        .capacity(1)
+        .eligibility(Eligibility::Unrestricted)
+        .build()
+        .unwrap();
+    let table = AccuracyTable::from_rows(&[
+        vec![0.9, 0.9],
+        vec![0.9, 0.9],
+        vec![0.9, 0.9],
+        vec![0.9, 0.9],
+        vec![0.9, 0.9],
+        vec![0.9, 0.9],
+        vec![0.9, 0.9],
+        vec![0.9, 0.9],
+    ]);
+    let inst = Instance::with_accuracy(
+        vec![
+            Task::new(Point::ORIGIN),
+            Task::new(Point::new(9_999.0, 0.0)),
+        ],
+        vec![Worker::new(Point::ORIGIN, 0.9); 8],
+        params,
+        AccuracyModel::Table(table),
+    )
+    .unwrap();
+    let o = run_online(&inst, &mut Aam::new());
+    assert!(o.completed);
+    o.arrangement.check_feasible(&inst).unwrap();
+}
+
+#[test]
+fn early_stop_ignores_trailing_workers() {
+    // A long tail of workers after completion must not affect anything.
+    let params = ProblemParams::builder()
+        .epsilon(0.3)
+        .capacity(1)
+        .build()
+        .unwrap();
+    let mut workers = vec![Worker::new(Point::new(1.0, 0.0), 0.95); 4];
+    workers.extend(vec![Worker::new(Point::new(1.0, 0.0), 0.99); 10_000]);
+    let inst = Instance::new(vec![Task::new(Point::ORIGIN)], workers, params).unwrap();
+    let o = run_online(&inst, &mut Laf::new());
+    assert_eq!(o.latency(), Some(3));
+    assert_eq!(o.arrangement.len(), 3);
+}

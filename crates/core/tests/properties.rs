@@ -1,0 +1,152 @@
+//! Property-based tests: every algorithm's output is feasible on random
+//! instances; the exact solver lower-bounds every heuristic; Theorem 2's
+//! lower bound holds.
+
+use ltc_core::bounds::latency_lower_bound;
+use ltc_core::model::{Instance, ProblemParams, Task, Worker};
+use ltc_core::offline::{BaseOff, ExactSolver, McfLtc};
+use ltc_core::online::{run_online, Aam, Laf, RandomAssign};
+use ltc_spatial::Point;
+use proptest::prelude::*;
+
+/// A random dense-ish instance: tasks and workers in a 60×60 area with
+/// d_max = 30 so most pairs are eligible but some are not.
+fn arb_instance(max_tasks: usize, max_workers: usize) -> impl Strategy<Value = Instance> {
+    let task = (0.0f64..60.0, 0.0f64..60.0).prop_map(|(x, y)| Task::new(Point::new(x, y)));
+    let worker = (0.0f64..60.0, 0.0f64..60.0, 0.70f64..0.99)
+        .prop_map(|(x, y, p)| Worker::new(Point::new(x, y), p));
+    (
+        prop::collection::vec(task, 1..=max_tasks),
+        prop::collection::vec(worker, 1..=max_workers),
+        0.10f64..0.30,
+        1u32..4,
+    )
+        .prop_map(|(tasks, workers, epsilon, k)| {
+            let params = ProblemParams::builder()
+                .epsilon(epsilon)
+                .capacity(k)
+                .d_max(30.0)
+                .build()
+                .unwrap();
+            Instance::new(tasks, workers, params).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever any algorithm outputs, a completed run satisfies every LTC
+    /// constraint, and an incomplete run never claims a latency.
+    #[test]
+    fn all_algorithms_feasible(inst in arb_instance(6, 60)) {
+        let outcomes = vec![
+            ("mcf", McfLtc::new().run(&inst)),
+            ("base", BaseOff::new().run(&inst)),
+            ("laf", run_online(&inst, &mut Laf::new())),
+            ("aam", run_online(&inst, &mut Aam::new())),
+            ("rand", run_online(&inst, &mut RandomAssign::seeded(7))),
+        ];
+        for (name, o) in outcomes {
+            if o.completed {
+                if let Err(e) = o.arrangement.check_feasible(&inst) {
+                    prop_assert!(false, "{} produced infeasible arrangement: {}", name, e);
+                }
+            } else {
+                prop_assert_eq!(o.latency(), None, "{} claimed latency while incomplete", name);
+            }
+        }
+    }
+
+    /// The exact optimum never exceeds any heuristic's latency, and when
+    /// the exact solver says "infeasible" no heuristic completes.
+    #[test]
+    fn exact_is_a_true_lower_bound(inst in arb_instance(3, 10)) {
+        let solver = ExactSolver { node_budget: 3_000_000 };
+        if let Some(exact) = solver.solve(&inst) {
+            let heuristics = vec![
+                ("mcf", McfLtc::new().run(&inst)),
+                ("base", BaseOff::new().run(&inst)),
+                ("laf", run_online(&inst, &mut Laf::new())),
+                ("aam", run_online(&inst, &mut Aam::new())),
+                ("rand", run_online(&inst, &mut RandomAssign::seeded(3))),
+            ];
+            match exact.optimal_latency {
+                Some(opt) => {
+                    for (name, o) in heuristics {
+                        if let Some(l) = o.latency() {
+                            prop_assert!(
+                                l >= opt,
+                                "{} reported latency {} below the optimum {}", name, l, opt
+                            );
+                        }
+                    }
+                }
+                None => {
+                    for (name, o) in heuristics {
+                        prop_assert!(!o.completed, "{} completed an infeasible instance", name);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Theorem 2's lower bound: any completed arrangement has latency at
+    /// least ⌈|T|·δ/K⌉ (contributions never exceed 1).
+    #[test]
+    fn theorem2_lower_bound_holds(inst in arb_instance(5, 80)) {
+        let lb = latency_lower_bound(&inst).ceil() as u32;
+        for o in [
+            McfLtc::new().run(&inst),
+            BaseOff::new().run(&inst),
+            run_online(&inst, &mut Laf::new()),
+            run_online(&inst, &mut Aam::new()),
+        ] {
+            if let Some(l) = o.latency() {
+                prop_assert!(l >= lb, "latency {} below Theorem-2 bound {}", l, lb);
+            }
+        }
+    }
+
+    /// The exact solver's witness arrangement achieves its own optimum.
+    #[test]
+    fn exact_witness_matches_latency(inst in arb_instance(3, 8)) {
+        let solver = ExactSolver { node_budget: 3_000_000 };
+        if let Some(exact) = solver.solve(&inst) {
+            if let Some(opt) = exact.optimal_latency {
+                prop_assert!(exact.outcome.completed);
+                prop_assert_eq!(exact.outcome.arrangement.max_index(), Some(opt));
+                prop_assert!(exact.outcome.arrangement.check_feasible(&inst).is_ok());
+            }
+        }
+    }
+
+    /// Online algorithms are single-pass deterministic: running twice
+    /// yields identical arrangements (Random with the same seed too).
+    #[test]
+    fn online_runs_are_deterministic(inst in arb_instance(5, 40)) {
+        let a = run_online(&inst, &mut Laf::new());
+        let b = run_online(&inst, &mut Laf::new());
+        prop_assert_eq!(a.arrangement.assignments(), b.arrangement.assignments());
+        let c = run_online(&inst, &mut Aam::new());
+        let d = run_online(&inst, &mut Aam::new());
+        prop_assert_eq!(c.arrangement.assignments(), d.arrangement.assignments());
+        let e = run_online(&inst, &mut RandomAssign::seeded(11));
+        let f = run_online(&inst, &mut RandomAssign::seeded(11));
+        prop_assert_eq!(e.arrangement.assignments(), f.arrangement.assignments());
+    }
+
+    /// MCF-LTC's flow phase respects capacities even mid-batch: no worker
+    /// ever holds more than K assignments at any prefix of the commit
+    /// sequence (the invariable constraint means prefixes are real states).
+    #[test]
+    fn commit_prefixes_respect_capacity(inst in arb_instance(6, 50)) {
+        let o = McfLtc::new().run(&inst);
+        let k = inst.params().capacity;
+        let mut load = std::collections::HashMap::new();
+        for a in o.arrangement.assignments() {
+            let l = load.entry(a.worker).or_insert(0u32);
+            *l += 1;
+            prop_assert!(*l <= k);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Minimum-cost maximum-flow with the Successive Shortest Path Algorithm.
+//!
+//! The offline LTC algorithm (MCF-LTC, paper Sec. III) reduces each batch of
+//! workers to a min-cost-flow instance with **real-valued** arc costs
+//! (`−Acc*(w, t) ∈ [−1, 0]`) and solves it with SSPA — the paper picks SSPA
+//! precisely because it handles "large-scale data and many-to-many matching
+//! with real-valued arc costs" (citing Yiu et al., SIGMOD'08). This crate is
+//! that solver, reusable on its own.
+//!
+//! * integer capacities, `f64` costs (may be negative),
+//! * Bellman–Ford initialization of Johnson potentials when negative arcs
+//!   are present, then Dijkstra with reduced costs per augmentation,
+//! * flow extraction per edge for building arrangements from a solution.
+//!
+//! # Example
+//!
+//! ```
+//! use ltc_mcmf::FlowNetwork;
+//!
+//! let mut net = FlowNetwork::new();
+//! let s = net.add_node();
+//! let a = net.add_node();
+//! let t = net.add_node();
+//! let sa = net.add_edge(s, a, 2, 1.0);
+//! let at = net.add_edge(a, t, 2, 1.5);
+//! let outcome = net.min_cost_max_flow(s, t);
+//! assert_eq!(outcome.flow, 2);
+//! assert!((outcome.cost - 5.0).abs() < 1e-9);
+//! assert_eq!(net.flow_on(sa), 2);
+//! assert_eq!(net.flow_on(at), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod network;
+mod sspa;
+
+pub use network::{EdgeId, FlowNetwork, NodeId};
+pub use sspa::FlowOutcome;

@@ -1,0 +1,372 @@
+//! Successive Shortest Path Algorithm with Johnson potentials.
+
+use crate::network::FlowNetwork;
+use crate::NodeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Numerical slack for floating-point cost comparisons. Costs in the LTC
+/// reduction are `O(1)` per arc and paths have 3 arcs, so `1e-9` is far
+/// below any meaningful cost difference yet far above accumulated rounding.
+const COST_EPS: f64 = 1e-9;
+
+/// Result of a min-cost max-flow computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowOutcome {
+    /// Total flow pushed from source to sink (the maximum flow value).
+    pub flow: i64,
+    /// Total cost `Σ flow(e) · cost(e)` of that flow, minimal among all
+    /// maximum flows.
+    pub cost: f64,
+    /// Number of augmenting iterations performed (diagnostics).
+    pub iterations: usize,
+}
+
+/// Heap entry ordered by smallest distance first.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need the min distance.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("distances are finite")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl FlowNetwork {
+    /// Computes a minimum-cost maximum flow from `source` to `sink`,
+    /// leaving the flow recorded on the network (read it back per edge with
+    /// [`FlowNetwork::flow_on`]).
+    ///
+    /// Uses SSPA: repeatedly augment along a cheapest residual path.
+    /// Potentials keep reduced costs non-negative so Dijkstra applies; when
+    /// the network was built with negative-cost arcs the potentials are
+    /// initialized with one Bellman–Ford pass, otherwise they start at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source == sink` or if a negative-cost *cycle* is
+    /// reachable in the initial residual network (impossible for networks
+    /// whose negative arcs all leave a single source layer, as in the LTC
+    /// reduction; the general case is guarded for safety).
+    pub fn min_cost_max_flow(&mut self, source: NodeId, sink: NodeId) -> FlowOutcome {
+        assert_ne!(source, sink, "source and sink must differ");
+        let n = self.node_count();
+        let s = source.index();
+        let t = sink.index();
+
+        let mut potential = vec![0.0f64; n];
+        if self.has_negative_cost() {
+            self.bellman_ford_potentials(s, &mut potential);
+        }
+
+        let mut total_flow = 0i64;
+        let mut total_cost = 0.0f64;
+        let mut iterations = 0usize;
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev_arc: Vec<u32> = vec![u32::MAX; n];
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+
+        loop {
+            // Dijkstra on reduced costs, terminating as soon as the sink
+            // is settled — nodes farther than the sink cannot lie on this
+            // augmenting path.
+            dist.iter_mut().for_each(|d| *d = f64::INFINITY);
+            prev_arc.iter_mut().for_each(|p| *p = u32::MAX);
+            heap.clear();
+            dist[s] = 0.0;
+            heap.push(HeapEntry {
+                dist: 0.0,
+                node: s as u32,
+            });
+            let mut sink_dist = f64::INFINITY;
+            while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+                let u = node as usize;
+                if d > dist[u] + COST_EPS {
+                    continue; // stale entry
+                }
+                if u == t {
+                    sink_dist = d;
+                    break;
+                }
+                for &arc_idx in &self.adj[u] {
+                    let arc = &self.arcs[arc_idx as usize];
+                    if arc.cap <= 0 {
+                        continue;
+                    }
+                    let v = arc.to as usize;
+                    let reduced = arc.cost + potential[u] - potential[v];
+                    debug_assert!(
+                        reduced >= -1e-6,
+                        "reduced cost must stay non-negative, got {reduced}"
+                    );
+                    let nd = dist[u] + reduced.max(0.0);
+                    if nd + COST_EPS < dist[v] {
+                        dist[v] = nd;
+                        prev_arc[v] = arc_idx;
+                        heap.push(HeapEntry {
+                            dist: nd,
+                            node: v as u32,
+                        });
+                    }
+                }
+            }
+
+            if !sink_dist.is_finite() {
+                break; // sink unreachable: max flow found
+            }
+            iterations += 1;
+
+            // Johnson update with early termination: π'(v) = π(v) +
+            // min(dist(v), dist(t)) keeps every residual reduced cost
+            // non-negative (nodes beyond the sink, settled or not, shift
+            // by the sink distance).
+            for v in 0..n {
+                potential[v] += dist[v].min(sink_dist);
+            }
+
+            // Find the bottleneck along the path and augment.
+            let mut bottleneck = i64::MAX;
+            let mut v = t;
+            while v != s {
+                let arc_idx = prev_arc[v] as usize;
+                bottleneck = bottleneck.min(self.arcs[arc_idx].cap);
+                v = self.arcs[arc_idx ^ 1].to as usize;
+            }
+            debug_assert!(bottleneck > 0 && bottleneck < i64::MAX);
+
+            let mut v = t;
+            while v != s {
+                let arc_idx = prev_arc[v] as usize;
+                self.arcs[arc_idx].cap -= bottleneck;
+                self.arcs[arc_idx ^ 1].cap += bottleneck;
+                total_cost += self.arcs[arc_idx].cost * bottleneck as f64;
+                v = self.arcs[arc_idx ^ 1].to as usize;
+            }
+            total_flow += bottleneck;
+        }
+
+        FlowOutcome {
+            flow: total_flow,
+            cost: total_cost,
+            iterations,
+        }
+    }
+
+    /// Bellman–Ford from `s` to seed the potentials when negative arcs
+    /// exist. Nodes unreachable from `s` keep potential 0 (they can never
+    /// be on an augmenting path from `s` either).
+    fn bellman_ford_potentials(&self, s: usize, potential: &mut [f64]) {
+        let n = self.node_count();
+        let mut dist = vec![f64::INFINITY; n];
+        dist[s] = 0.0;
+        let mut changed = true;
+        let mut rounds = 0usize;
+        while changed {
+            changed = false;
+            rounds += 1;
+            assert!(
+                rounds <= n + 1,
+                "negative-cost cycle detected in the residual network"
+            );
+            for u in 0..n {
+                if !dist[u].is_finite() {
+                    continue;
+                }
+                for &arc_idx in &self.adj[u] {
+                    let arc = &self.arcs[arc_idx as usize];
+                    if arc.cap <= 0 {
+                        continue;
+                    }
+                    let v = arc.to as usize;
+                    let nd = dist[u] + arc.cost;
+                    if nd + COST_EPS < dist[v] {
+                        dist[v] = nd;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        for v in 0..n {
+            if dist[v].is_finite() {
+                potential[v] = dist[v];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::FlowNetwork;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let t = net.add_node();
+        let e = net.add_edge(s, t, 7, 3.0);
+        let out = net.min_cost_max_flow(s, t);
+        assert_eq!(out.flow, 7);
+        assert!(close(out.cost, 21.0));
+        assert_eq!(net.flow_on(e), 7);
+    }
+
+    #[test]
+    fn chooses_cheaper_parallel_path() {
+        // s → a → t (cost 1) and s → b → t (cost 10), both capacity 1;
+        // sink edge capacity 1 total, so only the cheap path is used.
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let b = net.add_node();
+        let m = net.add_node();
+        let t = net.add_node();
+        net.add_edge(s, a, 1, 0.0);
+        net.add_edge(s, b, 1, 0.0);
+        let ea = net.add_edge(a, m, 1, 1.0);
+        let eb = net.add_edge(b, m, 1, 10.0);
+        net.add_edge(m, t, 1, 0.0);
+        let out = net.min_cost_max_flow(s, t);
+        assert_eq!(out.flow, 1);
+        assert!(close(out.cost, 1.0));
+        assert_eq!(net.flow_on(ea), 1);
+        assert_eq!(net.flow_on(eb), 0);
+    }
+
+    #[test]
+    fn max_flow_takes_priority_over_cost() {
+        // The only way to reach flow 2 uses the expensive edge; SSPA must
+        // still find the max flow.
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let t = net.add_node();
+        net.add_edge(s, a, 2, 0.0);
+        net.add_edge(a, t, 1, 1.0);
+        net.add_edge(a, t, 1, 100.0);
+        let out = net.min_cost_max_flow(s, t);
+        assert_eq!(out.flow, 2);
+        assert!(close(out.cost, 101.0));
+    }
+
+    #[test]
+    fn rerouting_through_residual_arcs() {
+        // Classic case where a later augmentation must cancel part of an
+        // earlier one to achieve the min-cost max flow.
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let b = net.add_node();
+        let t = net.add_node();
+        net.add_edge(s, a, 1, 1.0);
+        net.add_edge(s, b, 1, 4.0);
+        net.add_edge(a, b, 1, 1.0);
+        net.add_edge(a, t, 1, 6.0);
+        net.add_edge(b, t, 2, 1.0);
+        let out = net.min_cost_max_flow(s, t);
+        assert_eq!(out.flow, 2);
+        // Optimal: s→a→b→t (cost 3) + s→b→t (cost 5) = 8.
+        assert!(close(out.cost, 8.0), "cost was {}", out.cost);
+    }
+
+    #[test]
+    fn negative_costs_bipartite_assignment() {
+        // Two workers, two tasks; costs are -Acc*. The solver must pick the
+        // assignment maximizing total Acc* (perfect matching, cost -1.7).
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let w1 = net.add_node();
+        let w2 = net.add_node();
+        let t1 = net.add_node();
+        let t2 = net.add_node();
+        let t = net.add_node();
+        net.add_edge(s, w1, 1, 0.0);
+        net.add_edge(s, w2, 1, 0.0);
+        net.add_edge(w1, t1, 1, -0.9);
+        net.add_edge(w1, t2, 1, -0.3);
+        net.add_edge(w2, t1, 1, -0.5);
+        net.add_edge(w2, t2, 1, -0.8);
+        net.add_edge(t1, t, 1, 0.0);
+        net.add_edge(t2, t, 1, 0.0);
+        let out = net.min_cost_max_flow(s, t);
+        assert_eq!(out.flow, 2);
+        assert!(close(out.cost, -1.7), "cost was {}", out.cost);
+    }
+
+    #[test]
+    fn disconnected_sink_gives_zero_flow() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let t = net.add_node();
+        net.add_edge(s, a, 5, 1.0);
+        let out = net.min_cost_max_flow(s, t);
+        assert_eq!(out.flow, 0);
+        assert_eq!(out.cost, 0.0);
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn zero_capacity_edge_carries_nothing() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let t = net.add_node();
+        let e = net.add_edge(s, t, 0, 1.0);
+        let out = net.min_cost_max_flow(s, t);
+        assert_eq!(out.flow, 0);
+        assert_eq!(net.flow_on(e), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "source and sink must differ")]
+    fn same_source_sink_panics() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        net.min_cost_max_flow(s, s);
+    }
+
+    #[test]
+    fn many_to_many_with_capacities() {
+        // 3 workers (capacity 2 each) × 2 tasks needing 3 units each:
+        // total flow min(6, 6) = 6.
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let workers: Vec<_> = (0..3).map(|_| net.add_node()).collect();
+        let tasks: Vec<_> = (0..2).map(|_| net.add_node()).collect();
+        let t = net.add_node();
+        for &w in &workers {
+            net.add_edge(s, w, 2, 0.0);
+        }
+        let mut cost = 0.1;
+        for &w in &workers {
+            for &task in &tasks {
+                net.add_edge(w, task, 1, cost);
+                cost += 0.1;
+            }
+        }
+        for &task in &tasks {
+            net.add_edge(task, t, 3, 0.0);
+        }
+        let out = net.min_cost_max_flow(s, t);
+        assert_eq!(out.flow, 6);
+    }
+}

@@ -1,0 +1,405 @@
+//! Truth inference: recovering task labels from raw crowd answers.
+//!
+//! The paper's platform model (Def. 4) aggregates with weighted majority
+//! voting using the *predicted* accuracies. Real platforms often do not
+//! trust those priors and instead *infer* both the labels and the worker
+//! accuracies from the answer matrix (the paper's Sec. VI-A cites this
+//! line of work). This module implements the three standard binary
+//! aggregators so the simulation can compare them:
+//!
+//! * [`infer_majority`] — unweighted majority voting,
+//! * [`infer_weighted`] — the paper's Def. 4 with given accuracy priors,
+//! * [`infer_em`] — one-coin Dawid–Skene expectation–maximization that
+//!   jointly estimates per-worker accuracies and label posteriors.
+
+use crate::{sample_answer, GroundTruth};
+use ltc_core::model::{Arrangement, Instance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A sparse matrix of crowd answers: one `±1` answer per committed
+/// `(worker, task)` assignment.
+#[derive(Debug, Clone, Default)]
+pub struct AnswerSet {
+    n_tasks: usize,
+    n_workers: usize,
+    /// `(task, worker, answer)` triples.
+    answers: Vec<(u32, u32, i8)>,
+}
+
+impl AnswerSet {
+    /// An empty answer set over the given dimensions.
+    pub fn new(n_tasks: usize, n_workers: usize) -> Self {
+        Self {
+            n_tasks,
+            n_workers,
+            answers: Vec::new(),
+        }
+    }
+
+    /// Records an answer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range ids or an answer other than `±1`.
+    pub fn push(&mut self, task: u32, worker: u32, answer: i8) {
+        assert!((task as usize) < self.n_tasks, "task id out of range");
+        assert!((worker as usize) < self.n_workers, "worker id out of range");
+        assert!(answer == 1 || answer == -1, "answers must be ±1");
+        self.answers.push((task, worker, answer));
+    }
+
+    /// Number of recorded answers.
+    pub fn len(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// Whether no answers were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.answers.is_empty()
+    }
+
+    /// Number of tasks covered by the matrix.
+    pub fn n_tasks(&self) -> usize {
+        self.n_tasks
+    }
+
+    /// Samples one full crowdsourcing round of an arrangement: every
+    /// assigned worker answers each of their tasks, correct with
+    /// probability `Acc(w,t)` (frozen at assignment time). Deterministic
+    /// per seed.
+    pub fn collect(
+        instance: &Instance,
+        arrangement: &Arrangement,
+        truth: &GroundTruth,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            truth.len(),
+            instance.n_tasks(),
+            "truth must cover all tasks"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut set = Self::new(instance.n_tasks(), instance.n_workers());
+        for a in arrangement.assignments() {
+            let answer = sample_answer(&mut rng, a.acc, truth.label(a.task.index()));
+            set.push(a.task.0, a.worker.0, answer);
+        }
+        set
+    }
+}
+
+/// Unweighted majority voting. Returns one label per task: `+1`/`−1`, or
+/// `0` for ties and unanswered tasks.
+pub fn infer_majority(answers: &AnswerSet) -> Vec<i8> {
+    let mut sums = vec![0i64; answers.n_tasks];
+    for &(t, _, a) in &answers.answers {
+        sums[t as usize] += a as i64;
+    }
+    sums.into_iter().map(|s| s.signum() as i8).collect()
+}
+
+/// Weighted majority voting with per-worker accuracy priors (weights
+/// `2·p_w − 1`, the paper's Def. 4 at the worker granularity).
+///
+/// # Panics
+///
+/// Panics if `worker_accuracy` does not cover every worker.
+pub fn infer_weighted(answers: &AnswerSet, worker_accuracy: &[f64]) -> Vec<i8> {
+    assert!(
+        worker_accuracy.len() >= answers.n_workers,
+        "need an accuracy prior per worker"
+    );
+    let mut sums = vec![0.0f64; answers.n_tasks];
+    for &(t, w, a) in &answers.answers {
+        sums[t as usize] += (2.0 * worker_accuracy[w as usize] - 1.0) * a as f64;
+    }
+    sums.into_iter()
+        .map(|s| {
+            if s > 0.0 {
+                1
+            } else if s < 0.0 {
+                -1
+            } else {
+                0
+            }
+        })
+        .collect()
+}
+
+/// Configuration of the EM aggregator.
+#[derive(Debug, Clone, Copy)]
+pub struct EmConfig {
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Stop once no worker-accuracy estimate moves by more than this.
+    pub tolerance: f64,
+    /// Initial accuracy estimate for every worker.
+    pub initial_accuracy: f64,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        Self {
+            max_iters: 50,
+            tolerance: 1e-6,
+            initial_accuracy: 0.7,
+        }
+    }
+}
+
+/// Result of [`infer_em`].
+#[derive(Debug, Clone)]
+pub struct EmResult {
+    /// Inferred labels (`0` = undecided / unanswered).
+    pub labels: Vec<i8>,
+    /// Posterior `P(y_t = +1)` per task (0.5 when unanswered).
+    pub posteriors: Vec<f64>,
+    /// Estimated per-worker accuracies.
+    pub worker_accuracy: Vec<f64>,
+    /// EM iterations performed.
+    pub iterations: usize,
+}
+
+/// One-coin Dawid–Skene EM: alternates between label posteriors given the
+/// current worker accuracies (E-step, uniform label prior) and maximum-
+/// likelihood accuracy estimates given the posteriors (M-step). Estimates
+/// are clamped to `[0.05, 0.95]` to keep the likelihood bounded.
+pub fn infer_em(answers: &AnswerSet, config: EmConfig) -> EmResult {
+    let nt = answers.n_tasks;
+    let nw = answers.n_workers;
+    let mut acc = vec![config.initial_accuracy.clamp(0.05, 0.95); nw];
+    let mut posteriors = vec![0.5f64; nt];
+
+    // Per-task answer lists, built once.
+    let mut per_task: Vec<Vec<(u32, i8)>> = vec![Vec::new(); nt];
+    for &(t, w, a) in &answers.answers {
+        per_task[t as usize].push((w, a));
+    }
+    // Per-worker answer counts for the M-step denominator.
+    let mut per_worker_n = vec![0usize; nw];
+    for &(_, w, _) in &answers.answers {
+        per_worker_n[w as usize] += 1;
+    }
+
+    let mut iterations = 0;
+    for _ in 0..config.max_iters {
+        iterations += 1;
+        // E-step: log-odds of y_t = +1.
+        for (t, votes) in per_task.iter().enumerate() {
+            if votes.is_empty() {
+                posteriors[t] = 0.5;
+                continue;
+            }
+            let mut log_odds = 0.0f64;
+            for &(w, a) in votes {
+                let p = acc[w as usize];
+                let lr = (p / (1.0 - p)).ln();
+                log_odds += lr * a as f64;
+            }
+            posteriors[t] = 1.0 / (1.0 + (-log_odds).exp());
+        }
+        // M-step: expected fraction of correct answers per worker.
+        let mut correct = vec![0.0f64; nw];
+        for &(t, w, a) in &answers.answers {
+            let q = posteriors[t as usize];
+            correct[w as usize] += if a == 1 { q } else { 1.0 - q };
+        }
+        let mut max_delta = 0.0f64;
+        for w in 0..nw {
+            if per_worker_n[w] == 0 {
+                continue;
+            }
+            let new = (correct[w] / per_worker_n[w] as f64).clamp(0.05, 0.95);
+            max_delta = max_delta.max((new - acc[w]).abs());
+            acc[w] = new;
+        }
+        if max_delta < config.tolerance {
+            break;
+        }
+    }
+
+    let labels = posteriors
+        .iter()
+        .enumerate()
+        .map(|(t, &q)| {
+            if per_task[t].is_empty() {
+                0
+            } else if q > 0.5 {
+                1
+            } else if q < 0.5 {
+                -1
+            } else {
+                0
+            }
+        })
+        .collect();
+    EmResult {
+        labels,
+        posteriors,
+        worker_accuracy: acc,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Builds an answer set with known truth: `n_good` workers at 0.95
+    /// accuracy and `n_bad` at 0.55, every worker answering every task.
+    fn synthetic(
+        n_tasks: usize,
+        n_good: usize,
+        n_bad: usize,
+        seed: u64,
+    ) -> (AnswerSet, GroundTruth, Vec<f64>) {
+        let truth = GroundTruth::random(n_tasks, seed);
+        let n_workers = n_good + n_bad;
+        let accs: Vec<f64> = (0..n_workers)
+            .map(|w| if w < n_good { 0.95 } else { 0.55 })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD5);
+        let mut set = AnswerSet::new(n_tasks, n_workers);
+        for t in 0..n_tasks {
+            #[allow(clippy::needless_range_loop)]
+            for w in 0..n_workers {
+                let a = if rng.gen::<f64>() < accs[w] {
+                    truth.label(t)
+                } else {
+                    -truth.label(t)
+                };
+                set.push(t as u32, w as u32, a);
+            }
+        }
+        (set, truth, accs)
+    }
+
+    fn error_rate(labels: &[i8], truth: &GroundTruth) -> f64 {
+        let wrong = labels
+            .iter()
+            .enumerate()
+            .filter(|(t, &l)| l != truth.label(*t))
+            .count();
+        wrong as f64 / labels.len() as f64
+    }
+
+    #[test]
+    fn majority_on_unanimous_answers() {
+        let mut set = AnswerSet::new(2, 3);
+        for w in 0..3 {
+            set.push(0, w, 1);
+            set.push(1, w, -1);
+        }
+        assert_eq!(infer_majority(&set), vec![1, -1]);
+    }
+
+    #[test]
+    fn majority_tie_is_undecided() {
+        let mut set = AnswerSet::new(1, 2);
+        set.push(0, 0, 1);
+        set.push(0, 1, -1);
+        assert_eq!(infer_majority(&set), vec![0]);
+    }
+
+    #[test]
+    fn unanswered_tasks_are_undecided_everywhere() {
+        let set = AnswerSet::new(3, 2);
+        assert_eq!(infer_majority(&set), vec![0, 0, 0]);
+        assert_eq!(infer_weighted(&set, &[0.9, 0.9]), vec![0, 0, 0]);
+        let em = infer_em(&set, EmConfig::default());
+        assert_eq!(em.labels, vec![0, 0, 0]);
+        assert!(em.posteriors.iter().all(|&q| (q - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn weighted_respects_priors() {
+        // One strong worker against two weak ones.
+        let mut set = AnswerSet::new(1, 3);
+        set.push(0, 0, -1);
+        set.push(0, 1, 1);
+        set.push(0, 2, 1);
+        assert_eq!(infer_weighted(&set, &[0.98, 0.6, 0.6]), vec![-1]);
+        assert_eq!(infer_majority(&set), vec![1]);
+    }
+
+    #[test]
+    fn em_beats_plain_majority_with_heterogeneous_workers() {
+        // 3 good vs 9 bad workers: plain majority is dominated by the bad
+        // crowd; EM learns who to trust.
+        let mut majority_err = 0.0;
+        let mut em_err = 0.0;
+        let trials = 10;
+        for seed in 0..trials {
+            let (set, truth, _) = synthetic(60, 3, 9, seed);
+            majority_err += error_rate(&infer_majority(&set), &truth);
+            em_err += error_rate(&infer_em(&set, EmConfig::default()).labels, &truth);
+        }
+        majority_err /= trials as f64;
+        em_err /= trials as f64;
+        assert!(
+            em_err < majority_err,
+            "EM ({em_err:.3}) should beat majority ({majority_err:.3})"
+        );
+        assert!(em_err < 0.08, "EM error too high: {em_err:.3}");
+    }
+
+    #[test]
+    fn em_recovers_worker_accuracies() {
+        let (set, _, accs) = synthetic(200, 4, 4, 3);
+        let em = infer_em(&set, EmConfig::default());
+        for (w, (&est, &real)) in em.worker_accuracy.iter().zip(accs.iter()).enumerate() {
+            // Label-flip symmetry can invert everything; with a majority
+            // of informative workers it settles on the right polarity.
+            assert!(
+                (est - real).abs() < 0.12,
+                "worker {w}: estimated {est:.2} vs true {real:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn em_converges_and_reports_iterations() {
+        let (set, _, _) = synthetic(50, 5, 2, 9);
+        let em = infer_em(
+            &set,
+            EmConfig {
+                max_iters: 100,
+                ..EmConfig::default()
+            },
+        );
+        assert!(em.iterations < 100, "EM failed to converge early");
+    }
+
+    #[test]
+    fn collect_matches_arrangement_size() {
+        use ltc_core::model::{ProblemParams, Task, Worker};
+        use ltc_core::online::{run_online, Laf};
+        use ltc_spatial::Point;
+        let params = ProblemParams::builder()
+            .epsilon(0.2)
+            .capacity(2)
+            .build()
+            .unwrap();
+        let inst = Instance::new(
+            vec![Task::new(Point::ORIGIN), Task::new(Point::new(3.0, 0.0))],
+            vec![Worker::new(Point::new(1.0, 0.0), 0.9); 20],
+            params,
+        )
+        .unwrap();
+        let outcome = run_online(&inst, &mut Laf::new());
+        let truth = GroundTruth::all_yes(2);
+        let set = AnswerSet::collect(&inst, &outcome.arrangement, &truth, 5);
+        assert_eq!(set.len(), outcome.arrangement.len());
+        // With 0.9-accurate workers the inferred labels match the truth.
+        let labels = infer_em(&set, EmConfig::default()).labels;
+        assert_eq!(labels, vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "answers must be ±1")]
+    fn push_validates_answer() {
+        AnswerSet::new(1, 1).push(0, 0, 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! End-to-end crowdsourcing answer simulation for LTC (paper Def. 4).
+//!
+//! The LTC algorithms guarantee task quality *indirectly*: they accumulate
+//! `Acc*` until the Hoeffding bound says weighted majority voting errs
+//! with probability below `ε`. This crate closes the loop empirically:
+//!
+//! 1. give every task a ground-truth binary label ([`GroundTruth`]),
+//! 2. sample each assigned worker's answer — correct with probability
+//!    `Acc(w,t)` ([`sample_answer`]),
+//! 3. aggregate with the paper's weighted majority voting, weights
+//!    `2·Acc(w,t) − 1` ([`weighted_majority`]),
+//! 4. repeat over many trials and report per-task empirical error rates
+//!    ([`simulate`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ltc_core::online::{run_online, Aam};
+//! use ltc_core::toy::toy_instance;
+//! use ltc_sim::{simulate, GroundTruth};
+//!
+//! let instance = toy_instance(0.2);
+//! let outcome = run_online(&instance, &mut Aam::new());
+//! let truth = GroundTruth::random(instance.n_tasks(), 42);
+//! let report = simulate(&instance, &outcome.arrangement, &truth, 2000, 7);
+//! // ε = 0.2: every completed task errs well below the tolerance.
+//! assert!(report.max_task_error_rate() < 0.2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod inference;
+mod report;
+mod truth;
+mod voting;
+
+pub use inference::{infer_em, infer_majority, infer_weighted, AnswerSet, EmConfig, EmResult};
+pub use report::{simulate, SimulationReport};
+pub use truth::{sample_answer, GroundTruth};
+pub use voting::{weighted_majority, Vote};

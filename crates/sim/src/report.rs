@@ -1,0 +1,204 @@
+//! Monte-Carlo error-rate reports over an arrangement.
+
+use crate::{sample_answer, weighted_majority, GroundTruth};
+use ltc_core::model::{Arrangement, Instance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Empirical error rates of an arrangement under repeated answer sampling.
+#[derive(Debug, Clone)]
+pub struct SimulationReport {
+    trials: usize,
+    /// Per-task count of trials whose aggregated label was wrong (or
+    /// undecided).
+    errors: Vec<usize>,
+}
+
+impl SimulationReport {
+    /// Number of Monte-Carlo trials behind the report.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Empirical error rate of one task.
+    pub fn task_error_rate(&self, task: usize) -> f64 {
+        self.errors[task] as f64 / self.trials as f64
+    }
+
+    /// Error rates for all tasks.
+    pub fn task_error_rates(&self) -> Vec<f64> {
+        (0..self.errors.len())
+            .map(|t| self.task_error_rate(t))
+            .collect()
+    }
+
+    /// The worst per-task error rate — the quantity the paper's error-rate
+    /// constraint bounds by `ε`.
+    pub fn max_task_error_rate(&self) -> f64 {
+        self.task_error_rates().into_iter().fold(0.0, f64::max)
+    }
+
+    /// Mean error rate across tasks.
+    pub fn mean_task_error_rate(&self) -> f64 {
+        let n = self.errors.len().max(1);
+        self.task_error_rates().into_iter().sum::<f64>() / n as f64
+    }
+}
+
+/// Simulates `trials` independent crowdsourcing rounds of the arrangement:
+/// every assigned worker answers every one of their tasks (correct with
+/// probability `Acc(w,t)` frozen at assignment time), answers are
+/// aggregated by weighted majority voting, and disagreements with the
+/// ground truth are counted. Undecided votes (no answers or an exact tie)
+/// count as errors.
+///
+/// # Panics
+///
+/// Panics if `truth` does not cover the instance's tasks or `trials` is
+/// zero.
+pub fn simulate(
+    instance: &Instance,
+    arrangement: &Arrangement,
+    truth: &GroundTruth,
+    trials: usize,
+    seed: u64,
+) -> SimulationReport {
+    assert_eq!(
+        truth.len(),
+        instance.n_tasks(),
+        "ground truth must cover every task"
+    );
+    assert!(trials > 0, "at least one trial is required");
+    let n_tasks = instance.n_tasks();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Group assignments per task once.
+    let mut per_task: Vec<Vec<f64>> = vec![Vec::new(); n_tasks];
+    for a in arrangement.assignments() {
+        per_task[a.task.index()].push(a.acc);
+    }
+
+    let mut errors = vec![0usize; n_tasks];
+    for _ in 0..trials {
+        for (t, accs) in per_task.iter().enumerate() {
+            let label = truth.label(t);
+            let vote = weighted_majority(
+                accs.iter()
+                    .map(|&acc| (acc, sample_answer(&mut rng, acc, label))),
+            );
+            if vote.label != label {
+                errors[t] += 1;
+            }
+        }
+    }
+    SimulationReport { trials, errors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltc_core::model::{ProblemParams, Task, Worker};
+    use ltc_core::online::{run_online, Laf};
+    use ltc_spatial::Point;
+
+    fn completed_instance() -> (Instance, Arrangement) {
+        let params = ProblemParams::builder()
+            .epsilon(0.2)
+            .capacity(1)
+            .build()
+            .unwrap();
+        let inst = Instance::new(
+            vec![Task::new(Point::ORIGIN)],
+            vec![Worker::new(Point::new(1.0, 0.0), 0.95); 10],
+            params,
+        )
+        .unwrap();
+        let outcome = run_online(&inst, &mut Laf::new());
+        assert!(outcome.completed);
+        (inst, outcome.arrangement)
+    }
+
+    #[test]
+    fn completed_tasks_err_below_epsilon() {
+        let (inst, arr) = completed_instance();
+        let truth = GroundTruth::all_yes(1);
+        let report = simulate(&inst, &arr, &truth, 5000, 1);
+        // ε = 0.2; the Hoeffding bound is loose, so the empirical error is
+        // far below it (a handful of 0.95-accurate workers almost never
+        // lose a weighted vote).
+        assert!(
+            report.max_task_error_rate() < 0.2,
+            "error rate {}",
+            report.max_task_error_rate()
+        );
+    }
+
+    #[test]
+    fn unassigned_task_always_errs() {
+        let params = ProblemParams::builder()
+            .epsilon(0.2)
+            .capacity(1)
+            .build()
+            .unwrap();
+        let inst = Instance::new(
+            vec![Task::new(Point::ORIGIN), Task::new(Point::new(2.0, 0.0))],
+            vec![Worker::new(Point::new(1.0, 0.0), 0.95); 2],
+            params,
+        )
+        .unwrap();
+        // Empty arrangement: both tasks undecided in every trial.
+        let report = simulate(&inst, &Arrangement::new(), &GroundTruth::all_yes(2), 50, 3);
+        assert_eq!(report.task_error_rate(0), 1.0);
+        assert_eq!(report.task_error_rate(1), 1.0);
+        assert_eq!(report.mean_task_error_rate(), 1.0);
+    }
+
+    #[test]
+    fn reports_are_deterministic_per_seed() {
+        let (inst, arr) = completed_instance();
+        let truth = GroundTruth::all_yes(1);
+        let a = simulate(&inst, &arr, &truth, 500, 9);
+        let b = simulate(&inst, &arr, &truth, 500, 9);
+        assert_eq!(a.task_error_rates(), b.task_error_rates());
+    }
+
+    #[test]
+    #[should_panic(expected = "ground truth must cover")]
+    fn truth_size_mismatch_panics() {
+        let (inst, arr) = completed_instance();
+        simulate(&inst, &arr, &GroundTruth::all_yes(5), 10, 0);
+    }
+
+    /// Statistical validation of the Hoeffding machinery itself: a task
+    /// whose accumulated Acc* just reaches δ errs below ε.
+    #[test]
+    fn hoeffding_bound_holds_at_threshold() {
+        // Workers at accuracy 0.75: Acc* = 0.25; ε = 0.3 ⇒ δ ≈ 2.41 ⇒ 10
+        // workers needed — S barely exceeds δ.
+        let params = ProblemParams::builder()
+            .epsilon(0.3)
+            .capacity(1)
+            .build()
+            .unwrap();
+        let inst = Instance::new(
+            vec![Task::new(Point::ORIGIN)],
+            vec![Worker::new(Point::new(1.0, 0.0), 0.75); 30],
+            params,
+        )
+        .unwrap();
+        let outcome = run_online(&inst, &mut Laf::new());
+        assert!(outcome.completed);
+        let report = simulate(
+            &inst,
+            &outcome.arrangement,
+            &GroundTruth::all_yes(1),
+            20_000,
+            5,
+        );
+        assert!(
+            report.max_task_error_rate() < 0.3,
+            "Hoeffding bound violated: {}",
+            report.max_task_error_rate()
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Ground-truth labels and worker response sampling.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The true binary answer of every task (`+1` = YES, `−1` = NO, paper
+/// Def. 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundTruth {
+    labels: Vec<i8>,
+}
+
+impl GroundTruth {
+    /// Uniformly random labels, deterministic per seed.
+    pub fn random(n_tasks: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self {
+            labels: (0..n_tasks)
+                .map(|_| if rng.gen::<bool>() { 1 } else { -1 })
+                .collect(),
+        }
+    }
+
+    /// All tasks answer YES — handy for deterministic tests.
+    pub fn all_yes(n_tasks: usize) -> Self {
+        Self {
+            labels: vec![1; n_tasks],
+        }
+    }
+
+    /// Explicit labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any label is not `+1` or `−1`.
+    pub fn from_labels(labels: Vec<i8>) -> Self {
+        assert!(
+            labels.iter().all(|&l| l == 1 || l == -1),
+            "labels must be +1 or -1"
+        );
+        Self { labels }
+    }
+
+    /// The label of a task.
+    #[inline]
+    pub fn label(&self, task: usize) -> i8 {
+        self.labels[task]
+    }
+
+    /// Number of tasks covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the truth covers zero tasks.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Samples a worker's answer to a task: the true label with probability
+/// `acc`, the opposite otherwise.
+#[inline]
+pub fn sample_answer<R: Rng + ?Sized>(rng: &mut R, acc: f64, truth: i8) -> i8 {
+    debug_assert!((0.0..=1.0).contains(&acc), "accuracy out of range: {acc}");
+    if rng.gen::<f64>() < acc {
+        truth
+    } else {
+        -truth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_truth_is_deterministic() {
+        assert_eq!(GroundTruth::random(50, 1), GroundTruth::random(50, 1));
+    }
+
+    #[test]
+    fn random_truth_mixes_labels() {
+        let t = GroundTruth::random(200, 3);
+        let yes = (0..200).filter(|&i| t.label(i) == 1).count();
+        assert!(yes > 50 && yes < 150, "suspicious label balance: {yes}");
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be")]
+    fn from_labels_validates() {
+        GroundTruth::from_labels(vec![1, 0, -1]);
+    }
+
+    #[test]
+    fn sample_answer_frequency_matches_accuracy() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 50_000;
+        let correct = (0..n)
+            .filter(|_| sample_answer(&mut rng, 0.8, 1) == 1)
+            .count();
+        let freq = correct as f64 / n as f64;
+        assert!((freq - 0.8).abs() < 0.01, "empirical accuracy {freq}");
+    }
+
+    #[test]
+    fn sample_answer_flips_label() {
+        let mut rng = StdRng::seed_from_u64(10);
+        // acc = 0 always flips.
+        for truth in [1i8, -1] {
+            assert_eq!(sample_answer(&mut rng, 0.0, truth), -truth);
+            assert_eq!(sample_answer(&mut rng, 1.0, truth), truth);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Weighted majority voting (paper Def. 4).
+
+/// Outcome of aggregating one task's worker answers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vote {
+    /// The aggregated label: `sign(Σ weight_w · ℓ_w)`. A zero sum (an
+    /// exact tie, or no votes) yields `0` — callers should treat it as
+    /// undecided (the error report counts it as an error).
+    pub label: i8,
+    /// The absolute weighted margin `|Σ weight_w · ℓ_w|`.
+    pub margin: f64,
+}
+
+/// Aggregates `(accuracy, answer)` pairs with the paper's weights
+/// `weight_{w,t} = 2·Acc(w,t) − 1`:
+///
+/// ```text
+/// ℓ_t = sign( Σ_{w ∈ W_t} (2·Acc(w,t) − 1) · ℓ_{w,t} )
+/// ```
+///
+/// Workers with `Acc < 0.5` get negative weights, i.e. their answers count
+/// *against* their stated label — the eligibility policy in `ltc-core`
+/// keeps such pairs out of arrangements, but the aggregation handles them
+/// faithfully anyway.
+pub fn weighted_majority<I>(votes: I) -> Vote
+where
+    I: IntoIterator<Item = (f64, i8)>,
+{
+    let mut sum = 0.0f64;
+    for (acc, answer) in votes {
+        debug_assert!(answer == 1 || answer == -1, "answers must be ±1");
+        sum += (2.0 * acc - 1.0) * answer as f64;
+    }
+    Vote {
+        label: if sum > 0.0 {
+            1
+        } else if sum < 0.0 {
+            -1
+        } else {
+            0
+        },
+        margin: sum.abs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unanimous_vote_wins() {
+        let v = weighted_majority([(0.9, 1), (0.8, 1), (0.7, 1)]);
+        assert_eq!(v.label, 1);
+        assert!((v.margin - (0.8 + 0.6 + 0.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_accuracy_worker_outweighs_two_weak_ones() {
+        // Weight 0.98 → 0.96 vs two × (0.6 → 0.2).
+        let v = weighted_majority([(0.98, -1), (0.6, 1), (0.6, 1)]);
+        assert_eq!(v.label, -1);
+    }
+
+    #[test]
+    fn below_half_accuracy_counts_against() {
+        // A 0.2-accurate worker answering YES is evidence for NO.
+        let v = weighted_majority([(0.2, 1)]);
+        assert_eq!(v.label, -1);
+        assert!((v.margin - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_tied_votes_are_undecided() {
+        assert_eq!(weighted_majority(std::iter::empty()).label, 0);
+        let v = weighted_majority([(0.9, 1), (0.9, -1)]);
+        assert_eq!(v.label, 0);
+        assert_eq!(v.margin, 0.0);
+    }
+
+    #[test]
+    fn half_accuracy_worker_is_ignored() {
+        let v = weighted_majority([(0.5, -1), (0.7, 1)]);
+        assert_eq!(v.label, 1);
+        assert!((v.margin - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,244 @@
+//! Uniform-grid spatial index.
+//!
+//! Every LTC algorithm enumerates the tasks *within `d_max`* of each
+//! arriving worker (the eligibility radius; see `ltc-core`). Task sets are
+//! static while workers stream past, so a build-once uniform grid with cell
+//! size equal to the query radius is the sweet spot: a radius query touches
+//! at most 9 cells and then distance-filters candidates exactly.
+
+use crate::{BoundingBox, Point};
+
+/// A uniform grid over 2-D points carrying ids of type `T`.
+///
+/// Built once from a point set; supports exact radius queries. Queries with
+/// radius larger than the build-time `cell_size` still work (more cells are
+/// scanned), so a single index can serve several radii.
+///
+/// ```
+/// use ltc_spatial::{GridIndex, Point};
+/// let index = GridIndex::build(10.0, vec![(7u32, Point::new(3.0, 3.0))]);
+/// assert_eq!(index.within(Point::ORIGIN, 5.0).collect::<Vec<_>>(), vec![7]);
+/// assert!(index.within(Point::ORIGIN, 2.0).next().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex<T> {
+    cell_size: f64,
+    /// Grid origin (min corner of the data's bounding box).
+    origin: Point,
+    /// Number of columns / rows.
+    cols: usize,
+    rows: usize,
+    /// CSR-style storage: `starts[c]..starts[c+1]` indexes into `entries`
+    /// for cell `c`. Compact and cache-friendly for read-only use.
+    starts: Vec<u32>,
+    entries: Vec<(T, Point)>,
+    len: usize,
+}
+
+impl<T: Copy> GridIndex<T> {
+    /// Builds an index over `(id, point)` pairs with the given cell size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive and finite, or if any
+    /// point has a non-finite coordinate.
+    pub fn build<I>(cell_size: f64, points: I) -> Self
+    where
+        I: IntoIterator<Item = (T, Point)>,
+    {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell_size must be positive and finite, got {cell_size}"
+        );
+        let items: Vec<(T, Point)> = points.into_iter().collect();
+        for (_, p) in &items {
+            assert!(p.is_finite(), "grid index points must be finite, got {p}");
+        }
+        let bbox = BoundingBox::of_points(items.iter().map(|(_, p)| *p))
+            .unwrap_or_else(|| BoundingBox::new(Point::ORIGIN, Point::ORIGIN));
+        let origin = bbox.min;
+        let cols = ((bbox.width() / cell_size).floor() as usize + 1).max(1);
+        let rows = ((bbox.height() / cell_size).floor() as usize + 1).max(1);
+
+        // Bucket into CSR layout: sort entries by cell id, then record the
+        // start offset of each cell's run.
+        let ncells = cols * rows;
+        let cell_of = |p: Point| -> usize {
+            let cx = (((p.x - origin.x) / cell_size) as usize).min(cols - 1);
+            let cy = (((p.y - origin.y) / cell_size) as usize).min(rows - 1);
+            cy * cols + cx
+        };
+        let len = items.len();
+        let mut keyed: Vec<(usize, (T, Point))> = items
+            .into_iter()
+            .map(|(id, p)| (cell_of(p), (id, p)))
+            .collect();
+        keyed.sort_unstable_by_key(|(c, _)| *c);
+        let mut starts = vec![0u32; ncells + 1];
+        for (c, _) in &keyed {
+            starts[c + 1] += 1;
+        }
+        for i in 0..ncells {
+            starts[i + 1] += starts[i];
+        }
+        let entries: Vec<(T, Point)> = keyed.into_iter().map(|(_, e)| e).collect();
+        Self {
+            cell_size,
+            origin,
+            cols,
+            rows,
+            starts,
+            entries,
+            len,
+        }
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Ids of all points with `distance(center) <= radius`, in unspecified
+    /// order. Exact (candidates from the covering cells are filtered by
+    /// true Euclidean distance).
+    pub fn within(&self, center: Point, radius: f64) -> impl Iterator<Item = T> + '_ {
+        self.within_entries(center, radius).map(|(id, _)| id)
+    }
+
+    /// Like [`Self::within`] but also yields the stored point.
+    pub fn within_entries(
+        &self,
+        center: Point,
+        radius: f64,
+    ) -> impl Iterator<Item = (T, Point)> + '_ {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "radius must be non-negative and finite, got {radius}"
+        );
+        let r_sq = radius * radius;
+        let (cx0, cy0) = self.cell_coords(Point::new(center.x - radius, center.y - radius));
+        let (cx1, cy1) = self.cell_coords(Point::new(center.x + radius, center.y + radius));
+        (cy0..=cy1)
+            .flat_map(move |cy| (cx0..=cx1).map(move |cx| cy * self.cols + cx))
+            .flat_map(move |cell| {
+                let lo = self.starts[cell] as usize;
+                let hi = self.starts[cell + 1] as usize;
+                self.entries[lo..hi].iter().copied()
+            })
+            .filter(move |(_, p)| p.distance_sq(center) <= r_sq)
+    }
+
+    /// Number of points within `radius` of `center`.
+    pub fn count_within(&self, center: Point, radius: f64) -> usize {
+        self.within(center, radius).count()
+    }
+
+    /// Clamped cell coordinates of a (possibly out-of-bounds) point.
+    #[inline]
+    fn cell_coords(&self, p: Point) -> (usize, usize) {
+        let cx = ((p.x - self.origin.x) / self.cell_size).floor();
+        let cy = ((p.y - self.origin.y) / self.cell_size).floor();
+        let cx = (cx.max(0.0) as usize).min(self.cols - 1);
+        let cy = (cy.max(0.0) as usize).min(self.rows - 1);
+        (cx, cy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_within(pts: &[(u32, Point)], center: Point, radius: f64) -> Vec<u32> {
+        let mut v: Vec<u32> = pts
+            .iter()
+            .filter(|(_, p)| p.distance(center) <= radius)
+            .map(|(id, _)| *id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_index_queries_cleanly() {
+        let idx: GridIndex<u32> = GridIndex::build(1.0, std::iter::empty());
+        assert!(idx.is_empty());
+        assert_eq!(idx.count_within(Point::new(3.0, 3.0), 100.0), 0);
+    }
+
+    #[test]
+    fn single_point() {
+        let idx = GridIndex::build(2.0, vec![(1u32, Point::new(1.0, 1.0))]);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.within(Point::ORIGIN, 2.0).collect::<Vec<_>>(), vec![1]);
+        assert!(idx.within(Point::ORIGIN, 1.0).next().is_none());
+    }
+
+    #[test]
+    fn boundary_distance_is_inclusive() {
+        let idx = GridIndex::build(5.0, vec![(9u32, Point::new(3.0, 4.0))]);
+        // distance exactly 5.0
+        assert_eq!(idx.count_within(Point::ORIGIN, 5.0), 1);
+        assert_eq!(idx.count_within(Point::ORIGIN, 4.999), 0);
+    }
+
+    #[test]
+    fn duplicate_locations_all_returned() {
+        let p = Point::new(2.0, 2.0);
+        let idx = GridIndex::build(1.0, vec![(1u32, p), (2, p), (3, p)]);
+        let mut got: Vec<_> = idx.within(p, 0.0).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn query_radius_larger_than_cell_size() {
+        let pts: Vec<(u32, Point)> = (0..100)
+            .map(|i| (i, Point::new((i % 10) as f64 * 3.0, (i / 10) as f64 * 3.0)))
+            .collect();
+        let idx = GridIndex::build(2.0, pts.iter().copied());
+        let center = Point::new(13.0, 13.0);
+        for radius in [0.5, 3.0, 7.5, 40.0] {
+            let mut got: Vec<u32> = idx.within(center, radius).collect();
+            got.sort_unstable();
+            assert_eq!(got, brute_within(&pts, center, radius), "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn queries_outside_bounding_box() {
+        let pts = [(0u32, Point::new(10.0, 10.0)), (1, Point::new(12.0, 10.0))];
+        let idx = GridIndex::build(1.0, pts.iter().copied());
+        // Center far outside the data extent.
+        assert_eq!(idx.count_within(Point::new(-100.0, -100.0), 10.0), 0);
+        assert_eq!(idx.count_within(Point::new(-100.0, -100.0), 1000.0), 2);
+    }
+
+    #[test]
+    fn collinear_points_on_one_row() {
+        let pts: Vec<(u32, Point)> = (0..20).map(|i| (i, Point::new(i as f64, 0.0))).collect();
+        let idx = GridIndex::build(4.0, pts.iter().copied());
+        let mut got: Vec<u32> = idx.within(Point::new(10.0, 0.0), 2.5).collect();
+        got.sort_unstable();
+        assert_eq!(got, brute_within(&pts, Point::new(10.0, 0.0), 2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell_size must be positive")]
+    fn zero_cell_size_panics() {
+        let _ = GridIndex::build(0.0, vec![(0u32, Point::ORIGIN)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be non-negative")]
+    fn negative_radius_panics() {
+        let idx = GridIndex::build(1.0, vec![(0u32, Point::ORIGIN)]);
+        let _ = idx.within(Point::ORIGIN, -1.0).count();
+    }
+}

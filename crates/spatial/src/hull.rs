@@ -1,0 +1,276 @@
+//! Convex hulls and uniform sampling inside them.
+//!
+//! The paper places the tasks of the real-world datasets "with the
+//! coordinates of POIs ... within the convex region of the workers"
+//! (Sec. V-A). The check-in workload generator reproduces that recipe, so
+//! this module provides hull construction (Andrew's monotone chain),
+//! containment tests and area-uniform sampling inside a convex polygon.
+
+use crate::point::cross;
+use crate::Point;
+use rand::Rng;
+
+/// Computes the convex hull of a point set with Andrew's monotone chain.
+///
+/// Returns hull vertices in counter-clockwise order without repeating the
+/// first vertex. Collinear boundary points are dropped (strict hull).
+/// Degenerate inputs are handled: fewer than three distinct points return
+/// the distinct points themselves (sorted), and fully collinear inputs
+/// return the two extreme points.
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .expect("hull input must not contain NaN")
+            .then(
+                a.y.partial_cmp(&b.y)
+                    .expect("hull input must not contain NaN"),
+            )
+    });
+    pts.dedup();
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2 && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0 {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point == first point
+    if hull.len() < 3 {
+        // All points collinear: keep the two extremes.
+        return vec![pts[0], pts[n - 1]];
+    }
+    hull
+}
+
+/// A convex polygon with counter-clockwise vertices, as produced by
+/// [`convex_hull`].
+#[derive(Debug, Clone)]
+pub struct ConvexPolygon {
+    vertices: Vec<Point>,
+    /// Prefix sums of triangle-fan areas, used for area-uniform sampling.
+    fan_area_prefix: Vec<f64>,
+}
+
+impl ConvexPolygon {
+    /// Builds the convex hull of `points` and wraps it.
+    ///
+    /// Returns `None` when the hull is degenerate (fewer than 3 vertices,
+    /// i.e. the points are collinear or fewer than 3 are distinct).
+    pub fn from_points(points: &[Point]) -> Option<Self> {
+        let vertices = convex_hull(points);
+        if vertices.len() < 3 {
+            return None;
+        }
+        let anchor = vertices[0];
+        let mut prefix = Vec::with_capacity(vertices.len() - 2);
+        let mut acc = 0.0;
+        for i in 1..vertices.len() - 1 {
+            acc += triangle_area(anchor, vertices[i], vertices[i + 1]);
+            prefix.push(acc);
+        }
+        Some(Self {
+            vertices,
+            fan_area_prefix: prefix,
+        })
+    }
+
+    /// The hull vertices, counter-clockwise.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Total polygon area.
+    pub fn area(&self) -> f64 {
+        *self
+            .fan_area_prefix
+            .last()
+            .expect("a convex polygon has at least one fan triangle")
+    }
+
+    /// Whether `p` lies inside the polygon (boundary inclusive, with a tiny
+    /// numeric tolerance).
+    pub fn contains(&self, p: Point) -> bool {
+        const EPS: f64 = 1e-9;
+        let n = self.vertices.len();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            if cross(a, b, p) < -EPS {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Samples a point uniformly (by area) inside the polygon.
+    ///
+    /// Picks a fan triangle proportionally to its area, then samples the
+    /// triangle with the standard `(1 − √u)` barycentric trick.
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        let total = self.area();
+        let target = rng.gen::<f64>() * total;
+        let idx = match self
+            .fan_area_prefix
+            .binary_search_by(|a| a.partial_cmp(&target).expect("areas are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.fan_area_prefix.len() - 1),
+        };
+        let a = self.vertices[0];
+        let b = self.vertices[idx + 1];
+        let c = self.vertices[idx + 2];
+        let r1: f64 = rng.gen();
+        let r2: f64 = rng.gen();
+        let sqrt_r1 = r1.sqrt();
+        let u = 1.0 - sqrt_r1;
+        let v = sqrt_r1 * (1.0 - r2);
+        let w = sqrt_r1 * r2;
+        Point::new(u * a.x + v * b.x + w * c.x, u * a.y + v * b.y + w * c.y)
+    }
+}
+
+#[inline]
+fn triangle_area(a: Point, b: Point, c: Point) -> f64 {
+    cross(a, b, c).abs() / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn square() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ]
+    }
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let mut pts = square();
+        pts.push(Point::new(0.5, 0.5));
+        pts.push(Point::new(0.25, 0.75));
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        for corner in square() {
+            assert!(hull.contains(&corner), "missing corner {corner}");
+        }
+    }
+
+    #[test]
+    fn hull_drops_collinear_boundary_points() {
+        let mut pts = square();
+        pts.push(Point::new(0.5, 0.0)); // on the bottom edge
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+    }
+
+    #[test]
+    fn hull_of_collinear_points_is_extremes() {
+        let pts: Vec<Point> = (0..5)
+            .map(|i| Point::new(i as f64, 2.0 * i as f64))
+            .collect();
+        let hull = convex_hull(&pts);
+        assert_eq!(hull, vec![Point::new(0.0, 0.0), Point::new(4.0, 8.0)]);
+    }
+
+    #[test]
+    fn hull_of_few_points() {
+        assert!(convex_hull(&[]).is_empty());
+        let one = vec![Point::new(1.0, 1.0)];
+        assert_eq!(convex_hull(&one), one);
+        let two = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        assert_eq!(convex_hull(&two).len(), 2);
+    }
+
+    #[test]
+    fn hull_dedups_identical_points() {
+        let p = Point::new(3.0, 3.0);
+        assert_eq!(convex_hull(&[p, p, p]), vec![p]);
+    }
+
+    #[test]
+    fn hull_is_counter_clockwise() {
+        let mut pts = square();
+        pts.push(Point::new(0.5, 0.5));
+        let hull = convex_hull(&pts);
+        let n = hull.len();
+        for i in 0..n {
+            let turn = cross(hull[i], hull[(i + 1) % n], hull[(i + 2) % n]);
+            assert!(turn > 0.0, "hull must turn left at every vertex");
+        }
+    }
+
+    #[test]
+    fn polygon_area_of_unit_square() {
+        let poly = ConvexPolygon::from_points(&square()).unwrap();
+        assert!((poly.area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polygon_contains_interior_and_boundary() {
+        let poly = ConvexPolygon::from_points(&square()).unwrap();
+        assert!(poly.contains(Point::new(0.5, 0.5)));
+        assert!(poly.contains(Point::new(0.0, 0.0)));
+        assert!(poly.contains(Point::new(0.5, 0.0)));
+        assert!(!poly.contains(Point::new(1.5, 0.5)));
+        assert!(!poly.contains(Point::new(-0.1, 0.5)));
+    }
+
+    #[test]
+    fn degenerate_polygon_is_none() {
+        let pts: Vec<Point> = (0..4).map(|i| Point::new(i as f64, i as f64)).collect();
+        assert!(ConvexPolygon::from_points(&pts).is_none());
+        assert!(ConvexPolygon::from_points(&[]).is_none());
+    }
+
+    #[test]
+    fn samples_fall_inside_polygon() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 1.0),
+            Point::new(5.0, 4.0),
+            Point::new(1.0, 5.0),
+            Point::new(-1.0, 2.0),
+        ];
+        let poly = ConvexPolygon::from_points(&pts).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..500 {
+            let p = poly.sample_uniform(&mut rng);
+            assert!(poly.contains(p), "sample {p} escaped the polygon");
+        }
+    }
+
+    #[test]
+    fn sampling_is_roughly_area_uniform() {
+        // Split the unit square at x = 0.5 and check the sample proportion.
+        let poly = ConvexPolygon::from_points(&square()).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let left = (0..n)
+            .filter(|_| poly.sample_uniform(&mut rng).x < 0.5)
+            .count();
+        let frac = left as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "left fraction was {frac}");
+    }
+}

@@ -1,0 +1,303 @@
+//! A static 2-D KD-tree: the classic alternative to the uniform grid.
+//!
+//! The grid index ([`crate::GridIndex`]) is ideal for the LTC hot path
+//! (fixed-radius queries over uniformly dense tasks), but clustered
+//! check-in data and k-nearest-neighbour questions ("which are the 5
+//! closest open tasks?") favour a KD-tree. The benchmark suite compares
+//! both on the paper's workloads (`micro_substrates` bench).
+//!
+//! Build is O(n log n) (median splits via `select_nth_unstable`); range
+//! and kNN queries are O(√n + m) / O(k·log n) expected on well-spread
+//! data.
+
+use crate::Point;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A static KD-tree over `(id, point)` pairs.
+///
+/// ```
+/// use ltc_spatial::{KdTree, Point};
+/// let tree = KdTree::build(vec![(1u32, Point::new(0.0, 0.0)), (2, Point::new(9.0, 9.0))]);
+/// assert_eq!(tree.within(Point::new(1.0, 1.0), 2.0), vec![1]);
+/// assert_eq!(tree.nearest(Point::new(8.0, 8.0), 1), vec![2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KdTree<T> {
+    /// Nodes in build order; `nodes[i]` splits its subtree at `point`
+    /// along axis `depth % 2`.
+    nodes: Vec<KdNode<T>>,
+    root: Option<u32>,
+}
+
+#[derive(Debug, Clone)]
+struct KdNode<T> {
+    id: T,
+    point: Point,
+    left: Option<u32>,
+    right: Option<u32>,
+}
+
+impl<T: Copy> KdTree<T> {
+    /// Builds a balanced tree from `(id, point)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point has a non-finite coordinate.
+    pub fn build<I: IntoIterator<Item = (T, Point)>>(points: I) -> Self {
+        let mut items: Vec<(T, Point)> = points.into_iter().collect();
+        for (_, p) in &items {
+            assert!(p.is_finite(), "kd-tree points must be finite, got {p}");
+        }
+        let mut nodes = Vec::with_capacity(items.len());
+        let root = Self::build_rec(&mut items[..], 0, &mut nodes);
+        Self { nodes, root }
+    }
+
+    fn build_rec(
+        items: &mut [(T, Point)],
+        depth: usize,
+        nodes: &mut Vec<KdNode<T>>,
+    ) -> Option<u32> {
+        if items.is_empty() {
+            return None;
+        }
+        let axis = depth % 2;
+        let mid = items.len() / 2;
+        items.select_nth_unstable_by(mid, |a, b| {
+            let (ka, kb) = if axis == 0 {
+                (a.1.x, b.1.x)
+            } else {
+                (a.1.y, b.1.y)
+            };
+            ka.partial_cmp(&kb).expect("finite coordinates")
+        });
+        let (id, point) = items[mid];
+        let idx = nodes.len() as u32;
+        nodes.push(KdNode {
+            id,
+            point,
+            left: None,
+            right: None,
+        });
+        let (lo, rest) = items.split_at_mut(mid);
+        let hi = &mut rest[1..];
+        let left = Self::build_rec(lo, depth + 1, nodes);
+        let right = Self::build_rec(hi, depth + 1, nodes);
+        let node = &mut nodes[idx as usize];
+        node.left = left;
+        node.right = right;
+        Some(idx)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Ids of all points with `distance(center) ≤ radius`, in unspecified
+    /// order.
+    pub fn within(&self, center: Point, radius: f64) -> Vec<T> {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "radius must be non-negative and finite, got {radius}"
+        );
+        let mut out = Vec::new();
+        if let Some(root) = self.root {
+            self.range_rec(root, center, radius * radius, 0, &mut out);
+        }
+        out
+    }
+
+    fn range_rec(&self, idx: u32, center: Point, r_sq: f64, depth: usize, out: &mut Vec<T>) {
+        let node = &self.nodes[idx as usize];
+        if node.point.distance_sq(center) <= r_sq {
+            out.push(node.id);
+        }
+        let axis_delta = if depth.is_multiple_of(2) {
+            center.x - node.point.x
+        } else {
+            center.y - node.point.y
+        };
+        let (near, far) = if axis_delta <= 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if let Some(n) = near {
+            self.range_rec(n, center, r_sq, depth + 1, out);
+        }
+        // The far half-plane can only contain hits when the splitting line
+        // is closer than the radius.
+        if axis_delta * axis_delta <= r_sq {
+            if let Some(f) = far {
+                self.range_rec(f, center, r_sq, depth + 1, out);
+            }
+        }
+    }
+
+    /// The `k` nearest points to `center`, closest first; fewer when the
+    /// tree holds fewer than `k` points. Ties are broken arbitrarily.
+    pub fn nearest(&self, center: Point, k: usize) -> Vec<T> {
+        if k == 0 || self.nodes.is_empty() {
+            return Vec::new();
+        }
+        // Max-heap of the current k best by distance.
+        let mut best: BinaryHeap<NearEntry<T>> = BinaryHeap::with_capacity(k + 1);
+        if let Some(root) = self.root {
+            self.nearest_rec(root, center, k, 0, &mut best);
+        }
+        let mut with_dist: Vec<NearEntry<T>> = best.into_vec();
+        with_dist.sort_by(|a, b| a.dist_sq.partial_cmp(&b.dist_sq).expect("finite"));
+        with_dist.into_iter().map(|e| e.id).collect()
+    }
+
+    fn nearest_rec(
+        &self,
+        idx: u32,
+        center: Point,
+        k: usize,
+        depth: usize,
+        best: &mut BinaryHeap<NearEntry<T>>,
+    ) {
+        let node = &self.nodes[idx as usize];
+        let d_sq = node.point.distance_sq(center);
+        if best.len() < k {
+            best.push(NearEntry {
+                dist_sq: d_sq,
+                id: node.id,
+            });
+        } else if d_sq < best.peek().expect("non-empty").dist_sq {
+            best.pop();
+            best.push(NearEntry {
+                dist_sq: d_sq,
+                id: node.id,
+            });
+        }
+        let axis_delta = if depth.is_multiple_of(2) {
+            center.x - node.point.x
+        } else {
+            center.y - node.point.y
+        };
+        let (near, far) = if axis_delta <= 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if let Some(n) = near {
+            self.nearest_rec(n, center, k, depth + 1, best);
+        }
+        let worst = best.peek().map(|e| e.dist_sq).unwrap_or(f64::INFINITY);
+        if best.len() < k || axis_delta * axis_delta < worst {
+            if let Some(f) = far {
+                self.nearest_rec(f, center, k, depth + 1, best);
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct NearEntry<T> {
+    dist_sq: f64,
+    id: T,
+}
+
+impl<T> PartialEq for NearEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist_sq == other.dist_sq
+    }
+}
+impl<T> Eq for NearEntry<T> {}
+impl<T> Ord for NearEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist_sq
+            .partial_cmp(&other.dist_sq)
+            .expect("distances are finite")
+    }
+}
+impl<T> PartialOrd for NearEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_5x5() -> Vec<(u32, Point)> {
+        (0..25)
+            .map(|i| (i, Point::new((i % 5) as f64, (i / 5) as f64)))
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree: KdTree<u32> = KdTree::build(std::iter::empty());
+        assert!(tree.is_empty());
+        assert!(tree.within(Point::ORIGIN, 100.0).is_empty());
+        assert!(tree.nearest(Point::ORIGIN, 3).is_empty());
+    }
+
+    #[test]
+    fn range_query_matches_brute_force() {
+        let pts = grid_5x5();
+        let tree = KdTree::build(pts.iter().copied());
+        for radius in [0.0, 1.0, 1.5, 3.2, 10.0] {
+            let center = Point::new(2.2, 1.8);
+            let mut got = tree.within(center, radius);
+            got.sort_unstable();
+            let mut expect: Vec<u32> = pts
+                .iter()
+                .filter(|(_, p)| p.distance(center) <= radius)
+                .map(|(i, _)| *i)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn nearest_returns_closest_first() {
+        let tree = KdTree::build(grid_5x5());
+        let got = tree.nearest(Point::new(0.1, 0.1), 3);
+        assert_eq!(got[0], 0); // (0,0)
+        assert_eq!(got.len(), 3);
+        // The next two are (1,0) and (0,1) in either order.
+        assert!(got[1..].contains(&1) && got[1..].contains(&5));
+    }
+
+    #[test]
+    fn nearest_with_k_larger_than_tree() {
+        let tree = KdTree::build(vec![(7u32, Point::ORIGIN), (8, Point::new(1.0, 0.0))]);
+        let got = tree.nearest(Point::ORIGIN, 10);
+        assert_eq!(got, vec![7, 8]);
+    }
+
+    #[test]
+    fn nearest_zero_k() {
+        let tree = KdTree::build(grid_5x5());
+        assert!(tree.nearest(Point::ORIGIN, 0).is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_are_kept() {
+        let p = Point::new(3.0, 3.0);
+        let tree = KdTree::build(vec![(1u32, p), (2, p), (3, p)]);
+        let mut got = tree.within(p, 0.0);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3]);
+        assert_eq!(tree.nearest(p, 2).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn rejects_nan_points() {
+        KdTree::build(vec![(0u32, Point::new(f64::NAN, 1.0))]);
+    }
+}

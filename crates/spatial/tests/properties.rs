@@ -1,0 +1,153 @@
+//! Property-based tests for the spatial substrate.
+
+use ltc_spatial::{convex_hull, ConvexPolygon, GridIndex, KdTree, Point};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1000.0f64..1000.0, -1000.0f64..1000.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    /// The grid index returns exactly the brute-force result set.
+    #[test]
+    fn grid_index_matches_brute_force(
+        pts in prop::collection::vec(arb_point(), 0..200),
+        center in arb_point(),
+        radius in 0.0f64..500.0,
+        cell in 1.0f64..100.0,
+    ) {
+        let labelled: Vec<(u32, Point)> = pts.iter().copied().enumerate()
+            .map(|(i, p)| (i as u32, p)).collect();
+        let idx = GridIndex::build(cell, labelled.iter().copied());
+        let mut got: Vec<u32> = idx.within(center, radius).collect();
+        got.sort_unstable();
+        let mut expect: Vec<u32> = labelled.iter()
+            .filter(|(_, p)| p.distance(center) <= radius)
+            .map(|(i, _)| *i)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Every input point lies inside (or on) the hull polygon.
+    #[test]
+    fn hull_contains_all_points(pts in prop::collection::vec(arb_point(), 3..100)) {
+        if let Some(poly) = ConvexPolygon::from_points(&pts) {
+            for p in &pts {
+                prop_assert!(poly.contains(*p), "point {} outside its own hull", p);
+            }
+        }
+    }
+
+    /// Hull vertices are a subset of the input points.
+    #[test]
+    fn hull_vertices_come_from_input(pts in prop::collection::vec(arb_point(), 0..100)) {
+        let hull = convex_hull(&pts);
+        for v in &hull {
+            prop_assert!(pts.iter().any(|p| p == v));
+        }
+    }
+
+    /// Hulling the hull is a fixed point.
+    #[test]
+    fn hull_is_idempotent(pts in prop::collection::vec(arb_point(), 0..100)) {
+        let h1 = convex_hull(&pts);
+        let mut h2 = convex_hull(&h1);
+        let mut h1s = h1.clone();
+        let key = |p: &Point| (p.x.to_bits(), p.y.to_bits());
+        h1s.sort_by_key(key);
+        h2.sort_by_key(key);
+        prop_assert_eq!(h1s, h2);
+    }
+
+    /// Uniform samples stay inside the polygon.
+    #[test]
+    fn polygon_samples_inside(pts in prop::collection::vec(arb_point(), 3..30), seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        if let Some(poly) = ConvexPolygon::from_points(&pts) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..32 {
+                let s = poly.sample_uniform(&mut rng);
+                prop_assert!(poly.contains(s));
+            }
+        }
+    }
+
+    /// The KD-tree range query returns exactly the brute-force set.
+    #[test]
+    fn kdtree_range_matches_brute_force(
+        pts in prop::collection::vec(arb_point(), 0..150),
+        center in arb_point(),
+        radius in 0.0f64..500.0,
+    ) {
+        let labelled: Vec<(u32, Point)> = pts.iter().copied().enumerate()
+            .map(|(i, p)| (i as u32, p)).collect();
+        let tree = KdTree::build(labelled.iter().copied());
+        let mut got = tree.within(center, radius);
+        got.sort_unstable();
+        let mut expect: Vec<u32> = labelled.iter()
+            .filter(|(_, p)| p.distance(center) <= radius)
+            .map(|(i, _)| *i)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// KD-tree kNN returns the k smallest distances (as a multiset).
+    #[test]
+    fn kdtree_knn_matches_brute_force(
+        pts in prop::collection::vec(arb_point(), 1..120),
+        center in arb_point(),
+        k in 1usize..10,
+    ) {
+        let labelled: Vec<(u32, Point)> = pts.iter().copied().enumerate()
+            .map(|(i, p)| (i as u32, p)).collect();
+        let tree = KdTree::build(labelled.iter().copied());
+        let got = tree.nearest(center, k);
+        prop_assert_eq!(got.len(), k.min(pts.len()));
+        // Compare distance multisets (ids may differ on exact ties).
+        let mut got_d: Vec<f64> = got.iter()
+            .map(|&id| labelled[id as usize].1.distance(center)).collect();
+        let mut all_d: Vec<f64> = labelled.iter().map(|(_, p)| p.distance(center)).collect();
+        all_d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        got_d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (g, e) in got_d.iter().zip(all_d.iter()) {
+            prop_assert!((g - e).abs() < 1e-9, "kNN distance {} vs brute {}", g, e);
+        }
+        // Closest-first ordering.
+        let ordered: Vec<f64> = got.iter()
+            .map(|&id| labelled[id as usize].1.distance(center)).collect();
+        for w in ordered.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    /// Grid index and KD-tree agree on every range query.
+    #[test]
+    fn grid_and_kdtree_agree(
+        pts in prop::collection::vec(arb_point(), 0..150),
+        center in arb_point(),
+        radius in 0.0f64..400.0,
+    ) {
+        let labelled: Vec<(u32, Point)> = pts.iter().copied().enumerate()
+            .map(|(i, p)| (i as u32, p)).collect();
+        let grid = GridIndex::build(50.0, labelled.iter().copied());
+        let tree = KdTree::build(labelled.iter().copied());
+        let mut a: Vec<u32> = grid.within(center, radius).collect();
+        let mut b = tree.within(center, radius);
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// count_within agrees with the iterator length.
+    #[test]
+    fn count_within_consistent(
+        pts in prop::collection::vec(arb_point(), 0..100),
+        center in arb_point(),
+        radius in 0.0f64..300.0,
+    ) {
+        let idx = GridIndex::build(30.0, pts.iter().copied().enumerate());
+        prop_assert_eq!(idx.count_within(center, radius), idx.within(center, radius).count());
+    }
+}

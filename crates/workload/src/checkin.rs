@@ -1,0 +1,314 @@
+//! Foursquare-like check-in city streams (paper Table V substitution).
+//!
+//! The paper evaluates on Foursquare check-ins from New York and Tokyo
+//! collected by Yang et al. (TSMC'15): every check-in is a worker, workers
+//! arrive in chronological check-in order, tasks sit at POIs inside the
+//! convex region of the check-ins, and — since the logs carry no accuracy
+//! information — historical accuracies are drawn from `Normal(0.86, 0.05)`.
+//!
+//! The original logs are not redistributable, so this module synthesizes a
+//! city with the three structural properties the LTC algorithms actually
+//! consume:
+//!
+//! 1. **Spatial clustering** — check-ins and POIs concentrate in
+//!    neighbourhoods (mixture of Gaussians), unlike the uniform synthetic
+//!    grid;
+//! 2. **Heavy-tailed user activity** — a few users check in very often
+//!    (Zipf-distributed activity), so nearby arrivals repeat locations and
+//!    accuracies;
+//! 3. **Chronological order** — events from all users interleave randomly
+//!    in time rather than user-by-user.
+//!
+//! Users keep a *region preference* (Yang et al.: activity concentrates
+//! within ~100–500 m of the check-in neighbourhood), so each user's
+//! check-ins scatter around their home neighbourhood.
+
+use ltc_core::model::{Instance, ProblemParams, Task, Worker};
+use ltc_spatial::{ConvexPolygon, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+use crate::synthetic::AccuracyDistribution;
+
+/// Configuration of a check-in city stream. Use the Table V presets
+/// ([`Self::new_york_like`], [`Self::tokyo_like`]) or build your own.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckinCityConfig {
+    /// Number of tasks `|T|` (POIs with questions).
+    pub n_tasks: usize,
+    /// Number of check-in events `|W|` (each event is one worker arrival).
+    pub n_checkins: usize,
+    /// Number of distinct users behind the events.
+    pub n_users: usize,
+    /// Per-worker capacity `K`.
+    pub capacity: u32,
+    /// Tolerable error rate `ε`.
+    pub epsilon: f64,
+    /// Historical-accuracy distribution per *user* (Table V:
+    /// `Normal(0.86, 0.05)`).
+    pub accuracy: AccuracyDistribution,
+    /// Number of neighbourhood centers in the city.
+    pub n_centers: usize,
+    /// Extent of the city (centers are spread over `[0, city_size]²`).
+    pub city_size: f64,
+    /// Spatial σ of POIs and check-ins around their neighbourhood center,
+    /// in grid units (10 m each): 20 ≈ 200 m, the middle of the 100–500 m
+    /// region preference of Yang et al.
+    pub neighbourhood_sigma: f64,
+    /// Zipf exponent of per-user activity (1.0–2.0 typical for LBSN data).
+    pub activity_exponent: f64,
+    /// High-accuracy radius `d_max`.
+    pub d_max: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CheckinCityConfig {
+    /// The New York dataset of Table V: `|T| = 3717`, `|W| = 227 428`,
+    /// `K = 6`, `Normal(0.86, 0.05)` accuracy.
+    pub fn new_york_like() -> Self {
+        Self {
+            n_tasks: 3717,
+            n_checkins: 227_428,
+            n_users: 1_083, // Yang et al. report 1 083 NYC users
+            capacity: 6,
+            epsilon: 0.14,
+            accuracy: AccuracyDistribution::default_normal(),
+            n_centers: 60,
+            city_size: 1000.0,
+            neighbourhood_sigma: 20.0,
+            activity_exponent: 1.2,
+            d_max: 30.0,
+            seed: 0x4E59, // "NY"
+        }
+    }
+
+    /// The Tokyo dataset of Table V: `|T| = 9317`, `|W| = 573 703`.
+    pub fn tokyo_like() -> Self {
+        Self {
+            n_tasks: 9317,
+            n_checkins: 573_703,
+            n_users: 2_293, // Yang et al. report 2 293 Tokyo users
+            n_centers: 90,
+            seed: 0x544B, // "TK"
+            ..Self::new_york_like()
+        }
+    }
+
+    /// Uniformly scales the stream down by `factor` (≥ 1) for quick runs,
+    /// keeping the city extent (and so the spatial density per
+    /// neighbourhood) roughly proportionate.
+    pub fn scaled_down(mut self, factor: usize) -> Self {
+        assert!(factor >= 1, "scale factor must be at least 1");
+        self.n_tasks = (self.n_tasks / factor).max(1);
+        self.n_checkins = (self.n_checkins / factor).max(1);
+        self.n_users = (self.n_users / factor).max(1);
+        self.n_centers = (self.n_centers / factor).max(4);
+        self
+    }
+
+    /// Generates the instance: a chronological worker stream plus tasks at
+    /// POIs within the convex hull of the check-ins.
+    pub fn generate(&self) -> Instance {
+        assert!(self.n_users >= 1 && self.n_checkins >= 1 && self.n_tasks >= 1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let params = ProblemParams::builder()
+            .epsilon(self.epsilon)
+            .capacity(self.capacity)
+            .d_max(self.d_max)
+            .build()
+            .expect("check-in parameter ranges are valid");
+
+        // 1. Neighbourhood centers.
+        let centers: Vec<Point> = (0..self.n_centers)
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(0.1 * self.city_size..=0.9 * self.city_size),
+                    rng.gen_range(0.1 * self.city_size..=0.9 * self.city_size),
+                )
+            })
+            .collect();
+        let noise = Normal::new(0.0, self.neighbourhood_sigma).expect("σ > 0");
+
+        // 2. Users: home neighbourhood + historical accuracy + Zipf weight.
+        struct User {
+            home: Point,
+            accuracy: f64,
+        }
+        let users: Vec<User> = (0..self.n_users)
+            .map(|_| {
+                let c = centers[rng.gen_range(0..centers.len())];
+                User {
+                    home: Point::new(c.x + noise.sample(&mut rng), c.y + noise.sample(&mut rng)),
+                    accuracy: self.accuracy.sample(&mut rng),
+                }
+            })
+            .collect();
+        // Zipf activity: weight of user ranked r is r^{-s}.
+        let weights: Vec<f64> = (1..=self.n_users)
+            .map(|r| (r as f64).powf(-self.activity_exponent))
+            .collect();
+        let cumulative: Vec<f64> = weights
+            .iter()
+            .scan(0.0, |acc, w| {
+                *acc += w;
+                Some(*acc)
+            })
+            .collect();
+        let total_weight = *cumulative.last().expect("at least one user");
+
+        // 3. Chronological check-in stream: each event picks a user by
+        // activity weight, located near their home with region-preference
+        // scatter.
+        let workers: Vec<Worker> = (0..self.n_checkins)
+            .map(|_| {
+                let x = rng.gen_range(0.0..total_weight);
+                let idx = cumulative.partition_point(|&c| c <= x);
+                let u = &users[idx.min(self.n_users - 1)];
+                Worker::new(
+                    Point::new(
+                        u.home.x + noise.sample(&mut rng),
+                        u.home.y + noise.sample(&mut rng),
+                    ),
+                    u.accuracy,
+                )
+            })
+            .collect();
+
+        // 4. Tasks at POIs within the convex region of the check-ins.
+        let hull = ConvexPolygon::from_points(&workers.iter().map(|w| w.loc).collect::<Vec<_>>());
+        let tasks: Vec<Task> = (0..self.n_tasks)
+            .map(|_| {
+                // POIs cluster like check-ins do; rejection-sample into the
+                // hull, falling back to uniform-in-hull if a neighbourhood
+                // straddles the boundary.
+                for _ in 0..32 {
+                    let c = centers[rng.gen_range(0..centers.len())];
+                    let p = Point::new(c.x + noise.sample(&mut rng), c.y + noise.sample(&mut rng));
+                    match &hull {
+                        Some(h) if !h.contains(p) => continue,
+                        _ => return Task::new(p),
+                    }
+                }
+                let p = hull
+                    .as_ref()
+                    .map(|h| h.sample_uniform(&mut rng))
+                    .unwrap_or_else(|| workers[rng.gen_range(0..workers.len())].loc);
+                Task::new(p)
+            })
+            .collect();
+
+        Instance::new(tasks, workers, params).expect("generated instances are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn small() -> CheckinCityConfig {
+        CheckinCityConfig {
+            n_tasks: 40,
+            n_checkins: 2000,
+            n_users: 50,
+            n_centers: 5,
+            ..CheckinCityConfig::new_york_like()
+        }
+    }
+
+    #[test]
+    fn presets_match_table_v() {
+        let ny = CheckinCityConfig::new_york_like();
+        assert_eq!(ny.n_tasks, 3717);
+        assert_eq!(ny.n_checkins, 227_428);
+        assert_eq!(ny.capacity, 6);
+        let tk = CheckinCityConfig::tokyo_like();
+        assert_eq!(tk.n_tasks, 9317);
+        assert_eq!(tk.n_checkins, 573_703);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small().generate();
+        let b = small().generate();
+        assert_eq!(a.tasks(), b.tasks());
+        assert_eq!(a.workers(), b.workers());
+    }
+
+    #[test]
+    fn tasks_lie_in_the_checkin_hull() {
+        let inst = small().generate();
+        let hull =
+            ConvexPolygon::from_points(&inst.workers().iter().map(|w| w.loc).collect::<Vec<_>>())
+                .expect("thousands of scattered check-ins are not collinear");
+        for t in inst.tasks() {
+            assert!(hull.contains(t.loc), "task at {} escaped the hull", t.loc);
+        }
+    }
+
+    #[test]
+    fn activity_is_heavy_tailed() {
+        // The busiest user should account for far more events than the
+        // 1/n_users uniform share.
+        let inst = small().generate();
+        let mut by_accuracy: HashMap<u64, usize> = HashMap::new();
+        for w in inst.workers() {
+            // Users are identified by their (unique w.h.p.) accuracy bits.
+            *by_accuracy.entry(w.accuracy.to_bits()).or_insert(0) += 1;
+        }
+        let max = by_accuracy.values().copied().max().unwrap();
+        let uniform_share = inst.n_workers() / by_accuracy.len();
+        assert!(
+            max > 3 * uniform_share,
+            "busiest user {max} vs uniform share {uniform_share}"
+        );
+    }
+
+    #[test]
+    fn checkins_are_clustered() {
+        // Average nearest-center distance must be on the order of the
+        // neighbourhood sigma, far below the city scale.
+        let cfg = small();
+        let inst = cfg.generate();
+        // Recover density by counting workers within 3σ of each worker's
+        // own location — clustered data has many close pairs.
+        let pts: Vec<Point> = inst.workers().iter().take(300).map(|w| w.loc).collect();
+        let close_pairs = pts
+            .iter()
+            .enumerate()
+            .flat_map(|(i, a)| pts[i + 1..].iter().map(move |b| a.distance(*b)))
+            .filter(|&d| d < 3.0 * cfg.neighbourhood_sigma)
+            .count();
+        let total_pairs = pts.len() * (pts.len() - 1) / 2;
+        // Uniform over 1000² would give ~(180/1000)² ≈ 3% close pairs;
+        // 5 neighbourhoods give ≥ 1/5 of pairs in the same cluster.
+        assert!(
+            close_pairs as f64 / total_pairs as f64 > 0.10,
+            "only {close_pairs}/{total_pairs} close pairs — not clustered"
+        );
+    }
+
+    #[test]
+    fn scaled_down_divides_cardinalities() {
+        let c = CheckinCityConfig::new_york_like().scaled_down(100);
+        assert_eq!(c.n_tasks, 37);
+        assert_eq!(c.n_checkins, 2274);
+        assert!(c.n_users >= 1);
+    }
+
+    #[test]
+    fn single_user_city_generates() {
+        let cfg = CheckinCityConfig {
+            n_tasks: 3,
+            n_checkins: 20,
+            n_users: 1,
+            n_centers: 4,
+            ..CheckinCityConfig::new_york_like()
+        };
+        let inst = cfg.generate();
+        assert_eq!(inst.n_workers(), 20);
+        assert_eq!(inst.n_tasks(), 3);
+    }
+}

@@ -1,0 +1,222 @@
+//! Plain-text (TSV) serialization of LTC instances.
+//!
+//! A small, dependency-free interchange format so generated datasets can be
+//! saved as fixtures, diffed, and reloaded byte-identically (coordinates
+//! and accuracies round-trip through the shortest-f64 formatting, which is
+//! lossless in Rust).
+//!
+//! ```text
+//! # ltc-dataset v1
+//! params  <epsilon> <capacity> <d_max> <min_accuracy>
+//! task    <x> <y>
+//! ...
+//! worker  <x> <y> <accuracy>
+//! ...
+//! ```
+
+use ltc_core::model::{Instance, InstanceError, ProblemParams, Task, Worker};
+use ltc_spatial::Point;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+const HEADER: &str = "# ltc-dataset v1";
+
+/// Writes an instance in the TSV format.
+///
+/// Only instances using the default sigmoid accuracy model and Hoeffding
+/// quality can be serialized (tabular models carry `|W|·|T|` values and
+/// are meant for in-code fixtures).
+pub fn write_tsv<W: Write>(instance: &Instance, mut out: W) -> io::Result<()> {
+    let p = instance.params();
+    writeln!(out, "{HEADER}")?;
+    writeln!(
+        out,
+        "params\t{}\t{}\t{}\t{}",
+        p.epsilon, p.capacity, p.d_max, p.min_accuracy
+    )?;
+    for t in instance.tasks() {
+        writeln!(out, "task\t{}\t{}", t.loc.x, t.loc.y)?;
+    }
+    for w in instance.workers() {
+        writeln!(out, "worker\t{}\t{}\t{}", w.loc.x, w.loc.y, w.accuracy)?;
+    }
+    Ok(())
+}
+
+/// Reads an instance from the TSV format.
+pub fn read_tsv<R: BufRead>(input: R) -> Result<Instance, ReadError> {
+    let mut params: Option<ProblemParams> = None;
+    let mut tasks: Vec<Task> = Vec::new();
+    let mut workers: Vec<Worker> = Vec::new();
+    let mut saw_header = false;
+
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.map_err(ReadError::Io)?;
+        let line = line.trim_end();
+        let err = |what: &str| ReadError::Parse {
+            line: lineno + 1,
+            message: what.to_string(),
+        };
+        if lineno == 0 {
+            if line != HEADER {
+                return Err(err("missing `# ltc-dataset v1` header"));
+            }
+            saw_header = true;
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let kind = fields.next().unwrap_or("");
+        let next_f64 = |fields: &mut std::str::Split<'_, char>, name: &str| {
+            fields
+                .next()
+                .ok_or_else(|| err(&format!("missing field `{name}`")))?
+                .parse::<f64>()
+                .map_err(|e| err(&format!("bad `{name}`: {e}")))
+        };
+        match kind {
+            "params" => {
+                let epsilon = next_f64(&mut fields, "epsilon")?;
+                let capacity = fields
+                    .next()
+                    .ok_or_else(|| err("missing field `capacity`"))?
+                    .parse::<u32>()
+                    .map_err(|e| err(&format!("bad `capacity`: {e}")))?;
+                let d_max = next_f64(&mut fields, "d_max")?;
+                let min_accuracy = next_f64(&mut fields, "min_accuracy")?;
+                params = Some(
+                    ProblemParams::builder()
+                        .epsilon(epsilon)
+                        .capacity(capacity)
+                        .d_max(d_max)
+                        .min_accuracy(min_accuracy)
+                        .build()
+                        .map_err(|e| err(&e.to_string()))?,
+                );
+            }
+            "task" => {
+                let x = next_f64(&mut fields, "x")?;
+                let y = next_f64(&mut fields, "y")?;
+                tasks.push(Task::new(Point::new(x, y)));
+            }
+            "worker" => {
+                let x = next_f64(&mut fields, "x")?;
+                let y = next_f64(&mut fields, "y")?;
+                let accuracy = next_f64(&mut fields, "accuracy")?;
+                workers.push(Worker::new(Point::new(x, y), accuracy));
+            }
+            other => return Err(err(&format!("unknown record kind `{other}`"))),
+        }
+    }
+
+    if !saw_header {
+        return Err(ReadError::Parse {
+            line: 0,
+            message: "empty input".to_string(),
+        });
+    }
+    let params = params.ok_or(ReadError::Parse {
+        line: 0,
+        message: "missing `params` record".to_string(),
+    })?;
+    Instance::new(tasks, workers, params).map_err(ReadError::Instance)
+}
+
+/// Errors produced by [`read_tsv`].
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed record.
+    Parse {
+        /// 1-based line number (0 = whole-file problem).
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The records parse but violate instance validation.
+    Instance(InstanceError),
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            ReadError::Instance(e) => write!(f, "invalid instance: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticConfig;
+
+    fn roundtrip(instance: &Instance) -> Instance {
+        let mut buf = Vec::new();
+        write_tsv(instance, &mut buf).unwrap();
+        read_tsv(buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let cfg = SyntheticConfig {
+            n_tasks: 25,
+            n_workers: 120,
+            ..SyntheticConfig::default()
+        };
+        let a = cfg.generate();
+        let b = roundtrip(&a);
+        assert_eq!(a.tasks(), b.tasks());
+        assert_eq!(a.workers(), b.workers());
+        assert_eq!(a.params(), b.params());
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = read_tsv("params\t0.1\t4\t30\t0.66\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn rejects_missing_params() {
+        let err = read_tsv(format!("{HEADER}\ntask\t1\t2\n").as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("params"));
+    }
+
+    #[test]
+    fn rejects_garbage_fields() {
+        let input = format!("{HEADER}\nparams\tnope\t4\t30\t0.66\n");
+        let err = read_tsv(input.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("epsilon"));
+    }
+
+    #[test]
+    fn rejects_unknown_record() {
+        let input = format!("{HEADER}\nparams\t0.1\t4\t30\t0.66\nblob\t1\n");
+        let err = read_tsv(input.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown record"));
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let input = format!(
+            "{HEADER}\n# a comment\n\nparams\t0.2\t2\t30\t0.66\ntask\t5\t5\nworker\t4\t4\t0.9\n"
+        );
+        let inst = read_tsv(input.as_bytes()).unwrap();
+        assert_eq!(inst.n_tasks(), 1);
+        assert_eq!(inst.n_workers(), 1);
+    }
+
+    #[test]
+    fn spam_worker_in_file_is_rejected() {
+        let input = format!("{HEADER}\nparams\t0.2\t2\t30\t0.66\ntask\t5\t5\nworker\t4\t4\t0.1\n");
+        let err = read_tsv(input.as_bytes()).unwrap_err();
+        assert!(matches!(err, ReadError::Instance(_)));
+    }
+}

@@ -1,0 +1,32 @@
+//! Workload generators for LTC experiments (paper Sec. V-A).
+//!
+//! Two families of datasets drive the paper's evaluation:
+//!
+//! * [`SyntheticConfig`] — the synthetic workloads of **Table IV**:
+//!   tasks and workers uniform on a 1000×1000 grid (one cell = 10 m),
+//!   `d_max = 30` (300 m), historical accuracy drawn from a Normal or
+//!   Uniform distribution, with a scalability variant up to
+//!   `|T| = 100 000, |W| = 400 000`.
+//! * [`CheckinCityConfig`] — a Foursquare-like check-in stream standing in
+//!   for the real New York / Tokyo datasets of **Table V** (the original
+//!   check-in logs are not redistributable). The generator reproduces the
+//!   three properties the algorithms actually consume: spatially clustered
+//!   POIs/check-ins, heavy-tailed per-user activity, and chronological
+//!   arrival order. Presets [`CheckinCityConfig::new_york_like`] and
+//!   [`CheckinCityConfig::tokyo_like`] match Table V's cardinalities
+//!   exactly.
+//!
+//! All generators are deterministic given their seed.
+//!
+//! The [`dataset`] module adds a plain-text (TSV) serialization of
+//! instances for fixtures and interchange.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkin;
+pub mod dataset;
+pub mod synthetic;
+
+pub use checkin::CheckinCityConfig;
+pub use synthetic::{AccuracyDistribution, SyntheticConfig};

@@ -1,0 +1,117 @@
+//! Property-based tests for the workload generators.
+
+use ltc_core::model::WorkerId;
+use ltc_workload::{dataset, AccuracyDistribution, CheckinCityConfig, SyntheticConfig};
+use proptest::prelude::*;
+
+fn arb_synthetic() -> impl Strategy<Value = SyntheticConfig> {
+    (
+        1usize..60,
+        1usize..400,
+        1u32..8,
+        0.05f64..0.5,
+        0.70f64..0.92,
+        50.0f64..400.0,
+        any::<u64>(),
+        prop::bool::ANY,
+    )
+        .prop_map(
+            |(n_tasks, n_workers, capacity, epsilon, mean, grid_size, seed, uniform)| {
+                SyntheticConfig {
+                    n_tasks,
+                    n_workers,
+                    capacity,
+                    epsilon,
+                    accuracy: if uniform {
+                        AccuracyDistribution::uniform(mean)
+                    } else {
+                        AccuracyDistribution::normal(mean)
+                    },
+                    grid_size,
+                    seed,
+                    ..SyntheticConfig::default()
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever the config, generation yields a valid instance with the
+    /// requested cardinalities and in-range values (validation would
+    /// panic inside `generate` otherwise — this asserts the contract).
+    #[test]
+    fn synthetic_generation_always_valid(cfg in arb_synthetic()) {
+        let inst = cfg.generate();
+        prop_assert_eq!(inst.n_tasks(), cfg.n_tasks);
+        prop_assert_eq!(inst.n_workers(), cfg.n_workers);
+        for w in inst.workers() {
+            prop_assert!((0.66..=1.0).contains(&w.accuracy));
+            prop_assert!(w.loc.x >= 0.0 && w.loc.x <= cfg.grid_size);
+        }
+    }
+
+    /// TSV round-trips are lossless for arbitrary synthetic instances.
+    #[test]
+    fn tsv_roundtrip_lossless(cfg in arb_synthetic()) {
+        let a = cfg.generate();
+        let mut buf = Vec::new();
+        dataset::write_tsv(&a, &mut buf).unwrap();
+        let b = dataset::read_tsv(buf.as_slice()).unwrap();
+        prop_assert_eq!(a.tasks(), b.tasks());
+        prop_assert_eq!(a.workers(), b.workers());
+        prop_assert_eq!(a.params(), b.params());
+    }
+
+    /// Same seed ⇒ identical instance; the accuracy model agrees after a
+    /// round-trip (spot-checked on a few pairs).
+    #[test]
+    fn determinism_extends_to_accuracy_values(cfg in arb_synthetic()) {
+        let a = cfg.generate();
+        let b = cfg.generate();
+        let w = WorkerId(0);
+        for t in 0..a.n_tasks().min(5) as u32 {
+            let tid = ltc_core::model::TaskId(t);
+            prop_assert_eq!(a.acc(w, tid), b.acc(w, tid));
+        }
+    }
+
+    /// Check-in generation respects cardinalities and clamps accuracies
+    /// for arbitrary small city configs.
+    #[test]
+    fn checkin_generation_always_valid(
+        n_tasks in 1usize..40,
+        n_checkins in 1usize..500,
+        n_users in 1usize..30,
+        n_centers in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let cfg = CheckinCityConfig {
+            n_tasks,
+            n_checkins,
+            n_users,
+            n_centers,
+            seed,
+            ..CheckinCityConfig::new_york_like()
+        };
+        let inst = cfg.generate();
+        prop_assert_eq!(inst.n_tasks(), n_tasks);
+        prop_assert_eq!(inst.n_workers(), n_checkins);
+        for w in inst.workers() {
+            prop_assert!((0.66..=1.0).contains(&w.accuracy));
+        }
+    }
+
+    /// scaled_down never zeroes cardinalities and divides them
+    /// monotonically.
+    #[test]
+    fn scaled_down_is_safe(factor in 1usize..2000) {
+        let c = SyntheticConfig::default().scaled_down(factor);
+        prop_assert!(c.n_tasks >= 1);
+        prop_assert!(c.n_workers >= 1);
+        prop_assert!(c.grid_size >= c.d_max);
+        let city = CheckinCityConfig::tokyo_like().scaled_down(factor);
+        prop_assert!(city.n_tasks >= 1 && city.n_checkins >= 1 && city.n_users >= 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! End-to-end city simulation: a Foursquare-like check-in stream (the
+//! paper's New York setting, scaled down), all five evaluated algorithms,
+//! and an empirical quality check of the best online arrangement.
+//!
+//! ```text
+//! cargo run --release --example city_simulation [scale]
+//! ```
+//!
+//! `scale` divides the Table-V cardinalities (default 64; use 1 for the
+//! full 227 428-check-in stream).
+
+use ltc::core::offline::{BaseOff, McfLtc};
+use ltc::core::online::{run_online, Aam, Laf, RandomAssign};
+use ltc::prelude::*;
+
+fn main() {
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let cfg = CheckinCityConfig::new_york_like().scaled_down(scale);
+    println!(
+        "New-York-like stream at 1/{scale} scale: {} tasks, {} check-ins by {} users",
+        cfg.n_tasks, cfg.n_checkins, cfg.n_users
+    );
+    let instance = cfg.generate();
+
+    println!("\n  algorithm   latency    assignments");
+    let mut best: Option<(String, RunOutcome)> = None;
+    let outcomes: Vec<(String, RunOutcome)> = vec![
+        ("Base-off".into(), BaseOff::new().run(&instance)),
+        ("MCF-LTC".into(), McfLtc::new().run(&instance)),
+        (
+            "Random".into(),
+            run_online(&instance, &mut RandomAssign::seeded(7)),
+        ),
+        ("LAF".into(), run_online(&instance, &mut Laf::new())),
+        ("AAM".into(), run_online(&instance, &mut Aam::new())),
+    ];
+    for (name, outcome) in outcomes {
+        match outcome.latency() {
+            Some(l) => println!("  {name:10} {l:8}    {:8}", outcome.arrangement.len()),
+            None => println!(
+                "  {name:10}     inc.    {:8}  (stream exhausted)",
+                outcome.arrangement.len()
+            ),
+        }
+        let is_online = matches!(name.as_str(), "Random" | "LAF" | "AAM");
+        if is_online && outcome.completed {
+            let better = match &best {
+                Some((_, b)) => outcome.latency() < b.latency(),
+                None => true,
+            };
+            if better {
+                best = Some((name, outcome));
+            }
+        }
+    }
+
+    let (name, outcome) = best.expect("at least one online algorithm completed");
+    println!("\nbest online algorithm: {name}");
+
+    // Simulate the crowd answering: does the Hoeffding guarantee hold on
+    // clustered city data too?
+    let truth = GroundTruth::random(instance.n_tasks(), 99);
+    let report = simulate(&instance, &outcome.arrangement, &truth, 2_000, 3);
+    println!(
+        "empirical error: worst task {:.4}, mean {:.4} (ε = {})",
+        report.max_task_error_rate(),
+        report.mean_task_error_rate(),
+        instance.params().epsilon
+    );
+    assert!(report.max_task_error_rate() < instance.params().epsilon);
+    println!("quality guarantee holds on the city stream ✔");
+}

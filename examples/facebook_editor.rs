@@ -1,0 +1,92 @@
+//! The paper's running example (Sec. I, Fig. 1 + Table I): a Facebook-
+//! Editor-style platform collects information about three Hong Kong POIs
+//! from eight users who check in one after another.
+//!
+//! Reproduces Examples 1–4: the offline optimum (5 workers under the
+//! plain-sum model; 6 under the Hoeffding model), MCF-LTC, LAF (8
+//! workers), and AAM (7 workers).
+//!
+//! ```text
+//! cargo run --release --example facebook_editor
+//! ```
+
+use ltc::core::offline::{BaseOff, ExactSolver, McfLtc};
+use ltc::core::online::{run_online, Aam, Laf, RandomAssign};
+use ltc::core::toy::{toy_example1_instance, toy_instance, TABLE_I};
+use ltc::prelude::*;
+
+fn main() {
+    println!("Historical accuracies (Table I of the paper):");
+    println!("        w1    w2    w3    w4    w5    w6    w7    w8");
+    for t in 0..3 {
+        print!("  t{} ", t + 1);
+        for row in &TABLE_I {
+            print!("  {:.2}", row[t]);
+        }
+        println!();
+    }
+    println!();
+
+    // ---- Example 1: simplified quality model (sum of accuracies ≥ 2.92).
+    let ex1 = toy_example1_instance();
+    let exact1 = ExactSolver::new().solve(&ex1).expect("tiny instance");
+    println!(
+        "Example 1 — plain-sum quality, threshold 2.92: offline optimum = {} workers",
+        exact1.optimal_latency.expect("feasible")
+    );
+
+    // ---- Examples 2–4: the Hoeffding model with ε = 0.2 (δ ≈ 3.22).
+    let inst = toy_instance(0.2);
+    println!(
+        "\nExamples 2–4 — Hoeffding quality, ε = 0.2, δ = {:.2}, K = 2:",
+        inst.delta()
+    );
+
+    let exact = ExactSolver::new().solve(&inst).expect("tiny instance");
+    report("exact optimum", exact.optimal_latency, &inst);
+
+    let mcf = McfLtc::new().run(&inst);
+    report("MCF-LTC (Alg. 1)", mcf.latency(), &inst);
+
+    let base = BaseOff::new().run(&inst);
+    report("Base-off", base.latency(), &inst);
+
+    let laf = run_online(&inst, &mut Laf::new());
+    report("LAF (Alg. 2)", laf.latency(), &inst);
+    print_trace("LAF", &laf.arrangement);
+
+    let aam = run_online(&inst, &mut Aam::new());
+    report("AAM (Alg. 3)", aam.latency(), &inst);
+    print_trace("AAM", &aam.arrangement);
+
+    let rnd = run_online(&inst, &mut RandomAssign::seeded(1));
+    report("Random (seed 1)", rnd.latency(), &inst);
+
+    println!("\nPaper check: LAF = 8 (Example 3), AAM = 7 (Example 4), optimum = 6.");
+    assert_eq!(laf.latency(), Some(8));
+    assert_eq!(aam.latency(), Some(7));
+    assert_eq!(exact.optimal_latency, Some(6));
+}
+
+fn report(name: &str, latency: Option<u32>, inst: &Instance) {
+    match latency {
+        Some(l) => println!(
+            "  {name:18} latency = {l}  (of {} workers)",
+            inst.n_workers()
+        ),
+        None => println!("  {name:18} could not complete all tasks"),
+    }
+}
+
+fn print_trace(name: &str, arrangement: &Arrangement) {
+    print!("    {name} trace:");
+    let mut last_worker = u32::MAX;
+    for a in arrangement.assignments() {
+        if a.worker.0 != last_worker {
+            print!("  w{}→", a.worker.arrival_index());
+            last_worker = a.worker.0;
+        }
+        print!("t{}", a.task.0 + 1);
+    }
+    println!();
+}

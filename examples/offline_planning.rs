@@ -1,0 +1,74 @@
+//! Offline planning: when the platform knows the whole worker stream in
+//! advance (e.g. replaying yesterday's check-ins to plan a campaign),
+//! MCF-LTC arranges batches via min-cost flow. This example compares it
+//! against Base-off and the exact optimum on a small instance, and shows
+//! the batch-size ablation from DESIGN.md §6.
+//!
+//! ```text
+//! cargo run --release --example offline_planning
+//! ```
+
+use ltc::core::bounds::{batch_size, latency_lower_bound};
+use ltc::core::offline::{BaseOff, ExactSolver, McfLtc};
+use ltc::prelude::*;
+
+fn main() {
+    // A small synthetic town so the exact solver can keep up.
+    let instance = SyntheticConfig {
+        n_tasks: 4,
+        n_workers: 60,
+        capacity: 2,
+        epsilon: 0.2,
+        grid_size: 40.0,
+        seed: 7,
+        ..SyntheticConfig::default()
+    }
+    .generate();
+
+    println!(
+        "instance: {} tasks, {} workers, δ = {:.2}, Theorem-2 lower bound = {:.1}, m = {}",
+        instance.n_tasks(),
+        instance.n_workers(),
+        instance.delta(),
+        latency_lower_bound(&instance),
+        batch_size(&instance),
+    );
+
+    let exact = ExactSolver::new()
+        .solve(&instance)
+        .expect("instance is small enough for the exact solver");
+    match exact.optimal_latency {
+        Some(opt) => println!(
+            "exact optimum: {opt} (explored {} nodes)",
+            exact.nodes_expanded
+        ),
+        None => println!("instance is infeasible even with all workers"),
+    }
+
+    let base = BaseOff::new().run(&instance);
+    println!("Base-off:      {:?}", base.latency());
+
+    println!("\nMCF-LTC batch-size ablation (batch = scale × m):");
+    for scale in [0.5, 1.0, 1.5, 2.0] {
+        let outcome = McfLtc::with_batch_scale(scale).run(&instance);
+        println!(
+            "  scale {scale:3}: latency {:?}, {} assignments",
+            outcome.latency(),
+            outcome.arrangement.len()
+        );
+        if let Some(l) = outcome.latency() {
+            if let Some(opt) = exact.optimal_latency {
+                assert!(l >= opt, "an approximation can never beat the optimum");
+                // Theorem 3: the paper proves a 7.5-approximation for the
+                // paper's batch size (scale 1.0).
+                if (scale - 1.0_f64).abs() < f64::EPSILON {
+                    assert!(
+                        (l as f64) <= 7.5 * opt as f64 + 1.0,
+                        "approximation ratio violated: {l} vs optimum {opt}"
+                    );
+                }
+            }
+        }
+    }
+    println!("\nall offline arrangements verified against the exact optimum ✔");
+}

@@ -1,0 +1,69 @@
+//! Quickstart: build a small spatial-crowdsourcing scenario, arrange it
+//! online with AAM, and validate the quality guarantee empirically.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ltc::prelude::*;
+
+fn main() {
+    // Platform settings: ε = 0.1 (≥ 90% confidence per task), each worker
+    // answers at most 4 questions, workers help tasks within 300 m
+    // (30 grid units of 10 m).
+    let params = ProblemParams::builder()
+        .epsilon(0.1)
+        .capacity(4)
+        .d_max(30.0)
+        .build()
+        .expect("valid parameters");
+
+    // Ten POIs along a street, and a stream of 400 passers-by.
+    let tasks: Vec<Task> = (0..10)
+        .map(|i| Task::new(Point::new(20.0 * i as f64, 0.0)))
+        .collect();
+    let workers: Vec<Worker> = (0..400)
+        .map(|i| {
+            let x = (i as f64 * 37.0) % 200.0; // deterministic "random" walk
+            let y = (i as f64 * 13.0) % 20.0 - 10.0;
+            let accuracy = 0.75 + 0.2 * ((i % 10) as f64 / 10.0);
+            Worker::new(Point::new(x, y), accuracy)
+        })
+        .collect();
+
+    let instance = Instance::new(tasks, workers, params).expect("valid instance");
+    println!(
+        "instance: {} tasks, {} workers, δ = {:.3}",
+        instance.n_tasks(),
+        instance.n_workers(),
+        instance.delta()
+    );
+
+    // Arrange online with AAM (Algorithm 3 of the paper).
+    let outcome = run_online(&instance, &mut Aam::new());
+    assert!(outcome.completed, "the stream is dense enough to finish");
+    println!(
+        "AAM completed all tasks with latency {} (recruited {} assignments)",
+        outcome.latency().unwrap(),
+        outcome.arrangement.len()
+    );
+
+    // The theoretical lower bound of Theorem 2 for comparison.
+    println!(
+        "Theorem-2 latency lower bound: {:.1}",
+        latency_lower_bound(&instance)
+    );
+
+    // Close the loop: simulate the actual crowdsourcing rounds and check
+    // the empirical error rate against ε.
+    let truth = GroundTruth::random(instance.n_tasks(), 2024);
+    let report = simulate(&instance, &outcome.arrangement, &truth, 10_000, 7);
+    println!(
+        "empirical error rate: worst task {:.4}, mean {:.4} (ε = {})",
+        report.max_task_error_rate(),
+        report.mean_task_error_rate(),
+        instance.params().epsilon
+    );
+    assert!(report.max_task_error_rate() < instance.params().epsilon);
+    println!("the Hoeffding quality guarantee holds ✔");
+}

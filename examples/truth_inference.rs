@@ -1,0 +1,81 @@
+//! Truth inference on crowd answers: after an LTC arrangement completes,
+//! how should the platform aggregate the raw ±1 answers?
+//!
+//! Compares the paper's weighted majority voting (Def. 4, accuracy priors
+//! known) against unweighted majority and one-coin Dawid–Skene EM (no
+//! priors) on a synthetic town with a deliberately mixed crowd.
+//!
+//! ```text
+//! cargo run --release --example truth_inference
+//! ```
+
+use ltc::core::online::{run_online, Aam};
+use ltc::prelude::*;
+use ltc::sim::{infer_em, infer_majority, infer_weighted, AnswerSet, EmConfig};
+
+fn main() {
+    // A mixed crowd: ~half excellent (0.95+), ~half barely above the spam
+    // threshold — the regime where weighting matters most.
+    let instance = SyntheticConfig {
+        n_tasks: 120,
+        n_workers: 4000,
+        epsilon: 0.14,
+        accuracy: AccuracyDistribution::Uniform {
+            mean: 0.81,
+            half_width: 0.15,
+        },
+        grid_size: 180.0,
+        seed: 2024,
+        ..SyntheticConfig::default()
+    }
+    .generate();
+
+    let outcome = run_online(&instance, &mut Aam::new());
+    assert!(outcome.completed);
+    println!(
+        "AAM arranged {} tasks with latency {}",
+        instance.n_tasks(),
+        outcome.latency().unwrap()
+    );
+
+    let truth = GroundTruth::random(instance.n_tasks(), 7);
+    let err = |labels: &[i8]| -> f64 {
+        let wrong = labels
+            .iter()
+            .enumerate()
+            .filter(|(t, &l)| l != truth.label(*t))
+            .count();
+        wrong as f64 / labels.len() as f64
+    };
+
+    // Average the three aggregators over independent crowdsourcing rounds.
+    let rounds = 200;
+    let mut e_majority = 0.0;
+    let mut e_weighted = 0.0;
+    let mut e_em = 0.0;
+    let priors: Vec<f64> = instance.workers().iter().map(|w| w.accuracy).collect();
+    for round in 0..rounds {
+        let answers = AnswerSet::collect(&instance, &outcome.arrangement, &truth, round);
+        e_majority += err(&infer_majority(&answers));
+        e_weighted += err(&infer_weighted(&answers, &priors));
+        e_em += err(&infer_em(&answers, EmConfig::default()).labels);
+    }
+    e_majority /= rounds as f64;
+    e_weighted /= rounds as f64;
+    e_em /= rounds as f64;
+
+    println!(
+        "\nmean task error over {rounds} rounds (ε = {}):",
+        instance.params().epsilon
+    );
+    println!("  unweighted majority:            {e_majority:.4}");
+    println!("  weighted majority (Def. 4):     {e_weighted:.4}");
+    println!("  EM / Dawid–Skene (no priors):   {e_em:.4}");
+
+    assert!(
+        e_weighted <= e_majority + 1e-9,
+        "priors should never hurt on average"
+    );
+    println!("\nweighted voting ≤ plain majority, and EM closes most of the gap");
+    println!("without ever seeing the accuracy priors ✔");
+}

@@ -1,0 +1,63 @@
+//! # `ltc` — Latency-oriented Task Completion via Spatial Crowdsourcing
+//!
+//! A complete, from-scratch Rust implementation of Zeng, Tong, Chen & Zhou,
+//! *"Latency-oriented Task Completion via Spatial Crowdsourcing"*
+//! (ICDE 2018): the LTC problem model, the offline 7.5-approximation
+//! MCF-LTC, the online algorithms LAF and AAM with constant competitive
+//! ratios, both evaluation baselines, an exact solver for small instances,
+//! workload generators matching the paper's Tables IV and V, and an
+//! answer-aggregation simulator validating the Hoeffding quality
+//! guarantee end to end.
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! roof and adds a [`prelude`].
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`mod@core`] | problem model + all six algorithms |
+//! | [`spatial`] | geometry, grid index, KD-tree, convex hulls |
+//! | [`mcmf`] | min-cost max-flow (SSPA) |
+//! | [`workload`] | Table IV / Table V dataset generators |
+//! | [`sim`] | ground truth, voting, error rates, truth inference |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ltc::prelude::*;
+//!
+//! // A small city: 30 tasks, 2 000 check-ins.
+//! let instance = CheckinCityConfig::new_york_like().scaled_down(128).generate();
+//!
+//! // Online arrangement with AAM (Algorithm 3).
+//! let outcome = run_online(&instance, &mut Aam::new());
+//! assert!(outcome.completed);
+//! println!("latency = {} workers", outcome.latency().unwrap());
+//!
+//! // Validate the quality guarantee empirically.
+//! let truth = GroundTruth::random(instance.n_tasks(), 7);
+//! let report = simulate(&instance, &outcome.arrangement, &truth, 200, 7);
+//! assert!(report.max_task_error_rate() < instance.params().epsilon + 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ltc_core as core;
+pub use ltc_mcmf as mcmf;
+pub use ltc_sim as sim;
+pub use ltc_spatial as spatial;
+pub use ltc_workload as workload;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use ltc_core::bounds::{latency_lower_bound, latency_upper_bound};
+    pub use ltc_core::model::{
+        AccuracyModel, Arrangement, Assignment, Eligibility, Instance, InstanceError,
+        ProblemParams, QualityModel, RunOutcome, Task, TaskId, Worker, WorkerId,
+    };
+    pub use ltc_core::offline::{BaseOff, ExactSolver, McfLtc};
+    pub use ltc_core::online::{run_online, Aam, Laf, OnlineAlgorithm, RandomAssign};
+    pub use ltc_sim::{simulate, GroundTruth};
+    pub use ltc_spatial::Point;
+    pub use ltc_workload::{AccuracyDistribution, CheckinCityConfig, SyntheticConfig};
+}

@@ -1,0 +1,105 @@
+//! Theorem 4's adversarial construction, realized as a concrete instance:
+//! no deterministic online algorithm is better than 5.5-competitive.
+//!
+//! Setup (paper Sec. IV-A): `δ = 1`, `K = 1`. The first worker is equally
+//! perfect (`Acc* = 1`) at two tasks; whichever it takes, the adversary
+//! sends a second worker that is perfect at the *taken* task and nearly
+//! useless (`Acc* = 0.1`) at the remaining one, followed by a stream of
+//! equally useless workers. The optimum assigns the first worker to the
+//! other task (latency 2); the online algorithm needs `1 + ⌈1/0.1⌉ = 11`.
+
+use ltc::core::model::{AccuracyModel, AccuracyTable};
+use ltc::core::offline::ExactSolver;
+use ltc::core::online::{run_online, Aam, Laf};
+use ltc::prelude::*;
+
+/// Acc with Acc* = 0.1: (2a−1)² = 0.1 ⇒ a = (1 + √0.1) / 2 ≈ 0.658.
+fn weak_acc() -> f64 {
+    (1.0 + 0.1f64.sqrt()) / 2.0
+}
+
+fn adversarial_instance() -> Instance {
+    // δ = 1 ⇒ ε = e^{-1/2}.
+    let params = ProblemParams::builder()
+        .epsilon((-0.5f64).exp())
+        .capacity(1)
+        .d_max(30.0)
+        .min_accuracy(0.5) // the adversary's weak workers sit below 0.66
+        .build()
+        .unwrap();
+    let weak = weak_acc();
+    // Worker rows over tasks (t1, t2). LAF breaks the w1 tie toward t1,
+    // so the adversary makes everyone weak at t2.
+    let mut rows: Vec<Vec<f64>> = vec![
+        vec![1.0, 1.0],  // w1: perfect at both
+        vec![1.0, weak], // w2: perfect at the task w1 took
+    ];
+    for _ in 0..10 {
+        rows.push(vec![1.0, weak]); // the useless tail
+    }
+    let n_workers = rows.len();
+    let tasks = vec![
+        Task::new(Point::new(0.0, 0.0)),
+        Task::new(Point::new(5.0, 0.0)),
+    ];
+    let workers: Vec<Worker> = (0..n_workers)
+        .map(|i| Worker::new(Point::new(1.0 + (i % 3) as f64, 1.0), 1.0))
+        .collect();
+    Instance::with_accuracy(
+        tasks,
+        workers,
+        params,
+        AccuracyModel::Table(AccuracyTable::from_rows(&rows)),
+    )
+    .unwrap()
+}
+
+#[test]
+fn delta_is_one() {
+    let inst = adversarial_instance();
+    assert!((inst.delta() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn optimum_is_two() {
+    // Offline: w1 → t2 (Acc* = 1 ≥ δ), w2 → t1.
+    let inst = adversarial_instance();
+    let exact = ExactSolver::new().solve(&inst).unwrap();
+    assert_eq!(exact.optimal_latency, Some(2));
+}
+
+#[test]
+fn laf_is_fooled_to_ratio_5_5() {
+    let inst = adversarial_instance();
+    let outcome = run_online(&inst, &mut Laf::new());
+    assert!(outcome.completed);
+    // w1 takes t1 (tie toward the smaller id), then t2 needs ⌈1/0.1⌉ = 10
+    // weak workers: latency 11 = 5.5 × OPT — exactly the Theorem-4 bound.
+    assert_eq!(outcome.latency(), Some(11));
+    outcome.arrangement.check_feasible(&inst).unwrap();
+}
+
+#[test]
+fn aam_cannot_escape_either() {
+    // Theorem 4 applies to *every* deterministic online algorithm; AAM's
+    // different keying does not help on this construction.
+    let inst = adversarial_instance();
+    let outcome = run_online(&inst, &mut Aam::new());
+    assert!(outcome.completed);
+    assert_eq!(outcome.latency(), Some(11));
+}
+
+#[test]
+fn the_ratio_is_tight_not_beaten() {
+    // Competitive guarantee sanity: 11 ≤ 7.967 × 2; the adversary reaches
+    // 5.5× but not the proven ceiling.
+    let inst = adversarial_instance();
+    let opt = ExactSolver::new()
+        .solve(&inst)
+        .unwrap()
+        .optimal_latency
+        .unwrap() as f64;
+    let laf = run_online(&inst, &mut Laf::new()).latency().unwrap() as f64;
+    assert!((laf / opt - 5.5).abs() < 1e-9);
+    assert!(laf / opt <= 7.967);
+}

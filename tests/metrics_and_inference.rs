@@ -1,0 +1,104 @@
+//! Integration tests for the analytics layers added on top of the paper:
+//! arrangement statistics (`ltc-core::metrics`) and truth inference
+//! (`ltc-sim::inference`), exercised through full pipelines.
+
+use ltc::core::metrics::ArrangementStats;
+use ltc::core::offline::McfLtc;
+use ltc::core::online::{run_online, Aam, Laf, RandomAssign};
+use ltc::prelude::*;
+use ltc::sim::{infer_em, infer_majority, infer_weighted, AnswerSet, EmConfig};
+
+fn town() -> Instance {
+    SyntheticConfig {
+        n_tasks: 60,
+        n_workers: 2000,
+        grid_size: 150.0,
+        seed: 5,
+        ..SyntheticConfig::default()
+    }
+    .generate()
+}
+
+#[test]
+fn stats_are_consistent_across_algorithms() {
+    let instance = town();
+    for outcome in [
+        McfLtc::new().run(&instance),
+        run_online(&instance, &mut Laf::new()),
+        run_online(&instance, &mut Aam::new()),
+        run_online(&instance, &mut RandomAssign::seeded(2)),
+    ] {
+        assert!(outcome.completed);
+        let stats = ArrangementStats::new(&instance, &outcome.arrangement);
+        // The paper's objective equals the per-task maximum.
+        assert_eq!(stats.max_latency(), outcome.latency());
+        // Quantiles are monotone and bracketed by the extremes.
+        let p10 = stats.latency_quantile(0.1).unwrap();
+        let p50 = stats.latency_quantile(0.5).unwrap();
+        let p99 = stats.latency_quantile(0.99).unwrap();
+        assert!(p10 <= p50 && p50 <= p99);
+        assert!(p99 <= stats.max_latency().unwrap());
+        // Utilization is a ratio.
+        let u = stats.capacity_utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+        // Every task reached δ, so no negative overshoot.
+        assert!(stats.quality_overshoot().iter().all(|&o| o >= -1e-9));
+    }
+}
+
+#[test]
+fn mean_latency_below_max_and_above_bound() {
+    let instance = town();
+    let outcome = run_online(&instance, &mut Aam::new());
+    let stats = ArrangementStats::new(&instance, &outcome.arrangement);
+    let mean = stats.mean_latency().unwrap();
+    assert!(mean <= stats.max_latency().unwrap() as f64);
+    // Each task needs at least ⌈δ⌉ workers, so the mean per-task latency
+    // cannot be below that.
+    assert!(mean >= instance.delta());
+}
+
+#[test]
+fn inference_pipeline_end_to_end() {
+    let instance = town();
+    let outcome = run_online(&instance, &mut Aam::new());
+    let truth = GroundTruth::random(instance.n_tasks(), 3);
+    let answers = AnswerSet::collect(&instance, &outcome.arrangement, &truth, 11);
+    assert_eq!(answers.len(), outcome.arrangement.len());
+
+    let priors: Vec<f64> = instance.workers().iter().map(|w| w.accuracy).collect();
+    let err = |labels: &[i8]| -> usize {
+        labels
+            .iter()
+            .enumerate()
+            .filter(|(t, &l)| l != truth.label(*t))
+            .count()
+    };
+    // All three aggregators recover the vast majority of labels on a
+    // completed arrangement (δ-level redundancy).
+    let n = instance.n_tasks();
+    assert!(err(&infer_majority(&answers)) <= n / 10);
+    assert!(err(&infer_weighted(&answers, &priors)) <= n / 10);
+    assert!(err(&infer_em(&answers, EmConfig::default()).labels) <= n / 10);
+}
+
+#[test]
+fn em_posteriors_are_calibrated_enough_to_rank() {
+    // Tasks answered by more workers should have more confident
+    // posteriors on average.
+    let instance = town();
+    let outcome = run_online(&instance, &mut Laf::new());
+    let truth = GroundTruth::all_yes(instance.n_tasks());
+    let answers = AnswerSet::collect(&instance, &outcome.arrangement, &truth, 13);
+    let em = infer_em(&answers, EmConfig::default());
+    let confident = em
+        .posteriors
+        .iter()
+        .filter(|&&q| q > 0.9 || q < 0.1)
+        .count();
+    assert!(
+        confident as f64 >= 0.8 * instance.n_tasks() as f64,
+        "only {confident}/{} tasks confidently decided",
+        instance.n_tasks()
+    );
+}

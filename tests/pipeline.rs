@@ -1,0 +1,119 @@
+//! Cross-crate pipeline tests: workload generation → arrangement →
+//! answer simulation, plus dataset serialization through a real file.
+
+use ltc::core::offline::McfLtc;
+use ltc::core::online::{run_online, Aam, Laf, RandomAssign};
+use ltc::prelude::*;
+use ltc::workload::dataset;
+
+fn small_city() -> Instance {
+    CheckinCityConfig::new_york_like()
+        .scaled_down(128)
+        .generate()
+}
+
+#[test]
+fn city_stream_to_quality_report() {
+    let instance = small_city();
+    let outcome = run_online(&instance, &mut Aam::new());
+    assert!(outcome.completed, "the city stream is dense enough");
+    outcome.arrangement.check_feasible(&instance).unwrap();
+
+    let truth = GroundTruth::random(instance.n_tasks(), 11);
+    let report = simulate(&instance, &outcome.arrangement, &truth, 500, 13);
+    assert!(
+        report.max_task_error_rate() < instance.params().epsilon,
+        "worst task error {} ≥ ε {}",
+        report.max_task_error_rate(),
+        instance.params().epsilon
+    );
+}
+
+#[test]
+fn synthetic_stream_all_algorithms_agree_on_feasibility() {
+    let instance = SyntheticConfig::default().scaled_down(256).generate();
+    let outcomes = vec![
+        McfLtc::new().run(&instance),
+        run_online(&instance, &mut Laf::new()),
+        run_online(&instance, &mut Aam::new()),
+        run_online(&instance, &mut RandomAssign::seeded(5)),
+    ];
+    let completions: Vec<bool> = outcomes.iter().map(|o| o.completed).collect();
+    // On this dense default workload everyone completes.
+    assert!(
+        completions.iter().all(|&c| c),
+        "completions: {completions:?}"
+    );
+    for o in outcomes {
+        o.arrangement.check_feasible(&instance).unwrap();
+    }
+}
+
+#[test]
+fn dataset_file_roundtrip_preserves_algorithm_behaviour() {
+    let dir = std::env::temp_dir().join("ltc-pipeline-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fixture.tsv");
+
+    let original = SyntheticConfig {
+        n_tasks: 40,
+        n_workers: 600,
+        ..SyntheticConfig::default()
+    }
+    .scaled_down(4)
+    .generate();
+
+    let file = std::fs::File::create(&path).unwrap();
+    dataset::write_tsv(&original, std::io::BufWriter::new(file)).unwrap();
+    let reloaded =
+        dataset::read_tsv(std::io::BufReader::new(std::fs::File::open(&path).unwrap())).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    // Same bytes in ⇒ same arrangement out.
+    let a = run_online(&original, &mut Laf::new());
+    let b = run_online(&reloaded, &mut Laf::new());
+    assert_eq!(a.arrangement.assignments(), b.arrangement.assignments());
+    assert_eq!(a.latency(), b.latency());
+}
+
+#[test]
+fn latency_improves_with_capacity() {
+    // The paper's Fig. 3b shape: higher K ⇒ lower (or equal) latency.
+    let mut last = u32::MAX;
+    for capacity in [2u32, 4, 8] {
+        let instance = SyntheticConfig {
+            capacity,
+            ..SyntheticConfig::default()
+        }
+        .scaled_down(128)
+        .generate();
+        let latency = run_online(&instance, &mut Aam::new())
+            .latency()
+            .expect("feasible");
+        assert!(
+            latency <= last,
+            "latency rose from {last} to {latency} as K grew to {capacity}"
+        );
+        last = latency;
+    }
+}
+
+#[test]
+fn prelude_exposes_a_complete_workflow() {
+    // Compile-time check that the prelude suffices for the README snippet.
+    let params = ProblemParams::builder()
+        .epsilon(0.2)
+        .capacity(2)
+        .build()
+        .unwrap();
+    let instance = Instance::new(
+        vec![Task::new(Point::ORIGIN)],
+        vec![Worker::new(Point::new(1.0, 1.0), 0.9); 10],
+        params,
+    )
+    .unwrap();
+    let outcome = run_online(&instance, &mut Laf::new());
+    assert!(outcome.completed);
+    assert!(latency_lower_bound(&instance) <= outcome.latency().unwrap() as f64);
+    assert!(latency_upper_bound(&instance) >= outcome.latency().unwrap() as f64);
+}

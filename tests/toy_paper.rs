@@ -1,0 +1,85 @@
+//! Paper-anchored integration tests: the worked examples of Sec. I–IV,
+//! exercised through the public facade exactly as a downstream user would.
+
+use ltc::core::offline::{BaseOff, ExactSolver, McfLtc};
+use ltc::core::online::{run_online, Aam, Laf};
+use ltc::core::toy::{toy_example1_instance, toy_instance};
+
+/// Example 1: plain-sum quality with threshold 2.92 — offline optimum 5.
+#[test]
+fn example_1_offline_optimum() {
+    let inst = toy_example1_instance();
+    let exact = ExactSolver::new().solve(&inst).expect("tiny instance");
+    assert_eq!(exact.optimal_latency, Some(5));
+}
+
+/// Example 2 (and Fig. 2): the Hoeffding model with ε = 0.2. The exact
+/// optimum is 6; MCF-LTC's single batch covers all eight workers and must
+/// land in [6, 8] (see DESIGN.md §3 on why the paper's narrated value 6 is
+/// not the unique min-cost max-flow).
+#[test]
+fn example_2_mcf_ltc() {
+    let inst = toy_instance(0.2);
+    let exact = ExactSolver::new().solve(&inst).expect("tiny instance");
+    assert_eq!(exact.optimal_latency, Some(6));
+
+    let outcome = McfLtc::new().run(&inst);
+    assert!(outcome.completed);
+    let latency = outcome.latency().unwrap();
+    assert!((6..=8).contains(&latency));
+    outcome.arrangement.check_feasible(&inst).unwrap();
+    // Exactly ⌈δ⌉ = 4 units per task flow out of the network, none wasted.
+    assert_eq!(outcome.arrangement.len(), 12);
+}
+
+/// Example 3: LAF recruits all 8 workers.
+#[test]
+fn example_3_laf() {
+    let inst = toy_instance(0.2);
+    let outcome = run_online(&inst, &mut Laf::new());
+    assert_eq!(outcome.latency(), Some(8));
+}
+
+/// Example 4: AAM needs one fewer worker than LAF.
+#[test]
+fn example_4_aam() {
+    let inst = toy_instance(0.2);
+    let outcome = run_online(&inst, &mut Aam::new());
+    assert_eq!(outcome.latency(), Some(7));
+}
+
+/// The paper's qualitative claim across the toy: optimum ≤ MCF-LTC ≤
+/// Base-off and optimum ≤ AAM ≤ LAF.
+#[test]
+fn toy_orderings() {
+    let inst = toy_instance(0.2);
+    let opt = ExactSolver::new()
+        .solve(&inst)
+        .unwrap()
+        .optimal_latency
+        .unwrap();
+    let mcf = McfLtc::new().run(&inst).latency().unwrap();
+    let base = BaseOff::new().run(&inst).latency().unwrap();
+    let laf = run_online(&inst, &mut Laf::new()).latency().unwrap();
+    let aam = run_online(&inst, &mut Aam::new()).latency().unwrap();
+    assert!(opt <= mcf && mcf <= base);
+    assert!(opt <= aam && aam <= laf);
+}
+
+/// Varying ε on the toy: smaller tolerable error ⇒ larger latency
+/// (monotone in the threshold δ), until the instance becomes infeasible.
+#[test]
+fn toy_epsilon_monotonicity() {
+    let mut last = 0;
+    for epsilon in [0.35, 0.25, 0.2] {
+        let inst = toy_instance(epsilon);
+        let outcome = run_online(&inst, &mut Aam::new());
+        let latency = outcome.latency().expect("feasible at these ε");
+        assert!(latency >= last, "latency fell as ε tightened");
+        last = latency;
+    }
+    // ε = 0.05 ⇒ δ ≈ 5.99 ⇒ each task needs 7 workers; 8 workers × 2
+    // slots < 21 needed units: infeasible.
+    let inst = toy_instance(0.05);
+    assert!(!run_online(&inst, &mut Aam::new()).completed);
+}
