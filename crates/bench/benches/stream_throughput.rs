@@ -1,0 +1,193 @@
+//! Streaming throughput: sustained workers/sec of the evicting
+//! [`AssignmentEngine`] versus a no-eviction baseline replicating the
+//! pre-engine semantics (static grid over *all* tasks, completed tasks
+//! filtered out of every query result).
+//!
+//! Both paths run the same LAF policy over the same synthetic stream and
+//! produce identical arrangements; the measured difference is purely the
+//! eligibility hot path. The eviction win grows as tasks complete: the
+//! engine's radius queries shrink with the remaining work while the
+//! baseline keeps scanning (and re-sorting) the full neighborhood.
+//!
+//! Run with `cargo bench -p ltc-bench --bench stream_throughput`; scale
+//! the stream with `LTC_BENCH_SCALE` (smaller = bigger instance, default
+//! 8) like the other benches.
+
+use ltc_core::engine::{AssignmentEngine, Candidate};
+use ltc_core::model::{Instance, TaskId, WorkerId};
+use ltc_core::online::{Laf, OnlineAlgorithm};
+use ltc_spatial::GridIndex;
+use ltc_workload::SyntheticConfig;
+use std::time::Instant;
+
+/// Per-worker driver replicating the pre-engine hot path: one static
+/// grid built over the full task set, per-query completed-task
+/// filtering, and the same assign/commit semantics as the engine.
+struct NoEvictionBaseline {
+    engine: AssignmentEngine,
+    static_index: GridIndex<u32>,
+}
+
+impl NoEvictionBaseline {
+    fn new(instance: &Instance) -> Self {
+        let engine = AssignmentEngine::from_instance(instance);
+        let static_index = GridIndex::build(
+            instance.params().d_max,
+            instance
+                .tasks()
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (i as u32, t.loc)),
+        );
+        Self {
+            engine,
+            static_index,
+        }
+    }
+
+    fn push_worker(
+        &mut self,
+        w: WorkerId,
+        worker: &ltc_core::model::Worker,
+        algo: &mut Laf,
+        candidates: &mut Vec<Candidate>,
+        picks: &mut Vec<TaskId>,
+    ) {
+        candidates.clear();
+        candidates.extend(
+            self.static_index
+                .within(worker.loc, self.engine.params().d_max)
+                .filter(|&t| !self.engine.is_completed(TaskId(t)))
+                .map(|t| self.engine.candidate(w, worker, TaskId(t)))
+                .filter(|c| c.acc >= 0.5),
+        );
+        candidates.sort_unstable_by_key(|c| c.task);
+        if candidates.is_empty() {
+            return;
+        }
+        picks.clear();
+        algo.assign(&self.engine, w, candidates, picks);
+        picks.truncate(self.engine.params().capacity as usize);
+        picks.sort_unstable();
+        picks.dedup();
+        for &t in picks.iter() {
+            self.engine.commit(w, worker, t);
+        }
+    }
+}
+
+struct Measurement {
+    workers: u64,
+    assignments: usize,
+    completed: bool,
+    secs: f64,
+}
+
+fn run_engine(instance: &Instance) -> Measurement {
+    let mut engine = AssignmentEngine::from_instance(instance);
+    let mut algo = Laf::new();
+    let start = Instant::now();
+    let mut workers = 0u64;
+    for worker in instance.workers() {
+        if engine.all_completed() {
+            break;
+        }
+        engine.push_worker(worker, &mut algo);
+        workers += 1;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    Measurement {
+        workers,
+        assignments: engine.arrangement().len(),
+        completed: engine.all_completed(),
+        secs,
+    }
+}
+
+fn run_baseline(instance: &Instance) -> Measurement {
+    let mut baseline = NoEvictionBaseline::new(instance);
+    let mut algo = Laf::new();
+    let mut candidates = Vec::new();
+    let mut picks = Vec::new();
+    let start = Instant::now();
+    let mut workers = 0u64;
+    for (w, worker) in instance.workers().iter().enumerate() {
+        if baseline.engine.all_completed() {
+            break;
+        }
+        baseline.push_worker(
+            WorkerId(w as u32),
+            worker,
+            &mut algo,
+            &mut candidates,
+            &mut picks,
+        );
+        workers += 1;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    Measurement {
+        workers,
+        assignments: baseline.engine.arrangement().len(),
+        completed: baseline.engine.all_completed(),
+        secs,
+    }
+}
+
+fn report(label: &str, m: &Measurement) {
+    println!(
+        "  {label:<28} {:>9} workers in {:>8.3}s  =  {:>10.0} workers/sec  \
+         ({} assignments, completed: {})",
+        m.workers,
+        m.secs,
+        m.workers as f64 / m.secs,
+        m.assignments,
+        m.completed
+    );
+}
+
+fn main() {
+    let scale = ltc_bench::bench_scale().min(64);
+    println!("stream_throughput (LTC_BENCH_SCALE = {scale}; LAF policy)");
+    for (name, cfg) in [
+        (
+            "table-iv/default",
+            SyntheticConfig::default().scaled_down(scale),
+        ),
+        (
+            "table-iv/eps0.06 (long tail)",
+            SyntheticConfig {
+                epsilon: 0.06,
+                ..SyntheticConfig::default().scaled_down(scale)
+            },
+        ),
+        (
+            "scalability/40k-workers",
+            SyntheticConfig {
+                n_tasks: 10_000 / scale.max(1),
+                n_workers: 40_000,
+                ..SyntheticConfig::default()
+            },
+        ),
+    ] {
+        let instance = cfg.generate();
+        println!(
+            "{name}: |T| = {}, |W| = {}, K = {}, eps = {}",
+            instance.n_tasks(),
+            instance.n_workers(),
+            instance.params().capacity,
+            instance.params().epsilon
+        );
+        let baseline = run_baseline(&instance);
+        let engine = run_engine(&instance);
+        assert_eq!(
+            baseline.assignments, engine.assignments,
+            "eviction changed the arrangement"
+        );
+        report("static grid + filter", &baseline);
+        report("evicting engine", &engine);
+        println!(
+            "  speedup: {:.2}x",
+            baseline.secs / engine.secs.max(f64::EPSILON)
+        );
+    }
+}

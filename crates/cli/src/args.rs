@@ -10,6 +10,8 @@ USAGE:
   ltc generate --preset <synthetic|newyork|tokyo> [--scale N] [--seed S]
                [--epsilon E] [--out FILE]
   ltc run      --input FILE --algo <aam|laf|random|mcf-ltc|base-off> [--stats]
+  ltc stream   --input FILE --algo <aam|laf|random> [--checkins FILE]
+               [--seed S]
   ltc exact    --input FILE [--budget NODES]
   ltc simulate --input FILE --algo <...> [--trials N] [--seed S]
   ltc bounds   --input FILE
@@ -19,7 +21,14 @@ Datasets are the TSV format of ltc-workload::dataset (`ltc generate` writes
 it; omitting --out prints to stdout). `run --stats` adds per-task latency
 quantiles, capacity utilization and quality overshoot. `simulate` samples
 crowd answers and compares weighted-majority aggregation against plain
-majority and EM truth inference.";
+majority and EM truth inference.
+
+`stream` runs the incremental assignment engine: tasks and parameters come
+from --input (its worker records are ignored), worker check-ins are read
+line by line from --checkins (default: stdin) as `x<TAB>y<TAB>accuracy`
+(the dataset `worker` record also parses), and each worker's committed
+assignments are emitted immediately as one NDJSON line, ending with a
+summary line. Check-ins below the spam threshold are skipped.";
 
 /// Which arrangement algorithm a command should run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +115,18 @@ pub enum Command {
         algo: AlgoChoice,
         /// Print extended statistics.
         stats: bool,
+    },
+    /// `ltc stream`.
+    Stream {
+        /// Dataset path providing parameters and tasks (worker records
+        /// are ignored).
+        input: String,
+        /// Online algorithm driving the engine.
+        algo: AlgoChoice,
+        /// Check-in source (`None` = stdin).
+        checkins: Option<String>,
+        /// RNG seed (only affects `random`).
+        seed: u64,
     },
     /// `ltc exact`.
     Exact {
@@ -240,6 +261,29 @@ impl Command {
                             .ok_or_else(|| ParseError("run requires --algo".into()))?,
                     )?,
                     stats: flags.present("--stats"),
+                })
+            }
+            "stream" => {
+                flags.reject_unknown(&["--input", "--algo", "--checkins", "--seed"])?;
+                let algo = AlgoChoice::parse(
+                    flags
+                        .value("--algo")?
+                        .ok_or_else(|| ParseError("stream requires --algo".into()))?,
+                )?;
+                if !matches!(algo, AlgoChoice::Aam | AlgoChoice::Laf | AlgoChoice::Random) {
+                    return Err(ParseError(format!(
+                        "stream requires an online algorithm (aam, laf, random), got `{}`",
+                        algo.name()
+                    )));
+                }
+                Ok(Command::Stream {
+                    input: required_input(&mut flags)?,
+                    algo,
+                    checkins: flags.value("--checkins")?.map(str::to_string),
+                    seed: match flags.value("--seed")? {
+                        Some(v) => parse_num(v, "seed")?,
+                        None => 0x5EED,
+                    },
                 })
             }
             "exact" => {
@@ -384,6 +428,40 @@ mod tests {
     #[test]
     fn zero_scale_rejected() {
         assert!(Command::parse(&argv("generate --preset synthetic --scale 0")).is_err());
+    }
+
+    #[test]
+    fn stream_parses_with_defaults() {
+        let cmd = Command::parse(&argv("stream --input x.tsv --algo aam")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Stream {
+                input: "x.tsv".into(),
+                algo: AlgoChoice::Aam,
+                checkins: None,
+                seed: 0x5EED,
+            }
+        );
+        let cmd = Command::parse(&argv(
+            "stream --input x.tsv --algo random --checkins c.tsv --seed 7",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Stream {
+                input: "x.tsv".into(),
+                algo: AlgoChoice::Random,
+                checkins: Some("c.tsv".into()),
+                seed: 7,
+            }
+        );
+    }
+
+    #[test]
+    fn stream_rejects_offline_algorithms() {
+        let err = Command::parse(&argv("stream --input x.tsv --algo mcf-ltc")).unwrap_err();
+        assert!(err.to_string().contains("online algorithm"));
+        assert!(Command::parse(&argv("stream --algo aam")).is_err());
     }
 
     #[test]

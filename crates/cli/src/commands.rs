@@ -2,14 +2,16 @@
 
 use crate::args::{AlgoChoice, Command, Preset};
 use ltc_core::bounds::{batch_size, latency_lower_bound, latency_upper_bound};
+use ltc_core::engine::AssignmentEngine;
 use ltc_core::metrics::ArrangementStats;
-use ltc_core::model::{Instance, RunOutcome};
+use ltc_core::model::{Instance, RunOutcome, Worker};
 use ltc_core::offline::{BaseOff, ExactSolver, McfLtc};
-use ltc_core::online::{run_online, Aam, Laf, RandomAssign};
+use ltc_core::online::{run_online, Aam, Laf, OnlineAlgorithm, RandomAssign};
 use ltc_sim::{infer_em, infer_majority, simulate, AnswerSet, EmConfig, GroundTruth};
+use ltc_spatial::Point;
 use ltc_workload::{dataset, CheckinCityConfig, SyntheticConfig};
 use std::error::Error;
-use std::io::Write;
+use std::io::{BufRead, Write};
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -25,6 +27,12 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
             out: path,
         } => generate(preset, scale, seed, epsilon, path, out),
         Command::Run { input, algo, stats } => run_algo(&input, algo, stats, out),
+        Command::Stream {
+            input,
+            algo,
+            checkins,
+            seed,
+        } => stream_cmd(&input, algo, checkins.as_deref(), seed, out),
         Command::Exact { input, budget } => exact(&input, budget, out),
         Command::Simulate {
             input,
@@ -150,6 +158,160 @@ fn run_algo(input: &str, algo: AlgoChoice, stats: bool, out: &mut dyn Write) -> 
             writeln!(out, "mean quality overshoot: {over:.3} above δ")?;
         }
     }
+    Ok(())
+}
+
+/// Parses one check-in line: `x y accuracy` (tab- or space-separated),
+/// optionally prefixed with the dataset's `worker` record tag.
+fn parse_checkin(line: &str, lineno: usize) -> Result<Worker, String> {
+    let mut fields = line.split_whitespace().peekable();
+    if fields.peek() == Some(&"worker") {
+        fields.next();
+    }
+    let mut next_f64 = |name: &str| -> Result<f64, String> {
+        fields
+            .next()
+            .ok_or_else(|| format!("check-in line {lineno}: missing `{name}`"))?
+            .parse::<f64>()
+            .map_err(|e| format!("check-in line {lineno}: bad `{name}`: {e}"))
+    };
+    let x = next_f64("x")?;
+    let y = next_f64("y")?;
+    let accuracy = next_f64("accuracy")?;
+    let loc = Point::new(x, y);
+    if !loc.is_finite() {
+        return Err(format!("check-in line {lineno}: non-finite location"));
+    }
+    if !accuracy.is_finite() || !(0.0..=1.0).contains(&accuracy) {
+        return Err(format!(
+            "check-in line {lineno}: accuracy {accuracy} outside [0, 1]"
+        ));
+    }
+    Ok(Worker::new(loc, accuracy))
+}
+
+/// Appends one worker's batch as an NDJSON event line.
+fn write_stream_event(
+    out: &mut dyn Write,
+    engine: &AssignmentEngine,
+    worker_idx: u64,
+    batch: &ltc_core::AssignmentBatch,
+) -> CmdResult {
+    write!(out, "{{\"worker\":{worker_idx},\"assignments\":[")?;
+    for (i, a) in batch.iter().enumerate() {
+        if i > 0 {
+            write!(out, ",")?;
+        }
+        write!(
+            out,
+            "{{\"task\":{},\"acc\":{:.6},\"contribution\":{:.6}}}",
+            a.task.0, a.acc, a.contribution
+        )?;
+    }
+    write!(out, "],\"newly_completed\":[")?;
+    let mut first = true;
+    for a in batch.iter() {
+        if engine.is_completed(a.task) {
+            if !first {
+                write!(out, ",")?;
+            }
+            write!(out, "{}", a.task.0)?;
+            first = false;
+        }
+    }
+    writeln!(out, "]}}")?;
+    Ok(())
+}
+
+/// `ltc stream`: drive the incremental engine over a line-by-line
+/// check-in stream, emitting assignments as NDJSON.
+fn stream_cmd(
+    input: &str,
+    algo: AlgoChoice,
+    checkins: Option<&str>,
+    seed: u64,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let instance = load(input)?;
+    let mut engine = AssignmentEngine::from_instance(&instance);
+    let mut aam;
+    let mut laf;
+    let mut random;
+    let policy: &mut dyn OnlineAlgorithm = match algo {
+        AlgoChoice::Aam => {
+            aam = Aam::new();
+            &mut aam
+        }
+        AlgoChoice::Laf => {
+            laf = Laf::new();
+            &mut laf
+        }
+        AlgoChoice::Random => {
+            random = RandomAssign::seeded(seed);
+            &mut random
+        }
+        AlgoChoice::McfLtc | AlgoChoice::BaseOff => {
+            unreachable!("argument parsing restricts stream to online algorithms")
+        }
+    };
+
+    let stdin;
+    let file;
+    let reader: Box<dyn BufRead> = match checkins {
+        Some(path) => {
+            file = std::fs::File::open(path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
+            Box::new(std::io::BufReader::new(file))
+        }
+        None => {
+            stdin = std::io::stdin();
+            Box::new(stdin.lock())
+        }
+    };
+
+    let min_accuracy = instance.params().min_accuracy;
+    let started = std::time::Instant::now();
+    let mut spam_skipped: u64 = 0;
+    for (lineno, line) in reader.lines().enumerate() {
+        if engine.all_completed() {
+            break;
+        }
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let worker = parse_checkin(line, lineno + 1)?;
+        // The paper's preprocessing: spam workers are ignored entirely
+        // (they do not consume an arrival index).
+        if worker.accuracy < min_accuracy {
+            spam_skipped += 1;
+            continue;
+        }
+        let worker_idx = engine.n_workers_seen();
+        let batch = engine.push_worker(&worker, policy);
+        if !batch.is_empty() {
+            write_stream_event(out, &engine, worker_idx, &batch)?;
+        }
+    }
+
+    let elapsed = started.elapsed().as_secs_f64();
+    let completed = engine.all_completed();
+    let workers = engine.n_workers_seen();
+    let n_tasks = engine.n_tasks();
+    let n_completed = n_tasks - engine.n_uncompleted();
+    let outcome = engine.into_outcome();
+    let latency = match outcome.latency() {
+        Some(l) => l.to_string(),
+        None => "null".to_string(),
+    };
+    writeln!(
+        out,
+        "{{\"summary\":true,\"algo\":\"{}\",\"workers\":{workers},\"spam_skipped\":{spam_skipped},\
+         \"assignments\":{},\"tasks\":{n_tasks},\"completed_tasks\":{n_completed},\
+         \"completed\":{completed},\"latency\":{latency},\"elapsed_s\":{elapsed:.6}}}",
+        algo.name(),
+        outcome.arrangement.len(),
+    )?;
     Ok(())
 }
 
@@ -309,6 +471,100 @@ mod tests {
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("optimal latency: 3"), "{out}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_emits_ndjson_and_summary() {
+        let data_path = temp_path("stream_data.tsv");
+        let checkin_path = temp_path("stream_checkins.tsv");
+        // One task, ε = 0.3 ⇒ δ ≈ 2.41; co-located 0.95-accuracy workers
+        // contribute ≈ 0.81 each ⇒ 3 accepted check-ins complete it.
+        let data = "# ltc-dataset v1\nparams\t0.3\t1\t30\t0.66\ntask\t5\t5\n";
+        std::fs::write(&data_path, data).unwrap();
+        let checkins =
+            "# comment line\n5\t6\t0.95\nworker\t5\t6\t0.95\n5\t6\t0.2\n\n5 6 0.95\n5\t6\t0.95\n";
+        std::fs::write(&checkin_path, checkins).unwrap();
+
+        let (code, out) = run_cli(&format!(
+            "stream --input {data_path} --algo laf --checkins {checkin_path}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        let lines: Vec<&str> = out.lines().collect();
+        // Three assignment events (spam line skipped, 4th check-in unused
+        // because the task completes at the 3rd) plus the summary.
+        assert_eq!(lines.len(), 4, "{out}");
+        assert!(lines[0].contains("\"worker\":0"));
+        assert!(lines[0].contains("\"assignments\":[{\"task\":0"));
+        assert!(lines[0].contains("\"newly_completed\":[]"));
+        assert!(lines[2].contains("\"newly_completed\":[0]"));
+        let summary = lines[3];
+        assert!(summary.contains("\"summary\":true"), "{summary}");
+        assert!(summary.contains("\"workers\":3"), "{summary}");
+        assert!(summary.contains("\"spam_skipped\":1"), "{summary}");
+        assert!(summary.contains("\"completed\":true"), "{summary}");
+        assert!(summary.contains("\"latency\":3"), "{summary}");
+    }
+
+    #[test]
+    fn stream_reports_incomplete_on_exhausted_checkins() {
+        let data_path = temp_path("stream_incomplete.tsv");
+        let checkin_path = temp_path("stream_incomplete_checkins.tsv");
+        let data = "# ltc-dataset v1\nparams\t0.1\t1\t30\t0.66\ntask\t5\t5\n";
+        std::fs::write(&data_path, data).unwrap();
+        std::fs::write(&checkin_path, "5\t6\t0.95\n").unwrap();
+        let (code, out) = run_cli(&format!(
+            "stream --input {data_path} --algo aam --checkins {checkin_path}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("\"completed\":false"), "{out}");
+        assert!(out.contains("\"latency\":null"), "{out}");
+    }
+
+    #[test]
+    fn stream_rejects_malformed_checkins() {
+        let data_path = temp_path("stream_bad.tsv");
+        let checkin_path = temp_path("stream_bad_checkins.tsv");
+        let data = "# ltc-dataset v1\nparams\t0.3\t1\t30\t0.66\ntask\t5\t5\n";
+        std::fs::write(&data_path, data).unwrap();
+        std::fs::write(&checkin_path, "5\tnot-a-number\t0.9\n").unwrap();
+        let (code, out) = run_cli(&format!(
+            "stream --input {data_path} --algo laf --checkins {checkin_path}"
+        ));
+        assert_eq!(code, 1);
+        assert!(out.contains("check-in line 1"), "{out}");
+    }
+
+    #[test]
+    fn stream_random_is_seed_deterministic() {
+        let data_path = temp_path("stream_rand.tsv");
+        let checkin_path = temp_path("stream_rand_checkins.tsv");
+        let mut data = String::from("# ltc-dataset v1\nparams\t0.3\t2\t30\t0.66\n");
+        for t in 0..4 {
+            data.push_str(&format!("task\t{}\t0\n", t * 3));
+        }
+        std::fs::write(&data_path, &data).unwrap();
+        let mut checkins = String::new();
+        for i in 0..40 {
+            checkins.push_str(&format!("{}\t1\t0.9\n", (i % 4) * 3));
+        }
+        std::fs::write(&checkin_path, &checkins).unwrap();
+        let run = |seed: u64| {
+            run_cli(&format!(
+                "stream --input {data_path} --algo random --checkins {checkin_path} --seed {seed}"
+            ))
+        };
+        let (code_a, a) = run(9);
+        let (_, b) = run(9);
+        let (_, c) = run(10);
+        assert_eq!(code_a, 0, "{a}");
+        // Strip the timing field before comparing.
+        let strip = |s: &str| {
+            s.lines()
+                .map(|l| l.split(",\"elapsed_s\"").next().unwrap().to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip(&a), strip(&b));
+        assert_ne!(strip(&a), strip(&c));
     }
 
     #[test]

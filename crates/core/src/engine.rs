@@ -1,0 +1,664 @@
+//! The streaming assignment engine — the owned, incremental core every
+//! LTC algorithm runs on.
+//!
+//! The paper's setting is fundamentally **online**: workers check in one
+//! by one and each assignment is committed irrevocably. The engine models
+//! exactly that. Unlike the original batch-oriented `StreamState<'a>`
+//! (which borrowed a closed [`Instance`] whose whole worker stream was
+//! known up front), an [`AssignmentEngine`] *owns* its state and ingests
+//! work incrementally:
+//!
+//! * [`AssignmentEngine::push_worker`] consumes one check-in, lets a
+//!   pluggable [`OnlineAlgorithm`] pick at most `K` tasks, commits them,
+//!   and returns the worker's assignment batch;
+//! * [`AssignmentEngine::add_task`] posts a new task mid-stream;
+//! * completed tasks are **evicted** from the spatial index the moment
+//!   they reach `δ`, so the per-worker eligibility query costs
+//!   `O(tasks still uncompleted nearby)` instead of `O(all tasks ever
+//!   posted nearby)` — the hot path shrinks as the system makes progress.
+//!
+//! The offline algorithms ([`crate::offline::McfLtc`],
+//! [`crate::offline::BaseOff`], [`crate::offline::ExactSolver`]) drive
+//! the same engine through its lower-level [`AssignmentEngine::commit`] /
+//! [`AssignmentEngine::append_candidates`] API, so candidate enumeration
+//! and quality bookkeeping live in exactly one place.
+
+use crate::model::{
+    AccuracyModel, Arrangement, Assignment, Eligibility, Instance, ProblemParams, QualityModel,
+    RunOutcome, Task, TaskId, Worker, WorkerId,
+};
+use crate::online::OnlineAlgorithm;
+use crate::smallvec::SmallVec;
+use ltc_spatial::{BoundingBox, GridIndex};
+use std::fmt;
+
+/// Tolerance for `S[t] ≥ δ` completion checks (see
+/// `crate::model::params`).
+const COMPLETION_EPS: f64 = 1e-9;
+
+/// Inline capacity of a per-worker assignment batch. The paper's
+/// experiments use `K = 6`; batches only touch the heap when `K > 8`.
+pub const INLINE_BATCH: usize = 8;
+
+/// The assignments one worker received from
+/// [`AssignmentEngine::push_worker`].
+pub type AssignmentBatch = SmallVec<Assignment, INLINE_BATCH>;
+
+/// A candidate assignment for an arriving worker, produced by
+/// [`AssignmentEngine::append_candidates`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// The candidate task.
+    pub task: TaskId,
+    /// Predicted accuracy `Acc(w,t)`.
+    pub acc: f64,
+    /// Quality contribution (`Acc*` under the Hoeffding model).
+    pub contribution: f64,
+}
+
+/// An owned, incremental streaming engine for the LTC problem: per-task
+/// accumulated quality `S`, completion tracking, the committed
+/// [`Arrangement`], and an evicting spatial index over the *uncompleted*
+/// tasks.
+#[derive(Debug, Clone)]
+pub struct AssignmentEngine {
+    params: ProblemParams,
+    accuracy: AccuracyModel,
+    delta: f64,
+    tasks: Vec<Task>,
+    /// Accumulated contribution per task (the paper's `S`).
+    s: Vec<f64>,
+    completed: Vec<bool>,
+    /// Dense set of uncompleted task ids (unordered; swap-removed on
+    /// completion) plus each task's position in it, so iterating the
+    /// remaining work is `O(n_uncompleted)`.
+    uncompleted_ids: Vec<u32>,
+    uncompleted_pos: Vec<u32>,
+    arrangement: Arrangement,
+    /// Spatial index over the locations of *uncompleted* tasks (cell size
+    /// `d_max`), used under the nearby-only eligibility policy. `None`
+    /// under [`Eligibility::Unrestricted`].
+    task_index: Option<GridIndex<u32>>,
+    /// Arrival counter: the id the next pushed worker receives.
+    next_arrival: u32,
+    /// Scratch buffers reused across `push_worker` calls.
+    cand_buf: Vec<Candidate>,
+    picks_buf: Vec<TaskId>,
+}
+
+impl AssignmentEngine {
+    /// An empty engine with the default sigmoid accuracy model (Eq. 1)
+    /// covering `region`; tasks arrive later via
+    /// [`AssignmentEngine::add_task`].
+    ///
+    /// The region only sizes the spatial index: tasks *outside* it are
+    /// still handled exactly (they are clamped into border cells), just
+    /// less efficiently. Pick the service area you expect check-ins from.
+    pub fn new(params: ProblemParams, region: BoundingBox) -> Result<Self, EngineError> {
+        params.validate().map_err(EngineError::Params)?;
+        let task_index = match params.eligibility {
+            Eligibility::WithinRange => Some(GridIndex::with_bounds(params.d_max, region)),
+            Eligibility::Unrestricted => None,
+        };
+        Ok(Self {
+            delta: params.delta(),
+            params,
+            accuracy: AccuracyModel::Sigmoid,
+            tasks: Vec::new(),
+            s: Vec::new(),
+            completed: Vec::new(),
+            uncompleted_ids: Vec::new(),
+            uncompleted_pos: Vec::new(),
+            arrangement: Arrangement::new(),
+            task_index,
+            next_arrival: 0,
+            cand_buf: Vec::new(),
+            picks_buf: Vec::new(),
+        })
+    }
+
+    /// An engine pre-loaded with a batch instance's tasks, parameters,
+    /// and accuracy model, ready to stream the instance's workers (or any
+    /// other stream) through it.
+    pub fn from_instance(instance: &Instance) -> Self {
+        let params = *instance.params();
+        let tasks = instance.tasks().to_vec();
+        let n = tasks.len();
+        let task_index = match params.eligibility {
+            Eligibility::WithinRange => Some(GridIndex::build(
+                params.d_max,
+                tasks.iter().enumerate().map(|(i, t)| (i as u32, t.loc)),
+            )),
+            Eligibility::Unrestricted => None,
+        };
+        Self {
+            delta: params.delta(),
+            params,
+            accuracy: instance.accuracy_model().clone(),
+            tasks,
+            s: vec![0.0; n],
+            completed: vec![false; n],
+            uncompleted_ids: (0..n as u32).collect(),
+            uncompleted_pos: (0..n as u32).collect(),
+            arrangement: Arrangement::new(),
+            task_index,
+            next_arrival: 0,
+            cand_buf: Vec::new(),
+            picks_buf: Vec::new(),
+        }
+    }
+
+    /// Posts a new task mid-stream. It becomes assignable to every
+    /// subsequent worker.
+    ///
+    /// Fails when the accuracy model is a fixed table (tables are sized
+    /// to a closed task set) or the location is non-finite.
+    pub fn add_task(&mut self, task: Task) -> Result<TaskId, EngineError> {
+        if matches!(self.accuracy, AccuracyModel::Table(_)) {
+            return Err(EngineError::StaticAccuracyTable);
+        }
+        if !task.loc.is_finite() {
+            return Err(EngineError::BadTaskLocation);
+        }
+        if self.tasks.len() >= u32::MAX as usize {
+            return Err(EngineError::TooManyTasks);
+        }
+        let id = self.tasks.len() as u32;
+        self.tasks.push(task);
+        self.s.push(0.0);
+        self.completed.push(false);
+        self.uncompleted_pos.push(self.uncompleted_ids.len() as u32);
+        self.uncompleted_ids.push(id);
+        if let Some(index) = &mut self.task_index {
+            index.insert(id, task.loc);
+        }
+        Ok(TaskId(id))
+    }
+
+    /// Platform parameters.
+    #[inline]
+    pub fn params(&self) -> &ProblemParams {
+        &self.params
+    }
+
+    /// The accuracy model in use.
+    #[inline]
+    pub fn accuracy_model(&self) -> &AccuracyModel {
+        &self.accuracy
+    }
+
+    /// The completion threshold `δ`.
+    #[inline]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The task set posted so far.
+    #[inline]
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Number of tasks posted so far.
+    #[inline]
+    pub fn n_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of workers pushed so far.
+    #[inline]
+    pub fn n_workers_seen(&self) -> u64 {
+        self.next_arrival as u64
+    }
+
+    /// Accumulated quality of a task (`S[t]`).
+    #[inline]
+    pub fn quality(&self, t: TaskId) -> f64 {
+        self.s[t.index()]
+    }
+
+    /// Remaining quality a task still needs. Zero for completed tasks (a
+    /// task that reached `δ` needs nothing, even when rounding left
+    /// `S[t]` a hair under it).
+    #[inline]
+    pub fn remaining(&self, t: TaskId) -> f64 {
+        if self.completed[t.index()] {
+            0.0
+        } else {
+            (self.delta - self.s[t.index()]).max(0.0)
+        }
+    }
+
+    /// Whether the task reached `δ`.
+    #[inline]
+    pub fn is_completed(&self, t: TaskId) -> bool {
+        self.completed[t.index()]
+    }
+
+    /// Number of tasks still below `δ`.
+    #[inline]
+    pub fn n_uncompleted(&self) -> usize {
+        self.uncompleted_ids.len()
+    }
+
+    /// Whether every posted task reached `δ`.
+    #[inline]
+    pub fn all_completed(&self) -> bool {
+        self.uncompleted_ids.is_empty()
+    }
+
+    /// Iterates the uncompleted task ids, in unspecified order, in
+    /// `O(n_uncompleted)`.
+    pub fn uncompleted_tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.uncompleted_ids.iter().map(|&t| TaskId(t))
+    }
+
+    /// The arrangement committed so far.
+    #[inline]
+    pub fn arrangement(&self) -> &Arrangement {
+        &self.arrangement
+    }
+
+    /// Predicted accuracy `Acc(w,t)` of `worker` (arriving as `w`) on a
+    /// task.
+    #[inline]
+    pub fn acc(&self, w: WorkerId, worker: &Worker, t: TaskId) -> f64 {
+        self.accuracy.acc(
+            w.index(),
+            worker,
+            t.index(),
+            &self.tasks[t.index()],
+            &self.params,
+        )
+    }
+
+    /// Quality contribution of assigning `t` to `worker`: `Acc*` under
+    /// the Hoeffding model, plain `Acc` under a fixed threshold.
+    #[inline]
+    pub fn contribution(&self, w: WorkerId, worker: &Worker, t: TaskId) -> f64 {
+        let acc = self.acc(w, worker, t);
+        match self.params.quality {
+            QualityModel::Hoeffding => crate::model::acc_star(acc),
+            QualityModel::FixedThreshold(_) => acc,
+        }
+    }
+
+    /// Builds the [`Candidate`] record for a pair (no eligibility check).
+    #[inline]
+    pub fn candidate(&self, w: WorkerId, worker: &Worker, t: TaskId) -> Candidate {
+        let acc = self.acc(w, worker, t);
+        let contribution = match self.params.quality {
+            QualityModel::Hoeffding => crate::model::acc_star(acc),
+            QualityModel::FixedThreshold(_) => acc,
+        };
+        Candidate {
+            task: t,
+            acc,
+            contribution,
+        }
+    }
+
+    /// Appends the worker's **eligible, uncompleted** candidate tasks to
+    /// `out` in ascending task-id order (so algorithms inherit a
+    /// deterministic tie-break); returns how many were appended.
+    ///
+    /// Under the nearby-only policy this is a radius query against the
+    /// evicting index — its cost tracks the number of *uncompleted* tasks
+    /// near the worker. Under the unrestricted policy it scans all tasks.
+    pub fn append_candidates(
+        &self,
+        w: WorkerId,
+        worker: &Worker,
+        out: &mut Vec<Candidate>,
+    ) -> usize {
+        let start = out.len();
+        match &self.task_index {
+            Some(index) => {
+                out.extend(
+                    index
+                        .within(worker.loc, self.params.d_max)
+                        .map(|t| self.candidate(w, worker, TaskId(t)))
+                        .filter(|c| c.acc >= 0.5),
+                );
+                // The grid yields tasks in cell order; restore id order
+                // for deterministic downstream tie-breaking.
+                out[start..].sort_unstable_by_key(|c| c.task);
+            }
+            None => {
+                out.extend(
+                    (0..self.tasks.len() as u32)
+                        .filter(|&t| !self.completed[t as usize])
+                        .map(|t| self.candidate(w, worker, TaskId(t))),
+                );
+            }
+        }
+        out.len() - start
+    }
+
+    /// Like [`AssignmentEngine::append_candidates`] but clears `out`
+    /// first.
+    pub fn candidates(&self, w: WorkerId, worker: &Worker, out: &mut Vec<Candidate>) {
+        out.clear();
+        self.append_candidates(w, worker, out);
+    }
+
+    /// Commits `(w, t)` to the arrangement and updates `S[t]`; when the
+    /// task reaches `δ` it is marked completed and **evicted from the
+    /// spatial index**. Returns the contribution added.
+    ///
+    /// Assignments are irrevocable (the paper's invariable constraint);
+    /// correctness of the *choice* is the algorithm's responsibility —
+    /// this method only maintains state.
+    pub fn commit(&mut self, w: WorkerId, worker: &Worker, t: TaskId) -> f64 {
+        let c = self.candidate(w, worker, t);
+        self.commit_candidate(w, c);
+        c.contribution
+    }
+
+    /// [`AssignmentEngine::commit`] with an already-built [`Candidate`]
+    /// (avoids recomputing the accuracy model on hot paths).
+    fn commit_candidate(&mut self, w: WorkerId, c: Candidate) {
+        self.arrangement.push(Assignment {
+            worker: w,
+            task: c.task,
+            acc: c.acc,
+            contribution: c.contribution,
+        });
+        let idx = c.task.index();
+        self.s[idx] += c.contribution;
+        if !self.completed[idx] && self.s[idx] >= self.delta - COMPLETION_EPS {
+            self.complete(c.task);
+        }
+    }
+
+    /// Marks a task completed, evicting it from the index and the dense
+    /// uncompleted set.
+    fn complete(&mut self, t: TaskId) {
+        let idx = t.index();
+        self.completed[idx] = true;
+        // Swap-remove from the dense uncompleted set.
+        let pos = self.uncompleted_pos[idx] as usize;
+        let last = *self
+            .uncompleted_ids
+            .last()
+            .expect("completing a task requires it to be uncompleted");
+        self.uncompleted_ids.swap_remove(pos);
+        if pos < self.uncompleted_ids.len() {
+            self.uncompleted_pos[last as usize] = pos as u32;
+        }
+        if let Some(index) = &mut self.task_index {
+            index.remove(t.0, self.tasks[idx].loc);
+        }
+    }
+
+    /// Processes one arriving worker end to end: assigns the next arrival
+    /// id, enumerates eligible uncompleted candidates, asks `algo` to
+    /// pick at most `K` of them, commits the picks irrevocably, and
+    /// returns the worker's batch (empty when nothing was assignable).
+    ///
+    /// Violations of the capacity bound or picks outside the candidate
+    /// set are programming errors and panic in debug builds; release
+    /// builds defensively truncate/skip them.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a descriptive message) when streaming past the row
+    /// count of a fixed [`AccuracyModel::Table`] — tabular models cover a
+    /// closed worker set — or past the `u32` worker-id space.
+    pub fn push_worker<A: OnlineAlgorithm + ?Sized>(
+        &mut self,
+        worker: &Worker,
+        algo: &mut A,
+    ) -> AssignmentBatch {
+        if let AccuracyModel::Table(table) = &self.accuracy {
+            assert!(
+                (self.next_arrival as usize) < table.n_workers(),
+                "worker arrival {} exceeds the {}-row accuracy table; tabular engines \
+                 cannot stream beyond their table",
+                self.next_arrival,
+                table.n_workers()
+            );
+        }
+        let w = WorkerId(self.next_arrival);
+        self.next_arrival = self
+            .next_arrival
+            .checked_add(1)
+            .expect("worker arrival index exceeded the u32 id space");
+        let mut batch = AssignmentBatch::new();
+        if self.all_completed() {
+            return batch;
+        }
+
+        // Detach the scratch buffers so the algorithm can borrow the
+        // engine immutably while reading them.
+        let mut candidates = std::mem::take(&mut self.cand_buf);
+        let mut picks = std::mem::take(&mut self.picks_buf);
+        self.candidates(w, worker, &mut candidates);
+        if !candidates.is_empty() {
+            picks.clear();
+            algo.assign(self, w, &candidates, &mut picks);
+            let capacity = self.params.capacity as usize;
+            debug_assert!(
+                picks.len() <= capacity,
+                "{} exceeded capacity: {} > {capacity}",
+                algo.name(),
+                picks.len()
+            );
+            debug_assert!(
+                picks
+                    .iter()
+                    .all(|t| candidates.iter().any(|c| c.task == *t)),
+                "{} picked a non-candidate task",
+                algo.name()
+            );
+            picks.truncate(capacity);
+            picks.sort_unstable();
+            picks.dedup();
+            for &t in &picks {
+                // Reuse the candidate computed during enumeration
+                // (candidates are sorted by task id); a pick outside the
+                // candidate set is skipped, per the defensive contract.
+                let Ok(i) = candidates.binary_search_by_key(&t, |c| c.task) else {
+                    continue;
+                };
+                let c = candidates[i];
+                self.commit_candidate(w, c);
+                batch.push(Assignment {
+                    worker: w,
+                    task: t,
+                    acc: c.acc,
+                    contribution: c.contribution,
+                });
+            }
+        }
+        self.cand_buf = candidates;
+        self.picks_buf = picks;
+        batch
+    }
+
+    /// Finalizes the engine into a [`RunOutcome`].
+    pub fn into_outcome(self) -> RunOutcome {
+        RunOutcome {
+            completed: self.uncompleted_ids.is_empty(),
+            arrangement: self.arrangement,
+        }
+    }
+}
+
+/// Why an [`AssignmentEngine`] operation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Invalid [`ProblemParams`].
+    Params(crate::model::ParamsError),
+    /// A posted task has a non-finite location.
+    BadTaskLocation,
+    /// Tasks cannot be added under a fixed tabular accuracy model.
+    StaticAccuracyTable,
+    /// More than `u32::MAX` tasks.
+    TooManyTasks,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Params(e) => write!(f, "invalid parameters: {e}"),
+            EngineError::BadTaskLocation => write!(f, "task has a non-finite location"),
+            EngineError::StaticAccuracyTable => write!(
+                f,
+                "tasks cannot be added dynamically under a fixed accuracy table"
+            ),
+            EngineError::TooManyTasks => write!(f, "engine exceeds u32 task-id space"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ProblemParams, Task, Worker};
+    use ltc_spatial::Point;
+
+    fn instance() -> Instance {
+        let params = ProblemParams::builder()
+            .epsilon(0.3)
+            .capacity(2)
+            .d_max(30.0)
+            .build()
+            .unwrap();
+        Instance::new(
+            vec![
+                Task::new(Point::ORIGIN),
+                Task::new(Point::new(10.0, 0.0)),
+                Task::new(Point::new(400.0, 0.0)),
+            ],
+            vec![Worker::new(Point::new(1.0, 0.0), 0.95); 8],
+            params,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn eligible_skips_far_and_completed_tasks() {
+        let inst = instance();
+        let mut engine = AssignmentEngine::from_instance(&inst);
+        let w0 = &inst.workers()[0];
+        let mut buf = Vec::new();
+        engine.candidates(WorkerId(0), w0, &mut buf);
+        let ids: Vec<u32> = buf.iter().map(|c| c.task.0).collect();
+        assert_eq!(ids, vec![0, 1], "task 2 is 400 units away");
+
+        // Complete task 0 and re-query: the index evicted it.
+        while !engine.is_completed(TaskId(0)) {
+            engine.commit(WorkerId(0), w0, TaskId(0));
+        }
+        engine.candidates(WorkerId(1), &inst.workers()[1], &mut buf);
+        let ids: Vec<u32> = buf.iter().map(|c| c.task.0).collect();
+        assert_eq!(ids, vec![1]);
+    }
+
+    #[test]
+    fn commit_accumulates_and_completes() {
+        let inst = instance();
+        let mut engine = AssignmentEngine::from_instance(&inst);
+        assert_eq!(engine.n_uncompleted(), 3);
+        let w = &inst.workers()[0];
+        let c = engine.commit(WorkerId(0), w, TaskId(0));
+        assert!(c > 0.7 && c < 1.0);
+        assert!((engine.quality(TaskId(0)) - c).abs() < 1e-12);
+        assert!(!engine.all_completed());
+        // δ(0.3) ≈ 2.408, each contribution ≈ 0.81 ⇒ 3 commits complete.
+        engine.commit(WorkerId(1), w, TaskId(0));
+        engine.commit(WorkerId(2), w, TaskId(0));
+        assert!(engine.is_completed(TaskId(0)));
+        assert_eq!(engine.n_uncompleted(), 2);
+        let mut uncompleted: Vec<u32> = engine.uncompleted_tasks().map(|t| t.0).collect();
+        uncompleted.sort_unstable();
+        assert_eq!(uncompleted, vec![1, 2]);
+    }
+
+    #[test]
+    fn remaining_clamps_at_zero() {
+        let inst = instance();
+        let mut engine = AssignmentEngine::from_instance(&inst);
+        let w = &inst.workers()[0];
+        for i in 0..4 {
+            engine.commit(WorkerId(i), w, TaskId(0));
+        }
+        assert_eq!(engine.remaining(TaskId(0)), 0.0);
+    }
+
+    #[test]
+    fn outcome_reflects_completion() {
+        let inst = instance();
+        let engine = AssignmentEngine::from_instance(&inst);
+        let outcome = engine.into_outcome();
+        assert!(!outcome.completed);
+        assert_eq!(outcome.latency(), None);
+    }
+
+    #[test]
+    fn unrestricted_policy_scans_all_tasks() {
+        let params = ProblemParams::builder()
+            .epsilon(0.3)
+            .eligibility(Eligibility::Unrestricted)
+            .build()
+            .unwrap();
+        let inst = Instance::new(
+            vec![Task::new(Point::ORIGIN), Task::new(Point::new(400.0, 0.0))],
+            vec![Worker::new(Point::new(1.0, 0.0), 0.95)],
+            params,
+        )
+        .unwrap();
+        let engine = AssignmentEngine::from_instance(&inst);
+        let mut buf = Vec::new();
+        engine.candidates(WorkerId(0), &inst.workers()[0], &mut buf);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn add_task_rejects_table_model_and_bad_locations() {
+        let inst = crate::toy::toy_instance(0.2);
+        let mut engine = AssignmentEngine::from_instance(&inst);
+        assert_eq!(
+            engine.add_task(Task::new(Point::ORIGIN)),
+            Err(EngineError::StaticAccuracyTable)
+        );
+
+        let params = ProblemParams::builder().build().unwrap();
+        let region = BoundingBox::new(Point::ORIGIN, Point::new(10.0, 10.0));
+        let mut engine = AssignmentEngine::new(params, region).unwrap();
+        assert_eq!(
+            engine.add_task(Task::new(Point::new(f64::NAN, 0.0))),
+            Err(EngineError::BadTaskLocation)
+        );
+        assert!(engine.add_task(Task::new(Point::new(1.0, 1.0))).is_ok());
+        assert_eq!(engine.n_tasks(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot stream beyond their table")]
+    fn streaming_past_a_tabular_accuracy_model_panics_clearly() {
+        let inst = crate::toy::toy_instance(0.2);
+        let mut engine = AssignmentEngine::from_instance(&inst);
+        let mut algo = crate::online::Laf::new();
+        let worker = inst.workers()[0];
+        // The toy table has 8 rows; the 9th push must fail loudly, not
+        // with an index-out-of-bounds deep in the accuracy table.
+        for _ in 0..9 {
+            engine.push_worker(&worker, &mut algo);
+        }
+    }
+
+    #[test]
+    fn engine_is_owned_and_outlives_its_instance() {
+        // The whole point of the refactor: no borrowed lifetime.
+        let engine = {
+            let inst = instance();
+            AssignmentEngine::from_instance(&inst)
+        };
+        assert_eq!(engine.n_tasks(), 3);
+        assert_eq!(engine.n_uncompleted(), 3);
+    }
+}

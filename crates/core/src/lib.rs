@@ -15,6 +15,19 @@
 //! last recruited worker* (the latency to complete all tasks). It is
 //! NP-hard.
 //!
+//! ## Architecture: one streaming engine under everything
+//!
+//! The heart of the crate is [`engine::AssignmentEngine`] — an owned,
+//! incremental streaming core. It tracks per-task quality `S`, evicts
+//! completed tasks from its spatial index the moment they reach `δ`, and
+//! accepts work incrementally: [`engine::AssignmentEngine::push_worker`]
+//! ingests one check-in (delegating the choice to a pluggable
+//! [`online::OnlineAlgorithm`]), and
+//! [`engine::AssignmentEngine::add_task`] posts tasks mid-stream. Both
+//! the online driver ([`online::run_online`]) and the offline batch
+//! algorithms run on the same engine, so candidate enumeration has one
+//! implementation and its cost shrinks as the system makes progress.
+//!
 //! ## Algorithms
 //!
 //! | Scenario | Algorithm | Guarantee | Strategy |
@@ -26,7 +39,36 @@
 //! | online   | [`online::Aam`] (Alg. 3) | 7.738-competitive | LGF/LRF hybrid |
 //! | online   | [`online::RandomAssign`] | — (paper baseline) | random eligible tasks |
 //!
-//! ## Quick example
+//! ## Streaming quickstart
+//!
+//! Feed check-ins one by one — no need to know the stream up front:
+//!
+//! ```
+//! use ltc_core::engine::AssignmentEngine;
+//! use ltc_core::model::{ProblemParams, Task, Worker};
+//! use ltc_core::online::Aam;
+//! use ltc_spatial::{BoundingBox, Point};
+//!
+//! let params = ProblemParams::builder().epsilon(0.2).capacity(2).build().unwrap();
+//! let region = BoundingBox::new(Point::ORIGIN, Point::new(100.0, 100.0));
+//! let mut engine = AssignmentEngine::new(params, region).unwrap();
+//! let mut policy = Aam::new();
+//!
+//! engine.add_task(Task::new(Point::new(10.0, 10.0))).unwrap();
+//! engine.add_task(Task::new(Point::new(12.0, 9.0))).unwrap();
+//!
+//! // Check-ins arrive; each returns the assignments committed for that
+//! // worker, and completed tasks are evicted from the index.
+//! while !engine.all_completed() {
+//!     let batch = engine.push_worker(&Worker::new(Point::new(11.0, 10.0), 0.95), &mut policy);
+//!     assert!(batch.len() <= 2);
+//! }
+//! let outcome = engine.into_outcome();
+//! assert!(outcome.completed);
+//! println!("all tasks done after {} workers", outcome.latency().unwrap());
+//! ```
+//!
+//! ## Batch quick example
 //!
 //! ```
 //! use ltc_core::model::{Instance, ProblemParams, Task, Worker};
@@ -54,15 +96,17 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod engine;
 pub mod metrics;
 pub mod model;
 pub mod offline;
 pub mod online;
-pub mod state;
+pub mod smallvec;
 pub mod toy;
 
+pub use engine::{AssignmentBatch, AssignmentEngine, Candidate, EngineError};
 pub use model::{
     AccuracyModel, Arrangement, Assignment, Eligibility, Instance, InstanceError, ProblemParams,
     QualityModel, RunOutcome, Task, TaskId, Worker, WorkerId,
 };
-pub use state::{Candidate, StreamState};
+pub use smallvec::SmallVec;

@@ -9,7 +9,7 @@ mod params;
 pub use accuracy::{acc_star, AccuracyModel, AccuracyTable};
 pub use arrangement::{Arrangement, Assignment, FeasibilityError, RunOutcome};
 pub use instance::{Instance, InstanceError};
-pub use params::{Eligibility, ParamsBuilder, ProblemParams, QualityModel};
+pub use params::{Eligibility, ParamsBuilder, ParamsError, ProblemParams, QualityModel};
 
 use ltc_spatial::Point;
 

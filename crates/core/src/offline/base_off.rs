@@ -1,7 +1,7 @@
 //! Base-off: the paper's offline baseline.
 
+use crate::engine::{AssignmentEngine, Candidate};
 use crate::model::{Instance, RunOutcome, TaskId, WorkerId};
-use crate::state::{Candidate, StreamState};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -30,26 +30,27 @@ impl BaseOff {
 
     /// Runs the baseline over the full (offline) instance.
     pub fn run(&self, instance: &Instance) -> RunOutcome {
-        let mut state = StreamState::new(instance);
+        let mut engine = AssignmentEngine::from_instance(instance);
+        let workers = instance.workers();
         let capacity = instance.params().capacity as usize;
 
         // Offline precomputation: how many workers of the whole stream are
         // eligible for each task.
         let mut remaining_nearby = vec![0u32; instance.n_tasks()];
         let mut buf: Vec<Candidate> = Vec::new();
-        for w in 0..instance.n_workers() as u32 {
-            state.eligible_uncompleted(WorkerId(w), &mut buf);
+        for (w, worker) in workers.iter().enumerate() {
+            engine.candidates(WorkerId(w as u32), worker, &mut buf);
             for c in &buf {
                 remaining_nearby[c.task.index()] += 1;
             }
         }
 
-        for w in 0..instance.n_workers() as u32 {
-            if state.all_completed() {
+        for (w, worker) in workers.iter().enumerate() {
+            if engine.all_completed() {
                 break;
             }
-            let worker = WorkerId(w);
-            state.eligible_uncompleted(worker, &mut buf);
+            let wid = WorkerId(w as u32);
+            engine.candidates(wid, worker, &mut buf);
             if buf.is_empty() {
                 continue;
             }
@@ -66,10 +67,10 @@ impl BaseOff {
             }
             for _ in 0..capacity.min(buf.len()) {
                 let Reverse((_, task)) = heap.pop().expect("heap sized by candidates");
-                state.commit(worker, task);
+                engine.commit(wid, worker, task);
             }
         }
-        state.into_outcome()
+        engine.into_outcome()
     }
 }
 

@@ -18,8 +18,8 @@
 //! 2. Suffix potentials prune hopeless prefixes: if some task cannot reach
 //!    `δ` even if **every** later worker serves it, the branch dies.
 
+use crate::engine::AssignmentEngine;
 use crate::model::{Instance, RunOutcome, TaskId, WorkerId};
-use crate::state::StreamState;
 
 /// Outcome of an exact solve.
 #[derive(Debug, Clone)]
@@ -161,11 +161,11 @@ impl<'a> Search<'a> {
         if self.feasible(limit) != Some(true) {
             return None;
         }
-        let mut state = StreamState::new(self.instance);
+        let mut engine = AssignmentEngine::from_instance(self.instance);
         for &(w, t) in &self.trace {
-            state.commit(w, t);
+            engine.commit(w, &self.instance.workers()[w.index()], t);
         }
-        let outcome = state.into_outcome();
+        let outcome = engine.into_outcome();
         debug_assert!(outcome.completed);
         Some(outcome)
     }

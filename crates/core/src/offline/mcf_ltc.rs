@@ -1,11 +1,12 @@
 //! MCF-LTC (Algorithm 1): batched min-cost-flow arrangement.
 
 use crate::bounds::batch_size;
+use crate::engine::{AssignmentEngine, Candidate};
 use crate::model::{Instance, RunOutcome, TaskId, WorkerId};
 use crate::online::TopK;
-use crate::state::{Candidate, StreamState};
 use ltc_mcmf::{EdgeId, FlowNetwork, NodeId};
 use std::collections::HashSet;
+use std::ops::Range;
 
 /// **MCF-LTC** (paper Algorithm 1) — the offline 7.5-approximation.
 ///
@@ -26,6 +27,11 @@ use std::collections::HashSet;
 /// `1 − Acc* ≥ 0` adds exactly `+1` per unit of flow and preserves the
 /// arg-min while keeping all costs non-negative (pure-Dijkstra SSPA, no
 /// Bellman–Ford pass needed).
+///
+/// Batches run on the shared [`AssignmentEngine`], so candidate
+/// enumeration hits the same evicting spatial index as the online path:
+/// as tasks complete across batches, later batches enumerate (and build
+/// flow networks over) only the remaining work.
 #[derive(Debug, Clone, Copy)]
 pub struct McfLtc {
     /// Multiplier on the Theorem-2 batch size `m` (1.0 = the paper's
@@ -33,6 +39,22 @@ pub struct McfLtc {
     pub batch_scale: f64,
     /// Multiplier on the *first* batch (the paper uses 1.5).
     pub first_batch_factor: f64,
+}
+
+/// The per-batch candidate lists, flattened into one reusable arena
+/// (worker `i`'s candidates are `cands[spans[i].1.clone()]`) so the batch
+/// loop performs no per-worker allocation.
+#[derive(Debug, Default)]
+struct CandidateArena {
+    cands: Vec<Candidate>,
+    spans: Vec<(WorkerId, Range<usize>)>,
+}
+
+impl CandidateArena {
+    fn clear(&mut self) {
+        self.cands.clear();
+        self.spans.clear();
+    }
 }
 
 impl McfLtc {
@@ -63,56 +85,68 @@ impl McfLtc {
 
     /// Runs the algorithm over the full (offline) instance.
     pub fn run(&self, instance: &Instance) -> RunOutcome {
-        let mut state = StreamState::new(instance);
+        let mut engine = AssignmentEngine::from_instance(instance);
         let n_workers = instance.n_workers();
         let m = ((batch_size(instance) as f64 * self.batch_scale).floor() as usize).max(1);
         let first =
             ((m as f64 * self.first_batch_factor / self.batch_scale).floor() as usize).max(1);
 
+        let mut arena = CandidateArena::default();
         let mut cursor = 0usize;
         let mut batch_no = 0usize;
-        while cursor < n_workers && !state.all_completed() {
+        while cursor < n_workers && !engine.all_completed() {
             let size = if batch_no == 0 { first } else { m };
             let end = (cursor + size).min(n_workers);
-            self.process_batch(&mut state, cursor as u32..end as u32);
+            self.process_batch(&mut engine, instance, cursor as u32..end as u32, &mut arena);
             cursor = end;
             batch_no += 1;
         }
-        state.into_outcome()
+        engine.into_outcome()
     }
 
     /// Lines 4–15 of Algorithm 1 for one batch of workers.
-    fn process_batch(&self, state: &mut StreamState<'_>, batch: std::ops::Range<u32>) {
-        let instance = state.instance();
+    fn process_batch(
+        &self,
+        engine: &mut AssignmentEngine,
+        instance: &Instance,
+        batch: Range<u32>,
+        arena: &mut CandidateArena,
+    ) {
+        let workers = instance.workers();
         let capacity = instance.params().capacity;
 
-        // Snapshot each worker's eligible uncompleted candidates once; the
-        // flow network is built from this frozen view (the paper
-        // constructs G_F from (W', T, S) at batch start).
-        let mut worker_cands: Vec<(WorkerId, Vec<Candidate>)> = Vec::with_capacity(batch.len());
-        let mut buf = Vec::new();
+        // Snapshot each worker's eligible uncompleted candidates once into
+        // the flat arena; the flow network is built from this frozen view
+        // (the paper constructs G_F from (W', T, S) at batch start).
+        arena.clear();
         for w in batch.clone() {
-            state.eligible_uncompleted(WorkerId(w), &mut buf);
-            if !buf.is_empty() {
-                worker_cands.push((WorkerId(w), buf.clone()));
+            let worker = WorkerId(w);
+            let start = arena.cands.len();
+            let added = engine.append_candidates(worker, &workers[w as usize], &mut arena.cands);
+            if added > 0 {
+                arena.spans.push((worker, start..arena.cands.len()));
+            } else {
+                arena.cands.truncate(start);
             }
         }
-        if !worker_cands.is_empty() {
-            self.flow_phase(state, &worker_cands);
+        if !arena.spans.is_empty() {
+            self.flow_phase(engine, instance, arena);
         }
 
         // Greedy top-up (lines 8–15): spare capacity goes to the most
         // reliable uncompleted tasks the worker does not already perform.
         let mut load: std::collections::HashMap<WorkerId, u32> = std::collections::HashMap::new();
         let mut performed: HashSet<(WorkerId, TaskId)> = HashSet::new();
-        for a in state.arrangement().assignments() {
+        for a in engine.arrangement().assignments() {
             if batch.contains(&a.worker.0) {
                 *load.entry(a.worker).or_insert(0) += 1;
                 performed.insert((a.worker, a.task));
             }
         }
+        let mut buf: Vec<Candidate> = Vec::new();
+        let mut picks = Vec::new();
         for w in batch {
-            if state.all_completed() {
+            if engine.all_completed() {
                 break;
             }
             let worker = WorkerId(w);
@@ -120,45 +154,49 @@ impl McfLtc {
             if spare == 0 {
                 continue;
             }
-            state.eligible_uncompleted(worker, &mut buf);
+            engine.candidates(worker, &workers[w as usize], &mut buf);
             let mut top = TopK::new(spare as usize);
             for c in &buf {
                 if !performed.contains(&(worker, c.task)) {
                     top.offer(c.contribution, c.task);
                 }
             }
-            let mut picks = Vec::new();
             top.drain_into(&mut picks);
-            for t in picks {
-                state.commit(worker, t);
+            for &t in &picks {
+                engine.commit(worker, &workers[w as usize], t);
             }
         }
     }
 
     /// Lines 5–7: build G_F for the batch, run SSPA, commit flow edges.
-    fn flow_phase(&self, state: &mut StreamState<'_>, worker_cands: &[(WorkerId, Vec<Candidate>)]) {
-        let instance = state.instance();
+    fn flow_phase(
+        &self,
+        engine: &mut AssignmentEngine,
+        instance: &Instance,
+        arena: &CandidateArena,
+    ) {
+        let workers = instance.workers();
         let capacity = instance.params().capacity as i64;
 
         // Map the uncompleted tasks touched by this batch to flow nodes.
         let mut task_node: std::collections::HashMap<TaskId, NodeId> =
             std::collections::HashMap::new();
-        let n_edges_guess: usize = worker_cands.iter().map(|(_, c)| c.len()).sum();
-        let mut net = FlowNetwork::with_capacity(worker_cands.len() + 2 + 64, n_edges_guess * 2);
+        let n_edges_guess = arena.cands.len();
+        let mut net = FlowNetwork::with_capacity(arena.spans.len() + 2 + 64, n_edges_guess * 2);
         let st = net.add_node();
         let ed = net.add_node();
 
         // Worker → task edges, cost shifted to 1 − contribution ∈ [0, 1].
         let mut flow_edges: Vec<(WorkerId, TaskId, EdgeId)> = Vec::with_capacity(n_edges_guess);
-        for (worker, cands) in worker_cands {
+        for (worker, span) in &arena.spans {
             let wn = net.add_node();
             net.add_edge(st, wn, capacity, 0.0);
-            for c in cands {
+            for c in &arena.cands[span.clone()] {
                 let tn = *task_node.entry(c.task).or_insert_with(|| {
                     let tn = net.add_node();
                     // Sink capacity ⌈δ − S[t]⌉: the units of work the task
                     // still needs, frozen at batch start.
-                    let need = state.remaining(c.task).ceil().max(1.0) as i64;
+                    let need = engine.remaining(c.task).ceil().max(1.0) as i64;
                     net.add_edge(tn, ed, need, 0.0);
                     tn
                 });
@@ -173,7 +211,7 @@ impl McfLtc {
         // (flow_edges is already grouped by ascending worker id).
         for (worker, task, edge) in flow_edges {
             if net.flow_on(edge) > 0 {
-                state.commit(worker, task);
+                engine.commit(worker, &workers[worker.index()], task);
             }
         }
     }

@@ -1,8 +1,8 @@
 //! Average And Maximum (Algorithm 3).
 
 use super::{OnlineAlgorithm, TopK};
+use crate::engine::{AssignmentEngine, Candidate};
 use crate::model::{TaskId, WorkerId};
-use crate::state::{Candidate, StreamState};
 
 /// **AAM** — Average And Maximum (paper Algorithm 3).
 ///
@@ -84,24 +84,25 @@ impl OnlineAlgorithm for Aam {
 
     fn assign(
         &mut self,
-        state: &StreamState<'_>,
+        engine: &AssignmentEngine,
         _worker: WorkerId,
         candidates: &[Candidate],
         picks: &mut Vec<TaskId>,
     ) {
-        let inst = state.instance();
-        let k = inst.params().capacity as usize;
+        let k = engine.params().capacity as usize;
 
         // Lines 4–5: the regime indicators, in whole worker-units
         // (see the type-level docs for why ⌈·⌉ is the faithful reading).
+        // Completed tasks have zero remaining need, so only the engine's
+        // uncompleted set is scanned — O(remaining tasks), not O(|T|).
         let use_lgf = match self.strategy {
             AamStrategy::AlwaysLgf => true,
             AamStrategy::AlwaysLrf => false,
             AamStrategy::Hybrid => {
                 let mut sum_units = 0.0;
                 let mut max_units = 0.0f64;
-                for t in 0..inst.n_tasks() as u32 {
-                    let units = state.remaining(TaskId(t)).ceil();
+                for t in engine.uncompleted_tasks() {
+                    let units = engine.remaining(t).ceil();
                     sum_units += units;
                     max_units = max_units.max(units);
                 }
@@ -111,7 +112,7 @@ impl OnlineAlgorithm for Aam {
 
         let mut top = TopK::new(k);
         for c in candidates {
-            let remaining = state.remaining(c.task);
+            let remaining = engine.remaining(c.task);
             let key = if use_lgf {
                 c.contribution.min(remaining)
             } else {

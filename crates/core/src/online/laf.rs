@@ -1,8 +1,8 @@
 //! Largest Acc* First (Algorithm 2).
 
 use super::{OnlineAlgorithm, TopK};
+use crate::engine::{AssignmentEngine, Candidate};
 use crate::model::{TaskId, WorkerId};
-use crate::state::{Candidate, StreamState};
 
 /// **LAF** — Largest Acc\* First (paper Algorithm 2).
 ///
@@ -30,12 +30,12 @@ impl OnlineAlgorithm for Laf {
 
     fn assign(
         &mut self,
-        state: &StreamState<'_>,
+        engine: &AssignmentEngine,
         _worker: WorkerId,
         candidates: &[Candidate],
         picks: &mut Vec<TaskId>,
     ) {
-        let k = state.instance().params().capacity as usize;
+        let k = engine.params().capacity as usize;
         let mut top = TopK::new(k);
         for c in candidates {
             top.offer(c.contribution, c.task);

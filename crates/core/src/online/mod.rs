@@ -11,10 +11,12 @@
 //!
 //! plus the evaluation baseline [`RandomAssign`].
 //!
-//! All three implement [`OnlineAlgorithm`] and are driven by
-//! [`run_online`], which enforces the temporal constraint (one pass, no
-//! look-ahead, immediate commitment) and stops as soon as every task
-//! reaches `δ`.
+//! All three implement [`OnlineAlgorithm`] — the decision policy plugged
+//! into [`AssignmentEngine::push_worker`], which enforces the temporal
+//! constraint (one worker at a time, immediate irrevocable commitment).
+//! [`run_online`] is the thin batch driver: it feeds an [`Instance`]'s
+//! recorded worker stream through an engine and stops as soon as every
+//! task reaches `δ`.
 
 mod aam;
 mod laf;
@@ -26,8 +28,8 @@ pub use laf::Laf;
 pub use random::RandomAssign;
 pub(crate) use topk::TopK;
 
+use crate::engine::{AssignmentEngine, Candidate};
 use crate::model::{Instance, RunOutcome, TaskId, WorkerId};
-use crate::state::{Candidate, StreamState};
 
 /// Decision rule of an online LTC algorithm: given the arriving worker and
 /// their eligible uncompleted tasks, pick at most `K` of them.
@@ -39,62 +41,33 @@ pub trait OnlineAlgorithm {
     ///
     /// `candidates` are the worker's eligible, uncompleted tasks in
     /// ascending task-id order; implementations append at most
-    /// `state.instance().params().capacity` *distinct* task ids from
-    /// `candidates` into `picks` (pre-cleared by the driver).
+    /// `engine.params().capacity` *distinct* task ids from `candidates`
+    /// into `picks` (pre-cleared by the engine). The engine view is
+    /// read-only: per-task quality, remaining need, and parameters are
+    /// available, the commit itself is the engine's job.
     fn assign(
         &mut self,
-        state: &StreamState<'_>,
+        engine: &AssignmentEngine,
         worker: WorkerId,
         candidates: &[Candidate],
         picks: &mut Vec<TaskId>,
     );
 }
 
-/// Runs an online algorithm over the instance's worker stream.
+/// Runs an online algorithm over a recorded instance's worker stream.
 ///
-/// The driver walks workers in arrival order, queries the algorithm once
-/// per worker, commits its picks irrevocably, and stops early once all
-/// tasks are completed. Violations of the capacity bound or picks outside
-/// the candidate set are programming errors and panic in debug builds;
-/// release builds defensively truncate/skip them.
+/// A thin driver over [`AssignmentEngine`]: workers are pushed in arrival
+/// order, each commitment is irrevocable, and the run stops early once
+/// all tasks are completed.
 pub fn run_online<A: OnlineAlgorithm + ?Sized>(instance: &Instance, algo: &mut A) -> RunOutcome {
-    let mut state = StreamState::new(instance);
-    let capacity = instance.params().capacity as usize;
-    let mut candidates: Vec<Candidate> = Vec::new();
-    let mut picks: Vec<TaskId> = Vec::new();
-
-    for w in 0..instance.n_workers() as u32 {
-        if state.all_completed() {
+    let mut engine = AssignmentEngine::from_instance(instance);
+    for worker in instance.workers() {
+        if engine.all_completed() {
             break;
         }
-        let worker = WorkerId(w);
-        state.eligible_uncompleted(worker, &mut candidates);
-        if candidates.is_empty() {
-            continue;
-        }
-        picks.clear();
-        algo.assign(&state, worker, &candidates, &mut picks);
-        debug_assert!(
-            picks.len() <= capacity,
-            "{} exceeded capacity: {} > {capacity}",
-            algo.name(),
-            picks.len()
-        );
-        debug_assert!(
-            picks
-                .iter()
-                .all(|t| candidates.iter().any(|c| c.task == *t)),
-            "{} picked a non-candidate task",
-            algo.name()
-        );
-        picks.truncate(capacity);
-        picks.sort_unstable();
-        picks.dedup();
-        for &t in &picks {
-            state.commit(worker, t);
-        }
+        engine.push_worker(worker, algo);
     }
-    state.into_outcome()
+    engine.into_outcome()
 }
 
 #[cfg(test)]
@@ -103,7 +76,7 @@ mod tests {
     use crate::model::{ProblemParams, Task, Worker};
     use ltc_spatial::Point;
 
-    /// A deliberately over-eager algorithm to exercise the driver's
+    /// A deliberately over-eager algorithm to exercise the engine's
     /// defensive truncation in release mode.
     struct TakeEverything;
 
@@ -113,7 +86,7 @@ mod tests {
         }
         fn assign(
             &mut self,
-            _state: &StreamState<'_>,
+            _engine: &AssignmentEngine,
             _worker: WorkerId,
             candidates: &[Candidate],
             picks: &mut Vec<TaskId>,
@@ -160,5 +133,62 @@ mod tests {
         let outcome = run_online(&inst, &mut super::Laf::new());
         assert!(!outcome.completed);
         assert_eq!(outcome.latency(), None);
+    }
+
+    #[test]
+    fn push_worker_returns_the_committed_batch() {
+        let inst = instance(3, 8);
+        let mut engine = AssignmentEngine::from_instance(&inst);
+        let mut algo = super::Laf::new();
+        let batch = engine.push_worker(&inst.workers()[0], &mut algo);
+        assert_eq!(batch.len(), 2, "capacity-2 worker takes two tasks");
+        assert!(batch.iter().all(|a| a.worker == WorkerId(0)));
+        assert_eq!(engine.arrangement().len(), 2);
+    }
+
+    #[test]
+    fn completed_tasks_are_evicted_from_candidates() {
+        let inst = instance(2, 40);
+        let mut engine = AssignmentEngine::from_instance(&inst);
+        let mut algo = super::Laf::new();
+        let mut i = 0;
+        while !engine.all_completed() {
+            engine.push_worker(&inst.workers()[i], &mut algo);
+            i += 1;
+        }
+        // Everything completed: the next worker sees no candidates.
+        let mut buf = Vec::new();
+        engine.candidates(WorkerId(i as u32), &inst.workers()[i], &mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(engine.n_uncompleted(), 0);
+    }
+
+    #[test]
+    fn dynamic_add_task_becomes_assignable() {
+        use ltc_spatial::BoundingBox;
+        let params = ProblemParams::builder()
+            .epsilon(0.3)
+            .capacity(1)
+            .build()
+            .unwrap();
+        let region = BoundingBox::new(Point::ORIGIN, Point::new(100.0, 100.0));
+        let mut engine = AssignmentEngine::new(params, region).unwrap();
+        let mut algo = super::Laf::new();
+        let worker = Worker::new(Point::new(1.0, 0.0), 0.95);
+
+        // No tasks yet: nothing to assign.
+        assert!(engine.push_worker(&worker, &mut algo).is_empty());
+
+        let t = engine.add_task(Task::new(Point::ORIGIN)).unwrap();
+        let batch = engine.push_worker(&worker, &mut algo);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.iter().next().unwrap().task, t);
+        // δ(0.3) ≈ 2.41, Acc* ≈ 0.81 ⇒ two more commits complete it.
+        engine.push_worker(&worker, &mut algo);
+        engine.push_worker(&worker, &mut algo);
+        assert!(engine.all_completed());
+        let outcome = engine.into_outcome();
+        assert!(outcome.completed);
+        assert_eq!(outcome.latency(), Some(4));
     }
 }

@@ -1,8 +1,8 @@
 //! Random assignment — the paper's online baseline.
 
 use super::OnlineAlgorithm;
+use crate::engine::{AssignmentEngine, Candidate};
 use crate::model::{TaskId, WorkerId};
-use crate::state::{Candidate, StreamState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -44,12 +44,12 @@ impl OnlineAlgorithm for RandomAssign {
 
     fn assign(
         &mut self,
-        state: &StreamState<'_>,
+        engine: &AssignmentEngine,
         _worker: WorkerId,
         candidates: &[Candidate],
         picks: &mut Vec<TaskId>,
     ) {
-        let k = state.instance().params().capacity as usize;
+        let k = engine.params().capacity as usize;
         let take = k.min(candidates.len());
         // Partial Fisher–Yates over an index scratch vector: O(|candidates|)
         // setup, O(K) swaps.

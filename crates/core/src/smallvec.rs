@@ -1,0 +1,190 @@
+//! A minimal inline-first vector, used for per-worker assignment batches.
+//!
+//! A worker receives at most `K` assignments and `K` is a small constant
+//! (6 in the paper's experiments), so the engine returns each worker's
+//! batch in a [`SmallVec`] that stores the first `N` elements inline and
+//! only touches the heap in the rare `len > N` case. This is a tiny,
+//! `unsafe`-free subset of the well-known `smallvec` crate API (which the
+//! offline build cannot fetch): inline storage is an `[Option<T>; N]`
+//! rather than raw uninitialized memory, trading a niche byte per slot
+//! for `#![forbid(unsafe_code)]` compatibility.
+
+use std::fmt;
+
+/// A vector storing up to `N` elements inline before spilling to the
+/// heap.
+#[derive(Clone)]
+pub struct SmallVec<T, const N: usize> {
+    inline: [Option<T>; N],
+    spill: Vec<T>,
+    len: usize,
+}
+
+impl<T, const N: usize> SmallVec<T, N> {
+    /// An empty vector (no heap allocation).
+    pub fn new() -> Self {
+        Self {
+            inline: std::array::from_fn(|_| None),
+            spill: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether all elements fit inline (no heap allocation happened).
+    #[inline]
+    pub fn is_inline(&self) -> bool {
+        self.len <= N
+    }
+
+    /// Appends an element.
+    pub fn push(&mut self, value: T) {
+        if self.len < N {
+            self.inline[self.len] = Some(value);
+        } else {
+            self.spill.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// Removes all elements, keeping the spill allocation.
+    pub fn clear(&mut self) {
+        for slot in &mut self.inline {
+            *slot = None;
+        }
+        self.spill.clear();
+        self.len = 0;
+    }
+
+    /// Iterates the elements in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.inline
+            .iter()
+            .take(self.len.min(N))
+            .filter_map(Option::as_ref)
+            .chain(self.spill.iter())
+    }
+
+    /// Copies the elements into a plain `Vec`.
+    pub fn to_vec(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.iter().cloned().collect()
+    }
+}
+
+impl<T, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: fmt::Debug, const N: usize> fmt::Debug for SmallVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq for SmallVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<T, const N: usize> IntoIterator for SmallVec<T, N> {
+    type Item = T;
+    type IntoIter = std::iter::Chain<
+        std::iter::Flatten<std::iter::Take<std::array::IntoIter<Option<T>, N>>>,
+        std::vec::IntoIter<T>,
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inline
+            .into_iter()
+            .take(self.len.min(N))
+            .flatten()
+            .chain(self.spill)
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = Box<dyn Iterator<Item = &'a T> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+impl<T, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = Self::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_n() {
+        let mut v: SmallVec<u32, 4> = SmallVec::new();
+        assert!(v.is_empty());
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(v.is_inline());
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_beyond_n_preserving_order() {
+        let mut v: SmallVec<u32, 2> = SmallVec::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        assert!(!v.is_inline());
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.to_vec(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(v.into_iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut v: SmallVec<u32, 2> = SmallVec::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        v.clear();
+        assert!(v.is_empty());
+        v.push(9);
+        assert_eq!(v.to_vec(), vec![9]);
+    }
+
+    #[test]
+    fn equality_and_from_iter() {
+        let a: SmallVec<u32, 3> = (0..5).collect();
+        let b: SmallVec<u32, 3> = (0..5).collect();
+        let c: SmallVec<u32, 3> = (0..4).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!((&a).into_iter().count(), 5);
+    }
+}

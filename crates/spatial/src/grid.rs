@@ -1,37 +1,52 @@
-//! Uniform-grid spatial index.
+//! Uniform-grid spatial index with eviction support.
 //!
 //! Every LTC algorithm enumerates the tasks *within `d_max`* of each
-//! arriving worker (the eligibility radius; see `ltc-core`). Task sets are
-//! static while workers stream past, so a build-once uniform grid with cell
-//! size equal to the query radius is the sweet spot: a radius query touches
-//! at most 9 cells and then distance-filters candidates exactly.
+//! arriving worker (the eligibility radius; see `ltc-core`). Workers
+//! stream past a task set that only ever *shrinks* — once a task reaches
+//! its quality threshold it stops being a candidate forever — so the
+//! index supports `remove` (and `insert`, for dynamically posted tasks):
+//! the streaming engine evicts completed tasks instead of re-filtering
+//! them on every query, keeping the hot path proportional to the
+//! *remaining* work.
+//!
+//! Storage is one bucket (`Vec`) per cell with cell size equal to the
+//! query radius: a radius query touches at most 9 cells and then
+//! distance-filters candidates exactly, and removal is a swap-remove in
+//! one bucket.
 
 use crate::{BoundingBox, Point};
 
 /// A uniform grid over 2-D points carrying ids of type `T`.
 ///
-/// Built once from a point set; supports exact radius queries. Queries with
-/// radius larger than the build-time `cell_size` still work (more cells are
-/// scanned), so a single index can serve several radii.
+/// Built from a point set; supports exact radius queries, point
+/// insertion, and removal. Queries with radius larger than the build-time
+/// `cell_size` still work (more cells are scanned), so a single index can
+/// serve several radii.
+///
+/// The grid's extent is fixed at build time (the bounding box of the
+/// initial points, or the box passed to [`GridIndex::with_bounds`]).
+/// Points outside the extent are clamped into the border cells; queries
+/// clamp the same way, so results stay exact — out-of-extent points only
+/// cost extra distance checks in the border cells.
 ///
 /// ```
 /// use ltc_spatial::{GridIndex, Point};
-/// let index = GridIndex::build(10.0, vec![(7u32, Point::new(3.0, 3.0))]);
+/// let mut index = GridIndex::build(10.0, vec![(7u32, Point::new(3.0, 3.0))]);
 /// assert_eq!(index.within(Point::ORIGIN, 5.0).collect::<Vec<_>>(), vec![7]);
-/// assert!(index.within(Point::ORIGIN, 2.0).next().is_none());
+/// index.remove(7, Point::new(3.0, 3.0));
+/// assert!(index.within(Point::ORIGIN, 5.0).next().is_none());
 /// ```
 #[derive(Debug, Clone)]
 pub struct GridIndex<T> {
     cell_size: f64,
-    /// Grid origin (min corner of the data's bounding box).
+    /// Grid origin (min corner of the build-time bounding box).
     origin: Point,
     /// Number of columns / rows.
     cols: usize,
     rows: usize,
-    /// CSR-style storage: `starts[c]..starts[c+1]` indexes into `entries`
-    /// for cell `c`. Compact and cache-friendly for read-only use.
-    starts: Vec<u32>,
-    entries: Vec<(T, Point)>,
+    /// One bucket per cell, row-major. Buckets are unordered; removal is
+    /// a swap-remove.
+    cells: Vec<Vec<(T, Point)>>,
     len: usize,
 }
 
@@ -40,56 +55,62 @@ impl<T: Copy> GridIndex<T> {
     ///
     /// # Panics
     ///
-    /// Panics if `cell_size` is not strictly positive and finite, or if any
-    /// point has a non-finite coordinate.
+    /// Panics if `cell_size` is not strictly positive and finite, or if
+    /// any point has a non-finite coordinate.
     pub fn build<I>(cell_size: f64, points: I) -> Self
     where
         I: IntoIterator<Item = (T, Point)>,
     {
-        assert!(
-            cell_size.is_finite() && cell_size > 0.0,
-            "cell_size must be positive and finite, got {cell_size}"
-        );
         let items: Vec<(T, Point)> = points.into_iter().collect();
         for (_, p) in &items {
             assert!(p.is_finite(), "grid index points must be finite, got {p}");
         }
         let bbox = BoundingBox::of_points(items.iter().map(|(_, p)| *p))
             .unwrap_or_else(|| BoundingBox::new(Point::ORIGIN, Point::ORIGIN));
-        let origin = bbox.min;
-        let cols = ((bbox.width() / cell_size).floor() as usize + 1).max(1);
-        let rows = ((bbox.height() / cell_size).floor() as usize + 1).max(1);
+        let mut index = Self::with_bounds(cell_size, bbox);
+        for (id, p) in items {
+            index.insert(id, p);
+        }
+        index
+    }
 
-        // Bucket into CSR layout: sort entries by cell id, then record the
-        // start offset of each cell's run.
-        let ncells = cols * rows;
-        let cell_of = |p: Point| -> usize {
-            let cx = (((p.x - origin.x) / cell_size) as usize).min(cols - 1);
-            let cy = (((p.y - origin.y) / cell_size) as usize).min(rows - 1);
-            cy * cols + cx
-        };
-        let len = items.len();
-        let mut keyed: Vec<(usize, (T, Point))> = items
-            .into_iter()
-            .map(|(id, p)| (cell_of(p), (id, p)))
-            .collect();
-        keyed.sort_unstable_by_key(|(c, _)| *c);
-        let mut starts = vec![0u32; ncells + 1];
-        for (c, _) in &keyed {
-            starts[c + 1] += 1;
+    /// Builds an empty index covering `bounds`. Use this when points will
+    /// arrive incrementally (e.g. dynamically posted tasks) and the
+    /// service region is known up front.
+    ///
+    /// The cell count is capped (at ~1M cells): for a huge region with a
+    /// tiny `cell_size`, cells are transparently coarsened (doubled until
+    /// the grid fits) instead of eagerly allocating gigabytes of empty
+    /// buckets. Queries stay exact — coarser cells only mean more
+    /// distance checks per query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive and finite.
+    pub fn with_bounds(cell_size: f64, bounds: BoundingBox) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell_size must be positive and finite, got {cell_size}"
+        );
+        /// Upper bound on allocated cells (~24 MB of bucket headers).
+        const MAX_CELLS: usize = 1 << 20;
+        let mut cell_size = cell_size;
+        let (mut cols, mut rows);
+        loop {
+            cols = ((bounds.width() / cell_size).floor() as usize + 1).max(1);
+            rows = ((bounds.height() / cell_size).floor() as usize + 1).max(1);
+            match cols.checked_mul(rows) {
+                Some(n) if n <= MAX_CELLS => break,
+                _ => cell_size *= 2.0,
+            }
         }
-        for i in 0..ncells {
-            starts[i + 1] += starts[i];
-        }
-        let entries: Vec<(T, Point)> = keyed.into_iter().map(|(_, e)| e).collect();
         Self {
             cell_size,
-            origin,
+            origin: bounds.min,
             cols,
             rows,
-            starts,
-            entries,
-            len,
+            cells: vec![Vec::new(); cols * rows],
+            len: 0,
         }
     }
 
@@ -103,6 +124,55 @@ impl<T: Copy> GridIndex<T> {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Inserts a point. Points outside the build-time extent are clamped
+    /// into border cells (queries stay exact; see the type-level docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point has a non-finite coordinate.
+    pub fn insert(&mut self, id: T, point: Point) {
+        assert!(
+            point.is_finite(),
+            "grid index points must be finite, got {point}"
+        );
+        let cell = self.cell_of(point);
+        self.cells[cell].push((id, point));
+        self.len += 1;
+    }
+
+    /// Removes one entry with this id stored at `point` (the location it
+    /// was inserted with). Returns whether an entry was removed.
+    ///
+    /// `O(bucket)`: only the point's own cell is searched.
+    pub fn remove(&mut self, id: T, point: Point) -> bool
+    where
+        T: PartialEq,
+    {
+        if !point.is_finite() {
+            return false;
+        }
+        let cell = self.cell_of(point);
+        let bucket = &mut self.cells[cell];
+        match bucket.iter().position(|(other, _)| *other == id) {
+            Some(pos) => {
+                bucket.swap_remove(pos);
+                self.len -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Keeps only the entries satisfying the predicate.
+    pub fn retain(&mut self, mut keep: impl FnMut(T, Point) -> bool) {
+        let mut len = 0;
+        for bucket in &mut self.cells {
+            bucket.retain(|&(id, p)| keep(id, p));
+            len += bucket.len();
+        }
+        self.len = len;
     }
 
     /// Ids of all points with `distance(center) <= radius`, in unspecified
@@ -127,17 +197,20 @@ impl<T: Copy> GridIndex<T> {
         let (cx1, cy1) = self.cell_coords(Point::new(center.x + radius, center.y + radius));
         (cy0..=cy1)
             .flat_map(move |cy| (cx0..=cx1).map(move |cx| cy * self.cols + cx))
-            .flat_map(move |cell| {
-                let lo = self.starts[cell] as usize;
-                let hi = self.starts[cell + 1] as usize;
-                self.entries[lo..hi].iter().copied()
-            })
+            .flat_map(move |cell| self.cells[cell].iter().copied())
             .filter(move |(_, p)| p.distance_sq(center) <= r_sq)
     }
 
     /// Number of points within `radius` of `center`.
     pub fn count_within(&self, center: Point, radius: f64) -> usize {
         self.within(center, radius).count()
+    }
+
+    /// Row-major cell index of a (possibly out-of-extent) point.
+    #[inline]
+    fn cell_of(&self, p: Point) -> usize {
+        let (cx, cy) = self.cell_coords(p);
+        cy * self.cols + cx
     }
 
     /// Clamped cell coordinates of a (possibly out-of-bounds) point.
@@ -227,6 +300,81 @@ mod tests {
         let mut got: Vec<u32> = idx.within(Point::new(10.0, 0.0), 2.5).collect();
         got.sort_unstable();
         assert_eq!(got, brute_within(&pts, Point::new(10.0, 0.0), 2.5));
+    }
+
+    #[test]
+    fn remove_evicts_and_readd_restores() {
+        let p = Point::new(5.0, 5.0);
+        let mut idx = GridIndex::build(3.0, vec![(1u32, p), (2, Point::new(6.0, 5.0))]);
+        assert!(idx.remove(1, p));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.within(p, 2.0).collect::<Vec<_>>(), vec![2]);
+        // Removing again is a no-op.
+        assert!(!idx.remove(1, p));
+        // Re-adding restores visibility.
+        idx.insert(1, p);
+        let mut got: Vec<u32> = idx.within(p, 2.0).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn remove_with_wrong_location_misses() {
+        let mut idx = GridIndex::build(
+            1.0,
+            vec![(1u32, Point::new(0.5, 0.5)), (2, Point::new(20.0, 20.0))],
+        );
+        // A location in a different cell cannot find entry 1.
+        assert!(!idx.remove(1, Point::new(20.0, 20.0)));
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn retain_filters_by_predicate() {
+        let pts: Vec<(u32, Point)> = (0..30).map(|i| (i, Point::new(i as f64, 0.0))).collect();
+        let mut idx = GridIndex::build(4.0, pts.iter().copied());
+        idx.retain(|id, _| id % 3 == 0);
+        assert_eq!(idx.len(), 10);
+        let mut got: Vec<u32> = idx.within(Point::new(15.0, 0.0), 100.0).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..30).filter(|i| i % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn with_bounds_accepts_out_of_extent_inserts() {
+        let bounds = BoundingBox::new(Point::ORIGIN, Point::new(10.0, 10.0));
+        let mut idx: GridIndex<u32> = GridIndex::with_bounds(2.0, bounds);
+        idx.insert(1, Point::new(5.0, 5.0));
+        // Far outside the declared extent: clamped into a border cell but
+        // still found exactly.
+        idx.insert(2, Point::new(100.0, 100.0));
+        assert_eq!(idx.within(Point::new(100.0, 100.0), 1.0).next(), Some(2));
+        assert_eq!(idx.within(Point::new(5.0, 5.0), 1.0).next(), Some(1));
+        assert_eq!(idx.count_within(Point::new(50.0, 50.0), 10.0), 0);
+        assert!(idx.remove(2, Point::new(100.0, 100.0)));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn huge_region_coarsens_instead_of_exploding() {
+        // A country-sized region with a tiny cell would naively need
+        // ~1e9 cells; the cap coarsens cells instead of allocating them.
+        let bounds = BoundingBox::new(Point::ORIGIN, Point::new(1.0e6, 1.0e6));
+        let mut idx: GridIndex<u32> = GridIndex::with_bounds(30.0, bounds);
+        assert!(idx.cols * idx.rows <= 1 << 20);
+        // Queries stay exact at the coarser granularity.
+        idx.insert(1, Point::new(987_654.0, 123_456.0));
+        idx.insert(2, Point::new(987_700.0, 123_456.0));
+        assert_eq!(
+            idx.within(Point::new(987_654.0, 123_456.0), 10.0)
+                .collect::<Vec<_>>(),
+            vec![1]
+        );
+        let mut both: Vec<u32> = idx.within(Point::new(987_677.0, 123_456.0), 50.0).collect();
+        both.sort_unstable();
+        assert_eq!(both, vec![1, 2]);
+        assert!(idx.remove(1, Point::new(987_654.0, 123_456.0)));
+        assert_eq!(idx.count_within(Point::new(987_654.0, 123_456.0), 10.0), 0);
     }
 
     #[test]

@@ -150,4 +150,91 @@ proptest! {
         let idx = GridIndex::build(30.0, pts.iter().copied().enumerate());
         prop_assert_eq!(idx.count_within(center, radius), idx.within(center, radius).count());
     }
+
+    /// Eviction: after removing an arbitrary subset, queries return
+    /// exactly the brute-force result over the survivors — removed ids
+    /// are never returned.
+    #[test]
+    fn evicted_points_never_returned(
+        pts in prop::collection::vec(arb_point(), 1..150),
+        removals in prop::collection::vec(prop::bool::ANY, 1..150),
+        center in arb_point(),
+        radius in 0.0f64..500.0,
+        cell in 1.0f64..100.0,
+    ) {
+        let labelled: Vec<(u32, Point)> = pts.iter().copied().enumerate()
+            .map(|(i, p)| (i as u32, p)).collect();
+        let mut idx = GridIndex::build(cell, labelled.iter().copied());
+        let mut alive: Vec<(u32, Point)> = Vec::new();
+        for (i, &(id, p)) in labelled.iter().enumerate() {
+            if removals.get(i).copied().unwrap_or(false) {
+                prop_assert!(idx.remove(id, p), "failed to remove id {}", id);
+            } else {
+                alive.push((id, p));
+            }
+        }
+        prop_assert_eq!(idx.len(), alive.len());
+        let mut got: Vec<u32> = idx.within(center, radius).collect();
+        got.sort_unstable();
+        let mut expect: Vec<u32> = alive.iter()
+            .filter(|(_, p)| p.distance(center) <= radius)
+            .map(|(i, _)| *i)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Re-adding evicted points makes them visible again: a full
+    /// remove-all / re-insert-all cycle restores the original result set.
+    #[test]
+    fn readd_after_evict_restores(
+        pts in prop::collection::vec(arb_point(), 1..100),
+        center in arb_point(),
+        radius in 0.0f64..500.0,
+    ) {
+        let labelled: Vec<(u32, Point)> = pts.iter().copied().enumerate()
+            .map(|(i, p)| (i as u32, p)).collect();
+        let mut idx = GridIndex::build(25.0, labelled.iter().copied());
+        for &(id, p) in &labelled {
+            prop_assert!(idx.remove(id, p));
+        }
+        prop_assert!(idx.is_empty());
+        prop_assert_eq!(idx.within(center, radius).count(), 0);
+        for &(id, p) in &labelled {
+            idx.insert(id, p);
+        }
+        let mut got: Vec<u32> = idx.within(center, radius).collect();
+        got.sort_unstable();
+        let mut expect: Vec<u32> = labelled.iter()
+            .filter(|(_, p)| p.distance(center) <= radius)
+            .map(|(i, _)| *i)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// retain behaves like filtering the underlying point set.
+    #[test]
+    fn retain_matches_filter(
+        pts in prop::collection::vec(arb_point(), 0..120),
+        center in arb_point(),
+        radius in 0.0f64..400.0,
+        modulus in 2u32..6,
+    ) {
+        let labelled: Vec<(u32, Point)> = pts.iter().copied().enumerate()
+            .map(|(i, p)| (i as u32, p)).collect();
+        let mut idx = GridIndex::build(40.0, labelled.iter().copied());
+        idx.retain(|id, _| id % modulus == 0);
+        let survivors: Vec<(u32, Point)> = labelled.iter().copied()
+            .filter(|(id, _)| id % modulus == 0).collect();
+        prop_assert_eq!(idx.len(), survivors.len());
+        let mut got: Vec<u32> = idx.within(center, radius).collect();
+        got.sort_unstable();
+        let mut expect: Vec<u32> = survivors.iter()
+            .filter(|(_, p)| p.distance(center) <= radius)
+            .map(|(i, _)| *i)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
 }

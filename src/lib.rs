@@ -14,13 +14,48 @@
 //!
 //! | Crate | Contents |
 //! |-------|----------|
-//! | [`mod@core`] | problem model + all six algorithms |
-//! | [`spatial`] | geometry, grid index, KD-tree, convex hulls |
+//! | [`mod@core`] | problem model + streaming engine + all six algorithms |
+//! | [`spatial`] | geometry, evicting grid index, KD-tree, convex hulls |
 //! | [`mcmf`] | min-cost max-flow (SSPA) |
 //! | [`workload`] | Table IV / Table V dataset generators |
 //! | [`sim`] | ground truth, voting, error rates, truth inference |
 //!
-//! ## Quickstart
+//! ## Streaming quickstart
+//!
+//! The core abstraction is the [`AssignmentEngine`](core::engine::AssignmentEngine):
+//! an owned, incremental engine that ingests worker check-ins one at a
+//! time, commits assignments irrevocably through a pluggable online
+//! policy, and evicts completed tasks from its spatial index so the
+//! per-worker eligibility query shrinks as work finishes.
+//!
+//! ```
+//! use ltc::prelude::*;
+//! use ltc::spatial::BoundingBox;
+//!
+//! let params = ProblemParams::builder().epsilon(0.2).capacity(2).build().unwrap();
+//! let region = BoundingBox::new(Point::ORIGIN, Point::new(50.0, 50.0));
+//! let mut engine = AssignmentEngine::new(params, region).unwrap();
+//! let mut policy = Aam::new();
+//!
+//! // Tasks can be posted at any time, workers stream in one by one.
+//! engine.add_task(Task::new(Point::new(10.0, 10.0))).unwrap();
+//! while !engine.all_completed() {
+//!     let batch = engine.push_worker(&Worker::new(Point::new(10.5, 10.0), 0.95), &mut policy);
+//!     for a in batch.iter() {
+//!         println!("worker {} -> task {}", a.worker.0, a.task.0);
+//!     }
+//! }
+//! assert!(engine.into_outcome().completed);
+//! ```
+//!
+//! The same engine also serves the CLI's `ltc stream` subcommand, which
+//! reads check-ins line by line (stdin or file) and emits assignments as
+//! NDJSON.
+//!
+//! ## Batch quickstart
+//!
+//! Recorded instances run through [`run_online`](core::online::run_online),
+//! a thin driver feeding the engine:
 //!
 //! ```
 //! use ltc::prelude::*;
@@ -51,6 +86,7 @@ pub use ltc_workload as workload;
 /// The most common imports in one place.
 pub mod prelude {
     pub use ltc_core::bounds::{latency_lower_bound, latency_upper_bound};
+    pub use ltc_core::engine::{AssignmentBatch, AssignmentEngine, Candidate, EngineError};
     pub use ltc_core::model::{
         AccuracyModel, Arrangement, Assignment, Eligibility, Instance, InstanceError,
         ProblemParams, QualityModel, RunOutcome, Task, TaskId, Worker, WorkerId,

@@ -94,7 +94,7 @@ fn em_posteriors_are_calibrated_enough_to_rank() {
     let confident = em
         .posteriors
         .iter()
-        .filter(|&&q| q > 0.9 || q < 0.1)
+        .filter(|&&q| !(0.1..=0.9).contains(&q))
         .count();
     assert!(
         confident as f64 >= 0.8 * instance.n_tasks() as f64,

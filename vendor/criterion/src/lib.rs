@@ -1,0 +1,297 @@
+//! Offline stand-in for the subset of the `criterion` crate used by this
+//! workspace's bench targets (`Criterion::benchmark_group`,
+//! `bench_with_input`, `Bencher::iter`/`iter_batched`, the group timing
+//! knobs, and the `criterion_group!`/`criterion_main!` macros).
+//!
+//! Each benchmark is warmed up for the group's `warm_up_time`, then timed
+//! in batches until `measurement_time` elapses or `sample_size` batches
+//! complete; the mean wall-clock time per iteration is printed as one
+//! line. This keeps `cargo bench` functional (and the numbers honest, if
+//! less rigorous than real Criterion) without registry access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to every benchmark function (mirrors
+/// `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Runs one stand-alone benchmark (a group of one).
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A named group of benchmarks sharing timing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets how long to run the routine before timing starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target wall-clock budget for the timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` against a shared input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size, self.warm_up_time, self.measurement_time);
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.label);
+        self
+    }
+
+    /// Benchmarks a routine with no external input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size, self.warm_up_time, self.measurement_time);
+        f(&mut bencher);
+        bencher.report(&self.name, &id.into());
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// How `iter_batched` amortizes setup cost (accepted for API
+/// compatibility; the shim times every batch the same way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Times closures handed to it by a benchmark function.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    /// Mean seconds per iteration, filled by `iter`/`iter_batched`.
+    mean_secs: Option<f64>,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, warm_up_time: Duration, measurement_time: Duration) -> Self {
+        Self {
+            sample_size,
+            warm_up_time,
+            measurement_time,
+            mean_secs: None,
+            iterations: 0,
+        }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: run untimed until the warm-up window elapses (at least
+        // once), to populate caches and trigger lazy initialization.
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let budget_start = Instant::now();
+        // Run until both the minimum sample count and the time budget are
+        // satisfied.
+        loop {
+            let t = Instant::now();
+            black_box(routine());
+            total += t.elapsed();
+            iters += 1;
+            if iters >= self.sample_size as u64 && budget_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        self.mean_secs = Some(total.as_secs_f64() / iters as f64);
+        self.iterations = iters;
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine(setup()));
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let budget_start = Instant::now();
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+            iters += 1;
+            if iters >= self.sample_size as u64 && budget_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        self.mean_secs = Some(total.as_secs_f64() / iters as f64);
+        self.iterations = iters;
+    }
+
+    fn report(&self, group: &str, label: &str) {
+        match self.mean_secs {
+            Some(secs) => println!(
+                "{group}/{label}: {} per iter ({} iters)",
+                format_duration(secs),
+                self.iterations
+            ),
+            None => println!("{group}/{label}: no measurement recorded"),
+        }
+    }
+}
+
+fn format_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark harness function running the listed targets
+/// (mirrors `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (mirrors
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_a_mean() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("batched"), &4u64, |b, &n| {
+            b.iter_batched(
+                || vec![1u64; n as usize],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(format_duration(2.0).ends_with(" s"));
+        assert!(format_duration(2e-3).ends_with(" ms"));
+        assert!(format_duration(2e-6).ends_with(" µs"));
+        assert!(format_duration(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Offline stand-in for the subset of the `rand_distr` crate used by this
+//! workspace: the [`Distribution`] trait and the [`Normal`] distribution.
+//! See the `vendor/rand` shim for why the real crate cannot be fetched.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{Rng, RngCore};
+use std::fmt;
+
+/// Types that can sample values of `T` from a generator (mirrors
+/// `rand_distr::Distribution`).
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// A normal (Gaussian) distribution `N(mean, std_dev²)`, sampled with the
+/// Box–Muller transform (one fresh pair per call; the second value is
+/// discarded to keep the type `Copy` and stateless).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates the distribution; `std_dev` must be finite and
+    /// non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !(std_dev.is_finite() && std_dev >= 0.0) {
+            return Err(NormalError::BadVariance);
+        }
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: u1 ∈ (0, 1] so the log is finite.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Why a [`Normal`] could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The standard deviation was negative or non-finite.
+    BadVariance,
+    /// The mean was non-finite.
+    MeanTooSmall,
+}
+
+impl fmt::Display for NormalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormalError::BadVariance => write!(f, "standard deviation is invalid"),
+            NormalError::MeanTooSmall => write!(f, "mean is invalid"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::NAN).is_err());
+        assert!(Normal::new(f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn moments_are_roughly_right() {
+        let dist = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.08, "var {var}");
+    }
+}
