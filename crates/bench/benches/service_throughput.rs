@@ -1,0 +1,141 @@
+//! Sharded-service streaming throughput: sustained workers/sec of
+//! [`LtcService`] at 1/2/4/8 shards versus driving a single
+//! [`AssignmentEngine`] directly, over the paper's Table-IV synthetic
+//! stream (LAF policy, so the single-shard service is bit-identical to
+//! the engine; multi-shard batches may reorder boundary workers within a
+//! wave, so their assignment totals can differ slightly).
+//!
+//! Multi-shard runs dispatch check-ins in batches
+//! ([`LtcService::check_in_batch`]) with one scoped thread per shard;
+//! wall-clock scaling therefore tracks the machine's core count, which
+//! is printed alongside the results. Interior workers (the vast majority
+//! when the stripe width is large against `d_max`) are served fully
+//! shard-locally; stripe-straddling workers are merged serially.
+//!
+//! Run with `cargo bench -p ltc-bench --bench service_throughput`; scale
+//! the stream with `LTC_BENCH_SCALE` (smaller = bigger instance, default
+//! 8; 1 = the paper's cardinalities). CI runs this with a large scale as
+//! a smoke test.
+
+use ltc_core::engine::AssignmentEngine;
+use ltc_core::model::Instance;
+use ltc_core::online::Laf;
+use ltc_core::service::{Algorithm, ServiceBuilder};
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+struct Measurement {
+    workers: u64,
+    assignments: u64,
+    completed: bool,
+    secs: f64,
+}
+
+fn run_engine(instance: &Instance) -> Measurement {
+    let mut engine = AssignmentEngine::from_instance(instance);
+    let mut algo = Laf::new();
+    let start = Instant::now();
+    let mut workers = 0u64;
+    for worker in instance.workers() {
+        if engine.all_completed() {
+            break;
+        }
+        engine.push_worker(worker, &mut algo);
+        workers += 1;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    Measurement {
+        workers,
+        assignments: engine.arrangement().len() as u64,
+        completed: engine.all_completed(),
+        secs,
+    }
+}
+
+fn run_service(instance: &Instance, shards: usize) -> Measurement {
+    // Dispatch waves sized so early completion overshoots by at most a
+    // few percent of the stream while batches stay large enough to
+    // amortize thread spawning.
+    let batch = (instance.n_workers() / 16).clamp(64, 4096);
+    let mut service = ServiceBuilder::from_instance(instance)
+        .algorithm(Algorithm::Laf)
+        .shards(NonZeroUsize::new(shards).unwrap())
+        .batch_capacity(batch)
+        .build()
+        .expect("sigmoid synthetic instances always build");
+    let start = Instant::now();
+    let mut workers = 0u64;
+    for chunk in instance.workers().chunks(batch) {
+        if service.all_completed() {
+            break;
+        }
+        service.check_in_batch(chunk);
+        workers += chunk.len() as u64;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    Measurement {
+        workers,
+        assignments: service.n_assignments(),
+        completed: service.all_completed(),
+        secs,
+    }
+}
+
+fn report(label: &str, m: &Measurement, baseline_secs: f64) {
+    println!(
+        "  {label:<24} {:>9} workers in {:>8.3}s  =  {:>10.0} workers/sec  \
+         ({} assignments, completed: {}, speedup vs engine: {:.2}x)",
+        m.workers,
+        m.secs,
+        m.workers as f64 / m.secs.max(f64::EPSILON),
+        m.assignments,
+        m.completed,
+        baseline_secs / m.secs.max(f64::EPSILON),
+    );
+}
+
+fn main() {
+    let scale = ltc_bench::bench_scale().min(64);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "service_throughput (LTC_BENCH_SCALE = {scale}; LAF policy; \
+         {cores} core(s) available — multi-shard wall-clock scaling is bounded by cores)"
+    );
+    let cfg = ltc_workload::SyntheticConfig::default().scaled_down(scale);
+    let instance = cfg.generate();
+    println!(
+        "table-iv/default: |T| = {}, |W| = {}, K = {}, eps = {}",
+        instance.n_tasks(),
+        instance.n_workers(),
+        instance.params().capacity,
+        instance.params().epsilon
+    );
+
+    let engine = run_engine(&instance);
+    report("engine (no facade)", &engine, engine.secs);
+    let mut best = (1usize, f64::MAX);
+    for shards in [1usize, 2, 4, 8] {
+        let m = run_service(&instance, shards);
+        if shards == 1 {
+            assert_eq!(
+                m.assignments, engine.assignments,
+                "single-shard service diverged from the engine"
+            );
+        }
+        if m.secs < best.1 {
+            best = (shards, m.secs);
+        }
+        report(&format!("service x{shards} shards"), &m, engine.secs);
+    }
+    println!(
+        "  best: {} shard(s) at {:.2}x the single-engine throughput",
+        best.0,
+        engine.secs / best.1.max(f64::EPSILON)
+    );
+    if cores == 1 {
+        println!(
+            "  note: 1-core environment — shard threads interleave, so the parallel \
+             speedup target (>= 1.5x at 4+ shards) needs a multi-core host"
+        );
+    }
+}

@@ -116,7 +116,7 @@ fn run_baseline(instance: &Instance) -> Measurement {
             break;
         }
         baseline.push_worker(
-            WorkerId(w as u32),
+            WorkerId(w as u64),
             worker,
             &mut algo,
             &mut candidates,

@@ -494,7 +494,7 @@ impl AvgCell {
         self.bytes_sum += m.peak_bytes as f64;
         if let Some(l) = m.latency {
             self.completed += 1;
-            self.latency_sum += l as u64;
+            self.latency_sum += l;
         }
     }
 

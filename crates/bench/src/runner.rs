@@ -61,7 +61,7 @@ impl Algo {
 pub struct Measurement {
     /// Max worker index (the latency); `None` when the stream was
     /// exhausted before completing all tasks.
-    pub latency: Option<u32>,
+    pub latency: Option<u64>,
     /// Wall-clock seconds of the algorithm run (excludes dataset
     /// generation).
     pub seconds: f64,

@@ -11,7 +11,10 @@ USAGE:
                [--epsilon E] [--out FILE]
   ltc run      --input FILE --algo <aam|laf|random|mcf-ltc|base-off> [--stats]
   ltc stream   --input FILE --algo <aam|laf|random> [--checkins FILE]
-               [--seed S]
+               [--seed S] [--shards N] [--snapshot-out FILE]
+  ltc snapshot --input FILE --algo <aam|laf|random> --out FILE
+               [--checkins FILE] [--seed S] [--shards N]
+  ltc resume   --snapshot FILE [--checkins FILE] [--snapshot-out FILE]
   ltc exact    --input FILE [--budget NODES]
   ltc simulate --input FILE --algo <...> [--trials N] [--seed S]
   ltc bounds   --input FILE
@@ -23,12 +26,19 @@ quantiles, capacity utilization and quality overshoot. `simulate` samples
 crowd answers and compares weighted-majority aggregation against plain
 majority and EM truth inference.
 
-`stream` runs the incremental assignment engine: tasks and parameters come
-from --input (its worker records are ignored), worker check-ins are read
-line by line from --checkins (default: stdin) as `x<TAB>y<TAB>accuracy`
-(the dataset `worker` record also parses), and each worker's committed
-assignments are emitted immediately as one NDJSON line, ending with a
-summary line. Check-ins below the spam threshold are skipped.";
+`stream` serves check-ins through the sharded LtcService: tasks and
+parameters come from --input (its worker records are ignored), worker
+check-ins are read line by line from --checkins (default: stdin) as
+`x<TAB>y<TAB>accuracy` (the dataset `worker` record also parses), and each
+worker's committed assignments are emitted immediately as one NDJSON line,
+ending with a summary line. Check-ins below the spam threshold are
+skipped. --shards N partitions the task pool spatially over N engine
+shards (default 1; single-shard output is bit-identical to the engine).
+
+`snapshot` is `stream` that also writes the service state to --out when
+the check-ins are exhausted (or every task completed); `stream
+--snapshot-out` does the same. `resume` restores a service from such a
+snapshot file and keeps streaming where it left off.";
 
 /// Which arrangement algorithm a command should run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,17 +126,31 @@ pub enum Command {
         /// Print extended statistics.
         stats: bool,
     },
-    /// `ltc stream`.
+    /// `ltc stream` (and `ltc snapshot`, which is `stream` with a
+    /// mandatory snapshot destination).
     Stream {
         /// Dataset path providing parameters and tasks (worker records
         /// are ignored).
         input: String,
-        /// Online algorithm driving the engine.
+        /// Online algorithm driving the service.
         algo: AlgoChoice,
         /// Check-in source (`None` = stdin).
         checkins: Option<String>,
         /// RNG seed (only affects `random`).
         seed: u64,
+        /// Engine shards the task pool is spatially partitioned over.
+        shards: usize,
+        /// Where to write the final service snapshot, if anywhere.
+        snapshot_out: Option<String>,
+    },
+    /// `ltc resume`.
+    Resume {
+        /// Snapshot file written by `ltc snapshot`/`stream --snapshot-out`.
+        snapshot: String,
+        /// Check-in source (`None` = stdin).
+        checkins: Option<String>,
+        /// Where to write the updated snapshot, if anywhere.
+        snapshot_out: Option<String>,
     },
     /// `ltc exact`.
     Exact {
@@ -263,19 +287,55 @@ impl Command {
                     stats: flags.present("--stats"),
                 })
             }
-            "stream" => {
-                flags.reject_unknown(&["--input", "--algo", "--checkins", "--seed"])?;
+            "stream" | "snapshot" => {
+                let known: &[&str] = if cmd == "stream" {
+                    &[
+                        "--input",
+                        "--algo",
+                        "--checkins",
+                        "--seed",
+                        "--shards",
+                        "--snapshot-out",
+                    ]
+                } else {
+                    &[
+                        "--input",
+                        "--algo",
+                        "--checkins",
+                        "--seed",
+                        "--shards",
+                        "--out",
+                    ]
+                };
+                flags.reject_unknown(known)?;
                 let algo = AlgoChoice::parse(
                     flags
                         .value("--algo")?
-                        .ok_or_else(|| ParseError("stream requires --algo".into()))?,
+                        .ok_or_else(|| ParseError(format!("{cmd} requires --algo")))?,
                 )?;
                 if !matches!(algo, AlgoChoice::Aam | AlgoChoice::Laf | AlgoChoice::Random) {
                     return Err(ParseError(format!(
-                        "stream requires an online algorithm (aam, laf, random), got `{}`",
+                        "{cmd} requires an online algorithm (aam, laf, random), got `{}`",
                         algo.name()
                     )));
                 }
+                let shards = match flags.value("--shards")? {
+                    Some(v) => parse_num::<usize>(v, "shards")?,
+                    None => 1,
+                };
+                if shards == 0 {
+                    return Err(ParseError("--shards must be positive".into()));
+                }
+                let snapshot_out = if cmd == "stream" {
+                    flags.value("--snapshot-out")?.map(str::to_string)
+                } else {
+                    Some(
+                        flags
+                            .value("--out")?
+                            .ok_or_else(|| ParseError("snapshot requires --out".into()))?
+                            .to_string(),
+                    )
+                };
                 Ok(Command::Stream {
                     input: required_input(&mut flags)?,
                     algo,
@@ -284,6 +344,19 @@ impl Command {
                         Some(v) => parse_num(v, "seed")?,
                         None => 0x5EED,
                     },
+                    shards,
+                    snapshot_out,
+                })
+            }
+            "resume" => {
+                flags.reject_unknown(&["--snapshot", "--checkins", "--snapshot-out"])?;
+                Ok(Command::Resume {
+                    snapshot: flags
+                        .value("--snapshot")?
+                        .ok_or_else(|| ParseError("resume requires --snapshot FILE".into()))?
+                        .to_string(),
+                    checkins: flags.value("--checkins")?.map(str::to_string),
+                    snapshot_out: flags.value("--snapshot-out")?.map(str::to_string),
                 })
             }
             "exact" => {
@@ -440,10 +513,13 @@ mod tests {
                 algo: AlgoChoice::Aam,
                 checkins: None,
                 seed: 0x5EED,
+                shards: 1,
+                snapshot_out: None,
             }
         );
         let cmd = Command::parse(&argv(
-            "stream --input x.tsv --algo random --checkins c.tsv --seed 7",
+            "stream --input x.tsv --algo random --checkins c.tsv --seed 7 --shards 4 \
+             --snapshot-out s.ltc",
         ))
         .unwrap();
         assert_eq!(
@@ -453,6 +529,8 @@ mod tests {
                 algo: AlgoChoice::Random,
                 checkins: Some("c.tsv".into()),
                 seed: 7,
+                shards: 4,
+                snapshot_out: Some("s.ltc".into()),
             }
         );
     }
@@ -462,6 +540,38 @@ mod tests {
         let err = Command::parse(&argv("stream --input x.tsv --algo mcf-ltc")).unwrap_err();
         assert!(err.to_string().contains("online algorithm"));
         assert!(Command::parse(&argv("stream --algo aam")).is_err());
+        assert!(Command::parse(&argv("stream --input x.tsv --algo aam --shards 0")).is_err());
+    }
+
+    #[test]
+    fn snapshot_requires_out_and_resume_requires_snapshot() {
+        let cmd = Command::parse(&argv("snapshot --input x.tsv --algo laf --out s.ltc")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Stream {
+                input: "x.tsv".into(),
+                algo: AlgoChoice::Laf,
+                checkins: None,
+                seed: 0x5EED,
+                shards: 1,
+                snapshot_out: Some("s.ltc".into()),
+            }
+        );
+        assert!(Command::parse(&argv("snapshot --input x.tsv --algo laf")).is_err());
+
+        let cmd = Command::parse(&argv(
+            "resume --snapshot s.ltc --checkins c.tsv --snapshot-out s2.ltc",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Resume {
+                snapshot: "s.ltc".into(),
+                checkins: Some("c.tsv".into()),
+                snapshot_out: Some("s2.ltc".into()),
+            }
+        );
+        assert!(Command::parse(&argv("resume --checkins c.tsv")).is_err());
     }
 
     #[test]

@@ -2,16 +2,18 @@
 
 use crate::args::{AlgoChoice, Command, Preset};
 use ltc_core::bounds::{batch_size, latency_lower_bound, latency_upper_bound};
-use ltc_core::engine::AssignmentEngine;
 use ltc_core::metrics::ArrangementStats;
 use ltc_core::model::{Instance, RunOutcome, Worker};
 use ltc_core::offline::{BaseOff, ExactSolver, McfLtc};
-use ltc_core::online::{run_online, Aam, Laf, OnlineAlgorithm, RandomAssign};
+use ltc_core::online::{run_online, Aam, Laf, RandomAssign};
+use ltc_core::service::{Algorithm, Event, LtcService, ServiceBuilder};
+use ltc_core::snapshot as snapshot_format;
 use ltc_sim::{infer_em, infer_majority, simulate, AnswerSet, EmConfig, GroundTruth};
 use ltc_spatial::Point;
 use ltc_workload::{dataset, CheckinCityConfig, SyntheticConfig};
 use std::error::Error;
 use std::io::{BufRead, Write};
+use std::num::NonZeroUsize;
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -32,7 +34,22 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
             algo,
             checkins,
             seed,
-        } => stream_cmd(&input, algo, checkins.as_deref(), seed, out),
+            shards,
+            snapshot_out,
+        } => stream_cmd(
+            &input,
+            algo,
+            checkins.as_deref(),
+            seed,
+            shards,
+            snapshot_out.as_deref(),
+            out,
+        ),
+        Command::Resume {
+            snapshot,
+            checkins,
+            snapshot_out,
+        } => resume_cmd(&snapshot, checkins.as_deref(), snapshot_out.as_deref(), out),
         Command::Exact { input, budget } => exact(&input, budget, out),
         Command::Simulate {
             input,
@@ -190,32 +207,38 @@ fn parse_checkin(line: &str, lineno: usize) -> Result<Worker, String> {
     Ok(Worker::new(loc, accuracy))
 }
 
-/// Appends one worker's batch as an NDJSON event line.
-fn write_stream_event(
-    out: &mut dyn Write,
-    engine: &AssignmentEngine,
-    worker_idx: u64,
-    batch: &ltc_core::AssignmentBatch,
-) -> CmdResult {
-    write!(out, "{{\"worker\":{worker_idx},\"assignments\":[")?;
-    for (i, a) in batch.iter().enumerate() {
-        if i > 0 {
-            write!(out, ",")?;
-        }
-        write!(
-            out,
-            "{{\"task\":{},\"acc\":{:.6},\"contribution\":{:.6}}}",
-            a.task.0, a.acc, a.contribution
-        )?;
+/// Appends one worker's events as an NDJSON line (only when something was
+/// assigned — idle check-ins stay silent, matching the engine-era format).
+fn write_stream_event(out: &mut dyn Write, worker_idx: u64, events: &[Event]) -> CmdResult {
+    if !events.iter().any(|e| matches!(e, Event::Assigned { .. })) {
+        return Ok(());
     }
-    write!(out, "],\"newly_completed\":[")?;
+    write!(out, "{{\"worker\":{worker_idx},\"assignments\":[")?;
     let mut first = true;
-    for a in batch.iter() {
-        if engine.is_completed(a.task) {
+    for e in events {
+        if let Event::Assigned {
+            task, acc, gain, ..
+        } = e
+        {
             if !first {
                 write!(out, ",")?;
             }
-            write!(out, "{}", a.task.0)?;
+            write!(
+                out,
+                "{{\"task\":{},\"acc\":{acc:.6},\"contribution\":{gain:.6}}}",
+                task.0
+            )?;
+            first = false;
+        }
+    }
+    write!(out, "],\"newly_completed\":[")?;
+    let mut first = true;
+    for e in events {
+        if let Event::TaskCompleted { task, .. } = e {
+            if !first {
+                write!(out, ",")?;
+            }
+            write!(out, "{}", task.0)?;
             first = false;
         }
     }
@@ -223,38 +246,59 @@ fn write_stream_event(
     Ok(())
 }
 
-/// `ltc stream`: drive the incremental engine over a line-by-line
-/// check-in stream, emitting assignments as NDJSON.
+/// Maps a CLI algorithm choice onto a service policy.
+fn service_algorithm(algo: AlgoChoice, seed: u64) -> Algorithm {
+    match algo {
+        AlgoChoice::Aam => Algorithm::Aam,
+        AlgoChoice::Laf => Algorithm::Laf,
+        AlgoChoice::Random => Algorithm::Random { seed },
+        AlgoChoice::McfLtc | AlgoChoice::BaseOff => {
+            unreachable!("argument parsing restricts streaming to online algorithms")
+        }
+    }
+}
+
+/// `ltc stream` / `ltc snapshot`: serve a line-by-line check-in stream
+/// through an [`LtcService`], emitting assignments as NDJSON and
+/// optionally writing the final service state.
 fn stream_cmd(
     input: &str,
     algo: AlgoChoice,
     checkins: Option<&str>,
     seed: u64,
+    shards: usize,
+    snapshot_out: Option<&str>,
     out: &mut dyn Write,
 ) -> CmdResult {
     let instance = load(input)?;
-    let mut engine = AssignmentEngine::from_instance(&instance);
-    let mut aam;
-    let mut laf;
-    let mut random;
-    let policy: &mut dyn OnlineAlgorithm = match algo {
-        AlgoChoice::Aam => {
-            aam = Aam::new();
-            &mut aam
-        }
-        AlgoChoice::Laf => {
-            laf = Laf::new();
-            &mut laf
-        }
-        AlgoChoice::Random => {
-            random = RandomAssign::seeded(seed);
-            &mut random
-        }
-        AlgoChoice::McfLtc | AlgoChoice::BaseOff => {
-            unreachable!("argument parsing restricts stream to online algorithms")
-        }
-    };
+    let service = ServiceBuilder::from_instance(&instance)
+        .algorithm(service_algorithm(algo, seed))
+        .shards(NonZeroUsize::new(shards).ok_or("--shards must be positive")?)
+        .build()?;
+    drive_stream(service, checkins, snapshot_out, out)
+}
 
+/// `ltc resume`: restore a service from a snapshot file and keep
+/// streaming.
+fn resume_cmd(
+    snapshot: &str,
+    checkins: Option<&str>,
+    snapshot_out: Option<&str>,
+    out: &mut dyn Write,
+) -> CmdResult {
+    let file =
+        std::fs::File::open(snapshot).map_err(|e| format!("cannot open `{snapshot}`: {e}"))?;
+    let service = snapshot_format::load_service(std::io::BufReader::new(file))?;
+    drive_stream(service, checkins, snapshot_out, out)
+}
+
+/// The shared streaming loop behind `stream`, `snapshot`, and `resume`.
+fn drive_stream(
+    mut service: LtcService,
+    checkins: Option<&str>,
+    snapshot_out: Option<&str>,
+    out: &mut dyn Write,
+) -> CmdResult {
     let stdin;
     let file;
     let reader: Box<dyn BufRead> = match checkins {
@@ -268,11 +312,11 @@ fn stream_cmd(
         }
     };
 
-    let min_accuracy = instance.params().min_accuracy;
+    let min_accuracy = service.params().min_accuracy;
     let started = std::time::Instant::now();
     let mut spam_skipped: u64 = 0;
     for (lineno, line) in reader.lines().enumerate() {
-        if engine.all_completed() {
+        if service.all_completed() {
             break;
         }
         let line = line?;
@@ -287,20 +331,17 @@ fn stream_cmd(
             spam_skipped += 1;
             continue;
         }
-        let worker_idx = engine.n_workers_seen();
-        let batch = engine.push_worker(&worker, policy);
-        if !batch.is_empty() {
-            write_stream_event(out, &engine, worker_idx, &batch)?;
-        }
+        let worker_idx = service.n_workers_seen();
+        let events = service.check_in(&worker);
+        write_stream_event(out, worker_idx, &events)?;
     }
 
     let elapsed = started.elapsed().as_secs_f64();
-    let completed = engine.all_completed();
-    let workers = engine.n_workers_seen();
-    let n_tasks = engine.n_tasks();
-    let n_completed = n_tasks - engine.n_uncompleted();
-    let outcome = engine.into_outcome();
-    let latency = match outcome.latency() {
+    let completed = service.all_completed();
+    let workers = service.n_workers_seen();
+    let n_tasks = service.n_tasks();
+    let n_completed = n_tasks - service.n_uncompleted();
+    let latency = match service.latency() {
         Some(l) => l.to_string(),
         None => "null".to_string(),
     };
@@ -309,9 +350,19 @@ fn stream_cmd(
         "{{\"summary\":true,\"algo\":\"{}\",\"workers\":{workers},\"spam_skipped\":{spam_skipped},\
          \"assignments\":{},\"tasks\":{n_tasks},\"completed_tasks\":{n_completed},\
          \"completed\":{completed},\"latency\":{latency},\"elapsed_s\":{elapsed:.6}}}",
-        algo.name(),
-        outcome.arrangement.len(),
+        service.algorithm().name(),
+        service.n_assignments(),
     )?;
+    if let Some(path) = snapshot_out {
+        let file =
+            std::fs::File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))?;
+        snapshot_format::save_service(&service, std::io::BufWriter::new(file))?;
+        writeln!(
+            out,
+            "{{\"snapshot\":\"{path}\",\"shards\":{}}}",
+            service.n_shards()
+        )?;
+    }
     Ok(())
 }
 
@@ -565,6 +616,112 @@ mod tests {
         };
         assert_eq!(strip(&a), strip(&b));
         assert_ne!(strip(&a), strip(&c));
+    }
+
+    #[test]
+    fn stream_shards_flag_preserves_laf_output() {
+        let data_path = temp_path("stream_shards.tsv");
+        let checkin_path = temp_path("stream_shards_checkins.tsv");
+        let mut data = String::from("# ltc-dataset v1\nparams\t0.3\t2\t30\t0.66\n");
+        for t in 0..8 {
+            data.push_str(&format!("task\t{}\t5\n", t * 100));
+        }
+        std::fs::write(&data_path, &data).unwrap();
+        let mut checkins = String::new();
+        for i in 0..120 {
+            checkins.push_str(&format!("{}\t5\t0.95\n", (i % 8) * 100));
+        }
+        std::fs::write(&checkin_path, &checkins).unwrap();
+        let run = |shards: usize| {
+            run_cli(&format!(
+                "stream --input {data_path} --algo laf --checkins {checkin_path} \
+                 --shards {shards}"
+            ))
+        };
+        let strip = |s: &str| {
+            s.lines()
+                .map(|l| l.split(",\"elapsed_s\"").next().unwrap().to_string())
+                .collect::<Vec<_>>()
+        };
+        let (code1, one) = run(1);
+        let (code4, four) = run(4);
+        assert_eq!(code1, 0, "{one}");
+        assert_eq!(code4, 0, "{four}");
+        // LAF's merge tie-break equals its selection key, so the sharded
+        // service commits the same assignments.
+        assert_eq!(strip(&one), strip(&four));
+        assert!(one.contains("\"completed\":true"), "{one}");
+    }
+
+    #[test]
+    fn snapshot_then_resume_matches_an_uninterrupted_stream() {
+        let data_path = temp_path("snap_data.tsv");
+        let all_checkins = temp_path("snap_all.tsv");
+        let first_half = temp_path("snap_first.tsv");
+        let second_half = temp_path("snap_second.tsv");
+        let snap_path = temp_path("snap_state.ltc");
+        let mut data = String::from("# ltc-dataset v1\nparams\t0.14\t2\t30\t0.66\n");
+        for t in 0..6 {
+            data.push_str(&format!("task\t{}\t5\n", t * 40));
+        }
+        std::fs::write(&data_path, &data).unwrap();
+        let lines: Vec<String> = (0..80)
+            .map(|i| format!("{}\t6\t0.9{}", (i % 6) * 40, i % 9))
+            .collect();
+        std::fs::write(&all_checkins, lines.join("\n")).unwrap();
+        std::fs::write(&first_half, lines[..30].join("\n")).unwrap();
+        std::fs::write(&second_half, lines[30..].join("\n")).unwrap();
+
+        let (code, full) = run_cli(&format!(
+            "stream --input {data_path} --algo aam --checkins {all_checkins}"
+        ));
+        assert_eq!(code, 0, "{full}");
+
+        let (code, first) = run_cli(&format!(
+            "snapshot --input {data_path} --algo aam --checkins {first_half} --out {snap_path}"
+        ));
+        assert_eq!(code, 0, "{first}");
+        assert!(first.contains("\"snapshot\""), "{first}");
+        let (code, second) = run_cli(&format!(
+            "resume --snapshot {snap_path} --checkins {second_half}"
+        ));
+        assert_eq!(code, 0, "{second}");
+
+        // Interrupted event lines (sans each run's summary/snapshot tail)
+        // concatenate to exactly the uninterrupted run's event lines.
+        let events = |s: &str| {
+            s.lines()
+                .filter(|l| l.starts_with("{\"worker\""))
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        };
+        let mut stitched = events(&first);
+        stitched.extend(events(&second));
+        assert_eq!(events(&full), stitched);
+        // And the final summaries agree on everything but timing.
+        let summary = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("\"summary\":true"))
+                .unwrap()
+                .split(",\"elapsed_s\"")
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(summary(&full), summary(&second));
+        for p in [&all_checkins, &first_half, &second_half, &snap_path] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn resume_rejects_garbage_snapshots() {
+        let path = temp_path("garbage.ltc");
+        std::fs::write(&path, "not a snapshot\n").unwrap();
+        let (code, out) = run_cli(&format!("resume --snapshot {path}"));
+        assert_eq!(code, 1);
+        assert!(out.contains("snapshot"), "{out}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

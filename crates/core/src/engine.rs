@@ -30,6 +30,7 @@ use crate::model::{
 use crate::online::OnlineAlgorithm;
 use crate::smallvec::SmallVec;
 use ltc_spatial::{BoundingBox, GridIndex};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Tolerance for `S[t] ≥ δ` completion checks (see
@@ -80,7 +81,18 @@ pub struct AssignmentEngine {
     /// under [`Eligibility::Unrestricted`].
     task_index: Option<GridIndex<u32>>,
     /// Arrival counter: the id the next pushed worker receives.
-    next_arrival: u32,
+    next_arrival: u64,
+    /// Per-task remaining worker-units `⌈(δ − S[t])⁺⌉` (0 once
+    /// completed), maintained incrementally so AAM's regime scan needs no
+    /// per-worker pass over the uncompleted set.
+    units: Vec<f64>,
+    /// Exact sum of `units` (integer-valued, so f64 addition is exact
+    /// below 2^53 regardless of update order).
+    units_sum: f64,
+    /// Multiset of the nonzero `units` values keyed by their IEEE-754
+    /// bits (bit order equals numeric order for non-negative floats), so
+    /// the maximum is the last key: O(log distinct-values) per update.
+    units_counts: BTreeMap<u64, u32>,
     /// Scratch buffers reused across `push_worker` calls.
     cand_buf: Vec<Candidate>,
     picks_buf: Vec<TaskId>,
@@ -112,6 +124,9 @@ impl AssignmentEngine {
             arrangement: Arrangement::new(),
             task_index,
             next_arrival: 0,
+            units: Vec::new(),
+            units_sum: 0.0,
+            units_counts: BTreeMap::new(),
             cand_buf: Vec::new(),
             picks_buf: Vec::new(),
         })
@@ -131,8 +146,14 @@ impl AssignmentEngine {
             )),
             Eligibility::Unrestricted => None,
         };
+        let delta = params.delta();
+        let full_units = delta.ceil();
+        let mut units_counts = BTreeMap::new();
+        if n > 0 {
+            units_counts.insert(full_units.to_bits(), n as u32);
+        }
         Self {
-            delta: params.delta(),
+            delta,
             params,
             accuracy: instance.accuracy_model().clone(),
             tasks,
@@ -143,6 +164,9 @@ impl AssignmentEngine {
             arrangement: Arrangement::new(),
             task_index,
             next_arrival: 0,
+            units: vec![full_units; n],
+            units_sum: full_units * n as f64,
+            units_counts,
             cand_buf: Vec::new(),
             picks_buf: Vec::new(),
         }
@@ -151,12 +175,55 @@ impl AssignmentEngine {
     /// Posts a new task mid-stream. It becomes assignable to every
     /// subsequent worker.
     ///
-    /// Fails when the accuracy model is a fixed table (tables are sized
-    /// to a closed task set) or the location is non-finite.
+    /// Fails when the location is non-finite, or when the accuracy model
+    /// is tabular — a table has no way to predict accuracies for a task
+    /// it has no row for; post such tasks through
+    /// [`AssignmentEngine::add_task_with_accuracies`] instead.
     pub fn add_task(&mut self, task: Task) -> Result<TaskId, EngineError> {
         if matches!(self.accuracy, AccuracyModel::Table(_)) {
-            return Err(EngineError::StaticAccuracyTable);
+            return Err(EngineError::MissingAccuracyRow);
         }
+        self.add_task_common(task)
+    }
+
+    /// Posts a new task mid-stream under a tabular accuracy model,
+    /// appending `accuracies` (one entry per table worker, in `[0, 1]`)
+    /// as the task's row. The inverse restriction of
+    /// [`AssignmentEngine::add_task`]: a sigmoid engine computes
+    /// accuracies itself and rejects an explicit row.
+    pub fn add_task_with_accuracies(
+        &mut self,
+        task: Task,
+        accuracies: &[f64],
+    ) -> Result<TaskId, EngineError> {
+        let AccuracyModel::Table(table) = &mut self.accuracy else {
+            return Err(EngineError::UnexpectedAccuracyRow);
+        };
+        if accuracies.len() != table.n_workers() {
+            return Err(EngineError::BadAccuracyRow {
+                expected: table.n_workers(),
+                got: accuracies.len(),
+            });
+        }
+        if let Some(&value) = accuracies
+            .iter()
+            .find(|a| !(0.0..=1.0).contains(*a) || a.is_nan())
+        {
+            return Err(EngineError::AccuracyOutOfRange(value));
+        }
+        if !task.loc.is_finite() {
+            return Err(EngineError::BadTaskLocation);
+        }
+        if self.tasks.len() >= u32::MAX as usize {
+            return Err(EngineError::TooManyTasks);
+        }
+        table.push_task_row(accuracies);
+        self.add_task_common(task)
+    }
+
+    /// The model-independent part of posting a task: id allocation,
+    /// quality/unit bookkeeping, and index insertion.
+    fn add_task_common(&mut self, task: Task) -> Result<TaskId, EngineError> {
         if !task.loc.is_finite() {
             return Err(EngineError::BadTaskLocation);
         }
@@ -169,6 +236,8 @@ impl AssignmentEngine {
         self.completed.push(false);
         self.uncompleted_pos.push(self.uncompleted_ids.len() as u32);
         self.uncompleted_ids.push(id);
+        self.units.push(0.0);
+        self.set_units(id as usize, self.delta.ceil());
         if let Some(index) = &mut self.task_index {
             index.insert(id, task.loc);
         }
@@ -208,7 +277,49 @@ impl AssignmentEngine {
     /// Number of workers pushed so far.
     #[inline]
     pub fn n_workers_seen(&self) -> u64 {
-        self.next_arrival as u64
+        self.next_arrival
+    }
+
+    /// `(Σ_t ⌈(δ − S[t])⁺⌉, max_t ⌈(δ − S[t])⁺⌉)` over the uncompleted
+    /// tasks — the worker-unit statistics driving AAM's regime switch —
+    /// maintained incrementally on every commit (O(log) per update, O(1)
+    /// to read) instead of rescanned per worker.
+    ///
+    /// Both values are integer-valued f64s; the sum is exact below 2^53,
+    /// so it equals a fresh scan in any order.
+    #[inline]
+    pub fn remaining_units(&self) -> (f64, f64) {
+        let max = self
+            .units_counts
+            .last_key_value()
+            .map_or(0.0, |(&bits, _)| f64::from_bits(bits));
+        (self.units_sum, max)
+    }
+
+    /// Re-points `units[idx]` to `new`, keeping the sum and multiset in
+    /// step. Zero units are kept out of the multiset so the maximum query
+    /// sees only open deficits.
+    fn set_units(&mut self, idx: usize, new: f64) {
+        let old = self.units[idx];
+        if old == new {
+            return;
+        }
+        if old > 0.0 {
+            let bits = old.to_bits();
+            let count = self
+                .units_counts
+                .get_mut(&bits)
+                .expect("unit multiset out of sync with per-task units");
+            *count -= 1;
+            if *count == 0 {
+                self.units_counts.remove(&bits);
+            }
+        }
+        if new > 0.0 {
+            *self.units_counts.entry(new.to_bits()).or_insert(0) += 1;
+        }
+        self.units_sum += new - old;
+        self.units[idx] = new;
     }
 
     /// Accumulated quality of a task (`S[t]`).
@@ -368,6 +479,8 @@ impl AssignmentEngine {
         self.s[idx] += c.contribution;
         if !self.completed[idx] && self.s[idx] >= self.delta - COMPLETION_EPS {
             self.complete(c.task);
+        } else if !self.completed[idx] {
+            self.set_units(idx, (self.delta - self.s[idx]).max(0.0).ceil());
         }
     }
 
@@ -376,6 +489,7 @@ impl AssignmentEngine {
     fn complete(&mut self, t: TaskId) {
         let idx = t.index();
         self.completed[idx] = true;
+        self.set_units(idx, 0.0);
         // Swap-remove from the dense uncompleted set.
         let pos = self.uncompleted_pos[idx] as usize;
         let last = *self
@@ -410,20 +524,42 @@ impl AssignmentEngine {
         worker: &Worker,
         algo: &mut A,
     ) -> AssignmentBatch {
-        if let AccuracyModel::Table(table) = &self.accuracy {
-            assert!(
-                (self.next_arrival as usize) < table.n_workers(),
-                "worker arrival {} exceeds the {}-row accuracy table; tabular engines \
-                 cannot stream beyond their table",
-                self.next_arrival,
-                table.n_workers()
-            );
-        }
         let w = WorkerId(self.next_arrival);
         self.next_arrival = self
             .next_arrival
             .checked_add(1)
-            .expect("worker arrival index exceeded the u32 id space");
+            .expect("worker arrival index exceeded the u64 id space");
+        self.push_worker_as(w, worker, algo)
+    }
+
+    /// [`AssignmentEngine::push_worker`] with the arrival id supplied by
+    /// the caller instead of the engine's own counter (which is left
+    /// untouched). This is the entry point sharded front-ends use: a
+    /// [`crate::service::LtcService`] owns the *global* arrival counter
+    /// and pushes each worker into its shard engine(s) under the global
+    /// id, so committed [`Assignment`] records carry service-wide worker
+    /// ids no matter which shard they landed on.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a descriptive message) when `w` exceeds the row count
+    /// of a fixed [`AccuracyModel::Table`] — tabular models cover a
+    /// closed worker set.
+    pub fn push_worker_as<A: OnlineAlgorithm + ?Sized>(
+        &mut self,
+        w: WorkerId,
+        worker: &Worker,
+        algo: &mut A,
+    ) -> AssignmentBatch {
+        if let AccuracyModel::Table(table) = &self.accuracy {
+            assert!(
+                w.index() < table.n_workers(),
+                "worker arrival {} exceeds the {}-row accuracy table; tabular engines \
+                 cannot stream beyond their table",
+                w.0,
+                table.n_workers()
+            );
+        }
         let mut batch = AssignmentBatch::new();
         if self.all_completed() {
             return batch;
@@ -483,6 +619,143 @@ impl AssignmentEngine {
             arrangement: self.arrangement,
         }
     }
+
+    /// Extracts the engine's durable state — everything needed to
+    /// continue the stream after a crash. Derived structures (the
+    /// uncompleted set, the spatial index, the worker-unit multiset) are
+    /// *not* included; [`AssignmentEngine::from_state`] rebuilds them.
+    pub fn to_state(&self) -> EngineState {
+        EngineState {
+            params: self.params,
+            accuracy: self.accuracy.clone(),
+            tasks: self.tasks.clone(),
+            s: self.s.clone(),
+            completed: self.completed.clone(),
+            assignments: self.arrangement.assignments().to_vec(),
+            next_arrival: self.next_arrival,
+            index_geometry: self
+                .task_index
+                .as_ref()
+                .map(|idx| (idx.cell_size(), idx.bounds())),
+        }
+    }
+
+    /// Rebuilds an engine from durable state (the inverse of
+    /// [`AssignmentEngine::to_state`]): every continuation observable —
+    /// candidate sets, qualities, completion, arrival ids — is identical
+    /// to the engine the state was taken from. The only internal
+    /// difference is bucket/iteration order in rebuilt structures, which
+    /// no decision path observes (candidates are re-sorted by id).
+    pub fn from_state(state: EngineState) -> Result<Self, EngineError> {
+        state.params.validate().map_err(EngineError::Params)?;
+        let n = state.tasks.len();
+        if state.s.len() != n || state.completed.len() != n {
+            return Err(EngineError::CorruptState(
+                "per-task vectors disagree on the task count",
+            ));
+        }
+        if n > u32::MAX as usize {
+            return Err(EngineError::TooManyTasks);
+        }
+        if let AccuracyModel::Table(table) = &state.accuracy {
+            if table.n_tasks() != n {
+                return Err(EngineError::CorruptState(
+                    "accuracy table rows disagree with the task count",
+                ));
+            }
+        }
+        for t in &state.tasks {
+            if !t.loc.is_finite() {
+                return Err(EngineError::BadTaskLocation);
+            }
+        }
+        let delta = state.params.delta();
+        let task_index = match (state.params.eligibility, state.index_geometry) {
+            (Eligibility::Unrestricted, _) => None,
+            (Eligibility::WithinRange, geometry) => {
+                let (cell_size, bounds) = geometry.unwrap_or_else(|| {
+                    (
+                        state.params.d_max,
+                        BoundingBox::of_points(state.tasks.iter().map(|t| t.loc)).unwrap_or_else(
+                            || {
+                                BoundingBox::new(
+                                    ltc_spatial::Point::ORIGIN,
+                                    ltc_spatial::Point::ORIGIN,
+                                )
+                            },
+                        ),
+                    )
+                });
+                let mut index = GridIndex::with_bounds(cell_size, bounds);
+                for (i, task) in state.tasks.iter().enumerate() {
+                    if !state.completed[i] {
+                        index.insert(i as u32, task.loc);
+                    }
+                }
+                Some(index)
+            }
+        };
+        let mut engine = Self {
+            delta,
+            params: state.params,
+            accuracy: state.accuracy,
+            tasks: state.tasks,
+            s: state.s,
+            completed: state.completed,
+            uncompleted_ids: Vec::new(),
+            uncompleted_pos: vec![0; n],
+            arrangement: Arrangement::new(),
+            task_index,
+            next_arrival: state.next_arrival,
+            units: vec![0.0; n],
+            units_sum: 0.0,
+            units_counts: BTreeMap::new(),
+            cand_buf: Vec::new(),
+            picks_buf: Vec::new(),
+        };
+        for i in 0..n {
+            if !engine.completed[i] {
+                engine.uncompleted_pos[i] = engine.uncompleted_ids.len() as u32;
+                engine.uncompleted_ids.push(i as u32);
+                engine.set_units(i, (delta - engine.s[i]).max(0.0).ceil());
+            }
+        }
+        for a in state.assignments {
+            if a.task.index() >= n {
+                return Err(EngineError::CorruptState(
+                    "arrangement references an unknown task",
+                ));
+            }
+            engine.arrangement.push(a);
+        }
+        Ok(engine)
+    }
+}
+
+/// The durable state of an [`AssignmentEngine`], produced by
+/// [`AssignmentEngine::to_state`] and consumed by
+/// [`AssignmentEngine::from_state`]. Plain data: the service-level
+/// snapshot format (see [`crate::snapshot`]) serializes it field by
+/// field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineState {
+    /// Platform parameters.
+    pub params: ProblemParams,
+    /// The accuracy model (including any appended table rows).
+    pub accuracy: AccuracyModel,
+    /// Every task posted so far.
+    pub tasks: Vec<Task>,
+    /// Accumulated quality per task.
+    pub s: Vec<f64>,
+    /// Completion flags per task.
+    pub completed: Vec<bool>,
+    /// The committed arrangement in commit order.
+    pub assignments: Vec<Assignment>,
+    /// The engine-local arrival counter.
+    pub next_arrival: u64,
+    /// `(cell_size, bounds)` of the spatial index, `None` under
+    /// [`Eligibility::Unrestricted`].
+    pub index_geometry: Option<(f64, BoundingBox)>,
 }
 
 /// Why an [`AssignmentEngine`] operation failed.
@@ -492,10 +765,26 @@ pub enum EngineError {
     Params(crate::model::ParamsError),
     /// A posted task has a non-finite location.
     BadTaskLocation,
-    /// Tasks cannot be added under a fixed tabular accuracy model.
-    StaticAccuracyTable,
+    /// A tabular engine needs a per-worker accuracy row for each new
+    /// task; use [`AssignmentEngine::add_task_with_accuracies`].
+    MissingAccuracyRow,
+    /// An accuracy row was supplied but the engine predicts accuracies
+    /// itself (sigmoid model).
+    UnexpectedAccuracyRow,
+    /// The supplied accuracy row has the wrong length for the table.
+    BadAccuracyRow {
+        /// Entries the table requires (one per worker).
+        expected: usize,
+        /// Entries supplied.
+        got: usize,
+    },
+    /// An accuracy value in a supplied row lies outside `[0, 1]`.
+    AccuracyOutOfRange(f64),
     /// More than `u32::MAX` tasks.
     TooManyTasks,
+    /// An [`EngineState`] is internally inconsistent (e.g. truncated or
+    /// hand-edited snapshot data).
+    CorruptState(&'static str),
 }
 
 impl fmt::Display for EngineError {
@@ -503,11 +792,24 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Params(e) => write!(f, "invalid parameters: {e}"),
             EngineError::BadTaskLocation => write!(f, "task has a non-finite location"),
-            EngineError::StaticAccuracyTable => write!(
+            EngineError::MissingAccuracyRow => write!(
                 f,
-                "tasks cannot be added dynamically under a fixed accuracy table"
+                "a tabular engine needs per-worker accuracies for each new task; \
+                 use add_task_with_accuracies"
             ),
+            EngineError::UnexpectedAccuracyRow => write!(
+                f,
+                "the sigmoid model predicts accuracies itself; post the task without a row"
+            ),
+            EngineError::BadAccuracyRow { expected, got } => write!(
+                f,
+                "accuracy row has {got} entries, the table needs one per worker ({expected})"
+            ),
+            EngineError::AccuracyOutOfRange(v) => {
+                write!(f, "accuracy {v} lies outside [0, 1]")
+            }
             EngineError::TooManyTasks => write!(f, "engine exceeds u32 task-id space"),
+            EngineError::CorruptState(what) => write!(f, "corrupt engine state: {what}"),
         }
     }
 }
@@ -618,12 +920,12 @@ mod tests {
     }
 
     #[test]
-    fn add_task_rejects_table_model_and_bad_locations() {
+    fn add_task_requires_a_row_under_tables_and_finite_locations() {
         let inst = crate::toy::toy_instance(0.2);
         let mut engine = AssignmentEngine::from_instance(&inst);
         assert_eq!(
             engine.add_task(Task::new(Point::ORIGIN)),
-            Err(EngineError::StaticAccuracyTable)
+            Err(EngineError::MissingAccuracyRow)
         );
 
         let params = ProblemParams::builder().build().unwrap();
@@ -635,6 +937,89 @@ mod tests {
         );
         assert!(engine.add_task(Task::new(Point::new(1.0, 1.0))).is_ok());
         assert_eq!(engine.n_tasks(), 1);
+        // A sigmoid engine predicts accuracies itself.
+        assert_eq!(
+            engine.add_task_with_accuracies(Task::new(Point::ORIGIN), &[0.9]),
+            Err(EngineError::UnexpectedAccuracyRow)
+        );
+    }
+
+    #[test]
+    fn tabular_add_task_with_accuracies_appends_a_row() {
+        let inst = crate::toy::toy_instance(0.2);
+        let mut engine = AssignmentEngine::from_instance(&inst);
+        let n_workers = inst.n_workers();
+        let before = engine.n_tasks();
+
+        // Wrong row length is rejected without mutating the engine.
+        assert!(matches!(
+            engine.add_task_with_accuracies(Task::new(Point::ORIGIN), &[0.9]),
+            Err(EngineError::BadAccuracyRow { .. })
+        ));
+        // A right-length row with an out-of-range value names the value.
+        let mut bad = vec![0.9; n_workers];
+        bad[1] = 1.5;
+        assert_eq!(
+            engine.add_task_with_accuracies(Task::new(Point::ORIGIN), &bad),
+            Err(EngineError::AccuracyOutOfRange(1.5))
+        );
+        assert_eq!(engine.n_tasks(), before);
+
+        let row = vec![0.94; n_workers];
+        let t = engine
+            .add_task_with_accuracies(Task::new(Point::new(2.0, 2.0)), &row)
+            .unwrap();
+        assert_eq!(t.index(), before);
+        assert_eq!(engine.n_tasks(), before + 1);
+        // The appended row is what the engine now predicts for the task.
+        let w0 = inst.workers()[0];
+        assert_eq!(engine.acc(WorkerId(0), &w0, t), 0.94);
+    }
+
+    #[test]
+    fn incremental_units_match_a_fresh_scan() {
+        let inst = instance();
+        let mut engine = AssignmentEngine::from_instance(&inst);
+        let w = &inst.workers()[0];
+        let scan = |e: &AssignmentEngine| {
+            let mut sum = 0.0;
+            let mut max = 0.0f64;
+            for t in e.uncompleted_tasks() {
+                let u = e.remaining(t).ceil();
+                sum += u;
+                max = max.max(u);
+            }
+            (sum, max)
+        };
+        assert_eq!(engine.remaining_units(), scan(&engine));
+        for i in 0..6u64 {
+            engine.commit(WorkerId(i), w, TaskId((i % 2) as u32));
+            assert_eq!(engine.remaining_units(), scan(&engine));
+        }
+        // Drive task 0 to completion: its units must leave the multiset.
+        while !engine.is_completed(TaskId(0)) {
+            engine.commit(WorkerId(99), w, TaskId(0));
+        }
+        assert_eq!(engine.remaining_units(), scan(&engine));
+    }
+
+    #[test]
+    fn state_round_trip_continues_identically() {
+        let inst = instance();
+        let mut engine = AssignmentEngine::from_instance(&inst);
+        let mut algo = crate::online::Laf::new();
+        for worker in &inst.workers()[..3] {
+            engine.push_worker(worker, &mut algo);
+        }
+        let mut restored = AssignmentEngine::from_state(engine.to_state()).unwrap();
+        assert_eq!(restored.n_workers_seen(), engine.n_workers_seen());
+        assert_eq!(restored.arrangement().len(), engine.arrangement().len());
+        assert_eq!(restored.remaining_units(), engine.remaining_units());
+        for worker in &inst.workers()[3..] {
+            let a = engine.push_worker(worker, &mut algo);
+            let b = restored.push_worker(worker, &mut crate::online::Laf::new());
+            assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
+        }
     }
 
     #[test]

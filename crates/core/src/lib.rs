@@ -15,18 +15,41 @@
 //! last recruited worker* (the latency to complete all tasks). It is
 //! NP-hard.
 //!
-//! ## Architecture: one streaming engine under everything
+//! ## Architecture: a sharded service over one streaming engine
 //!
-//! The heart of the crate is [`engine::AssignmentEngine`] — an owned,
-//! incremental streaming core. It tracks per-task quality `S`, evicts
-//! completed tasks from its spatial index the moment they reach `δ`, and
-//! accepts work incrementally: [`engine::AssignmentEngine::push_worker`]
-//! ingests one check-in (delegating the choice to a pluggable
-//! [`online::OnlineAlgorithm`]), and
-//! [`engine::AssignmentEngine::add_task`] posts tasks mid-stream. Both
-//! the online driver ([`online::run_online`]) and the offline batch
-//! algorithms run on the same engine, so candidate enumeration has one
-//! implementation and its cost shrinks as the system makes progress.
+//! Two layers:
+//!
+//! * **[`service::LtcService`] — the primary public API.** Built via
+//!   [`service::ServiceBuilder`] (region, parameters, policy, shard
+//!   count, tile size, batch capacity), it partitions the task pool into
+//!   spatially-tiled engine shards, routes each check-in to the shard(s)
+//!   whose stripes its `d_max` disk touches, merges per-shard candidate
+//!   batches under a documented tie-break, and answers with typed
+//!   [`service::Event`]s. [`service::LtcService::check_in_batch`]
+//!   dispatches a batch across shard threads;
+//!   [`service::LtcService::snapshot`] / [`service::LtcService::restore`]
+//!   (serialized by [`snapshot`]) give bit-exact crash recovery. With
+//!   `shards = 1` the service is bit-identical to the raw engine.
+//!
+//! * **[`engine::AssignmentEngine`] — the owned, incremental core** each
+//!   shard runs. It tracks per-task quality `S`, evicts completed tasks
+//!   from its spatial index the moment they reach `δ`, maintains AAM's
+//!   worker-unit statistics incrementally, and accepts work
+//!   incrementally: [`engine::AssignmentEngine::push_worker`] ingests one
+//!   check-in (delegating the choice to a pluggable
+//!   [`online::OnlineAlgorithm`]), and
+//!   [`engine::AssignmentEngine::add_task`] /
+//!   [`engine::AssignmentEngine::add_task_with_accuracies`] post tasks
+//!   mid-stream (the latter appends rows to a tabular accuracy model).
+//!   Both the online driver ([`online::run_online`]) and the offline
+//!   batch algorithms run on the same engine, so candidate enumeration
+//!   has one implementation and its cost shrinks as the system makes
+//!   progress.
+//!
+//! Driving the engine by hand as a *front-end* is soft-deprecated: prefer
+//! [`service::ServiceBuilder`] for anything user-facing — the engine
+//! remains the supported substrate for algorithm implementations and
+//! differential tests.
 //!
 //! ## Algorithms
 //!
@@ -44,28 +67,29 @@
 //! Feed check-ins one by one — no need to know the stream up front:
 //!
 //! ```
-//! use ltc_core::engine::AssignmentEngine;
 //! use ltc_core::model::{ProblemParams, Task, Worker};
-//! use ltc_core::online::Aam;
+//! use ltc_core::service::{Algorithm, Event, ServiceBuilder};
 //! use ltc_spatial::{BoundingBox, Point};
+//! use std::num::NonZeroUsize;
 //!
 //! let params = ProblemParams::builder().epsilon(0.2).capacity(2).build().unwrap();
 //! let region = BoundingBox::new(Point::ORIGIN, Point::new(100.0, 100.0));
-//! let mut engine = AssignmentEngine::new(params, region).unwrap();
-//! let mut policy = Aam::new();
+//! let mut service = ServiceBuilder::new(params, region)
+//!     .algorithm(Algorithm::Aam)
+//!     .shards(NonZeroUsize::new(2).unwrap())
+//!     .build()
+//!     .unwrap();
 //!
-//! engine.add_task(Task::new(Point::new(10.0, 10.0))).unwrap();
-//! engine.add_task(Task::new(Point::new(12.0, 9.0))).unwrap();
+//! service.post_task(Task::new(Point::new(10.0, 10.0))).unwrap();
+//! service.post_task(Task::new(Point::new(12.0, 9.0))).unwrap();
 //!
-//! // Check-ins arrive; each returns the assignments committed for that
-//! // worker, and completed tasks are evicted from the index.
-//! while !engine.all_completed() {
-//!     let batch = engine.push_worker(&Worker::new(Point::new(11.0, 10.0), 0.95), &mut policy);
-//!     assert!(batch.len() <= 2);
+//! // Check-ins arrive; each yields typed events, and completed tasks
+//! // are evicted from the shard indexes.
+//! while !service.all_completed() {
+//!     let events = service.check_in(&Worker::new(Point::new(11.0, 10.0), 0.95));
+//!     assert!(events.iter().filter(|e| matches!(e, Event::Assigned { .. })).count() <= 2);
 //! }
-//! let outcome = engine.into_outcome();
-//! assert!(outcome.completed);
-//! println!("all tasks done after {} workers", outcome.latency().unwrap());
+//! println!("all tasks done after {} workers", service.latency().unwrap());
 //! ```
 //!
 //! ## Batch quick example
@@ -101,12 +125,15 @@ pub mod metrics;
 pub mod model;
 pub mod offline;
 pub mod online;
+pub mod service;
 pub mod smallvec;
+pub mod snapshot;
 pub mod toy;
 
-pub use engine::{AssignmentBatch, AssignmentEngine, Candidate, EngineError};
+pub use engine::{AssignmentBatch, AssignmentEngine, Candidate, EngineError, EngineState};
 pub use model::{
     AccuracyModel, Arrangement, Assignment, Eligibility, Instance, InstanceError, ProblemParams,
     QualityModel, RunOutcome, Task, TaskId, Worker, WorkerId,
 };
+pub use service::{Algorithm, Event, LtcService, ServiceBuilder, ServiceError, ServiceSnapshot};
 pub use smallvec::SmallVec;

@@ -14,7 +14,7 @@ use crate::model::{Arrangement, Instance, TaskId};
 pub struct ArrangementStats {
     /// `L_t` per task: the arrival index of the last worker assigned to
     /// it; `None` when the task received no worker at all.
-    pub task_latency: Vec<Option<u32>>,
+    pub task_latency: Vec<Option<u64>>,
     /// Workers assigned per task (`|W_t|`).
     pub workers_per_task: Vec<u32>,
     /// Accumulated quality per task (the final `S[t]`).
@@ -32,7 +32,7 @@ impl ArrangementStats {
     /// Computes the statistics of an arrangement on its instance.
     pub fn new(instance: &Instance, arrangement: &Arrangement) -> Self {
         let n = instance.n_tasks();
-        let mut task_latency: Vec<Option<u32>> = vec![None; n];
+        let mut task_latency: Vec<Option<u64>> = vec![None; n];
         let mut workers_per_task = vec![0u32; n];
         let mut recruited = std::collections::HashSet::new();
         for a in arrangement.assignments() {
@@ -54,7 +54,7 @@ impl ArrangementStats {
     }
 
     /// The paper's objective: `max_t L_t`, when every task was served.
-    pub fn max_latency(&self) -> Option<u32> {
+    pub fn max_latency(&self) -> Option<u64> {
         let mut max = 0;
         for l in &self.task_latency {
             max = max.max((*l)?);
@@ -64,7 +64,7 @@ impl ArrangementStats {
 
     /// Mean per-task latency over served tasks (`None` if none served).
     pub fn mean_latency(&self) -> Option<f64> {
-        let served: Vec<u32> = self.task_latency.iter().flatten().copied().collect();
+        let served: Vec<u64> = self.task_latency.iter().flatten().copied().collect();
         if served.is_empty() {
             return None;
         }
@@ -77,9 +77,9 @@ impl ArrangementStats {
     /// # Panics
     ///
     /// Panics when `q` is outside `[0, 1]`.
-    pub fn latency_quantile(&self, q: f64) -> Option<u32> {
+    pub fn latency_quantile(&self, q: f64) -> Option<u64> {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
-        let mut served: Vec<u32> = self.task_latency.iter().flatten().copied().collect();
+        let mut served: Vec<u64> = self.task_latency.iter().flatten().copied().collect();
         if served.is_empty() {
             return None;
         }

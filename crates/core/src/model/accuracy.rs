@@ -46,16 +46,26 @@ pub fn acc_star(acc: f64) -> f64 {
     w * w
 }
 
-/// A dense row-major `|W| × |T|` accuracy matrix.
+/// A dense `|W| × |T|` accuracy matrix over a **closed worker set** and
+/// an **appendable task set**.
+///
+/// Storage is task-major (`values[t * n_workers + w]`): the worker
+/// population a table covers is fixed at construction, but tasks arrive
+/// mid-stream in the online setting, so appending one task is a
+/// contiguous [`AccuracyTable::push_task_row`] — no reshuffling of the
+/// existing entries.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AccuracyTable {
-    n_tasks: usize,
+    n_workers: usize,
+    /// Task-major values: `values[t * n_workers + w]`.
     values: Vec<f64>,
 }
 
 impl AccuracyTable {
-    /// Builds a table from rows-per-worker data: `values[w * n_tasks + t]`.
+    /// Builds a table from rows-per-worker data (`values[w * n_tasks + t]`,
+    /// the layout of the paper's Table I); transposed internally into the
+    /// appendable task-major layout.
     ///
     /// # Panics
     ///
@@ -73,7 +83,40 @@ impl AccuracyTable {
             values.iter().all(|v| (0.0..=1.0).contains(v)),
             "accuracies must lie in [0, 1]"
         );
-        Self { n_tasks, values }
+        let n_workers = values.len() / n_tasks;
+        let mut transposed = Vec::with_capacity(values.len());
+        for t in 0..n_tasks {
+            for w in 0..n_workers {
+                transposed.push(values[w * n_tasks + t]);
+            }
+        }
+        Self {
+            n_workers,
+            values: transposed,
+        }
+    }
+
+    /// Builds a table directly from task-major rows (one row of
+    /// per-worker accuracies per task) — the layout
+    /// [`AccuracyTable::push_task_row`] appends to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_workers` is zero, the value count is not a multiple
+    /// of `n_workers`, or any value is outside `[0, 1]`.
+    pub fn from_task_major(n_workers: usize, values: Vec<f64>) -> Self {
+        assert!(n_workers > 0, "accuracy table needs at least one worker");
+        assert!(
+            values.len().is_multiple_of(n_workers),
+            "value count {} is not a multiple of n_workers {}",
+            values.len(),
+            n_workers
+        );
+        assert!(
+            values.iter().all(|v| (0.0..=1.0).contains(v)),
+            "accuracies must lie in [0, 1]"
+        );
+        Self { n_workers, values }
     }
 
     /// Builds a table from a `workers × tasks` nested structure.
@@ -86,14 +129,42 @@ impl AccuracyTable {
         Self::new(n_tasks, rows.concat())
     }
 
+    /// Appends one task's per-worker accuracies (making the table cover
+    /// one more task). This is what lets a tabular engine accept
+    /// dynamically posted tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` does not have exactly one entry per worker or any
+    /// value is outside `[0, 1]`; validate first when the row comes from
+    /// untrusted input (the engine does).
+    pub fn push_task_row(&mut self, row: &[f64]) {
+        assert_eq!(
+            row.len(),
+            self.n_workers,
+            "task row needs one accuracy per worker"
+        );
+        assert!(
+            row.iter().all(|v| (0.0..=1.0).contains(v)),
+            "accuracies must lie in [0, 1]"
+        );
+        self.values.extend_from_slice(row);
+    }
+
+    /// The task-major backing values (`values[t * n_workers + w]`),
+    /// exposed for snapshot serialization.
+    pub fn task_major_values(&self) -> &[f64] {
+        &self.values
+    }
+
     /// Number of workers covered by the table.
     pub fn n_workers(&self) -> usize {
-        self.values.len() / self.n_tasks
+        self.n_workers
     }
 
     /// Number of tasks covered by the table.
     pub fn n_tasks(&self) -> usize {
-        self.n_tasks
+        self.values.len().checked_div(self.n_workers).unwrap_or(0)
     }
 
     /// Accuracy of worker `w` on task `t`.
@@ -104,10 +175,14 @@ impl AccuracyTable {
     #[inline]
     pub fn acc(&self, worker_idx: usize, task_idx: usize) -> f64 {
         assert!(
-            task_idx < self.n_tasks,
+            task_idx < self.n_tasks(),
             "task index {task_idx} out of range"
         );
-        self.values[worker_idx * self.n_tasks + task_idx]
+        assert!(
+            worker_idx < self.n_workers,
+            "worker index {worker_idx} out of range"
+        );
+        self.values[task_idx * self.n_workers + worker_idx]
     }
 }
 
@@ -189,6 +264,34 @@ mod tests {
     #[should_panic(expected = "accuracies must lie in")]
     fn table_rejects_out_of_range() {
         AccuracyTable::new(1, vec![1.5]);
+    }
+
+    #[test]
+    fn push_task_row_extends_the_task_set() {
+        let mut table = AccuracyTable::from_rows(&[vec![0.9, 0.8], vec![0.7, 0.6]]);
+        table.push_task_row(&[0.95, 0.65]);
+        assert_eq!(table.n_tasks(), 3);
+        assert_eq!(table.n_workers(), 2);
+        assert_eq!(table.acc(0, 2), 0.95);
+        assert_eq!(table.acc(1, 2), 0.65);
+        // The pre-existing entries are untouched.
+        assert_eq!(table.acc(0, 1), 0.8);
+        assert_eq!(table.acc(1, 0), 0.7);
+    }
+
+    #[test]
+    fn task_major_round_trip() {
+        let table = AccuracyTable::from_rows(&[vec![0.9, 0.8], vec![0.7, 0.6]]);
+        let rebuilt =
+            AccuracyTable::from_task_major(table.n_workers(), table.task_major_values().to_vec());
+        assert_eq!(table, rebuilt);
+    }
+
+    #[test]
+    #[should_panic(expected = "one accuracy per worker")]
+    fn push_task_row_rejects_wrong_width() {
+        let mut table = AccuracyTable::from_rows(&[vec![0.9], vec![0.7]]);
+        table.push_task_row(&[0.5, 0.5, 0.5]);
     }
 
     #[test]

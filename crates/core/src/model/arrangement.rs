@@ -67,7 +67,7 @@ impl Arrangement {
 
     /// The largest arrival index among recruited workers — the paper's
     /// objective `MinMax(M) = max_t max_{w∈W_t} o_w`. `None` if empty.
-    pub fn max_index(&self) -> Option<u32> {
+    pub fn max_index(&self) -> Option<u64> {
         self.max_worker.map(WorkerId::arrival_index)
     }
 
@@ -154,7 +154,7 @@ pub struct RunOutcome {
 impl RunOutcome {
     /// The paper's effectiveness metric: the maximum arrival index over
     /// recruited workers, defined only when all tasks completed.
-    pub fn latency(&self) -> Option<u32> {
+    pub fn latency(&self) -> Option<u64> {
         if self.completed {
             self.arrangement.max_index()
         } else {
@@ -260,7 +260,7 @@ mod tests {
         .unwrap()
     }
 
-    fn assign(inst: &Instance, w: u32, t: u32) -> Assignment {
+    fn assign(inst: &Instance, w: u64, t: u32) -> Assignment {
         Assignment {
             worker: WorkerId(w),
             task: TaskId(t),

@@ -45,11 +45,11 @@ impl Instance {
         }
         for (i, w) in workers.iter().enumerate() {
             if !w.loc.is_finite() {
-                return Err(InstanceError::BadWorkerLocation(WorkerId(i as u32)));
+                return Err(InstanceError::BadWorkerLocation(WorkerId(i as u64)));
             }
             if !w.accuracy.is_finite() || w.accuracy < params.min_accuracy || w.accuracy > 1.0 {
                 return Err(InstanceError::BadWorkerAccuracy {
-                    worker: WorkerId(i as u32),
+                    worker: WorkerId(i as u64),
                     accuracy: w.accuracy,
                 });
             }

@@ -21,9 +21,14 @@ pub struct TaskId(pub u32);
 /// Identifier of a worker: its position in [`Instance::workers`], i.e. its
 /// 0-based arrival order. The paper's 1-based arrival index `o_w` is
 /// [`WorkerId::arrival_index`].
+///
+/// Worker ids are `u64`: an unbounded check-in stream (the service
+/// setting) must not exhaust the id space — at one million check-ins per
+/// second a `u32` would wrap in under 72 minutes of sustained Table-IV
+/// load, while a `u64` outlasts the hardware.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub struct WorkerId(pub u32);
+pub struct WorkerId(pub u64);
 
 impl TaskId {
     /// Dense index into the instance's task vector.
@@ -44,7 +49,7 @@ impl WorkerId {
     /// The paper's 1-based arrival index `o_w`; the LTC objective is the
     /// maximum arrival index over recruited workers.
     #[inline]
-    pub fn arrival_index(self) -> u32 {
+    pub fn arrival_index(self) -> u64 {
         self.0 + 1
     }
 }

@@ -39,7 +39,7 @@ impl BaseOff {
         let mut remaining_nearby = vec![0u32; instance.n_tasks()];
         let mut buf: Vec<Candidate> = Vec::new();
         for (w, worker) in workers.iter().enumerate() {
-            engine.candidates(WorkerId(w as u32), worker, &mut buf);
+            engine.candidates(WorkerId(w as u64), worker, &mut buf);
             for c in &buf {
                 remaining_nearby[c.task.index()] += 1;
             }
@@ -49,7 +49,7 @@ impl BaseOff {
             if engine.all_completed() {
                 break;
             }
-            let wid = WorkerId(w as u32);
+            let wid = WorkerId(w as u64);
             engine.candidates(wid, worker, &mut buf);
             if buf.is_empty() {
                 continue;

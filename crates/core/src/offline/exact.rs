@@ -26,7 +26,7 @@ use crate::model::{Instance, RunOutcome, TaskId, WorkerId};
 pub struct ExactResult {
     /// The optimal latency (max arrival index), or `None` when even the
     /// full stream cannot complete all tasks.
-    pub optimal_latency: Option<u32>,
+    pub optimal_latency: Option<u64>,
     /// An optimal (or maximal, when infeasible) arrangement witnessing the
     /// latency.
     pub outcome: RunOutcome,
@@ -91,7 +91,7 @@ impl ExactSolver {
             .witness(lo)
             .expect("the binary-search result must be feasible");
         Some(ExactResult {
-            optimal_latency: Some(lo),
+            optimal_latency: Some(lo as u64),
             outcome: witness,
             nodes_expanded: search.nodes,
         })
@@ -121,7 +121,7 @@ impl<'a> Search<'a> {
         for w in 0..n_workers as u32 {
             let mut list = Vec::new();
             for t in 0..n_tasks as u32 {
-                let (wid, tid) = (WorkerId(w), TaskId(t));
+                let (wid, tid) = (WorkerId(w as u64), TaskId(t));
                 if instance.is_eligible(wid, tid) {
                     list.push((tid, instance.contribution(wid, tid)));
                 }
@@ -227,7 +227,7 @@ impl<'a> Search<'a> {
             for &i in chosen.iter() {
                 let (t, c) = cands[i];
                 s[t.index()] += c;
-                stack.push((WorkerId(w), t));
+                stack.push((WorkerId(w as u64), t));
             }
             let res = self.dfs(w + 1, limit, s, stack);
             for &i in chosen.iter() {

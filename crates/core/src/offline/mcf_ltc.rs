@@ -120,7 +120,7 @@ impl McfLtc {
         // (the paper constructs G_F from (W', T, S) at batch start).
         arena.clear();
         for w in batch.clone() {
-            let worker = WorkerId(w);
+            let worker = WorkerId(w as u64);
             let start = arena.cands.len();
             let added = engine.append_candidates(worker, &workers[w as usize], &mut arena.cands);
             if added > 0 {
@@ -138,7 +138,7 @@ impl McfLtc {
         let mut load: std::collections::HashMap<WorkerId, u32> = std::collections::HashMap::new();
         let mut performed: HashSet<(WorkerId, TaskId)> = HashSet::new();
         for a in engine.arrangement().assignments() {
-            if batch.contains(&a.worker.0) {
+            if batch.contains(&(a.worker.0 as u32)) {
                 *load.entry(a.worker).or_insert(0) += 1;
                 performed.insert((a.worker, a.task));
             }
@@ -149,7 +149,7 @@ impl McfLtc {
             if engine.all_completed() {
                 break;
             }
-            let worker = WorkerId(w);
+            let worker = WorkerId(w as u64);
             let spare = capacity - load.get(&worker).copied().unwrap_or(0);
             if spare == 0 {
                 continue;

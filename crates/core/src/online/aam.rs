@@ -93,19 +93,15 @@ impl OnlineAlgorithm for Aam {
 
         // Lines 4–5: the regime indicators, in whole worker-units
         // (see the type-level docs for why ⌈·⌉ is the faithful reading).
-        // Completed tasks have zero remaining need, so only the engine's
-        // uncompleted set is scanned — O(remaining tasks), not O(|T|).
+        // The engine maintains the sum and max incrementally on every
+        // commit, so reading them here is O(1) — no per-worker scan of
+        // the uncompleted set. The values are integer-valued f64s, so
+        // they equal a fresh scan exactly.
         let use_lgf = match self.strategy {
             AamStrategy::AlwaysLgf => true,
             AamStrategy::AlwaysLrf => false,
             AamStrategy::Hybrid => {
-                let mut sum_units = 0.0;
-                let mut max_units = 0.0f64;
-                for t in engine.uncompleted_tasks() {
-                    let units = engine.remaining(t).ceil();
-                    sum_units += units;
-                    max_units = max_units.max(units);
-                }
+                let (sum_units, max_units) = engine.remaining_units();
                 sum_units / k as f64 >= max_units
             }
         };
@@ -147,7 +143,7 @@ mod tests {
     fn example_4_w4_switches_to_lrf() {
         let inst = toy_instance(0.2);
         let outcome = run_online(&inst, &mut Aam::new());
-        let tasks_of = |w: u32| -> Vec<u32> {
+        let tasks_of = |w: u64| -> Vec<u32> {
             outcome
                 .arrangement
                 .assignments()

@@ -158,7 +158,7 @@ mod tests {
         }
         // Everything completed: the next worker sees no candidates.
         let mut buf = Vec::new();
-        engine.candidates(WorkerId(i as u32), &inst.workers()[i], &mut buf);
+        engine.candidates(WorkerId(i as u64), &inst.workers()[i], &mut buf);
         assert!(buf.is_empty());
         assert_eq!(engine.n_uncompleted(), 0);
     }

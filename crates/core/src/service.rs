@@ -1,0 +1,1151 @@
+//! The sharded service facade — the primary public API of the crate.
+//!
+//! [`LtcService`] wraps the whole online LTC lifecycle behind one entry
+//! point: it owns a pool of spatially-tiled [`AssignmentEngine`] shards,
+//! routes arriving workers and posted tasks to the shard(s) that can
+//! serve them, merges per-shard candidate batches under a documented
+//! tie-break, and reports everything that happened as typed [`Event`]s.
+//! Services are built through [`ServiceBuilder`] and support full
+//! [`snapshot`](LtcService::snapshot)/[`restore`](LtcService::restore)
+//! for crash recovery (see [`crate::snapshot`] for the wire format).
+//!
+//! ## Sharding model
+//!
+//! Tasks are partitioned by location into `N` shards using a
+//! [`ShardRouter`] striped over the grid tiles of the service region;
+//! each shard is a complete [`AssignmentEngine`] over its own task
+//! subset. A worker check-in touches only the shards whose stripes
+//! intersect the worker's eligibility disk (radius `d_max`):
+//!
+//! * **interior workers** (one stripe) are handled entirely shard-locally
+//!   — with `shards = 1` every worker is interior and the service output
+//!   is **bit-identical** to driving [`AssignmentEngine::push_worker`]
+//!   directly;
+//! * **boundary workers** (stripe-straddling disk) fan out: every
+//!   touched shard proposes its policy's picks, the proposals are merged
+//!   and the best `K` are committed. The merge ranks proposals by
+//!   **gain (contribution) descending, ties toward the smaller global
+//!   task id** — for LAF this is exactly the policy's own key, so a
+//!   multi-shard LAF service commits the same assignments as a
+//!   single-shard one; for AAM (whose regime switch reads shard-local
+//!   statistics) and seeded Random (whose RNG streams are per-shard) the
+//!   multi-shard trace is deterministic but may differ from the
+//!   single-shard trace.
+//!
+//! [`LtcService::check_in_batch`] processes a batch of check-ins with
+//! one scoped thread per shard (when `shards > 1`): each wave runs every
+//! *interior* worker first (concurrently across shards, in arrival order
+//! within each shard), then commits the wave's *boundary* workers
+//! serially in arrival order. A boundary worker is therefore served
+//! after **all** interior workers of its wave — including later arrivals
+//! on the very shards it touches — so within a wave the commit order is
+//! a documented relaxation of strict arrival order. Arrival *ids*, the
+//! per-worker capacity bound, and determinism (independent of thread
+//! scheduling) are always preserved; use [`LtcService::check_in`] when
+//! strict arrival-order semantics matter more than throughput.
+//! [`ServiceBuilder::batch_capacity`] bounds how many check-ins a single
+//! dispatch wave may hold — a caller pushing a larger slice is processed
+//! in capacity-sized waves, providing natural back-pressure.
+
+use crate::engine::{AssignmentEngine, Candidate, EngineError, EngineState};
+use crate::model::{
+    AccuracyModel, Eligibility, Instance, ProblemParams, Task, TaskId, Worker, WorkerId,
+};
+use crate::online::{Aam, AamStrategy, Laf, OnlineAlgorithm, RandomAssign};
+use ltc_spatial::{BoundingBox, Point, ShardRouter};
+use std::fmt;
+use std::num::NonZeroUsize;
+
+/// Which online policy the service runs on every shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Largest `Acc*` First (paper Algorithm 2).
+    Laf,
+    /// Average-And-Maximum (paper Algorithm 3). The regime switch reads
+    /// shard-local statistics, so multi-shard AAM is an approximation of
+    /// the single-engine algorithm.
+    Aam,
+    /// AAM pinned to Largest Gain First (ablation).
+    AamLgf,
+    /// AAM pinned to Largest Remaining First (ablation).
+    AamLrf,
+    /// The seeded random baseline. Shard `i` draws from
+    /// `seed.wrapping_add(i)`, so shard 0 of a single-shard service
+    /// reproduces `RandomAssign::seeded(seed)` exactly.
+    Random {
+        /// Base RNG seed.
+        seed: u64,
+    },
+}
+
+impl Algorithm {
+    /// Display name matching the paper's legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Laf => "LAF",
+            Algorithm::Aam => "AAM",
+            Algorithm::AamLgf => "AAM/LGF-only",
+            Algorithm::AamLrf => "AAM/LRF-only",
+            Algorithm::Random { .. } => "Random",
+        }
+    }
+
+    /// Instantiates the policy for one shard.
+    fn policy(self, shard: usize) -> Policy {
+        match self {
+            Algorithm::Laf => Policy::Laf(Laf::new()),
+            Algorithm::Aam => Policy::Aam(Aam::new()),
+            Algorithm::AamLgf => Policy::Aam(Aam::with_strategy(AamStrategy::AlwaysLgf)),
+            Algorithm::AamLrf => Policy::Aam(Aam::with_strategy(AamStrategy::AlwaysLrf)),
+            Algorithm::Random { seed } => {
+                Policy::Random(RandomAssign::seeded(seed.wrapping_add(shard as u64)))
+            }
+        }
+    }
+}
+
+/// Per-shard policy instance.
+#[derive(Debug, Clone)]
+enum Policy {
+    Laf(Laf),
+    Aam(Aam),
+    Random(RandomAssign),
+}
+
+impl Policy {
+    fn as_dyn(&mut self) -> &mut dyn OnlineAlgorithm {
+        match self {
+            Policy::Laf(p) => p,
+            Policy::Aam(p) => p,
+            Policy::Random(p) => p,
+        }
+    }
+}
+
+/// One thing that happened while serving a check-in — the typed
+/// replacement for raw assignment batches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A task was assigned to the arriving worker.
+    Assigned {
+        /// The recruited worker (service-global arrival id).
+        worker: WorkerId,
+        /// The assigned task (service-global id).
+        task: TaskId,
+        /// Predicted accuracy `Acc(w,t)` at assignment time.
+        acc: f64,
+        /// Quality contribution (`Acc*` under the Hoeffding model) — the
+        /// gain the assignment adds toward the task's `δ`.
+        gain: f64,
+    },
+    /// An assignment pushed a task past its completion threshold `δ`.
+    TaskCompleted {
+        /// The finished task (service-global id).
+        task: TaskId,
+        /// The paper's per-task latency: the 1-based arrival index of the
+        /// completing worker.
+        latency: u64,
+    },
+    /// The worker checked in but nothing was assignable (no eligible
+    /// uncompleted task in range).
+    WorkerIdle {
+        /// The idle worker's arrival id.
+        worker: WorkerId,
+    },
+}
+
+/// Builder for [`LtcService`] — the one place every deployment knob
+/// lives.
+///
+/// ```
+/// use ltc_core::model::{ProblemParams, Task, Worker};
+/// use ltc_core::service::{Algorithm, Event, ServiceBuilder};
+/// use ltc_spatial::{BoundingBox, Point};
+/// use std::num::NonZeroUsize;
+///
+/// let params = ProblemParams::builder().epsilon(0.2).capacity(2).build().unwrap();
+/// let region = BoundingBox::new(Point::ORIGIN, Point::new(100.0, 100.0));
+/// let mut service = ServiceBuilder::new(params, region)
+///     .algorithm(Algorithm::Aam)
+///     .shards(NonZeroUsize::new(2).unwrap())
+///     .build()
+///     .unwrap();
+///
+/// service.post_task(Task::new(Point::new(10.0, 10.0))).unwrap();
+/// while !service.all_completed() {
+///     for event in service.check_in(&Worker::new(Point::new(10.5, 10.0), 0.95)) {
+///         if let Event::TaskCompleted { task, latency } = event {
+///             println!("task {} done at arrival {latency}", task.0);
+///         }
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServiceBuilder {
+    params: ProblemParams,
+    region: BoundingBox,
+    algorithm: Algorithm,
+    shards: NonZeroUsize,
+    cell_size: Option<f64>,
+    batch_capacity: usize,
+    accuracy: AccuracyModel,
+    tasks: Vec<Task>,
+}
+
+impl ServiceBuilder {
+    /// Starts a builder over the given service region (the area check-ins
+    /// are expected from; out-of-region work is still handled exactly,
+    /// only less efficiently) with single-shard LAF defaults.
+    pub fn new(params: ProblemParams, region: BoundingBox) -> Self {
+        Self {
+            params,
+            region,
+            algorithm: Algorithm::Laf,
+            shards: NonZeroUsize::MIN,
+            cell_size: None,
+            batch_capacity: 1024,
+            accuracy: AccuracyModel::Sigmoid,
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Starts a builder pre-loaded with a batch instance's parameters,
+    /// accuracy model, and task set (its recorded workers are *not*
+    /// consumed — stream them through [`LtcService::check_in`]). The
+    /// region is the tasks' bounding box.
+    pub fn from_instance(instance: &Instance) -> Self {
+        let region = BoundingBox::of_points(instance.tasks().iter().map(|t| t.loc))
+            .unwrap_or_else(|| BoundingBox::new(Point::ORIGIN, Point::ORIGIN));
+        Self {
+            accuracy: instance.accuracy_model().clone(),
+            tasks: instance.tasks().to_vec(),
+            ..Self::new(*instance.params(), region)
+        }
+    }
+
+    /// Sets the online policy (default [`Algorithm::Laf`]).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the shard count (default 1).
+    pub fn shards(mut self, shards: NonZeroUsize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the routing/index tile size (default `d_max`). Smaller cells
+    /// stripe the region more finely; the eligibility radius still
+    /// queries exactly.
+    pub fn cell_size(mut self, cell_size: f64) -> Self {
+        self.cell_size = Some(cell_size);
+        self
+    }
+
+    /// Sets the maximum check-ins one [`LtcService::check_in_batch`]
+    /// dispatch wave may hold (default 1024). Larger slices are processed
+    /// in capacity-sized waves — the caller observes back-pressure as the
+    /// call not returning until every wave drained.
+    pub fn batch_capacity(mut self, batch_capacity: usize) -> Self {
+        self.batch_capacity = batch_capacity.max(1);
+        self
+    }
+
+    /// Sets the accuracy model (default the paper's Eq. 1 sigmoid).
+    /// Tabular models require `shards = 1`.
+    pub fn accuracy_model(mut self, accuracy: AccuracyModel) -> Self {
+        self.accuracy = accuracy;
+        self
+    }
+
+    /// Seeds the initial task pool (more can be posted later through
+    /// [`LtcService::post_task`]).
+    pub fn tasks(mut self, tasks: Vec<Task>) -> Self {
+        self.tasks = tasks;
+        self
+    }
+
+    /// Validates the configuration and builds the service.
+    pub fn build(self) -> Result<LtcService, ServiceError> {
+        self.params.validate().map_err(ServiceError::Params)?;
+        let n_shards = self.shards.get();
+        if n_shards > 1 && matches!(self.accuracy, AccuracyModel::Table(_)) {
+            return Err(ServiceError::TabularNeedsSingleShard);
+        }
+        if let AccuracyModel::Table(table) = &self.accuracy {
+            if table.n_tasks() != self.tasks.len() {
+                return Err(ServiceError::Engine(EngineError::CorruptState(
+                    "accuracy table rows disagree with the seeded task count",
+                )));
+            }
+        }
+        if self.tasks.len() > u32::MAX as usize {
+            return Err(ServiceError::Engine(EngineError::TooManyTasks));
+        }
+        for t in &self.tasks {
+            if !t.loc.is_finite() {
+                return Err(ServiceError::Engine(EngineError::BadTaskLocation));
+            }
+        }
+        let cell_size = self.cell_size.unwrap_or(self.params.d_max);
+        if !(cell_size.is_finite() && cell_size > 0.0) {
+            return Err(ServiceError::BadCellSize(cell_size));
+        }
+        let router = ShardRouter::new(n_shards, cell_size, self.region);
+
+        // Partition the seeded tasks: global ids follow the seeded order,
+        // local ids follow each shard's insertion order, so within one
+        // shard local order and global order agree (the property that
+        // makes local tie-breaks match global ones).
+        let mut task_map = Vec::with_capacity(self.tasks.len());
+        let mut shard_tasks: Vec<Vec<Task>> = vec![Vec::new(); n_shards];
+        let mut globals: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+        for (g, task) in self.tasks.iter().enumerate() {
+            let s = if n_shards == 1 {
+                0
+            } else {
+                router.shard_of(task.loc)
+            };
+            task_map.push((s as u32, shard_tasks[s].len() as u32));
+            globals[s].push(g as u32);
+            shard_tasks[s].push(*task);
+        }
+
+        let mut shards = Vec::with_capacity(n_shards);
+        for (s, tasks) in shard_tasks.into_iter().enumerate() {
+            let n = tasks.len();
+            let engine = AssignmentEngine::from_state(EngineState {
+                params: self.params,
+                accuracy: self.accuracy.clone(),
+                tasks,
+                s: vec![0.0; n],
+                completed: vec![false; n],
+                assignments: Vec::new(),
+                next_arrival: 0,
+                index_geometry: match self.params.eligibility {
+                    Eligibility::WithinRange => Some((cell_size, self.region)),
+                    Eligibility::Unrestricted => None,
+                },
+            })
+            .map_err(ServiceError::Engine)?;
+            shards.push(Shard {
+                engine,
+                policy: self.algorithm.policy(s),
+                globals: std::mem::take(&mut globals[s]),
+            });
+        }
+        Ok(LtcService {
+            params: self.params,
+            region: self.region,
+            algorithm: self.algorithm,
+            cell_size,
+            batch_capacity: self.batch_capacity,
+            router,
+            shards,
+            task_map,
+            next_arrival: 0,
+            n_assignments: 0,
+            max_assigned_arrival: None,
+            cand_buf: Vec::new(),
+            picks_buf: Vec::new(),
+        })
+    }
+}
+
+/// One spatial shard: a full engine over its task subset, its policy
+/// instance, and the local→global id map.
+#[derive(Debug)]
+struct Shard {
+    engine: AssignmentEngine,
+    policy: Policy,
+    /// `globals[local] = global` task id.
+    globals: Vec<u32>,
+}
+
+impl Shard {
+    /// Serves one worker entirely shard-locally (the worker's disk lies
+    /// inside this shard's stripe) under the global arrival id `w`.
+    fn check_in_local(&mut self, w: WorkerId, worker: &Worker, out: &mut Vec<Event>) {
+        let batch = self.engine.push_worker_as(w, worker, self.policy.as_dyn());
+        if batch.is_empty() {
+            out.push(Event::WorkerIdle { worker: w });
+            return;
+        }
+        for a in batch.iter() {
+            let global = TaskId(self.globals[a.task.index()]);
+            out.push(Event::Assigned {
+                worker: w,
+                task: global,
+                acc: a.acc,
+                gain: a.contribution,
+            });
+            if self.engine.is_completed(a.task) {
+                out.push(Event::TaskCompleted {
+                    task: global,
+                    latency: w.arrival_index(),
+                });
+            }
+        }
+        // A task completes at most once and candidates exclude completed
+        // tasks, so each TaskCompleted above fired on the assignment that
+        // crossed δ — but only emit it once even if K > 1 assignments hit
+        // the same task (impossible today: picks are deduped).
+    }
+}
+
+/// The sharded online LTC service (see the module docs for the sharding
+/// and batching model). Build one with [`ServiceBuilder`].
+#[derive(Debug)]
+pub struct LtcService {
+    params: ProblemParams,
+    region: BoundingBox,
+    algorithm: Algorithm,
+    cell_size: f64,
+    batch_capacity: usize,
+    router: ShardRouter,
+    shards: Vec<Shard>,
+    /// `task_map[global] = (shard, local)`.
+    task_map: Vec<(u32, u32)>,
+    /// Service-global arrival counter.
+    next_arrival: u64,
+    n_assignments: u64,
+    max_assigned_arrival: Option<u64>,
+    /// Scratch buffers for the merge path.
+    cand_buf: Vec<Candidate>,
+    picks_buf: Vec<TaskId>,
+}
+
+impl LtcService {
+    /// Starts building a service; see [`ServiceBuilder`].
+    pub fn builder(params: ProblemParams, region: BoundingBox) -> ServiceBuilder {
+        ServiceBuilder::new(params, region)
+    }
+
+    /// Platform parameters.
+    #[inline]
+    pub fn params(&self) -> &ProblemParams {
+        &self.params
+    }
+
+    /// The completion threshold `δ`.
+    #[inline]
+    pub fn delta(&self) -> f64 {
+        self.params.delta()
+    }
+
+    /// The configured policy.
+    #[inline]
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The service region the router stripes over.
+    #[inline]
+    pub fn region(&self) -> BoundingBox {
+        self.region
+    }
+
+    /// Number of tasks posted so far (service-wide).
+    #[inline]
+    pub fn n_tasks(&self) -> usize {
+        self.task_map.len()
+    }
+
+    /// Number of workers checked in so far.
+    #[inline]
+    pub fn n_workers_seen(&self) -> u64 {
+        self.next_arrival
+    }
+
+    /// Number of assignments committed so far.
+    #[inline]
+    pub fn n_assignments(&self) -> u64 {
+        self.n_assignments
+    }
+
+    /// Number of tasks still below `δ`.
+    pub fn n_uncompleted(&self) -> usize {
+        self.shards.iter().map(|s| s.engine.n_uncompleted()).sum()
+    }
+
+    /// Whether every posted task reached `δ`.
+    pub fn all_completed(&self) -> bool {
+        self.shards.iter().all(|s| s.engine.all_completed())
+    }
+
+    /// The paper's objective — the largest arrival index over recruited
+    /// workers — defined once every task completed.
+    pub fn latency(&self) -> Option<u64> {
+        if self.all_completed() {
+            self.max_assigned_arrival
+        } else {
+            None
+        }
+    }
+
+    /// Accumulated quality `S[t]` of a (service-global) task.
+    pub fn quality(&self, task: TaskId) -> f64 {
+        let (s, local) = self.locate(task);
+        self.shards[s].engine.quality(local)
+    }
+
+    /// Whether a (service-global) task reached `δ`.
+    pub fn is_completed(&self, task: TaskId) -> bool {
+        let (s, local) = self.locate(task);
+        self.shards[s].engine.is_completed(local)
+    }
+
+    fn locate(&self, task: TaskId) -> (usize, TaskId) {
+        let (s, local) = self.task_map[task.index()];
+        (s as usize, TaskId(local))
+    }
+
+    /// Posts a new task mid-stream, routing it to the shard owning its
+    /// tile. It becomes assignable to every subsequent check-in.
+    pub fn post_task(&mut self, task: Task) -> Result<TaskId, ServiceError> {
+        self.post_task_inner(task, None)
+    }
+
+    /// Posts a task under a tabular accuracy model, appending its
+    /// per-worker accuracy row (one entry per table worker).
+    pub fn post_task_with_accuracies(
+        &mut self,
+        task: Task,
+        accuracies: &[f64],
+    ) -> Result<TaskId, ServiceError> {
+        self.post_task_inner(task, Some(accuracies))
+    }
+
+    fn post_task_inner(
+        &mut self,
+        task: Task,
+        accuracies: Option<&[f64]>,
+    ) -> Result<TaskId, ServiceError> {
+        if self.task_map.len() >= u32::MAX as usize {
+            return Err(ServiceError::Engine(EngineError::TooManyTasks));
+        }
+        let s = if self.shards.len() == 1 {
+            0
+        } else {
+            if !task.loc.is_finite() {
+                return Err(ServiceError::Engine(EngineError::BadTaskLocation));
+            }
+            self.router.shard_of(task.loc)
+        };
+        let shard = &mut self.shards[s];
+        let local = match accuracies {
+            Some(row) => shard.engine.add_task_with_accuracies(task, row),
+            None => shard.engine.add_task(task),
+        }
+        .map_err(ServiceError::Engine)?;
+        let global = self.task_map.len() as u32;
+        debug_assert_eq!(local.index(), shard.globals.len());
+        shard.globals.push(global);
+        self.task_map.push((s as u32, local.0));
+        Ok(TaskId(global))
+    }
+
+    /// The shards an arriving worker can reach: every shard under the
+    /// unrestricted policy, otherwise the stripes intersecting the
+    /// worker's `d_max` disk.
+    fn reachable_shards(&self, worker: &Worker) -> std::ops::RangeInclusive<usize> {
+        match self.params.eligibility {
+            Eligibility::Unrestricted => 0..=self.shards.len() - 1,
+            Eligibility::WithinRange => {
+                if worker.loc.is_finite() {
+                    self.router.shards_within(worker.loc, self.params.d_max)
+                } else {
+                    // Degenerate check-in: route to shard 0, which will
+                    // find no candidates.
+                    0..=0
+                }
+            }
+        }
+    }
+
+    /// Serves one worker check-in end to end and returns everything that
+    /// happened, in commit order. The worker receives the next global
+    /// arrival id whether or not anything was assignable (mirroring the
+    /// engine's arrival semantics).
+    pub fn check_in(&mut self, worker: &Worker) -> Vec<Event> {
+        let w = self.take_arrival_id();
+        let mut events = Vec::new();
+        self.check_in_as(w, worker, &mut events);
+        events
+    }
+
+    fn take_arrival_id(&mut self) -> WorkerId {
+        let w = WorkerId(self.next_arrival);
+        self.next_arrival = self
+            .next_arrival
+            .checked_add(1)
+            .expect("worker arrival index exceeded the u64 id space");
+        w
+    }
+
+    fn check_in_as(&mut self, w: WorkerId, worker: &Worker, events: &mut Vec<Event>) {
+        let range = self.reachable_shards(worker);
+        let start = events.len();
+        if range.start() == range.end() {
+            self.shards[*range.start()].check_in_local(w, worker, events);
+        } else {
+            self.check_in_merge(w, worker, range, events);
+        }
+        self.note_events(&events[start..]);
+    }
+
+    /// Updates service-wide counters from freshly emitted events.
+    fn note_events(&mut self, events: &[Event]) {
+        for e in events {
+            if let Event::Assigned { worker, .. } = e {
+                self.n_assignments += 1;
+                let idx = worker.arrival_index();
+                self.max_assigned_arrival =
+                    Some(self.max_assigned_arrival.map_or(idx, |m| m.max(idx)));
+            }
+        }
+    }
+
+    /// The boundary path: every reachable shard proposes its policy's
+    /// picks; the merged proposals are ranked by gain descending (ties
+    /// toward the smaller global task id), the best `K` committed in
+    /// ascending global-id order — the same commit order the engine uses.
+    fn check_in_merge(
+        &mut self,
+        w: WorkerId,
+        worker: &Worker,
+        range: std::ops::RangeInclusive<usize>,
+        events: &mut Vec<Event>,
+    ) {
+        let k = self.params.capacity as usize;
+        let mut candidates = std::mem::take(&mut self.cand_buf);
+        let mut picks = std::mem::take(&mut self.picks_buf);
+        // (global id, shard, local candidate)
+        let mut proposals: Vec<(u32, usize, Candidate)> = Vec::new();
+        for s in range {
+            let shard = &mut self.shards[s];
+            if shard.engine.all_completed() {
+                continue;
+            }
+            shard.engine.candidates(w, worker, &mut candidates);
+            if candidates.is_empty() {
+                continue;
+            }
+            picks.clear();
+            shard
+                .policy
+                .as_dyn()
+                .assign(&shard.engine, w, &candidates, &mut picks);
+            picks.truncate(k);
+            picks.sort_unstable();
+            picks.dedup();
+            for &t in &picks {
+                let Ok(i) = candidates.binary_search_by_key(&t, |c| c.task) else {
+                    continue; // defensive: a pick outside the candidates
+                };
+                proposals.push((shard.globals[t.index()], s, candidates[i]));
+            }
+        }
+        self.cand_buf = candidates;
+        self.picks_buf = picks;
+
+        if proposals.is_empty() {
+            events.push(Event::WorkerIdle { worker: w });
+            return;
+        }
+        // The documented merge tie-break.
+        proposals.sort_unstable_by(|a, b| {
+            b.2.contribution
+                .partial_cmp(&a.2.contribution)
+                .expect("contributions are never NaN")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        proposals.truncate(k);
+        proposals.sort_unstable_by_key(|p| p.0);
+        for (global, s, c) in proposals {
+            let shard = &mut self.shards[s];
+            let gain = shard.engine.commit(w, worker, c.task);
+            events.push(Event::Assigned {
+                worker: w,
+                task: TaskId(global),
+                acc: c.acc,
+                gain,
+            });
+            if shard.engine.is_completed(c.task) {
+                events.push(Event::TaskCompleted {
+                    task: TaskId(global),
+                    latency: w.arrival_index(),
+                });
+            }
+        }
+    }
+
+    /// Serves a slice of check-ins, returning each worker's events in
+    /// arrival order. With `shards > 1` the slice is processed in
+    /// [`ServiceBuilder::batch_capacity`]-sized waves: each wave
+    /// dispatches interior workers to their shards on scoped threads
+    /// (one per shard) and then commits boundary workers serially — see
+    /// the module docs for the exact ordering contract.
+    pub fn check_in_batch(&mut self, workers: &[Worker]) -> Vec<Vec<Event>> {
+        let mut out: Vec<Vec<Event>> = Vec::with_capacity(workers.len());
+        if self.shards.len() == 1 {
+            for worker in workers {
+                out.push(self.check_in(worker));
+            }
+            return out;
+        }
+        for wave in workers.chunks(self.batch_capacity) {
+            self.dispatch_wave(wave, &mut out);
+        }
+        out
+    }
+
+    /// One multi-shard dispatch wave.
+    fn dispatch_wave(&mut self, wave: &[Worker], out: &mut Vec<Vec<Event>>) {
+        let base = out.len();
+        out.resize_with(base + wave.len(), Vec::new);
+        // (slot, arrival id, worker) per shard; boundary workers kept in
+        // arrival order for the serial phase.
+        let mut queues: Vec<Vec<(usize, WorkerId, Worker)>> = vec![Vec::new(); self.shards.len()];
+        let mut boundary: Vec<(usize, WorkerId, Worker)> = Vec::new();
+        for (i, worker) in wave.iter().enumerate() {
+            let w = self.take_arrival_id();
+            let range = self.reachable_shards(worker);
+            if range.start() == range.end() {
+                queues[*range.start()].push((base + i, w, *worker));
+            } else {
+                boundary.push((base + i, w, *worker));
+            }
+        }
+
+        // Phase A: shard-local traffic in parallel. Each thread owns one
+        // shard mutably (disjoint borrows via iter_mut), so no locking.
+        let shard_events: Vec<Vec<(usize, Vec<Event>)>> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (shard, queue) in self.shards.iter_mut().zip(&queues) {
+                if queue.is_empty() {
+                    continue;
+                }
+                handles.push(scope.spawn(move || {
+                    let mut results = Vec::with_capacity(queue.len());
+                    for (slot, w, worker) in queue {
+                        let mut events = Vec::new();
+                        shard.check_in_local(*w, worker, &mut events);
+                        results.push((*slot, events));
+                    }
+                    results
+                }));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (slot, events) in shard_events.into_iter().flatten() {
+            self.note_events(&events);
+            out[slot] = events;
+        }
+
+        // Phase B: boundary workers serially through the merge path.
+        for (slot, w, worker) in boundary {
+            let mut events = Vec::new();
+            let range = self.reachable_shards(&worker);
+            self.check_in_merge(w, &worker, range, &mut events);
+            self.note_events(&events);
+            out[slot] = events;
+        }
+    }
+
+    /// Extracts the full durable service state (configuration, shard
+    /// engines, routing maps, counters) for crash recovery. Serialize it
+    /// with [`crate::snapshot::write_snapshot`].
+    ///
+    /// The restored service continues bit-identically for LAF/AAM
+    /// policies; a [`Algorithm::Random`] policy restarts its RNG streams
+    /// from their seeds (the stream position is not captured).
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        ServiceSnapshot {
+            params: self.params,
+            region: self.region,
+            algorithm: self.algorithm,
+            cell_size: self.cell_size,
+            batch_capacity: self.batch_capacity,
+            next_arrival: self.next_arrival,
+            task_map: self.task_map.clone(),
+            engines: self.shards.iter().map(|s| s.engine.to_state()).collect(),
+        }
+    }
+
+    /// Rebuilds a service from a [`ServiceSnapshot`] (the inverse of
+    /// [`LtcService::snapshot`]).
+    pub fn restore(snapshot: ServiceSnapshot) -> Result<Self, ServiceError> {
+        snapshot.params.validate().map_err(ServiceError::Params)?;
+        let n_shards = snapshot.engines.len();
+        if n_shards == 0 {
+            return Err(ServiceError::BadSnapshot(
+                "a service needs at least one shard",
+            ));
+        }
+        if !(snapshot.cell_size.is_finite() && snapshot.cell_size > 0.0) {
+            return Err(ServiceError::BadCellSize(snapshot.cell_size));
+        }
+        // Enforce the same invariant as `ServiceBuilder::build`: tabular
+        // accuracy models index workers globally and cannot be sharded —
+        // a snapshot claiming otherwise is corrupt, not restorable.
+        if n_shards > 1
+            && snapshot
+                .engines
+                .iter()
+                .any(|e| matches!(e.accuracy, AccuracyModel::Table(_)))
+        {
+            return Err(ServiceError::TabularNeedsSingleShard);
+        }
+        let router = ShardRouter::new(n_shards, snapshot.cell_size, snapshot.region);
+        // Rebuild each shard's local→global map from the task map and
+        // validate the mapping is a bijection onto the engines' tasks.
+        let mut globals: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+        for (g, &(s, local)) in snapshot.task_map.iter().enumerate() {
+            let s = s as usize;
+            if s >= n_shards {
+                return Err(ServiceError::BadSnapshot("task routed to unknown shard"));
+            }
+            if local as usize != globals[s].len() {
+                return Err(ServiceError::BadSnapshot(
+                    "task map out of order for its shard",
+                ));
+            }
+            globals[s].push(g as u32);
+        }
+        let mut n_assignments = 0u64;
+        let mut max_assigned_arrival: Option<u64> = None;
+        let mut shards = Vec::with_capacity(n_shards);
+        for (s, state) in snapshot.engines.into_iter().enumerate() {
+            if state.tasks.len() != globals[s].len() {
+                return Err(ServiceError::BadSnapshot(
+                    "task map disagrees with a shard engine's task count",
+                ));
+            }
+            let engine = AssignmentEngine::from_state(state).map_err(ServiceError::Engine)?;
+            for a in engine.arrangement().assignments() {
+                n_assignments += 1;
+                let idx = a.worker.arrival_index();
+                max_assigned_arrival = Some(max_assigned_arrival.map_or(idx, |m| m.max(idx)));
+            }
+            shards.push(Shard {
+                engine,
+                policy: snapshot.algorithm.policy(s),
+                globals: std::mem::take(&mut globals[s]),
+            });
+        }
+        Ok(Self {
+            params: snapshot.params,
+            region: snapshot.region,
+            algorithm: snapshot.algorithm,
+            cell_size: snapshot.cell_size,
+            batch_capacity: snapshot.batch_capacity.max(1),
+            router,
+            shards,
+            task_map: snapshot.task_map,
+            next_arrival: snapshot.next_arrival,
+            n_assignments,
+            max_assigned_arrival,
+            cand_buf: Vec::new(),
+            picks_buf: Vec::new(),
+        })
+    }
+}
+
+/// The durable state of an [`LtcService`]; plain data, serialized by
+/// [`crate::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSnapshot {
+    /// Platform parameters.
+    pub params: ProblemParams,
+    /// The service region routing stripes over.
+    pub region: BoundingBox,
+    /// The configured policy (Random policies restart from their seed).
+    pub algorithm: Algorithm,
+    /// Routing/index tile size.
+    pub cell_size: f64,
+    /// Batch dispatch capacity.
+    pub batch_capacity: usize,
+    /// The service-global arrival counter.
+    pub next_arrival: u64,
+    /// `task_map[global] = (shard, local)`.
+    pub task_map: Vec<(u32, u32)>,
+    /// Per-shard engine state.
+    pub engines: Vec<EngineState>,
+}
+
+/// Why an [`LtcService`] operation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// Invalid [`ProblemParams`].
+    Params(crate::model::ParamsError),
+    /// A shard engine rejected the operation.
+    Engine(EngineError),
+    /// Tabular accuracy models cover a closed worker set with global
+    /// indices; they require `shards = 1`.
+    TabularNeedsSingleShard,
+    /// The routing tile size is not strictly positive and finite.
+    BadCellSize(f64),
+    /// A snapshot is internally inconsistent.
+    BadSnapshot(&'static str),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Params(e) => write!(f, "invalid parameters: {e}"),
+            ServiceError::Engine(e) => write!(f, "engine error: {e}"),
+            ServiceError::TabularNeedsSingleShard => write!(
+                f,
+                "tabular accuracy models index workers globally and require shards = 1"
+            ),
+            ServiceError::BadCellSize(c) => {
+                write!(f, "cell size must be positive and finite, got {c}")
+            }
+            ServiceError::BadSnapshot(what) => write!(f, "corrupt service snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ProblemParams;
+
+    fn params(k: u32) -> ProblemParams {
+        ProblemParams::builder()
+            .epsilon(0.3)
+            .capacity(k)
+            .d_max(30.0)
+            .build()
+            .unwrap()
+    }
+
+    fn region() -> BoundingBox {
+        BoundingBox::new(Point::ORIGIN, Point::new(1000.0, 1000.0))
+    }
+
+    fn shards(n: usize) -> NonZeroUsize {
+        NonZeroUsize::new(n).unwrap()
+    }
+
+    #[test]
+    fn single_shard_matches_the_engine_bitwise() {
+        let tasks: Vec<Task> = (0..20)
+            .map(|i| Task::new(Point::new((i % 5) as f64 * 40.0, (i / 5) as f64 * 40.0)))
+            .collect();
+        let workers: Vec<Worker> = (0..200)
+            .map(|i| {
+                Worker::new(
+                    Point::new((i % 23) as f64 * 8.0, (i % 17) as f64 * 11.0),
+                    0.7 + 0.29 * ((i % 13) as f64 / 13.0),
+                )
+            })
+            .collect();
+        let mut service = ServiceBuilder::new(params(2), region())
+            .tasks(tasks.clone())
+            .algorithm(Algorithm::Aam)
+            .build()
+            .unwrap();
+
+        let mut engine = {
+            let inst = Instance::new(tasks, workers.clone(), params(2)).unwrap();
+            AssignmentEngine::from_instance(&inst)
+        };
+        let mut policy = Aam::new();
+        for worker in &workers {
+            let events = service.check_in(worker);
+            let batch = engine.push_worker(worker, &mut policy);
+            let assigned: Vec<(u64, u32, f64, f64)> = events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::Assigned {
+                        worker,
+                        task,
+                        acc,
+                        gain,
+                    } => Some((worker.0, task.0, *acc, *gain)),
+                    _ => None,
+                })
+                .collect();
+            let expect: Vec<(u64, u32, f64, f64)> = batch
+                .iter()
+                .map(|a| (a.worker.0, a.task.0, a.acc, a.contribution))
+                .collect();
+            assert_eq!(assigned, expect);
+        }
+        assert_eq!(service.all_completed(), engine.all_completed());
+        assert_eq!(service.n_assignments() as usize, engine.arrangement().len());
+    }
+
+    #[test]
+    fn post_task_routes_and_completes() {
+        let mut service = ServiceBuilder::new(params(1), region())
+            .shards(shards(4))
+            .build()
+            .unwrap();
+        assert!(service.all_completed(), "empty service is trivially done");
+        let far_left = service
+            .post_task(Task::new(Point::new(10.0, 500.0)))
+            .unwrap();
+        let far_right = service
+            .post_task(Task::new(Point::new(990.0, 500.0)))
+            .unwrap();
+        assert_eq!(service.n_tasks(), 2);
+        assert_ne!(
+            service.task_map[far_left.index()].0,
+            service.task_map[far_right.index()].0,
+            "opposite region ends must land on different shards"
+        );
+        // Drive both to completion with co-located workers.
+        let mut done = std::collections::HashSet::new();
+        for _ in 0..50 {
+            for loc in [Point::new(10.0, 500.0), Point::new(990.0, 500.0)] {
+                for e in service.check_in(&Worker::new(loc, 0.95)) {
+                    if let Event::TaskCompleted { task, .. } = e {
+                        done.insert(task.0);
+                    }
+                }
+            }
+            if service.all_completed() {
+                break;
+            }
+        }
+        assert!(service.all_completed());
+        assert_eq!(done.len(), 2);
+        assert!(service.is_completed(far_left) && service.is_completed(far_right));
+        assert!(service.latency().is_some());
+    }
+
+    #[test]
+    fn idle_workers_emit_idle_events_and_still_consume_ids() {
+        let mut service = ServiceBuilder::new(params(1), region()).build().unwrap();
+        let events = service.check_in(&Worker::new(Point::new(1.0, 1.0), 0.9));
+        assert_eq!(
+            events,
+            vec![Event::WorkerIdle {
+                worker: WorkerId(0)
+            }]
+        );
+        assert_eq!(service.n_workers_seen(), 1);
+    }
+
+    #[test]
+    fn batch_equals_serial_on_a_single_shard() {
+        let tasks: Vec<Task> = (0..10)
+            .map(|i| Task::new(Point::new(i as f64 * 50.0, 500.0)))
+            .collect();
+        let workers: Vec<Worker> = (0..60)
+            .map(|i| Worker::new(Point::new((i % 10) as f64 * 50.0, 501.0), 0.9))
+            .collect();
+        let build = || {
+            ServiceBuilder::new(params(2), region())
+                .tasks(tasks.clone())
+                .build()
+                .unwrap()
+        };
+        let mut serial = build();
+        let mut batched = build();
+        let a: Vec<Vec<Event>> = workers.iter().map(|w| serial.check_in(w)).collect();
+        let b = batched.check_in_batch(&workers);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multi_shard_batch_preserves_capacity_and_ids() {
+        let tasks: Vec<Task> = (0..40)
+            .map(|i| Task::new(Point::new((i % 20) as f64 * 50.0, (i / 20) as f64 * 500.0)))
+            .collect();
+        let workers: Vec<Worker> = (0..300)
+            .map(|i| {
+                Worker::new(
+                    Point::new((i % 40) as f64 * 25.0, (i % 2) as f64 * 500.0),
+                    0.9,
+                )
+            })
+            .collect();
+        let mut service = ServiceBuilder::new(params(2), region())
+            .tasks(tasks)
+            .shards(shards(4))
+            .batch_capacity(64)
+            .build()
+            .unwrap();
+        let out = service.check_in_batch(&workers);
+        assert_eq!(out.len(), workers.len());
+        // Arrival ids are dense and in order.
+        let mut per_worker: std::collections::HashMap<u64, usize> = Default::default();
+        for (i, events) in out.iter().enumerate() {
+            for e in events {
+                match e {
+                    Event::Assigned { worker, .. } | Event::WorkerIdle { worker } => {
+                        assert_eq!(worker.0 as usize, i, "events landed in the wrong slot");
+                        if let Event::Assigned { .. } = e {
+                            *per_worker.entry(worker.0).or_default() += 1;
+                        }
+                    }
+                    Event::TaskCompleted { .. } => {}
+                }
+            }
+        }
+        assert!(per_worker.values().all(|&n| n <= 2), "capacity violated");
+        assert_eq!(service.n_workers_seen(), workers.len() as u64);
+    }
+
+    #[test]
+    fn tabular_models_require_single_shard_but_work_on_one() {
+        let inst = crate::toy::toy_instance(0.2);
+        let err = ServiceBuilder::from_instance(&inst)
+            .shards(shards(2))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ServiceError::TabularNeedsSingleShard);
+
+        let mut service = ServiceBuilder::from_instance(&inst).build().unwrap();
+        // Appending a task with a row works through the service facade.
+        let row = vec![0.9; inst.n_workers()];
+        let t = service
+            .post_task_with_accuracies(Task::new(Point::new(1.0, 1.0)), &row)
+            .unwrap();
+        assert_eq!(t.index(), inst.n_tasks());
+    }
+
+    #[test]
+    fn snapshot_restore_continues_identically() {
+        let tasks: Vec<Task> = (0..30)
+            .map(|i| Task::new(Point::new((i % 6) as f64 * 160.0, (i / 6) as f64 * 200.0)))
+            .collect();
+        let workers: Vec<Worker> = (0..400)
+            .map(|i| {
+                Worker::new(
+                    Point::new((i % 31) as f64 * 32.0, (i % 29) as f64 * 34.0),
+                    0.7 + 0.29 * ((i % 11) as f64 / 11.0),
+                )
+            })
+            .collect();
+        let mut service = ServiceBuilder::new(params(2), region())
+            .tasks(tasks)
+            .shards(shards(3))
+            .algorithm(Algorithm::Laf)
+            .build()
+            .unwrap();
+        for worker in &workers[..150] {
+            service.check_in(worker);
+        }
+        let mut restored = LtcService::restore(service.snapshot()).unwrap();
+        assert_eq!(restored.n_workers_seen(), service.n_workers_seen());
+        assert_eq!(restored.n_assignments(), service.n_assignments());
+        for worker in &workers[150..] {
+            assert_eq!(service.check_in(worker), restored.check_in(worker));
+        }
+        assert_eq!(service.latency(), restored.latency());
+    }
+}

@@ -1,0 +1,618 @@
+//! Versioned snapshot serialization for [`LtcService`] crash recovery.
+//!
+//! The wire format (`ltc-snapshot v1`) is line-oriented text with
+//! whitespace-separated tokens. Every `f64` is written as the 16-hex-digit
+//! IEEE-754 bit pattern (`f64::to_bits`), so a snapshot→restore round
+//! trip is **bit-exact** — no decimal-formatting drift can change a
+//! quality total or an accuracy, which is what lets a restored service
+//! continue a stream with output identical to an uninterrupted run (see
+//! the differential test in `tests/service_parity.rs`).
+//!
+//! Layout (one section per line, in order):
+//!
+//! ```text
+//! ltc-snapshot v1
+//! params <eps> <K> <d_max> <min_acc> <within|unrestricted> <hoeffding|fixed> [th]
+//! region <min_x> <min_y> <max_x> <max_y>
+//! config <algo...> <cell_size> <batch_capacity> <next_arrival>
+//! taskmap <n> <shard-of-task ...>            // local ids are implied
+//! shard <i> <n_tasks> <next_arrival> <noindex | index cs x0 y0 x1 y1>
+//! tasks <x y ...>                            // per shard, local order
+//! quality <S[t] ...>
+//! completed <bitstring>
+//! accuracy sigmoid | accuracy table <n_workers> <task-major values ...>
+//! assignments <n>
+//! a <worker> <local-task> <acc> <contribution>   // × n, commit order
+//! end
+//! ```
+//!
+//! Unknown versions and any structural inconsistency are rejected with a
+//! [`SnapshotError`]; the reader never panics on malformed input.
+
+use crate::engine::EngineState;
+use crate::model::{
+    AccuracyModel, AccuracyTable, Assignment, Eligibility, ProblemParams, QualityModel, Task,
+    TaskId, WorkerId,
+};
+use crate::service::{Algorithm, LtcService, ServiceError, ServiceSnapshot};
+use ltc_spatial::{BoundingBox, Point};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// The header the v1 format starts with.
+pub const SNAPSHOT_HEADER: &str = "ltc-snapshot v1";
+
+/// Upper bound on any single up-front allocation while parsing untrusted
+/// snapshot input; vectors grow past it only as tokens actually parse.
+const MAX_PREALLOC: usize = 1 << 20;
+
+/// Hard ceiling on shard ids a snapshot may reference (far above any
+/// real deployment; a guard against hostile `taskmap` entries).
+const MAX_SHARDS: usize = 1 << 20;
+
+/// Why a snapshot could not be read.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying reader/writer failed.
+    Io(io::Error),
+    /// The snapshot text is malformed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong.
+        what: String,
+    },
+    /// The decoded state was rejected by [`LtcService::restore`].
+    Service(ServiceError),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::Parse { line, what } => {
+                write!(f, "snapshot parse error at line {line}: {what}")
+            }
+            SnapshotError::Service(e) => write!(f, "snapshot rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+fn bits(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Serializes a [`ServiceSnapshot`] into the v1 text format.
+pub fn write_snapshot<W: Write>(snap: &ServiceSnapshot, mut out: W) -> io::Result<()> {
+    writeln!(out, "{SNAPSHOT_HEADER}")?;
+    let p = &snap.params;
+    write!(
+        out,
+        "params {} {} {} {} {}",
+        bits(p.epsilon),
+        p.capacity,
+        bits(p.d_max),
+        bits(p.min_accuracy),
+        match p.eligibility {
+            Eligibility::WithinRange => "within",
+            Eligibility::Unrestricted => "unrestricted",
+        }
+    )?;
+    match p.quality {
+        QualityModel::Hoeffding => writeln!(out, " hoeffding")?,
+        QualityModel::FixedThreshold(th) => writeln!(out, " fixed {}", bits(th))?,
+    }
+    writeln!(
+        out,
+        "region {} {} {} {}",
+        bits(snap.region.min.x),
+        bits(snap.region.min.y),
+        bits(snap.region.max.x),
+        bits(snap.region.max.y)
+    )?;
+    let algo = match snap.algorithm {
+        Algorithm::Laf => "laf".to_string(),
+        Algorithm::Aam => "aam".to_string(),
+        Algorithm::AamLgf => "aam-lgf".to_string(),
+        Algorithm::AamLrf => "aam-lrf".to_string(),
+        Algorithm::Random { seed } => format!("random {seed}"),
+    };
+    writeln!(
+        out,
+        "config {algo} {} {} {}",
+        bits(snap.cell_size),
+        snap.batch_capacity,
+        snap.next_arrival
+    )?;
+    write!(out, "taskmap {}", snap.task_map.len())?;
+    for &(shard, _) in &snap.task_map {
+        write!(out, " {shard}")?;
+    }
+    writeln!(out)?;
+    for (i, e) in snap.engines.iter().enumerate() {
+        write!(out, "shard {i} {} {} ", e.tasks.len(), e.next_arrival)?;
+        match e.index_geometry {
+            None => writeln!(out, "noindex")?,
+            Some((cs, b)) => writeln!(
+                out,
+                "index {} {} {} {} {}",
+                bits(cs),
+                bits(b.min.x),
+                bits(b.min.y),
+                bits(b.max.x),
+                bits(b.max.y)
+            )?,
+        }
+        write!(out, "tasks")?;
+        for t in &e.tasks {
+            write!(out, " {} {}", bits(t.loc.x), bits(t.loc.y))?;
+        }
+        writeln!(out)?;
+        write!(out, "quality")?;
+        for &s in &e.s {
+            write!(out, " {}", bits(s))?;
+        }
+        writeln!(out)?;
+        write!(out, "completed ")?;
+        for &c in &e.completed {
+            write!(out, "{}", if c { '1' } else { '0' })?;
+        }
+        writeln!(out)?;
+        match &e.accuracy {
+            AccuracyModel::Sigmoid => writeln!(out, "accuracy sigmoid")?,
+            AccuracyModel::Table(table) => {
+                write!(out, "accuracy table {}", table.n_workers())?;
+                for &v in table.task_major_values() {
+                    write!(out, " {}", bits(v))?;
+                }
+                writeln!(out)?;
+            }
+        }
+        writeln!(out, "assignments {}", e.assignments.len())?;
+        for a in &e.assignments {
+            writeln!(
+                out,
+                "a {} {} {} {}",
+                a.worker.0,
+                a.task.0,
+                bits(a.acc),
+                bits(a.contribution)
+            )?;
+        }
+    }
+    writeln!(out, "end")?;
+    Ok(())
+}
+
+/// Serializes a service's current state (shorthand for
+/// [`LtcService::snapshot`] + [`write_snapshot`]).
+pub fn save_service<W: Write>(service: &LtcService, out: W) -> io::Result<()> {
+    write_snapshot(&service.snapshot(), out)
+}
+
+/// Reads a v1 snapshot back into a [`ServiceSnapshot`].
+pub fn read_snapshot<R: BufRead>(reader: R) -> Result<ServiceSnapshot, SnapshotError> {
+    let mut lines = Lines::new(reader);
+    let header = lines.next_line()?;
+    if header.trim() != SNAPSHOT_HEADER {
+        return Err(lines.err(format!(
+            "unsupported snapshot header `{}` (expected `{SNAPSHOT_HEADER}`)",
+            header.trim()
+        )));
+    }
+
+    // params
+    let line = lines.next_line()?;
+    let mut tk = Tokens::new(&line, lines.lineno);
+    tk.literal("params")?;
+    let epsilon = tk.f64()?;
+    let capacity = tk.u64()? as u32;
+    let d_max = tk.f64()?;
+    let min_accuracy = tk.f64()?;
+    let eligibility = match tk.word()? {
+        "within" => Eligibility::WithinRange,
+        "unrestricted" => Eligibility::Unrestricted,
+        other => return Err(tk.bad(format!("unknown eligibility `{other}`"))),
+    };
+    let quality = match tk.word()? {
+        "hoeffding" => QualityModel::Hoeffding,
+        "fixed" => QualityModel::FixedThreshold(tk.f64()?),
+        other => return Err(tk.bad(format!("unknown quality model `{other}`"))),
+    };
+    let params = ProblemParams {
+        epsilon,
+        capacity,
+        d_max,
+        min_accuracy,
+        eligibility,
+        quality,
+    };
+
+    // region
+    let line = lines.next_line()?;
+    let mut tk = Tokens::new(&line, lines.lineno);
+    tk.literal("region")?;
+    let region = BoundingBox::new(
+        Point::new(tk.f64()?, tk.f64()?),
+        Point::new(tk.f64()?, tk.f64()?),
+    );
+
+    // config
+    let line = lines.next_line()?;
+    let mut tk = Tokens::new(&line, lines.lineno);
+    tk.literal("config")?;
+    let algorithm = match tk.word()? {
+        "laf" => Algorithm::Laf,
+        "aam" => Algorithm::Aam,
+        "aam-lgf" => Algorithm::AamLgf,
+        "aam-lrf" => Algorithm::AamLrf,
+        "random" => Algorithm::Random { seed: tk.u64()? },
+        other => return Err(tk.bad(format!("unknown algorithm `{other}`"))),
+    };
+    let cell_size = tk.f64()?;
+    let batch_capacity = tk.u64()? as usize;
+    let next_arrival = tk.u64()?;
+
+    // taskmap: shard ids in global order; local ids are the running
+    // per-shard counts. Counts come from untrusted input: allocations are
+    // capped up front (growth past the cap is driven by actually-parsed
+    // tokens, so a lying header errors on the missing token instead of
+    // allocating).
+    let line = lines.next_line()?;
+    let mut tk = Tokens::new(&line, lines.lineno);
+    tk.literal("taskmap")?;
+    let n_tasks = tk.u64()? as usize;
+    if n_tasks > u32::MAX as usize {
+        return Err(tk.bad(format!("task count {n_tasks} exceeds the u32 id space")));
+    }
+    let mut task_map = Vec::with_capacity(n_tasks.min(MAX_PREALLOC));
+    let mut per_shard_count: Vec<u32> = Vec::new();
+    for _ in 0..n_tasks {
+        let s = tk.u64()? as usize;
+        if s >= MAX_SHARDS {
+            return Err(tk.bad(format!("shard id {s} exceeds the {MAX_SHARDS}-shard limit")));
+        }
+        if s >= per_shard_count.len() {
+            per_shard_count.resize(s + 1, 0);
+        }
+        task_map.push((s as u32, per_shard_count[s]));
+        per_shard_count[s] += 1;
+    }
+
+    // shards until `end`
+    let mut engines: Vec<EngineState> = Vec::new();
+    loop {
+        let line = lines.next_line()?;
+        let mut tk = Tokens::new(&line, lines.lineno);
+        match tk.word()? {
+            "end" => break,
+            "shard" => {}
+            other => return Err(tk.bad(format!("expected `shard` or `end`, got `{other}`"))),
+        }
+        let idx = tk.u64()? as usize;
+        if idx != engines.len() {
+            return Err(tk.bad(format!("shard {idx} out of order")));
+        }
+        let n = tk.u64()? as usize;
+        if n > u32::MAX as usize {
+            return Err(tk.bad(format!("shard task count {n} exceeds the u32 id space")));
+        }
+        let shard_next_arrival = tk.u64()?;
+        let index_geometry = match tk.word()? {
+            "noindex" => None,
+            "index" => Some((
+                tk.f64()?,
+                BoundingBox::new(
+                    Point::new(tk.f64()?, tk.f64()?),
+                    Point::new(tk.f64()?, tk.f64()?),
+                ),
+            )),
+            other => return Err(tk.bad(format!("expected index geometry, got `{other}`"))),
+        };
+
+        let line = lines.next_line()?;
+        let mut tk = Tokens::new(&line, lines.lineno);
+        tk.literal("tasks")?;
+        let mut tasks = Vec::with_capacity(n.min(MAX_PREALLOC));
+        for _ in 0..n {
+            tasks.push(Task::new(Point::new(tk.f64()?, tk.f64()?)));
+        }
+
+        let line = lines.next_line()?;
+        let mut tk = Tokens::new(&line, lines.lineno);
+        tk.literal("quality")?;
+        let mut s = Vec::with_capacity(n.min(MAX_PREALLOC));
+        for _ in 0..n {
+            s.push(tk.f64()?);
+        }
+
+        let line = lines.next_line()?;
+        let mut tk = Tokens::new(&line, lines.lineno);
+        tk.literal("completed")?;
+        let flags = tk.word().unwrap_or("");
+        if flags.len() != n {
+            return Err(tk.bad(format!(
+                "completed bitstring has {} flags, shard has {n} tasks",
+                flags.len()
+            )));
+        }
+        let completed: Vec<bool> = flags.chars().map(|c| c == '1').collect();
+
+        let line = lines.next_line()?;
+        let mut tk = Tokens::new(&line, lines.lineno);
+        tk.literal("accuracy")?;
+        let accuracy = match tk.word()? {
+            "sigmoid" => AccuracyModel::Sigmoid,
+            "table" => {
+                let n_workers = tk.u64()? as usize;
+                if n_workers == 0 {
+                    return Err(tk.bad("a table needs at least one worker".into()));
+                }
+                let Some(n_values) = n_workers.checked_mul(n) else {
+                    return Err(tk.bad(format!("table size {n_workers}x{n} overflows")));
+                };
+                let mut values = Vec::with_capacity(n_values.min(MAX_PREALLOC));
+                for _ in 0..n_values {
+                    let v = tk.f64()?;
+                    if !(0.0..=1.0).contains(&v) {
+                        return Err(tk.bad(format!("table accuracy {v} outside [0, 1]")));
+                    }
+                    values.push(v);
+                }
+                AccuracyModel::Table(AccuracyTable::from_task_major(n_workers, values))
+            }
+            other => return Err(tk.bad(format!("unknown accuracy model `{other}`"))),
+        };
+
+        let line = lines.next_line()?;
+        let mut tk = Tokens::new(&line, lines.lineno);
+        tk.literal("assignments")?;
+        let n_assign = tk.u64()? as usize;
+        let mut assignments = Vec::with_capacity(n_assign.min(1 << 20));
+        for _ in 0..n_assign {
+            let line = lines.next_line()?;
+            let mut tk = Tokens::new(&line, lines.lineno);
+            tk.literal("a")?;
+            assignments.push(Assignment {
+                worker: WorkerId(tk.u64()?),
+                task: TaskId(tk.u64()? as u32),
+                acc: tk.f64()?,
+                contribution: tk.f64()?,
+            });
+        }
+
+        engines.push(EngineState {
+            params,
+            accuracy,
+            tasks,
+            s,
+            completed,
+            assignments,
+            next_arrival: shard_next_arrival,
+            index_geometry,
+        });
+    }
+    if per_shard_count.len() > engines.len() {
+        return Err(SnapshotError::Parse {
+            line: lines.lineno,
+            what: "task map references more shards than were serialized".into(),
+        });
+    }
+
+    Ok(ServiceSnapshot {
+        params,
+        region,
+        algorithm,
+        cell_size,
+        batch_capacity,
+        next_arrival,
+        task_map,
+        engines,
+    })
+}
+
+/// Reads a snapshot and restores the service in one step.
+pub fn load_service<R: BufRead>(reader: R) -> Result<LtcService, SnapshotError> {
+    LtcService::restore(read_snapshot(reader)?).map_err(SnapshotError::Service)
+}
+
+/// Line cursor with 1-based numbering for error reporting.
+struct Lines<R> {
+    reader: R,
+    lineno: usize,
+}
+
+impl<R: BufRead> Lines<R> {
+    fn new(reader: R) -> Self {
+        Self { reader, lineno: 0 }
+    }
+
+    fn next_line(&mut self) -> Result<String, SnapshotError> {
+        let mut buf = String::new();
+        loop {
+            buf.clear();
+            if self.reader.read_line(&mut buf)? == 0 {
+                return Err(SnapshotError::Parse {
+                    line: self.lineno + 1,
+                    what: "unexpected end of snapshot".into(),
+                });
+            }
+            self.lineno += 1;
+            if !buf.trim().is_empty() {
+                return Ok(buf);
+            }
+        }
+    }
+
+    fn err(&self, what: String) -> SnapshotError {
+        SnapshotError::Parse {
+            line: self.lineno,
+            what,
+        }
+    }
+}
+
+/// Whitespace tokenizer over one line.
+struct Tokens<'a> {
+    iter: std::str::SplitWhitespace<'a>,
+    line: usize,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(line: &'a str, lineno: usize) -> Self {
+        Self {
+            iter: line.split_whitespace(),
+            line: lineno,
+        }
+    }
+
+    fn bad(&self, what: String) -> SnapshotError {
+        SnapshotError::Parse {
+            line: self.line,
+            what,
+        }
+    }
+
+    fn word(&mut self) -> Result<&'a str, SnapshotError> {
+        self.iter
+            .next()
+            .ok_or_else(|| self.bad("missing token".into()))
+    }
+
+    fn literal(&mut self, expect: &str) -> Result<(), SnapshotError> {
+        let got = self.word()?;
+        if got == expect {
+            Ok(())
+        } else {
+            Err(self.bad(format!("expected `{expect}`, got `{got}`")))
+        }
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let w = self.word()?;
+        w.parse()
+            .map_err(|e| self.bad(format!("bad integer `{w}`: {e}")))
+    }
+
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        let w = self.word()?;
+        u64::from_str_radix(w, 16)
+            .map(f64::from_bits)
+            .map_err(|e| self.bad(format!("bad f64 bit pattern `{w}`: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Task, Worker};
+    use crate::service::ServiceBuilder;
+    use std::num::NonZeroUsize;
+
+    fn sample_service() -> LtcService {
+        let params = ProblemParams::builder()
+            .epsilon(0.23)
+            .capacity(2)
+            .d_max(30.0)
+            .build()
+            .unwrap();
+        let region = BoundingBox::new(Point::ORIGIN, Point::new(500.0, 500.0));
+        let tasks: Vec<Task> = (0..12)
+            .map(|i| Task::new(Point::new((i % 4) as f64 * 120.0, (i / 4) as f64 * 150.0)))
+            .collect();
+        let mut service = ServiceBuilder::new(params, region)
+            .tasks(tasks)
+            .shards(NonZeroUsize::new(2).unwrap())
+            .algorithm(Algorithm::Aam)
+            .build()
+            .unwrap();
+        for i in 0..40u64 {
+            let loc = Point::new((i % 21) as f64 * 24.0, (i % 19) as f64 * 26.0);
+            service.check_in(&Worker::new(loc, 0.8 + (i % 5) as f64 * 0.04));
+        }
+        service
+    }
+
+    #[test]
+    fn snapshot_text_round_trips_bit_exactly() {
+        let service = sample_service();
+        let snap = service.snapshot();
+        let mut buf = Vec::new();
+        write_snapshot(&snap, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with(SNAPSHOT_HEADER));
+        assert!(text.trim_end().ends_with("end"));
+        let decoded = read_snapshot(io::Cursor::new(buf)).unwrap();
+        assert_eq!(snap, decoded);
+    }
+
+    #[test]
+    fn load_service_restores_counters() {
+        let service = sample_service();
+        let mut buf = Vec::new();
+        save_service(&service, &mut buf).unwrap();
+        let restored = load_service(io::Cursor::new(buf)).unwrap();
+        assert_eq!(restored.n_workers_seen(), service.n_workers_seen());
+        assert_eq!(restored.n_assignments(), service.n_assignments());
+        assert_eq!(restored.n_tasks(), service.n_tasks());
+        assert_eq!(restored.n_uncompleted(), service.n_uncompleted());
+    }
+
+    #[test]
+    fn malformed_snapshots_are_rejected_cleanly() {
+        let prelude = format!(
+            "{SNAPSHOT_HEADER}\n\
+             params 3fc999999999999a 2 403e000000000000 3fe51eb851eb851f within hoeffding\n\
+             region 0000000000000000 0000000000000000 4059000000000000 4059000000000000\n\
+             config laf 403e000000000000 64 0\n"
+        );
+        for text in [
+            "".to_string(),
+            "not-a-snapshot".to_string(),
+            "ltc-snapshot v2\n".to_string(),
+            "ltc-snapshot v1\nparams zz\n".to_string(),
+            format!("{SNAPSHOT_HEADER}\nparams"),
+            // Hostile counts must error, not allocate or panic: a lying
+            // task count, an absurd shard id, and an overflowing/huge
+            // table declaration.
+            format!("{prelude}taskmap 17000000000000000000 0\n"),
+            format!("{prelude}taskmap 1 99999999999\n"),
+            format!("{prelude}taskmap 0\nshard 0 17000000000000000000 0 noindex\ntasks\n"),
+            format!(
+                "{prelude}taskmap 0\nshard 0 2 0 noindex\ntasks {z} {z} {z} {z}\n\
+                 quality {z} {z}\ncompleted 00\naccuracy table 9999999999999999999 0\n",
+                z = "0000000000000000"
+            ),
+        ] {
+            let err = read_snapshot(io::Cursor::new(text.as_bytes().to_vec()));
+            assert!(err.is_err(), "accepted malformed snapshot {text:?}");
+        }
+        // Truncated mid-stream.
+        let service = sample_service();
+        let mut buf = Vec::new();
+        save_service(&service, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_snapshot(io::Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_multi_shard_tabular_snapshots() {
+        // Hand-build a 2-shard snapshot whose engines carry tables — the
+        // untrusted-input path must reject it like `build` does.
+        let service = sample_service();
+        let mut snap = service.snapshot();
+        let n = snap.engines[0].tasks.len();
+        snap.engines[0].accuracy =
+            AccuracyModel::Table(AccuracyTable::from_task_major(3, vec![0.9; 3 * n]));
+        let err = LtcService::restore(snap).unwrap_err();
+        assert_eq!(err, ServiceError::TabularNeedsSingleShard);
+    }
+}

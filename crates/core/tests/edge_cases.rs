@@ -163,7 +163,11 @@ fn distant_task_clusters_split_the_stream() {
         assert!(o.completed, "{name}");
         for a in o.arrangement.assignments() {
             let worker_village = a.worker.0 % 2;
-            assert_eq!(worker_village, a.task.0, "{name} assigned across villages");
+            assert_eq!(
+                worker_village,
+                u64::from(a.task.0),
+                "{name} assigned across villages"
+            );
         }
     }
 }

@@ -94,7 +94,7 @@ proptest! {
     /// least ⌈|T|·δ/K⌉ (contributions never exceed 1).
     #[test]
     fn theorem2_lower_bound_holds(inst in arb_instance(5, 80)) {
-        let lb = latency_lower_bound(&inst).ceil() as u32;
+        let lb = latency_lower_bound(&inst).ceil() as u64;
         for o in [
             McfLtc::new().run(&inst),
             BaseOff::new().run(&inst),

@@ -83,7 +83,9 @@ impl AnswerSet {
         let mut set = Self::new(instance.n_tasks(), instance.n_workers());
         for a in arrangement.assignments() {
             let answer = sample_answer(&mut rng, a.acc, truth.label(a.task.index()));
-            set.push(a.task.0, a.worker.0, answer);
+            // Instances cap workers at u32::MAX, so the narrowing is safe
+            // for any feasible arrangement over this instance.
+            set.push(a.task.0, a.worker.0 as u32, answer);
         }
         set
     }

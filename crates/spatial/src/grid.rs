@@ -114,6 +114,28 @@ impl<T: Copy> GridIndex<T> {
         }
     }
 
+    /// The effective cell size (the requested size, possibly coarsened by
+    /// the cell-count cap; see [`GridIndex::with_bounds`]).
+    #[inline]
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// The extent the grid was laid out over: origin plus `cols × rows`
+    /// cells. Contains the build-time bounds (cell counts round up), and
+    /// rebuilding an index with these bounds preserves exact query
+    /// results — snapshot/restore relies on that.
+    #[inline]
+    pub fn bounds(&self) -> BoundingBox {
+        BoundingBox::new(
+            self.origin,
+            Point::new(
+                self.origin.x + self.cell_size * self.cols as f64,
+                self.origin.y + self.cell_size * self.rows as f64,
+            ),
+        )
+    }
+
     /// Number of indexed points.
     #[inline]
     pub fn len(&self) -> usize {

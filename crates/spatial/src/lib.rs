@@ -7,6 +7,8 @@
 //! * [`Point`] — a 2-D location with Euclidean distance helpers,
 //! * [`BoundingBox`] — axis-aligned extents,
 //! * [`GridIndex`] — a uniform-grid spatial index with radius queries,
+//! * [`ShardRouter`] — tile→shard striping for the sharded service
+//!   front-end (`ltc-core`'s `LtcService`),
 //! * [`convex_hull`] / [`ConvexPolygon`] — hull construction, containment
 //!   tests and uniform sampling inside a hull (used by the check-in
 //!   workload generator to place tasks "within the convex region of the
@@ -31,9 +33,11 @@ mod grid;
 mod hull;
 mod kdtree;
 mod point;
+mod shard;
 
 pub use bbox::BoundingBox;
 pub use grid::GridIndex;
 pub use hull::{convex_hull, ConvexPolygon};
 pub use kdtree::KdTree;
 pub use point::Point;
+pub use shard::ShardRouter;

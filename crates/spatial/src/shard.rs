@@ -1,0 +1,213 @@
+//! Tile→shard routing for spatially partitioned services.
+//!
+//! A sharded LTC deployment partitions its task pool by location so that
+//! independent regions can be served by independent engines (and
+//! threads). The natural partition boundary is the same uniform tiling
+//! [`GridIndex`](crate::GridIndex) queries run on: this module maps tile
+//! coordinates to shard ids.
+//!
+//! The mapping is **striped by tile column**: the region's columns are
+//! split into `n_shards` contiguous runs of (nearly) equal width. Stripes
+//! keep routing monotone in `x`, which gives the two properties a
+//! check-in front-end needs:
+//!
+//! * a point routes to exactly one shard in O(1), and
+//! * the shards whose territory a query disk can touch form one
+//!   *contiguous* range of shard ids ([`ShardRouter::shards_within`]) —
+//!   usually a single shard when the stripe width is large against the
+//!   query radius, so most check-ins are handled entirely shard-locally.
+//!
+//! Out-of-region points clamp into the border stripes, mirroring
+//! [`GridIndex`](crate::GridIndex)'s clamping: routing never fails, it
+//! only degrades for points outside the declared service region.
+
+use crate::{BoundingBox, Point};
+
+/// Maps locations (via their grid-tile column) to shard ids.
+///
+/// ```
+/// use ltc_spatial::{BoundingBox, Point, ShardRouter};
+/// let region = BoundingBox::new(Point::ORIGIN, Point::new(1000.0, 1000.0));
+/// let router = ShardRouter::new(4, 30.0, region);
+/// let shard = router.shard_of(Point::new(10.0, 500.0));
+/// assert_eq!(shard, 0);
+/// assert_eq!(router.shard_of(Point::new(990.0, 500.0)), 3);
+/// // A query disk near a stripe boundary may touch two shards.
+/// let range = router.shards_within(Point::new(250.0, 500.0), 30.0);
+/// assert!(range.contains(&router.shard_of(Point::new(250.0, 500.0))));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardRouter {
+    n_shards: usize,
+    /// Tile size the striping is quantized to.
+    cell_size: f64,
+    /// Left edge of the tiled region.
+    origin_x: f64,
+    /// Total tile columns over the region width.
+    cols: usize,
+}
+
+impl ShardRouter {
+    /// A router striping `region`'s tile columns (tiles of `cell_size`)
+    /// over `n_shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` is zero or `cell_size` is not strictly
+    /// positive and finite.
+    pub fn new(n_shards: usize, cell_size: f64, region: BoundingBox) -> Self {
+        assert!(n_shards > 0, "a router needs at least one shard");
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell_size must be positive and finite, got {cell_size}"
+        );
+        let cols = ((region.width() / cell_size).floor() as usize + 1).max(n_shards);
+        Self {
+            n_shards,
+            cell_size,
+            origin_x: region.min.x,
+            cols,
+        }
+    }
+
+    /// Number of shards routed over.
+    #[inline]
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// The tile column of a point, clamped into the region.
+    #[inline]
+    fn col_of(&self, x: f64) -> usize {
+        let c = ((x - self.origin_x) / self.cell_size).floor();
+        (c.max(0.0) as usize).min(self.cols - 1)
+    }
+
+    /// The shard owning a tile column: contiguous stripes of
+    /// `ceil(cols / n_shards)` columns.
+    #[inline]
+    fn shard_of_col(&self, col: usize) -> usize {
+        (col * self.n_shards / self.cols).min(self.n_shards - 1)
+    }
+
+    /// The shard owning a point (exactly one; out-of-region points clamp
+    /// into the border stripes).
+    #[inline]
+    pub fn shard_of(&self, point: Point) -> usize {
+        self.shard_of_col(self.col_of(point.x))
+    }
+
+    /// The contiguous range of shards whose territory intersects the disk
+    /// `‖p − center‖ ≤ radius`. Conservative at tile granularity: every
+    /// shard owning a point of the disk is included, but a returned shard
+    /// may own no disk point (its tiles merely overlap the bounding
+    /// interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or non-finite.
+    pub fn shards_within(&self, center: Point, radius: f64) -> std::ops::RangeInclusive<usize> {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "radius must be non-negative and finite, got {radius}"
+        );
+        let lo = self.shard_of_col(self.col_of(center.x - radius));
+        let hi = self.shard_of_col(self.col_of(center.x + radius));
+        lo..=hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router(n: usize) -> ShardRouter {
+        ShardRouter::new(
+            n,
+            30.0,
+            BoundingBox::new(Point::ORIGIN, Point::new(1000.0, 1000.0)),
+        )
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let r = router(1);
+        for x in [-100.0, 0.0, 500.0, 999.0, 5000.0] {
+            assert_eq!(r.shard_of(Point::new(x, 0.0)), 0);
+            assert_eq!(r.shards_within(Point::new(x, 0.0), 30.0), 0..=0);
+        }
+    }
+
+    #[test]
+    fn stripes_are_monotone_and_cover_all_shards() {
+        let r = router(4);
+        let mut last = 0;
+        let mut seen = [false; 4];
+        for i in 0..=1000 {
+            let s = r.shard_of(Point::new(i as f64, 0.0));
+            assert!(s >= last, "routing must be monotone in x");
+            assert!(s < 4);
+            seen[s] = true;
+            last = s;
+        }
+        assert!(seen.iter().all(|&s| s), "every shard owns some territory");
+    }
+
+    #[test]
+    fn disk_range_contains_every_point_shard() {
+        let r = router(8);
+        for cx in 0..100 {
+            let center = Point::new(cx as f64 * 10.0, 500.0);
+            let range = r.shards_within(center, 45.0);
+            // Sample points of the disk; each must route into the range.
+            for dx in [-45.0, -30.0, 0.0, 30.0, 45.0] {
+                let s = r.shard_of(Point::new(center.x + dx, center.y));
+                assert!(
+                    range.contains(&s),
+                    "point shard {s} outside range {range:?} at cx {cx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interior_disks_stay_shard_local() {
+        let r = router(4);
+        // Stripe width is 250; a 30-radius disk at a stripe center
+        // touches exactly one shard.
+        let range = r.shards_within(Point::new(125.0, 500.0), 30.0);
+        assert_eq!(range.clone().count(), 1);
+        assert_eq!(range, 0..=0);
+    }
+
+    #[test]
+    fn out_of_region_points_clamp_to_border_shards() {
+        let r = router(4);
+        assert_eq!(r.shard_of(Point::new(-1e6, 0.0)), 0);
+        assert_eq!(r.shard_of(Point::new(1e6, 0.0)), 3);
+    }
+
+    #[test]
+    fn more_shards_than_columns_still_routes() {
+        // A tiny region with huge cells: cols is clamped up to n_shards
+        // so every shard id stays reachable and routing stays total.
+        let r = ShardRouter::new(
+            8,
+            100.0,
+            BoundingBox::new(Point::ORIGIN, Point::new(10.0, 10.0)),
+        );
+        let s = r.shard_of(Point::new(5.0, 5.0));
+        assert!(s < 8);
+        assert!(r.shards_within(Point::new(5.0, 5.0), 3.0).all(|i| i < 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardRouter::new(
+            0,
+            1.0,
+            BoundingBox::new(Point::ORIGIN, Point::new(1.0, 1.0)),
+        );
+    }
+}

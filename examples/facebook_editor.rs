@@ -68,7 +68,7 @@ fn main() {
     assert_eq!(exact.optimal_latency, Some(6));
 }
 
-fn report(name: &str, latency: Option<u32>, inst: &Instance) {
+fn report(name: &str, latency: Option<u64>, inst: &Instance) {
     match latency {
         Some(l) => println!(
             "  {name:18} latency = {l}  (of {} workers)",
@@ -80,7 +80,7 @@ fn report(name: &str, latency: Option<u32>, inst: &Instance) {
 
 fn print_trace(name: &str, arrangement: &Arrangement) {
     print!("    {name} trace:");
-    let mut last_worker = u32::MAX;
+    let mut last_worker = u64::MAX;
     for a in arrangement.assignments() {
         if a.worker.0 != last_worker {
             print!("  w{}→", a.worker.arrival_index());

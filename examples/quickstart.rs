@@ -1,4 +1,5 @@
-//! Quickstart: build a small spatial-crowdsourcing scenario, arrange it
+//! Quickstart: build a small spatial-crowdsourcing scenario, serve it
+//! through the sharded `LtcService` facade, arrange the same instance
 //! online with AAM, and validate the quality guarantee empirically.
 //!
 //! ```text
@@ -6,6 +7,40 @@
 //! ```
 
 use ltc::prelude::*;
+use std::num::NonZeroUsize;
+
+/// The service facade in five lines: post tasks, stream check-ins, react
+/// to typed events.
+fn service_demo(params: ProblemParams) {
+    let region = ltc::spatial::BoundingBox::new(Point::ORIGIN, Point::new(200.0, 20.0));
+    let mut service = ServiceBuilder::new(params, region)
+        .algorithm(Algorithm::Aam)
+        .shards(NonZeroUsize::new(2).unwrap())
+        .build()
+        .expect("valid configuration");
+    for i in 0..6 {
+        service
+            .post_task(Task::new(Point::new(30.0 * i as f64, 0.0)))
+            .expect("in-region task");
+    }
+    let mut arrivals = 0u64;
+    while !service.all_completed() {
+        let x = (arrivals as f64 * 29.0) % 200.0;
+        for event in service.check_in(&Worker::new(Point::new(x, 1.0), 0.92)) {
+            if let Event::TaskCompleted { task, latency } = event {
+                println!("  task {} completed at arrival index {latency}", task.0);
+            }
+        }
+        arrivals += 1;
+    }
+    println!(
+        "service: {} tasks done after {} check-ins on {} shards (latency {})",
+        service.n_tasks(),
+        service.n_workers_seen(),
+        service.n_shards(),
+        service.latency().unwrap()
+    );
+}
 
 fn main() {
     // Platform settings: ε = 0.1 (≥ 90% confidence per task), each worker
@@ -17,6 +52,9 @@ fn main() {
         .d_max(30.0)
         .build()
         .expect("valid parameters");
+
+    // The service facade is the primary entry point for live streams.
+    service_demo(params);
 
     // Ten POIs along a street, and a stream of 400 passers-by.
     let tasks: Vec<Task> = (0..10)

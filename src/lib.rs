@@ -14,43 +14,59 @@
 //!
 //! | Crate | Contents |
 //! |-------|----------|
-//! | [`mod@core`] | problem model + streaming engine + all six algorithms |
-//! | [`spatial`] | geometry, evicting grid index, KD-tree, convex hulls |
+//! | [`mod@core`] | model + engine + **`LtcService` facade** + all six algorithms |
+//! | [`spatial`] | geometry, evicting grid index, shard router, KD-tree, hulls |
 //! | [`mcmf`] | min-cost max-flow (SSPA) |
 //! | [`workload`] | Table IV / Table V dataset generators |
 //! | [`sim`] | ground truth, voting, error rates, truth inference |
 //!
-//! ## Streaming quickstart
+//! ## The service facade (start here)
 //!
-//! The core abstraction is the [`AssignmentEngine`](core::engine::AssignmentEngine):
-//! an owned, incremental engine that ingests worker check-ins one at a
-//! time, commits assignments irrevocably through a pluggable online
-//! policy, and evicts completed tasks from its spatial index so the
-//! per-worker eligibility query shrinks as work finishes.
+//! The primary public API is
+//! [`LtcService`](core::service::LtcService), built through
+//! [`ServiceBuilder`](core::service::ServiceBuilder): one entry point
+//! owning spatial sharding, worker/task routing, typed [`Event`](core::service::Event)s,
+//! batched multi-threaded dispatch, and
+//! [`snapshot`](core::service::LtcService::snapshot)/[`restore`](core::service::LtcService::restore)
+//! for crash recovery. With `shards = 1` its output is bit-identical to
+//! driving the low-level engine by hand; with more shards, independent
+//! regions are served by independent engines (and threads).
 //!
 //! ```
 //! use ltc::prelude::*;
 //! use ltc::spatial::BoundingBox;
+//! use std::num::NonZeroUsize;
 //!
 //! let params = ProblemParams::builder().epsilon(0.2).capacity(2).build().unwrap();
-//! let region = BoundingBox::new(Point::ORIGIN, Point::new(50.0, 50.0));
-//! let mut engine = AssignmentEngine::new(params, region).unwrap();
-//! let mut policy = Aam::new();
+//! let region = BoundingBox::new(Point::ORIGIN, Point::new(100.0, 100.0));
+//! let mut service = ServiceBuilder::new(params, region)
+//!     .algorithm(Algorithm::Aam)
+//!     .shards(NonZeroUsize::new(2).unwrap())
+//!     .build()
+//!     .unwrap();
 //!
-//! // Tasks can be posted at any time, workers stream in one by one.
-//! engine.add_task(Task::new(Point::new(10.0, 10.0))).unwrap();
-//! while !engine.all_completed() {
-//!     let batch = engine.push_worker(&Worker::new(Point::new(10.5, 10.0), 0.95), &mut policy);
-//!     for a in batch.iter() {
-//!         println!("worker {} -> task {}", a.worker.0, a.task.0);
+//! // Tasks post at any time; workers stream in one by one (or in
+//! // batches via `check_in_batch`, which fans out across shard threads).
+//! service.post_task(Task::new(Point::new(10.0, 10.0))).unwrap();
+//! while !service.all_completed() {
+//!     for event in service.check_in(&Worker::new(Point::new(10.5, 10.0), 0.95)) {
+//!         match event {
+//!             Event::Assigned { worker, task, gain, .. } => {
+//!                 println!("worker {} -> task {} (+{gain:.2})", worker.0, task.0)
+//!             }
+//!             Event::TaskCompleted { task, latency } => {
+//!                 println!("task {} done at arrival {latency}", task.0)
+//!             }
+//!             Event::WorkerIdle { .. } => {}
+//!         }
 //!     }
 //! }
-//! assert!(engine.into_outcome().completed);
+//! println!("latency = {} workers", service.latency().unwrap());
 //! ```
 //!
-//! The same engine also serves the CLI's `ltc stream` subcommand, which
-//! reads check-ins line by line (stdin or file) and emits assignments as
-//! NDJSON.
+//! The same facade powers the CLI: `ltc stream --shards N` serves NDJSON
+//! events, `ltc snapshot`/`ltc resume` persist and continue a live
+//! service.
 //!
 //! ## Batch quickstart
 //!
@@ -73,6 +89,17 @@
 //! let report = simulate(&instance, &outcome.arrangement, &truth, 200, 7);
 //! assert!(report.max_task_error_rate() < instance.params().epsilon + 0.05);
 //! ```
+//!
+//! ## Deprecated entry points
+//!
+//! Hand-wiring [`AssignmentEngine`](core::engine::AssignmentEngine)
+//! (`new`/`from_instance` + a `push_worker` loop + a fistful of read
+//! accessors) is soft-deprecated as a *front-end*: it remains the
+//! supported low-level substrate the service and the offline algorithms
+//! run on, but new callers should go through
+//! [`ServiceBuilder`](core::service::ServiceBuilder) — it is the only
+//! entry point that gets sharding, typed events, batching, and
+//! snapshotting right by construction.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -93,7 +120,10 @@ pub mod prelude {
     };
     pub use ltc_core::offline::{BaseOff, ExactSolver, McfLtc};
     pub use ltc_core::online::{run_online, Aam, Laf, OnlineAlgorithm, RandomAssign};
+    pub use ltc_core::service::{
+        Algorithm, Event, LtcService, ServiceBuilder, ServiceError, ServiceSnapshot,
+    };
     pub use ltc_sim::{simulate, GroundTruth};
-    pub use ltc_spatial::Point;
+    pub use ltc_spatial::{Point, ShardRouter};
     pub use ltc_workload::{AccuracyDistribution, CheckinCityConfig, SyntheticConfig};
 }

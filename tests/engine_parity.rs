@@ -19,7 +19,7 @@ const EPS: f64 = 1e-9;
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct RefAssignment {
-    worker: u32,
+    worker: u64,
     task: u32,
     acc: f64,
     contribution: f64,
@@ -36,7 +36,7 @@ enum RefAlgo {
 /// enumerate eligible uncompleted tasks by brute-force scan (ascending
 /// id), apply the decision rule, commit irrevocably, stop when all tasks
 /// reach δ.
-fn reference_run(instance: &Instance, algo: RefAlgo) -> (Vec<RefAssignment>, Option<u32>) {
+fn reference_run(instance: &Instance, algo: RefAlgo) -> (Vec<RefAssignment>, Option<u64>) {
     let n_tasks = instance.n_tasks();
     let delta = instance.delta();
     let capacity = instance.params().capacity as usize;
@@ -49,7 +49,7 @@ fn reference_run(instance: &Instance, algo: RefAlgo) -> (Vec<RefAssignment>, Opt
         _ => None,
     };
 
-    for w in 0..instance.n_workers() as u32 {
+    for w in 0..instance.n_workers() as u64 {
         if n_uncompleted == 0 {
             break;
         }
@@ -160,7 +160,7 @@ fn reference_run(instance: &Instance, algo: RefAlgo) -> (Vec<RefAssignment>, Opt
     (trace, latency)
 }
 
-fn engine_run(instance: &Instance, algo: RefAlgo) -> (Vec<RefAssignment>, Option<u32>) {
+fn engine_run(instance: &Instance, algo: RefAlgo) -> (Vec<RefAssignment>, Option<u64>) {
     let outcome = match algo {
         RefAlgo::Laf => run_online(instance, &mut Laf::new()),
         RefAlgo::Aam => run_online(instance, &mut Aam::new()),
@@ -240,6 +240,92 @@ fn aam_matches_reference_on_seeded_instances() {
 fn random_matches_reference_on_seeded_instances() {
     for seed in [7u64, 11, 13] {
         assert_parity(RefAlgo::Random { seed });
+    }
+}
+
+/// Streams the instance through a single-shard [`LtcService`] and
+/// extracts the committed trace from its typed events.
+fn service_run(instance: &Instance, algo: RefAlgo) -> (Vec<RefAssignment>, Option<u64>) {
+    use ltc::core::service::{Algorithm, Event, ServiceBuilder};
+    let algorithm = match algo {
+        RefAlgo::Laf => Algorithm::Laf,
+        RefAlgo::Aam => Algorithm::Aam,
+        RefAlgo::Random { seed } => Algorithm::Random { seed },
+    };
+    let mut service = ServiceBuilder::from_instance(instance)
+        .algorithm(algorithm)
+        .build()
+        .unwrap();
+    let mut trace = Vec::new();
+    for worker in instance.workers() {
+        if service.all_completed() {
+            break;
+        }
+        for event in service.check_in(worker) {
+            if let Event::Assigned {
+                worker,
+                task,
+                acc,
+                gain,
+            } = event
+            {
+                trace.push(RefAssignment {
+                    worker: worker.0,
+                    task: task.0,
+                    acc,
+                    contribution: gain,
+                });
+            }
+        }
+    }
+    (trace, service.latency())
+}
+
+/// The acceptance bar for the service facade: with `shards = 1` it must
+/// be **bit-identical** to `AssignmentEngine::push_worker` on the whole
+/// parity suite, for every online policy.
+#[test]
+fn single_shard_service_is_bit_identical_to_the_engine() {
+    let algos = [
+        RefAlgo::Laf,
+        RefAlgo::Aam,
+        RefAlgo::Random { seed: 7 },
+        RefAlgo::Random { seed: 13 },
+    ];
+    for (name, inst) in parity_instances() {
+        for algo in algos {
+            let (eng_trace, eng_latency) = engine_run(&inst, algo);
+            let (svc_trace, svc_latency) = service_run(&inst, algo);
+            assert_eq!(
+                eng_trace.len(),
+                svc_trace.len(),
+                "{algo:?} on {name}: assignment counts diverge"
+            );
+            for (i, (e, s)) in eng_trace.iter().zip(svc_trace.iter()).enumerate() {
+                assert_eq!(
+                    e.worker, s.worker,
+                    "{algo:?} on {name}: worker of assignment #{i} diverges"
+                );
+                assert_eq!(
+                    e.task, s.task,
+                    "{algo:?} on {name}: task of assignment #{i} diverges"
+                );
+                assert_eq!(
+                    e.acc.to_bits(),
+                    s.acc.to_bits(),
+                    "{algo:?} on {name}: acc of assignment #{i} diverges"
+                );
+                assert_eq!(
+                    e.contribution.to_bits(),
+                    s.contribution.to_bits(),
+                    "{algo:?} on {name}: contribution of assignment #{i} diverges"
+                );
+            }
+            assert_eq!(
+                eng_latency, svc_latency,
+                "{algo:?} on {name}: latency diverges"
+            );
+        }
     }
 }
 

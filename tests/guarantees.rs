@@ -47,7 +47,7 @@ fn random_instance(seed: u64) -> Instance {
 /// *may* legitimately exhaust a tight stream that the optimum could have
 /// finished (the competitive analysis assumes the adversary still lets the
 /// algorithm terminate), so incompleteness is tallied rather than failed.
-fn check_ratio(name: &str, latency: Option<u32>, opt: u32, ratio: f64) -> bool {
+fn check_ratio(name: &str, latency: Option<u64>, opt: u64, ratio: f64) -> bool {
     match latency {
         Some(l) => {
             assert!(

@@ -79,7 +79,7 @@ fn dataset_file_roundtrip_preserves_algorithm_behaviour() {
 #[test]
 fn latency_improves_with_capacity() {
     // The paper's Fig. 3b shape: higher K ⇒ lower (or equal) latency.
-    let mut last = u32::MAX;
+    let mut last = u64::MAX;
     for capacity in [2u32, 4, 8] {
         let instance = SyntheticConfig {
             capacity,

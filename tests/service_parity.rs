@@ -1,0 +1,210 @@
+//! Differential tests for the sharded [`LtcService`] facade:
+//!
+//! * **shard parity** — a 4-shard LAF service and a 1-shard run commit
+//!   identical assignments worker by worker on seeded/property-generated
+//!   instances (LAF's selection key *is* the service's merge tie-break,
+//!   so spatial sharding must not change its decisions), which in
+//!   particular means every worker is assigned tasks of equal gain;
+//! * **multi-shard AAM invariants** — the approximate multi-shard AAM
+//!   stays feasible: capacity respected, no duplicate pairs, completion
+//!   agrees with the accumulated qualities;
+//! * **snapshot differential** — serialize → restore mid-stream and
+//!   continue: the stitched event stream must equal an uninterrupted
+//!   run's, byte for byte at the event level.
+
+use ltc::core::service::{Algorithm, Event, LtcService, ServiceBuilder};
+use ltc::core::snapshot::{load_service, save_service};
+use ltc::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::num::NonZeroUsize;
+
+fn synthetic(seed: u64, n_tasks: usize, n_workers: usize, capacity: u32, epsilon: f64) -> Instance {
+    SyntheticConfig {
+        n_tasks,
+        n_workers,
+        capacity,
+        epsilon,
+        grid_size: 300.0,
+        seed,
+        ..SyntheticConfig::default()
+    }
+    .generate()
+}
+
+fn service(instance: &Instance, shards: usize, algorithm: Algorithm) -> LtcService {
+    ServiceBuilder::from_instance(instance)
+        .algorithm(algorithm)
+        .shards(NonZeroUsize::new(shards).unwrap())
+        .build()
+        .unwrap()
+}
+
+/// Streams every instance worker through the service serially, stopping
+/// early on completion like `run_online`, and returns each worker's
+/// events.
+fn stream_events(service: &mut LtcService, instance: &Instance) -> Vec<Vec<Event>> {
+    let mut out = Vec::new();
+    for worker in instance.workers() {
+        if service.all_completed() {
+            break;
+        }
+        out.push(service.check_in(worker));
+    }
+    out
+}
+
+fn assigned_of(events: &[Event]) -> Vec<(u64, u32, f64, f64)> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Assigned {
+                worker,
+                task,
+                acc,
+                gain,
+            } => Some((worker.0, task.0, *acc, *gain)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn check_laf_shard_parity(instance: &Instance) {
+    let mut single = service(instance, 1, Algorithm::Laf);
+    let mut sharded = service(instance, 4, Algorithm::Laf);
+    let a = stream_events(&mut single, instance);
+    let b = stream_events(&mut sharded, instance);
+    assert_eq!(a.len(), b.len(), "worker streams diverged in length");
+    for (w, (ea, eb)) in a.iter().zip(&b).enumerate() {
+        let (ia, ib) = (assigned_of(ea), assigned_of(eb));
+        assert_eq!(ia, ib, "worker {w}: sharded LAF diverged from single-shard");
+        // The satellite property, spelled out: equal best gain per worker.
+        let best =
+            |v: &[(u64, u32, f64, f64)]| v.iter().map(|x| x.3).fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(best(&ia), best(&ib));
+    }
+    assert_eq!(single.latency(), sharded.latency());
+    assert_eq!(single.n_assignments(), sharded.n_assignments());
+}
+
+#[test]
+fn four_shard_laf_matches_single_shard_on_seeded_instances() {
+    for (seed, n_tasks, n_workers, capacity, epsilon) in [
+        (11u64, 40usize, 600usize, 2u32, 0.20f64),
+        (12, 80, 1200, 6, 0.14),
+        (13, 15, 400, 1, 0.30),
+        (14, 120, 2000, 4, 0.10),
+    ] {
+        let inst = synthetic(seed, n_tasks, n_workers, capacity, epsilon);
+        check_laf_shard_parity(&inst);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property form of the shard-parity guarantee over random shapes.
+    #[test]
+    fn four_shard_laf_matches_single_shard_property(
+        seed in 0u64..10_000,
+        n_tasks in 5usize..60,
+        n_workers in 100usize..500,
+        capacity in 1u32..5,
+    ) {
+        let inst = synthetic(seed, n_tasks, n_workers, capacity, 0.2);
+        check_laf_shard_parity(&inst);
+    }
+}
+
+#[test]
+fn multi_shard_aam_respects_the_core_invariants() {
+    for seed in [3u64, 5, 7] {
+        let inst = synthetic(seed, 50, 900, 3, 0.18);
+        let mut svc = service(&inst, 4, Algorithm::Aam);
+        let events: Vec<Event> = stream_events(&mut svc, &inst)
+            .into_iter()
+            .flatten()
+            .collect();
+        let mut load: HashMap<u64, u32> = HashMap::new();
+        let mut pairs = std::collections::HashSet::new();
+        let mut quality = vec![0.0f64; inst.n_tasks()];
+        let mut completed_events = std::collections::HashSet::new();
+        for e in &events {
+            match e {
+                Event::Assigned {
+                    worker, task, gain, ..
+                } => {
+                    let l = load.entry(worker.0).or_insert(0);
+                    *l += 1;
+                    assert!(*l <= inst.params().capacity, "capacity violated");
+                    assert!(pairs.insert((worker.0, task.0)), "duplicate pair");
+                    quality[task.0 as usize] += gain;
+                }
+                Event::TaskCompleted { task, latency } => {
+                    assert!(completed_events.insert(task.0), "task completed twice");
+                    assert!(*latency >= 1);
+                }
+                Event::WorkerIdle { .. } => {}
+            }
+        }
+        // Every task the service reports complete accumulated >= δ, and
+        // the TaskCompleted events cover exactly that set.
+        let delta = inst.delta();
+        for t in 0..inst.n_tasks() as u32 {
+            assert_eq!(
+                svc.is_completed(ltc::core::model::TaskId(t)),
+                completed_events.contains(&t),
+                "completion events disagree with service state for task {t}"
+            );
+            if completed_events.contains(&t) {
+                assert!(quality[t as usize] >= delta - 1e-9);
+            }
+        }
+    }
+}
+
+/// The snapshot differential: interrupt a sharded AAM service mid-stream,
+/// round-trip its state through the v1 text format, and continue — the
+/// stitched run must be indistinguishable from an uninterrupted one.
+#[test]
+fn snapshot_restore_continue_matches_uninterrupted_run() {
+    for (seed, shards, cut) in [(21u64, 3usize, 200usize), (22, 4, 350), (23, 1, 101)] {
+        let inst = synthetic(seed, 60, 1000, 3, 0.16);
+        let algo = Algorithm::Aam;
+
+        let mut uninterrupted = service(&inst, shards, algo);
+        let full = stream_events(&mut uninterrupted, &inst);
+
+        let mut first = service(&inst, shards, algo);
+        let mut stitched: Vec<Vec<Event>> = Vec::new();
+        for worker in &inst.workers()[..cut] {
+            if first.all_completed() {
+                break;
+            }
+            stitched.push(first.check_in(worker));
+        }
+        // Serialize to text and back — not just an in-memory clone.
+        let mut buf = Vec::new();
+        save_service(&first, &mut buf).unwrap();
+        let mut restored = load_service(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(restored.n_workers_seen(), first.n_workers_seen());
+        if !restored.all_completed() {
+            for worker in &inst.workers()[restored.n_workers_seen() as usize..] {
+                if restored.all_completed() {
+                    break;
+                }
+                stitched.push(restored.check_in(worker));
+            }
+        }
+        assert_eq!(full, stitched, "seed {seed}: restored run diverged");
+        assert_eq!(uninterrupted.latency(), restored.latency());
+        assert_eq!(uninterrupted.n_assignments(), restored.n_assignments());
+        for t in 0..inst.n_tasks() as u32 {
+            let t = ltc::core::model::TaskId(t);
+            assert_eq!(
+                uninterrupted.quality(t).to_bits(),
+                restored.quality(t).to_bits()
+            );
+        }
+    }
+}
