@@ -11,10 +11,11 @@ USAGE:
                [--epsilon E] [--out FILE]
   ltc run      --input FILE --algo <aam|laf|random|mcf-ltc|base-off> [--stats]
   ltc stream   --input FILE --algo <aam|laf|random> [--checkins FILE]
-               [--seed S] [--shards N] [--snapshot-out FILE]
+               [--seed S] [--shards N] [--pipeline D] [--snapshot-out FILE]
   ltc snapshot --input FILE --algo <aam|laf|random> --out FILE
-               [--checkins FILE] [--seed S] [--shards N]
-  ltc resume   --snapshot FILE [--checkins FILE] [--snapshot-out FILE]
+               [--checkins FILE] [--seed S] [--shards N] [--pipeline D]
+  ltc resume   --snapshot FILE [--checkins FILE] [--pipeline D]
+               [--snapshot-out FILE]
   ltc exact    --input FILE [--budget NODES]
   ltc simulate --input FILE --algo <...> [--trials N] [--seed S]
   ltc bounds   --input FILE
@@ -26,7 +27,8 @@ quantiles, capacity utilization and quality overshoot. `simulate` samples
 crowd answers and compares weighted-majority aggregation against plain
 majority and EM truth inference.
 
-`stream` serves check-ins through the sharded LtcService: tasks and
+`stream` serves check-ins through the pipelined service runtime
+(persistent shard threads behind bounded mailboxes): tasks and
 parameters come from --input (its worker records are ignored), worker
 check-ins are read line by line from --checkins (default: stdin) as
 `x<TAB>y<TAB>accuracy` (the dataset `worker` record also parses), and each
@@ -34,11 +36,16 @@ worker's committed assignments are emitted immediately as one NDJSON line,
 ending with a summary line. Check-ins below the spam threshold are
 skipped. --shards N partitions the task pool spatially over N engine
 shards (default 1; single-shard output is bit-identical to the engine).
+--pipeline D keeps up to D check-ins in flight across the shard threads
+(default 1 = lockstep, byte-stable output; with D > 1 the stream may
+consume up to D-1 extra check-ins past completion — they assign nothing,
+but the summary's worker count includes them).
 
 `snapshot` is `stream` that also writes the service state to --out when
 the check-ins are exhausted (or every task completed); `stream
 --snapshot-out` does the same. `resume` restores a service from such a
-snapshot file and keeps streaming where it left off.";
+snapshot file and keeps streaming where it left off (random policies
+continue their RNG streams bit-exactly).";
 
 /// Which arrangement algorithm a command should run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,6 +147,9 @@ pub enum Command {
         seed: u64,
         /// Engine shards the task pool is spatially partitioned over.
         shards: usize,
+        /// Check-ins kept in flight across the shard runtime (1 =
+        /// lockstep, byte-stable output).
+        pipeline: usize,
         /// Where to write the final service snapshot, if anywhere.
         snapshot_out: Option<String>,
     },
@@ -149,6 +159,8 @@ pub enum Command {
         snapshot: String,
         /// Check-in source (`None` = stdin).
         checkins: Option<String>,
+        /// Check-ins kept in flight across the shard runtime.
+        pipeline: usize,
         /// Where to write the updated snapshot, if anywhere.
         snapshot_out: Option<String>,
     },
@@ -295,6 +307,7 @@ impl Command {
                         "--checkins",
                         "--seed",
                         "--shards",
+                        "--pipeline",
                         "--snapshot-out",
                     ]
                 } else {
@@ -304,6 +317,7 @@ impl Command {
                         "--checkins",
                         "--seed",
                         "--shards",
+                        "--pipeline",
                         "--out",
                     ]
                 };
@@ -326,6 +340,7 @@ impl Command {
                 if shards == 0 {
                     return Err(ParseError("--shards must be positive".into()));
                 }
+                let pipeline = parse_pipeline(&mut flags)?;
                 let snapshot_out = if cmd == "stream" {
                     flags.value("--snapshot-out")?.map(str::to_string)
                 } else {
@@ -345,17 +360,24 @@ impl Command {
                         None => 0x5EED,
                     },
                     shards,
+                    pipeline,
                     snapshot_out,
                 })
             }
             "resume" => {
-                flags.reject_unknown(&["--snapshot", "--checkins", "--snapshot-out"])?;
+                flags.reject_unknown(&[
+                    "--snapshot",
+                    "--checkins",
+                    "--pipeline",
+                    "--snapshot-out",
+                ])?;
                 Ok(Command::Resume {
                     snapshot: flags
                         .value("--snapshot")?
                         .ok_or_else(|| ParseError("resume requires --snapshot FILE".into()))?
                         .to_string(),
                     checkins: flags.value("--checkins")?.map(str::to_string),
+                    pipeline: parse_pipeline(&mut flags)?,
                     snapshot_out: flags.value("--snapshot-out")?.map(str::to_string),
                 })
             }
@@ -397,6 +419,17 @@ impl Command {
             other => Err(ParseError(format!("unknown command `{other}`"))),
         }
     }
+}
+
+fn parse_pipeline(flags: &mut Flags<'_>) -> Result<usize, ParseError> {
+    let pipeline = match flags.value("--pipeline")? {
+        Some(v) => parse_num::<usize>(v, "pipeline depth")?,
+        None => 1,
+    };
+    if pipeline == 0 {
+        return Err(ParseError("--pipeline must be positive".into()));
+    }
+    Ok(pipeline)
 }
 
 fn required_input(flags: &mut Flags<'_>) -> Result<String, ParseError> {
@@ -514,12 +547,13 @@ mod tests {
                 checkins: None,
                 seed: 0x5EED,
                 shards: 1,
+                pipeline: 1,
                 snapshot_out: None,
             }
         );
         let cmd = Command::parse(&argv(
             "stream --input x.tsv --algo random --checkins c.tsv --seed 7 --shards 4 \
-             --snapshot-out s.ltc",
+             --pipeline 32 --snapshot-out s.ltc",
         ))
         .unwrap();
         assert_eq!(
@@ -530,6 +564,7 @@ mod tests {
                 checkins: Some("c.tsv".into()),
                 seed: 7,
                 shards: 4,
+                pipeline: 32,
                 snapshot_out: Some("s.ltc".into()),
             }
         );
@@ -541,6 +576,7 @@ mod tests {
         assert!(err.to_string().contains("online algorithm"));
         assert!(Command::parse(&argv("stream --algo aam")).is_err());
         assert!(Command::parse(&argv("stream --input x.tsv --algo aam --shards 0")).is_err());
+        assert!(Command::parse(&argv("stream --input x.tsv --algo aam --pipeline 0")).is_err());
     }
 
     #[test]
@@ -554,13 +590,14 @@ mod tests {
                 checkins: None,
                 seed: 0x5EED,
                 shards: 1,
+                pipeline: 1,
                 snapshot_out: Some("s.ltc".into()),
             }
         );
         assert!(Command::parse(&argv("snapshot --input x.tsv --algo laf")).is_err());
 
         let cmd = Command::parse(&argv(
-            "resume --snapshot s.ltc --checkins c.tsv --snapshot-out s2.ltc",
+            "resume --snapshot s.ltc --checkins c.tsv --pipeline 8 --snapshot-out s2.ltc",
         ))
         .unwrap();
         assert_eq!(
@@ -568,6 +605,7 @@ mod tests {
             Command::Resume {
                 snapshot: "s.ltc".into(),
                 checkins: Some("c.tsv".into()),
+                pipeline: 8,
                 snapshot_out: Some("s2.ltc".into()),
             }
         );

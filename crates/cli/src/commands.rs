@@ -6,7 +6,9 @@ use ltc_core::metrics::ArrangementStats;
 use ltc_core::model::{Instance, RunOutcome, Worker};
 use ltc_core::offline::{BaseOff, ExactSolver, McfLtc};
 use ltc_core::online::{run_online, Aam, Laf, RandomAssign};
-use ltc_core::service::{Algorithm, Event, LtcService, ServiceBuilder};
+use ltc_core::service::{
+    Algorithm, Event, EventStream, ServiceBuilder, ServiceHandle, StreamEvent,
+};
 use ltc_core::snapshot as snapshot_format;
 use ltc_sim::{infer_em, infer_majority, simulate, AnswerSet, EmConfig, GroundTruth};
 use ltc_spatial::Point;
@@ -35,6 +37,7 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
             checkins,
             seed,
             shards,
+            pipeline,
             snapshot_out,
         } => stream_cmd(
             &input,
@@ -42,14 +45,22 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
             checkins.as_deref(),
             seed,
             shards,
+            pipeline,
             snapshot_out.as_deref(),
             out,
         ),
         Command::Resume {
             snapshot,
             checkins,
+            pipeline,
             snapshot_out,
-        } => resume_cmd(&snapshot, checkins.as_deref(), snapshot_out.as_deref(), out),
+        } => resume_cmd(
+            &snapshot,
+            checkins.as_deref(),
+            pipeline,
+            snapshot_out.as_deref(),
+            out,
+        ),
         Command::Exact { input, budget } => exact(&input, budget, out),
         Command::Simulate {
             input,
@@ -259,43 +270,73 @@ fn service_algorithm(algo: AlgoChoice, seed: u64) -> Algorithm {
 }
 
 /// `ltc stream` / `ltc snapshot`: serve a line-by-line check-in stream
-/// through an [`LtcService`], emitting assignments as NDJSON and
-/// optionally writing the final service state.
+/// through a pipelined [`ServiceHandle`] session, emitting assignments
+/// as NDJSON and optionally writing the final service state.
+#[allow(clippy::too_many_arguments)]
 fn stream_cmd(
     input: &str,
     algo: AlgoChoice,
     checkins: Option<&str>,
     seed: u64,
     shards: usize,
+    pipeline: usize,
     snapshot_out: Option<&str>,
     out: &mut dyn Write,
 ) -> CmdResult {
     let instance = load(input)?;
-    let service = ServiceBuilder::from_instance(&instance)
+    let handle = ServiceBuilder::from_instance(&instance)
         .algorithm(service_algorithm(algo, seed))
         .shards(NonZeroUsize::new(shards).ok_or("--shards must be positive")?)
-        .build()?;
-    drive_stream(service, checkins, snapshot_out, out)
+        .start()?;
+    drive_stream(handle, checkins, pipeline, snapshot_out, out)
 }
 
-/// `ltc resume`: restore a service from a snapshot file and keep
+/// `ltc resume`: restore a session from a snapshot file and keep
 /// streaming.
 fn resume_cmd(
     snapshot: &str,
     checkins: Option<&str>,
+    pipeline: usize,
     snapshot_out: Option<&str>,
     out: &mut dyn Write,
 ) -> CmdResult {
     let file =
         std::fs::File::open(snapshot).map_err(|e| format!("cannot open `{snapshot}`: {e}"))?;
-    let service = snapshot_format::load_service(std::io::BufReader::new(file))?;
-    drive_stream(service, checkins, snapshot_out, out)
+    let decoded = snapshot_format::read_snapshot(std::io::BufReader::new(file))?;
+    let handle = ServiceHandle::restore(decoded)?;
+    drive_stream(handle, checkins, pipeline, snapshot_out, out)
 }
 
-/// The shared streaming loop behind `stream`, `snapshot`, and `resume`.
+/// Blocks until the next finished check-in arrives on the subscription,
+/// writes its NDJSON line, and decrements the in-flight count.
+fn pump_worker_event(
+    events: &EventStream,
+    in_flight: &mut usize,
+    out: &mut dyn Write,
+) -> CmdResult {
+    loop {
+        let Some(delivery) = events.next_event() else {
+            return Err("the service runtime stopped mid-stream".into());
+        };
+        if let StreamEvent::Worker { worker, events } = delivery {
+            write_stream_event(out, worker.0, &events)?;
+            *in_flight -= 1;
+            return Ok(());
+        }
+        // Lifecycle notices and task posts carry no NDJSON line.
+    }
+}
+
+/// The shared streaming loop behind `stream`, `snapshot`, and `resume`:
+/// submissions ride the persistent shard runtime with up to `pipeline`
+/// check-ins in flight (1 = lockstep, byte-stable against the
+/// synchronous facade), and each worker's events are written the moment
+/// they are delivered — which the runtime guarantees is in submission
+/// order.
 fn drive_stream(
-    mut service: LtcService,
+    mut handle: ServiceHandle,
     checkins: Option<&str>,
+    pipeline: usize,
     snapshot_out: Option<&str>,
     out: &mut dyn Write,
 ) -> CmdResult {
@@ -312,11 +353,18 @@ fn drive_stream(
         }
     };
 
-    let min_accuracy = service.params().min_accuracy;
+    let min_accuracy = handle.params().min_accuracy;
+    let depth = pipeline.max(1);
+    let events = handle.subscribe()?;
     let started = std::time::Instant::now();
     let mut spam_skipped: u64 = 0;
+    let mut in_flight: usize = 0;
     for (lineno, line) in reader.lines().enumerate() {
-        if service.all_completed() {
+        // With depth 1 every submission has been pumped before this
+        // check, so completion is observed exactly like the synchronous
+        // facade would; deeper pipelines may overshoot by the in-flight
+        // window (the extra check-ins idle and stay silent).
+        if handle.all_completed() {
             break;
         }
         let line = line?;
@@ -331,17 +379,24 @@ fn drive_stream(
             spam_skipped += 1;
             continue;
         }
-        let worker_idx = service.n_workers_seen();
-        let events = service.check_in(&worker);
-        write_stream_event(out, worker_idx, &events)?;
+        handle.submit_worker(&worker)?;
+        in_flight += 1;
+        while in_flight >= depth {
+            pump_worker_event(&events, &mut in_flight, out)?;
+        }
     }
+    while in_flight > 0 {
+        pump_worker_event(&events, &mut in_flight, out)?;
+    }
+    handle.drain()?;
 
     let elapsed = started.elapsed().as_secs_f64();
-    let completed = service.all_completed();
-    let workers = service.n_workers_seen();
-    let n_tasks = service.n_tasks();
-    let n_completed = n_tasks - service.n_uncompleted();
-    let latency = match service.latency() {
+    let completed = handle.all_completed();
+    let workers = handle.n_workers_seen();
+    let n_tasks = handle.n_tasks();
+    let metrics = handle.metrics()?;
+    let n_completed = metrics.n_completed;
+    let latency = match handle.latency() {
         Some(l) => l.to_string(),
         None => "null".to_string(),
     };
@@ -350,17 +405,18 @@ fn drive_stream(
         "{{\"summary\":true,\"algo\":\"{}\",\"workers\":{workers},\"spam_skipped\":{spam_skipped},\
          \"assignments\":{},\"tasks\":{n_tasks},\"completed_tasks\":{n_completed},\
          \"completed\":{completed},\"latency\":{latency},\"elapsed_s\":{elapsed:.6}}}",
-        service.algorithm().name(),
-        service.n_assignments(),
+        handle.algorithm().name(),
+        handle.n_assignments(),
     )?;
     if let Some(path) = snapshot_out {
+        let snapshot = handle.snapshot()?;
         let file =
             std::fs::File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))?;
-        snapshot_format::save_service(&service, std::io::BufWriter::new(file))?;
+        snapshot_format::write_snapshot(&snapshot, std::io::BufWriter::new(file))?;
         writeln!(
             out,
             "{{\"snapshot\":\"{path}\",\"shards\":{}}}",
-            service.n_shards()
+            handle.n_shards()
         )?;
     }
     Ok(())
@@ -651,6 +707,57 @@ mod tests {
         // service commits the same assignments.
         assert_eq!(strip(&one), strip(&four));
         assert!(one.contains("\"completed\":true"), "{one}");
+    }
+
+    #[test]
+    fn pipelined_stream_emits_the_same_assignment_lines() {
+        // Deeper pipelines overlap submissions with processing but must
+        // emit byte-identical assignment lines (the summary may count
+        // trailing in-flight check-ins, so it is compared field-wise).
+        let data_path = temp_path("stream_pipe.tsv");
+        let checkin_path = temp_path("stream_pipe_checkins.tsv");
+        let mut data = String::from("# ltc-dataset v1\nparams\t0.3\t2\t30\t0.66\n");
+        for t in 0..8 {
+            data.push_str(&format!("task\t{}\t5\n", t * 60));
+        }
+        std::fs::write(&data_path, &data).unwrap();
+        let mut checkins = String::new();
+        for i in 0..200 {
+            checkins.push_str(&format!("{}\t6\t0.9{}\n", (i % 8) * 60, i % 9));
+        }
+        std::fs::write(&checkin_path, &checkins).unwrap();
+        for (algo, shards) in [("laf", 1), ("laf", 4), ("aam", 1), ("random", 1)] {
+            let run = |pipeline: usize| {
+                run_cli(&format!(
+                    "stream --input {data_path} --algo {algo} --checkins {checkin_path} \
+                     --shards {shards} --pipeline {pipeline}"
+                ))
+            };
+            let (code1, lockstep) = run(1);
+            let (code16, deep) = run(16);
+            assert_eq!(code1, 0, "{lockstep}");
+            assert_eq!(code16, 0, "{deep}");
+            let assignment_lines = |s: &str| {
+                s.lines()
+                    .filter(|l| l.starts_with("{\"worker\""))
+                    .map(str::to_string)
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(
+                assignment_lines(&lockstep),
+                assignment_lines(&deep),
+                "{algo}/{shards}: pipelining changed the assignment stream"
+            );
+            // The summaries agree on everything decision-relevant.
+            let field = |s: &str, key: &str| {
+                let line = s.lines().find(|l| l.contains("\"summary\"")).unwrap();
+                let start = line.find(key).unwrap_or_else(|| panic!("{key} in {line}"));
+                line[start..].split([',', '}']).next().unwrap().to_string()
+            };
+            for key in ["\"assignments\"", "\"completed_tasks\"", "\"latency\""] {
+                assert_eq!(field(&lockstep, key), field(&deep, key), "{algo}/{shards}");
+            }
+        }
     }
 
     #[test]

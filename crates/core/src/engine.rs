@@ -322,6 +322,20 @@ impl AssignmentEngine {
         self.units[idx] = new;
     }
 
+    /// Cumulative count of task insertions the spatial index clamped into
+    /// border cells because they fell outside its declared region — the
+    /// operator signal that the region guess under-covers the workload
+    /// (queries stay exact but border buckets absorb extra distance
+    /// checks). Zero under [`Eligibility::Unrestricted`]. Not persisted
+    /// by snapshots (a restore re-inserts and re-counts the still-open
+    /// tasks).
+    #[inline]
+    pub fn index_clamped_insertions(&self) -> u64 {
+        self.task_index
+            .as_ref()
+            .map_or(0, |idx| idx.n_clamped_insertions())
+    }
+
     /// Accumulated quality of a task (`S[t]`).
     #[inline]
     pub fn quality(&self, t: TaskId) -> f64 {

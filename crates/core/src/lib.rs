@@ -15,21 +15,34 @@
 //! last recruited worker* (the latency to complete all tasks). It is
 //! NP-hard.
 //!
-//! ## Architecture: a sharded service over one streaming engine
+//! ## Architecture: a pipelined session API over one streaming engine
 //!
-//! Two layers:
+//! Three layers:
 //!
-//! * **[`service::LtcService`] — the primary public API.** Built via
-//!   [`service::ServiceBuilder`] (region, parameters, policy, shard
-//!   count, tile size, batch capacity), it partitions the task pool into
-//!   spatially-tiled engine shards, routes each check-in to the shard(s)
-//!   whose stripes its `d_max` disk touches, merges per-shard candidate
-//!   batches under a documented tie-break, and answers with typed
-//!   [`service::Event`]s. [`service::LtcService::check_in_batch`]
-//!   dispatches a batch across shard threads;
-//!   [`service::LtcService::snapshot`] / [`service::LtcService::restore`]
-//!   (serialized by [`snapshot`]) give bit-exact crash recovery. With
-//!   `shards = 1` the service is bit-identical to the raw engine.
+//! * **[`service::ServiceHandle`] — the primary public API.**
+//!   [`service::ServiceBuilder::start`] spins up one persistent thread
+//!   per spatial shard behind a bounded mailbox:
+//!   [`service::ServiceHandle::submit_worker`] and
+//!   [`service::ServiceHandle::post_task`] enqueue and return
+//!   immediately (a full mailbox applies back-pressure and announces
+//!   [`service::Lifecycle::ShardStalled`]), results stream to
+//!   [`service::ServiceHandle::subscribe`]rs as typed
+//!   [`service::StreamEvent`]s in exact submission order, and
+//!   [`service::ServiceHandle::drain`] /
+//!   [`service::ServiceHandle::snapshot`] /
+//!   [`service::ServiceHandle::shutdown`] give explicit lifecycle
+//!   control — the snapshot quiesces the mailboxes first, so the
+//!   versioned `ltc-snapshot v1` format (see [`snapshot`]) stays
+//!   bit-exact mid-stream, RNG stream positions included.
+//!
+//! * **[`service::LtcService`] — the synchronous facade** for
+//!   batch/replay work: the same sharded core served call by call on the
+//!   caller's thread. Pipelining never changes decisions — a handle run
+//!   is event-for-event identical to feeding the same sequence through
+//!   [`service::LtcService::check_in`], and `shards = 1` is
+//!   bit-identical to the raw engine. The two front-ends convert into
+//!   each other mid-stream ([`service::LtcService::into_handle`],
+//!   [`service::ServiceHandle::shutdown`]).
 //!
 //! * **[`engine::AssignmentEngine`] — the owned, incremental core** each
 //!   shard runs. It tracks per-task quality `S`, evicts completed tasks
@@ -62,32 +75,63 @@
 //! | online   | [`online::Aam`] (Alg. 3) | 7.738-competitive | LGF/LRF hybrid |
 //! | online   | [`online::RandomAssign`] | — (paper baseline) | random eligible tasks |
 //!
-//! ## Streaming quickstart
+//! ## Pipelined quickstart
 //!
-//! Feed check-ins one by one — no need to know the stream up front:
+//! Start a session, submit check-ins, read the ordered event stream:
 //!
 //! ```
 //! use ltc_core::model::{ProblemParams, Task, Worker};
-//! use ltc_core::service::{Algorithm, Event, ServiceBuilder};
+//! use ltc_core::service::{Algorithm, Event, ServiceBuilder, StreamEvent};
 //! use ltc_spatial::{BoundingBox, Point};
 //! use std::num::NonZeroUsize;
 //!
 //! let params = ProblemParams::builder().epsilon(0.2).capacity(2).build().unwrap();
 //! let region = BoundingBox::new(Point::ORIGIN, Point::new(100.0, 100.0));
-//! let mut service = ServiceBuilder::new(params, region)
+//! let mut handle = ServiceBuilder::new(params, region)
 //!     .algorithm(Algorithm::Aam)
 //!     .shards(NonZeroUsize::new(2).unwrap())
-//!     .build()
+//!     .start()
 //!     .unwrap();
+//! let events = handle.subscribe().unwrap();
 //!
+//! // Tasks and check-ins enqueue without blocking (back-pressure only
+//! // when a shard mailbox fills); completed tasks are evicted from the
+//! // shard indexes as the stream progresses.
+//! handle.post_task(Task::new(Point::new(10.0, 10.0))).unwrap();
+//! handle.post_task(Task::new(Point::new(12.0, 9.0))).unwrap();
+//! for _ in 0..16 {
+//!     handle.submit_worker(&Worker::new(Point::new(11.0, 10.0), 0.95)).unwrap();
+//! }
+//!
+//! handle.drain().unwrap(); // every submission processed & delivered
+//! assert!(handle.all_completed());
+//! let assigned = std::iter::from_fn(|| events.try_next())
+//!     .filter_map(|e| match e {
+//!         StreamEvent::Worker { events, .. } => Some(events),
+//!         _ => None,
+//!     })
+//!     .flatten()
+//!     .filter(|e| matches!(e, Event::Assigned { .. }))
+//!     .count();
+//! assert!(assigned > 0);
+//! println!("all tasks done after {} workers", handle.latency().unwrap());
+//! # handle.shutdown().unwrap();
+//! ```
+//!
+//! The synchronous facade serves the same core call by call when replay
+//! determinism on the calling thread matters more than throughput:
+//!
+//! ```
+//! use ltc_core::model::{ProblemParams, Task, Worker};
+//! use ltc_core::service::{Algorithm, ServiceBuilder};
+//! use ltc_spatial::{BoundingBox, Point};
+//!
+//! let params = ProblemParams::builder().epsilon(0.2).capacity(2).build().unwrap();
+//! let region = BoundingBox::new(Point::ORIGIN, Point::new(100.0, 100.0));
+//! let mut service = ServiceBuilder::new(params, region).build().unwrap();
 //! service.post_task(Task::new(Point::new(10.0, 10.0))).unwrap();
-//! service.post_task(Task::new(Point::new(12.0, 9.0))).unwrap();
-//!
-//! // Check-ins arrive; each yields typed events, and completed tasks
-//! // are evicted from the shard indexes.
 //! while !service.all_completed() {
-//!     let events = service.check_in(&Worker::new(Point::new(11.0, 10.0), 0.95));
-//!     assert!(events.iter().filter(|e| matches!(e, Event::Assigned { .. })).count() <= 2);
+//!     service.check_in(&Worker::new(Point::new(11.0, 10.0), 0.95));
 //! }
 //! println!("all tasks done after {} workers", service.latency().unwrap());
 //! ```
@@ -135,5 +179,8 @@ pub use model::{
     AccuracyModel, Arrangement, Assignment, Eligibility, Instance, InstanceError, ProblemParams,
     QualityModel, RunOutcome, Task, TaskId, Worker, WorkerId,
 };
-pub use service::{Algorithm, Event, LtcService, ServiceBuilder, ServiceError, ServiceSnapshot};
+pub use service::{
+    Algorithm, Event, EventStream, Lifecycle, LtcService, ServiceBuilder, ServiceError,
+    ServiceHandle, ServiceMetrics, ServiceSnapshot, StreamEvent,
+};
 pub use smallvec::SmallVec;

@@ -42,9 +42,23 @@ use crate::model::{TaskId, WorkerId};
 ///    readings pick LRF).
 ///
 /// The selection *keys* themselves (lines 9 and 11) stay real-valued.
+///
+/// ### Sharded deployments
+///
+/// The regime indicators are *global* quantities. A sharded service whose
+/// engines each cover a task subset can aggregate the per-shard O(1)
+/// sum/max statistics and inject the global view via
+/// [`Aam::set_global_units`]; with the override in place the
+/// `avg ≥ maxRemain` switch decides exactly as a single-engine AAM would,
+/// regardless of how tasks are partitioned. Without an override the
+/// switch falls back to the engine's own (shard-local) statistics.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct Aam {
     strategy: AamStrategy,
+    /// When set, overrides the engine-local `(Σ units, max units)` the
+    /// hybrid regime switch reads — the cross-shard aggregate a sharded
+    /// front-end computes.
+    global_units: Option<(f64, f64)>,
 }
 
 /// Which selection rule AAM applies — the hybrid switch is the paper's
@@ -69,7 +83,21 @@ impl Aam {
 
     /// Creates an ablation variant with a fixed strategy.
     pub fn with_strategy(strategy: AamStrategy) -> Self {
-        Aam { strategy }
+        Aam {
+            strategy,
+            global_units: None,
+        }
+    }
+
+    /// Installs (or clears) the cross-shard worker-unit aggregate the
+    /// hybrid regime switch should read instead of the engine's own
+    /// statistics. Sharded front-ends set this to the exact global
+    /// `(Σ_t ⌈(δ − S[t])⁺⌉, max_t ⌈(δ − S[t])⁺⌉)` before every `assign`
+    /// call; the value persists until changed. Ignored by the pure
+    /// LGF/LRF ablations.
+    #[inline]
+    pub fn set_global_units(&mut self, units: Option<(f64, f64)>) {
+        self.global_units = units;
     }
 }
 
@@ -101,7 +129,9 @@ impl OnlineAlgorithm for Aam {
             AamStrategy::AlwaysLgf => true,
             AamStrategy::AlwaysLrf => false,
             AamStrategy::Hybrid => {
-                let (sum_units, max_units) = engine.remaining_units();
+                let (sum_units, max_units) = self
+                    .global_units
+                    .unwrap_or_else(|| engine.remaining_units());
                 sum_units / k as f64 >= max_units
             }
         };

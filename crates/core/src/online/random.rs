@@ -4,7 +4,7 @@ use super::OnlineAlgorithm;
 use crate::engine::{AssignmentEngine, Candidate};
 use crate::model::{TaskId, WorkerId};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 /// **Random** — the naive online baseline of the paper's evaluation:
 /// "tasks nearby are assigned randomly to the worker when s/he arrives".
@@ -12,9 +12,33 @@ use rand::{Rng, SeedableRng};
 /// Picks `min(K, |candidates|)` distinct eligible uncompleted tasks
 /// uniformly at random (partial Fisher–Yates over the candidate list).
 /// Seeded for reproducible experiments.
+///
+/// The generator's *stream position* is tracked as a raw-draw counter
+/// ([`RandomAssign::draws_taken`]): a snapshot records `(seed, draws)`
+/// and a restore replays the draws ([`RandomAssign::advance`]), so a
+/// resumed random baseline continues **bit-exactly** instead of
+/// restarting its stream from the seed.
 #[derive(Debug, Clone)]
 pub struct RandomAssign {
     rng: StdRng,
+    /// Raw `next_u64` draws consumed so far (the stream position).
+    drawn: u64,
+}
+
+/// Counts every raw draw pulled through it, so the stream position is
+/// exact even when rejection sampling consumes a variable number of
+/// words per `gen_range` call.
+struct CountingRng<'a> {
+    inner: &'a mut StdRng,
+    drawn: &'a mut u64,
+}
+
+impl RngCore for CountingRng<'_> {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        *self.drawn += 1;
+        self.inner.next_u64()
+    }
 }
 
 impl RandomAssign {
@@ -27,7 +51,26 @@ impl RandomAssign {
     pub fn seeded(seed: u64) -> Self {
         Self {
             rng: StdRng::seed_from_u64(seed),
+            drawn: 0,
         }
+    }
+
+    /// Number of raw 64-bit draws consumed so far — the generator's
+    /// stream position, serialized by service snapshots.
+    #[inline]
+    pub fn draws_taken(&self) -> u64 {
+        self.drawn
+    }
+
+    /// Fast-forwards a freshly seeded generator by `draws` raw draws
+    /// (replaying a recorded stream position). After
+    /// `RandomAssign::seeded(s)` + `advance(d)` the instance is
+    /// bit-identical to one that made `d` draws organically.
+    pub fn advance(&mut self, draws: u64) {
+        for _ in 0..draws {
+            self.rng.next_u64();
+        }
+        self.drawn += draws;
     }
 }
 
@@ -51,11 +94,15 @@ impl OnlineAlgorithm for RandomAssign {
     ) {
         let k = engine.params().capacity as usize;
         let take = k.min(candidates.len());
+        let mut rng = CountingRng {
+            inner: &mut self.rng,
+            drawn: &mut self.drawn,
+        };
         // Partial Fisher–Yates over an index scratch vector: O(|candidates|)
         // setup, O(K) swaps.
         let mut idx: Vec<usize> = (0..candidates.len()).collect();
         for i in 0..take {
-            let j = self.rng.gen_range(i..idx.len());
+            let j = rng.gen_range(i..idx.len());
             idx.swap(i, j);
             picks.push(candidates[idx[i]].task);
         }
@@ -103,5 +150,37 @@ mod tests {
         let outcome = run_online(&inst, &mut RandomAssign::seeded(3));
         let load = outcome.arrangement.load_per_worker();
         assert!(load.values().all(|&l| l <= 2));
+    }
+
+    #[test]
+    fn advance_replays_the_stream_position_exactly() {
+        let inst = toy_instance(0.2);
+        // Run the stream in one go, noting the draw count mid-way.
+        let mut engine = crate::engine::AssignmentEngine::from_instance(&inst);
+        let mut whole = RandomAssign::seeded(17);
+        let mut mid_draws = 0;
+        let mut full: Vec<_> = Vec::new();
+        for (i, w) in inst.workers().iter().enumerate() {
+            full.extend(engine.push_worker(w, &mut whole).iter().copied());
+            if i == 3 {
+                mid_draws = whole.draws_taken();
+            }
+        }
+        assert!(whole.draws_taken() > 0);
+
+        // Replay: fresh engine + policy, fast-forwarded at the cut.
+        let mut engine = crate::engine::AssignmentEngine::from_instance(&inst);
+        let mut resumed = RandomAssign::seeded(17);
+        let mut stitched: Vec<_> = Vec::new();
+        for w in &inst.workers()[..4] {
+            stitched.extend(engine.push_worker(w, &mut resumed).iter().copied());
+        }
+        assert_eq!(resumed.draws_taken(), mid_draws, "draw accounting drifted");
+        let mut continued = RandomAssign::seeded(17);
+        continued.advance(mid_draws);
+        for w in &inst.workers()[4..] {
+            stitched.extend(engine.push_worker(w, &mut continued).iter().copied());
+        }
+        assert_eq!(full, stitched, "advance() did not restore the stream");
     }
 }

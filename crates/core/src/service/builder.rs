@@ -1,0 +1,227 @@
+//! Service configuration — the one place every deployment knob lives.
+
+use super::facade::LtcService;
+use super::handle::ServiceHandle;
+use super::shard::Shard;
+use super::{Algorithm, ServiceError};
+use crate::engine::{AssignmentEngine, EngineError, EngineState};
+use crate::model::{AccuracyModel, Eligibility, Instance, ProblemParams, Task};
+use ltc_spatial::{BoundingBox, Point, ShardRouter};
+use std::num::NonZeroUsize;
+
+/// Builder for the service layer: [`ServiceBuilder::build`] yields the
+/// synchronous [`LtcService`] facade, [`ServiceBuilder::start`] spins up
+/// the pipelined [`ServiceHandle`] runtime over the same configuration.
+///
+/// ```
+/// use ltc_core::model::{ProblemParams, Task, Worker};
+/// use ltc_core::service::{Algorithm, Event, ServiceBuilder};
+/// use ltc_spatial::{BoundingBox, Point};
+/// use std::num::NonZeroUsize;
+///
+/// let params = ProblemParams::builder().epsilon(0.2).capacity(2).build().unwrap();
+/// let region = BoundingBox::new(Point::ORIGIN, Point::new(100.0, 100.0));
+/// let mut service = ServiceBuilder::new(params, region)
+///     .algorithm(Algorithm::Aam)
+///     .shards(NonZeroUsize::new(2).unwrap())
+///     .build()
+///     .unwrap();
+///
+/// service.post_task(Task::new(Point::new(10.0, 10.0))).unwrap();
+/// while !service.all_completed() {
+///     for event in service.check_in(&Worker::new(Point::new(10.5, 10.0), 0.95)) {
+///         if let Event::TaskCompleted { task, latency } = event {
+///             println!("task {} done at arrival {latency}", task.0);
+///         }
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServiceBuilder {
+    params: ProblemParams,
+    region: BoundingBox,
+    algorithm: Algorithm,
+    shards: NonZeroUsize,
+    cell_size: Option<f64>,
+    batch_capacity: usize,
+    accuracy: AccuracyModel,
+    tasks: Vec<Task>,
+}
+
+impl ServiceBuilder {
+    /// Starts a builder over the given service region (the area check-ins
+    /// are expected from; out-of-region work is still handled exactly,
+    /// only less efficiently) with single-shard LAF defaults.
+    pub fn new(params: ProblemParams, region: BoundingBox) -> Self {
+        Self {
+            params,
+            region,
+            algorithm: Algorithm::Laf,
+            shards: NonZeroUsize::MIN,
+            cell_size: None,
+            batch_capacity: 1024,
+            accuracy: AccuracyModel::Sigmoid,
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Starts a builder pre-loaded with a batch instance's parameters,
+    /// accuracy model, and task set (its recorded workers are *not*
+    /// consumed — stream them through [`LtcService::check_in`] or
+    /// [`ServiceHandle::submit_worker`]). The region is the tasks'
+    /// bounding box.
+    pub fn from_instance(instance: &Instance) -> Self {
+        let region = BoundingBox::of_points(instance.tasks().iter().map(|t| t.loc))
+            .unwrap_or_else(|| BoundingBox::new(Point::ORIGIN, Point::ORIGIN));
+        Self {
+            accuracy: instance.accuracy_model().clone(),
+            tasks: instance.tasks().to_vec(),
+            ..Self::new(*instance.params(), region)
+        }
+    }
+
+    /// Sets the online policy (default [`Algorithm::Laf`]).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the shard count (default 1).
+    pub fn shards(mut self, shards: NonZeroUsize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the routing/index tile size (default `d_max`). Smaller cells
+    /// stripe the region more finely; the eligibility radius still
+    /// queries exactly.
+    pub fn cell_size(mut self, cell_size: f64) -> Self {
+        self.cell_size = Some(cell_size);
+        self
+    }
+
+    /// Sets the maximum check-ins one [`LtcService::check_in_batch`]
+    /// dispatch wave may hold (default 1024). Larger slices are processed
+    /// in capacity-sized waves — the caller observes back-pressure as the
+    /// call not returning until every wave drained. For the pipelined
+    /// runtime this same bound sizes each shard's mailbox; see
+    /// [`ServiceBuilder::mailbox_capacity`].
+    pub fn batch_capacity(mut self, batch_capacity: usize) -> Self {
+        self.batch_capacity = batch_capacity.max(1);
+        self
+    }
+
+    /// Sets how many pending entries each persistent shard mailbox may
+    /// hold before [`ServiceHandle::submit_worker`] /
+    /// [`ServiceHandle::post_task`] block (back-pressure, surfaced as
+    /// [`Lifecycle::ShardStalled`](super::Lifecycle::ShardStalled)).
+    /// Shares the [`ServiceBuilder::batch_capacity`] knob — the facade
+    /// reads it as a wave bound, the runtime as a mailbox bound; default
+    /// 1024.
+    pub fn mailbox_capacity(self, mailbox_capacity: usize) -> Self {
+        self.batch_capacity(mailbox_capacity)
+    }
+
+    /// Sets the accuracy model (default the paper's Eq. 1 sigmoid).
+    /// Tabular models require `shards = 1`.
+    pub fn accuracy_model(mut self, accuracy: AccuracyModel) -> Self {
+        self.accuracy = accuracy;
+        self
+    }
+
+    /// Seeds the initial task pool (more can be posted later through
+    /// [`LtcService::post_task`] / [`ServiceHandle::post_task`]).
+    pub fn tasks(mut self, tasks: Vec<Task>) -> Self {
+        self.tasks = tasks;
+        self
+    }
+
+    /// Validates the configuration and builds the synchronous facade.
+    pub fn build(self) -> Result<LtcService, ServiceError> {
+        self.params.validate().map_err(ServiceError::Params)?;
+        let n_shards = self.shards.get();
+        if n_shards > 1 && matches!(self.accuracy, AccuracyModel::Table(_)) {
+            return Err(ServiceError::TabularNeedsSingleShard);
+        }
+        if let AccuracyModel::Table(table) = &self.accuracy {
+            if table.n_tasks() != self.tasks.len() {
+                return Err(ServiceError::Engine(EngineError::CorruptState(
+                    "accuracy table rows disagree with the seeded task count",
+                )));
+            }
+        }
+        if self.tasks.len() > u32::MAX as usize {
+            return Err(ServiceError::Engine(EngineError::TooManyTasks));
+        }
+        for t in &self.tasks {
+            if !t.loc.is_finite() {
+                return Err(ServiceError::Engine(EngineError::BadTaskLocation));
+            }
+        }
+        let cell_size = self.cell_size.unwrap_or(self.params.d_max);
+        if !(cell_size.is_finite() && cell_size > 0.0) {
+            return Err(ServiceError::BadCellSize(cell_size));
+        }
+        let router = ShardRouter::new(n_shards, cell_size, self.region);
+
+        // Partition the seeded tasks: global ids follow the seeded order,
+        // local ids follow each shard's insertion order, so within one
+        // shard local order and global order agree (the property that
+        // makes local tie-breaks match global ones).
+        let mut task_map = Vec::with_capacity(self.tasks.len());
+        let mut shard_tasks: Vec<Vec<Task>> = vec![Vec::new(); n_shards];
+        let mut globals: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+        for (g, task) in self.tasks.iter().enumerate() {
+            let s = if n_shards == 1 {
+                0
+            } else {
+                router.shard_of(task.loc)
+            };
+            task_map.push((s as u32, shard_tasks[s].len() as u32));
+            globals[s].push(g as u32);
+            shard_tasks[s].push(*task);
+        }
+
+        let mut shards = Vec::with_capacity(n_shards);
+        for (s, tasks) in shard_tasks.into_iter().enumerate() {
+            let n = tasks.len();
+            let engine = AssignmentEngine::from_state(EngineState {
+                params: self.params,
+                accuracy: self.accuracy.clone(),
+                tasks,
+                s: vec![0.0; n],
+                completed: vec![false; n],
+                assignments: Vec::new(),
+                next_arrival: 0,
+                index_geometry: match self.params.eligibility {
+                    Eligibility::WithinRange => Some((cell_size, self.region)),
+                    Eligibility::Unrestricted => None,
+                },
+            })
+            .map_err(ServiceError::Engine)?;
+            shards.push(Shard {
+                engine,
+                policy: self.algorithm.policy(s),
+                globals: std::mem::take(&mut globals[s]),
+            });
+        }
+        Ok(LtcService::assemble(
+            self.params,
+            self.region,
+            self.algorithm,
+            cell_size,
+            self.batch_capacity,
+            router,
+            shards,
+            task_map,
+        ))
+    }
+
+    /// Validates the configuration and starts the pipelined runtime: one
+    /// persistent thread per shard behind bounded mailboxes, plus an
+    /// event collector. The returned [`ServiceHandle`] commits the same
+    /// assignments the facade would for the same submission sequence.
+    pub fn start(self) -> Result<ServiceHandle, ServiceError> {
+        self.build()?.into_handle()
+    }
+}

@@ -1,0 +1,176 @@
+//! Typed events and the subscription stream of the service layer.
+
+use crate::model::{TaskId, WorkerId};
+use std::sync::mpsc::Receiver;
+use std::time::Duration;
+
+/// One thing that happened while serving a check-in — the typed
+/// replacement for raw assignment batches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A task was assigned to the arriving worker.
+    Assigned {
+        /// The recruited worker (service-global arrival id).
+        worker: WorkerId,
+        /// The assigned task (service-global id).
+        task: TaskId,
+        /// Predicted accuracy `Acc(w,t)` at assignment time.
+        acc: f64,
+        /// Quality contribution (`Acc*` under the Hoeffding model) — the
+        /// gain the assignment adds toward the task's `δ`.
+        gain: f64,
+    },
+    /// An assignment pushed a task past its completion threshold `δ`.
+    TaskCompleted {
+        /// The finished task (service-global id).
+        task: TaskId,
+        /// The paper's per-task latency: the 1-based arrival index of the
+        /// completing worker.
+        latency: u64,
+    },
+    /// The worker checked in but nothing was assignable (no eligible
+    /// uncompleted task in range).
+    WorkerIdle {
+        /// The idle worker's arrival id.
+        worker: WorkerId,
+    },
+}
+
+/// Runtime lifecycle notifications delivered to
+/// [`ServiceHandle`](super::ServiceHandle) subscribers alongside the
+/// per-worker events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Lifecycle {
+    /// A [`drain`](super::ServiceHandle::drain) completed: every
+    /// submission made before it has been fully processed and its events
+    /// delivered. Ordered exactly after those events.
+    Drained {
+        /// Check-ins whose events had been delivered when the drain
+        /// completed.
+        workers_seen: u64,
+    },
+    /// A submission found a shard mailbox full and is now applying
+    /// back-pressure (the submit call blocks until the shard catches
+    /// up). Delivered promptly, not ordered against worker events.
+    ShardStalled {
+        /// The stalled shard.
+        shard: usize,
+        /// The mailbox bound it hit
+        /// ([`ServiceBuilder::mailbox_capacity`](super::ServiceBuilder::mailbox_capacity)).
+        capacity: usize,
+    },
+    /// A task was posted outside the declared service region; it is
+    /// served exactly, but routing degrades toward the border stripes.
+    /// This is the *region-level* signal, judged against the configured
+    /// bounding box at submission; the related *index-level* counter
+    /// [`ServiceMetrics::clamped_insertions`] counts actual border-cell
+    /// clamps in the shard grids (whose extent rounds up to whole
+    /// cells, and which do not exist under unrestricted eligibility),
+    /// so the two need not move in lockstep. Delivered promptly, not
+    /// ordered against worker events.
+    TaskOutOfRegion {
+        /// The out-of-region task.
+        task: TaskId,
+    },
+    /// The handle began shutting down; no further events will follow.
+    ShuttingDown,
+}
+
+/// One delivery on a [`ServiceHandle`](super::ServiceHandle)
+/// subscription.
+///
+/// `Worker` and `TaskPosted` arrive in **exact submission order**
+/// regardless of how many shard threads raced to produce them;
+/// [`Lifecycle`] notifications are advisory and arrive promptly (only
+/// [`Lifecycle::Drained`] is ordered, directly after the submissions it
+/// covers).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEvent {
+    /// Everything that happened serving one submitted check-in, in
+    /// commit order (empty never — an unassignable worker yields one
+    /// [`Event::WorkerIdle`]).
+    Worker {
+        /// The check-in's service-global arrival id.
+        worker: WorkerId,
+        /// The worker's events, exactly as
+        /// [`LtcService::check_in`](super::LtcService::check_in) would
+        /// have returned them.
+        events: Vec<Event>,
+    },
+    /// A task posted through the handle became assignable.
+    TaskPosted {
+        /// The task's service-global id.
+        task: TaskId,
+    },
+    /// A runtime lifecycle notification.
+    Lifecycle(Lifecycle),
+}
+
+/// A subscription to a [`ServiceHandle`](super::ServiceHandle)'s event
+/// flow, created by [`subscribe`](super::ServiceHandle::subscribe).
+///
+/// Receiving is pull-based and never loses events: the runtime buffers
+/// per-subscriber without bound, so slow consumers trade memory, not
+/// correctness. Iterate it, or poll with
+/// [`try_next`](EventStream::try_next) /
+/// [`next_timeout`](EventStream::next_timeout).
+#[derive(Debug)]
+pub struct EventStream {
+    rx: Receiver<StreamEvent>,
+}
+
+impl EventStream {
+    pub(crate) fn new(rx: Receiver<StreamEvent>) -> Self {
+        Self { rx }
+    }
+
+    /// Blocks until the next event, or returns `None` once the runtime
+    /// has shut down and every buffered event was consumed.
+    pub fn next_event(&self) -> Option<StreamEvent> {
+        self.rx.recv().ok()
+    }
+
+    /// Returns an already-delivered event without blocking (`None` when
+    /// nothing is buffered right now — the stream may still be live).
+    pub fn try_next(&self) -> Option<StreamEvent> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Blocks up to `timeout` for the next event.
+    pub fn next_timeout(&self, timeout: Duration) -> Option<StreamEvent> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+impl Iterator for EventStream {
+    type Item = StreamEvent;
+
+    fn next(&mut self) -> Option<StreamEvent> {
+        self.next_event()
+    }
+}
+
+/// Operational counters of a service, shared by the synchronous facade
+/// ([`LtcService::metrics`](super::LtcService::metrics)) and the
+/// pipelined handle
+/// ([`ServiceHandle::metrics`](super::ServiceHandle::metrics)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceMetrics {
+    /// Check-ins accepted so far (on a live handle: submitted, which may
+    /// run ahead of processed until a drain).
+    pub n_workers_seen: u64,
+    /// Assignments committed so far.
+    pub n_assignments: u64,
+    /// Tasks posted so far.
+    pub n_tasks: u64,
+    /// Tasks that reached their completion threshold `δ`.
+    pub n_completed: u64,
+    /// Cumulative spatial-index insertions that fell outside the shard
+    /// grids' laid-out extent and were clamped into border cells — a
+    /// growing count means the region guess under-covers the workload
+    /// and lookups are degrading before results do (queries stay
+    /// exact). Always zero under unrestricted eligibility (no index);
+    /// see [`Lifecycle::TaskOutOfRegion`] for the region-level signal.
+    /// Not persisted by snapshots.
+    pub clamped_insertions: u64,
+}

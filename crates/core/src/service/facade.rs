@@ -1,401 +1,40 @@
-//! The sharded service facade — the primary public API of the crate.
-//!
-//! [`LtcService`] wraps the whole online LTC lifecycle behind one entry
-//! point: it owns a pool of spatially-tiled [`AssignmentEngine`] shards,
-//! routes arriving workers and posted tasks to the shard(s) that can
-//! serve them, merges per-shard candidate batches under a documented
-//! tie-break, and reports everything that happened as typed [`Event`]s.
-//! Services are built through [`ServiceBuilder`] and support full
-//! [`snapshot`](LtcService::snapshot)/[`restore`](LtcService::restore)
-//! for crash recovery (see [`crate::snapshot`] for the wire format).
-//!
-//! ## Sharding model
-//!
-//! Tasks are partitioned by location into `N` shards using a
-//! [`ShardRouter`] striped over the grid tiles of the service region;
-//! each shard is a complete [`AssignmentEngine`] over its own task
-//! subset. A worker check-in touches only the shards whose stripes
-//! intersect the worker's eligibility disk (radius `d_max`):
-//!
-//! * **interior workers** (one stripe) are handled entirely shard-locally
-//!   — with `shards = 1` every worker is interior and the service output
-//!   is **bit-identical** to driving [`AssignmentEngine::push_worker`]
-//!   directly;
-//! * **boundary workers** (stripe-straddling disk) fan out: every
-//!   touched shard proposes its policy's picks, the proposals are merged
-//!   and the best `K` are committed. The merge ranks proposals by
-//!   **gain (contribution) descending, ties toward the smaller global
-//!   task id** — for LAF this is exactly the policy's own key, so a
-//!   multi-shard LAF service commits the same assignments as a
-//!   single-shard one; for AAM (whose regime switch reads shard-local
-//!   statistics) and seeded Random (whose RNG streams are per-shard) the
-//!   multi-shard trace is deterministic but may differ from the
-//!   single-shard trace.
-//!
-//! [`LtcService::check_in_batch`] processes a batch of check-ins with
-//! one scoped thread per shard (when `shards > 1`): each wave runs every
-//! *interior* worker first (concurrently across shards, in arrival order
-//! within each shard), then commits the wave's *boundary* workers
-//! serially in arrival order. A boundary worker is therefore served
-//! after **all** interior workers of its wave — including later arrivals
-//! on the very shards it touches — so within a wave the commit order is
-//! a documented relaxation of strict arrival order. Arrival *ids*, the
-//! per-worker capacity bound, and determinism (independent of thread
-//! scheduling) are always preserved; use [`LtcService::check_in`] when
-//! strict arrival-order semantics matter more than throughput.
-//! [`ServiceBuilder::batch_capacity`] bounds how many check-ins a single
-//! dispatch wave may hold — a caller pushing a larger slice is processed
-//! in capacity-sized waves, providing natural back-pressure.
+//! The synchronous service facade — deterministic, call-by-call service
+//! of the sharded core on the caller's thread.
 
-use crate::engine::{AssignmentEngine, Candidate, EngineError, EngineState};
-use crate::model::{
-    AccuracyModel, Eligibility, Instance, ProblemParams, Task, TaskId, Worker, WorkerId,
+use super::handle::ServiceHandle;
+use super::shard::{
+    append_merge_events, global_units, merge_and_truncate, Proposal, ProposeScratch, Shard,
 };
-use crate::online::{Aam, AamStrategy, Laf, OnlineAlgorithm, RandomAssign};
-use ltc_spatial::{BoundingBox, Point, ShardRouter};
-use std::fmt;
-use std::num::NonZeroUsize;
+use super::{Algorithm, Event, ServiceBuilder, ServiceError, ServiceMetrics};
+use crate::engine::EngineState;
+use crate::model::{AccuracyModel, ProblemParams, Task, TaskId, Worker, WorkerId};
+use ltc_spatial::{BoundingBox, ShardRouter};
 
-/// Which online policy the service runs on every shard.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Algorithm {
-    /// Largest `Acc*` First (paper Algorithm 2).
-    Laf,
-    /// Average-And-Maximum (paper Algorithm 3). The regime switch reads
-    /// shard-local statistics, so multi-shard AAM is an approximation of
-    /// the single-engine algorithm.
-    Aam,
-    /// AAM pinned to Largest Gain First (ablation).
-    AamLgf,
-    /// AAM pinned to Largest Remaining First (ablation).
-    AamLrf,
-    /// The seeded random baseline. Shard `i` draws from
-    /// `seed.wrapping_add(i)`, so shard 0 of a single-shard service
-    /// reproduces `RandomAssign::seeded(seed)` exactly.
-    Random {
-        /// Base RNG seed.
-        seed: u64,
-    },
-}
-
-impl Algorithm {
-    /// Display name matching the paper's legend.
-    pub fn name(self) -> &'static str {
-        match self {
-            Algorithm::Laf => "LAF",
-            Algorithm::Aam => "AAM",
-            Algorithm::AamLgf => "AAM/LGF-only",
-            Algorithm::AamLrf => "AAM/LRF-only",
-            Algorithm::Random { .. } => "Random",
-        }
-    }
-
-    /// Instantiates the policy for one shard.
-    fn policy(self, shard: usize) -> Policy {
-        match self {
-            Algorithm::Laf => Policy::Laf(Laf::new()),
-            Algorithm::Aam => Policy::Aam(Aam::new()),
-            Algorithm::AamLgf => Policy::Aam(Aam::with_strategy(AamStrategy::AlwaysLgf)),
-            Algorithm::AamLrf => Policy::Aam(Aam::with_strategy(AamStrategy::AlwaysLrf)),
-            Algorithm::Random { seed } => {
-                Policy::Random(RandomAssign::seeded(seed.wrapping_add(shard as u64)))
-            }
-        }
-    }
-}
-
-/// Per-shard policy instance.
-#[derive(Debug, Clone)]
-enum Policy {
-    Laf(Laf),
-    Aam(Aam),
-    Random(RandomAssign),
-}
-
-impl Policy {
-    fn as_dyn(&mut self) -> &mut dyn OnlineAlgorithm {
-        match self {
-            Policy::Laf(p) => p,
-            Policy::Aam(p) => p,
-            Policy::Random(p) => p,
-        }
-    }
-}
-
-/// One thing that happened while serving a check-in — the typed
-/// replacement for raw assignment batches.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Event {
-    /// A task was assigned to the arriving worker.
-    Assigned {
-        /// The recruited worker (service-global arrival id).
-        worker: WorkerId,
-        /// The assigned task (service-global id).
-        task: TaskId,
-        /// Predicted accuracy `Acc(w,t)` at assignment time.
-        acc: f64,
-        /// Quality contribution (`Acc*` under the Hoeffding model) — the
-        /// gain the assignment adds toward the task's `δ`.
-        gain: f64,
-    },
-    /// An assignment pushed a task past its completion threshold `δ`.
-    TaskCompleted {
-        /// The finished task (service-global id).
-        task: TaskId,
-        /// The paper's per-task latency: the 1-based arrival index of the
-        /// completing worker.
-        latency: u64,
-    },
-    /// The worker checked in but nothing was assignable (no eligible
-    /// uncompleted task in range).
-    WorkerIdle {
-        /// The idle worker's arrival id.
-        worker: WorkerId,
-    },
-}
-
-/// Builder for [`LtcService`] — the one place every deployment knob
-/// lives.
+/// The sharded online LTC service, served synchronously (see the module
+/// docs for the sharding model). Build one with [`ServiceBuilder`].
 ///
-/// ```
-/// use ltc_core::model::{ProblemParams, Task, Worker};
-/// use ltc_core::service::{Algorithm, Event, ServiceBuilder};
-/// use ltc_spatial::{BoundingBox, Point};
-/// use std::num::NonZeroUsize;
+/// This is the **batch/replay** front-end: every call runs to completion
+/// on the caller's thread, so its output is deterministic call by call
+/// and `shards = 1` is bit-identical to the raw engine. For continuous
+/// traffic prefer the pipelined [`ServiceHandle`]
+/// ([`ServiceBuilder::start`] or [`LtcService::into_handle`]) — it
+/// drives the very same shard core from persistent threads and commits
+/// identical assignments.
 ///
-/// let params = ProblemParams::builder().epsilon(0.2).capacity(2).build().unwrap();
-/// let region = BoundingBox::new(Point::ORIGIN, Point::new(100.0, 100.0));
-/// let mut service = ServiceBuilder::new(params, region)
-///     .algorithm(Algorithm::Aam)
-///     .shards(NonZeroUsize::new(2).unwrap())
-///     .build()
-///     .unwrap();
-///
-/// service.post_task(Task::new(Point::new(10.0, 10.0))).unwrap();
-/// while !service.all_completed() {
-///     for event in service.check_in(&Worker::new(Point::new(10.5, 10.0), 0.95)) {
-///         if let Event::TaskCompleted { task, latency } = event {
-///             println!("task {} done at arrival {latency}", task.0);
-///         }
-///     }
-/// }
-/// ```
-#[derive(Debug, Clone)]
-pub struct ServiceBuilder {
-    params: ProblemParams,
-    region: BoundingBox,
-    algorithm: Algorithm,
-    shards: NonZeroUsize,
-    cell_size: Option<f64>,
-    batch_capacity: usize,
-    accuracy: AccuracyModel,
-    tasks: Vec<Task>,
-}
-
-impl ServiceBuilder {
-    /// Starts a builder over the given service region (the area check-ins
-    /// are expected from; out-of-region work is still handled exactly,
-    /// only less efficiently) with single-shard LAF defaults.
-    pub fn new(params: ProblemParams, region: BoundingBox) -> Self {
-        Self {
-            params,
-            region,
-            algorithm: Algorithm::Laf,
-            shards: NonZeroUsize::MIN,
-            cell_size: None,
-            batch_capacity: 1024,
-            accuracy: AccuracyModel::Sigmoid,
-            tasks: Vec::new(),
-        }
-    }
-
-    /// Starts a builder pre-loaded with a batch instance's parameters,
-    /// accuracy model, and task set (its recorded workers are *not*
-    /// consumed — stream them through [`LtcService::check_in`]). The
-    /// region is the tasks' bounding box.
-    pub fn from_instance(instance: &Instance) -> Self {
-        let region = BoundingBox::of_points(instance.tasks().iter().map(|t| t.loc))
-            .unwrap_or_else(|| BoundingBox::new(Point::ORIGIN, Point::ORIGIN));
-        Self {
-            accuracy: instance.accuracy_model().clone(),
-            tasks: instance.tasks().to_vec(),
-            ..Self::new(*instance.params(), region)
-        }
-    }
-
-    /// Sets the online policy (default [`Algorithm::Laf`]).
-    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
-        self.algorithm = algorithm;
-        self
-    }
-
-    /// Sets the shard count (default 1).
-    pub fn shards(mut self, shards: NonZeroUsize) -> Self {
-        self.shards = shards;
-        self
-    }
-
-    /// Sets the routing/index tile size (default `d_max`). Smaller cells
-    /// stripe the region more finely; the eligibility radius still
-    /// queries exactly.
-    pub fn cell_size(mut self, cell_size: f64) -> Self {
-        self.cell_size = Some(cell_size);
-        self
-    }
-
-    /// Sets the maximum check-ins one [`LtcService::check_in_batch`]
-    /// dispatch wave may hold (default 1024). Larger slices are processed
-    /// in capacity-sized waves — the caller observes back-pressure as the
-    /// call not returning until every wave drained.
-    pub fn batch_capacity(mut self, batch_capacity: usize) -> Self {
-        self.batch_capacity = batch_capacity.max(1);
-        self
-    }
-
-    /// Sets the accuracy model (default the paper's Eq. 1 sigmoid).
-    /// Tabular models require `shards = 1`.
-    pub fn accuracy_model(mut self, accuracy: AccuracyModel) -> Self {
-        self.accuracy = accuracy;
-        self
-    }
-
-    /// Seeds the initial task pool (more can be posted later through
-    /// [`LtcService::post_task`]).
-    pub fn tasks(mut self, tasks: Vec<Task>) -> Self {
-        self.tasks = tasks;
-        self
-    }
-
-    /// Validates the configuration and builds the service.
-    pub fn build(self) -> Result<LtcService, ServiceError> {
-        self.params.validate().map_err(ServiceError::Params)?;
-        let n_shards = self.shards.get();
-        if n_shards > 1 && matches!(self.accuracy, AccuracyModel::Table(_)) {
-            return Err(ServiceError::TabularNeedsSingleShard);
-        }
-        if let AccuracyModel::Table(table) = &self.accuracy {
-            if table.n_tasks() != self.tasks.len() {
-                return Err(ServiceError::Engine(EngineError::CorruptState(
-                    "accuracy table rows disagree with the seeded task count",
-                )));
-            }
-        }
-        if self.tasks.len() > u32::MAX as usize {
-            return Err(ServiceError::Engine(EngineError::TooManyTasks));
-        }
-        for t in &self.tasks {
-            if !t.loc.is_finite() {
-                return Err(ServiceError::Engine(EngineError::BadTaskLocation));
-            }
-        }
-        let cell_size = self.cell_size.unwrap_or(self.params.d_max);
-        if !(cell_size.is_finite() && cell_size > 0.0) {
-            return Err(ServiceError::BadCellSize(cell_size));
-        }
-        let router = ShardRouter::new(n_shards, cell_size, self.region);
-
-        // Partition the seeded tasks: global ids follow the seeded order,
-        // local ids follow each shard's insertion order, so within one
-        // shard local order and global order agree (the property that
-        // makes local tie-breaks match global ones).
-        let mut task_map = Vec::with_capacity(self.tasks.len());
-        let mut shard_tasks: Vec<Vec<Task>> = vec![Vec::new(); n_shards];
-        let mut globals: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
-        for (g, task) in self.tasks.iter().enumerate() {
-            let s = if n_shards == 1 {
-                0
-            } else {
-                router.shard_of(task.loc)
-            };
-            task_map.push((s as u32, shard_tasks[s].len() as u32));
-            globals[s].push(g as u32);
-            shard_tasks[s].push(*task);
-        }
-
-        let mut shards = Vec::with_capacity(n_shards);
-        for (s, tasks) in shard_tasks.into_iter().enumerate() {
-            let n = tasks.len();
-            let engine = AssignmentEngine::from_state(EngineState {
-                params: self.params,
-                accuracy: self.accuracy.clone(),
-                tasks,
-                s: vec![0.0; n],
-                completed: vec![false; n],
-                assignments: Vec::new(),
-                next_arrival: 0,
-                index_geometry: match self.params.eligibility {
-                    Eligibility::WithinRange => Some((cell_size, self.region)),
-                    Eligibility::Unrestricted => None,
-                },
-            })
-            .map_err(ServiceError::Engine)?;
-            shards.push(Shard {
-                engine,
-                policy: self.algorithm.policy(s),
-                globals: std::mem::take(&mut globals[s]),
-            });
-        }
-        Ok(LtcService {
-            params: self.params,
-            region: self.region,
-            algorithm: self.algorithm,
-            cell_size,
-            batch_capacity: self.batch_capacity,
-            router,
-            shards,
-            task_map,
-            next_arrival: 0,
-            n_assignments: 0,
-            max_assigned_arrival: None,
-            cand_buf: Vec::new(),
-            picks_buf: Vec::new(),
-        })
-    }
-}
-
-/// One spatial shard: a full engine over its task subset, its policy
-/// instance, and the local→global id map.
-#[derive(Debug)]
-struct Shard {
-    engine: AssignmentEngine,
-    policy: Policy,
-    /// `globals[local] = global` task id.
-    globals: Vec<u32>,
-}
-
-impl Shard {
-    /// Serves one worker entirely shard-locally (the worker's disk lies
-    /// inside this shard's stripe) under the global arrival id `w`.
-    fn check_in_local(&mut self, w: WorkerId, worker: &Worker, out: &mut Vec<Event>) {
-        let batch = self.engine.push_worker_as(w, worker, self.policy.as_dyn());
-        if batch.is_empty() {
-            out.push(Event::WorkerIdle { worker: w });
-            return;
-        }
-        for a in batch.iter() {
-            let global = TaskId(self.globals[a.task.index()]);
-            out.push(Event::Assigned {
-                worker: w,
-                task: global,
-                acc: a.acc,
-                gain: a.contribution,
-            });
-            if self.engine.is_completed(a.task) {
-                out.push(Event::TaskCompleted {
-                    task: global,
-                    latency: w.arrival_index(),
-                });
-            }
-        }
-        // A task completes at most once and candidates exclude completed
-        // tasks, so each TaskCompleted above fired on the assignment that
-        // crossed δ — but only emit it once even if K > 1 assignments hit
-        // the same task (impossible today: picks are deduped).
-    }
-}
-
-/// The sharded online LTC service (see the module docs for the sharding
-/// and batching model). Build one with [`ServiceBuilder`].
+/// [`LtcService::check_in_batch`] processes a batch of check-ins with
+/// one scoped thread per shard (when `shards > 1`): each wave runs every
+/// *interior* worker first (concurrently across shards, in arrival order
+/// within each shard), then commits the wave's *boundary* workers
+/// serially in arrival order. A boundary worker is therefore served
+/// after **all** interior workers of its wave — including later arrivals
+/// on the very shards it touches — so within a wave the commit order is
+/// a documented relaxation of strict arrival order. Arrival *ids*, the
+/// per-worker capacity bound, and determinism (independent of thread
+/// scheduling) are always preserved; use [`LtcService::check_in`] when
+/// strict arrival-order semantics matter more than throughput.
+/// [`Algorithm::Aam`] batches fall back to the serial path: its regime
+/// switch reads the exact cross-shard worker-unit aggregate, which
+/// requires lockstep dispatch.
 #[derive(Debug)]
 pub struct LtcService {
     params: ProblemParams,
@@ -412,14 +51,102 @@ pub struct LtcService {
     n_assignments: u64,
     max_assigned_arrival: Option<u64>,
     /// Scratch buffers for the merge path.
-    cand_buf: Vec<Candidate>,
-    picks_buf: Vec<TaskId>,
+    scratch: ProposeScratch,
+    proposal_buf: Vec<Proposal>,
+    completed_buf: Vec<u32>,
+}
+
+/// Everything a facade owns, handed to the pipelined runtime (and back)
+/// when converting between the two front-ends.
+pub(crate) struct ServiceParts {
+    pub(crate) params: ProblemParams,
+    pub(crate) region: BoundingBox,
+    pub(crate) algorithm: Algorithm,
+    pub(crate) cell_size: f64,
+    pub(crate) batch_capacity: usize,
+    pub(crate) router: ShardRouter,
+    pub(crate) shards: Vec<Shard>,
+    pub(crate) task_map: Vec<(u32, u32)>,
+    pub(crate) next_arrival: u64,
+    pub(crate) n_assignments: u64,
+    pub(crate) max_assigned_arrival: Option<u64>,
 }
 
 impl LtcService {
     /// Starts building a service; see [`ServiceBuilder`].
     pub fn builder(params: ProblemParams, region: BoundingBox) -> ServiceBuilder {
         ServiceBuilder::new(params, region)
+    }
+
+    /// Assembles a freshly built (no traffic yet) service.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        params: ProblemParams,
+        region: BoundingBox,
+        algorithm: Algorithm,
+        cell_size: f64,
+        batch_capacity: usize,
+        router: ShardRouter,
+        shards: Vec<Shard>,
+        task_map: Vec<(u32, u32)>,
+    ) -> Self {
+        Self::from_parts(ServiceParts {
+            params,
+            region,
+            algorithm,
+            cell_size,
+            batch_capacity,
+            router,
+            shards,
+            task_map,
+            next_arrival: 0,
+            n_assignments: 0,
+            max_assigned_arrival: None,
+        })
+    }
+
+    pub(crate) fn from_parts(parts: ServiceParts) -> Self {
+        Self {
+            params: parts.params,
+            region: parts.region,
+            algorithm: parts.algorithm,
+            cell_size: parts.cell_size,
+            batch_capacity: parts.batch_capacity,
+            router: parts.router,
+            shards: parts.shards,
+            task_map: parts.task_map,
+            next_arrival: parts.next_arrival,
+            n_assignments: parts.n_assignments,
+            max_assigned_arrival: parts.max_assigned_arrival,
+            scratch: ProposeScratch::default(),
+            proposal_buf: Vec::new(),
+            completed_buf: Vec::new(),
+        }
+    }
+
+    pub(crate) fn into_parts(self) -> ServiceParts {
+        ServiceParts {
+            params: self.params,
+            region: self.region,
+            algorithm: self.algorithm,
+            cell_size: self.cell_size,
+            batch_capacity: self.batch_capacity,
+            router: self.router,
+            shards: self.shards,
+            task_map: self.task_map,
+            next_arrival: self.next_arrival,
+            n_assignments: self.n_assignments,
+            max_assigned_arrival: self.max_assigned_arrival,
+        }
+    }
+
+    /// Moves this service onto the pipelined runtime: persistent shard
+    /// threads with bounded mailboxes, an ordered event stream, and
+    /// explicit lifecycle control. The handle continues exactly where
+    /// the facade stopped (same shards, counters, and RNG streams);
+    /// [`ServiceHandle::shutdown`] converts back.
+    pub fn into_handle(self) -> Result<ServiceHandle, ServiceError> {
+        ServiceHandle::from_facade(self)
     }
 
     /// Platform parameters.
@@ -502,6 +229,23 @@ impl LtcService {
         self.shards[s].engine.is_completed(local)
     }
 
+    /// Operational counters, including the border-clamp telemetry of the
+    /// shard spatial indexes (see
+    /// [`ServiceMetrics::clamped_insertions`]).
+    pub fn metrics(&self) -> ServiceMetrics {
+        ServiceMetrics {
+            n_workers_seen: self.next_arrival,
+            n_assignments: self.n_assignments,
+            n_tasks: self.task_map.len() as u64,
+            n_completed: (self.task_map.len() - self.n_uncompleted()) as u64,
+            clamped_insertions: self
+                .shards
+                .iter()
+                .map(|s| s.engine.index_clamped_insertions())
+                .sum(),
+        }
+    }
+
     fn locate(&self, task: TaskId) -> (usize, TaskId) {
         let (s, local) = self.task_map[task.index()];
         (s as usize, TaskId(local))
@@ -529,13 +273,17 @@ impl LtcService {
         accuracies: Option<&[f64]>,
     ) -> Result<TaskId, ServiceError> {
         if self.task_map.len() >= u32::MAX as usize {
-            return Err(ServiceError::Engine(EngineError::TooManyTasks));
+            return Err(ServiceError::Engine(
+                crate::engine::EngineError::TooManyTasks,
+            ));
         }
         let s = if self.shards.len() == 1 {
             0
         } else {
             if !task.loc.is_finite() {
-                return Err(ServiceError::Engine(EngineError::BadTaskLocation));
+                return Err(ServiceError::Engine(
+                    crate::engine::EngineError::BadTaskLocation,
+                ));
             }
             self.router.shard_of(task.loc)
         };
@@ -552,22 +300,16 @@ impl LtcService {
         Ok(TaskId(global))
     }
 
-    /// The shards an arriving worker can reach: every shard under the
-    /// unrestricted policy, otherwise the stripes intersecting the
-    /// worker's `d_max` disk.
+    /// The shards an arriving worker can reach (the routing rule shared
+    /// with the pipelined handle; see [`super::shard::reachable_shards`]).
     fn reachable_shards(&self, worker: &Worker) -> std::ops::RangeInclusive<usize> {
-        match self.params.eligibility {
-            Eligibility::Unrestricted => 0..=self.shards.len() - 1,
-            Eligibility::WithinRange => {
-                if worker.loc.is_finite() {
-                    self.router.shards_within(worker.loc, self.params.d_max)
-                } else {
-                    // Degenerate check-in: route to shard 0, which will
-                    // find no candidates.
-                    0..=0
-                }
-            }
-        }
+        super::shard::reachable_shards(&self.params, &self.router, self.shards.len(), worker)
+    }
+
+    /// Whether check-ins must carry the cross-shard worker-unit
+    /// aggregate into the policy (hybrid AAM on more than one shard).
+    fn hybrid_multi(&self) -> bool {
+        self.algorithm.needs_global_units() && self.shards.len() > 1
     }
 
     /// Serves one worker check-in end to end and returns everything that
@@ -593,7 +335,7 @@ impl LtcService {
     fn check_in_as(&mut self, w: WorkerId, worker: &Worker, events: &mut Vec<Event>) {
         let range = self.reachable_shards(worker);
         let start = events.len();
-        if range.start() == range.end() {
+        if !self.hybrid_multi() && range.start() == range.end() {
             self.shards[*range.start()].check_in_local(w, worker, events);
         } else {
             self.check_in_merge(w, worker, range, events);
@@ -613,10 +355,12 @@ impl LtcService {
         }
     }
 
-    /// The boundary path: every reachable shard proposes its policy's
-    /// picks; the merged proposals are ranked by gain descending (ties
-    /// toward the smaller global task id), the best `K` committed in
-    /// ascending global-id order — the same commit order the engine uses.
+    /// The merge path: every reachable shard proposes its policy's
+    /// picks (hybrid AAM policies first receive the exact global
+    /// worker-unit aggregate), the merged proposals are ranked by gain
+    /// descending (ties toward the smaller global task id), and the best
+    /// `K` are committed in ascending global-id order — the same commit
+    /// order the engine uses.
     fn check_in_merge(
         &mut self,
         w: WorkerId,
@@ -625,66 +369,32 @@ impl LtcService {
         events: &mut Vec<Event>,
     ) {
         let k = self.params.capacity as usize;
-        let mut candidates = std::mem::take(&mut self.cand_buf);
-        let mut picks = std::mem::take(&mut self.picks_buf);
-        // (global id, shard, local candidate)
-        let mut proposals: Vec<(u32, usize, Candidate)> = Vec::new();
+        let units = self.hybrid_multi().then(|| global_units(&self.shards));
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut proposals = std::mem::take(&mut self.proposal_buf);
+        proposals.clear();
         for s in range {
             let shard = &mut self.shards[s];
-            if shard.engine.all_completed() {
-                continue;
+            if let Some(units) = units {
+                shard.set_hybrid_units(units);
             }
-            shard.engine.candidates(w, worker, &mut candidates);
-            if candidates.is_empty() {
-                continue;
-            }
-            picks.clear();
-            shard
-                .policy
-                .as_dyn()
-                .assign(&shard.engine, w, &candidates, &mut picks);
-            picks.truncate(k);
-            picks.sort_unstable();
-            picks.dedup();
-            for &t in &picks {
-                let Ok(i) = candidates.binary_search_by_key(&t, |c| c.task) else {
-                    continue; // defensive: a pick outside the candidates
-                };
-                proposals.push((shard.globals[t.index()], s, candidates[i]));
-            }
+            shard.propose(s, w, worker, k, &mut scratch, &mut proposals);
         }
-        self.cand_buf = candidates;
-        self.picks_buf = picks;
+        self.scratch = scratch;
 
-        if proposals.is_empty() {
-            events.push(Event::WorkerIdle { worker: w });
-            return;
-        }
-        // The documented merge tie-break.
-        proposals.sort_unstable_by(|a, b| {
-            b.2.contribution
-                .partial_cmp(&a.2.contribution)
-                .expect("contributions are never NaN")
-                .then_with(|| a.0.cmp(&b.0))
-        });
-        proposals.truncate(k);
-        proposals.sort_unstable_by_key(|p| p.0);
-        for (global, s, c) in proposals {
-            let shard = &mut self.shards[s];
-            let gain = shard.engine.commit(w, worker, c.task);
-            events.push(Event::Assigned {
-                worker: w,
-                task: TaskId(global),
-                acc: c.acc,
-                gain,
-            });
-            if shard.engine.is_completed(c.task) {
-                events.push(Event::TaskCompleted {
-                    task: TaskId(global),
-                    latency: w.arrival_index(),
-                });
+        merge_and_truncate(k, &mut proposals);
+        let mut completed = std::mem::take(&mut self.completed_buf);
+        completed.clear();
+        for p in &proposals {
+            let shard = &mut self.shards[p.shard];
+            shard.engine.commit(w, worker, p.local);
+            if shard.engine.is_completed(p.local) {
+                completed.push(p.global);
             }
         }
+        append_merge_events(w, &proposals, &completed, events);
+        self.completed_buf = completed;
+        self.proposal_buf = proposals;
     }
 
     /// Serves a slice of check-ins, returning each worker's events in
@@ -692,10 +402,13 @@ impl LtcService {
     /// [`ServiceBuilder::batch_capacity`]-sized waves: each wave
     /// dispatches interior workers to their shards on scoped threads
     /// (one per shard) and then commits boundary workers serially — see
-    /// the module docs for the exact ordering contract.
+    /// the type-level docs for the exact ordering contract (and why
+    /// [`Algorithm::Aam`] takes the serial path instead).
     pub fn check_in_batch(&mut self, workers: &[Worker]) -> Vec<Vec<Event>> {
         let mut out: Vec<Vec<Event>> = Vec::with_capacity(workers.len());
-        if self.shards.len() == 1 {
+        if self.shards.len() == 1 || self.hybrid_multi() {
+            // Single shard needs no dispatch; hybrid AAM needs the exact
+            // global regime aggregate, which only lockstep service gives.
             for worker in workers {
                 out.push(self.check_in(worker));
             }
@@ -761,12 +474,12 @@ impl LtcService {
     }
 
     /// Extracts the full durable service state (configuration, shard
-    /// engines, routing maps, counters) for crash recovery. Serialize it
-    /// with [`crate::snapshot::write_snapshot`].
+    /// engines, routing maps, counters, RNG stream positions) for crash
+    /// recovery. Serialize it with [`crate::snapshot::write_snapshot`].
     ///
-    /// The restored service continues bit-identically for LAF/AAM
-    /// policies; a [`Algorithm::Random`] policy restarts its RNG streams
-    /// from their seeds (the stream position is not captured).
+    /// The restored service continues bit-identically for every policy:
+    /// LAF/AAM carry no hidden state, and [`Algorithm::Random`] streams
+    /// are fast-forwarded to their recorded positions.
     pub fn snapshot(&self) -> ServiceSnapshot {
         ServiceSnapshot {
             params: self.params,
@@ -777,6 +490,7 @@ impl LtcService {
             next_arrival: self.next_arrival,
             task_map: self.task_map.clone(),
             engines: self.shards.iter().map(|s| s.engine.to_state()).collect(),
+            rng_draws: self.shards.iter().map(|s| s.policy.rng_draws()).collect(),
         }
     }
 
@@ -792,6 +506,11 @@ impl LtcService {
         }
         if !(snapshot.cell_size.is_finite() && snapshot.cell_size > 0.0) {
             return Err(ServiceError::BadCellSize(snapshot.cell_size));
+        }
+        if !snapshot.rng_draws.is_empty() && snapshot.rng_draws.len() != n_shards {
+            return Err(ServiceError::BadSnapshot(
+                "rng stream positions disagree with the shard count",
+            ));
         }
         // Enforce the same invariant as `ServiceBuilder::build`: tabular
         // accuracy models index workers globally and cannot be sharded —
@@ -829,19 +548,28 @@ impl LtcService {
                     "task map disagrees with a shard engine's task count",
                 ));
             }
-            let engine = AssignmentEngine::from_state(state).map_err(ServiceError::Engine)?;
+            let engine =
+                crate::engine::AssignmentEngine::from_state(state).map_err(ServiceError::Engine)?;
             for a in engine.arrangement().assignments() {
                 n_assignments += 1;
                 let idx = a.worker.arrival_index();
                 max_assigned_arrival = Some(max_assigned_arrival.map_or(idx, |m| m.max(idx)));
             }
+            let mut policy = snapshot.algorithm.policy(s);
+            if let Some(draws) = snapshot.rng_draws.get(s).copied().flatten() {
+                if !policy.advance_rng(draws) {
+                    return Err(ServiceError::BadSnapshot(
+                        "rng stream position recorded for a deterministic policy",
+                    ));
+                }
+            }
             shards.push(Shard {
                 engine,
-                policy: snapshot.algorithm.policy(s),
+                policy,
                 globals: std::mem::take(&mut globals[s]),
             });
         }
-        Ok(Self {
+        Ok(Self::from_parts(ServiceParts {
             params: snapshot.params,
             region: snapshot.region,
             algorithm: snapshot.algorithm,
@@ -853,9 +581,7 @@ impl LtcService {
             next_arrival: snapshot.next_arrival,
             n_assignments,
             max_assigned_arrival,
-            cand_buf: Vec::new(),
-            picks_buf: Vec::new(),
-        })
+        }))
     }
 }
 
@@ -867,11 +593,11 @@ pub struct ServiceSnapshot {
     pub params: ProblemParams,
     /// The service region routing stripes over.
     pub region: BoundingBox,
-    /// The configured policy (Random policies restart from their seed).
+    /// The configured policy.
     pub algorithm: Algorithm,
     /// Routing/index tile size.
     pub cell_size: f64,
-    /// Batch dispatch capacity.
+    /// Batch dispatch capacity / runtime mailbox bound.
     pub batch_capacity: usize,
     /// The service-global arrival counter.
     pub next_arrival: u64,
@@ -879,47 +605,22 @@ pub struct ServiceSnapshot {
     pub task_map: Vec<(u32, u32)>,
     /// Per-shard engine state.
     pub engines: Vec<EngineState>,
+    /// Per-shard RNG stream positions (raw draws consumed), present for
+    /// [`Algorithm::Random`] policies so resume is bit-exact; `None`
+    /// entries for deterministic policies. Either empty or one entry per
+    /// shard.
+    pub rng_draws: Vec<Option<u64>>,
 }
-
-/// Why an [`LtcService`] operation failed.
-#[derive(Debug, Clone, PartialEq)]
-pub enum ServiceError {
-    /// Invalid [`ProblemParams`].
-    Params(crate::model::ParamsError),
-    /// A shard engine rejected the operation.
-    Engine(EngineError),
-    /// Tabular accuracy models cover a closed worker set with global
-    /// indices; they require `shards = 1`.
-    TabularNeedsSingleShard,
-    /// The routing tile size is not strictly positive and finite.
-    BadCellSize(f64),
-    /// A snapshot is internally inconsistent.
-    BadSnapshot(&'static str),
-}
-
-impl fmt::Display for ServiceError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ServiceError::Params(e) => write!(f, "invalid parameters: {e}"),
-            ServiceError::Engine(e) => write!(f, "engine error: {e}"),
-            ServiceError::TabularNeedsSingleShard => write!(
-                f,
-                "tabular accuracy models index workers globally and require shards = 1"
-            ),
-            ServiceError::BadCellSize(c) => {
-                write!(f, "cell size must be positive and finite, got {c}")
-            }
-            ServiceError::BadSnapshot(what) => write!(f, "corrupt service snapshot: {what}"),
-        }
-    }
-}
-
-impl std::error::Error for ServiceError {}
 
 #[cfg(test)]
 mod tests {
+    use super::super::{Algorithm, Event, ServiceBuilder, ServiceError};
     use super::*;
-    use crate::model::ProblemParams;
+    use crate::engine::AssignmentEngine;
+    use crate::model::{Instance, ProblemParams};
+    use crate::online::Aam;
+    use ltc_spatial::Point;
+    use std::num::NonZeroUsize;
 
     fn params(k: u32) -> ProblemParams {
         ProblemParams::builder()
@@ -1101,6 +802,37 @@ mod tests {
     }
 
     #[test]
+    fn aam_batch_equals_serial_lockstep() {
+        // Hybrid AAM batches take the serial path (the regime switch
+        // needs the exact global aggregate) — output must equal serial.
+        let tasks: Vec<Task> = (0..24)
+            .map(|i| Task::new(Point::new((i % 12) as f64 * 80.0, (i / 12) as f64 * 600.0)))
+            .collect();
+        let workers: Vec<Worker> = (0..200)
+            .map(|i| {
+                Worker::new(
+                    Point::new((i % 25) as f64 * 40.0, (i % 3) as f64 * 300.0),
+                    0.85 + (i % 4) as f64 * 0.03,
+                )
+            })
+            .collect();
+        let build = || {
+            ServiceBuilder::new(params(2), region())
+                .tasks(tasks.clone())
+                .algorithm(Algorithm::Aam)
+                .shards(shards(4))
+                .batch_capacity(32)
+                .build()
+                .unwrap()
+        };
+        let mut serial = build();
+        let mut batched = build();
+        let a: Vec<Vec<Event>> = workers.iter().map(|w| serial.check_in(w)).collect();
+        let b = batched.check_in_batch(&workers);
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn tabular_models_require_single_shard_but_work_on_one() {
         let inst = crate::toy::toy_instance(0.2);
         let err = ServiceBuilder::from_instance(&inst)
@@ -1147,5 +879,122 @@ mod tests {
             assert_eq!(service.check_in(worker), restored.check_in(worker));
         }
         assert_eq!(service.latency(), restored.latency());
+    }
+
+    #[test]
+    fn random_snapshot_restore_is_bit_exact_mid_stream() {
+        // The RNG stream position rides in the snapshot, so a restored
+        // random baseline continues the stream instead of restarting
+        // from the seed (which used to diverge).
+        let tasks: Vec<Task> = (0..16)
+            .map(|i| Task::new(Point::new((i % 4) as f64 * 250.0, (i / 4) as f64 * 250.0)))
+            .collect();
+        let workers: Vec<Worker> = (0..300)
+            .map(|i| {
+                Worker::new(
+                    Point::new((i % 41) as f64 * 25.0, (i % 37) as f64 * 27.0),
+                    0.8 + (i % 5) as f64 * 0.03,
+                )
+            })
+            .collect();
+        for n_shards in [1usize, 3] {
+            let build = || {
+                ServiceBuilder::new(params(2), region())
+                    .tasks(tasks.clone())
+                    .shards(shards(n_shards))
+                    .algorithm(Algorithm::Random { seed: 0xFACE })
+                    .build()
+                    .unwrap()
+            };
+            let mut uninterrupted = build();
+            let full: Vec<Vec<Event>> = workers.iter().map(|w| uninterrupted.check_in(w)).collect();
+
+            let mut first = build();
+            let mut stitched: Vec<Vec<Event>> = Vec::new();
+            for w in &workers[..120] {
+                stitched.push(first.check_in(w));
+            }
+            let snap = first.snapshot();
+            assert!(
+                snap.rng_draws.iter().all(|d| d.is_some()),
+                "random policies must record their stream positions"
+            );
+            let mut restored = LtcService::restore(snap).unwrap();
+            for w in &workers[120..] {
+                stitched.push(restored.check_in(w));
+            }
+            assert_eq!(full, stitched, "{n_shards}-shard random resume diverged");
+        }
+    }
+
+    #[test]
+    fn global_regime_makes_interior_sharded_aam_match_single_shard() {
+        // Two task clusters, each deep inside its own stripe, workers
+        // co-located with the clusters: every check-in is interior, so
+        // with the cross-shard unit aggregate the 2-shard AAM must make
+        // exactly the single-shard decisions (the ROADMAP open item).
+        let tasks: Vec<Task> = (0..12)
+            .map(|i| {
+                let x = if i % 2 == 0 { 150.0 } else { 850.0 };
+                Task::new(Point::new(x + (i / 2) as f64 * 4.0, 500.0))
+            })
+            .collect();
+        let workers: Vec<Worker> = (0..220)
+            .map(|i| {
+                let x = if i % 3 == 0 { 151.0 } else { 851.0 };
+                Worker::new(
+                    Point::new(x + (i % 7) as f64, 498.0 + (i % 5) as f64),
+                    0.72 + 0.27 * ((i % 9) as f64 / 9.0),
+                )
+            })
+            .collect();
+        let build = |n: usize| {
+            ServiceBuilder::new(params(2), region())
+                .tasks(tasks.clone())
+                .algorithm(Algorithm::Aam)
+                .shards(shards(n))
+                .build()
+                .unwrap()
+        };
+        let mut single = build(1);
+        let mut sharded = build(2);
+        assert_ne!(
+            sharded.task_map[0].0, sharded.task_map[1].0,
+            "clusters must land on different shards for the test to bite"
+        );
+        for (i, w) in workers.iter().enumerate() {
+            assert_eq!(
+                single.check_in(w),
+                sharded.check_in(w),
+                "worker {i}: sharded AAM regime diverged from single-shard"
+            );
+        }
+        assert_eq!(single.latency(), sharded.latency());
+    }
+
+    #[test]
+    fn border_clamp_telemetry_reaches_service_metrics() {
+        let small = BoundingBox::new(Point::ORIGIN, Point::new(50.0, 50.0));
+        let mut service = ServiceBuilder::new(params(1), small).build().unwrap();
+        assert_eq!(service.metrics().clamped_insertions, 0);
+        service
+            .post_task(Task::new(Point::new(10.0, 10.0)))
+            .unwrap();
+        assert_eq!(service.metrics().clamped_insertions, 0);
+        // Far outside the declared region: clamped into border cells.
+        service
+            .post_task(Task::new(Point::new(5000.0, 5000.0)))
+            .unwrap();
+        service
+            .post_task(Task::new(Point::new(-900.0, 25.0)))
+            .unwrap();
+        let m = service.metrics();
+        assert_eq!(m.clamped_insertions, 2);
+        assert_eq!(m.n_tasks, 3);
+        // The out-of-region tasks are still served exactly.
+        for _ in 0..10 {
+            service.check_in(&Worker::new(Point::new(5000.0, 5001.0), 0.95));
+        }
+        assert!(service.is_completed(TaskId(1)));
     }
 }

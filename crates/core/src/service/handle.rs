@@ -1,0 +1,562 @@
+//! The pipelined session API: a handle over persistent shard threads.
+
+use super::facade::{LtcService, ServiceParts, ServiceSnapshot};
+use super::runtime::{
+    collector_loop, shard_loop, CollectorMsg, Rendezvous, RuntimeStats, ShardMsg, ShardState,
+};
+use super::{Algorithm, EventStream, Lifecycle, ServiceError, ServiceMetrics};
+use crate::engine::EngineError;
+use crate::model::{AccuracyModel, ProblemParams, Task, TaskId, Worker, WorkerId};
+use ltc_spatial::{BoundingBox, ShardRouter};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a drain waits for the runtime before concluding it is
+/// wedged (a shard thread died or a mailbox deadlocked — bugs, not
+/// back-pressure).
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A live, pipelined LTC service session: persistent per-shard threads
+/// behind bounded mailboxes. Created by
+/// [`ServiceBuilder::start`](super::ServiceBuilder::start)
+/// (fresh), [`LtcService::into_handle`] (adopting a facade mid-stream),
+/// or [`ServiceHandle::restore`] (from a snapshot).
+///
+/// Ingestion ([`submit_worker`](ServiceHandle::submit_worker),
+/// [`post_task`](ServiceHandle::post_task)) enqueues and returns
+/// immediately; when a shard mailbox is full the call blocks until the
+/// shard catches up (back-pressure, announced to subscribers as
+/// [`Lifecycle::ShardStalled`]). Results stream to
+/// [`subscribe`](ServiceHandle::subscribe)rs in exact submission order,
+/// and the committed assignments are **identical** to feeding the same
+/// sequence through [`LtcService::check_in`] — pipelining changes
+/// latency, never decisions (see the `service` module docs).
+///
+/// Accessors reporting progress ([`n_assignments`](ServiceHandle::n_assignments),
+/// [`all_completed`](ServiceHandle::all_completed),
+/// [`latency`](ServiceHandle::latency)) reflect *released* events and
+/// can lag submissions by the in-flight window; call
+/// [`drain`](ServiceHandle::drain) first for exact values.
+///
+/// ```
+/// use ltc_core::model::{ProblemParams, Task, Worker};
+/// use ltc_core::service::{Algorithm, ServiceBuilder, StreamEvent};
+/// use ltc_spatial::{BoundingBox, Point};
+///
+/// let params = ProblemParams::builder().epsilon(0.3).capacity(2).build().unwrap();
+/// let region = BoundingBox::new(Point::ORIGIN, Point::new(100.0, 100.0));
+/// let mut handle = ServiceBuilder::new(params, region)
+///     .algorithm(Algorithm::Laf)
+///     .start()
+///     .unwrap();
+/// let events = handle.subscribe().unwrap();
+///
+/// handle.post_task(Task::new(Point::new(10.0, 10.0))).unwrap();
+/// for _ in 0..8 {
+///     handle.submit_worker(&Worker::new(Point::new(10.5, 10.0), 0.95)).unwrap();
+/// }
+/// handle.drain().unwrap();
+/// assert!(handle.all_completed());
+/// let deliveries: Vec<StreamEvent> = std::iter::from_fn(|| events.try_next()).collect();
+/// assert!(!deliveries.is_empty());
+/// let service = handle.shutdown().unwrap(); // back to the sync facade
+/// assert!(service.latency().is_some());
+/// ```
+#[derive(Debug)]
+pub struct ServiceHandle {
+    params: ProblemParams,
+    region: BoundingBox,
+    algorithm: Algorithm,
+    cell_size: f64,
+    batch_capacity: usize,
+    router: ShardRouter,
+    n_shards: usize,
+    /// `task_map[global] = (shard, local)` — maintained at submission.
+    task_map: Vec<(u32, u32)>,
+    /// Next local task id per shard.
+    shard_task_counts: Vec<u32>,
+    next_arrival: u64,
+    next_seq: u64,
+    /// `Some(n_workers)` when the accuracy model is tabular.
+    table_workers: Option<usize>,
+    shard_txs: Vec<SyncSender<ShardMsg>>,
+    shard_joins: Vec<JoinHandle<super::shard::Shard>>,
+    collector_tx: Option<Sender<CollectorMsg>>,
+    collector_join: Option<JoinHandle<()>>,
+    stats: Arc<RuntimeStats>,
+}
+
+impl ServiceHandle {
+    /// Spins the runtime up over a facade's shards (the handle continues
+    /// exactly where the facade stopped).
+    pub(crate) fn from_facade(svc: LtcService) -> Result<Self, ServiceError> {
+        let parts = svc.into_parts();
+        let stats = Arc::new(RuntimeStats::default());
+        stats
+            .n_assignments
+            .store(parts.n_assignments, Ordering::Relaxed);
+        stats
+            .max_assigned_arrival
+            .store(parts.max_assigned_arrival.unwrap_or(0), Ordering::Relaxed);
+        let completed: u64 = parts
+            .shards
+            .iter()
+            .map(|s| (s.engine.n_tasks() - s.engine.n_uncompleted()) as u64)
+            .sum();
+        stats.completed_tasks.store(completed, Ordering::Relaxed);
+        // Every facade check-in was served (and its events returned)
+        // synchronously, so the whole-session delivered count starts at
+        // the adopted arrival counter — `Lifecycle::Drained` reports
+        // totals consistent with `n_workers_seen`.
+        stats
+            .workers_released
+            .store(parts.next_arrival, Ordering::Relaxed);
+
+        let table_workers = parts
+            .shards
+            .first()
+            .and_then(|s| match s.engine.accuracy_model() {
+                AccuracyModel::Table(t) => Some(t.n_workers()),
+                AccuracyModel::Sigmoid => None,
+            });
+        let shard_task_counts: Vec<u32> = parts
+            .shards
+            .iter()
+            .map(|s| s.globals.len() as u32)
+            .collect();
+
+        let (collector_tx, collector_rx) = mpsc::channel();
+        let collector_join = {
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("ltc-collector".into())
+                .spawn(move || collector_loop(collector_rx, stats))
+                .map_err(|_| ServiceError::RuntimeStopped("could not spawn the collector"))?
+        };
+
+        let n_shards = parts.shards.len();
+        let mut shard_txs = Vec::with_capacity(n_shards);
+        let mut shard_joins = Vec::with_capacity(n_shards);
+        for (i, shard) in parts.shards.into_iter().enumerate() {
+            let (tx, rx) = mpsc::sync_channel(parts.batch_capacity);
+            let rt = super::runtime::ShardRuntime::new(shard, i, collector_tx.clone());
+            let join = std::thread::Builder::new()
+                .name(format!("ltc-shard-{i}"))
+                .spawn(move || shard_loop(rt, rx))
+                .map_err(|_| ServiceError::RuntimeStopped("could not spawn a shard thread"))?;
+            shard_txs.push(tx);
+            shard_joins.push(join);
+        }
+
+        Ok(Self {
+            params: parts.params,
+            region: parts.region,
+            algorithm: parts.algorithm,
+            cell_size: parts.cell_size,
+            batch_capacity: parts.batch_capacity,
+            router: parts.router,
+            n_shards,
+            task_map: parts.task_map,
+            shard_task_counts,
+            next_arrival: parts.next_arrival,
+            next_seq: 0,
+            table_workers,
+            shard_txs,
+            shard_joins,
+            collector_tx: Some(collector_tx),
+            collector_join: Some(collector_join),
+            stats,
+        })
+    }
+
+    /// Restores a session from a snapshot and starts its runtime (the
+    /// pipelined analogue of [`LtcService::restore`]).
+    pub fn restore(snapshot: ServiceSnapshot) -> Result<Self, ServiceError> {
+        LtcService::restore(snapshot)?.into_handle()
+    }
+
+    /// Platform parameters.
+    #[inline]
+    pub fn params(&self) -> &ProblemParams {
+        &self.params
+    }
+
+    /// The configured policy.
+    #[inline]
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Number of shards (= persistent shard threads).
+    #[inline]
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// The service region the router stripes over.
+    #[inline]
+    pub fn region(&self) -> BoundingBox {
+        self.region
+    }
+
+    /// Number of tasks posted so far.
+    #[inline]
+    pub fn n_tasks(&self) -> usize {
+        self.task_map.len()
+    }
+
+    /// Number of check-ins submitted so far (they may still be in
+    /// flight; see [`ServiceHandle::drain`]).
+    #[inline]
+    pub fn n_workers_seen(&self) -> u64 {
+        self.next_arrival
+    }
+
+    /// Assignments committed and released so far. Lags submissions by
+    /// the in-flight window; exact after a [`drain`](ServiceHandle::drain).
+    #[inline]
+    pub fn n_assignments(&self) -> u64 {
+        self.stats.n_assignments.load(Ordering::Relaxed)
+    }
+
+    /// Whether every posted task has been observed to reach `δ`.
+    /// Conservative while work is in flight; exact after a
+    /// [`drain`](ServiceHandle::drain).
+    pub fn all_completed(&self) -> bool {
+        self.stats.completed_tasks.load(Ordering::Relaxed) == self.task_map.len() as u64
+    }
+
+    /// The paper's objective — the largest arrival index over recruited
+    /// workers — defined once every task completed (exact after a
+    /// [`drain`](ServiceHandle::drain)).
+    pub fn latency(&self) -> Option<u64> {
+        if self.all_completed() {
+            self.stats.max_assigned()
+        } else {
+            None
+        }
+    }
+
+    fn take_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    fn collector(&self) -> Result<&Sender<CollectorMsg>, ServiceError> {
+        self.collector_tx
+            .as_ref()
+            .ok_or(ServiceError::RuntimeStopped("the runtime is shut down"))
+    }
+
+    fn announce(&self, lifecycle: Lifecycle) {
+        if let Some(tx) = &self.collector_tx {
+            tx.send(CollectorMsg::Lifecycle(lifecycle)).ok();
+        }
+    }
+
+    /// Sends to a shard mailbox, announcing back-pressure the moment the
+    /// bounded channel is full, then blocking until the shard catches up.
+    fn send_shard(&self, shard: usize, msg: ShardMsg) -> Result<(), ServiceError> {
+        match self.shard_txs[shard].try_send(msg) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(msg)) => {
+                self.announce(Lifecycle::ShardStalled {
+                    shard,
+                    capacity: self.batch_capacity,
+                });
+                self.shard_txs[shard]
+                    .send(msg)
+                    .map_err(|_| ServiceError::RuntimeStopped("a shard mailbox disconnected"))
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                Err(ServiceError::RuntimeStopped("a shard mailbox disconnected"))
+            }
+        }
+    }
+
+    /// The shards an arriving worker can reach (the routing rule shared
+    /// with the facade; see [`super::shard::reachable_shards`]).
+    fn reachable_shards(&self, worker: &Worker) -> std::ops::RangeInclusive<usize> {
+        super::shard::reachable_shards(&self.params, &self.router, self.n_shards, worker)
+    }
+
+    /// Enqueues one check-in and returns its service-global arrival id
+    /// immediately. The worker's events are delivered to subscribers (in
+    /// submission order) once its shard(s) process it. Blocks only when
+    /// the target mailbox is full.
+    pub fn submit_worker(&mut self, worker: &Worker) -> Result<WorkerId, ServiceError> {
+        let w = WorkerId(self.next_arrival);
+        self.next_arrival = self
+            .next_arrival
+            .checked_add(1)
+            .expect("worker arrival index exceeded the u64 id space");
+        let seq = self.take_seq();
+        let range = self.reachable_shards(worker);
+        let hybrid = self.algorithm.needs_global_units() && self.n_shards > 1;
+        if !hybrid && range.start() == range.end() {
+            return self
+                .send_shard(
+                    *range.start(),
+                    ShardMsg::Local {
+                        seq,
+                        w,
+                        worker: *worker,
+                    },
+                )
+                .map(|()| w);
+        }
+        // Cross-shard decision: every participant synchronizes at this
+        // worker through a rendezvous. Hybrid AAM involves all shards
+        // (the regime aggregate is global); otherwise only the stripes
+        // the worker's disk touches.
+        let participants = if hybrid {
+            0..=self.n_shards - 1
+        } else {
+            range.clone()
+        };
+        let expected = participants.end() - participants.start() + 1;
+        let rv = Arc::new(Rendezvous::new(
+            self.params.capacity as usize,
+            expected,
+            hybrid,
+        ));
+        for s in participants {
+            self.send_shard(
+                s,
+                ShardMsg::Gather {
+                    seq,
+                    w,
+                    worker: *worker,
+                    propose: range.contains(&s),
+                    rv: Arc::clone(&rv),
+                },
+            )?;
+        }
+        Ok(w)
+    }
+
+    /// Posts a new task mid-stream, routing it to the shard owning its
+    /// tile; it becomes assignable to every check-in submitted after it.
+    /// Subscribers observe a [`StreamEvent::TaskPosted`](super::StreamEvent::TaskPosted)
+    /// at its position in the submission order, and an out-of-region
+    /// location additionally announces [`Lifecycle::TaskOutOfRegion`].
+    pub fn post_task(&mut self, task: Task) -> Result<TaskId, ServiceError> {
+        self.post_task_inner(task, None)
+    }
+
+    /// Posts a task under a tabular accuracy model, appending its
+    /// per-worker accuracy row (one entry per table worker).
+    pub fn post_task_with_accuracies(
+        &mut self,
+        task: Task,
+        accuracies: &[f64],
+    ) -> Result<TaskId, ServiceError> {
+        self.post_task_inner(task, Some(accuracies))
+    }
+
+    fn post_task_inner(
+        &mut self,
+        task: Task,
+        accuracies: Option<&[f64]>,
+    ) -> Result<TaskId, ServiceError> {
+        // Validation happens here, on the caller's thread, replicating
+        // the engine's checks — the shard thread then cannot fail.
+        if !task.loc.is_finite() {
+            return Err(ServiceError::Engine(EngineError::BadTaskLocation));
+        }
+        if self.task_map.len() >= u32::MAX as usize {
+            return Err(ServiceError::Engine(EngineError::TooManyTasks));
+        }
+        match (self.table_workers, accuracies) {
+            (None, None) => {}
+            (None, Some(_)) => {
+                return Err(ServiceError::Engine(EngineError::UnexpectedAccuracyRow))
+            }
+            (Some(_), None) => return Err(ServiceError::Engine(EngineError::MissingAccuracyRow)),
+            (Some(expected), Some(row)) => {
+                if row.len() != expected {
+                    return Err(ServiceError::Engine(EngineError::BadAccuracyRow {
+                        expected,
+                        got: row.len(),
+                    }));
+                }
+                if let Some(&value) = row.iter().find(|a| !(0.0..=1.0).contains(*a) || a.is_nan()) {
+                    return Err(ServiceError::Engine(EngineError::AccuracyOutOfRange(value)));
+                }
+            }
+        }
+        let s = if self.n_shards == 1 {
+            0
+        } else {
+            self.router.shard_of(task.loc)
+        };
+        let global = self.task_map.len() as u32;
+        let seq = self.take_seq();
+        self.send_shard(
+            s,
+            ShardMsg::PostTask {
+                seq,
+                global,
+                task,
+                accuracies: accuracies.map(<[f64]>::to_vec),
+            },
+        )?;
+        self.task_map.push((s as u32, self.shard_task_counts[s]));
+        self.shard_task_counts[s] += 1;
+        if !self.region.contains(task.loc) {
+            self.announce(Lifecycle::TaskOutOfRegion {
+                task: TaskId(global),
+            });
+        }
+        Ok(TaskId(global))
+    }
+
+    /// Attaches a subscriber. It receives every event produced from now
+    /// on: per-worker batches and task posts in exact submission order,
+    /// plus advisory [`Lifecycle`] notifications.
+    pub fn subscribe(&mut self) -> Result<EventStream, ServiceError> {
+        let (tx, rx) = mpsc::channel();
+        self.collector()?
+            .send(CollectorMsg::Subscribe { tx })
+            .map_err(|_| ServiceError::RuntimeStopped("the collector disconnected"))?;
+        Ok(EventStream::new(rx))
+    }
+
+    /// Blocks until every submission made so far has been fully
+    /// processed and its events delivered, then announces
+    /// [`Lifecycle::Drained`]. After a drain the progress accessors are
+    /// exact and the mailboxes are empty.
+    pub fn drain(&mut self) -> Result<(), ServiceError> {
+        let seq = self.take_seq();
+        let (ack_tx, ack_rx) = mpsc::sync_channel(1);
+        self.collector()?
+            .send(CollectorMsg::Flush {
+                seq,
+                announce: true,
+                ack: ack_tx,
+            })
+            .map_err(|_| ServiceError::RuntimeStopped("the collector disconnected"))?;
+        ack_rx.recv_timeout(DRAIN_TIMEOUT).map_err(|_| {
+            ServiceError::RuntimeStopped("drain timed out — a shard is stalled or died")
+        })
+    }
+
+    /// Quiesces the runtime ([`drain`](ServiceHandle::drain)) and
+    /// extracts the full durable state — bit-exact even mid-stream,
+    /// because every mailbox is empty when the shard states are read.
+    /// Serialize it with [`crate::snapshot::write_snapshot`]; the
+    /// session keeps running afterwards.
+    pub fn snapshot(&mut self) -> Result<ServiceSnapshot, ServiceError> {
+        self.drain()?;
+        let mut replies = Vec::with_capacity(self.n_shards);
+        for s in 0..self.n_shards {
+            let (tx, rx) = mpsc::sync_channel(1);
+            self.send_shard(s, ShardMsg::Snapshot { reply: tx })?;
+            replies.push(rx);
+        }
+        let mut engines = Vec::with_capacity(self.n_shards);
+        let mut rng_draws = Vec::with_capacity(self.n_shards);
+        for rx in replies {
+            let ShardState {
+                engine,
+                rng_draws: draws,
+            } = rx
+                .recv()
+                .map_err(|_| ServiceError::RuntimeStopped("a shard died during snapshot"))?;
+            engines.push(engine);
+            rng_draws.push(draws);
+        }
+        Ok(ServiceSnapshot {
+            params: self.params,
+            region: self.region,
+            algorithm: self.algorithm,
+            cell_size: self.cell_size,
+            batch_capacity: self.batch_capacity,
+            next_arrival: self.next_arrival,
+            task_map: self.task_map.clone(),
+            engines,
+            rng_draws,
+        })
+    }
+
+    /// Live operational counters (the clamp telemetry is read from the
+    /// shards with a control round-trip; the rest are the released-event
+    /// counters, which lag in-flight work — drain first for exact
+    /// values).
+    pub fn metrics(&mut self) -> Result<ServiceMetrics, ServiceError> {
+        let mut clamped = 0u64;
+        let mut replies = Vec::with_capacity(self.n_shards);
+        for s in 0..self.n_shards {
+            let (tx, rx) = mpsc::sync_channel(1);
+            self.send_shard(s, ShardMsg::Metrics { reply: tx })?;
+            replies.push(rx);
+        }
+        for rx in replies {
+            clamped += rx
+                .recv()
+                .map_err(|_| ServiceError::RuntimeStopped("a shard died during metrics"))?;
+        }
+        Ok(ServiceMetrics {
+            n_workers_seen: self.next_arrival,
+            n_assignments: self.stats.n_assignments.load(Ordering::Relaxed),
+            n_tasks: self.task_map.len() as u64,
+            n_completed: self.stats.completed_tasks.load(Ordering::Relaxed),
+            clamped_insertions: clamped,
+        })
+    }
+
+    /// Drains, announces [`Lifecycle::ShuttingDown`], stops every
+    /// thread, and hands back the synchronous [`LtcService`] facade —
+    /// positioned exactly where the session stopped (same shards,
+    /// counters, and RNG streams), ready for replay work or
+    /// [`LtcService::into_handle`] again.
+    pub fn shutdown(mut self) -> Result<LtcService, ServiceError> {
+        self.drain()?;
+        self.announce(Lifecycle::ShuttingDown);
+        self.shard_txs.clear();
+        let mut shards = Vec::with_capacity(self.shard_joins.len());
+        for join in self.shard_joins.drain(..) {
+            shards.push(
+                join.join()
+                    .map_err(|_| ServiceError::RuntimeStopped("a shard thread panicked"))?,
+            );
+        }
+        drop(self.collector_tx.take());
+        if let Some(join) = self.collector_join.take() {
+            join.join().ok();
+        }
+        Ok(LtcService::from_parts(ServiceParts {
+            params: self.params,
+            region: self.region,
+            algorithm: self.algorithm,
+            cell_size: self.cell_size,
+            batch_capacity: self.batch_capacity,
+            router: self.router,
+            shards,
+            task_map: std::mem::take(&mut self.task_map),
+            next_arrival: self.next_arrival,
+            n_assignments: self.stats.n_assignments.load(Ordering::Relaxed),
+            max_assigned_arrival: self.stats.max_assigned(),
+        }))
+    }
+}
+
+impl Drop for ServiceHandle {
+    /// Best-effort teardown for handles dropped without
+    /// [`shutdown`](ServiceHandle::shutdown): disconnect the mailboxes
+    /// (threads exit after finishing their queues) and join everything.
+    fn drop(&mut self) {
+        self.shard_txs.clear();
+        for join in self.shard_joins.drain(..) {
+            join.join().ok();
+        }
+        drop(self.collector_tx.take());
+        if let Some(join) = self.collector_join.take() {
+            join.join().ok();
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! The sharded service layer — the primary public API of the crate.
+//!
+//! Two front-ends drive the same spatially-sharded core:
+//!
+//! * [`LtcService`] — the **synchronous facade** for batch/replay work:
+//!   every call runs to completion on the caller's thread, so output is
+//!   deterministic call by call and `shards = 1` is bit-identical to
+//!   driving [`AssignmentEngine`](crate::engine::AssignmentEngine)
+//!   directly. Built with [`ServiceBuilder::build`].
+//! * [`ServiceHandle`] — the **pipelined session API** for continuous
+//!   traffic: [`ServiceBuilder::start`] spins up one persistent thread
+//!   per shard, each fed by a bounded mailbox, so
+//!   [`submit_worker`](ServiceHandle::submit_worker) and
+//!   [`post_task`](ServiceHandle::post_task) enqueue and return
+//!   immediately (blocking only when a mailbox is full — back-pressure,
+//!   surfaced as [`Lifecycle::ShardStalled`]). Results stream to
+//!   [`subscribe`](ServiceHandle::subscribe)rs as typed [`StreamEvent`]s
+//!   in exact submission order, and explicit lifecycle control —
+//!   [`drain`](ServiceHandle::drain), [`snapshot`](ServiceHandle::snapshot)
+//!   (quiesces the mailboxes so the versioned `ltc-snapshot v1` format
+//!   stays bit-exact mid-stream), [`shutdown`](ServiceHandle::shutdown)
+//!   (returns the synchronous facade) — keeps the session manageable.
+//!
+//! Both front-ends commit **identical assignments**: the handle's shard
+//! threads process their mailboxes in submission order and synchronize
+//! through a rendezvous whenever a decision needs more than one shard,
+//! so a pipelined run is event-for-event equal to feeding the same
+//! sequence through [`LtcService::check_in`] (differentially tested in
+//! `crates/core/tests/lifecycle.rs` and `tests/service_parity.rs`).
+//!
+//! ## Sharding model
+//!
+//! Tasks are partitioned by location into `N` shards using a
+//! [`ShardRouter`](ltc_spatial::ShardRouter) striped over the grid tiles
+//! of the service region; each shard is a complete
+//! [`AssignmentEngine`](crate::engine::AssignmentEngine) over its own
+//! task subset. A worker check-in touches only the shards whose stripes
+//! intersect the worker's eligibility disk (radius `d_max`):
+//!
+//! * **interior workers** (one stripe) are handled entirely shard-locally
+//!   — with `shards = 1` every worker is interior and the service output
+//!   is **bit-identical** to the raw engine;
+//! * **boundary workers** (stripe-straddling disk) fan out: every
+//!   touched shard proposes its policy's picks, the proposals are merged
+//!   and the best `K` are committed. The merge ranks proposals by
+//!   **gain (contribution) descending, ties toward the smaller global
+//!   task id** — for LAF this is exactly the policy's own key, so a
+//!   multi-shard LAF service commits the same assignments as a
+//!   single-shard one.
+//!
+//! [`Algorithm::Aam`]'s regime switch reads *global* remaining-unit
+//! statistics: a multi-shard service aggregates the per-shard O(1)
+//! sum/max on every check-in and injects the global view into the
+//! policy, so the `avg ≥ maxRemain` decision is the same one a
+//! single-engine AAM would make (the per-worker candidate sets can still
+//! differ for boundary workers, where the merge tie-break is not AAM's
+//! key). Seeded [`Algorithm::Random`] draws from per-shard RNG streams;
+//! snapshots record each stream's position so a restored random baseline
+//! continues bit-exactly.
+
+mod builder;
+mod events;
+mod facade;
+mod handle;
+mod runtime;
+mod shard;
+
+pub use builder::ServiceBuilder;
+pub use events::{Event, EventStream, Lifecycle, ServiceMetrics, StreamEvent};
+pub use facade::{LtcService, ServiceSnapshot};
+pub use handle::ServiceHandle;
+
+use crate::engine::EngineError;
+use crate::online::{Aam, AamStrategy, Laf, OnlineAlgorithm, RandomAssign};
+use std::fmt;
+
+/// Which online policy the service runs on every shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Largest `Acc*` First (paper Algorithm 2).
+    Laf,
+    /// Average-And-Maximum (paper Algorithm 3). Multi-shard services
+    /// aggregate the per-shard worker-unit statistics so the regime
+    /// switch sees the global view (at the cost of lockstep dispatch
+    /// across shards — see the module docs).
+    Aam,
+    /// AAM pinned to Largest Gain First (ablation).
+    AamLgf,
+    /// AAM pinned to Largest Remaining First (ablation).
+    AamLrf,
+    /// The seeded random baseline. Shard `i` draws from
+    /// `seed.wrapping_add(i)`, so shard 0 of a single-shard service
+    /// reproduces `RandomAssign::seeded(seed)` exactly. Snapshots record
+    /// each stream's position, so resume is bit-exact.
+    Random {
+        /// Base RNG seed.
+        seed: u64,
+    },
+}
+
+impl Algorithm {
+    /// Display name matching the paper's legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Laf => "LAF",
+            Algorithm::Aam => "AAM",
+            Algorithm::AamLgf => "AAM/LGF-only",
+            Algorithm::AamLrf => "AAM/LRF-only",
+            Algorithm::Random { .. } => "Random",
+        }
+    }
+
+    /// Whether the policy's regime switch needs the cross-shard
+    /// worker-unit aggregate (only hybrid AAM does).
+    pub(crate) fn needs_global_units(self) -> bool {
+        matches!(self, Algorithm::Aam)
+    }
+
+    /// Instantiates the policy for one shard.
+    pub(crate) fn policy(self, shard: usize) -> Policy {
+        match self {
+            Algorithm::Laf => Policy::Laf(Laf::new()),
+            Algorithm::Aam => Policy::Aam(Aam::new()),
+            Algorithm::AamLgf => Policy::Aam(Aam::with_strategy(AamStrategy::AlwaysLgf)),
+            Algorithm::AamLrf => Policy::Aam(Aam::with_strategy(AamStrategy::AlwaysLrf)),
+            Algorithm::Random { seed } => {
+                Policy::Random(RandomAssign::seeded(seed.wrapping_add(shard as u64)))
+            }
+        }
+    }
+}
+
+/// Per-shard policy instance.
+#[derive(Debug, Clone)]
+pub(crate) enum Policy {
+    Laf(Laf),
+    Aam(Aam),
+    Random(RandomAssign),
+}
+
+impl Policy {
+    pub(crate) fn as_dyn(&mut self) -> &mut dyn OnlineAlgorithm {
+        match self {
+            Policy::Laf(p) => p,
+            Policy::Aam(p) => p,
+            Policy::Random(p) => p,
+        }
+    }
+
+    /// The RNG stream position (raw draws consumed), for policies that
+    /// carry one. Serialized by snapshots.
+    pub(crate) fn rng_draws(&self) -> Option<u64> {
+        match self {
+            Policy::Random(p) => Some(p.draws_taken()),
+            _ => None,
+        }
+    }
+
+    /// Fast-forwards a freshly built policy to a recorded RNG stream
+    /// position. Returns `false` when the policy has no stream to
+    /// advance (a snapshot claiming otherwise is corrupt).
+    pub(crate) fn advance_rng(&mut self, draws: u64) -> bool {
+        match self {
+            Policy::Random(p) => {
+                p.advance(draws);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Installs the cross-shard worker-unit aggregate on a hybrid AAM
+    /// policy (no-op for every other policy).
+    pub(crate) fn set_global_units(&mut self, units: (f64, f64)) {
+        if let Policy::Aam(p) = self {
+            p.set_global_units(Some(units));
+        }
+    }
+}
+
+/// Why an [`LtcService`] / [`ServiceHandle`] operation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// Invalid [`ProblemParams`](crate::model::ProblemParams).
+    Params(crate::model::ParamsError),
+    /// A shard engine rejected the operation.
+    Engine(EngineError),
+    /// Tabular accuracy models cover a closed worker set with global
+    /// indices; they require `shards = 1`.
+    TabularNeedsSingleShard,
+    /// The routing tile size is not strictly positive and finite.
+    BadCellSize(f64),
+    /// A snapshot is internally inconsistent.
+    BadSnapshot(&'static str),
+    /// The pipelined runtime stopped serving (a shard thread died, a
+    /// mailbox disconnected, or a drain timed out on a stalled shard).
+    RuntimeStopped(&'static str),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Params(e) => write!(f, "invalid parameters: {e}"),
+            ServiceError::Engine(e) => write!(f, "engine error: {e}"),
+            ServiceError::TabularNeedsSingleShard => write!(
+                f,
+                "tabular accuracy models index workers globally and require shards = 1"
+            ),
+            ServiceError::BadCellSize(c) => {
+                write!(f, "cell size must be positive and finite, got {c}")
+            }
+            ServiceError::BadSnapshot(what) => write!(f, "corrupt service snapshot: {what}"),
+            ServiceError::RuntimeStopped(what) => write!(f, "service runtime stopped: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}

@@ -1,0 +1,445 @@
+//! Internals of the pipelined runtime: persistent per-shard worker
+//! threads fed by bounded mailboxes, a cross-shard rendezvous for
+//! decisions that need more than one shard, and a collector thread that
+//! restores submission order before delivering events to subscribers.
+//!
+//! ## Why this is deterministic
+//!
+//! Every shard processes its mailbox strictly in submission order, and
+//! any decision touching several shards (a boundary worker, or any
+//! hybrid-AAM worker, whose regime switch reads the global worker-unit
+//! aggregate) synchronizes **all involved shards at that worker's
+//! position** through a [`Rendezvous`] barrier. Shard state therefore
+//! evolves exactly as it would under the serial facade, independent of
+//! thread scheduling; only *delivery* of finished event batches races,
+//! and the collector re-orders those by submission sequence number. The
+//! result: a pipelined run is event-for-event identical to the same
+//! submissions fed through `LtcService::check_in`.
+
+use super::shard::{append_merge_events, merge_and_truncate, Proposal, ProposeScratch, Shard};
+use super::{Event, Lifecycle, StreamEvent};
+use crate::engine::EngineState;
+use crate::model::{Task, TaskId, Worker, WorkerId};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Upper bound on one rendezvous wait. A healthy peer reaches the
+/// barrier within its mailbox backlog (micro- to millisecond-scale
+/// work per entry); a peer that takes this long is dead or deadlocked,
+/// and panicking here turns a silent permanent hang — which would also
+/// wedge `ServiceHandle::shutdown`/`Drop` on `join` — into a loud,
+/// joinable failure that `drain` reports as `RuntimeStopped`.
+const RENDEZVOUS_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Counters the collector maintains as it releases event batches, shared
+/// with the handle through an `Arc`. All loads/stores are relaxed: the
+/// values are monotone counters read for reporting, not for
+/// synchronization (ordering guarantees come from the channels).
+#[derive(Debug, Default)]
+pub(crate) struct RuntimeStats {
+    /// Assignments committed (counted at event release).
+    pub(crate) n_assignments: AtomicU64,
+    /// Tasks that crossed their completion threshold.
+    pub(crate) completed_tasks: AtomicU64,
+    /// `max(arrival index of any assigned worker) `, offset by nothing —
+    /// arrival indexes are 1-based, so `0` means "none assigned yet".
+    pub(crate) max_assigned_arrival: AtomicU64,
+    /// Check-in event batches released so far.
+    pub(crate) workers_released: AtomicU64,
+}
+
+impl RuntimeStats {
+    pub(crate) fn max_assigned(&self) -> Option<u64> {
+        match self.max_assigned_arrival.load(Ordering::Relaxed) {
+            0 => None,
+            m => Some(m),
+        }
+    }
+}
+
+/// A command in a shard's bounded mailbox, processed strictly in
+/// submission order.
+pub(crate) enum ShardMsg {
+    /// Serve one interior worker entirely shard-locally.
+    Local {
+        /// Submission sequence number (orders event delivery).
+        seq: u64,
+        /// The worker's service-global arrival id.
+        w: WorkerId,
+        /// The check-in itself.
+        worker: Worker,
+    },
+    /// Participate in a cross-shard decision for one worker.
+    Gather {
+        /// Submission sequence number.
+        seq: u64,
+        /// The worker's service-global arrival id.
+        w: WorkerId,
+        /// The check-in itself.
+        worker: Worker,
+        /// Whether this shard's stripe intersects the worker's disk (it
+        /// proposes candidates); non-proposers only contribute their
+        /// worker-unit statistics and the ordering barrier.
+        propose: bool,
+        /// The shared barrier state.
+        rv: Arc<Rendezvous>,
+    },
+    /// Append a task posted mid-stream (pre-validated by the handle).
+    PostTask {
+        /// Submission sequence number.
+        seq: u64,
+        /// The task's service-global id.
+        global: u32,
+        /// The task itself.
+        task: Task,
+        /// Its accuracy-table row, when the model is tabular.
+        accuracies: Option<Vec<f64>>,
+    },
+    /// Reply with the shard's durable state (only sent quiesced).
+    Snapshot {
+        /// Where to send the state.
+        reply: SyncSender<ShardState>,
+    },
+    /// Reply with the shard's border-clamp telemetry.
+    Metrics {
+        /// Where to send the counter.
+        reply: SyncSender<u64>,
+    },
+}
+
+/// One shard's contribution to a quiesced snapshot.
+pub(crate) struct ShardState {
+    pub(crate) engine: EngineState,
+    pub(crate) rng_draws: Option<u64>,
+}
+
+/// The barrier through which all shards involved in one worker's
+/// decision exchange statistics, proposals, and commit results. Three
+/// phases, each a lock+condvar round: (1) deposit worker-unit statistics
+/// (hybrid AAM only), (2) deposit proposals and merge, (3) commit own
+/// picks and ship the ordered event batch (last committer sends).
+pub(crate) struct Rendezvous {
+    k: usize,
+    expected: usize,
+    hybrid: bool,
+    state: Mutex<RvState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct RvState {
+    units_in: usize,
+    units_sum: f64,
+    units_max: f64,
+    proposed: usize,
+    proposals: Vec<Proposal>,
+    decided: bool,
+    committed: usize,
+    completed: Vec<u32>,
+}
+
+impl Rendezvous {
+    pub(crate) fn new(k: usize, expected: usize, hybrid: bool) -> Self {
+        Self {
+            k,
+            expected,
+            hybrid,
+            state: Mutex::new(RvState::default()),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Everything one persistent shard thread owns.
+pub(crate) struct ShardRuntime {
+    pub(crate) shard: Shard,
+    pub(crate) shard_id: usize,
+    pub(crate) collector: Sender<CollectorMsg>,
+    scratch: ProposeScratch,
+}
+
+impl ShardRuntime {
+    pub(crate) fn new(shard: Shard, shard_id: usize, collector: Sender<CollectorMsg>) -> Self {
+        Self {
+            shard,
+            shard_id,
+            collector,
+            scratch: ProposeScratch::default(),
+        }
+    }
+}
+
+/// The body of one persistent shard thread: drain the mailbox in order
+/// until the handle disconnects it, then hand the shard back (so a
+/// shutdown can reassemble the synchronous facade).
+pub(crate) fn shard_loop(mut rt: ShardRuntime, rx: Receiver<ShardMsg>) -> Shard {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Local { seq, w, worker } => {
+                let mut events = Vec::new();
+                rt.shard.check_in_local(w, &worker, &mut events);
+                rt.collector
+                    .send(CollectorMsg::Worker { seq, w, events })
+                    .ok();
+            }
+            ShardMsg::Gather {
+                seq,
+                w,
+                worker,
+                propose,
+                rv,
+            } => serve_rendezvous(&mut rt, seq, w, &worker, propose, &rv),
+            ShardMsg::PostTask {
+                seq,
+                global,
+                task,
+                accuracies,
+            } => {
+                let local = match accuracies {
+                    Some(row) => rt.shard.engine.add_task_with_accuracies(task, &row),
+                    None => rt.shard.engine.add_task(task),
+                }
+                .expect("the handle pre-validates posted tasks");
+                debug_assert_eq!(local.index(), rt.shard.globals.len());
+                rt.shard.globals.push(global);
+                rt.collector
+                    .send(CollectorMsg::TaskPosted {
+                        seq,
+                        task: TaskId(global),
+                    })
+                    .ok();
+            }
+            ShardMsg::Snapshot { reply } => {
+                reply
+                    .send(ShardState {
+                        engine: rt.shard.engine.to_state(),
+                        rng_draws: rt.shard.policy.rng_draws(),
+                    })
+                    .ok();
+            }
+            ShardMsg::Metrics { reply } => {
+                reply.send(rt.shard.engine.index_clamped_insertions()).ok();
+            }
+        }
+    }
+    rt.shard
+}
+
+/// One shard's participation in a cross-shard worker decision. Blocks on
+/// the barrier's condvar while peers catch up to this worker's position
+/// in their own mailboxes.
+fn serve_rendezvous(
+    rt: &mut ShardRuntime,
+    seq: u64,
+    w: WorkerId,
+    worker: &Worker,
+    propose: bool,
+    rv: &Rendezvous,
+) {
+    // Phase 1 (hybrid AAM only): pool the worker-unit statistics so the
+    // regime switch reads the exact global aggregate. Every participant
+    // is synchronized at this worker, so the pooled value equals what a
+    // serial pass would compute.
+    let units = if rv.hybrid {
+        let (sum, max) = rt.shard.engine.remaining_units();
+        let mut st = rv.state.lock().unwrap();
+        st.units_sum += sum;
+        st.units_max = st.units_max.max(max);
+        st.units_in += 1;
+        if st.units_in == rv.expected {
+            rv.cv.notify_all();
+        }
+        while st.units_in < rv.expected {
+            st = wait_for_peers(rv, st);
+        }
+        Some((st.units_sum, st.units_max))
+    } else {
+        None
+    };
+
+    // Phase 2: propose (stripe-intersecting shards only), then merge
+    // once everyone has deposited.
+    let mut mine = Vec::new();
+    if propose {
+        if let Some(units) = units {
+            rt.shard.set_hybrid_units(units);
+        }
+        rt.shard
+            .propose(rt.shard_id, w, worker, rv.k, &mut rt.scratch, &mut mine);
+    }
+    let my_picks: Vec<Proposal> = {
+        let mut st = rv.state.lock().unwrap();
+        st.proposals.append(&mut mine);
+        st.proposed += 1;
+        if st.proposed == rv.expected {
+            merge_and_truncate(rv.k, &mut st.proposals);
+            st.decided = true;
+            rv.cv.notify_all();
+        }
+        while !st.decided {
+            st = wait_for_peers(rv, st);
+        }
+        st.proposals
+            .iter()
+            .filter(|p| p.shard == rt.shard_id)
+            .copied()
+            .collect()
+    };
+
+    // Phase 3: commit own picks; the last committer assembles the
+    // globally-ordered event batch and ships it. Nobody waits here — a
+    // shard may move on to its next mailbox entry immediately (delivery
+    // order is restored by the collector's sequence numbers).
+    let mut completed = Vec::new();
+    for p in &my_picks {
+        rt.shard.engine.commit(w, worker, p.local);
+        if rt.shard.engine.is_completed(p.local) {
+            completed.push(p.global);
+        }
+    }
+    let mut st = rv.state.lock().unwrap();
+    st.completed.extend(completed);
+    st.committed += 1;
+    if st.committed == rv.expected {
+        let mut events = Vec::new();
+        append_merge_events(w, &st.proposals, &st.completed, &mut events);
+        drop(st);
+        rt.collector
+            .send(CollectorMsg::Worker { seq, w, events })
+            .ok();
+    }
+}
+
+/// One bounded condvar wait at a rendezvous barrier. Panics (killing
+/// this shard thread in a joinable way) when no peer makes progress
+/// within [`RENDEZVOUS_TIMEOUT`] — a peer died, and waiting forever
+/// would wedge every `join` on the handle.
+fn wait_for_peers<'a>(rv: &'a Rendezvous, st: MutexGuard<'a, RvState>) -> MutexGuard<'a, RvState> {
+    let (st, timeout) = rv.cv.wait_timeout(st, RENDEZVOUS_TIMEOUT).unwrap();
+    assert!(
+        !timeout.timed_out(),
+        "cross-shard rendezvous abandoned: a peer shard thread died or stalled \
+         for {RENDEZVOUS_TIMEOUT:?}"
+    );
+    st
+}
+
+/// A message for the collector thread.
+pub(crate) enum CollectorMsg {
+    /// A finished check-in (exactly one per submitted worker).
+    Worker {
+        /// Submission sequence number.
+        seq: u64,
+        /// The worker's arrival id.
+        w: WorkerId,
+        /// Its ordered event batch.
+        events: Vec<Event>,
+    },
+    /// A finished task post (exactly one per posted task).
+    TaskPosted {
+        /// Submission sequence number.
+        seq: u64,
+        /// The task's service-global id.
+        task: TaskId,
+    },
+    /// A drain/quiesce marker: acknowledged once every earlier
+    /// submission's events have been released.
+    Flush {
+        /// Submission sequence number.
+        seq: u64,
+        /// Whether to announce [`Lifecycle::Drained`] to subscribers.
+        announce: bool,
+        /// Acknowledged once the marker is released in order.
+        ack: SyncSender<()>,
+    },
+    /// Attach a new subscriber.
+    Subscribe {
+        /// The subscriber's channel.
+        tx: Sender<StreamEvent>,
+    },
+    /// Broadcast an advisory lifecycle notification immediately
+    /// (unordered).
+    Lifecycle(Lifecycle),
+}
+
+enum PendingRelease {
+    Worker { w: WorkerId, events: Vec<Event> },
+    Task { task: TaskId },
+    Flush { announce: bool, ack: SyncSender<()> },
+}
+
+/// The collector thread: re-orders finished batches by submission
+/// sequence, maintains the shared counters, and fans events out to
+/// subscribers. Exits when every producer (all shards and the handle)
+/// has disconnected.
+pub(crate) fn collector_loop(rx: Receiver<CollectorMsg>, stats: Arc<RuntimeStats>) {
+    let mut pending: BTreeMap<u64, PendingRelease> = BTreeMap::new();
+    let mut next = 0u64;
+    let mut subscribers: Vec<Sender<StreamEvent>> = Vec::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            CollectorMsg::Worker { seq, w, events } => {
+                pending.insert(seq, PendingRelease::Worker { w, events });
+            }
+            CollectorMsg::TaskPosted { seq, task } => {
+                pending.insert(seq, PendingRelease::Task { task });
+            }
+            CollectorMsg::Flush { seq, announce, ack } => {
+                pending.insert(seq, PendingRelease::Flush { announce, ack });
+            }
+            CollectorMsg::Subscribe { tx } => subscribers.push(tx),
+            CollectorMsg::Lifecycle(l) => {
+                broadcast(&mut subscribers, &StreamEvent::Lifecycle(l));
+            }
+        }
+        while let Some(release) = pending.remove(&next) {
+            next += 1;
+            match release {
+                PendingRelease::Worker { w, events } => {
+                    let mut assigned = 0u64;
+                    let mut completed = 0u64;
+                    for e in &events {
+                        match e {
+                            Event::Assigned { .. } => assigned += 1,
+                            Event::TaskCompleted { .. } => completed += 1,
+                            Event::WorkerIdle { .. } => {}
+                        }
+                    }
+                    if assigned > 0 {
+                        stats.n_assignments.fetch_add(assigned, Ordering::Relaxed);
+                        stats
+                            .max_assigned_arrival
+                            .fetch_max(w.arrival_index(), Ordering::Relaxed);
+                    }
+                    if completed > 0 {
+                        stats
+                            .completed_tasks
+                            .fetch_add(completed, Ordering::Relaxed);
+                    }
+                    stats.workers_released.fetch_add(1, Ordering::Relaxed);
+                    broadcast(&mut subscribers, &StreamEvent::Worker { worker: w, events });
+                }
+                PendingRelease::Task { task } => {
+                    broadcast(&mut subscribers, &StreamEvent::TaskPosted { task });
+                }
+                PendingRelease::Flush { announce, ack } => {
+                    if announce {
+                        let workers_seen = stats.workers_released.load(Ordering::Relaxed);
+                        broadcast(
+                            &mut subscribers,
+                            &StreamEvent::Lifecycle(Lifecycle::Drained { workers_seen }),
+                        );
+                    }
+                    ack.send(()).ok();
+                }
+            }
+        }
+    }
+}
+
+fn broadcast(subscribers: &mut Vec<Sender<StreamEvent>>, event: &StreamEvent) {
+    subscribers.retain(|tx| tx.send(event.clone()).is_ok());
+}

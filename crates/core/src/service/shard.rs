@@ -1,0 +1,203 @@
+//! The per-shard unit of work shared by the synchronous facade and the
+//! pipelined runtime: one engine over a task subset, its policy
+//! instance, the local→global id map, and the propose/merge/commit
+//! helpers both front-ends drive so their decisions are identical by
+//! construction.
+
+use super::{Event, Policy};
+use crate::engine::Candidate;
+use crate::model::{TaskId, Worker, WorkerId};
+
+/// One spatial shard: a full engine over its task subset, its policy
+/// instance, and the local→global id map.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    pub(crate) engine: crate::engine::AssignmentEngine,
+    pub(crate) policy: Policy,
+    /// `globals[local] = global` task id. Strictly increasing: within a
+    /// shard, local insertion order follows global posting order (the
+    /// property that makes local tie-breaks match global ones).
+    pub(crate) globals: Vec<u32>,
+}
+
+/// Reusable buffers for [`Shard::propose`] (candidate enumeration and
+/// policy picks), so the hot path allocates nothing per worker.
+#[derive(Debug, Default)]
+pub(crate) struct ProposeScratch {
+    cand: Vec<Candidate>,
+    picks: Vec<TaskId>,
+}
+
+/// One shard's candidate pick for a worker, lifted to global ids so
+/// cross-shard merging can rank and commit it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Proposal {
+    /// Service-global task id.
+    pub(crate) global: u32,
+    /// The task's id inside its owning shard.
+    pub(crate) local: TaskId,
+    /// The owning shard.
+    pub(crate) shard: usize,
+    /// The candidate record (accuracy + contribution) backing the pick.
+    pub(crate) cand: Candidate,
+}
+
+impl Shard {
+    /// Serves one worker entirely shard-locally (the worker's disk lies
+    /// inside this shard's stripe) under the global arrival id `w`.
+    pub(crate) fn check_in_local(&mut self, w: WorkerId, worker: &Worker, out: &mut Vec<Event>) {
+        let batch = self.engine.push_worker_as(w, worker, self.policy.as_dyn());
+        if batch.is_empty() {
+            out.push(Event::WorkerIdle { worker: w });
+            return;
+        }
+        for a in batch.iter() {
+            let global = TaskId(self.globals[a.task.index()]);
+            out.push(Event::Assigned {
+                worker: w,
+                task: global,
+                acc: a.acc,
+                gain: a.contribution,
+            });
+            if self.engine.is_completed(a.task) {
+                out.push(Event::TaskCompleted {
+                    task: global,
+                    latency: w.arrival_index(),
+                });
+            }
+        }
+        // A task completes at most once and candidates exclude completed
+        // tasks, so each TaskCompleted above fired on the assignment that
+        // crossed δ — but only emit it once even if K > 1 assignments hit
+        // the same task (impossible today: picks are deduped).
+    }
+
+    /// Asks this shard's policy for its picks for `worker` and appends
+    /// them to `out` as globally-addressed [`Proposal`]s (at most `k`,
+    /// deduplicated, in ascending global-id order). Appends nothing when
+    /// the shard has no eligible uncompleted candidates.
+    pub(crate) fn propose(
+        &mut self,
+        shard_id: usize,
+        w: WorkerId,
+        worker: &Worker,
+        k: usize,
+        scratch: &mut ProposeScratch,
+        out: &mut Vec<Proposal>,
+    ) {
+        if self.engine.all_completed() {
+            return;
+        }
+        let ProposeScratch { cand, picks } = scratch;
+        self.engine.candidates(w, worker, cand);
+        if cand.is_empty() {
+            return;
+        }
+        picks.clear();
+        self.policy.as_dyn().assign(&self.engine, w, cand, picks);
+        picks.truncate(k);
+        picks.sort_unstable();
+        picks.dedup();
+        for &t in picks.iter() {
+            let Ok(i) = cand.binary_search_by_key(&t, |c| c.task) else {
+                continue; // defensive: a pick outside the candidates
+            };
+            out.push(Proposal {
+                global: self.globals[t.index()],
+                local: t,
+                shard: shard_id,
+                cand: cand[i],
+            });
+        }
+    }
+
+    /// Installs the cross-shard worker-unit aggregate on a hybrid AAM
+    /// policy before an `assign` call (no-op for other policies).
+    pub(crate) fn set_hybrid_units(&mut self, units: (f64, f64)) {
+        self.policy.set_global_units(units);
+    }
+}
+
+/// The shards an arriving worker can reach: every shard under the
+/// unrestricted policy, otherwise the stripes intersecting the worker's
+/// `d_max` disk (a non-finite location degenerates to shard 0, which
+/// will find no candidates). The single routing rule both front-ends
+/// share — the pipelined-equals-serial guarantee depends on them never
+/// drifting apart.
+pub(crate) fn reachable_shards(
+    params: &crate::model::ProblemParams,
+    router: &ltc_spatial::ShardRouter,
+    n_shards: usize,
+    worker: &Worker,
+) -> std::ops::RangeInclusive<usize> {
+    match params.eligibility {
+        crate::model::Eligibility::Unrestricted => 0..=n_shards - 1,
+        crate::model::Eligibility::WithinRange => {
+            if worker.loc.is_finite() {
+                router.shards_within(worker.loc, params.d_max)
+            } else {
+                0..=0
+            }
+        }
+    }
+}
+
+/// The exact global worker-unit statistics `(Σ units, max units)` over a
+/// shard set — what a single-engine AAM would read. Both terms are
+/// integer-valued f64s, so the sum is exact below 2^53 in any order.
+pub(crate) fn global_units(shards: &[Shard]) -> (f64, f64) {
+    let mut sum = 0.0;
+    let mut max = 0.0f64;
+    for s in shards {
+        let (u_sum, u_max) = s.engine.remaining_units();
+        sum += u_sum;
+        max = max.max(u_max);
+    }
+    (sum, max)
+}
+
+/// The documented cross-shard merge: rank proposals by gain
+/// (contribution) descending with ties toward the smaller global task
+/// id, keep the best `k`, and leave them in ascending global-id order —
+/// the same commit order the engine uses.
+pub(crate) fn merge_and_truncate(k: usize, proposals: &mut Vec<Proposal>) {
+    proposals.sort_unstable_by(|a, b| {
+        b.cand
+            .contribution
+            .partial_cmp(&a.cand.contribution)
+            .expect("contributions are never NaN")
+            .then_with(|| a.global.cmp(&b.global))
+    });
+    proposals.truncate(k);
+    proposals.sort_unstable_by_key(|p| p.global);
+}
+
+/// Appends the event batch for a merge-path worker to `out`, from the
+/// committed picks (ascending global order) and the set of tasks the
+/// commits completed. Allocation-free when `out` has capacity.
+pub(crate) fn append_merge_events(
+    w: WorkerId,
+    picks: &[Proposal],
+    completed: &[u32],
+    out: &mut Vec<Event>,
+) {
+    if picks.is_empty() {
+        out.push(Event::WorkerIdle { worker: w });
+        return;
+    }
+    out.reserve(picks.len() + completed.len());
+    for p in picks {
+        out.push(Event::Assigned {
+            worker: w,
+            task: TaskId(p.global),
+            acc: p.cand.acc,
+            gain: p.cand.contribution,
+        });
+        if completed.contains(&p.global) {
+            out.push(Event::TaskCompleted {
+                task: TaskId(p.global),
+                latency: w.arrival_index(),
+            });
+        }
+    }
+}

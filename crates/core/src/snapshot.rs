@@ -16,7 +16,7 @@
 //! region <min_x> <min_y> <max_x> <max_y>
 //! config <algo...> <cell_size> <batch_capacity> <next_arrival>
 //! taskmap <n> <shard-of-task ...>            // local ids are implied
-//! shard <i> <n_tasks> <next_arrival> <noindex | index cs x0 y0 x1 y1>
+//! shard <i> <n_tasks> <next_arrival> [rng <draws>] <noindex | index cs x0 y0 x1 y1>
 //! tasks <x y ...>                            // per shard, local order
 //! quality <S[t] ...>
 //! completed <bitstring>
@@ -25,6 +25,13 @@
 //! a <worker> <local-task> <acc> <contribution>   // × n, commit order
 //! end
 //! ```
+//!
+//! The optional `rng <draws>` group records a [`Algorithm::Random`]
+//! shard's RNG stream position (raw draws consumed), so a restored
+//! random baseline continues its stream bit-exactly instead of
+//! restarting from the seed. Snapshots without the group (older files,
+//! deterministic policies) still parse — the addition is
+//! backward-compatible within `v1`.
 //!
 //! Unknown versions and any structural inconsistency are rejected with a
 //! [`SnapshotError`]; the reader never panics on malformed input.
@@ -139,6 +146,9 @@ pub fn write_snapshot<W: Write>(snap: &ServiceSnapshot, mut out: W) -> io::Resul
     writeln!(out)?;
     for (i, e) in snap.engines.iter().enumerate() {
         write!(out, "shard {i} {} {} ", e.tasks.len(), e.next_arrival)?;
+        if let Some(draws) = snap.rng_draws.get(i).copied().flatten() {
+            write!(out, "rng {draws} ")?;
+        }
         match e.index_geometry {
             None => writeln!(out, "noindex")?,
             Some((cs, b)) => writeln!(
@@ -289,6 +299,7 @@ pub fn read_snapshot<R: BufRead>(reader: R) -> Result<ServiceSnapshot, SnapshotE
 
     // shards until `end`
     let mut engines: Vec<EngineState> = Vec::new();
+    let mut rng_draws: Vec<Option<u64>> = Vec::new();
     loop {
         let line = lines.next_line()?;
         let mut tk = Tokens::new(&line, lines.lineno);
@@ -306,7 +317,15 @@ pub fn read_snapshot<R: BufRead>(reader: R) -> Result<ServiceSnapshot, SnapshotE
             return Err(tk.bad(format!("shard task count {n} exceeds the u32 id space")));
         }
         let shard_next_arrival = tk.u64()?;
-        let index_geometry = match tk.word()? {
+        let mut geometry_word = tk.word()?;
+        let shard_rng_draws = if geometry_word == "rng" {
+            let draws = tk.u64()?;
+            geometry_word = tk.word()?;
+            Some(draws)
+        } else {
+            None
+        };
+        let index_geometry = match geometry_word {
             "noindex" => None,
             "index" => Some((
                 tk.f64()?,
@@ -399,6 +418,7 @@ pub fn read_snapshot<R: BufRead>(reader: R) -> Result<ServiceSnapshot, SnapshotE
             next_arrival: shard_next_arrival,
             index_geometry,
         });
+        rng_draws.push(shard_rng_draws);
     }
     if per_shard_count.len() > engines.len() {
         return Err(SnapshotError::Parse {
@@ -416,6 +436,7 @@ pub fn read_snapshot<R: BufRead>(reader: R) -> Result<ServiceSnapshot, SnapshotE
         next_arrival,
         task_map,
         engines,
+        rng_draws,
     })
 }
 
@@ -601,6 +622,38 @@ mod tests {
         save_service(&service, &mut buf).unwrap();
         buf.truncate(buf.len() / 2);
         assert!(read_snapshot(io::Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn random_rng_stream_positions_round_trip() {
+        let params = ProblemParams::builder()
+            .epsilon(0.25)
+            .capacity(2)
+            .d_max(30.0)
+            .build()
+            .unwrap();
+        let region = BoundingBox::new(Point::ORIGIN, Point::new(400.0, 400.0));
+        let tasks: Vec<Task> = (0..8)
+            .map(|i| Task::new(Point::new((i % 4) as f64 * 100.0, (i / 4) as f64 * 100.0)))
+            .collect();
+        let mut service = ServiceBuilder::new(params, region)
+            .tasks(tasks)
+            .shards(NonZeroUsize::new(2).unwrap())
+            .algorithm(Algorithm::Random { seed: 7 })
+            .build()
+            .unwrap();
+        for i in 0..25u64 {
+            let loc = Point::new((i % 13) as f64 * 30.0, (i % 11) as f64 * 36.0);
+            service.check_in(&Worker::new(loc, 0.9));
+        }
+        let snap = service.snapshot();
+        assert!(snap.rng_draws.iter().any(|d| d.is_some_and(|n| n > 0)));
+        let mut buf = Vec::new();
+        write_snapshot(&snap, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains(" rng "), "{text}");
+        let decoded = read_snapshot(io::Cursor::new(buf)).unwrap();
+        assert_eq!(snap, decoded, "rng stream positions must survive the wire");
     }
 
     #[test]

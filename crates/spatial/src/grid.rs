@@ -48,6 +48,10 @@ pub struct GridIndex<T> {
     /// a swap-remove.
     cells: Vec<Vec<(T, Point)>>,
     len: usize,
+    /// Cumulative count of insertions that fell outside the build-time
+    /// extent and were clamped into a border cell — telemetry for
+    /// detecting a bad region guess (see [`GridIndex::n_clamped_insertions`]).
+    clamped: u64,
 }
 
 impl<T: Copy> GridIndex<T> {
@@ -111,6 +115,7 @@ impl<T: Copy> GridIndex<T> {
             rows,
             cells: vec![Vec::new(); cols * rows],
             len: 0,
+            clamped: 0,
         }
     }
 
@@ -148,6 +153,18 @@ impl<T: Copy> GridIndex<T> {
         self.len == 0
     }
 
+    /// Cumulative count of [`GridIndex::insert`] calls whose point lay
+    /// outside the build-time extent and was clamped into a border cell.
+    /// Queries stay exact either way, but a growing count means the
+    /// declared region under-covers the workload and border buckets are
+    /// absorbing extra distance checks — an operator signal to rebuild
+    /// with better bounds. The counter is monotone (removals do not
+    /// decrement it) and is not persisted by snapshots.
+    #[inline]
+    pub fn n_clamped_insertions(&self) -> u64 {
+        self.clamped
+    }
+
     /// Inserts a point. Points outside the build-time extent are clamped
     /// into border cells (queries stay exact; see the type-level docs).
     ///
@@ -159,6 +176,9 @@ impl<T: Copy> GridIndex<T> {
             point.is_finite(),
             "grid index points must be finite, got {point}"
         );
+        if !self.in_extent(point) {
+            self.clamped += 1;
+        }
         let cell = self.cell_of(point);
         self.cells[cell].push((id, point));
         self.len += 1;
@@ -226,6 +246,15 @@ impl<T: Copy> GridIndex<T> {
     /// Number of points within `radius` of `center`.
     pub fn count_within(&self, center: Point, radius: f64) -> usize {
         self.within(center, radius).count()
+    }
+
+    /// Whether a point falls inside the laid-out cell grid without
+    /// clamping.
+    #[inline]
+    fn in_extent(&self, p: Point) -> bool {
+        let cx = ((p.x - self.origin.x) / self.cell_size).floor();
+        let cy = ((p.y - self.origin.y) / self.cell_size).floor();
+        (0.0..self.cols as f64).contains(&cx) && (0.0..self.rows as f64).contains(&cy)
     }
 
     /// Row-major cell index of a (possibly out-of-extent) point.
@@ -397,6 +426,28 @@ mod tests {
         assert_eq!(both, vec![1, 2]);
         assert!(idx.remove(1, Point::new(987_654.0, 123_456.0)));
         assert_eq!(idx.count_within(Point::new(987_654.0, 123_456.0), 10.0), 0);
+    }
+
+    #[test]
+    fn clamped_insertions_are_counted() {
+        let bounds = BoundingBox::new(Point::ORIGIN, Point::new(10.0, 10.0));
+        let mut idx: GridIndex<u32> = GridIndex::with_bounds(2.0, bounds);
+        assert_eq!(idx.n_clamped_insertions(), 0);
+        idx.insert(1, Point::new(5.0, 5.0));
+        assert_eq!(idx.n_clamped_insertions(), 0, "in-extent insert is free");
+        idx.insert(2, Point::new(100.0, 5.0));
+        idx.insert(3, Point::new(-1.0, 5.0));
+        idx.insert(4, Point::new(5.0, 1.0e6));
+        assert_eq!(idx.n_clamped_insertions(), 3);
+        // The counter is telemetry: removal does not decrement it.
+        assert!(idx.remove(2, Point::new(100.0, 5.0)));
+        assert_eq!(idx.n_clamped_insertions(), 3);
+        // Build from points never clamps (the extent is their bbox).
+        let built = GridIndex::build(
+            1.0,
+            vec![(1u32, Point::new(0.0, 0.0)), (2, Point::new(9.0, 9.0))],
+        );
+        assert_eq!(built.n_clamped_insertions(), 0);
     }
 
     #[test]

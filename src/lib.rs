@@ -20,17 +20,25 @@
 //! | [`workload`] | Table IV / Table V dataset generators |
 //! | [`sim`] | ground truth, voting, error rates, truth inference |
 //!
-//! ## The service facade (start here)
+//! ## The pipelined session API (start here)
 //!
 //! The primary public API is
-//! [`LtcService`](core::service::LtcService), built through
-//! [`ServiceBuilder`](core::service::ServiceBuilder): one entry point
-//! owning spatial sharding, worker/task routing, typed [`Event`](core::service::Event)s,
-//! batched multi-threaded dispatch, and
-//! [`snapshot`](core::service::LtcService::snapshot)/[`restore`](core::service::LtcService::restore)
-//! for crash recovery. With `shards = 1` its output is bit-identical to
-//! driving the low-level engine by hand; with more shards, independent
-//! regions are served by independent engines (and threads).
+//! [`ServiceHandle`](core::service::ServiceHandle), started through
+//! [`ServiceBuilder::start`](core::service::ServiceBuilder::start): a
+//! live session whose spatial shards run as **persistent threads behind
+//! bounded mailboxes**. Ingestion
+//! ([`submit_worker`](core::service::ServiceHandle::submit_worker),
+//! [`post_task`](core::service::ServiceHandle::post_task)) enqueues and
+//! returns immediately; results stream to
+//! [`subscribe`](core::service::ServiceHandle::subscribe)rs as typed
+//! [`StreamEvent`](core::service::StreamEvent)s in exact submission
+//! order; [`drain`](core::service::ServiceHandle::drain) /
+//! [`snapshot`](core::service::ServiceHandle::snapshot) /
+//! [`shutdown`](core::service::ServiceHandle::shutdown) give lifecycle
+//! control, with snapshots quiesced so the wire format stays bit-exact
+//! mid-stream. Pipelining never changes decisions: a handle run is
+//! event-for-event identical to the synchronous facade fed the same
+//! sequence.
 //!
 //! ```
 //! use ltc::prelude::*;
@@ -39,34 +47,56 @@
 //!
 //! let params = ProblemParams::builder().epsilon(0.2).capacity(2).build().unwrap();
 //! let region = BoundingBox::new(Point::ORIGIN, Point::new(100.0, 100.0));
-//! let mut service = ServiceBuilder::new(params, region)
+//! let mut handle = ServiceBuilder::new(params, region)
 //!     .algorithm(Algorithm::Aam)
 //!     .shards(NonZeroUsize::new(2).unwrap())
-//!     .build()
+//!     .start()
 //!     .unwrap();
+//! let events = handle.subscribe().unwrap();
 //!
-//! // Tasks post at any time; workers stream in one by one (or in
-//! // batches via `check_in_batch`, which fans out across shard threads).
-//! service.post_task(Task::new(Point::new(10.0, 10.0))).unwrap();
-//! while !service.all_completed() {
-//!     for event in service.check_in(&Worker::new(Point::new(10.5, 10.0), 0.95)) {
-//!         match event {
-//!             Event::Assigned { worker, task, gain, .. } => {
-//!                 println!("worker {} -> task {} (+{gain:.2})", worker.0, task.0)
+//! // Tasks post at any time; check-ins enqueue without blocking.
+//! handle.post_task(Task::new(Point::new(10.0, 10.0))).unwrap();
+//! for _ in 0..16 {
+//!     handle.submit_worker(&Worker::new(Point::new(10.5, 10.0), 0.95)).unwrap();
+//! }
+//! handle.drain().unwrap();
+//!
+//! for delivery in std::iter::from_fn(|| events.try_next()) {
+//!     if let StreamEvent::Worker { events, .. } = delivery {
+//!         for event in events {
+//!             match event {
+//!                 Event::Assigned { worker, task, gain, .. } => {
+//!                     println!("worker {} -> task {} (+{gain:.2})", worker.0, task.0)
+//!                 }
+//!                 Event::TaskCompleted { task, latency } => {
+//!                     println!("task {} done at arrival {latency}", task.0)
+//!                 }
+//!                 Event::WorkerIdle { .. } => {}
 //!             }
-//!             Event::TaskCompleted { task, latency } => {
-//!                 println!("task {} done at arrival {latency}", task.0)
-//!             }
-//!             Event::WorkerIdle { .. } => {}
 //!         }
 //!     }
 //! }
-//! println!("latency = {} workers", service.latency().unwrap());
+//! println!("latency = {} workers", handle.latency().unwrap());
+//! let service = handle.shutdown().unwrap(); // → the synchronous facade
+//! assert!(service.all_completed());
 //! ```
 //!
-//! The same facade powers the CLI: `ltc stream --shards N` serves NDJSON
-//! events, `ltc snapshot`/`ltc resume` persist and continue a live
-//! service.
+//! The same runtime powers the CLI: `ltc stream --shards N --pipeline D`
+//! serves NDJSON events with up to `D` check-ins in flight,
+//! `ltc snapshot`/`ltc resume` persist and continue a live session
+//! (random policies resume their RNG streams bit-exactly).
+//!
+//! ## The synchronous facade (batch/replay path)
+//!
+//! [`LtcService`](core::service::LtcService), built with
+//! [`ServiceBuilder::build`](core::service::ServiceBuilder::build),
+//! serves the same sharded core call by call on the calling thread —
+//! the right tool for deterministic replays, differential tests, and
+//! one-shot experiments. With `shards = 1` its output is bit-identical
+//! to driving the low-level engine by hand, and
+//! [`into_handle`](core::service::LtcService::into_handle) /
+//! [`shutdown`](core::service::ServiceHandle::shutdown) convert between
+//! the two front-ends mid-stream.
 //!
 //! ## Batch quickstart
 //!
@@ -121,7 +151,8 @@ pub mod prelude {
     pub use ltc_core::offline::{BaseOff, ExactSolver, McfLtc};
     pub use ltc_core::online::{run_online, Aam, Laf, OnlineAlgorithm, RandomAssign};
     pub use ltc_core::service::{
-        Algorithm, Event, LtcService, ServiceBuilder, ServiceError, ServiceSnapshot,
+        Algorithm, Event, EventStream, Lifecycle, LtcService, ServiceBuilder, ServiceError,
+        ServiceHandle, ServiceMetrics, ServiceSnapshot, StreamEvent,
     };
     pub use ltc_sim::{simulate, GroundTruth};
     pub use ltc_spatial::{Point, ShardRouter};

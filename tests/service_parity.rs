@@ -12,7 +12,9 @@
 //!   continue: the stitched event stream must equal an uninterrupted
 //!   run's, byte for byte at the event level.
 
-use ltc::core::service::{Algorithm, Event, LtcService, ServiceBuilder};
+use ltc::core::service::{
+    Algorithm, Event, LtcService, ServiceBuilder, ServiceHandle, StreamEvent,
+};
 use ltc::core::snapshot::{load_service, save_service};
 use ltc::prelude::*;
 use proptest::prelude::*;
@@ -113,6 +115,55 @@ proptest! {
     ) {
         let inst = synthetic(seed, n_tasks, n_workers, capacity, 0.2);
         check_laf_shard_parity(&inst);
+    }
+}
+
+/// Streams every instance worker through a pipelined handle (no early
+/// stop — completed streams idle silently, like the facade would) and
+/// returns each worker's events in submission order.
+fn stream_events_pipelined(handle: &mut ServiceHandle, instance: &Instance) -> Vec<Vec<Event>> {
+    let stream = handle.subscribe().unwrap();
+    for worker in instance.workers() {
+        handle.submit_worker(worker).unwrap();
+    }
+    handle.drain().unwrap();
+    std::iter::from_fn(|| stream.try_next())
+        .filter_map(|e| match e {
+            StreamEvent::Worker { events, .. } => Some(events),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The pipelined acceptance differential: a ≥4-shard `ServiceHandle`
+/// LAF run matches a 1-shard run assignment for assignment, and both
+/// match the synchronous facade fed the same stream.
+#[test]
+fn pipelined_laf_four_shards_matches_one_shard_and_the_facade() {
+    for (seed, n_tasks, n_workers, capacity, epsilon) in [
+        (41u64, 40usize, 600usize, 2u32, 0.20f64),
+        (42, 80, 1200, 6, 0.14),
+    ] {
+        let inst = synthetic(seed, n_tasks, n_workers, capacity, epsilon);
+        let pipelined = |n: usize| {
+            let mut handle = ServiceBuilder::from_instance(&inst)
+                .algorithm(Algorithm::Laf)
+                .shards(NonZeroUsize::new(n).unwrap())
+                .start()
+                .unwrap();
+            let events = stream_events_pipelined(&mut handle, &inst);
+            (events, handle.shutdown().unwrap())
+        };
+        let (one, one_svc) = pipelined(1);
+        let (four, four_svc) = pipelined(4);
+        assert_eq!(one, four, "seed {seed}: 4-shard pipelined LAF diverged");
+        assert_eq!(one_svc.latency(), four_svc.latency());
+
+        // And the facade, fed the same full stream serially, agrees.
+        let mut facade = service(&inst, 4, Algorithm::Laf);
+        let serial: Vec<Vec<Event>> = inst.workers().iter().map(|w| facade.check_in(w)).collect();
+        assert_eq!(serial, four, "seed {seed}: pipelined diverged from serial");
+        assert_eq!(facade.n_assignments(), four_svc.n_assignments());
     }
 }
 
