@@ -11,11 +11,13 @@ USAGE:
                [--epsilon E] [--out FILE]
   ltc run      --input FILE --algo <aam|laf|random|mcf-ltc|base-off> [--stats]
   ltc stream   --input FILE --algo <aam|laf|random> [--checkins FILE]
-               [--seed S] [--shards N] [--pipeline D] [--snapshot-out FILE]
+               [--seed S] [--shards N] [--pipeline D] [--rebalance N]
+               [--snapshot-out FILE]
   ltc snapshot --input FILE --algo <aam|laf|random> --out FILE
                [--checkins FILE] [--seed S] [--shards N] [--pipeline D]
+               [--rebalance N]
   ltc resume   --snapshot FILE [--checkins FILE] [--pipeline D]
-               [--snapshot-out FILE]
+               [--rebalance N] [--snapshot-out FILE]
   ltc exact    --input FILE [--budget NODES]
   ltc simulate --input FILE --algo <...> [--trials N] [--seed S]
   ltc bounds   --input FILE
@@ -39,7 +41,11 @@ shards (default 1; single-shard output is bit-identical to the engine).
 --pipeline D keeps up to D check-ins in flight across the shard threads
 (default 1 = lockstep, byte-stable output; with D > 1 the stream may
 consume up to D-1 extra check-ins past completion — they assign nothing,
-but the summary's worker count includes them).
+but the summary's worker count includes them). --rebalance N quiesces
+the session every N accepted check-ins and re-splits the shard stripes
+by live-task load (task migration is exact, so assignments are
+unchanged; skipped rebalances print nothing, applied ones emit a
+rebalance NDJSON line).
 
 `snapshot` is `stream` that also writes the service state to --out when
 the check-ins are exhausted (or every task completed); `stream
@@ -150,6 +156,9 @@ pub enum Command {
         /// Check-ins kept in flight across the shard runtime (1 =
         /// lockstep, byte-stable output).
         pipeline: usize,
+        /// Rebalance the shard stripes every this many accepted
+        /// check-ins (`None` = never).
+        rebalance: Option<u64>,
         /// Where to write the final service snapshot, if anywhere.
         snapshot_out: Option<String>,
     },
@@ -161,6 +170,9 @@ pub enum Command {
         checkins: Option<String>,
         /// Check-ins kept in flight across the shard runtime.
         pipeline: usize,
+        /// Rebalance the shard stripes every this many accepted
+        /// check-ins (`None` = never).
+        rebalance: Option<u64>,
         /// Where to write the updated snapshot, if anywhere.
         snapshot_out: Option<String>,
     },
@@ -308,6 +320,7 @@ impl Command {
                         "--seed",
                         "--shards",
                         "--pipeline",
+                        "--rebalance",
                         "--snapshot-out",
                     ]
                 } else {
@@ -318,6 +331,7 @@ impl Command {
                         "--seed",
                         "--shards",
                         "--pipeline",
+                        "--rebalance",
                         "--out",
                     ]
                 };
@@ -341,6 +355,7 @@ impl Command {
                     return Err(ParseError("--shards must be positive".into()));
                 }
                 let pipeline = parse_pipeline(&mut flags)?;
+                let rebalance = parse_rebalance(&mut flags)?;
                 let snapshot_out = if cmd == "stream" {
                     flags.value("--snapshot-out")?.map(str::to_string)
                 } else {
@@ -361,6 +376,7 @@ impl Command {
                     },
                     shards,
                     pipeline,
+                    rebalance,
                     snapshot_out,
                 })
             }
@@ -369,6 +385,7 @@ impl Command {
                     "--snapshot",
                     "--checkins",
                     "--pipeline",
+                    "--rebalance",
                     "--snapshot-out",
                 ])?;
                 Ok(Command::Resume {
@@ -378,6 +395,7 @@ impl Command {
                         .to_string(),
                     checkins: flags.value("--checkins")?.map(str::to_string),
                     pipeline: parse_pipeline(&mut flags)?,
+                    rebalance: parse_rebalance(&mut flags)?,
                     snapshot_out: flags.value("--snapshot-out")?.map(str::to_string),
                 })
             }
@@ -430,6 +448,19 @@ fn parse_pipeline(flags: &mut Flags<'_>) -> Result<usize, ParseError> {
         return Err(ParseError("--pipeline must be positive".into()));
     }
     Ok(pipeline)
+}
+
+fn parse_rebalance(flags: &mut Flags<'_>) -> Result<Option<u64>, ParseError> {
+    match flags.value("--rebalance")? {
+        Some(v) => {
+            let every = parse_num::<u64>(v, "rebalance interval")?;
+            if every == 0 {
+                return Err(ParseError("--rebalance must be positive".into()));
+            }
+            Ok(Some(every))
+        }
+        None => Ok(None),
+    }
 }
 
 fn required_input(flags: &mut Flags<'_>) -> Result<String, ParseError> {
@@ -548,6 +579,7 @@ mod tests {
                 seed: 0x5EED,
                 shards: 1,
                 pipeline: 1,
+                rebalance: None,
                 snapshot_out: None,
             }
         );
@@ -565,9 +597,36 @@ mod tests {
                 seed: 7,
                 shards: 4,
                 pipeline: 32,
+                rebalance: None,
                 snapshot_out: Some("s.ltc".into()),
             }
         );
+    }
+
+    #[test]
+    fn rebalance_interval_parses_and_rejects_zero() {
+        let cmd = Command::parse(&argv(
+            "stream --input x.tsv --algo laf --shards 4 --rebalance 500",
+        ))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Stream {
+                rebalance: Some(500),
+                shards: 4,
+                ..
+            }
+        ));
+        let cmd = Command::parse(&argv("resume --snapshot s.ltc --rebalance 100")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Resume {
+                rebalance: Some(100),
+                ..
+            }
+        ));
+        assert!(Command::parse(&argv("stream --input x.tsv --algo laf --rebalance 0")).is_err());
+        assert!(Command::parse(&argv("run --input x.tsv --algo laf --rebalance 5")).is_err());
     }
 
     #[test]
@@ -591,6 +650,7 @@ mod tests {
                 seed: 0x5EED,
                 shards: 1,
                 pipeline: 1,
+                rebalance: None,
                 snapshot_out: Some("s.ltc".into()),
             }
         );
@@ -606,6 +666,7 @@ mod tests {
                 snapshot: "s.ltc".into(),
                 checkins: Some("c.tsv".into()),
                 pipeline: 8,
+                rebalance: None,
                 snapshot_out: Some("s2.ltc".into()),
             }
         );

@@ -38,6 +38,7 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
             seed,
             shards,
             pipeline,
+            rebalance,
             snapshot_out,
         } => stream_cmd(
             &input,
@@ -46,6 +47,7 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
             seed,
             shards,
             pipeline,
+            rebalance,
             snapshot_out.as_deref(),
             out,
         ),
@@ -53,11 +55,13 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
             snapshot,
             checkins,
             pipeline,
+            rebalance,
             snapshot_out,
         } => resume_cmd(
             &snapshot,
             checkins.as_deref(),
             pipeline,
+            rebalance,
             snapshot_out.as_deref(),
             out,
         ),
@@ -280,6 +284,7 @@ fn stream_cmd(
     seed: u64,
     shards: usize,
     pipeline: usize,
+    rebalance: Option<u64>,
     snapshot_out: Option<&str>,
     out: &mut dyn Write,
 ) -> CmdResult {
@@ -288,7 +293,7 @@ fn stream_cmd(
         .algorithm(service_algorithm(algo, seed))
         .shards(NonZeroUsize::new(shards).ok_or("--shards must be positive")?)
         .start()?;
-    drive_stream(handle, checkins, pipeline, snapshot_out, out)
+    drive_stream(handle, checkins, pipeline, rebalance, snapshot_out, out)
 }
 
 /// `ltc resume`: restore a session from a snapshot file and keep
@@ -297,6 +302,7 @@ fn resume_cmd(
     snapshot: &str,
     checkins: Option<&str>,
     pipeline: usize,
+    rebalance: Option<u64>,
     snapshot_out: Option<&str>,
     out: &mut dyn Write,
 ) -> CmdResult {
@@ -304,7 +310,7 @@ fn resume_cmd(
         std::fs::File::open(snapshot).map_err(|e| format!("cannot open `{snapshot}`: {e}"))?;
     let decoded = snapshot_format::read_snapshot(std::io::BufReader::new(file))?;
     let handle = ServiceHandle::restore(decoded)?;
-    drive_stream(handle, checkins, pipeline, snapshot_out, out)
+    drive_stream(handle, checkins, pipeline, rebalance, snapshot_out, out)
 }
 
 /// Blocks until the next finished check-in arrives on the subscription,
@@ -337,6 +343,7 @@ fn drive_stream(
     mut handle: ServiceHandle,
     checkins: Option<&str>,
     pipeline: usize,
+    rebalance_every: Option<u64>,
     snapshot_out: Option<&str>,
     out: &mut dyn Write,
 ) -> CmdResult {
@@ -359,6 +366,7 @@ fn drive_stream(
     let started = std::time::Instant::now();
     let mut spam_skipped: u64 = 0;
     let mut in_flight: usize = 0;
+    let mut accepted: u64 = 0;
     for (lineno, line) in reader.lines().enumerate() {
         // With depth 1 every submission has been pumped before this
         // check, so completion is observed exactly like the synchronous
@@ -381,8 +389,29 @@ fn drive_stream(
         }
         handle.submit_worker(&worker)?;
         in_flight += 1;
+        accepted += 1;
         while in_flight >= depth {
             pump_worker_event(&events, &mut in_flight, out)?;
+        }
+        if let Some(every) = rebalance_every {
+            if accepted.is_multiple_of(every) {
+                // Flush the pipeline first so NDJSON lines stay in
+                // submission order around the quiesce, then re-split the
+                // stripes by live-task load (exact — assignments are
+                // unchanged, only placement).
+                while in_flight > 0 {
+                    pump_worker_event(&events, &mut in_flight, out)?;
+                }
+                if let Some(outcome) = handle.rebalance()? {
+                    writeln!(
+                        out,
+                        "{{\"rebalance\":true,\"after_workers\":{accepted},\
+                         \"moved_tasks\":{},\"max_mean_ratio\":{:.3}}}",
+                        outcome.moved_tasks,
+                        outcome.max_mean_ratio()
+                    )?;
+                }
+            }
         }
     }
     while in_flight > 0 {

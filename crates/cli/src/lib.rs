@@ -6,10 +6,20 @@
 //! ```text
 //! ltc generate --preset synthetic --scale 16 --out data.tsv
 //! ltc run      --input data.tsv --algo aam --stats
+//! ltc stream   --input data.tsv --algo laf --shards 4 --pipeline 32 \
+//!              --rebalance 10000 --snapshot-out state.ltc
+//! ltc resume   --snapshot state.ltc --checkins more.tsv
 //! ltc exact    --input data.tsv
 //! ltc simulate --input data.tsv --algo laf --trials 1000
 //! ltc bounds   --input data.tsv
 //! ```
+//!
+//! `stream`/`snapshot`/`resume` ride the pipelined
+//! [`ServiceHandle`](ltc_core::service::ServiceHandle) runtime —
+//! persistent shard threads, submission-ordered NDJSON output, exact
+//! mid-stream snapshots, and optional periodic stripe rebalancing; the
+//! batch commands (`run`, `exact`, `simulate`, `bounds`) replay
+//! recorded instances. See `docs/ARCHITECTURE.md` for the layering.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -82,6 +82,11 @@ pub struct AssignmentEngine {
     task_index: Option<GridIndex<u32>>,
     /// Arrival counter: the id the next pushed worker receives.
     next_arrival: u64,
+    /// The index clamp count observed at the last index growth (or at
+    /// build), so growth triggers on clamps *since* then. Not durable
+    /// state: a restore re-counts clamps from re-inserting the live
+    /// tasks, which is self-consistent with the restored geometry.
+    index_clamp_mark: u64,
     /// Per-task remaining worker-units `⌈(δ − S[t])⁺⌉` (0 once
     /// completed), maintained incrementally so AAM's regime scan needs no
     /// per-worker pass over the uncompleted set.
@@ -124,6 +129,7 @@ impl AssignmentEngine {
             arrangement: Arrangement::new(),
             task_index,
             next_arrival: 0,
+            index_clamp_mark: 0,
             units: Vec::new(),
             units_sum: 0.0,
             units_counts: BTreeMap::new(),
@@ -164,6 +170,7 @@ impl AssignmentEngine {
             arrangement: Arrangement::new(),
             task_index,
             next_arrival: 0,
+            index_clamp_mark: 0,
             units: vec![full_units; n],
             units_sum: full_units * n as f64,
             units_counts,
@@ -334,6 +341,53 @@ impl AssignmentEngine {
         self.task_index
             .as_ref()
             .map_or(0, |idx| idx.n_clamped_insertions())
+    }
+
+    /// Grows the spatial index when at least `clamp_threshold` insertions
+    /// clamped into border cells since the last growth (or since build) —
+    /// the adaptive response to a region guess that under-covers the
+    /// workload. Returns whether the index was rebucketed.
+    ///
+    /// Growth is **decision-neutral**: queries are exact before and after
+    /// (see [`GridIndex::rebucket`]), so candidate sets — and therefore
+    /// every assignment — are bit-identical with or without it; only the
+    /// per-query constant factor improves. A threshold of `0` never
+    /// grows.
+    pub fn maybe_grow_index(&mut self, clamp_threshold: u64) -> bool {
+        let Some(index) = &self.task_index else {
+            return false;
+        };
+        if clamp_threshold == 0 {
+            return false;
+        }
+        let clamped = index.n_clamped_insertions();
+        if clamped.saturating_sub(self.index_clamp_mark) < clamp_threshold {
+            return false;
+        }
+        self.grow_index()
+    }
+
+    /// Unconditionally rebuckets the spatial index over bounds covering
+    /// both its current extent and every live task, and re-arms the
+    /// clamp-threshold trigger of [`AssignmentEngine::maybe_grow_index`].
+    /// Returns whether the extent actually changed (`false` when every
+    /// live task already fits, or under
+    /// [`Eligibility::Unrestricted`]).
+    pub fn grow_index(&mut self) -> bool {
+        let Some(index) = &mut self.task_index else {
+            return false;
+        };
+        let current = index.requested_bounds();
+        let grown = match BoundingBox::of_points(index.entries().map(|(_, p)| p)) {
+            Some(live) => current.union(live),
+            None => current,
+        };
+        let changed = grown != current;
+        if changed {
+            index.rebucket(index.cell_size(), grown);
+        }
+        self.index_clamp_mark = index.n_clamped_insertions();
+        changed
     }
 
     /// Accumulated quality of a task (`S[t]`).
@@ -647,10 +701,14 @@ impl AssignmentEngine {
             completed: self.completed.clone(),
             assignments: self.arrangement.assignments().to_vec(),
             next_arrival: self.next_arrival,
+            // The *requested* bounds, not the laid-out extent: rebuilding
+            // with these reproduces the layout, so restore → snapshot is
+            // a fixed point (the laid-out extent rounds up to whole
+            // cells and would grow by one cell per round trip).
             index_geometry: self
                 .task_index
                 .as_ref()
-                .map(|idx| (idx.cell_size(), idx.bounds())),
+                .map(|idx| (idx.cell_size(), idx.requested_bounds())),
         }
     }
 
@@ -721,6 +779,7 @@ impl AssignmentEngine {
             arrangement: Arrangement::new(),
             task_index,
             next_arrival: state.next_arrival,
+            index_clamp_mark: 0,
             units: vec![0.0; n],
             units_sum: 0.0,
             units_counts: BTreeMap::new(),
@@ -1015,6 +1074,54 @@ mod tests {
             engine.commit(WorkerId(99), w, TaskId(0));
         }
         assert_eq!(engine.remaining_units(), scan(&engine));
+    }
+
+    #[test]
+    fn adaptive_index_growth_is_decision_neutral_and_stops_clamping() {
+        let params = ProblemParams::builder()
+            .epsilon(0.3)
+            .capacity(2)
+            .d_max(30.0)
+            .build()
+            .unwrap();
+        // The declared region badly under-covers the workload: every task
+        // lands in a hotspot around (500, 500).
+        let region = BoundingBox::new(Point::ORIGIN, Point::new(100.0, 100.0));
+        let mut adaptive = AssignmentEngine::new(params, region).unwrap();
+        let mut fixed = AssignmentEngine::new(params, region).unwrap();
+        let mut algo_a = crate::online::Laf::new();
+        let mut algo_f = crate::online::Laf::new();
+        for i in 0..10u64 {
+            let task = Task::new(Point::new(
+                500.0 + (i % 5) as f64 * 6.0,
+                500.0 + (i / 5) as f64 * 6.0,
+            ));
+            adaptive.add_task(task).unwrap();
+            fixed.add_task(task).unwrap();
+            adaptive.maybe_grow_index(4);
+            let worker = Worker::new(Point::new(505.0 + (i % 3) as f64, 502.0), 0.9);
+            let a = adaptive.push_worker(&worker, &mut algo_a);
+            let b = fixed.push_worker(&worker, &mut algo_f);
+            assert_eq!(
+                a.iter().collect::<Vec<_>>(),
+                b.iter().collect::<Vec<_>>(),
+                "growth changed a decision at step {i}"
+            );
+        }
+        // The adaptive engine grew once the threshold was crossed, so
+        // later hotspot inserts stopped clamping; the fixed engine kept
+        // clamping every insert.
+        let grown = adaptive.index_clamped_insertions();
+        assert!((4..10).contains(&grown), "got {grown}");
+        assert_eq!(fixed.index_clamped_insertions(), 10);
+        adaptive
+            .add_task(Task::new(Point::new(510.0, 505.0)))
+            .unwrap();
+        assert_eq!(
+            adaptive.index_clamped_insertions(),
+            grown,
+            "post-growth hotspot inserts must not clamp"
+        );
     }
 
     #[test]

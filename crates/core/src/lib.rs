@@ -64,6 +64,19 @@
 //! remains the supported substrate for algorithm implementations and
 //! differential tests.
 //!
+//! The spatial layer **adapts** when the deployment-time region guess
+//! meets a skewed or drifting workload:
+//! [`service::ServiceBuilder::grow_index_after`] rebuckets a shard's
+//! grid index over the live tasks once border-clamp telemetry
+//! ([`service::ServiceMetrics::clamped_insertions`]) crosses the
+//! threshold, and [`service::LtcService::rebalance`] /
+//! [`service::ServiceHandle::rebalance`] (automated by
+//! [`service::ServiceBuilder::rebalance_factor`]) re-split the shard
+//! stripes by live-task mass, migrating tasks exactly — assignments
+//! never change, and a rebalanced layout round-trips through snapshots.
+//! See `docs/ARCHITECTURE.md` and `docs/SNAPSHOT_FORMAT.md` in the
+//! repository for the full design and wire grammar.
+//!
 //! ## Algorithms
 //!
 //! | Scenario | Algorithm | Guarantee | Strategy |

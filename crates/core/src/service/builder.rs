@@ -36,6 +36,38 @@ use std::num::NonZeroUsize;
 ///     }
 /// }
 /// ```
+///
+/// Under skewed or drifting traffic, opt into the adaptive spatial
+/// layer — index growth when the region guess turns out wrong, stripe
+/// rebalancing when one shard absorbs the load (both are exact: the
+/// committed assignments never change; see `docs/ARCHITECTURE.md`):
+///
+/// ```
+/// use ltc_core::model::{ProblemParams, Task};
+/// use ltc_core::service::{Algorithm, ServiceBuilder};
+/// use ltc_spatial::{BoundingBox, Point};
+/// use std::num::NonZeroUsize;
+///
+/// let params = ProblemParams::builder().epsilon(0.25).build().unwrap();
+/// let region = BoundingBox::new(Point::ORIGIN, Point::new(1000.0, 1000.0));
+/// let mut service = ServiceBuilder::new(params, region)
+///     .algorithm(Algorithm::Laf)
+///     .shards(NonZeroUsize::new(4).unwrap())
+///     .grow_index_after(512)   // rebucket once 512 inserts clamp
+///     .rebalance_factor(1.5)   // re-stripe when max > 1.5 x mean load
+///     .build()
+///     .unwrap();
+///
+/// // A task cluster far outside the declared region: served exactly
+/// // either way, and the adaptive layer keeps serving it *efficiently*
+/// // (rebalancing is column-granular, so the cluster spans many tiles).
+/// for i in 0..32 {
+///     service.post_task(Task::new(Point::new(5000.0 + i as f64 * 40.0, 500.0))).unwrap();
+/// }
+/// let outcome = service.rebalance().unwrap().expect("the cluster skews the load");
+/// assert!(outcome.moved_tasks > 0);
+/// assert!(outcome.max_mean_ratio() <= 1.5);
+/// ```
 #[derive(Debug, Clone)]
 pub struct ServiceBuilder {
     params: ProblemParams,
@@ -46,6 +78,8 @@ pub struct ServiceBuilder {
     batch_capacity: usize,
     accuracy: AccuracyModel,
     tasks: Vec<Task>,
+    grow_clamps: Option<u64>,
+    rebalance_factor: Option<f64>,
 }
 
 impl ServiceBuilder {
@@ -62,6 +96,8 @@ impl ServiceBuilder {
             batch_capacity: 1024,
             accuracy: AccuracyModel::Sigmoid,
             tasks: Vec::new(),
+            grow_clamps: None,
+            rebalance_factor: None,
         }
     }
 
@@ -120,6 +156,37 @@ impl ServiceBuilder {
     /// 1024.
     pub fn mailbox_capacity(self, mailbox_capacity: usize) -> Self {
         self.batch_capacity(mailbox_capacity)
+    }
+
+    /// Enables **adaptive spatial-index growth**: a shard whose grid
+    /// index clamps `clamped_insertions` more task insertions into its
+    /// border cells (since build or the previous growth) rebuilds the
+    /// index over bounds covering every live task. Growth is
+    /// decision-neutral — queries are exact at any extent, so
+    /// assignments are bit-identical with or without it; it only stops
+    /// the border buckets from absorbing ever more distance checks when
+    /// the declared region under-covers the workload (watch
+    /// [`ServiceMetrics::clamped_insertions`](super::ServiceMetrics::clamped_insertions)).
+    /// Disabled by default (`0` also disables).
+    pub fn grow_index_after(mut self, clamped_insertions: u64) -> Self {
+        self.grow_clamps = (clamped_insertions > 0).then_some(clamped_insertions);
+        self
+    }
+
+    /// Enables **automatic stripe rebalancing** on the synchronous
+    /// facade: every
+    /// [`AUTO_REBALANCE_POST_INTERVAL`](LtcService::AUTO_REBALANCE_POST_INTERVAL)
+    /// posted tasks the facade compares the heaviest shard's live-task
+    /// load against the mean, and runs
+    /// [`LtcService::rebalance`] when `max > max_over_mean · mean`
+    /// (the factor is clamped to at least 1.0; loads below four live
+    /// tasks per shard never trigger). Disabled by default. The
+    /// pipelined handle does not auto-rebalance — a rebalance drains the
+    /// mailboxes, so the handle leaves the timing to the caller
+    /// ([`ServiceHandle::rebalance`](super::ServiceHandle::rebalance)).
+    pub fn rebalance_factor(mut self, max_over_mean: f64) -> Self {
+        self.rebalance_factor = max_over_mean.is_finite().then_some(max_over_mean.max(1.0));
+        self
     }
 
     /// Sets the accuracy model (default the paper's Eq. 1 sigmoid).
@@ -203,6 +270,7 @@ impl ServiceBuilder {
                 engine,
                 policy: self.algorithm.policy(s),
                 globals: std::mem::take(&mut globals[s]),
+                grow_clamps: self.grow_clamps,
             });
         }
         Ok(LtcService::assemble(
@@ -211,6 +279,8 @@ impl ServiceBuilder {
             self.algorithm,
             cell_size,
             self.batch_capacity,
+            self.grow_clamps,
+            self.rebalance_factor,
             router,
             shards,
             task_map,

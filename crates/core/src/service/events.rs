@@ -72,6 +72,20 @@ pub enum Lifecycle {
         /// The out-of-region task.
         task: TaskId,
     },
+    /// A stripe rebalance completed on a live handle
+    /// ([`ServiceHandle::rebalance`](super::ServiceHandle::rebalance)):
+    /// the router was re-striped by live-task mass and tasks migrated
+    /// between shards at a quiesced point. Decisions are unaffected —
+    /// only load placement changed. Ordered exactly after the
+    /// [`Lifecycle::Drained`] of the quiesce that preceded it.
+    Rebalanced {
+        /// Tasks whose owning shard changed.
+        moved_tasks: u64,
+        /// Heaviest shard's live-task count after the rebalance.
+        max_load: u64,
+        /// Mean live-task count per shard after the rebalance.
+        mean_load: f64,
+    },
     /// The handle began shutting down; no further events will follow.
     ShuttingDown,
 }

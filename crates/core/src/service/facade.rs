@@ -2,11 +2,12 @@
 //! of the sharded core on the caller's thread.
 
 use super::handle::ServiceHandle;
+use super::rebalance::{plan_rebalance, RebalanceOutcome, StripeLayout};
 use super::shard::{
     append_merge_events, global_units, merge_and_truncate, Proposal, ProposeScratch, Shard,
 };
 use super::{Algorithm, Event, ServiceBuilder, ServiceError, ServiceMetrics};
-use crate::engine::EngineState;
+use crate::engine::{AssignmentEngine, EngineState};
 use crate::model::{AccuracyModel, ProblemParams, Task, TaskId, Worker, WorkerId};
 use ltc_spatial::{BoundingBox, ShardRouter};
 
@@ -42,6 +43,12 @@ pub struct LtcService {
     algorithm: Algorithm,
     cell_size: f64,
     batch_capacity: usize,
+    /// Adaptive-index knob (see [`ServiceBuilder::grow_index_after`]).
+    grow_clamps: Option<u64>,
+    /// Auto-rebalance knob (see [`ServiceBuilder::rebalance_factor`]).
+    rebalance_factor: Option<f64>,
+    /// Posts since the last auto-rebalance load check.
+    posts_since_balance_check: u64,
     router: ShardRouter,
     shards: Vec<Shard>,
     /// `task_map[global] = (shard, local)`.
@@ -64,6 +71,8 @@ pub(crate) struct ServiceParts {
     pub(crate) algorithm: Algorithm,
     pub(crate) cell_size: f64,
     pub(crate) batch_capacity: usize,
+    pub(crate) grow_clamps: Option<u64>,
+    pub(crate) rebalance_factor: Option<f64>,
     pub(crate) router: ShardRouter,
     pub(crate) shards: Vec<Shard>,
     pub(crate) task_map: Vec<(u32, u32)>,
@@ -86,6 +95,8 @@ impl LtcService {
         algorithm: Algorithm,
         cell_size: f64,
         batch_capacity: usize,
+        grow_clamps: Option<u64>,
+        rebalance_factor: Option<f64>,
         router: ShardRouter,
         shards: Vec<Shard>,
         task_map: Vec<(u32, u32)>,
@@ -96,6 +107,8 @@ impl LtcService {
             algorithm,
             cell_size,
             batch_capacity,
+            grow_clamps,
+            rebalance_factor,
             router,
             shards,
             task_map,
@@ -112,6 +125,9 @@ impl LtcService {
             algorithm: parts.algorithm,
             cell_size: parts.cell_size,
             batch_capacity: parts.batch_capacity,
+            grow_clamps: parts.grow_clamps,
+            rebalance_factor: parts.rebalance_factor,
+            posts_since_balance_check: 0,
             router: parts.router,
             shards: parts.shards,
             task_map: parts.task_map,
@@ -131,6 +147,8 @@ impl LtcService {
             algorithm: self.algorithm,
             cell_size: self.cell_size,
             batch_capacity: self.batch_capacity,
+            grow_clamps: self.grow_clamps,
+            rebalance_factor: self.rebalance_factor,
             router: self.router,
             shards: self.shards,
             task_map: self.task_map,
@@ -297,7 +315,109 @@ impl LtcService {
         debug_assert_eq!(local.index(), shard.globals.len());
         shard.globals.push(global);
         self.task_map.push((s as u32, local.0));
+        shard.maybe_grow_index();
+        self.maybe_auto_rebalance();
         Ok(TaskId(global))
+    }
+
+    /// The facade's auto-rebalance trigger (see
+    /// [`ServiceBuilder::rebalance_factor`]): every
+    /// [`Self::AUTO_REBALANCE_POST_INTERVAL`] posts, compare the
+    /// heaviest shard's live-task load against the mean and rebalance
+    /// when it exceeds the configured factor. Cheap between triggers —
+    /// one O(shards) scan of O(1) counters.
+    fn maybe_auto_rebalance(&mut self) {
+        let Some(factor) = self.rebalance_factor else {
+            return;
+        };
+        if self.shards.len() <= 1 {
+            return;
+        }
+        self.posts_since_balance_check += 1;
+        if self.posts_since_balance_check < Self::AUTO_REBALANCE_POST_INTERVAL {
+            return;
+        }
+        self.posts_since_balance_check = 0;
+        let mut total = 0usize;
+        let mut max = 0usize;
+        for s in &self.shards {
+            let live = s.engine.n_uncompleted();
+            total += live;
+            max = max.max(live);
+        }
+        // Don't churn a nearly empty pool.
+        if total < 4 * self.shards.len() {
+            return;
+        }
+        let mean = total as f64 / self.shards.len() as f64;
+        if (max as f64) <= factor * mean {
+            return;
+        }
+        // Cheap no-op guard before the real thing: a skewed-but-
+        // unsplittable pool (all mass in one column) would otherwise pay
+        // a full engine-state clone every interval forever. This
+        // recomputes exactly the layout `plan_rebalance` would
+        // (`rebalance::balanced_router` is shared), from an O(live)
+        // scan instead of an O(total history) deep copy.
+        let mut live_xs = Vec::with_capacity(total);
+        for shard in &self.shards {
+            let engine = &shard.engine;
+            for t in engine.uncompleted_tasks() {
+                live_xs.push(engine.tasks()[t.index()].loc.x);
+            }
+        }
+        if super::rebalance::balanced_router(self.region, &self.router, &live_xs) == self.router {
+            return;
+        }
+        // Plan errors mean corrupt internal state, which `restore`
+        // and the engines would also reject; the auto path has no
+        // error channel, so leave the service as it was (the next
+        // explicit call surfaces the error).
+        let _ = self.rebalance();
+    }
+
+    /// How often (in posted tasks) the auto-rebalance policy re-checks
+    /// the load skew; see [`ServiceBuilder::rebalance_factor`].
+    pub const AUTO_REBALANCE_POST_INTERVAL: u64 = 64;
+
+    /// Re-splits the router's tile columns by observed **live-task
+    /// mass** and migrates tasks between shards — the load-balancing
+    /// response to a skewed or drifting workload. The tiled extent is
+    /// extended over the live tasks' actual x-range first, so
+    /// out-of-region drift gets real columns instead of piling into the
+    /// clamped border stripe.
+    ///
+    /// Returns `Ok(None)` when there is nothing to do (single shard, or
+    /// the balanced layout equals the current one); otherwise the
+    /// migration summary. Decisions are never affected: tasks move with
+    /// their exact quality/completion/assignment state and keep
+    /// ascending global order within each shard, so an N-shard service
+    /// remains differentially identical to a 1-shard one across any
+    /// number of rebalances (see `crates/core/tests/rebalance.rs`).
+    ///
+    /// The pipelined front-end exposes the same operation at a quiesced
+    /// point: [`ServiceHandle::rebalance`].
+    pub fn rebalance(&mut self) -> Result<Option<RebalanceOutcome>, ServiceError> {
+        if self.shards.len() <= 1 {
+            return Ok(None);
+        }
+        let states: Vec<EngineState> = self.shards.iter().map(|s| s.engine.to_state()).collect();
+        let Some(plan) = plan_rebalance(self.region, &self.router, &self.task_map, &states)? else {
+            return Ok(None);
+        };
+        // Build every engine before touching the service, so a failure
+        // (corrupt state — should be impossible) leaves it unchanged.
+        let mut engines = Vec::with_capacity(plan.engines.len());
+        for state in plan.engines {
+            engines.push(AssignmentEngine::from_state(state).map_err(ServiceError::Engine)?);
+        }
+        for ((shard, engine), globals) in self.shards.iter_mut().zip(engines).zip(plan.globals) {
+            shard.engine = engine;
+            shard.globals = globals;
+        }
+        self.router = plan.router;
+        self.task_map = plan.task_map;
+        Ok(Some(plan.outcome))
     }
 
     /// The shards an arriving worker can reach (the routing rule shared
@@ -474,12 +594,35 @@ impl LtcService {
     }
 
     /// Extracts the full durable service state (configuration, shard
-    /// engines, routing maps, counters, RNG stream positions) for crash
-    /// recovery. Serialize it with [`crate::snapshot::write_snapshot`].
+    /// engines, routing maps, stripe layout, counters, RNG stream
+    /// positions) for crash recovery. Serialize it with
+    /// [`crate::snapshot::write_snapshot`].
     ///
     /// The restored service continues bit-identically for every policy:
-    /// LAF/AAM carry no hidden state, and [`Algorithm::Random`] streams
-    /// are fast-forwarded to their recorded positions.
+    /// LAF/AAM carry no hidden state, [`Algorithm::Random`] streams are
+    /// fast-forwarded to their recorded positions, and a rebalanced
+    /// stripe layout or grown index extent restores as-is.
+    ///
+    /// ```
+    /// use ltc_core::model::{ProblemParams, Task, Worker};
+    /// use ltc_core::service::{LtcService, ServiceBuilder};
+    /// use ltc_core::snapshot::{load_service, write_snapshot};
+    /// use ltc_spatial::{BoundingBox, Point};
+    ///
+    /// let params = ProblemParams::builder().epsilon(0.3).capacity(2).build().unwrap();
+    /// let region = BoundingBox::new(Point::ORIGIN, Point::new(100.0, 100.0));
+    /// let mut service = ServiceBuilder::new(params, region).build().unwrap();
+    /// service.post_task(Task::new(Point::new(10.0, 10.0))).unwrap();
+    /// service.check_in(&Worker::new(Point::new(10.5, 10.0), 0.9));
+    ///
+    /// // snapshot → text → restore: the twin continues identically.
+    /// let mut text = Vec::new();
+    /// write_snapshot(&service.snapshot(), &mut text).unwrap();
+    /// let mut restored = load_service(text.as_slice()).unwrap();
+    /// assert_eq!(restored.n_assignments(), service.n_assignments());
+    /// let worker = Worker::new(Point::new(10.0, 10.5), 0.95);
+    /// assert_eq!(service.check_in(&worker), restored.check_in(&worker));
+    /// ```
     pub fn snapshot(&self) -> ServiceSnapshot {
         ServiceSnapshot {
             params: self.params,
@@ -487,6 +630,9 @@ impl LtcService {
             algorithm: self.algorithm,
             cell_size: self.cell_size,
             batch_capacity: self.batch_capacity,
+            grow_clamps: self.grow_clamps,
+            rebalance_factor: self.rebalance_factor,
+            stripes: stripe_record(&self.router, self.shards.len(), self.cell_size, self.region),
             next_arrival: self.next_arrival,
             task_map: self.task_map.clone(),
             engines: self.shards.iter().map(|s| s.engine.to_state()).collect(),
@@ -512,6 +658,20 @@ impl LtcService {
                 "rng stream positions disagree with the shard count",
             ));
         }
+        let router = match snapshot.stripes {
+            None => ShardRouter::new(n_shards, snapshot.cell_size, snapshot.region),
+            Some(layout) => {
+                let router = layout
+                    .into_router()
+                    .map_err(|_| ServiceError::BadSnapshot("invalid stripe layout"))?;
+                if router.n_shards() != n_shards {
+                    return Err(ServiceError::BadSnapshot(
+                        "stripe layout disagrees with the shard count",
+                    ));
+                }
+                router
+            }
+        };
         // Enforce the same invariant as `ServiceBuilder::build`: tabular
         // accuracy models index workers globally and cannot be sharded —
         // a snapshot claiming otherwise is corrupt, not restorable.
@@ -523,7 +683,6 @@ impl LtcService {
         {
             return Err(ServiceError::TabularNeedsSingleShard);
         }
-        let router = ShardRouter::new(n_shards, snapshot.cell_size, snapshot.region);
         // Rebuild each shard's local→global map from the task map and
         // validate the mapping is a bijection onto the engines' tasks.
         let mut globals: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
@@ -567,6 +726,7 @@ impl LtcService {
                 engine,
                 policy,
                 globals: std::mem::take(&mut globals[s]),
+                grow_clamps: snapshot.grow_clamps,
             });
         }
         Ok(Self::from_parts(ServiceParts {
@@ -575,6 +735,8 @@ impl LtcService {
             algorithm: snapshot.algorithm,
             cell_size: snapshot.cell_size,
             batch_capacity: snapshot.batch_capacity.max(1),
+            grow_clamps: snapshot.grow_clamps,
+            rebalance_factor: snapshot.rebalance_factor,
             router,
             shards,
             task_map: snapshot.task_map,
@@ -583,6 +745,20 @@ impl LtcService {
             max_assigned_arrival,
         }))
     }
+}
+
+/// The stripe record a snapshot needs: `None` while the router still
+/// has the layout `ShardRouter::new` derives from the configuration
+/// (which keeps pre-rebalance snapshots byte-identical across
+/// versions), the explicit layout after any rebalance.
+pub(crate) fn stripe_record(
+    router: &ShardRouter,
+    n_shards: usize,
+    cell_size: f64,
+    region: BoundingBox,
+) -> Option<StripeLayout> {
+    let uniform = ShardRouter::new(n_shards, cell_size, region);
+    (*router != uniform).then(|| StripeLayout::of(router))
 }
 
 /// The durable state of an [`LtcService`]; plain data, serialized by
@@ -599,6 +775,17 @@ pub struct ServiceSnapshot {
     pub cell_size: f64,
     /// Batch dispatch capacity / runtime mailbox bound.
     pub batch_capacity: usize,
+    /// Adaptive-index growth threshold
+    /// ([`ServiceBuilder::grow_index_after`]); `None` = disabled.
+    pub grow_clamps: Option<u64>,
+    /// Auto-rebalance skew factor
+    /// ([`ServiceBuilder::rebalance_factor`]); `None` = disabled.
+    pub rebalance_factor: Option<f64>,
+    /// The router's stripe layout, when it differs from the default
+    /// equal-width striping of `region` (i.e. after a rebalance);
+    /// `None` restores the uniform layout. Serialized as the optional
+    /// `stripes` group of the `config` record.
+    pub stripes: Option<StripeLayout>,
     /// The service-global arrival counter.
     pub next_arrival: u64,
     /// `task_map[global] = (shard, local)`.

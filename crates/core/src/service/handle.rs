@@ -1,11 +1,12 @@
 //! The pipelined session API: a handle over persistent shard threads.
 
 use super::facade::{LtcService, ServiceParts, ServiceSnapshot};
+use super::rebalance::{plan_rebalance, RebalanceOutcome};
 use super::runtime::{
     collector_loop, shard_loop, CollectorMsg, Rendezvous, RuntimeStats, ShardMsg, ShardState,
 };
 use super::{Algorithm, EventStream, Lifecycle, ServiceError, ServiceMetrics};
-use crate::engine::EngineError;
+use crate::engine::{AssignmentEngine, EngineError, EngineState};
 use crate::model::{AccuracyModel, ProblemParams, Task, TaskId, Worker, WorkerId};
 use ltc_spatial::{BoundingBox, ShardRouter};
 use std::sync::atomic::Ordering;
@@ -72,6 +73,8 @@ pub struct ServiceHandle {
     algorithm: Algorithm,
     cell_size: f64,
     batch_capacity: usize,
+    grow_clamps: Option<u64>,
+    rebalance_factor: Option<f64>,
     router: ShardRouter,
     n_shards: usize,
     /// `task_map[global] = (shard, local)` — maintained at submission.
@@ -157,6 +160,8 @@ impl ServiceHandle {
             algorithm: parts.algorithm,
             cell_size: parts.cell_size,
             batch_capacity: parts.batch_capacity,
+            grow_clamps: parts.grow_clamps,
+            rebalance_factor: parts.rebalance_factor,
             router: parts.router,
             n_shards,
             task_map: parts.task_map,
@@ -417,7 +422,37 @@ impl ServiceHandle {
 
     /// Attaches a subscriber. It receives every event produced from now
     /// on: per-worker batches and task posts in exact submission order,
-    /// plus advisory [`Lifecycle`] notifications.
+    /// plus advisory [`Lifecycle`] notifications. Subscriptions are
+    /// buffered without bound, so a slow consumer trades memory, not
+    /// correctness.
+    ///
+    /// ```
+    /// use ltc_core::model::{ProblemParams, Task, Worker};
+    /// use ltc_core::service::{Event, ServiceBuilder, StreamEvent};
+    /// use ltc_spatial::{BoundingBox, Point};
+    ///
+    /// let params = ProblemParams::builder().epsilon(0.3).capacity(2).build().unwrap();
+    /// let region = BoundingBox::new(Point::ORIGIN, Point::new(100.0, 100.0));
+    /// let mut handle = ServiceBuilder::new(params, region).start().unwrap();
+    /// let events = handle.subscribe().unwrap();
+    ///
+    /// let task = handle.post_task(Task::new(Point::new(10.0, 10.0))).unwrap();
+    /// let worker = handle
+    ///     .submit_worker(&Worker::new(Point::new(10.5, 10.0), 0.95))
+    ///     .unwrap();
+    /// handle.drain().unwrap(); // everything above is now delivered
+    ///
+    /// // Deliveries arrive in exact submission order: the post, then
+    /// // the check-in's full event batch.
+    /// assert_eq!(events.try_next(), Some(StreamEvent::TaskPosted { task }));
+    /// match events.try_next() {
+    ///     Some(StreamEvent::Worker { worker: w, events }) => {
+    ///         assert_eq!(w, worker);
+    ///         assert!(matches!(events[0], Event::Assigned { .. }));
+    ///     }
+    ///     other => panic!("expected the worker's batch, got {other:?}"),
+    /// }
+    /// ```
     pub fn subscribe(&mut self) -> Result<EventStream, ServiceError> {
         let (tx, rx) = mpsc::channel();
         self.collector()?
@@ -476,11 +511,79 @@ impl ServiceHandle {
             algorithm: self.algorithm,
             cell_size: self.cell_size,
             batch_capacity: self.batch_capacity,
+            grow_clamps: self.grow_clamps,
+            rebalance_factor: self.rebalance_factor,
+            stripes: super::facade::stripe_record(
+                &self.router,
+                self.n_shards,
+                self.cell_size,
+                self.region,
+            ),
             next_arrival: self.next_arrival,
             task_map: self.task_map.clone(),
             engines,
             rng_draws,
         })
+    }
+
+    /// Quiesces the runtime and runs a load-aware stripe rebalance: the
+    /// same exact task migration as [`LtcService::rebalance`], applied
+    /// at a drained point — the mailboxes are empty when the shard
+    /// engines are swapped, so the session continues pipelining
+    /// immediately with identical decisions and better load placement.
+    /// Subscribers observe [`Lifecycle::Rebalanced`] (after the drain's
+    /// [`Lifecycle::Drained`]); `Ok(None)` means there was nothing to
+    /// move.
+    ///
+    /// The handle never rebalances on its own — a rebalance implies a
+    /// drain, so the caller picks the quiesce points (the CLI's
+    /// `stream --rebalance N` does it every `N` check-ins).
+    pub fn rebalance(&mut self) -> Result<Option<RebalanceOutcome>, ServiceError> {
+        if self.n_shards <= 1 {
+            return Ok(None);
+        }
+        self.drain()?;
+        let mut replies = Vec::with_capacity(self.n_shards);
+        for s in 0..self.n_shards {
+            let (tx, rx) = mpsc::sync_channel(1);
+            self.send_shard(s, ShardMsg::Snapshot { reply: tx })?;
+            replies.push(rx);
+        }
+        let mut states: Vec<EngineState> = Vec::with_capacity(self.n_shards);
+        for rx in replies {
+            states.push(
+                rx.recv()
+                    .map_err(|_| ServiceError::RuntimeStopped("a shard died during rebalance"))?
+                    .engine,
+            );
+        }
+        let Some(plan) = plan_rebalance(self.region, &self.router, &self.task_map, &states)? else {
+            return Ok(None);
+        };
+        // Build every engine before installing any, so a failure leaves
+        // the running shards untouched.
+        let mut engines = Vec::with_capacity(plan.engines.len());
+        for state in plan.engines {
+            engines.push(AssignmentEngine::from_state(state).map_err(ServiceError::Engine)?);
+        }
+        self.shard_task_counts = plan.globals.iter().map(|g| g.len() as u32).collect();
+        for (s, (engine, globals)) in engines.into_iter().zip(plan.globals).enumerate() {
+            self.send_shard(
+                s,
+                ShardMsg::Install {
+                    engine: Box::new(engine),
+                    globals,
+                },
+            )?;
+        }
+        self.router = plan.router;
+        self.task_map = plan.task_map;
+        self.announce(Lifecycle::Rebalanced {
+            moved_tasks: plan.outcome.moved_tasks,
+            max_load: plan.outcome.max_load(),
+            mean_load: plan.outcome.mean_load(),
+        });
+        Ok(Some(plan.outcome))
     }
 
     /// Live operational counters (the clamp telemetry is read from the
@@ -535,7 +638,9 @@ impl ServiceHandle {
             algorithm: self.algorithm,
             cell_size: self.cell_size,
             batch_capacity: self.batch_capacity,
-            router: self.router,
+            grow_clamps: self.grow_clamps,
+            rebalance_factor: self.rebalance_factor,
+            router: self.router.clone(),
             shards,
             task_map: std::mem::take(&mut self.task_map),
             next_arrival: self.next_arrival,

@@ -48,6 +48,13 @@
 //!   multi-shard LAF service commits the same assignments as a
 //!   single-shard one.
 //!
+//! The spatial layout is **adaptive**: clamp telemetry can trigger
+//! exact index regrowth ([`ServiceBuilder::grow_index_after`]) and the
+//! stripes can be re-split by live-task mass with exact task migration
+//! ([`LtcService::rebalance`] / [`ServiceHandle::rebalance`], automated
+//! by [`ServiceBuilder::rebalance_factor`]) — both decision-neutral,
+//! both durable across snapshots. See `docs/ARCHITECTURE.md`.
+//!
 //! [`Algorithm::Aam`]'s regime switch reads *global* remaining-unit
 //! statistics: a multi-shard service aggregates the per-shard O(1)
 //! sum/max on every check-in and injects the global view into the
@@ -62,6 +69,7 @@ mod builder;
 mod events;
 mod facade;
 mod handle;
+mod rebalance;
 mod runtime;
 mod shard;
 
@@ -69,6 +77,7 @@ pub use builder::ServiceBuilder;
 pub use events::{Event, EventStream, Lifecycle, ServiceMetrics, StreamEvent};
 pub use facade::{LtcService, ServiceSnapshot};
 pub use handle::ServiceHandle;
+pub use rebalance::{RebalanceOutcome, StripeLayout};
 
 use crate::engine::EngineError;
 use crate::online::{Aam, AamStrategy, Laf, OnlineAlgorithm, RandomAssign};

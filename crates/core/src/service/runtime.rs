@@ -103,6 +103,17 @@ pub(crate) enum ShardMsg {
         /// Where to send the state.
         reply: SyncSender<ShardState>,
     },
+    /// Replace the shard's engine and id map with a rebalanced partition
+    /// (only sent quiesced, between a drain and any new submissions, so
+    /// it can never interleave with in-flight work). The policy instance
+    /// stays — RNG streams and regime state belong to the shard, not to
+    /// its task subset.
+    Install {
+        /// The rebuilt engine over the shard's new task subset.
+        engine: Box<crate::engine::AssignmentEngine>,
+        /// The new local→global id map.
+        globals: Vec<u32>,
+    },
     /// Reply with the shard's border-clamp telemetry.
     Metrics {
         /// Where to send the counter.
@@ -205,6 +216,7 @@ pub(crate) fn shard_loop(mut rt: ShardRuntime, rx: Receiver<ShardMsg>) -> Shard 
                 .expect("the handle pre-validates posted tasks");
                 debug_assert_eq!(local.index(), rt.shard.globals.len());
                 rt.shard.globals.push(global);
+                rt.shard.maybe_grow_index();
                 rt.collector
                     .send(CollectorMsg::TaskPosted {
                         seq,
@@ -222,6 +234,10 @@ pub(crate) fn shard_loop(mut rt: ShardRuntime, rx: Receiver<ShardMsg>) -> Shard 
             }
             ShardMsg::Metrics { reply } => {
                 reply.send(rt.shard.engine.index_clamped_insertions()).ok();
+            }
+            ShardMsg::Install { engine, globals } => {
+                rt.shard.engine = *engine;
+                rt.shard.globals = globals;
             }
         }
     }

@@ -18,6 +18,12 @@ pub(crate) struct Shard {
     /// shard, local insertion order follows global posting order (the
     /// property that makes local tie-breaks match global ones).
     pub(crate) globals: Vec<u32>,
+    /// Adaptive-index policy knob
+    /// ([`ServiceBuilder::grow_index_after`](super::ServiceBuilder::grow_index_after)):
+    /// grow this shard's spatial index once that many insertions clamped
+    /// since the last growth. `None` keeps the PR-3 fixed-extent
+    /// behavior.
+    pub(crate) grow_clamps: Option<u64>,
 }
 
 /// Reusable buffers for [`Shard::propose`] (candidate enumeration and
@@ -115,6 +121,19 @@ impl Shard {
     /// policy before an `assign` call (no-op for other policies).
     pub(crate) fn set_hybrid_units(&mut self, units: (f64, f64)) {
         self.policy.set_global_units(units);
+    }
+
+    /// Applies the adaptive-index policy after a task post: grows the
+    /// engine's spatial index once the configured clamp threshold is
+    /// crossed (decision-neutral; see
+    /// [`AssignmentEngine::maybe_grow_index`](crate::engine::AssignmentEngine::maybe_grow_index)).
+    /// Both front-ends call this from their post paths, so growth points
+    /// depend only on the submission sequence, never on scheduling.
+    pub(crate) fn maybe_grow_index(&mut self) -> bool {
+        match self.grow_clamps {
+            Some(threshold) => self.engine.maybe_grow_index(threshold),
+            None => false,
+        }
     }
 }
 

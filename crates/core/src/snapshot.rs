@@ -8,13 +8,16 @@
 //! continue a stream with output identical to an uninterrupted run (see
 //! the differential test in `tests/service_parity.rs`).
 //!
-//! Layout (one section per line, in order):
+//! Layout (one section per line, in order; the full grammar with the
+//! compatibility policy lives in `docs/SNAPSHOT_FORMAT.md`):
 //!
 //! ```text
 //! ltc-snapshot v1
 //! params <eps> <K> <d_max> <min_acc> <within|unrestricted> <hoeffding|fixed> [th]
 //! region <min_x> <min_y> <max_x> <max_y>
 //! config <algo...> <cell_size> <batch_capacity> <next_arrival>
+//!        [grow <clamps>] [rebalance <factor>]
+//!        [stripes <n> <cell_size> <origin_x> <cols> <start ...>]
 //! taskmap <n> <shard-of-task ...>            // local ids are implied
 //! shard <i> <n_tasks> <next_arrival> [rng <draws>] <noindex | index cs x0 y0 x1 y1>
 //! tasks <x y ...>                            // per shard, local order
@@ -26,12 +29,29 @@
 //! end
 //! ```
 //!
-//! The optional `rng <draws>` group records a [`Algorithm::Random`]
-//! shard's RNG stream position (raw draws consumed), so a restored
-//! random baseline continues its stream bit-exactly instead of
-//! restarting from the seed. Snapshots without the group (older files,
-//! deterministic policies) still parse — the addition is
-//! backward-compatible within `v1`.
+//! Three optional groups extend `v1` backward-compatibly (each is
+//! written only when its feature is in use, so snapshots of services
+//! that never enabled it stay byte-identical across versions, and older
+//! files without the group still parse):
+//!
+//! * `rng <draws>` (per shard) — a [`Algorithm::Random`] shard's RNG
+//!   stream position (raw draws consumed), so a restored random
+//!   baseline continues its stream bit-exactly instead of restarting
+//!   from the seed;
+//! * `grow <clamps>` / `rebalance <factor>` — the adaptive-index and
+//!   auto-rebalance policy knobs
+//!   ([`ServiceBuilder::grow_index_after`](crate::service::ServiceBuilder::grow_index_after),
+//!   [`ServiceBuilder::rebalance_factor`](crate::service::ServiceBuilder::rebalance_factor)),
+//!   so a restored service keeps adapting the way the original did;
+//! * `stripes ...` — the router's explicit stripe layout
+//!   ([`StripeLayout`]), present once a
+//!   rebalance moved the stripes off the default equal-width split
+//!   (absent, the reader re-derives the uniform layout from `region`
+//!   and `cell_size`, exactly as earlier versions did).
+//!
+//! Per-shard **index bounds** (`index cs x0 y0 x1 y1`) have been part of
+//! `v1` since the beginning and round-trip adaptive growth for free: a
+//! grown index serializes its grown extent and restores over it.
 //!
 //! Unknown versions and any structural inconsistency are rejected with a
 //! [`SnapshotError`]; the reader never panics on malformed input.
@@ -41,7 +61,7 @@ use crate::model::{
     AccuracyModel, AccuracyTable, Assignment, Eligibility, ProblemParams, QualityModel, Task,
     TaskId, WorkerId,
 };
-use crate::service::{Algorithm, LtcService, ServiceError, ServiceSnapshot};
+use crate::service::{Algorithm, LtcService, ServiceError, ServiceSnapshot, StripeLayout};
 use ltc_spatial::{BoundingBox, Point};
 use std::fmt;
 use std::io::{self, BufRead, Write};
@@ -132,13 +152,33 @@ pub fn write_snapshot<W: Write>(snap: &ServiceSnapshot, mut out: W) -> io::Resul
         Algorithm::AamLrf => "aam-lrf".to_string(),
         Algorithm::Random { seed } => format!("random {seed}"),
     };
-    writeln!(
+    write!(
         out,
         "config {algo} {} {} {}",
         bits(snap.cell_size),
         snap.batch_capacity,
         snap.next_arrival
     )?;
+    if let Some(clamps) = snap.grow_clamps {
+        write!(out, " grow {clamps}")?;
+    }
+    if let Some(factor) = snap.rebalance_factor {
+        write!(out, " rebalance {}", bits(factor))?;
+    }
+    if let Some(stripes) = &snap.stripes {
+        write!(
+            out,
+            " stripes {} {} {} {}",
+            stripes.starts.len(),
+            bits(stripes.cell_size),
+            bits(stripes.origin_x),
+            stripes.cols
+        )?;
+        for &s in &stripes.starts {
+            write!(out, " {s}")?;
+        }
+    }
+    writeln!(out)?;
     write!(out, "taskmap {}", snap.task_map.len())?;
     for &(shard, _) in &snap.task_map {
         write!(out, " {shard}")?;
@@ -270,6 +310,37 @@ pub fn read_snapshot<R: BufRead>(reader: R) -> Result<ServiceSnapshot, SnapshotE
     let cell_size = tk.f64()?;
     let batch_capacity = tk.u64()? as usize;
     let next_arrival = tk.u64()?;
+    // Optional trailing config groups (absent in older snapshots and
+    // whenever the feature is unused — see the module docs).
+    let mut grow_clamps = None;
+    let mut rebalance_factor = None;
+    let mut stripes = None;
+    while let Some(group) = tk.maybe_word() {
+        match group {
+            "grow" => grow_clamps = Some(tk.u64()?),
+            "rebalance" => rebalance_factor = Some(tk.f64()?),
+            "stripes" => {
+                let n = tk.u64()? as usize;
+                if n > MAX_SHARDS {
+                    return Err(tk.bad(format!("{n} stripes exceed the {MAX_SHARDS}-shard limit")));
+                }
+                let stripe_cell = tk.f64()?;
+                let origin_x = tk.f64()?;
+                let cols = tk.u64()? as usize;
+                let mut starts = Vec::with_capacity(n.min(MAX_PREALLOC));
+                for _ in 0..n {
+                    starts.push(tk.u64()? as usize);
+                }
+                stripes = Some(StripeLayout {
+                    cell_size: stripe_cell,
+                    origin_x,
+                    cols,
+                    starts,
+                });
+            }
+            other => return Err(tk.bad(format!("unknown config group `{other}`"))),
+        }
+    }
 
     // taskmap: shard ids in global order; local ids are the running
     // per-shard counts. Counts come from untrusted input: allocations are
@@ -433,6 +504,9 @@ pub fn read_snapshot<R: BufRead>(reader: R) -> Result<ServiceSnapshot, SnapshotE
         algorithm,
         cell_size,
         batch_capacity,
+        grow_clamps,
+        rebalance_factor,
+        stripes,
         next_arrival,
         task_map,
         engines,
@@ -506,6 +580,11 @@ impl<'a> Tokens<'a> {
         self.iter
             .next()
             .ok_or_else(|| self.bad("missing token".into()))
+    }
+
+    /// The next token, or `None` at end of line (for optional groups).
+    fn maybe_word(&mut self) -> Option<&'a str> {
+        self.iter.next()
     }
 
     fn literal(&mut self, expect: &str) -> Result<(), SnapshotError> {
@@ -654,6 +733,96 @@ mod tests {
         assert!(text.contains(" rng "), "{text}");
         let decoded = read_snapshot(io::Cursor::new(buf)).unwrap();
         assert_eq!(snap, decoded, "rng stream positions must survive the wire");
+    }
+
+    #[test]
+    fn adaptive_config_groups_round_trip_and_default_to_legacy_bytes() {
+        // A service with the adaptive knobs and a rebalanced stripe
+        // layout serializes the optional config groups and reads them
+        // back exactly.
+        let params = ProblemParams::builder()
+            .epsilon(0.25)
+            .capacity(2)
+            .d_max(30.0)
+            .build()
+            .unwrap();
+        let region = BoundingBox::new(Point::ORIGIN, Point::new(600.0, 600.0));
+        let mut service = ServiceBuilder::new(params, region)
+            .shards(NonZeroUsize::new(3).unwrap())
+            .grow_index_after(128)
+            .rebalance_factor(1.4)
+            .build()
+            .unwrap();
+        // Skew the pool into one stripe and rebalance so the layout is
+        // non-uniform.
+        for i in 0..40 {
+            service
+                .post_task(Task::new(Point::new(
+                    500.0 + (i % 4) as f64 * 20.0,
+                    (i * 13 % 600) as f64,
+                )))
+                .unwrap();
+        }
+        service.rebalance().unwrap().expect("the pool is skewed");
+        let snap = service.snapshot();
+        assert_eq!(snap.grow_clamps, Some(128));
+        assert_eq!(snap.rebalance_factor, Some(1.4));
+        assert!(snap.stripes.is_some(), "rebalanced layout must persist");
+        let mut buf = Vec::new();
+        write_snapshot(&snap, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains(" grow 128 "), "{text}");
+        assert!(text.contains(" rebalance "), "{text}");
+        assert!(text.contains(" stripes 3 "), "{text}");
+        let decoded = read_snapshot(io::Cursor::new(buf)).unwrap();
+        assert_eq!(snap, decoded);
+        let restored = LtcService::restore(decoded).unwrap();
+        assert_eq!(restored.snapshot(), snap, "restore must keep the layout");
+
+        // A service without the features writes no group at all — the
+        // config line is byte-identical to the pre-extension format.
+        let plain = sample_service();
+        let mut buf = Vec::new();
+        save_service(&plain, &mut buf).unwrap();
+        let config_line = String::from_utf8(buf)
+            .unwrap()
+            .lines()
+            .find(|l| l.starts_with("config "))
+            .unwrap()
+            .to_string();
+        assert_eq!(config_line.split_whitespace().count(), 5, "{config_line}");
+    }
+
+    #[test]
+    fn malformed_config_groups_are_rejected() {
+        let prelude = format!(
+            "{SNAPSHOT_HEADER}\n\
+             params 3fc999999999999a 2 403e000000000000 3fe51eb851eb851f within hoeffding\n\
+             region 0000000000000000 0000000000000000 4059000000000000 4059000000000000\n"
+        );
+        for config in [
+            "config laf 403e000000000000 64 0 frobnicate 3",
+            "config laf 403e000000000000 64 0 grow",
+            "config laf 403e000000000000 64 0 stripes 99999999999999999",
+            "config laf 403e000000000000 64 0 stripes 2 403e000000000000 0000000000000000 8 0",
+        ] {
+            let text = format!("{prelude}{config}\ntaskmap 0\nend\n");
+            assert!(
+                read_snapshot(io::Cursor::new(text.into_bytes())).is_err(),
+                "accepted malformed config `{config}`"
+            );
+        }
+        // An invalid stripe layout parses but must fail restoration.
+        let text = format!(
+            "{prelude}config laf 403e000000000000 64 0 stripes 1 403e000000000000 \
+             0000000000000000 8 5\ntaskmap 0\nshard 0 0 0 noindex\ntasks\nquality\n\
+             completed \naccuracy sigmoid\nassignments 0\nend\n"
+        );
+        let decoded = read_snapshot(io::Cursor::new(text.into_bytes())).unwrap();
+        assert!(matches!(
+            LtcService::restore(decoded),
+            Err(ServiceError::BadSnapshot(_))
+        ));
     }
 
     #[test]

@@ -57,6 +57,14 @@ impl BoundingBox {
         p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
     }
 
+    /// The smallest box containing both boxes.
+    pub fn union(&self, other: BoundingBox) -> Self {
+        BoundingBox {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
     /// Grows the box by `margin` on every side.
     pub fn expanded(&self, margin: f64) -> Self {
         BoundingBox {
@@ -106,6 +114,16 @@ mod tests {
         assert!(bb.contains(Point::new(1.0, 1.0)));
         assert!(bb.contains(Point::new(0.5, 0.5)));
         assert!(!bb.contains(Point::new(1.0001, 0.5)));
+    }
+
+    #[test]
+    fn union_covers_both_boxes() {
+        let a = BoundingBox::new(Point::ORIGIN, Point::new(2.0, 5.0));
+        let b = BoundingBox::new(Point::new(-1.0, 1.0), Point::new(1.0, 9.0));
+        let u = a.union(b);
+        assert_eq!(u.min, Point::new(-1.0, 0.0));
+        assert_eq!(u.max, Point::new(2.0, 9.0));
+        assert_eq!(a.union(a), a);
     }
 
     #[test]

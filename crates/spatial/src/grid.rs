@@ -41,6 +41,11 @@ pub struct GridIndex<T> {
     cell_size: f64,
     /// Grid origin (min corner of the build-time bounding box).
     origin: Point,
+    /// The bounds the grid was *asked* to cover (the laid-out extent
+    /// rounds these up to whole cells). Rebuilding with exactly these
+    /// bounds reproduces the layout — durable state records them so
+    /// restore is a fixed point (see [`GridIndex::requested_bounds`]).
+    requested: BoundingBox,
     /// Number of columns / rows.
     cols: usize,
     rows: usize,
@@ -101,16 +106,24 @@ impl<T: Copy> GridIndex<T> {
         let mut cell_size = cell_size;
         let (mut cols, mut rows);
         loop {
-            cols = ((bounds.width() / cell_size).floor() as usize + 1).max(1);
-            rows = ((bounds.height() / cell_size).floor() as usize + 1).max(1);
-            match cols.checked_mul(rows) {
-                Some(n) if n <= MAX_CELLS => break,
-                _ => cell_size *= 2.0,
+            // Compare against the cap in f64 before casting: a huge
+            // extent (e.g. growth over a far-away task) would saturate
+            // the cast at `usize::MAX` and make the `+ 1` overflow.
+            let fcols = (bounds.width() / cell_size).floor();
+            let frows = (bounds.height() / cell_size).floor();
+            if fcols < MAX_CELLS as f64 && frows < MAX_CELLS as f64 {
+                cols = (fcols as usize + 1).max(1);
+                rows = (frows as usize + 1).max(1);
+                if cols * rows <= MAX_CELLS {
+                    break;
+                }
             }
+            cell_size *= 2.0;
         }
         Self {
             cell_size,
             origin: bounds.min,
+            requested: bounds,
             cols,
             rows,
             cells: vec![Vec::new(); cols * rows],
@@ -129,7 +142,7 @@ impl<T: Copy> GridIndex<T> {
     /// The extent the grid was laid out over: origin plus `cols × rows`
     /// cells. Contains the build-time bounds (cell counts round up), and
     /// rebuilding an index with these bounds preserves exact query
-    /// results — snapshot/restore relies on that.
+    /// results.
     #[inline]
     pub fn bounds(&self) -> BoundingBox {
         BoundingBox::new(
@@ -139,6 +152,17 @@ impl<T: Copy> GridIndex<T> {
                 self.origin.y + self.cell_size * self.rows as f64,
             ),
         )
+    }
+
+    /// The bounds the grid was asked to cover ([`GridIndex::with_bounds`]
+    /// / [`GridIndex::rebucket`] argument; for [`GridIndex::build`], the
+    /// points' bounding box). Unlike [`GridIndex::bounds`] — which
+    /// rounds up to whole cells and therefore *grows* when fed back in —
+    /// rebuilding with these bounds reproduces the layout exactly, so
+    /// durable state (engine snapshots) records them.
+    #[inline]
+    pub fn requested_bounds(&self) -> BoundingBox {
+        self.requested
     }
 
     /// Number of indexed points.
@@ -205,6 +229,39 @@ impl<T: Copy> GridIndex<T> {
             }
             None => false,
         }
+    }
+
+    /// Iterates every stored `(id, point)` entry, in unspecified order.
+    pub fn entries(&self) -> impl Iterator<Item = (T, Point)> + '_ {
+        self.cells.iter().flat_map(|bucket| bucket.iter().copied())
+    }
+
+    /// Re-lays the grid out over new geometry, re-inserting every live
+    /// entry exactly — the adaptive-growth operation for an index whose
+    /// build-time region guess turned out to under-cover the workload.
+    ///
+    /// Queries are exact before and after (bucketing only affects how
+    /// many candidates are distance-checked), so rebucketing can never
+    /// change a query result — callers may grow the extent at any point
+    /// without affecting decisions built on top of the index.
+    ///
+    /// The clamp counter ([`GridIndex::n_clamped_insertions`]) carries
+    /// over and keeps counting: entries still outside the *new* extent
+    /// count as fresh clamped insertions, so the telemetry stays a
+    /// cumulative measure of how often the laid-out extent was missed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive and finite.
+    pub fn rebucket(&mut self, cell_size: f64, bounds: BoundingBox) {
+        let mut next = Self::with_bounds(cell_size, bounds);
+        next.clamped = self.clamped;
+        for bucket in std::mem::take(&mut self.cells) {
+            for (id, p) in bucket {
+                next.insert(id, p);
+            }
+        }
+        *self = next;
     }
 
     /// Keeps only the entries satisfying the predicate.
@@ -429,6 +486,18 @@ mod tests {
     }
 
     #[test]
+    fn astronomical_bounds_coarsen_without_overflow() {
+        // A width this large would saturate a float→usize cast; the
+        // coarsening loop must compare in f64 and keep doubling instead
+        // of overflowing on the `+ 1` (debug builds panic on overflow).
+        let bounds = BoundingBox::new(Point::ORIGIN, Point::new(1.0e21, 1.0));
+        let mut idx: GridIndex<u32> = GridIndex::with_bounds(30.0, bounds);
+        assert!(idx.cols * idx.rows <= 1 << 20);
+        idx.insert(1, Point::new(1.0e21, 0.5));
+        assert_eq!(idx.within(Point::new(1.0e21, 0.5), 10.0).next(), Some(1));
+    }
+
+    #[test]
     fn clamped_insertions_are_counted() {
         let bounds = BoundingBox::new(Point::ORIGIN, Point::new(10.0, 10.0));
         let mut idx: GridIndex<u32> = GridIndex::with_bounds(2.0, bounds);
@@ -448,6 +517,44 @@ mod tests {
             vec![(1u32, Point::new(0.0, 0.0)), (2, Point::new(9.0, 9.0))],
         );
         assert_eq!(built.n_clamped_insertions(), 0);
+    }
+
+    #[test]
+    fn rebucket_preserves_entries_and_grows_the_extent() {
+        let bounds = BoundingBox::new(Point::ORIGIN, Point::new(10.0, 10.0));
+        let mut idx: GridIndex<u32> = GridIndex::with_bounds(2.0, bounds);
+        idx.insert(1, Point::new(5.0, 5.0));
+        idx.insert(2, Point::new(100.0, 100.0)); // clamps
+        idx.insert(3, Point::new(120.0, 90.0)); // clamps
+        assert_eq!(idx.n_clamped_insertions(), 2);
+
+        let grown = BoundingBox::new(Point::ORIGIN, Point::new(130.0, 130.0));
+        idx.rebucket(2.0, grown);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.bounds().min, Point::ORIGIN);
+        assert!(idx.bounds().max.x >= 130.0 && idx.bounds().max.y >= 130.0);
+        // The counter carried over, and the re-inserted entries now fit.
+        assert_eq!(idx.n_clamped_insertions(), 2);
+        idx.insert(4, Point::new(125.0, 5.0));
+        assert_eq!(idx.n_clamped_insertions(), 2, "in-extent after growth");
+        // Queries stay exact over the new layout.
+        let mut got: Vec<u32> = idx.within(Point::new(110.0, 95.0), 15.0).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![2, 3]);
+        assert_eq!(idx.within(Point::new(5.0, 5.0), 1.0).next(), Some(1));
+        assert!(idx.remove(2, Point::new(100.0, 100.0)));
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn entries_yield_every_stored_point() {
+        let pts: Vec<(u32, Point)> = (0..25)
+            .map(|i| (i, Point::new((i % 5) as f64 * 7.0, (i / 5) as f64 * 7.0)))
+            .collect();
+        let idx = GridIndex::build(4.0, pts.iter().copied());
+        let mut got: Vec<(u32, Point)> = idx.entries().collect();
+        got.sort_unstable_by_key(|(id, _)| *id);
+        assert_eq!(got, pts);
     }
 
     #[test]

@@ -7,8 +7,11 @@
 //! * [`Point`] — a 2-D location with Euclidean distance helpers,
 //! * [`BoundingBox`] — axis-aligned extents,
 //! * [`GridIndex`] — a uniform-grid spatial index with radius queries,
+//!   eviction, clamp telemetry, and exact rebucketing for adaptive
+//!   growth,
 //! * [`ShardRouter`] — tile→shard striping for the sharded service
-//!   front-end (`ltc-core`'s `LtcService`),
+//!   front-end (`ltc-core`'s service layer): equal-width by default,
+//!   with explicit load-balanced stripe layouts for rebalancing,
 //! * [`convex_hull`] / [`ConvexPolygon`] — hull construction, containment
 //!   tests and uniform sampling inside a hull (used by the check-in
 //!   workload generator to place tasks "within the convex region of the

@@ -1,0 +1,212 @@
+//! Hotspot-drift streams — the skew/adaptivity stress workload.
+//!
+//! The paper's synthetic workloads ([`crate::SyntheticConfig`]) spread
+//! tasks and workers uniformly over the declared region, which is
+//! exactly the situation a statically striped, fixed-extent service
+//! handles well. Real check-in traffic is neither uniform nor
+//! stationary: activity concentrates in a *hotspot* (a stadium, a
+//! festival, rush hour along an artery) that **drifts** — and can drift
+//! right out of the region the operator guessed at deployment time.
+//!
+//! [`HotspotDriftConfig`] generates that adversarial stream as an
+//! interleaving of [`DriftEvent`]s: each step posts one task scattered
+//! around the current hotspot center and then checks in a few workers
+//! around the same center (so earlier tasks complete and the live pool
+//! tracks the hotspot). The center moves linearly from
+//! [`start`](HotspotDriftConfig::start) to
+//! [`end`](HotspotDriftConfig::end) over the first
+//! [`drift_fraction`](HotspotDriftConfig::drift_fraction) of the stream
+//! and then stays put — so a service that adapts (index growth, stripe
+//! rebalancing) reaches a steady state that a static one never does.
+//!
+//! Deterministic given the seed, like every generator in this crate.
+
+use ltc_core::model::{ProblemParams, Task, Worker};
+use ltc_spatial::{BoundingBox, Point};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+
+/// One event of a hotspot-drift stream, in arrival order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftEvent {
+    /// A task posted at the current hotspot.
+    Post(Task),
+    /// A worker checking in near the current hotspot.
+    CheckIn(Worker),
+}
+
+/// Configuration of a hotspot-drift stream (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotspotDriftConfig {
+    /// Tasks posted over the stream (one per step).
+    pub n_posts: usize,
+    /// Workers checked in after each post.
+    pub checkins_per_post: usize,
+    /// The region the service *declares* (its index/striping guess).
+    /// The drift deliberately leaves it.
+    pub declared: BoundingBox,
+    /// Hotspot center at the first step.
+    pub start: Point,
+    /// Hotspot center reached at the end of the drift phase.
+    pub end: Point,
+    /// Fraction of the stream during which the center moves from
+    /// `start` to `end` (clamped to `(0, 1]`); afterwards it is
+    /// stationary, so adaptive services reach a steady state.
+    pub drift_fraction: f64,
+    /// Gaussian scatter (std dev, both axes) of tasks and workers
+    /// around the center. Keep it a few routing tiles wide or the load
+    /// concentrates in one column and no stripe split can help.
+    pub sigma: f64,
+    /// Tolerable error rate ε.
+    pub epsilon: f64,
+    /// Per-worker capacity `K`.
+    pub capacity: u32,
+    /// Eligibility radius `d_max`.
+    pub d_max: f64,
+    /// Mean worker accuracy (clamped into `[0.7, 0.98]` per draw).
+    pub accuracy_mean: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HotspotDriftConfig {
+    /// A hotspot born inside a `1000 × 1000` declared region that drifts
+    /// 1.5 region-widths east — far past the declared extent — over the
+    /// first 60% of the stream.
+    fn default() -> Self {
+        Self {
+            n_posts: 2_000,
+            checkins_per_post: 8,
+            declared: BoundingBox::new(Point::ORIGIN, Point::new(1000.0, 1000.0)),
+            start: Point::new(200.0, 500.0),
+            end: Point::new(2500.0, 500.0),
+            drift_fraction: 0.6,
+            sigma: 60.0,
+            epsilon: 0.25,
+            capacity: 2,
+            d_max: 30.0,
+            accuracy_mean: 0.85,
+            seed: 0xD21F7,
+        }
+    }
+}
+
+impl HotspotDriftConfig {
+    /// Platform parameters matching the stream.
+    pub fn params(&self) -> ProblemParams {
+        ProblemParams::builder()
+            .epsilon(self.epsilon)
+            .capacity(self.capacity)
+            .d_max(self.d_max)
+            .build()
+            .expect("hotspot-drift parameter defaults are valid")
+    }
+
+    /// Divides the stream length by `factor` (at least one step
+    /// remains), leaving the geometry untouched — the same knob the
+    /// other generators expose for quick runs.
+    pub fn scaled_down(mut self, factor: usize) -> Self {
+        let factor = factor.max(1);
+        self.n_posts = (self.n_posts / factor).max(1);
+        self
+    }
+
+    /// The hotspot center at step `i` of `n` (public so experiments can
+    /// place probes along the drift).
+    pub fn center_at(&self, i: usize, n: usize) -> Point {
+        let drift_steps =
+            ((n as f64 * self.drift_fraction.clamp(f64::EPSILON, 1.0)).ceil()).max(1.0);
+        let t = (i as f64 / drift_steps).min(1.0);
+        Point::new(
+            self.start.x + t * (self.end.x - self.start.x),
+            self.start.y + t * (self.end.y - self.start.y),
+        )
+    }
+
+    /// Generates the full event stream, deterministically from the seed.
+    pub fn events(&self) -> Vec<DriftEvent> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let scatter = Normal::new(0.0, self.sigma).expect("sigma is finite");
+        let acc = Normal::new(self.accuracy_mean, 0.05).expect("accuracy mean is finite");
+        let mut events = Vec::with_capacity(self.n_posts * (1 + self.checkins_per_post));
+        for i in 0..self.n_posts {
+            let center = self.center_at(i, self.n_posts);
+            let jittered = |rng: &mut StdRng| {
+                Point::new(
+                    center.x + scatter.sample(rng),
+                    center.y + scatter.sample(rng),
+                )
+            };
+            events.push(DriftEvent::Post(Task::new(jittered(&mut rng))));
+            for _ in 0..self.checkins_per_post {
+                let loc = jittered(&mut rng);
+                let accuracy = acc.sample(&mut rng).clamp(0.7, 0.98);
+                events.push(DriftEvent::CheckIn(Worker::new(loc, accuracy)));
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_sized() {
+        let cfg = HotspotDriftConfig {
+            n_posts: 50,
+            checkins_per_post: 3,
+            ..HotspotDriftConfig::default()
+        };
+        let a = cfg.events();
+        let b = cfg.events();
+        assert_eq!(a, b, "same seed must reproduce the stream");
+        assert_eq!(a.len(), 50 * 4);
+        assert_eq!(
+            a.iter()
+                .filter(|e| matches!(e, DriftEvent::Post(_)))
+                .count(),
+            50
+        );
+    }
+
+    #[test]
+    fn drift_leaves_the_declared_region_then_settles() {
+        let cfg = HotspotDriftConfig::default().scaled_down(10);
+        let events = cfg.events();
+        let posts: Vec<Point> = events
+            .iter()
+            .filter_map(|e| match e {
+                DriftEvent::Post(t) => Some(t.loc),
+                _ => None,
+            })
+            .collect();
+        let inside = posts.iter().filter(|p| cfg.declared.contains(**p)).count();
+        let outside = posts.len() - inside;
+        assert!(inside > 0, "the hotspot starts inside the region");
+        assert!(
+            outside > posts.len() / 3,
+            "the drift must push a large share of posts out of the region \
+             ({outside}/{} were outside)",
+            posts.len()
+        );
+        // After the drift phase, the center is stationary at `end`.
+        let n = cfg.n_posts;
+        assert_eq!(cfg.center_at(n - 1, n), cfg.end);
+        let settled = cfg.center_at((n as f64 * 0.9) as usize, n);
+        assert_eq!(settled, cfg.end);
+    }
+
+    #[test]
+    fn workers_are_spam_free_and_co_located() {
+        let cfg = HotspotDriftConfig::default().scaled_down(20);
+        for e in cfg.events() {
+            if let DriftEvent::CheckIn(w) = e {
+                assert!((0.7..=0.98).contains(&w.accuracy));
+                assert!(w.loc.is_finite());
+            }
+        }
+    }
+}

@@ -16,6 +16,13 @@
 //!   [`CheckinCityConfig::tokyo_like`] match Table V's cardinalities
 //!   exactly.
 //!
+//! A third family stresses what the paper's uniform workloads cannot:
+//! [`HotspotDriftConfig`] emits an interleaved post/check-in stream
+//! whose activity hotspot *drifts across and beyond* the declared
+//! region — the workload that exercises the service layer's adaptive
+//! index growth and stripe rebalancing (see `docs/ARCHITECTURE.md` and
+//! the `skewed_throughput` bench).
+//!
 //! All generators are deterministic given their seed.
 //!
 //! The [`dataset`] module adds a plain-text (TSV) serialization of
@@ -26,7 +33,9 @@
 
 pub mod checkin;
 pub mod dataset;
+pub mod hotspot;
 pub mod synthetic;
 
 pub use checkin::CheckinCityConfig;
+pub use hotspot::{DriftEvent, HotspotDriftConfig};
 pub use synthetic::{AccuracyDistribution, SyntheticConfig};

@@ -40,6 +40,20 @@
 //! event-for-event identical to the synchronous facade fed the same
 //! sequence.
 //!
+//! The spatial layer is **adaptive** under skewed or drifting traffic:
+//! [`ServiceBuilder::grow_index_after`](core::service::ServiceBuilder::grow_index_after)
+//! rebuckets a shard's grid index over the live tasks once clamp
+//! telemetry shows the declared region under-covers the workload, and
+//! [`rebalance`](core::service::ServiceHandle::rebalance) (or the
+//! [`rebalance_factor`](core::service::ServiceBuilder::rebalance_factor)
+//! auto-policy) re-splits the shard stripes by live-task mass and
+//! migrates tasks exactly at a quiesced point
+//! ([`Lifecycle::Rebalanced`](core::service::Lifecycle)). Both are
+//! decision-neutral: assignments stay bit-identical; only telemetry,
+//! per-query cost, and load placement change. The full design is in
+//! `docs/ARCHITECTURE.md`; the snapshot grammar (which round-trips
+//! grown bounds and stripe layouts) in `docs/SNAPSHOT_FORMAT.md`.
+//!
 //! ```
 //! use ltc::prelude::*;
 //! use ltc::spatial::BoundingBox;
