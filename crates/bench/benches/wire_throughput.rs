@@ -1,0 +1,128 @@
+//! Wire-transport streaming throughput: sustained workers/sec of a
+//! session driven through `LtcClient` → localhost TCP → `LtcServer`
+//! versus driving the same [`ServiceHandle`] in process, over the
+//! paper's Table-IV synthetic stream (LAF policy, so both paths commit
+//! identical assignments and the gap is pure protocol cost:
+//! frame encode/decode + one TCP round trip per submission).
+//!
+//! Run with `cargo bench -p ltc-bench --bench wire_throughput`; scale
+//! the stream with `LTC_BENCH_SCALE` (smaller = bigger instance,
+//! default 8). CI runs this with a large scale as a smoke test.
+
+use ltc_core::model::Instance;
+use ltc_core::service::{Algorithm, ServiceBuilder, ServiceHandle, Session};
+use ltc_proto::{LtcClient, LtcServer};
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+struct Measurement {
+    workers: u64,
+    assignments: u64,
+    secs: f64,
+}
+
+fn start_handle(instance: &Instance, shards: usize) -> ServiceHandle {
+    ServiceBuilder::from_instance(instance)
+        .algorithm(Algorithm::Laf)
+        .shards(NonZeroUsize::new(shards).unwrap())
+        .start()
+        .expect("sigmoid synthetic instances always start")
+}
+
+fn run_in_process(instance: &Instance, shards: usize) -> Measurement {
+    let mut handle = start_handle(instance, shards);
+    let start = Instant::now();
+    let mut workers = 0u64;
+    for worker in instance.workers() {
+        if handle.all_completed() {
+            break;
+        }
+        handle.submit_worker(worker).expect("runtime lost");
+        workers += 1;
+    }
+    handle.drain().expect("drain failed");
+    let secs = start.elapsed().as_secs_f64();
+    Measurement {
+        workers,
+        assignments: handle.n_assignments(),
+        secs,
+    }
+}
+
+/// One request/response round trip per submission — the lockstep cost
+/// an interactive client pays.
+fn run_remote_lockstep(instance: &Instance, shards: usize, stop_at: u64) -> Measurement {
+    let server = LtcServer::bind("127.0.0.1:0", start_handle(instance, shards))
+        .expect("bind loopback")
+        .spawn()
+        .expect("spawn server");
+    let mut client = LtcClient::connect(server.addr()).expect("connect");
+    let start = Instant::now();
+    let mut workers = 0u64;
+    for worker in instance.workers() {
+        if workers >= stop_at {
+            break;
+        }
+        client.submit_worker(worker).expect("submit");
+        workers += 1;
+    }
+    client.drain().expect("drain");
+    let secs = start.elapsed().as_secs_f64();
+    let metrics = client.metrics().expect("metrics");
+    client.shutdown().expect("shutdown");
+    server.wait().expect("server stops");
+    Measurement {
+        workers,
+        assignments: metrics.n_assignments,
+        secs,
+    }
+}
+
+fn report(label: &str, m: &Measurement) {
+    println!(
+        "  {label:<26} {:>9} workers in {:>8.3}s  =  {:>10.0} workers/sec  \
+         ({} assignments)",
+        m.workers,
+        m.secs,
+        m.workers as f64 / m.secs.max(f64::EPSILON),
+        m.assignments,
+    );
+}
+
+fn main() {
+    let scale = ltc_bench::bench_scale().min(64);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "wire_throughput (LTC_BENCH_SCALE = {scale}; LAF policy) cores={cores} \
+         — remote numbers include one localhost TCP round trip per submission"
+    );
+    let cfg = ltc_workload::SyntheticConfig::default().scaled_down(scale);
+    let instance = cfg.generate();
+    println!(
+        "table-iv/default: |T| = {}, |W| = {}, K = {}, eps = {}",
+        instance.n_tasks(),
+        instance.n_workers(),
+        instance.params().capacity,
+        instance.params().epsilon
+    );
+
+    for shards in [1usize, 4] {
+        let local = run_in_process(&instance, shards);
+        report(&format!("in-process x{shards}"), &local);
+        // The in-process driver stops within its in-flight window of
+        // completion; feed the remote run exactly as many workers so
+        // the decision streams are comparable.
+        let remote = run_remote_lockstep(&instance, shards, local.workers);
+        report(&format!("remote lockstep x{shards}"), &remote);
+        assert_eq!(
+            remote.assignments, local.assignments,
+            "remote LAF diverged from in-process at {shards} shard(s)"
+        );
+        println!(
+            "  wire overhead x{shards}: {:.1}x the in-process wall clock \
+             ({:.1} µs/submission round trip)",
+            remote.secs / local.secs.max(f64::EPSILON),
+            1e6 * remote.secs / remote.workers.max(1) as f64
+        );
+    }
+}

@@ -10,14 +10,18 @@ USAGE:
   ltc generate --preset <synthetic|newyork|tokyo> [--scale N] [--seed S]
                [--epsilon E] [--out FILE]
   ltc run      --input FILE --algo <aam|laf|random|mcf-ltc|base-off> [--stats]
-  ltc stream   --input FILE --algo <aam|laf|random> [--checkins FILE]
-               [--seed S] [--shards N] [--pipeline D] [--rebalance N]
-               [--snapshot-out FILE]
-  ltc snapshot --input FILE --algo <aam|laf|random> --out FILE
-               [--checkins FILE] [--seed S] [--shards N] [--pipeline D]
-               [--rebalance N]
+  ltc stream   ( --input FILE --algo <aam|laf|random> [--seed S] [--shards N]
+               | --connect HOST:PORT )
+               [--checkins FILE] [--pipeline D] [--rebalance N]
+               [--snapshot-out FILE] [--metrics-out FILE]
+  ltc snapshot ( --input FILE --algo <aam|laf|random> [--seed S] [--shards N]
+               | --connect HOST:PORT ) --out FILE
+               [--checkins FILE] [--pipeline D] [--rebalance N]
+               [--metrics-out FILE]
   ltc resume   --snapshot FILE [--checkins FILE] [--pipeline D]
-               [--rebalance N] [--snapshot-out FILE]
+               [--rebalance N] [--snapshot-out FILE] [--metrics-out FILE]
+  ltc serve    --input FILE --algo <aam|laf|random> --addr HOST:PORT
+               [--seed S] [--shards N]
   ltc exact    --input FILE [--budget NODES]
   ltc simulate --input FILE --algo <...> [--trials N] [--seed S]
   ltc bounds   --input FILE
@@ -51,7 +55,21 @@ rebalance NDJSON line).
 the check-ins are exhausted (or every task completed); `stream
 --snapshot-out` does the same. `resume` restores a service from such a
 snapshot file and keeps streaming where it left off (random policies
-continue their RNG streams bit-exactly).";
+continue their RNG streams bit-exactly). --metrics-out FILE additionally
+writes one machine-readable JSON line of final service metrics
+(assignments, clamped insertions, rebalances, per-shard load) for bench
+harnesses.
+
+`serve` exposes the same session over TCP (`ltc-proto v1`, see
+docs/PROTOCOL.md): it builds the service from --input exactly like
+`stream` would, listens on --addr (port 0 picks a free port; the bound
+address is printed first), and serves any number of concurrent clients
+until one sends a shutdown. `stream --connect HOST:PORT` (and `snapshot
+--connect`) then drive that remote session instead of an in-process one
+— same NDJSON output, byte for byte; --connect replaces --input/--algo/
+--shards/--seed, which the server already owns. A snapshot taken over
+--connect is produced server-side at a quiesced point and written
+locally.";
 
 /// Which arrangement algorithm a command should run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +132,28 @@ impl Preset {
     }
 }
 
+/// Where `ltc stream`/`ltc snapshot` get their session from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamSource {
+    /// Build the service in process from a dataset.
+    Dataset {
+        /// Dataset path providing parameters and tasks (worker records
+        /// are ignored).
+        input: String,
+        /// Online algorithm driving the service.
+        algo: AlgoChoice,
+        /// RNG seed (only affects `random`).
+        seed: u64,
+        /// Engine shards the task pool is spatially partitioned over.
+        shards: usize,
+    },
+    /// Drive a remote `ltc serve` session over TCP.
+    Connect {
+        /// The server address (`HOST:PORT`).
+        addr: String,
+    },
+}
+
 /// A fully parsed command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -142,25 +182,21 @@ pub enum Command {
     /// `ltc stream` (and `ltc snapshot`, which is `stream` with a
     /// mandatory snapshot destination).
     Stream {
-        /// Dataset path providing parameters and tasks (worker records
-        /// are ignored).
-        input: String,
-        /// Online algorithm driving the service.
-        algo: AlgoChoice,
+        /// In-process dataset service or remote `ltc serve` session.
+        source: StreamSource,
         /// Check-in source (`None` = stdin).
         checkins: Option<String>,
-        /// RNG seed (only affects `random`).
-        seed: u64,
-        /// Engine shards the task pool is spatially partitioned over.
-        shards: usize,
-        /// Check-ins kept in flight across the shard runtime (1 =
-        /// lockstep, byte-stable output).
+        /// Check-ins kept in flight across the session (1 = lockstep,
+        /// byte-stable output).
         pipeline: usize,
         /// Rebalance the shard stripes every this many accepted
         /// check-ins (`None` = never).
         rebalance: Option<u64>,
         /// Where to write the final service snapshot, if anywhere.
         snapshot_out: Option<String>,
+        /// Where to write the final machine-readable metrics line, if
+        /// anywhere.
+        metrics_out: Option<String>,
     },
     /// `ltc resume`.
     Resume {
@@ -168,13 +204,30 @@ pub enum Command {
         snapshot: String,
         /// Check-in source (`None` = stdin).
         checkins: Option<String>,
-        /// Check-ins kept in flight across the shard runtime.
+        /// Check-ins kept in flight across the session.
         pipeline: usize,
         /// Rebalance the shard stripes every this many accepted
         /// check-ins (`None` = never).
         rebalance: Option<u64>,
         /// Where to write the updated snapshot, if anywhere.
         snapshot_out: Option<String>,
+        /// Where to write the final machine-readable metrics line, if
+        /// anywhere.
+        metrics_out: Option<String>,
+    },
+    /// `ltc serve`.
+    Serve {
+        /// Dataset path providing parameters and tasks (worker records
+        /// are ignored).
+        input: String,
+        /// Online algorithm driving the service.
+        algo: AlgoChoice,
+        /// RNG seed (only affects `random`).
+        seed: u64,
+        /// Engine shards the task pool is spatially partitioned over.
+        shards: usize,
+        /// The address to listen on (`HOST:PORT`; port 0 picks one).
+        addr: String,
     },
     /// `ltc exact`.
     Exact {
@@ -316,44 +369,31 @@ impl Command {
                     &[
                         "--input",
                         "--algo",
+                        "--connect",
                         "--checkins",
                         "--seed",
                         "--shards",
                         "--pipeline",
                         "--rebalance",
                         "--snapshot-out",
+                        "--metrics-out",
                     ]
                 } else {
                     &[
                         "--input",
                         "--algo",
+                        "--connect",
                         "--checkins",
                         "--seed",
                         "--shards",
                         "--pipeline",
                         "--rebalance",
                         "--out",
+                        "--metrics-out",
                     ]
                 };
                 flags.reject_unknown(known)?;
-                let algo = AlgoChoice::parse(
-                    flags
-                        .value("--algo")?
-                        .ok_or_else(|| ParseError(format!("{cmd} requires --algo")))?,
-                )?;
-                if !matches!(algo, AlgoChoice::Aam | AlgoChoice::Laf | AlgoChoice::Random) {
-                    return Err(ParseError(format!(
-                        "{cmd} requires an online algorithm (aam, laf, random), got `{}`",
-                        algo.name()
-                    )));
-                }
-                let shards = match flags.value("--shards")? {
-                    Some(v) => parse_num::<usize>(v, "shards")?,
-                    None => 1,
-                };
-                if shards == 0 {
-                    return Err(ParseError("--shards must be positive".into()));
-                }
+                let source = parse_stream_source(&mut flags, cmd)?;
                 let pipeline = parse_pipeline(&mut flags)?;
                 let rebalance = parse_rebalance(&mut flags)?;
                 let snapshot_out = if cmd == "stream" {
@@ -367,17 +407,12 @@ impl Command {
                     )
                 };
                 Ok(Command::Stream {
-                    input: required_input(&mut flags)?,
-                    algo,
+                    source,
                     checkins: flags.value("--checkins")?.map(str::to_string),
-                    seed: match flags.value("--seed")? {
-                        Some(v) => parse_num(v, "seed")?,
-                        None => 0x5EED,
-                    },
-                    shards,
                     pipeline,
                     rebalance,
                     snapshot_out,
+                    metrics_out: flags.value("--metrics-out")?.map(str::to_string),
                 })
             }
             "resume" => {
@@ -387,6 +422,7 @@ impl Command {
                     "--pipeline",
                     "--rebalance",
                     "--snapshot-out",
+                    "--metrics-out",
                 ])?;
                 Ok(Command::Resume {
                     snapshot: flags
@@ -397,6 +433,29 @@ impl Command {
                     pipeline: parse_pipeline(&mut flags)?,
                     rebalance: parse_rebalance(&mut flags)?,
                     snapshot_out: flags.value("--snapshot-out")?.map(str::to_string),
+                    metrics_out: flags.value("--metrics-out")?.map(str::to_string),
+                })
+            }
+            "serve" => {
+                flags.reject_unknown(&["--input", "--algo", "--addr", "--seed", "--shards"])?;
+                let StreamSource::Dataset {
+                    input,
+                    algo,
+                    seed,
+                    shards,
+                } = parse_stream_source(&mut flags, cmd)?
+                else {
+                    unreachable!("serve does not accept --connect");
+                };
+                Ok(Command::Serve {
+                    input,
+                    algo,
+                    seed,
+                    shards,
+                    addr: flags
+                        .value("--addr")?
+                        .ok_or_else(|| ParseError("serve requires --addr HOST:PORT".into()))?
+                        .to_string(),
                 })
             }
             "exact" => {
@@ -437,6 +496,53 @@ impl Command {
             other => Err(ParseError(format!("unknown command `{other}`"))),
         }
     }
+}
+
+/// The `--input --algo [--seed] [--shards]` vs `--connect` choice shared
+/// by `stream`, `snapshot`, and (dataset half only) `serve`.
+fn parse_stream_source(flags: &mut Flags<'_>, cmd: &str) -> Result<StreamSource, ParseError> {
+    if let Some(addr) = flags.value("--connect")? {
+        // The server owns the service configuration; accepting these
+        // here would silently ignore them.
+        for owned in ["--input", "--algo", "--shards", "--seed"] {
+            if flags.present(owned) {
+                return Err(ParseError(format!(
+                    "--connect drives a remote `ltc serve` session, which already \
+                     owns the service configuration; drop `{owned}`"
+                )));
+            }
+        }
+        return Ok(StreamSource::Connect {
+            addr: addr.to_string(),
+        });
+    }
+    let algo = AlgoChoice::parse(
+        flags
+            .value("--algo")?
+            .ok_or_else(|| ParseError(format!("{cmd} requires --algo")))?,
+    )?;
+    if !matches!(algo, AlgoChoice::Aam | AlgoChoice::Laf | AlgoChoice::Random) {
+        return Err(ParseError(format!(
+            "{cmd} requires an online algorithm (aam, laf, random), got `{}`",
+            algo.name()
+        )));
+    }
+    let shards = match flags.value("--shards")? {
+        Some(v) => parse_num::<usize>(v, "shards")?,
+        None => 1,
+    };
+    if shards == 0 {
+        return Err(ParseError("--shards must be positive".into()));
+    }
+    Ok(StreamSource::Dataset {
+        input: required_input(flags)?,
+        algo,
+        seed: match flags.value("--seed")? {
+            Some(v) => parse_num(v, "seed")?,
+            None => 0x5EED,
+        },
+        shards,
+    })
 }
 
 fn parse_pipeline(flags: &mut Flags<'_>) -> Result<usize, ParseError> {
@@ -573,33 +679,106 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Stream {
-                input: "x.tsv".into(),
-                algo: AlgoChoice::Aam,
+                source: StreamSource::Dataset {
+                    input: "x.tsv".into(),
+                    algo: AlgoChoice::Aam,
+                    seed: 0x5EED,
+                    shards: 1,
+                },
                 checkins: None,
-                seed: 0x5EED,
-                shards: 1,
                 pipeline: 1,
                 rebalance: None,
                 snapshot_out: None,
+                metrics_out: None,
             }
         );
         let cmd = Command::parse(&argv(
             "stream --input x.tsv --algo random --checkins c.tsv --seed 7 --shards 4 \
-             --pipeline 32 --snapshot-out s.ltc",
+             --pipeline 32 --snapshot-out s.ltc --metrics-out m.json",
         ))
         .unwrap();
         assert_eq!(
             cmd,
             Command::Stream {
-                input: "x.tsv".into(),
-                algo: AlgoChoice::Random,
+                source: StreamSource::Dataset {
+                    input: "x.tsv".into(),
+                    algo: AlgoChoice::Random,
+                    seed: 7,
+                    shards: 4,
+                },
                 checkins: Some("c.tsv".into()),
-                seed: 7,
-                shards: 4,
                 pipeline: 32,
                 rebalance: None,
                 snapshot_out: Some("s.ltc".into()),
+                metrics_out: Some("m.json".into()),
             }
+        );
+    }
+
+    #[test]
+    fn stream_connect_replaces_the_service_configuration() {
+        let cmd =
+            Command::parse(&argv("stream --connect 127.0.0.1:7171 --checkins c.tsv")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Stream {
+                source: StreamSource::Connect {
+                    addr: "127.0.0.1:7171".into(),
+                },
+                checkins: Some("c.tsv".into()),
+                pipeline: 1,
+                rebalance: None,
+                snapshot_out: None,
+                metrics_out: None,
+            }
+        );
+        // The server owns the configuration: combining --connect with a
+        // dataset flag is an error, not a silent ignore.
+        for clash in [
+            "stream --connect 127.0.0.1:1 --input x.tsv",
+            "stream --connect 127.0.0.1:1 --algo laf",
+            "stream --connect 127.0.0.1:1 --shards 4",
+            "stream --connect 127.0.0.1:1 --seed 3",
+            "serve --connect 127.0.0.1:1 --addr 127.0.0.1:0",
+        ] {
+            assert!(Command::parse(&argv(clash)).is_err(), "{clash}");
+        }
+        // snapshot --connect still needs its local --out.
+        let cmd = Command::parse(&argv("snapshot --connect 127.0.0.1:7171 --out s.ltc")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Stream {
+                source: StreamSource::Connect { .. },
+                snapshot_out: Some(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn serve_parses_and_requires_addr() {
+        let cmd = Command::parse(&argv(
+            "serve --input x.tsv --algo laf --addr 127.0.0.1:0 --shards 4 --seed 9",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                input: "x.tsv".into(),
+                algo: AlgoChoice::Laf,
+                seed: 9,
+                shards: 4,
+                addr: "127.0.0.1:0".into(),
+            }
+        );
+        assert!(Command::parse(&argv("serve --input x.tsv --algo laf")).is_err());
+        assert!(Command::parse(&argv("serve --algo laf --addr 127.0.0.1:0")).is_err());
+        assert!(
+            Command::parse(&argv(
+                "serve --input x.tsv --algo mcf-ltc --addr 127.0.0.1:0"
+            ))
+            .is_err(),
+            "serve requires an online algorithm"
         );
     }
 
@@ -613,7 +792,7 @@ mod tests {
             cmd,
             Command::Stream {
                 rebalance: Some(500),
-                shards: 4,
+                source: StreamSource::Dataset { shards: 4, .. },
                 ..
             }
         ));
@@ -644,14 +823,17 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Stream {
-                input: "x.tsv".into(),
-                algo: AlgoChoice::Laf,
+                source: StreamSource::Dataset {
+                    input: "x.tsv".into(),
+                    algo: AlgoChoice::Laf,
+                    seed: 0x5EED,
+                    shards: 1,
+                },
                 checkins: None,
-                seed: 0x5EED,
-                shards: 1,
                 pipeline: 1,
                 rebalance: None,
                 snapshot_out: Some("s.ltc".into()),
+                metrics_out: None,
             }
         );
         assert!(Command::parse(&argv("snapshot --input x.tsv --algo laf")).is_err());
@@ -668,6 +850,7 @@ mod tests {
                 pipeline: 8,
                 rebalance: None,
                 snapshot_out: Some("s2.ltc".into()),
+                metrics_out: None,
             }
         );
         assert!(Command::parse(&argv("resume --checkins c.tsv")).is_err());

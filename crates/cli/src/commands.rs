@@ -1,15 +1,17 @@
 //! Execution of parsed `ltc` commands.
 
-use crate::args::{AlgoChoice, Command, Preset};
+use crate::args::{AlgoChoice, Command, Preset, StreamSource};
 use ltc_core::bounds::{batch_size, latency_lower_bound, latency_upper_bound};
 use ltc_core::metrics::ArrangementStats;
 use ltc_core::model::{Instance, RunOutcome, Worker};
 use ltc_core::offline::{BaseOff, ExactSolver, McfLtc};
 use ltc_core::online::{run_online, Aam, Laf, RandomAssign};
 use ltc_core::service::{
-    Algorithm, Event, EventStream, ServiceBuilder, ServiceHandle, StreamEvent,
+    Algorithm, Event, EventStream, ServiceBuilder, ServiceHandle, ServiceMetrics, Session,
+    StreamEvent,
 };
 use ltc_core::snapshot as snapshot_format;
+use ltc_proto::{LtcClient, LtcServer};
 use ltc_sim::{infer_em, infer_majority, simulate, AnswerSet, EmConfig, GroundTruth};
 use ltc_spatial::Point;
 use ltc_workload::{dataset, CheckinCityConfig, SyntheticConfig};
@@ -32,23 +34,19 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
         } => generate(preset, scale, seed, epsilon, path, out),
         Command::Run { input, algo, stats } => run_algo(&input, algo, stats, out),
         Command::Stream {
-            input,
-            algo,
+            source,
             checkins,
-            seed,
-            shards,
             pipeline,
             rebalance,
             snapshot_out,
+            metrics_out,
         } => stream_cmd(
-            &input,
-            algo,
+            &source,
             checkins.as_deref(),
-            seed,
-            shards,
             pipeline,
             rebalance,
             snapshot_out.as_deref(),
+            metrics_out.as_deref(),
             out,
         ),
         Command::Resume {
@@ -57,14 +55,23 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
             pipeline,
             rebalance,
             snapshot_out,
+            metrics_out,
         } => resume_cmd(
             &snapshot,
             checkins.as_deref(),
             pipeline,
             rebalance,
             snapshot_out.as_deref(),
+            metrics_out.as_deref(),
             out,
         ),
+        Command::Serve {
+            input,
+            algo,
+            seed,
+            shards,
+            addr,
+        } => serve_cmd(&input, algo, seed, shards, &addr, out),
         Command::Exact { input, budget } => exact(&input, budget, out),
         Command::Simulate {
             input,
@@ -273,78 +280,193 @@ fn service_algorithm(algo: AlgoChoice, seed: u64) -> Algorithm {
     }
 }
 
-/// `ltc stream` / `ltc snapshot`: serve a line-by-line check-in stream
-/// through a pipelined [`ServiceHandle`] session, emitting assignments
-/// as NDJSON and optionally writing the final service state.
-#[allow(clippy::too_many_arguments)]
-fn stream_cmd(
+/// Builds the pipelined in-process session `stream`/`snapshot`/`serve`
+/// run on a dataset.
+fn start_dataset_session(
     input: &str,
     algo: AlgoChoice,
-    checkins: Option<&str>,
     seed: u64,
     shards: usize,
+) -> Result<ServiceHandle, Box<dyn Error>> {
+    let instance = load(input)?;
+    Ok(ServiceBuilder::from_instance(&instance)
+        .algorithm(service_algorithm(algo, seed))
+        .shards(NonZeroUsize::new(shards).ok_or("--shards must be positive")?)
+        .start()?)
+}
+
+/// `ltc stream` / `ltc snapshot`: serve a line-by-line check-in stream
+/// through a [`Session`] — the in-process pipelined runtime for
+/// `--input`, a remote `ltc serve` process for `--connect`; both run
+/// the same [`drive_stream`] code path and emit identical NDJSON.
+fn stream_cmd(
+    source: &StreamSource,
+    checkins: Option<&str>,
     pipeline: usize,
     rebalance: Option<u64>,
     snapshot_out: Option<&str>,
+    metrics_out: Option<&str>,
     out: &mut dyn Write,
 ) -> CmdResult {
-    let instance = load(input)?;
-    let handle = ServiceBuilder::from_instance(&instance)
-        .algorithm(service_algorithm(algo, seed))
-        .shards(NonZeroUsize::new(shards).ok_or("--shards must be positive")?)
-        .start()?;
-    drive_stream(handle, checkins, pipeline, rebalance, snapshot_out, out)
+    let mut session: Box<dyn Session> = match source {
+        StreamSource::Dataset {
+            input,
+            algo,
+            seed,
+            shards,
+        } => Box::new(start_dataset_session(input, *algo, *seed, *shards)?),
+        StreamSource::Connect { addr } => Box::new(
+            LtcClient::connect(addr.as_str()).map_err(|e| format!("cannot reach `{addr}`: {e}"))?,
+        ),
+    };
+    drive_stream(
+        session.as_mut(),
+        checkins,
+        pipeline,
+        rebalance,
+        snapshot_out,
+        metrics_out,
+        out,
+    )
 }
 
 /// `ltc resume`: restore a session from a snapshot file and keep
-/// streaming.
+/// streaming (through the same `dyn Session` path as `stream`).
 fn resume_cmd(
     snapshot: &str,
     checkins: Option<&str>,
     pipeline: usize,
     rebalance: Option<u64>,
     snapshot_out: Option<&str>,
+    metrics_out: Option<&str>,
     out: &mut dyn Write,
 ) -> CmdResult {
     let file =
         std::fs::File::open(snapshot).map_err(|e| format!("cannot open `{snapshot}`: {e}"))?;
     let decoded = snapshot_format::read_snapshot(std::io::BufReader::new(file))?;
-    let handle = ServiceHandle::restore(decoded)?;
-    drive_stream(handle, checkins, pipeline, rebalance, snapshot_out, out)
+    let mut session: Box<dyn Session> = Box::new(ServiceHandle::restore(decoded)?);
+    drive_stream(
+        session.as_mut(),
+        checkins,
+        pipeline,
+        rebalance,
+        snapshot_out,
+        metrics_out,
+        out,
+    )
 }
 
-/// Blocks until the next finished check-in arrives on the subscription,
-/// writes its NDJSON line, and decrements the in-flight count.
-fn pump_worker_event(
-    events: &EventStream,
-    in_flight: &mut usize,
+/// `ltc serve`: build the service exactly like `stream --input` would
+/// and expose it over TCP (`ltc-proto v1`) until a client requests
+/// shutdown. The bound address is printed (and flushed) first, so
+/// scripts may bind port 0 and read the real port back.
+fn serve_cmd(
+    input: &str,
+    algo: AlgoChoice,
+    seed: u64,
+    shards: usize,
+    addr: &str,
     out: &mut dyn Write,
 ) -> CmdResult {
+    let handle = start_dataset_session(input, algo, seed, shards)?;
+    let n_tasks = handle.n_tasks();
+    let server = LtcServer::bind(addr, handle).map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+    writeln!(
+        out,
+        "{{\"serve\":true,\"addr\":\"{}\",\"algo\":\"{}\",\"shards\":{shards},\"tasks\":{n_tasks}}}",
+        server.local_addr(),
+        algo.name()
+    )?;
+    out.flush()?;
+    server.run()?;
+    writeln!(out, "{{\"serve_stopped\":true}}")?;
+    Ok(())
+}
+
+/// Blocks until one of *our own* submitted check-ins finishes on the
+/// subscription, writes its NDJSON line, and decrements the in-flight
+/// count. Returns how many task completions were observed along the way
+/// (including ones committed by other clients of a shared remote
+/// session, whose worker events are otherwise skipped — this stream
+/// only reports the check-ins it submitted, but completion is global).
+fn pump_worker_event(
+    events: &EventStream,
+    mine: &mut std::collections::HashSet<u64>,
+    in_flight: &mut usize,
+    out: &mut dyn Write,
+) -> Result<u64, Box<dyn Error>> {
+    let mut completed = 0u64;
     loop {
         let Some(delivery) = events.next_event() else {
-            return Err("the service runtime stopped mid-stream".into());
+            return Err("the session stopped mid-stream".into());
         };
         if let StreamEvent::Worker { worker, events } = delivery {
-            write_stream_event(out, worker.0, &events)?;
-            *in_flight -= 1;
-            return Ok(());
+            completed += events
+                .iter()
+                .filter(|e| matches!(e, Event::TaskCompleted { .. }))
+                .count() as u64;
+            if mine.remove(&worker.0) {
+                write_stream_event(out, worker.0, &events)?;
+                *in_flight -= 1;
+                return Ok(completed);
+            }
         }
-        // Lifecycle notices and task posts carry no NDJSON line.
+        // Lifecycle notices, task posts, and other clients' check-ins
+        // carry no NDJSON line here.
     }
 }
 
-/// The shared streaming loop behind `stream`, `snapshot`, and `resume`:
-/// submissions ride the persistent shard runtime with up to `pipeline`
-/// check-ins in flight (1 = lockstep, byte-stable against the
-/// synchronous facade), and each worker's events are written the moment
-/// they are delivered — which the runtime guarantees is in submission
-/// order.
+/// Writes the final machine-readable metrics line (`--metrics-out`):
+/// everything a bench harness wants to scrape, deterministic — no
+/// timing fields.
+fn write_metrics_line(path: &str, algo: &str, m: &ServiceMetrics) -> CmdResult {
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))?;
+    let mut file = std::io::BufWriter::new(file);
+    write!(
+        file,
+        "{{\"metrics\":true,\"algo\":\"{algo}\",\"workers\":{},\"assignments\":{},\
+         \"tasks\":{},\"completed_tasks\":{},\"clamped_insertions\":{},\"rebalances\":{},\
+         \"shard_loads\":[",
+        m.n_workers_seen,
+        m.n_assignments,
+        m.n_tasks,
+        m.n_completed,
+        m.clamped_insertions,
+        m.rebalances
+    )?;
+    for (i, load) in m.shard_loads.iter().enumerate() {
+        if i > 0 {
+            write!(file, ",")?;
+        }
+        write!(file, "{load}")?;
+    }
+    match m.latency {
+        Some(l) => writeln!(file, "],\"latency\":{l}}}")?,
+        None => writeln!(file, "],\"latency\":null}}")?,
+    }
+    // Surface buffered-write failures (ENOSPC at drop time would
+    // otherwise vanish and leave a truncated file behind an exit 0).
+    file.flush()?;
+    Ok(())
+}
+
+/// The shared streaming loop behind `stream`, `snapshot`, and `resume`
+/// — written against `dyn Session`, so the in-process runtime and a
+/// remote `ltc serve` session run the *same* code path and emit
+/// byte-identical NDJSON (differentially tested). Submissions keep up
+/// to `pipeline` check-ins in flight (1 = lockstep); each worker's
+/// events are written the moment they are delivered, which the session
+/// contract guarantees is submission order. Completion is tracked from
+/// the delivered events themselves (the session's counters may lag
+/// in-flight work, and polling a remote one per line would cost a round
+/// trip).
 fn drive_stream(
-    mut handle: ServiceHandle,
+    session: &mut dyn Session,
     checkins: Option<&str>,
     pipeline: usize,
     rebalance_every: Option<u64>,
     snapshot_out: Option<&str>,
+    metrics_out: Option<&str>,
     out: &mut dyn Write,
 ) -> CmdResult {
     let stdin;
@@ -360,19 +482,31 @@ fn drive_stream(
         }
     };
 
-    let min_accuracy = handle.params().min_accuracy;
+    let info = session.info();
+    let algo_name = info.algorithm.name();
+    let min_accuracy = info.params.min_accuracy;
+    // One round trip up front: how much of the pool is already done
+    // (resumed sessions, or a shared remote session mid-run).
+    let opening = session.metrics()?;
+    let mut completed_tasks = opening.n_completed;
+    let total_tasks = opening.n_tasks;
+
     let depth = pipeline.max(1);
-    let events = handle.subscribe()?;
+    let events = session.subscribe()?;
     let started = std::time::Instant::now();
     let mut spam_skipped: u64 = 0;
     let mut in_flight: usize = 0;
     let mut accepted: u64 = 0;
+    // Arrival ids of our own in-flight submissions: a shared remote
+    // session broadcasts every client's events, and this stream must
+    // report exactly the check-ins it submitted.
+    let mut mine: std::collections::HashSet<u64> = std::collections::HashSet::new();
     for (lineno, line) in reader.lines().enumerate() {
         // With depth 1 every submission has been pumped before this
         // check, so completion is observed exactly like the synchronous
         // facade would; deeper pipelines may overshoot by the in-flight
         // window (the extra check-ins idle and stay silent).
-        if handle.all_completed() {
+        if completed_tasks >= total_tasks {
             break;
         }
         let line = line?;
@@ -387,11 +521,11 @@ fn drive_stream(
             spam_skipped += 1;
             continue;
         }
-        handle.submit_worker(&worker)?;
+        mine.insert(session.submit_worker(&worker)?.0);
         in_flight += 1;
         accepted += 1;
         while in_flight >= depth {
-            pump_worker_event(&events, &mut in_flight, out)?;
+            completed_tasks += pump_worker_event(&events, &mut mine, &mut in_flight, out)?;
         }
         if let Some(every) = rebalance_every {
             if accepted.is_multiple_of(every) {
@@ -400,9 +534,9 @@ fn drive_stream(
                 // stripes by live-task load (exact — assignments are
                 // unchanged, only placement).
                 while in_flight > 0 {
-                    pump_worker_event(&events, &mut in_flight, out)?;
+                    completed_tasks += pump_worker_event(&events, &mut mine, &mut in_flight, out)?;
                 }
-                if let Some(outcome) = handle.rebalance()? {
+                if let Some(outcome) = session.rebalance()? {
                     writeln!(
                         out,
                         "{{\"rebalance\":true,\"after_workers\":{accepted},\
@@ -415,38 +549,38 @@ fn drive_stream(
         }
     }
     while in_flight > 0 {
-        pump_worker_event(&events, &mut in_flight, out)?;
+        pump_worker_event(&events, &mut mine, &mut in_flight, out)?;
     }
-    handle.drain()?;
+    session.drain()?;
 
     let elapsed = started.elapsed().as_secs_f64();
-    let completed = handle.all_completed();
-    let workers = handle.n_workers_seen();
-    let n_tasks = handle.n_tasks();
-    let metrics = handle.metrics()?;
-    let n_completed = metrics.n_completed;
-    let latency = match handle.latency() {
+    let metrics = session.metrics()?;
+    let completed = metrics.all_completed();
+    let workers = metrics.n_workers_seen;
+    let latency = match metrics.latency {
         Some(l) => l.to_string(),
         None => "null".to_string(),
     };
     writeln!(
         out,
-        "{{\"summary\":true,\"algo\":\"{}\",\"workers\":{workers},\"spam_skipped\":{spam_skipped},\
-         \"assignments\":{},\"tasks\":{n_tasks},\"completed_tasks\":{n_completed},\
+        "{{\"summary\":true,\"algo\":\"{algo_name}\",\"workers\":{workers},\"spam_skipped\":{spam_skipped},\
+         \"assignments\":{},\"tasks\":{},\"completed_tasks\":{},\
          \"completed\":{completed},\"latency\":{latency},\"elapsed_s\":{elapsed:.6}}}",
-        handle.algorithm().name(),
-        handle.n_assignments(),
+        metrics.n_assignments, metrics.n_tasks, metrics.n_completed,
     )?;
     if let Some(path) = snapshot_out {
-        let snapshot = handle.snapshot()?;
+        let snapshot = session.snapshot()?;
         let file =
             std::fs::File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))?;
         snapshot_format::write_snapshot(&snapshot, std::io::BufWriter::new(file))?;
         writeln!(
             out,
             "{{\"snapshot\":\"{path}\",\"shards\":{}}}",
-            handle.n_shards()
+            metrics.shard_loads.len()
         )?;
+    }
+    if let Some(path) = metrics_out {
+        write_metrics_line(path, algo_name, &metrics)?;
     }
     Ok(())
 }
@@ -536,6 +670,9 @@ fn bounds(input: &str, out: &mut dyn Write) -> CmdResult {
 
 #[cfg(test)]
 mod tests {
+    use crate::args::AlgoChoice;
+    use ltc_proto::{LtcClient, LtcServer, RunningServer};
+
     fn run_cli(line: &str) -> (i32, String) {
         let argv: Vec<String> = line.split_whitespace().map(str::to_string).collect();
         let mut buf = Vec::new();
@@ -846,6 +983,246 @@ mod tests {
         };
         assert_eq!(summary(&full), summary(&second));
         for p in [&all_checkins, &first_half, &second_half, &snap_path] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    /// Spawns an `ltc serve`-equivalent server over the dataset (the
+    /// `serve` command is a thin wrapper over exactly this).
+    fn spawn_server(data_path: &str, shards: usize) -> RunningServer {
+        let handle = super::start_dataset_session(data_path, AlgoChoice::Laf, 0x5EED, shards)
+            .expect("test dataset builds");
+        LtcServer::bind("127.0.0.1:0", handle)
+            .unwrap()
+            .spawn()
+            .unwrap()
+    }
+
+    fn write_parity_fixture(data_path: &str, checkin_path: &str) {
+        let mut data = String::from("# ltc-dataset v1\nparams\t0.3\t2\t30\t0.66\n");
+        for t in 0..8 {
+            data.push_str(&format!("task\t{}\t5\n", t * 100));
+        }
+        std::fs::write(data_path, &data).unwrap();
+        let mut checkins = String::new();
+        for i in 0..160 {
+            checkins.push_str(&format!("{}\t6\t0.9{}\n", (i % 8) * 100, i % 9));
+        }
+        std::fs::write(checkin_path, &checkins).unwrap();
+    }
+
+    fn strip_elapsed(s: &str) -> Vec<String> {
+        s.lines()
+            .map(|l| l.split(",\"elapsed_s\"").next().unwrap().to_string())
+            .collect()
+    }
+
+    #[test]
+    fn stream_connect_is_byte_identical_to_in_process() {
+        // The acceptance criterion of the transport redesign: `ltc
+        // stream` driven through LtcClient → TCP → the server produces
+        // byte-identical NDJSON to the in-process pipeline, at 1 and 4
+        // shards — including the snapshot taken at the end (written
+        // server-side over the wire vs. locally).
+        let data_path = temp_path("connect_parity.tsv");
+        let checkin_path = temp_path("connect_parity_checkins.tsv");
+        write_parity_fixture(&data_path, &checkin_path);
+        for shards in [1usize, 4] {
+            let local_snap = temp_path(&format!("connect_local_{shards}.ltc"));
+            let remote_snap = temp_path(&format!("connect_remote_{shards}.ltc"));
+            let (code, local) = run_cli(&format!(
+                "stream --input {data_path} --algo laf --shards {shards} \
+                 --checkins {checkin_path} --snapshot-out {local_snap}"
+            ));
+            assert_eq!(code, 0, "{local}");
+
+            let server = spawn_server(&data_path, shards);
+            let (code, remote) = run_cli(&format!(
+                "stream --connect {} --checkins {checkin_path} --snapshot-out {remote_snap}",
+                server.addr()
+            ));
+            assert_eq!(code, 0, "{remote}");
+            server.stop().unwrap();
+
+            // Whole-output equality modulo the timing field — the
+            // snapshot path differs too, so compare that line's prefix.
+            let scrub = |s: &str, snap: &str| {
+                strip_elapsed(s)
+                    .into_iter()
+                    .map(|l| l.replace(snap, "SNAP"))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(
+                scrub(&local, &local_snap),
+                scrub(&remote, &remote_snap),
+                "shards={shards}: remote NDJSON diverged from in-process"
+            );
+            assert!(local.contains("\"completed\":true"), "{local}");
+            // The server-side snapshot crossed the wire bit-exactly.
+            let a = std::fs::read(&local_snap).unwrap();
+            let b = std::fs::read(&remote_snap).unwrap();
+            assert_eq!(a, b, "shards={shards}: snapshot files diverged");
+            std::fs::remove_file(&local_snap).ok();
+            std::fs::remove_file(&remote_snap).ok();
+        }
+        std::fs::remove_file(&data_path).ok();
+        std::fs::remove_file(&checkin_path).ok();
+    }
+
+    #[test]
+    fn serve_command_round_trips_on_localhost() {
+        // End-to-end through the *CLI* serve command: bind port 0, read
+        // the printed address, drive a remote stream, shut the server
+        // down over the wire.
+        use std::io::Write as _;
+        use std::sync::mpsc;
+
+        let data_path = temp_path("serve_cmd.tsv");
+        let checkin_path = temp_path("serve_cmd_checkins.tsv");
+        write_parity_fixture(&data_path, &checkin_path);
+
+        /// Captures serve's output and hands the first line (the
+        /// address announcement) to the test the moment it is flushed.
+        struct AnnounceWriter {
+            buf: Vec<u8>,
+            first_line: Option<mpsc::Sender<String>>,
+        }
+        impl std::io::Write for AnnounceWriter {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.buf.extend_from_slice(data);
+                if self.buf.contains(&b'\n') {
+                    if let Some(tx) = self.first_line.take() {
+                        let line = String::from_utf8_lossy(&self.buf);
+                        tx.send(line.lines().next().unwrap_or("").to_string()).ok();
+                    }
+                }
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let (tx, rx) = mpsc::channel();
+        let serve_args: Vec<String> =
+            format!("serve --input {data_path} --algo laf --shards 2 --addr 127.0.0.1:0")
+                .split_whitespace()
+                .map(str::to_string)
+                .collect();
+        let serve_thread = std::thread::spawn(move || {
+            let mut out = AnnounceWriter {
+                buf: Vec::new(),
+                first_line: Some(tx),
+            };
+            let code = crate::run(&serve_args, &mut out);
+            (code, String::from_utf8_lossy(&out.buf).into_owned())
+        });
+        let announce = rx
+            .recv_timeout(std::time::Duration::from_secs(30))
+            .expect("serve must announce its address");
+        assert!(announce.contains("\"serve\":true"), "{announce}");
+        let addr = announce
+            .split("\"addr\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('\"').next())
+            .expect("address in the announce line")
+            .to_string();
+
+        let (code, out) = run_cli(&format!(
+            "stream --connect {addr} --checkins {checkin_path}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("\"summary\":true"), "{out}");
+        assert!(out.contains("\"completed\":true"), "{out}");
+
+        use ltc_core::service::Session as _;
+        let mut closer = LtcClient::connect(addr.as_str()).unwrap();
+        closer.shutdown().unwrap();
+        let (code, serve_out) = serve_thread.join().unwrap();
+        assert_eq!(code, 0, "{serve_out}");
+        assert!(serve_out.contains("\"serve_stopped\":true"), "{serve_out}");
+        let _ = std::io::sink().flush();
+        std::fs::remove_file(&data_path).ok();
+        std::fs::remove_file(&checkin_path).ok();
+    }
+
+    #[test]
+    fn sequential_clients_of_one_server_report_only_their_own_checkins() {
+        // A shared remote session broadcasts every client's events; each
+        // CLI stream must emit NDJSON only for the check-ins it
+        // submitted (arrival ids keep counting across clients).
+        let data_path = temp_path("multi_client.tsv");
+        // One task far from completion (ε = 0.1 ⇒ δ ≈ 4.6; 0.8-accuracy
+        // workers contribute 0.36 each, so 5 check-ins cannot finish it).
+        let data = "# ltc-dataset v1\nparams\t0.1\t1\t30\t0.66\ntask\t5\t5\n";
+        std::fs::write(&data_path, data).unwrap();
+        let a_checkins = temp_path("multi_client_a.tsv");
+        let b_checkins = temp_path("multi_client_b.tsv");
+        std::fs::write(&a_checkins, "5\t6\t0.8\n".repeat(5)).unwrap();
+        std::fs::write(&b_checkins, "5\t6\t0.8\n".repeat(5)).unwrap();
+
+        let server = spawn_server(&data_path, 1);
+        let (code, a_out) = run_cli(&format!(
+            "stream --connect {} --checkins {a_checkins}",
+            server.addr()
+        ));
+        assert_eq!(code, 0, "{a_out}");
+        let (code, b_out) = run_cli(&format!(
+            "stream --connect {} --checkins {b_checkins}",
+            server.addr()
+        ));
+        assert_eq!(code, 0, "{b_out}");
+        server.stop().unwrap();
+
+        let ids = |s: &str| {
+            s.lines()
+                .filter(|l| l.starts_with("{\"worker\""))
+                .map(|l| {
+                    l.split("\"worker\":")
+                        .nth(1)
+                        .unwrap()
+                        .split(',')
+                        .next()
+                        .unwrap()
+                        .parse::<u64>()
+                        .unwrap()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ids(&a_out), vec![0, 1, 2, 3, 4], "{a_out}");
+        assert_eq!(ids(&b_out), vec![5, 6, 7, 8, 9], "{b_out}");
+        // The second client's summary sees the whole session's counters.
+        assert!(b_out.contains("\"workers\":10"), "{b_out}");
+        for p in [&data_path, &a_checkins, &b_checkins] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn metrics_out_emits_the_literal_machine_readable_line() {
+        let data_path = temp_path("metrics_data.tsv");
+        let checkin_path = temp_path("metrics_checkins.tsv");
+        let metrics_path = temp_path("metrics_line.json");
+        // One task, ε = 0.3 ⇒ δ ≈ 2.41; three 0.95-accuracy co-located
+        // check-ins complete it (the spam line is skipped).
+        let data = "# ltc-dataset v1\nparams\t0.3\t1\t30\t0.66\ntask\t5\t5\n";
+        std::fs::write(&data_path, data).unwrap();
+        let checkins = "5\t6\t0.95\n5\t6\t0.2\n5\t6\t0.95\n5\t6\t0.95\n5\t6\t0.95\n";
+        std::fs::write(&checkin_path, checkins).unwrap();
+
+        let (code, out) = run_cli(&format!(
+            "stream --input {data_path} --algo laf --checkins {checkin_path} \
+             --metrics-out {metrics_path}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        let line = std::fs::read_to_string(&metrics_path).unwrap();
+        assert_eq!(
+            line,
+            "{\"metrics\":true,\"algo\":\"LAF\",\"workers\":3,\"assignments\":3,\
+             \"tasks\":1,\"completed_tasks\":1,\"clamped_insertions\":0,\"rebalances\":0,\
+             \"shard_loads\":[0],\"latency\":3}\n"
+        );
+        for p in [&data_path, &checkin_path, &metrics_path] {
             std::fs::remove_file(p).ok();
         }
     }

@@ -8,18 +8,24 @@
 //! ltc run      --input data.tsv --algo aam --stats
 //! ltc stream   --input data.tsv --algo laf --shards 4 --pipeline 32 \
 //!              --rebalance 10000 --snapshot-out state.ltc
+//! ltc serve    --input data.tsv --algo laf --shards 4 --addr 127.0.0.1:7534
+//! ltc stream   --connect 127.0.0.1:7534 --checkins more.tsv
 //! ltc resume   --snapshot state.ltc --checkins more.tsv
 //! ltc exact    --input data.tsv
 //! ltc simulate --input data.tsv --algo laf --trials 1000
 //! ltc bounds   --input data.tsv
 //! ```
 //!
-//! `stream`/`snapshot`/`resume` ride the pipelined
-//! [`ServiceHandle`](ltc_core::service::ServiceHandle) runtime —
-//! persistent shard threads, submission-ordered NDJSON output, exact
-//! mid-stream snapshots, and optional periodic stripe rebalancing; the
-//! batch commands (`run`, `exact`, `simulate`, `bounds`) replay
-//! recorded instances. See `docs/ARCHITECTURE.md` for the layering.
+//! `stream`/`snapshot`/`resume` drive a
+//! [`Session`](ltc_core::service::Session) — the in-process pipelined
+//! [`ServiceHandle`](ltc_core::service::ServiceHandle) runtime for
+//! `--input` (persistent shard threads, submission-ordered NDJSON
+//! output, exact mid-stream snapshots, optional periodic stripe
+//! rebalancing), or a remote `ltc serve` process for `--connect`, with
+//! byte-identical output either way (`ltc-proto v1`; see
+//! `docs/PROTOCOL.md`). The batch commands (`run`, `exact`, `simulate`,
+//! `bounds`) replay recorded instances. See `docs/ARCHITECTURE.md` for
+//! the layering.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -709,6 +709,8 @@ impl AssignmentEngine {
                 .task_index
                 .as_ref()
                 .map(|idx| (idx.cell_size(), idx.requested_bounds())),
+            clamped_insertions: self.index_clamped_insertions(),
+            clamp_mark: self.index_clamp_mark,
         }
     }
 
@@ -764,6 +766,15 @@ impl AssignmentEngine {
                         index.insert(i as u32, task.loc);
                     }
                 }
+                // Restore the durable clamp telemetry. Re-insertion only
+                // counted the currently-live out-of-extent tasks, which
+                // under-states the cumulative history; a recorded counter
+                // (always ≥ the recount, since the counter is monotone
+                // over the engine's life) wins, while synthetic states
+                // from fresh builds record 0 and keep the recount.
+                index.restore_clamp_counter(
+                    state.clamped_insertions.max(index.n_clamped_insertions()),
+                );
                 Some(index)
             }
         };
@@ -779,7 +790,7 @@ impl AssignmentEngine {
             arrangement: Arrangement::new(),
             task_index,
             next_arrival: state.next_arrival,
-            index_clamp_mark: 0,
+            index_clamp_mark: state.clamp_mark,
             units: vec![0.0; n],
             units_sum: 0.0,
             units_counts: BTreeMap::new(),
@@ -829,6 +840,16 @@ pub struct EngineState {
     /// `(cell_size, bounds)` of the spatial index, `None` under
     /// [`Eligibility::Unrestricted`].
     pub index_geometry: Option<(f64, BoundingBox)>,
+    /// Cumulative border-clamp counter of the spatial index
+    /// ([`AssignmentEngine::index_clamped_insertions`]) — durable, so
+    /// restore/rebalance keep the operator telemetry instead of silently
+    /// resetting it. Zero under [`Eligibility::Unrestricted`].
+    pub clamped_insertions: u64,
+    /// The counter's value at the last adaptive index growth (the
+    /// re-arm point of [`AssignmentEngine::maybe_grow_index`]); carrying
+    /// it keeps the growth threshold armed exactly where it was instead
+    /// of restarting the count from zero. Always `<= clamped_insertions`.
+    pub clamp_mark: u64,
 }
 
 /// Why an [`AssignmentEngine`] operation failed.

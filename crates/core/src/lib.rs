@@ -64,6 +64,16 @@
 //! remains the supported substrate for algorithm implementations and
 //! differential tests.
 //!
+//! Every session verb is also captured by the transport-agnostic
+//! [`service::Session`] trait (`submit_worker`, `post_task`,
+//! `subscribe`, `drain`, `snapshot`, `rebalance`, `metrics`,
+//! `shutdown`): [`service::ServiceHandle`] implements it natively, and
+//! the `ltc-proto` crate implements it over TCP (`ltc serve` +
+//! `LtcClient`), so callers written against `dyn Session` — the CLI's
+//! streaming flows, for instance — drive local and remote services
+//! through one code path with identical observable behavior (see
+//! `docs/PROTOCOL.md`).
+//!
 //! The spatial layer **adapts** when the deployment-time region guess
 //! meets a skewed or drifting workload:
 //! [`service::ServiceBuilder::grow_index_after`] rebuckets a shard's

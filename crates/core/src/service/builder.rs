@@ -264,6 +264,8 @@ impl ServiceBuilder {
                     Eligibility::WithinRange => Some((cell_size, self.region)),
                     Eligibility::Unrestricted => None,
                 },
+                clamped_insertions: 0,
+                clamp_mark: 0,
             })
             .map_err(ServiceError::Engine)?;
             shards.push(Shard {

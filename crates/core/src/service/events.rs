@@ -138,6 +138,14 @@ impl EventStream {
         Self { rx }
     }
 
+    /// Wraps a raw receiver as an event stream — the adapter remote
+    /// [`Session`](super::Session) implementations use to expose their
+    /// transport-delivered events through the same subscription type the
+    /// in-process runtime hands out.
+    pub fn from_receiver(rx: Receiver<StreamEvent>) -> Self {
+        Self::new(rx)
+    }
+
     /// Blocks until the next event, or returns `None` once the runtime
     /// has shut down and every buffered event was consumed.
     pub fn next_event(&self) -> Option<StreamEvent> {
@@ -147,11 +155,54 @@ impl EventStream {
     /// Returns an already-delivered event without blocking (`None` when
     /// nothing is buffered right now — the stream may still be live).
     pub fn try_next(&self) -> Option<StreamEvent> {
-        self.rx.try_recv().ok()
+        self.try_recv()
     }
 
     /// Blocks up to `timeout` for the next event.
     pub fn next_timeout(&self, timeout: Duration) -> Option<StreamEvent> {
+        self.recv_timeout(timeout)
+    }
+
+    /// Non-blocking receive: an already-delivered event, or `None` when
+    /// nothing is buffered *right now* (the stream may still be live —
+    /// use [`next_event`](EventStream::next_event) or
+    /// [`recv_timeout`](EventStream::recv_timeout) to wait).
+    ///
+    /// ```
+    /// use ltc_core::model::{ProblemParams, Task, Worker};
+    /// use ltc_core::service::{ServiceBuilder, StreamEvent};
+    /// use ltc_spatial::{BoundingBox, Point};
+    /// use std::time::Duration;
+    ///
+    /// let params = ProblemParams::builder().epsilon(0.3).capacity(1).build().unwrap();
+    /// let region = BoundingBox::new(Point::ORIGIN, Point::new(100.0, 100.0));
+    /// let mut handle = ServiceBuilder::new(params, region).start().unwrap();
+    /// let events = handle.subscribe().unwrap();
+    /// assert_eq!(events.try_recv(), None); // nothing submitted yet
+    ///
+    /// let task = handle.post_task(Task::new(Point::new(10.0, 10.0))).unwrap();
+    /// handle.submit_worker(&Worker::new(Point::new(10.5, 10.0), 0.95)).unwrap();
+    /// handle.drain().unwrap(); // both deliveries are now buffered
+    ///
+    /// assert_eq!(events.try_recv(), Some(StreamEvent::TaskPosted { task }));
+    /// // A bounded wait also works once buffered — it returns at once.
+    /// assert!(matches!(
+    ///     events.recv_timeout(Duration::from_secs(5)),
+    ///     Some(StreamEvent::Worker { .. })
+    /// ));
+    /// // Only the drain's own lifecycle notice is left.
+    /// assert!(matches!(events.try_recv(), Some(StreamEvent::Lifecycle(_))));
+    /// assert_eq!(events.try_recv(), None); // buffer empty again
+    /// ```
+    pub fn try_recv(&self) -> Option<StreamEvent> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Bounded-blocking receive: waits up to `timeout` for the next
+    /// event, `None` on timeout or once the runtime has shut down and
+    /// the buffer is empty. (The runtime internals pace their own waits
+    /// with the same primitive; this is the public handle on it.)
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<StreamEvent> {
         self.rx.recv_timeout(timeout).ok()
     }
 }
@@ -168,7 +219,7 @@ impl Iterator for EventStream {
 /// ([`LtcService::metrics`](super::LtcService::metrics)) and the
 /// pipelined handle
 /// ([`ServiceHandle::metrics`](super::ServiceHandle::metrics)).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ServiceMetrics {
     /// Check-ins accepted so far (on a live handle: submitted, which may
     /// run ahead of processed until a drain).
@@ -185,6 +236,28 @@ pub struct ServiceMetrics {
     /// and lookups are degrading before results do (queries stay
     /// exact). Always zero under unrestricted eligibility (no index);
     /// see [`Lifecycle::TaskOutOfRegion`] for the region-level signal.
-    /// Not persisted by snapshots.
+    /// Durable: snapshots carry it (per-shard `clamped` groups), and a
+    /// rebalance migrates tasks without resetting it.
     pub clamped_insertions: u64,
+    /// Stripe rebalances applied on this front-end instance (explicit or
+    /// automatic; no-op calls that moved nothing are not counted). A
+    /// session-lifetime operational counter — it survives
+    /// facade↔handle conversion but not snapshots.
+    pub rebalances: u64,
+    /// Live (uncompleted) task count per shard, in shard order — the
+    /// load distribution the rebalancer equalizes. On a live handle the
+    /// counts are read at the shards' current mailbox positions; drain
+    /// first for values exact w.r.t. every submission.
+    pub shard_loads: Vec<u64>,
+    /// The paper's objective — the largest arrival index over recruited
+    /// workers — once every posted task completed, else `None`. On a
+    /// live handle it reflects *released* events; exact after a drain.
+    pub latency: Option<u64>,
+}
+
+impl ServiceMetrics {
+    /// Whether every posted task has reached its completion threshold.
+    pub fn all_completed(&self) -> bool {
+        self.n_completed == self.n_tasks
+    }
 }

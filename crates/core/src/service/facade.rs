@@ -49,6 +49,9 @@ pub struct LtcService {
     rebalance_factor: Option<f64>,
     /// Posts since the last auto-rebalance load check.
     posts_since_balance_check: u64,
+    /// Stripe rebalances applied over the session's lifetime (surfaced
+    /// via [`ServiceMetrics::rebalances`]).
+    rebalances: u64,
     router: ShardRouter,
     shards: Vec<Shard>,
     /// `task_map[global] = (shard, local)`.
@@ -79,6 +82,7 @@ pub(crate) struct ServiceParts {
     pub(crate) next_arrival: u64,
     pub(crate) n_assignments: u64,
     pub(crate) max_assigned_arrival: Option<u64>,
+    pub(crate) rebalances: u64,
 }
 
 impl LtcService {
@@ -115,6 +119,7 @@ impl LtcService {
             next_arrival: 0,
             n_assignments: 0,
             max_assigned_arrival: None,
+            rebalances: 0,
         })
     }
 
@@ -128,6 +133,7 @@ impl LtcService {
             grow_clamps: parts.grow_clamps,
             rebalance_factor: parts.rebalance_factor,
             posts_since_balance_check: 0,
+            rebalances: parts.rebalances,
             router: parts.router,
             shards: parts.shards,
             task_map: parts.task_map,
@@ -155,6 +161,7 @@ impl LtcService {
             next_arrival: self.next_arrival,
             n_assignments: self.n_assignments,
             max_assigned_arrival: self.max_assigned_arrival,
+            rebalances: self.rebalances,
         }
     }
 
@@ -261,6 +268,13 @@ impl LtcService {
                 .iter()
                 .map(|s| s.engine.index_clamped_insertions())
                 .sum(),
+            rebalances: self.rebalances,
+            shard_loads: self
+                .shards
+                .iter()
+                .map(|s| s.engine.n_uncompleted() as u64)
+                .collect(),
+            latency: self.latency(),
         }
     }
 
@@ -417,6 +431,7 @@ impl LtcService {
         }
         self.router = plan.router;
         self.task_map = plan.task_map;
+        self.rebalances += 1;
         Ok(Some(plan.outcome))
     }
 
@@ -743,6 +758,7 @@ impl LtcService {
             next_arrival: snapshot.next_arrival,
             n_assignments,
             max_assigned_arrival,
+            rebalances: 0,
         }))
     }
 }

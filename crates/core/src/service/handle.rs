@@ -3,7 +3,8 @@
 use super::facade::{LtcService, ServiceParts, ServiceSnapshot};
 use super::rebalance::{plan_rebalance, RebalanceOutcome};
 use super::runtime::{
-    collector_loop, shard_loop, CollectorMsg, Rendezvous, RuntimeStats, ShardMsg, ShardState,
+    collector_loop, shard_loop, CollectorMsg, Rendezvous, RuntimeStats, ShardMetrics, ShardMsg,
+    ShardState,
 };
 use super::{Algorithm, EventStream, Lifecycle, ServiceError, ServiceMetrics};
 use crate::engine::{AssignmentEngine, EngineError, EngineState};
@@ -85,6 +86,9 @@ pub struct ServiceHandle {
     next_seq: u64,
     /// `Some(n_workers)` when the accuracy model is tabular.
     table_workers: Option<usize>,
+    /// Stripe rebalances applied on this handle (plus any the facade it
+    /// was adopted from had already run).
+    rebalances: u64,
     shard_txs: Vec<SyncSender<ShardMsg>>,
     shard_joins: Vec<JoinHandle<super::shard::Shard>>,
     collector_tx: Option<Sender<CollectorMsg>>,
@@ -169,6 +173,7 @@ impl ServiceHandle {
             next_arrival: parts.next_arrival,
             next_seq: 0,
             table_workers,
+            rebalances: parts.rebalances,
             shard_txs,
             shard_joins,
             collector_tx: Some(collector_tx),
@@ -578,6 +583,7 @@ impl ServiceHandle {
         }
         self.router = plan.router;
         self.task_map = plan.task_map;
+        self.rebalances += 1;
         self.announce(Lifecycle::Rebalanced {
             moved_tasks: plan.outcome.moved_tasks,
             max_load: plan.outcome.max_load(),
@@ -592,6 +598,7 @@ impl ServiceHandle {
     /// values).
     pub fn metrics(&mut self) -> Result<ServiceMetrics, ServiceError> {
         let mut clamped = 0u64;
+        let mut shard_loads = Vec::with_capacity(self.n_shards);
         let mut replies = Vec::with_capacity(self.n_shards);
         for s in 0..self.n_shards {
             let (tx, rx) = mpsc::sync_channel(1);
@@ -599,9 +606,11 @@ impl ServiceHandle {
             replies.push(rx);
         }
         for rx in replies {
-            clamped += rx
+            let ShardMetrics { clamped: c, live } = rx
                 .recv()
                 .map_err(|_| ServiceError::RuntimeStopped("a shard died during metrics"))?;
+            clamped += c;
+            shard_loads.push(live);
         }
         Ok(ServiceMetrics {
             n_workers_seen: self.next_arrival,
@@ -609,6 +618,9 @@ impl ServiceHandle {
             n_tasks: self.task_map.len() as u64,
             n_completed: self.stats.completed_tasks.load(Ordering::Relaxed),
             clamped_insertions: clamped,
+            rebalances: self.rebalances,
+            shard_loads,
+            latency: self.latency(),
         })
     }
 
@@ -646,7 +658,33 @@ impl ServiceHandle {
             next_arrival: self.next_arrival,
             n_assignments: self.stats.n_assignments.load(Ordering::Relaxed),
             max_assigned_arrival: self.stats.max_assigned(),
+            rebalances: self.rebalances,
         }))
+    }
+
+    /// Ends the session in place: drains, announces
+    /// [`Lifecycle::ShuttingDown`], and stops every runtime thread,
+    /// leaving the handle inert (subsequent operations report
+    /// [`ServiceError::RuntimeStopped`]). The `&mut`-compatible sibling
+    /// of [`shutdown`](ServiceHandle::shutdown) — it backs
+    /// [`Session::shutdown`](super::Session::shutdown), where the
+    /// session is behind a `dyn` pointer and cannot be consumed.
+    pub fn close(&mut self) -> Result<(), ServiceError> {
+        if self.collector_tx.is_none() {
+            return Ok(()); // already closed
+        }
+        self.drain()?;
+        self.announce(Lifecycle::ShuttingDown);
+        self.shard_txs.clear();
+        for join in self.shard_joins.drain(..) {
+            join.join()
+                .map_err(|_| ServiceError::RuntimeStopped("a shard thread panicked"))?;
+        }
+        drop(self.collector_tx.take());
+        if let Some(join) = self.collector_join.take() {
+            join.join().ok();
+        }
+        Ok(())
     }
 }
 

@@ -71,6 +71,7 @@ mod facade;
 mod handle;
 mod rebalance;
 mod runtime;
+mod session;
 mod shard;
 
 pub use builder::ServiceBuilder;
@@ -78,6 +79,7 @@ pub use events::{Event, EventStream, Lifecycle, ServiceMetrics, StreamEvent};
 pub use facade::{LtcService, ServiceSnapshot};
 pub use handle::ServiceHandle;
 pub use rebalance::{RebalanceOutcome, StripeLayout};
+pub use session::{Session, SessionInfo};
 
 use crate::engine::EngineError;
 use crate::online::{Aam, AamStrategy, Laf, OnlineAlgorithm, RandomAssign};
@@ -204,6 +206,11 @@ pub enum ServiceError {
     /// The pipelined runtime stopped serving (a shard thread died, a
     /// mailbox disconnected, or a drain timed out on a stalled shard).
     RuntimeStopped(&'static str),
+    /// A remote [`Session`] transport failed (connection refused or
+    /// dropped, protocol violation, version mismatch). Carries the
+    /// transport's own description; raised only by remote
+    /// implementations such as `ltc_proto::LtcClient`.
+    Transport(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -220,6 +227,7 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::BadSnapshot(what) => write!(f, "corrupt service snapshot: {what}"),
             ServiceError::RuntimeStopped(what) => write!(f, "service runtime stopped: {what}"),
+            ServiceError::Transport(what) => write!(f, "session transport failed: {what}"),
         }
     }
 }

@@ -305,6 +305,13 @@ pub(crate) fn plan_rebalance(
             assignments: moved.into_iter().map(|(_, _, a)| a).collect(),
             next_arrival: st.next_arrival,
             index_geometry,
+            // Clamp telemetry is per-shard index history, not per-task
+            // state: the cumulative counter stays with its shard (so the
+            // service-wide sum survives the migration), and the rebuilt
+            // index — freshly laid out over the live tasks — re-arms the
+            // growth threshold exactly like an adaptive growth would.
+            clamped_insertions: st.clamped_insertions,
+            clamp_mark: st.clamped_insertions,
         });
     }
 

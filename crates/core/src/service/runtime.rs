@@ -114,11 +114,20 @@ pub(crate) enum ShardMsg {
         /// The new local→global id map.
         globals: Vec<u32>,
     },
-    /// Reply with the shard's border-clamp telemetry.
+    /// Reply with the shard's live operational counters.
     Metrics {
-        /// Where to send the counter.
-        reply: SyncSender<u64>,
+        /// Where to send the counters.
+        reply: SyncSender<ShardMetrics>,
     },
+}
+
+/// One shard's contribution to [`ServiceMetrics`](super::ServiceMetrics),
+/// read at the shard thread's current mailbox position.
+pub(crate) struct ShardMetrics {
+    /// Cumulative border-clamp counter of the shard's spatial index.
+    pub(crate) clamped: u64,
+    /// Live (uncompleted) tasks the shard currently holds.
+    pub(crate) live: u64,
 }
 
 /// One shard's contribution to a quiesced snapshot.
@@ -233,7 +242,12 @@ pub(crate) fn shard_loop(mut rt: ShardRuntime, rx: Receiver<ShardMsg>) -> Shard 
                     .ok();
             }
             ShardMsg::Metrics { reply } => {
-                reply.send(rt.shard.engine.index_clamped_insertions()).ok();
+                reply
+                    .send(ShardMetrics {
+                        clamped: rt.shard.engine.index_clamped_insertions(),
+                        live: rt.shard.engine.n_uncompleted() as u64,
+                    })
+                    .ok();
             }
             ShardMsg::Install { engine, globals } => {
                 rt.shard.engine = *engine;

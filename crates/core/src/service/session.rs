@@ -1,0 +1,149 @@
+//! The transport-agnostic session abstraction.
+//!
+//! A [`Session`] is one live conversation with an LTC matching service:
+//! workers are submitted, tasks are posted, and the resulting events
+//! stream back in exact submission order. The trait deliberately says
+//! nothing about *where* the service runs — [`ServiceHandle`] implements
+//! it natively over the in-process shard runtime, and `ltc_proto`'s
+//! `LtcClient` implements it over a TCP connection to an `ltc serve`
+//! process — so callers (the CLI's `stream`/`snapshot`/`resume` flows,
+//! bench harnesses, applications) drive `dyn Session` and never care.
+//!
+//! ## The contract every implementation owes
+//!
+//! * **Submission order is decision order.** The order in which
+//!   [`submit_worker`](Session::submit_worker) /
+//!   [`post_task`](Session::post_task) calls return determines the
+//!   service-global arrival sequence; the committed assignments are the
+//!   ones [`LtcService`](super::LtcService) would produce for that exact
+//!   sequence. A remote implementation must therefore assign arrival ids
+//!   on the server, in request-arrival order.
+//! * **Events arrive in submission order.** A
+//!   [`subscribe`](Session::subscribe)d stream delivers
+//!   [`StreamEvent::Worker`](super::StreamEvent::Worker) /
+//!   [`TaskPosted`](super::StreamEvent::TaskPosted) in exact submission
+//!   order with each worker's batch in commit order; advisory
+//!   [`Lifecycle`](super::Lifecycle) notices may interleave.
+//! * **`drain` is a happens-before barrier.** When
+//!   [`drain`](Session::drain) returns, every earlier submission has
+//!   been fully processed and its events delivered toward every
+//!   subscriber (a transport may still be flushing bytes, but order is
+//!   already fixed).
+//! * **`snapshot` quiesces first.** The returned
+//!   [`ServiceSnapshot`] is bit-exact against the submission prefix —
+//!   serializing it yields the same `ltc-snapshot v1` text no matter
+//!   which implementation produced it.
+//!
+//! Together these make transports *differentially testable*: the same
+//! submission sequence driven through any two implementations must yield
+//! byte-identical event streams (see `crates/proto/tests/loopback.rs`).
+
+use super::facade::ServiceSnapshot;
+use super::handle::ServiceHandle;
+use super::rebalance::RebalanceOutcome;
+use super::{Algorithm, EventStream, ServiceError, ServiceMetrics};
+use crate::model::{ProblemParams, Task, TaskId, Worker, WorkerId};
+
+/// Static facts about a [`Session`], fixed when the session (or its
+/// remote server) was configured. Cheap to produce — implementations
+/// answer from local state, never a round trip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionInfo {
+    /// The online policy the service runs.
+    pub algorithm: Algorithm,
+    /// Platform parameters (spam threshold, capacity, `d_max`, …).
+    pub params: ProblemParams,
+    /// Shard count of the backing service.
+    pub n_shards: usize,
+    /// Tasks the service held when this description was taken.
+    pub n_tasks: u64,
+}
+
+/// One live LTC service session, independent of transport. See the
+/// module docs for the ordering contract; see
+/// [`ServiceHandle`] for the in-process implementation and
+/// `ltc_proto::LtcClient` for the remote one.
+pub trait Session {
+    /// Describes the session: policy, parameters, shard count, task
+    /// count at session start.
+    fn info(&self) -> SessionInfo;
+
+    /// Enqueues one worker check-in and returns its service-global
+    /// arrival id. The worker's events are delivered to subscribers in
+    /// submission order; the call may block under back-pressure.
+    fn submit_worker(&mut self, worker: &Worker) -> Result<WorkerId, ServiceError>;
+
+    /// Posts a task mid-stream; it becomes assignable to every check-in
+    /// submitted after it.
+    fn post_task(&mut self, task: Task) -> Result<TaskId, ServiceError>;
+
+    /// Attaches a subscriber receiving every event produced from now on.
+    fn subscribe(&mut self) -> Result<EventStream, ServiceError>;
+
+    /// Blocks until every prior submission is fully processed and its
+    /// events delivered (see the module docs for the exact guarantee).
+    fn drain(&mut self) -> Result<(), ServiceError>;
+
+    /// Quiesces and extracts the full durable state — bit-exact
+    /// mid-stream, identical across implementations.
+    fn snapshot(&mut self) -> Result<ServiceSnapshot, ServiceError>;
+
+    /// Quiesces and re-splits the shard stripes by live-task load.
+    /// Decision-neutral; `Ok(None)` means nothing needed to move.
+    fn rebalance(&mut self) -> Result<Option<RebalanceOutcome>, ServiceError>;
+
+    /// Live operational counters (assignments, completion, clamp
+    /// telemetry, rebalances, per-shard load, latency).
+    fn metrics(&mut self) -> Result<ServiceMetrics, ServiceError>;
+
+    /// Ends the session: drains, delivers
+    /// [`Lifecycle::ShuttingDown`](super::Lifecycle::ShuttingDown) to
+    /// subscribers, and releases the underlying resources (runtime
+    /// threads in process, the server-side session over a transport).
+    /// Idempotent; afterwards every other operation reports
+    /// [`ServiceError::RuntimeStopped`] or a transport error.
+    fn shutdown(&mut self) -> Result<(), ServiceError>;
+}
+
+impl Session for ServiceHandle {
+    fn info(&self) -> SessionInfo {
+        SessionInfo {
+            algorithm: self.algorithm(),
+            params: *self.params(),
+            n_shards: self.n_shards(),
+            n_tasks: self.n_tasks() as u64,
+        }
+    }
+
+    fn submit_worker(&mut self, worker: &Worker) -> Result<WorkerId, ServiceError> {
+        ServiceHandle::submit_worker(self, worker)
+    }
+
+    fn post_task(&mut self, task: Task) -> Result<TaskId, ServiceError> {
+        ServiceHandle::post_task(self, task)
+    }
+
+    fn subscribe(&mut self) -> Result<EventStream, ServiceError> {
+        ServiceHandle::subscribe(self)
+    }
+
+    fn drain(&mut self) -> Result<(), ServiceError> {
+        ServiceHandle::drain(self)
+    }
+
+    fn snapshot(&mut self) -> Result<ServiceSnapshot, ServiceError> {
+        ServiceHandle::snapshot(self)
+    }
+
+    fn rebalance(&mut self) -> Result<Option<RebalanceOutcome>, ServiceError> {
+        ServiceHandle::rebalance(self)
+    }
+
+    fn metrics(&mut self) -> Result<ServiceMetrics, ServiceError> {
+        ServiceHandle::metrics(self)
+    }
+
+    fn shutdown(&mut self) -> Result<(), ServiceError> {
+        self.close()
+    }
+}

@@ -19,7 +19,8 @@
 //!        [grow <clamps>] [rebalance <factor>]
 //!        [stripes <n> <cell_size> <origin_x> <cols> <start ...>]
 //! taskmap <n> <shard-of-task ...>            // local ids are implied
-//! shard <i> <n_tasks> <next_arrival> [rng <draws>] <noindex | index cs x0 y0 x1 y1>
+//! shard <i> <n_tasks> <next_arrival> [rng <draws>] [clamped <total> <mark>]
+//!       <noindex | index cs x0 y0 x1 y1>
 //! tasks <x y ...>                            // per shard, local order
 //! quality <S[t] ...>
 //! completed <bitstring>
@@ -47,7 +48,13 @@
 //!   ([`StripeLayout`]), present once a
 //!   rebalance moved the stripes off the default equal-width split
 //!   (absent, the reader re-derives the uniform layout from `region`
-//!   and `cell_size`, exactly as earlier versions did).
+//!   and `cell_size`, exactly as earlier versions did);
+//! * `clamped <total> <mark>` (per shard) — the shard index's cumulative
+//!   border-clamp counter and its value at the last adaptive growth, so
+//!   restore keeps the operator telemetry and the
+//!   `grow_index_after` threshold stays armed where it was (absent —
+//!   zero clamps, or an older file — the restored index re-counts from
+//!   its live re-insertions, the pre-group behavior).
 //!
 //! Per-shard **index bounds** (`index cs x0 y0 x1 y1`) have been part of
 //! `v1` since the beginning and round-trip adaptive growth for free: a
@@ -188,6 +195,9 @@ pub fn write_snapshot<W: Write>(snap: &ServiceSnapshot, mut out: W) -> io::Resul
         write!(out, "shard {i} {} {} ", e.tasks.len(), e.next_arrival)?;
         if let Some(draws) = snap.rng_draws.get(i).copied().flatten() {
             write!(out, "rng {draws} ")?;
+        }
+        if e.clamped_insertions > 0 {
+            write!(out, "clamped {} {} ", e.clamped_insertions, e.clamp_mark)?;
         }
         match e.index_geometry {
             None => writeln!(out, "noindex")?,
@@ -396,6 +406,19 @@ pub fn read_snapshot<R: BufRead>(reader: R) -> Result<ServiceSnapshot, SnapshotE
         } else {
             None
         };
+        let (clamped_insertions, clamp_mark) = if geometry_word == "clamped" {
+            let total = tk.u64()?;
+            let mark = tk.u64()?;
+            if mark > total {
+                return Err(tk.bad(format!(
+                    "clamp mark {mark} exceeds the cumulative counter {total}"
+                )));
+            }
+            geometry_word = tk.word()?;
+            (total, mark)
+        } else {
+            (0, 0)
+        };
         let index_geometry = match geometry_word {
             "noindex" => None,
             "index" => Some((
@@ -488,6 +511,8 @@ pub fn read_snapshot<R: BufRead>(reader: R) -> Result<ServiceSnapshot, SnapshotE
             assignments,
             next_arrival: shard_next_arrival,
             index_geometry,
+            clamped_insertions,
+            clamp_mark,
         });
         rng_draws.push(shard_rng_draws);
     }
@@ -823,6 +848,94 @@ mod tests {
             LtcService::restore(decoded),
             Err(ServiceError::BadSnapshot(_))
         ));
+    }
+
+    #[test]
+    fn clamp_telemetry_rides_snapshots_and_keeps_the_growth_trigger_armed() {
+        // Two out-of-region tasks are clamped, completed (and therefore
+        // evicted from the index), then the service is snapshotted. The
+        // `clamped` group must carry the counter across the restore —
+        // re-insertion alone would recount 0, silently re-arming
+        // `grow_index_after` — so one more clamp after the restore
+        // crosses the threshold and grows the index.
+        let params = ProblemParams::builder()
+            .epsilon(0.3)
+            .capacity(1)
+            .d_max(30.0)
+            .build()
+            .unwrap();
+        let small = BoundingBox::new(Point::ORIGIN, Point::new(50.0, 50.0));
+        let mut service = ServiceBuilder::new(params, small)
+            .grow_index_after(3)
+            .build()
+            .unwrap();
+        for loc in [Point::new(200.0, 200.0), Point::new(300.0, 300.0)] {
+            let t = service.post_task(Task::new(loc)).unwrap();
+            while !service.is_completed(t) {
+                service.check_in(&Worker::new(loc, 0.95));
+            }
+        }
+        assert_eq!(service.metrics().clamped_insertions, 2);
+
+        let snap = service.snapshot();
+        assert_eq!(snap.engines[0].clamped_insertions, 2);
+        assert_eq!(snap.engines[0].clamp_mark, 0);
+        let mut buf = Vec::new();
+        write_snapshot(&snap, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains(" clamped 2 0 "), "{text}");
+        let decoded = read_snapshot(io::Cursor::new(buf)).unwrap();
+        assert_eq!(snap, decoded, "the clamped group must round-trip");
+
+        let mut restored = LtcService::restore(decoded).unwrap();
+        assert_eq!(
+            restored.metrics().clamped_insertions,
+            2,
+            "restore must keep the operator telemetry, not recount live tasks"
+        );
+        // Restore → snapshot stays a byte-exact fixed point.
+        let mut again = Vec::new();
+        write_snapshot(&restored.snapshot(), &mut again).unwrap();
+        assert_eq!(text, String::from_utf8(again).unwrap());
+
+        // The third clamp crosses the (still armed) threshold: the index
+        // grows over the live tasks, recorded in the next snapshot.
+        let far = Point::new(400.0, 400.0);
+        restored.post_task(Task::new(far)).unwrap();
+        assert_eq!(restored.metrics().clamped_insertions, 3);
+        let grown = restored.snapshot().engines[0]
+            .index_geometry
+            .expect("within-range services keep an index")
+            .1;
+        assert!(
+            grown.contains(far),
+            "growth must have re-extended the index over the live tasks, got {grown:?}"
+        );
+    }
+
+    #[test]
+    fn malformed_clamped_groups_are_rejected() {
+        let prelude = format!(
+            "{SNAPSHOT_HEADER}\n\
+             params 3fc999999999999a 2 403e000000000000 3fe51eb851eb851f within hoeffding\n\
+             region 0000000000000000 0000000000000000 4059000000000000 4059000000000000\n\
+             config laf 403e000000000000 64 0\ntaskmap 0\n"
+        );
+        for shard in [
+            "shard 0 0 0 clamped noindex",
+            "shard 0 0 0 clamped 5 noindex",
+            // A mark past the cumulative counter is structurally absurd.
+            "shard 0 0 0 clamped 2 7 noindex",
+        ] {
+            let text = format!(
+                "{prelude}{shard}\ntasks\nquality\ncompleted \naccuracy sigmoid\n\
+                 assignments 0\nend\n"
+            );
+            assert!(
+                read_snapshot(io::Cursor::new(text.into_bytes())).is_err(),
+                "accepted malformed shard line `{shard}`"
+            );
+        }
     }
 
     #[test]

@@ -395,3 +395,61 @@ proptest! {
         prop_assert_eq!(single.latency(), sharded.latency());
     }
 }
+
+#[test]
+fn rebalance_preserves_cumulative_clamp_telemetry() {
+    // Clamp counters are per-shard index history; a rebalance migrates
+    // tasks through `EngineState` and used to rebuild the counters to
+    // zero, erasing the operator signal (and re-arming
+    // `grow_index_after` from scratch). The counters must now ride the
+    // migration: the service-wide sum is unchanged by a rebalance.
+    let mut service = builder(4).build().unwrap();
+    // In-region spread plus an out-of-region cluster that both clamps
+    // and skews the load toward the right-most stripe.
+    for i in 0..24 {
+        service
+            .post_task(Task::new(Point::new(
+                (i % 8) as f64 * 120.0,
+                (i / 8) as f64 * 300.0,
+            )))
+            .unwrap();
+    }
+    for i in 0..12 {
+        service
+            .post_task(Task::new(Point::new(
+                4000.0 + (i % 4) as f64 * 25.0,
+                500.0 + (i / 4) as f64 * 20.0,
+            )))
+            .unwrap();
+    }
+    let before = service.metrics();
+    assert_eq!(before.clamped_insertions, 12);
+    assert_eq!(before.rebalances, 0);
+
+    let outcome = service
+        .rebalance()
+        .unwrap()
+        .expect("the far cluster skews the load");
+    assert!(outcome.moved_tasks > 0);
+    let after = service.metrics();
+    assert_eq!(
+        after.clamped_insertions, before.clamped_insertions,
+        "migration must carry the clamp counters, not reset them"
+    );
+    assert_eq!(after.rebalances, 1);
+    assert_eq!(
+        after.shard_loads.iter().sum::<u64>(),
+        before.shard_loads.iter().sum::<u64>(),
+        "live tasks are conserved"
+    );
+
+    // And the counters stay durable through a snapshot of the
+    // *rebalanced* state too.
+    let mut buf = Vec::new();
+    write_snapshot(&service.snapshot(), &mut buf).unwrap();
+    let restored = LtcService::restore(read_snapshot(buf.as_slice()).unwrap()).unwrap();
+    assert_eq!(
+        restored.metrics().clamped_insertions,
+        after.clamped_insertions
+    );
+}

@@ -1,0 +1,256 @@
+//! The remote [`Session`] implementation: a TCP client speaking
+//! `ltc-proto v1` to an `ltc serve` process.
+
+use crate::wire::{self, Request, Response};
+use ltc_core::model::{Task, TaskId, Worker, WorkerId};
+use ltc_core::service::{
+    EventStream, RebalanceOutcome, ServiceError, ServiceMetrics, ServiceSnapshot, Session,
+    SessionInfo, StreamEvent,
+};
+use std::io::BufReader;
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long one request may wait for its response before the session is
+/// declared wedged. Generous: a drain of a deep pipeline legitimately
+/// takes a while, but a dead server must surface as an error, not a
+/// hang (the server's own drain gives up after 60 s, so 90 s covers the
+/// full round trip).
+const RESPONSE_TIMEOUT: Duration = Duration::from_secs(90);
+
+fn transport(what: impl Into<String>) -> ServiceError {
+    ServiceError::Transport(what.into())
+}
+
+/// A remote LTC session over TCP — the [`Session`] implementation that
+/// makes `ltc serve` reachable from another process. One connection is
+/// one session view: requests are answered in order, and once
+/// [`subscribe`](Session::subscribe)d, the server forwards every event
+/// (in exact submission order) down the same connection, where a reader
+/// thread demultiplexes them from the responses.
+///
+/// Everything observable is identical to driving the server's
+/// [`ServiceHandle`](ltc_core::service::ServiceHandle) in process:
+/// floats cross the wire as bit patterns, ids as integers, and the
+/// server assigns arrival ids in request-arrival order — the loopback
+/// differential tests assert byte-identical NDJSON output through both
+/// paths.
+#[derive(Debug)]
+pub struct LtcClient {
+    stream: TcpStream,
+    responses: Receiver<Result<Response, String>>,
+    subscribers: Arc<Mutex<Vec<Sender<StreamEvent>>>>,
+    reader: Option<JoinHandle<()>>,
+    info: SessionInfo,
+    subscribed: bool,
+    closed: bool,
+}
+
+impl LtcClient {
+    /// Connects and runs the `ltc-proto v1` handshake. The returned
+    /// client is ready to submit; [`Session::subscribe`] starts the
+    /// event flow.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServiceError> {
+        let mut stream =
+            TcpStream::connect(addr).map_err(|e| transport(format!("connect: {e}")))?;
+        stream.set_nodelay(true).ok();
+        wire::write_frame(&mut stream, &wire::encode_hello())
+            .map_err(|e| transport(format!("handshake send: {e}")))?;
+
+        let mut reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| transport(format!("clone socket: {e}")))?,
+        );
+        let hello = wire::read_frame(&mut reader)
+            .map_err(|e| transport(format!("handshake read: {e}")))?
+            .ok_or_else(|| transport("server closed during the handshake"))?;
+        let info = match Response::decode(&hello).map_err(transport)? {
+            Response::Hello { info } => info,
+            Response::Err { message } => return Err(transport(message)),
+            other => return Err(transport(format!("unexpected handshake reply {other:?}"))),
+        };
+
+        let (response_tx, responses) = mpsc::channel();
+        let subscribers: Arc<Mutex<Vec<Sender<StreamEvent>>>> = Arc::new(Mutex::new(Vec::new()));
+        let fanout = Arc::clone(&subscribers);
+        let reader = std::thread::Builder::new()
+            .name("ltc-client-reader".into())
+            .spawn(move || loop {
+                match wire::read_frame(&mut reader) {
+                    Ok(Some(frame)) if wire::is_event_frame(&frame) => {
+                        match wire::decode_event(&frame) {
+                            Ok(event) => {
+                                let mut subs = fanout.lock().unwrap();
+                                subs.retain(|tx| tx.send(event.clone()).is_ok());
+                            }
+                            Err(what) => {
+                                response_tx
+                                    .send(Err(format!("bad event frame: {what}")))
+                                    .ok();
+                                return;
+                            }
+                        }
+                    }
+                    Ok(Some(frame)) => {
+                        let decoded =
+                            Response::decode(&frame).map_err(|what| format!("bad frame: {what}"));
+                        let failed = decoded.is_err();
+                        response_tx.send(decoded).ok();
+                        if failed {
+                            return;
+                        }
+                    }
+                    Ok(None) => return, // clean close: drop the channels
+                    Err(e) => {
+                        response_tx.send(Err(format!("read: {e}"))).ok();
+                        return;
+                    }
+                }
+            })
+            .map_err(|_| transport("could not spawn the reader thread"))?;
+
+        Ok(Self {
+            stream,
+            responses,
+            subscribers,
+            reader: Some(reader),
+            info,
+            subscribed: false,
+            closed: false,
+        })
+    }
+
+    /// The address of the serving peer.
+    pub fn peer_addr(&self) -> Option<std::net::SocketAddr> {
+        self.stream.peer_addr().ok()
+    }
+
+    fn request(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        if self.closed {
+            return Err(ServiceError::RuntimeStopped("the session is shut down"));
+        }
+        wire::write_frame(&mut (&self.stream), &request.encode())
+            .map_err(|e| transport(format!("send: {e}")))?;
+        match self.responses.recv_timeout(RESPONSE_TIMEOUT) {
+            Ok(Ok(Response::Err { message })) => Err(transport(message)),
+            Ok(Ok(response)) => Ok(response),
+            Ok(Err(what)) => Err(transport(what)),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                Err(transport("no response within the timeout — server wedged?"))
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                Err(transport("the server closed the connection"))
+            }
+        }
+    }
+
+    fn unexpected(response: Response) -> ServiceError {
+        transport(format!("out-of-order response {response:?}"))
+    }
+}
+
+impl Session for LtcClient {
+    fn info(&self) -> SessionInfo {
+        self.info.clone()
+    }
+
+    fn submit_worker(&mut self, worker: &Worker) -> Result<WorkerId, ServiceError> {
+        match self.request(&Request::Submit { worker: *worker })? {
+            Response::Submit { worker } => Ok(worker),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    fn post_task(&mut self, task: Task) -> Result<TaskId, ServiceError> {
+        match self.request(&Request::Post { task, row: None })? {
+            Response::Post { task } => Ok(task),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    fn subscribe(&mut self) -> Result<EventStream, ServiceError> {
+        // Register the local receiver *before* the wire round trip: the
+        // server may race an event frame ahead of the Subscribe response
+        // (another client's submission committing just after the
+        // server-side subscribe), and the reader thread must already
+        // have somewhere to deliver it. The server forwards each event
+        // once per connection; local subscribers fan out from the reader
+        // thread, so only the first subscription crosses the wire.
+        let (tx, rx) = mpsc::channel();
+        self.subscribers.lock().unwrap().push(tx);
+        if !self.subscribed {
+            match self.request(&Request::Subscribe) {
+                Ok(Response::Subscribe) => self.subscribed = true,
+                Ok(other) => {
+                    self.subscribers.lock().unwrap().pop();
+                    return Err(Self::unexpected(other));
+                }
+                Err(e) => {
+                    self.subscribers.lock().unwrap().pop();
+                    return Err(e);
+                }
+            }
+        }
+        Ok(EventStream::from_receiver(rx))
+    }
+
+    fn drain(&mut self) -> Result<(), ServiceError> {
+        match self.request(&Request::Drain)? {
+            Response::Drain => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    fn snapshot(&mut self) -> Result<ServiceSnapshot, ServiceError> {
+        match self.request(&Request::Snapshot)? {
+            Response::Snapshot { text } => ltc_core::snapshot::read_snapshot(text.as_bytes())
+                .map_err(|e| transport(format!("undecodable snapshot from the server: {e}"))),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    fn rebalance(&mut self) -> Result<Option<RebalanceOutcome>, ServiceError> {
+        match self.request(&Request::Rebalance)? {
+            Response::Rebalance { outcome } => Ok(outcome),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    fn metrics(&mut self) -> Result<ServiceMetrics, ServiceError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { metrics } => Ok(metrics),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    fn shutdown(&mut self) -> Result<(), ServiceError> {
+        if self.closed {
+            return Ok(());
+        }
+        let result = match self.request(&Request::Shutdown)? {
+            Response::Shutdown => Ok(()),
+            other => Err(Self::unexpected(other)),
+        };
+        self.closed = true;
+        self.stream.shutdown(Shutdown::Both).ok();
+        if let Some(join) = self.reader.take() {
+            join.join().ok();
+        }
+        result
+    }
+}
+
+impl Drop for LtcClient {
+    /// Closes the connection (the server keeps serving its other
+    /// clients) and joins the reader thread.
+    fn drop(&mut self) {
+        self.stream.shutdown(Shutdown::Both).ok();
+        if let Some(join) = self.reader.take() {
+            join.join().ok();
+        }
+    }
+}

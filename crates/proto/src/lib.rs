@@ -1,0 +1,62 @@
+//! `ltc-proto v1` — the wire protocol that lifts the
+//! [`Session`](ltc_core::service::Session) API onto a transport, so
+//! requesters and workers can be remote processes instead of linking
+//! `ltc_core`.
+//!
+//! Three layers, bottom up:
+//!
+//! * [`json`] — a minimal, hostile-input-safe JSON reader/writer (the
+//!   offline build has no serde; numbers stay text so 64-bit ids never
+//!   pass through `f64`).
+//! * [`wire`] — the versioned message vocabulary and NDJSON framing:
+//!   one JSON object per `\n`-delimited frame (size-capped), a
+//!   `{"proto":"ltc-proto","v":1}` handshake, [`wire::Request`] /
+//!   [`wire::Response`] / event frames, every `f64` as its IEEE-754 bit
+//!   pattern so remote observations are **bit-identical** to local
+//!   ones.
+//! * [`server`] / [`client`] — [`LtcServer`] multiplexes N concurrent
+//!   TCP clients onto one
+//!   [`ServiceHandle`](ltc_core::service::ServiceHandle) (global
+//!   submission order = connection-interleaved arrival order, decided by
+//!   one session mutex), and [`LtcClient`] implements the same
+//!   [`Session`](ltc_core::service::Session) trait remotely — one code
+//!   path drives in-process and remote runs, differentially tested
+//!   byte-identical (`tests/loopback.rs`, plus the CLI parity tests).
+//!
+//! The CLI front-ends: `ltc serve --addr … --shards …` runs the server,
+//! `ltc stream --connect HOST:PORT` drives it. `docs/PROTOCOL.md` has
+//! the full grammar, ordering/back-pressure semantics, and the
+//! compatibility policy.
+//!
+//! ```no_run
+//! use ltc_core::model::{ProblemParams, Task, Worker};
+//! use ltc_core::service::{ServiceBuilder, Session};
+//! use ltc_proto::{LtcClient, LtcServer};
+//! use ltc_spatial::{BoundingBox, Point};
+//!
+//! // Server side (usually `ltc serve`):
+//! let params = ProblemParams::builder().epsilon(0.3).build().unwrap();
+//! let region = BoundingBox::new(Point::ORIGIN, Point::new(100.0, 100.0));
+//! let handle = ServiceBuilder::new(params, region).start().unwrap();
+//! let server = LtcServer::bind("127.0.0.1:0", handle).unwrap().spawn().unwrap();
+//!
+//! // Client side (any process):
+//! let mut session = LtcClient::connect(server.addr()).unwrap();
+//! let events = session.subscribe().unwrap();
+//! session.post_task(Task::new(Point::new(10.0, 10.0))).unwrap();
+//! session.submit_worker(&Worker::new(Point::new(10.5, 10.0), 0.95)).unwrap();
+//! session.drain().unwrap();
+//! assert!(events.try_recv().is_some());
+//! session.shutdown().unwrap(); // ends the served session
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod server;
+pub mod wire;
+
+pub use client::LtcClient;
+pub use server::{LtcServer, RunningServer};

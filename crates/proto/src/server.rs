@@ -1,0 +1,439 @@
+//! The `ltc serve` layer: a TCP server multiplexing N concurrent
+//! clients onto one in-process [`ServiceHandle`].
+//!
+//! ## Ordering model
+//!
+//! The served handle sits behind one mutex. Every state-touching request
+//! (submit, post, drain, snapshot, rebalance, metrics, shutdown) runs
+//! under it, so the **global submission order is the connection-
+//! interleaved arrival order** — exactly the order in which requests won
+//! the lock — and the committed assignments are the ones a single
+//! in-process session fed that interleaving would commit (asserted by
+//! the loopback differential tests). Arrival ids are assigned under the
+//! lock and returned in each response, so clients can reconstruct the
+//! global order after the fact.
+//!
+//! Back-pressure composes: when a shard mailbox is full, the submitting
+//! request blocks *inside* the lock until the shard catches up — which
+//! pauses every other client too. That is deliberate: admitting other
+//! submissions while one is blocked would reorder arrivals. Subscribers
+//! observe the stall as the usual
+//! [`Lifecycle::ShardStalled`](ltc_core::service::Lifecycle::ShardStalled)
+//! event, forwarded on the wire like every other event.
+//!
+//! ## Event flow
+//!
+//! A connection that sends `subscribe` gets its own
+//! [`ServiceHandle::subscribe`] stream, pumped to the socket by a
+//! dedicated forwarder thread (events and responses interleave on the
+//! wire; frames are written atomically under the connection's writer
+//! lock). Delivery per subscriber is in exact submission order — the
+//! runtime's collector guarantees it, the forwarder preserves it. The
+//! forwarder paces its waits so it can notice a departed peer or a
+//! stopping server instead of blocking forever on an idle stream.
+//!
+//! ## Shutdown
+//!
+//! A `shutdown` request ends the *session* for everyone: the handle
+//! drains, subscribers receive
+//! [`Lifecycle::ShuttingDown`](ltc_core::service::Lifecycle::ShuttingDown)
+//! and their streams end, the requester gets its response, and then the
+//! acceptor stops. Requests on surviving connections get an error
+//! response (never a hang); their threads exit when the client
+//! disconnects.
+
+use crate::wire::{self, Request, Response};
+use ltc_core::service::{ServiceError, ServiceHandle, Session};
+use std::io::{self, BufReader};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often an idle event forwarder re-checks whether its peer is gone
+/// or the server is stopping (events themselves are forwarded the
+/// moment they arrive; only silence costs a poll).
+const FORWARDER_POLL: Duration = Duration::from_millis(100);
+
+/// The serving state every connection thread shares.
+struct Shared {
+    /// The one served session. `ServiceHandle::close` (via the
+    /// [`Session`] trait) leaves it inert after a shutdown request, so
+    /// later calls fail with `RuntimeStopped` rather than panicking.
+    session: Mutex<ServiceHandle>,
+    /// Set by a `shutdown` request; checked by the acceptor and the
+    /// event forwarders.
+    stopping: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Stops the acceptor (the flag, plus a throw-away connection to
+    /// ourselves to unblock `accept`). A wildcard bind (0.0.0.0 / ::)
+    /// is not connectable on every platform, so the wake-up targets
+    /// loopback on the bound port instead.
+    fn stop(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        let target = if self.addr.ip().is_unspecified() {
+            let ip: std::net::IpAddr = if self.addr.is_ipv4() {
+                std::net::Ipv4Addr::LOCALHOST.into()
+            } else {
+                std::net::Ipv6Addr::LOCALHOST.into()
+            };
+            SocketAddr::new(ip, self.addr.port())
+        } else {
+            self.addr
+        };
+        TcpStream::connect(target).ok();
+    }
+}
+
+/// A bound, not-yet-running `ltc-proto v1` server over one
+/// [`ServiceHandle`]. [`LtcServer::run`] serves on the calling thread
+/// until a client requests shutdown; [`LtcServer::spawn`] does the same
+/// on a background thread (tests, and anything that needs the bound
+/// address before serving).
+pub struct LtcServer {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// A server running on a background thread (see [`LtcServer::spawn`]).
+pub struct RunningServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    join: JoinHandle<io::Result<()>>,
+}
+
+impl RunningServer {
+    /// The bound address (resolved, so port 0 becomes the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server as a client's `shutdown` request would (session
+    /// shutdown + acceptor stop) and waits for the serving thread.
+    /// Idempotent with a client-sent `shutdown`.
+    pub fn stop(self) -> io::Result<()> {
+        {
+            let mut session = self.shared.session.lock().unwrap();
+            session.close().ok();
+        }
+        self.shared.stop();
+        self.join
+            .join()
+            .map_err(|_| io::Error::other("the server thread panicked"))?
+    }
+
+    /// Waits for the server to stop on its own (a client sent
+    /// `shutdown`).
+    pub fn wait(self) -> io::Result<()> {
+        self.join
+            .join()
+            .map_err(|_| io::Error::other("the server thread panicked"))?
+    }
+}
+
+impl LtcServer {
+    /// Binds the listener. `addr` may use port 0; read the resolved
+    /// address back with [`LtcServer::local_addr`].
+    pub fn bind(addr: impl ToSocketAddrs, handle: ServiceHandle) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            shared: Arc::new(Shared {
+                session: Mutex::new(handle),
+                stopping: AtomicBool::new(false),
+                addr,
+            }),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Serves until a client requests shutdown. Connection threads exit
+    /// when their client disconnects (or promptly after the stop, for
+    /// subscribed ones); they never outlive the session usefully —
+    /// every request they make afterwards is answered with an error.
+    pub fn run(self) -> io::Result<()> {
+        loop {
+            let (conn, _) = self.listener.accept()?;
+            if self.shared.stopping.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            conn.set_nodelay(true).ok();
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name("ltc-serve-conn".into())
+                .spawn(move || serve_connection(conn, shared))
+                .ok();
+        }
+    }
+
+    /// Runs the server on a background thread.
+    pub fn spawn(self) -> io::Result<RunningServer> {
+        let addr = self.local_addr();
+        let shared = Arc::clone(&self.shared);
+        let join = std::thread::Builder::new()
+            .name("ltc-serve-accept".into())
+            .spawn(move || self.run())
+            .map_err(|_| io::Error::other("could not spawn the acceptor thread"))?;
+        Ok(RunningServer { addr, shared, join })
+    }
+}
+
+/// One connection, handshake to EOF. On every exit path the socket is
+/// shut down (so clones held by a forwarder cannot keep the peer
+/// waiting on a half-dead connection) and the forwarder is joined.
+fn serve_connection(conn: TcpStream, shared: Arc<Shared>) {
+    let Ok(read_half) = conn.try_clone() else {
+        conn.shutdown(Shutdown::Both).ok();
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    // Frames are written whole under this lock — responses from this
+    // thread and events from the forwarder interleave only at frame
+    // boundaries.
+    let writer = Arc::new(Mutex::new(conn));
+    let gone = Arc::new(AtomicBool::new(false));
+    let mut forwarder: Option<JoinHandle<()>> = None;
+
+    converse(&mut reader, &writer, &gone, &shared, &mut forwarder);
+
+    gone.store(true, Ordering::SeqCst);
+    writer.lock().unwrap().shutdown(Shutdown::Both).ok();
+    if let Some(join) = forwarder {
+        join.join().ok();
+    }
+}
+
+/// The request/response loop (separated out so `serve_connection` owns
+/// exactly one cleanup path).
+fn converse(
+    reader: &mut BufReader<TcpStream>,
+    writer: &Arc<Mutex<TcpStream>>,
+    gone: &Arc<AtomicBool>,
+    shared: &Arc<Shared>,
+    forwarder: &mut Option<JoinHandle<()>>,
+) {
+    // Handshake: exactly one hello, version-checked.
+    let Ok(Some(hello)) = wire::read_frame(reader) else {
+        return;
+    };
+    let reply = match wire::decode_hello(&hello) {
+        Ok(wire::PROTO_VERSION) => {
+            let session = shared.session.lock().unwrap();
+            Response::Hello {
+                info: session.info(),
+            }
+        }
+        Ok(version) => Response::Err {
+            message: format!(
+                "unsupported {} version {version} (serving {})",
+                wire::PROTO_NAME,
+                wire::PROTO_VERSION
+            ),
+        },
+        Err(what) => Response::Err {
+            message: format!("bad handshake: {what}"),
+        },
+    };
+    let fatal = matches!(reply, Response::Err { .. });
+    if write_response(writer, &reply).is_err() || fatal {
+        return;
+    }
+
+    loop {
+        let frame = match wire::read_frame(reader) {
+            Ok(Some(frame)) => frame,
+            _ => return, // EOF, socket shutdown, or an oversized frame
+        };
+        let (response, stop_after) = match Request::decode(&frame) {
+            Err(what) => (
+                Response::Err {
+                    message: format!("bad request: {what}"),
+                },
+                false,
+            ),
+            Ok(request) => execute(&request, shared, writer, gone, forwarder),
+        };
+        // The requester hears the outcome *before* the acceptor stops —
+        // a `shutdown` must be acknowledged, not met with a dead socket.
+        let written = write_response(writer, &response);
+        if stop_after {
+            shared.stop();
+            return;
+        }
+        if written.is_err() {
+            return;
+        }
+    }
+}
+
+fn write_response(writer: &Arc<Mutex<TcpStream>>, response: &Response) -> io::Result<()> {
+    let mut frame = response.encode();
+    // A response that would overflow the peer's frame cap (a snapshot of
+    // an enormous service) must degrade into a recoverable error frame —
+    // sending it anyway would kill the connection on the client side.
+    if frame.len() >= wire::MAX_FRAME {
+        frame = Response::Err {
+            message: format!(
+                "response of {} bytes exceeds the {}-byte frame cap",
+                frame.len(),
+                wire::MAX_FRAME
+            ),
+        }
+        .encode();
+    }
+    let mut stream = writer.lock().unwrap();
+    wire::write_frame(&mut *stream, &frame)
+}
+
+fn err_response(e: ServiceError) -> Response {
+    Response::Err {
+        message: e.to_string(),
+    }
+}
+
+/// Executes one request against the shared session, returning the
+/// response and whether the server should stop once it is written.
+/// Every arm locks the session for the whole operation — the lock *is*
+/// the global submission order.
+fn execute(
+    request: &Request,
+    shared: &Arc<Shared>,
+    writer: &Arc<Mutex<TcpStream>>,
+    gone: &Arc<AtomicBool>,
+    forwarder: &mut Option<JoinHandle<()>>,
+) -> (Response, bool) {
+    let response = match request {
+        Request::Submit { worker } => {
+            let mut session = shared.session.lock().unwrap();
+            match session.submit_worker(worker) {
+                Ok(worker) => Response::Submit { worker },
+                Err(e) => err_response(e),
+            }
+        }
+        Request::Post { task, row } => {
+            let mut session = shared.session.lock().unwrap();
+            let posted = match row {
+                None => session.post_task(*task),
+                Some(row) => session.post_task_with_accuracies(*task, row),
+            };
+            match posted {
+                Ok(task) => Response::Post { task },
+                Err(e) => err_response(e),
+            }
+        }
+        Request::Subscribe => {
+            if forwarder.is_some() {
+                return (Response::Subscribe, false); // idempotent per connection
+            }
+            let stream = {
+                let mut session = shared.session.lock().unwrap();
+                match session.subscribe() {
+                    Ok(stream) => stream,
+                    Err(e) => return (err_response(e), false),
+                }
+            };
+            let writer = Arc::clone(writer);
+            let gone = Arc::clone(gone);
+            let shared = Arc::clone(shared);
+            let join = std::thread::Builder::new()
+                .name("ltc-serve-events".into())
+                .spawn(move || loop {
+                    match stream.recv_timeout(FORWARDER_POLL) {
+                        Some(event) => {
+                            let frame = wire::encode_event(&event);
+                            let mut sock = writer.lock().unwrap();
+                            if wire::write_frame(&mut *sock, &frame).is_err() {
+                                return;
+                            }
+                        }
+                        // Idle (or the stream ended — the two are
+                        // indistinguishable here): keep pacing until the
+                        // peer leaves or the server stops, then let the
+                        // channel drain one last time and exit.
+                        None => {
+                            if gone.load(Ordering::SeqCst) || shared.stopping.load(Ordering::SeqCst)
+                            {
+                                while let Some(event) = stream.try_recv() {
+                                    let frame = wire::encode_event(&event);
+                                    let mut sock = writer.lock().unwrap();
+                                    if wire::write_frame(&mut *sock, &frame).is_err() {
+                                        return;
+                                    }
+                                }
+                                return;
+                            }
+                        }
+                    }
+                })
+                .ok();
+            match join {
+                Some(join) => {
+                    *forwarder = Some(join);
+                    Response::Subscribe
+                }
+                None => Response::Err {
+                    message: "could not spawn the event forwarder".into(),
+                },
+            }
+        }
+        Request::Drain => {
+            let mut session = shared.session.lock().unwrap();
+            match session.drain() {
+                Ok(()) => Response::Drain,
+                Err(e) => err_response(e),
+            }
+        }
+        Request::Snapshot => {
+            let mut session = shared.session.lock().unwrap();
+            match session.snapshot() {
+                Ok(snapshot) => {
+                    let mut text = Vec::new();
+                    match ltc_core::snapshot::write_snapshot(&snapshot, &mut text) {
+                        Ok(()) => Response::Snapshot {
+                            // The writer emits ASCII text.
+                            text: String::from_utf8_lossy(&text).into_owned(),
+                        },
+                        Err(e) => Response::Err {
+                            message: format!("could not serialize the snapshot: {e}"),
+                        },
+                    }
+                }
+                Err(e) => err_response(e),
+            }
+        }
+        Request::Rebalance => {
+            let mut session = shared.session.lock().unwrap();
+            match session.rebalance() {
+                Ok(outcome) => Response::Rebalance { outcome },
+                Err(e) => err_response(e),
+            }
+        }
+        Request::Metrics => {
+            let mut session = shared.session.lock().unwrap();
+            match session.metrics() {
+                Ok(metrics) => Response::Metrics { metrics },
+                Err(e) => err_response(e),
+            }
+        }
+        Request::Shutdown => {
+            let result = {
+                let mut session = shared.session.lock().unwrap();
+                session.close()
+            };
+            return match result {
+                Ok(()) => (Response::Shutdown, true),
+                Err(e) => (err_response(e), false),
+            };
+        }
+    };
+    (response, false)
+}

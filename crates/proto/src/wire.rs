@@ -1,0 +1,845 @@
+//! The `ltc-proto v1` message vocabulary and its NDJSON codec.
+//!
+//! ## Framing
+//!
+//! A connection is a bidirectional stream of **frames**: one JSON object
+//! per line, `\n`-delimited, at most [`MAX_FRAME`] bytes (the delimiter
+//! bounds each frame; readers enforce the cap *while* reading, so a
+//! hostile peer cannot balloon memory). The first frame in each
+//! direction is the version handshake:
+//!
+//! ```text
+//! client → {"proto":"ltc-proto","v":1}
+//! server → {"proto":"ltc-proto","v":1,"info":{…}}     (or {"err":…} + close)
+//! ```
+//!
+//! After the handshake the client sends [`Request`] frames (`"op"` key)
+//! and the server answers each with exactly one [`Response`] frame
+//! (`"ok"` or `"err"` key), in request order per connection. Once a
+//! connection has subscribed, [`StreamEvent`] frames (`"ev"` key) flow
+//! server→client interleaved between responses; the `"ev"`/`"ok"`/
+//! `"err"` key is the demultiplexer.
+//!
+//! ## Exactness
+//!
+//! Every `f64` crosses the wire as its 16-hex-digit IEEE-754 bit
+//! pattern inside a JSON string (the `ltc-snapshot v1` convention), so
+//! a remote session observes bit-identical accuracies, gains, and
+//! coordinates — the property the byte-identical NDJSON differential
+//! tests rest on. Ids and counters are plain JSON integers (the parser
+//! keeps them out of `f64`, so the full `u64` range is safe).
+//!
+//! ## Compatibility policy
+//!
+//! See `docs/PROTOCOL.md` for the full grammar. In short: `v1` evolves
+//! by adding optional object members (readers ignore unknown members);
+//! anything else bumps `v`, and a server refuses unknown versions in
+//! the handshake rather than guessing.
+
+use crate::json::{self, Json};
+use ltc_core::model::{ProblemParams, QualityModel, Task, TaskId, Worker, WorkerId};
+use ltc_core::service::{
+    Algorithm, Event, Lifecycle, RebalanceOutcome, ServiceMetrics, SessionInfo, StreamEvent,
+};
+use ltc_spatial::Point;
+use std::io::{self, BufRead, Read, Write};
+
+/// The protocol name, sent in both handshake frames.
+pub const PROTO_NAME: &str = "ltc-proto";
+/// The protocol version this build speaks.
+pub const PROTO_VERSION: u64 = 1;
+/// Upper bound on one frame, delimiter included (64 MiB — snapshots of
+/// large services travel as a single frame).
+pub const MAX_FRAME: usize = 1 << 26;
+
+/// A decode failure: what was wrong with the offending frame.
+pub type WireError = String;
+
+fn hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn unhex(field: &'static str, v: Option<&Json>) -> Result<f64, WireError> {
+    let s = v
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing or non-string `{field}`"))?;
+    if s.len() != 16 {
+        return Err(format!("`{field}` is not a 16-hex-digit f64 bit pattern"));
+    }
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("`{field}` is not a 16-hex-digit f64 bit pattern"))
+}
+
+fn uint(field: &'static str, v: Option<&Json>) -> Result<u64, WireError> {
+    v.and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer `{field}`"))
+}
+
+fn word<'a>(field: &'static str, v: Option<&'a Json>) -> Result<&'a str, WireError> {
+    v.and_then(Json::as_str)
+        .ok_or_else(|| format!("missing or non-string `{field}`"))
+}
+
+/// Reads one frame (without its trailing `\n`), enforcing [`MAX_FRAME`]
+/// while reading. `Ok(None)` is a clean end of stream at a frame
+/// boundary; a frame truncated by EOF or overflowing the cap is an
+/// error.
+pub fn read_frame<R: BufRead>(reader: &mut R) -> io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    let mut limited = reader.take(MAX_FRAME as u64);
+    let n = limited.read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() != Some(&b'\n') {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            if n >= MAX_FRAME {
+                "frame exceeds the protocol size cap"
+            } else {
+                "connection closed mid-frame"
+            },
+        ));
+    }
+    buf.pop();
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+/// Writes one frame and flushes it (frames are the unit of progress;
+/// buffering across them would deadlock lockstep request/response use).
+pub fn write_frame<W: Write>(writer: &mut W, frame: &str) -> io::Result<()> {
+    debug_assert!(!frame.contains('\n'), "frames are single lines");
+    writer.write_all(frame.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// The client half of the version handshake.
+pub fn encode_hello() -> String {
+    format!("{{\"proto\":\"{PROTO_NAME}\",\"v\":{PROTO_VERSION}}}")
+}
+
+/// Validates a client hello, returning the version it asked for.
+pub fn decode_hello(frame: &str) -> Result<u64, WireError> {
+    let v = json::parse(frame).map_err(|e| e.to_string())?;
+    if word("proto", v.get("proto"))? != PROTO_NAME {
+        return Err("not an ltc-proto handshake".into());
+    }
+    uint("v", v.get("v"))
+}
+
+/// A client→server operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `submit_worker`.
+    Submit {
+        /// The check-in.
+        worker: Worker,
+    },
+    /// `post_task` (with the accuracy-table row under tabular models).
+    Post {
+        /// The task.
+        task: Task,
+        /// Per-worker accuracies, when the model is tabular.
+        row: Option<Vec<f64>>,
+    },
+    /// Start forwarding events on this connection.
+    Subscribe,
+    /// `drain`.
+    Drain,
+    /// `snapshot` (the reply embeds `ltc-snapshot v1` text).
+    Snapshot,
+    /// `rebalance`.
+    Rebalance,
+    /// `metrics`.
+    Metrics,
+    /// End the served session.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes the request as one frame.
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Submit { worker } => format!(
+                "{{\"op\":\"submit\",\"x\":\"{}\",\"y\":\"{}\",\"acc\":\"{}\"}}",
+                hex(worker.loc.x),
+                hex(worker.loc.y),
+                hex(worker.accuracy)
+            ),
+            Request::Post { task, row } => {
+                let mut out = format!(
+                    "{{\"op\":\"post\",\"x\":\"{}\",\"y\":\"{}\"",
+                    hex(task.loc.x),
+                    hex(task.loc.y)
+                );
+                if let Some(row) = row {
+                    out.push_str(",\"row\":[");
+                    for (i, &a) in row.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push('"');
+                        out.push_str(&hex(a));
+                        out.push('"');
+                    }
+                    out.push(']');
+                }
+                out.push('}');
+                out
+            }
+            Request::Subscribe => "{\"op\":\"subscribe\"}".into(),
+            Request::Drain => "{\"op\":\"drain\"}".into(),
+            Request::Snapshot => "{\"op\":\"snapshot\"}".into(),
+            Request::Rebalance => "{\"op\":\"rebalance\"}".into(),
+            Request::Metrics => "{\"op\":\"metrics\"}".into(),
+            Request::Shutdown => "{\"op\":\"shutdown\"}".into(),
+        }
+    }
+
+    /// Parses a request frame.
+    pub fn decode(frame: &str) -> Result<Request, WireError> {
+        let v = json::parse(frame).map_err(|e| e.to_string())?;
+        match word("op", v.get("op"))? {
+            "submit" => Ok(Request::Submit {
+                worker: Worker::new(
+                    Point::new(unhex("x", v.get("x"))?, unhex("y", v.get("y"))?),
+                    unhex("acc", v.get("acc"))?,
+                ),
+            }),
+            "post" => {
+                let task = Task::new(Point::new(unhex("x", v.get("x"))?, unhex("y", v.get("y"))?));
+                let row = match v.get("row") {
+                    None => None,
+                    Some(row) => {
+                        let items = row.as_arr().ok_or("`row` must be an array")?;
+                        let mut out = Vec::with_capacity(items.len());
+                        for item in items {
+                            out.push(unhex("row entry", Some(item))?);
+                        }
+                        Some(out)
+                    }
+                };
+                Ok(Request::Post { task, row })
+            }
+            "subscribe" => Ok(Request::Subscribe),
+            "drain" => Ok(Request::Drain),
+            "snapshot" => Ok(Request::Snapshot),
+            "rebalance" => Ok(Request::Rebalance),
+            "metrics" => Ok(Request::Metrics),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+}
+
+/// A server→client reply. Exactly one per [`Request`], in request order
+/// per connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The handshake reply, describing the served session.
+    Hello {
+        /// The session description.
+        info: SessionInfo,
+    },
+    /// A worker was accepted under this arrival id.
+    Submit {
+        /// The service-global arrival id.
+        worker: WorkerId,
+    },
+    /// A task was accepted under this global id.
+    Post {
+        /// The service-global task id.
+        task: TaskId,
+    },
+    /// Events will now flow on this connection.
+    Subscribe,
+    /// Every prior submission is processed and delivered.
+    Drain,
+    /// The quiesced session state as `ltc-snapshot v1` text.
+    Snapshot {
+        /// The snapshot document.
+        text: String,
+    },
+    /// What the rebalance did (`None`: nothing to move).
+    Rebalance {
+        /// The migration summary.
+        outcome: Option<RebalanceOutcome>,
+    },
+    /// Live operational counters.
+    Metrics {
+        /// The counters.
+        metrics: ServiceMetrics,
+    },
+    /// The session ended.
+    Shutdown,
+    /// The operation failed; the session (and connection) remain usable
+    /// unless the message says otherwise.
+    Err {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+fn encode_algorithm(out: &mut String, algorithm: Algorithm) {
+    let (name, seed) = match algorithm {
+        Algorithm::Laf => ("laf", None),
+        Algorithm::Aam => ("aam", None),
+        Algorithm::AamLgf => ("aam-lgf", None),
+        Algorithm::AamLrf => ("aam-lrf", None),
+        Algorithm::Random { seed } => ("random", Some(seed)),
+    };
+    out.push_str(&format!("\"algo\":\"{name}\""));
+    if let Some(seed) = seed {
+        out.push_str(&format!(",\"seed\":{seed}"));
+    }
+}
+
+fn decode_algorithm(v: &Json) -> Result<Algorithm, WireError> {
+    match word("algo", v.get("algo"))? {
+        "laf" => Ok(Algorithm::Laf),
+        "aam" => Ok(Algorithm::Aam),
+        "aam-lgf" => Ok(Algorithm::AamLgf),
+        "aam-lrf" => Ok(Algorithm::AamLrf),
+        "random" => Ok(Algorithm::Random {
+            seed: uint("seed", v.get("seed"))?,
+        }),
+        other => Err(format!("unknown algorithm `{other}`")),
+    }
+}
+
+fn encode_info(out: &mut String, info: &SessionInfo) {
+    out.push('{');
+    encode_algorithm(out, info.algorithm);
+    let p = &info.params;
+    out.push_str(&format!(
+        ",\"shards\":{},\"tasks\":{},\"params\":{{\"epsilon\":\"{}\",\"capacity\":{},\
+         \"d_max\":\"{}\",\"min_accuracy\":\"{}\",\"eligibility\":\"{}\",\"quality\":",
+        info.n_shards,
+        info.n_tasks,
+        hex(p.epsilon),
+        p.capacity,
+        hex(p.d_max),
+        hex(p.min_accuracy),
+        match p.eligibility {
+            ltc_core::model::Eligibility::WithinRange => "within",
+            ltc_core::model::Eligibility::Unrestricted => "unrestricted",
+        },
+    ));
+    match p.quality {
+        QualityModel::Hoeffding => out.push_str("\"hoeffding\""),
+        QualityModel::FixedThreshold(th) => out.push_str(&format!("{{\"fixed\":\"{}\"}}", hex(th))),
+    }
+    out.push_str("}}");
+}
+
+fn decode_info(v: &Json) -> Result<SessionInfo, WireError> {
+    let algorithm = decode_algorithm(v)?;
+    let p = v.get("params").ok_or("missing `params`")?;
+    let params = ProblemParams {
+        epsilon: unhex("epsilon", p.get("epsilon"))?,
+        capacity: uint("capacity", p.get("capacity"))? as u32,
+        d_max: unhex("d_max", p.get("d_max"))?,
+        min_accuracy: unhex("min_accuracy", p.get("min_accuracy"))?,
+        eligibility: match word("eligibility", p.get("eligibility"))? {
+            "within" => ltc_core::model::Eligibility::WithinRange,
+            "unrestricted" => ltc_core::model::Eligibility::Unrestricted,
+            other => return Err(format!("unknown eligibility `{other}`")),
+        },
+        quality: match p.get("quality") {
+            Some(Json::Str(s)) if s == "hoeffding" => QualityModel::Hoeffding,
+            Some(q) if q.get("fixed").is_some() => {
+                QualityModel::FixedThreshold(unhex("fixed", q.get("fixed"))?)
+            }
+            _ => return Err("missing or unknown `quality`".into()),
+        },
+    };
+    Ok(SessionInfo {
+        algorithm,
+        params,
+        n_shards: uint("shards", v.get("shards"))? as usize,
+        n_tasks: uint("tasks", v.get("tasks"))?,
+    })
+}
+
+fn push_u64_array(out: &mut String, key: &str, values: &[u64]) {
+    out.push_str(&format!(",\"{key}\":["));
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+fn u64_array(field: &'static str, v: Option<&Json>) -> Result<Vec<u64>, WireError> {
+    let items = v
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing or non-array `{field}`"))?;
+    items
+        .iter()
+        .map(|i| {
+            i.as_u64()
+                .ok_or_else(|| format!("non-integer in `{field}`"))
+        })
+        .collect()
+}
+
+fn usize_array(field: &'static str, v: Option<&Json>) -> Result<Vec<usize>, WireError> {
+    Ok(u64_array(field, v)?
+        .into_iter()
+        .map(|v| v as usize)
+        .collect())
+}
+
+impl Response {
+    /// Serializes the response as one frame.
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Hello { info } => {
+                let mut out =
+                    format!("{{\"proto\":\"{PROTO_NAME}\",\"v\":{PROTO_VERSION},\"info\":");
+                encode_info(&mut out, info);
+                out.push('}');
+                out
+            }
+            Response::Submit { worker } => format!("{{\"ok\":\"submit\",\"worker\":{}}}", worker.0),
+            Response::Post { task } => format!("{{\"ok\":\"post\",\"task\":{}}}", task.0),
+            Response::Subscribe => "{\"ok\":\"subscribe\"}".into(),
+            Response::Drain => "{\"ok\":\"drain\"}".into(),
+            Response::Snapshot { text } => {
+                let mut out = String::with_capacity(text.len() + 32);
+                out.push_str("{\"ok\":\"snapshot\",\"data\":");
+                json::push_escaped(&mut out, text);
+                out.push('}');
+                out
+            }
+            Response::Rebalance { outcome } => match outcome {
+                None => "{\"ok\":\"rebalance\",\"outcome\":null}".into(),
+                Some(o) => {
+                    let mut out = format!(
+                        "{{\"ok\":\"rebalance\",\"outcome\":{{\"moved\":{}",
+                        o.moved_tasks
+                    );
+                    push_u64_array(&mut out, "loads", &o.live_loads);
+                    let starts: Vec<u64> = o.stripe_starts.iter().map(|&s| s as u64).collect();
+                    push_u64_array(&mut out, "starts", &starts);
+                    out.push_str("}}");
+                    out
+                }
+            },
+            Response::Metrics { metrics: m } => {
+                let mut out = format!(
+                    "{{\"ok\":\"metrics\",\"workers\":{},\"assignments\":{},\"tasks\":{},\
+                     \"completed\":{},\"clamped\":{},\"rebalances\":{}",
+                    m.n_workers_seen,
+                    m.n_assignments,
+                    m.n_tasks,
+                    m.n_completed,
+                    m.clamped_insertions,
+                    m.rebalances
+                );
+                push_u64_array(&mut out, "loads", &m.shard_loads);
+                match m.latency {
+                    Some(l) => out.push_str(&format!(",\"latency\":{l}}}")),
+                    None => out.push_str(",\"latency\":null}"),
+                }
+                out
+            }
+            Response::Shutdown => "{\"ok\":\"shutdown\"}".into(),
+            Response::Err { message } => {
+                let mut out = String::from("{\"err\":");
+                json::push_escaped(&mut out, message);
+                out.push('}');
+                out
+            }
+        }
+    }
+
+    /// Parses a response frame (which must not be an event frame).
+    pub fn decode(frame: &str) -> Result<Response, WireError> {
+        let v = json::parse(frame).map_err(|e| e.to_string())?;
+        if let Some(message) = v.get("err") {
+            return Ok(Response::Err {
+                message: message.as_str().unwrap_or("unspecified failure").into(),
+            });
+        }
+        if v.get("proto").is_some() {
+            let version = uint("v", v.get("v"))?;
+            if version != PROTO_VERSION {
+                return Err(format!(
+                    "server speaks {PROTO_NAME} v{version}, this client v{PROTO_VERSION}"
+                ));
+            }
+            return Ok(Response::Hello {
+                info: decode_info(v.get("info").ok_or("missing `info`")?)?,
+            });
+        }
+        match word("ok", v.get("ok"))? {
+            "submit" => Ok(Response::Submit {
+                worker: WorkerId(uint("worker", v.get("worker"))?),
+            }),
+            "post" => Ok(Response::Post {
+                task: TaskId(uint("task", v.get("task"))? as u32),
+            }),
+            "subscribe" => Ok(Response::Subscribe),
+            "drain" => Ok(Response::Drain),
+            "snapshot" => Ok(Response::Snapshot {
+                text: word("data", v.get("data"))?.to_string(),
+            }),
+            "rebalance" => {
+                let outcome = v.get("outcome").ok_or("missing `outcome`")?;
+                if outcome.is_null() {
+                    Ok(Response::Rebalance { outcome: None })
+                } else {
+                    Ok(Response::Rebalance {
+                        outcome: Some(RebalanceOutcome {
+                            moved_tasks: uint("moved", outcome.get("moved"))?,
+                            live_loads: u64_array("loads", outcome.get("loads"))?,
+                            stripe_starts: usize_array("starts", outcome.get("starts"))?,
+                        }),
+                    })
+                }
+            }
+            "metrics" => Ok(Response::Metrics {
+                metrics: ServiceMetrics {
+                    n_workers_seen: uint("workers", v.get("workers"))?,
+                    n_assignments: uint("assignments", v.get("assignments"))?,
+                    n_tasks: uint("tasks", v.get("tasks"))?,
+                    n_completed: uint("completed", v.get("completed"))?,
+                    clamped_insertions: uint("clamped", v.get("clamped"))?,
+                    rebalances: uint("rebalances", v.get("rebalances"))?,
+                    shard_loads: u64_array("loads", v.get("loads"))?,
+                    latency: match v.get("latency") {
+                        Some(Json::Null) => None,
+                        other => Some(uint("latency", other)?),
+                    },
+                },
+            }),
+            "shutdown" => Ok(Response::Shutdown),
+            other => Err(format!("unknown response `{other}`")),
+        }
+    }
+}
+
+/// Whether a frame is an event frame (`"ev"` key) — the server→client
+/// demultiplexer: event frames interleave between responses once a
+/// connection subscribes.
+pub fn is_event_frame(frame: &str) -> bool {
+    // Cheap structural probe; the real parse happens in decode_event.
+    frame.starts_with("{\"ev\":")
+}
+
+/// Serializes one subscription delivery as an event frame.
+pub fn encode_event(event: &StreamEvent) -> String {
+    match event {
+        StreamEvent::Worker { worker, events } => {
+            let mut out = format!("{{\"ev\":\"worker\",\"worker\":{},\"batch\":[", worker.0);
+            for (i, e) in events.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                match e {
+                    Event::Assigned {
+                        task, acc, gain, ..
+                    } => out.push_str(&format!(
+                        "{{\"k\":\"assign\",\"task\":{},\"acc\":\"{}\",\"gain\":\"{}\"}}",
+                        task.0,
+                        hex(*acc),
+                        hex(*gain)
+                    )),
+                    Event::TaskCompleted { task, latency } => out.push_str(&format!(
+                        "{{\"k\":\"done\",\"task\":{},\"latency\":{latency}}}",
+                        task.0
+                    )),
+                    Event::WorkerIdle { .. } => out.push_str("{\"k\":\"idle\"}"),
+                }
+            }
+            out.push_str("]}");
+            out
+        }
+        StreamEvent::TaskPosted { task } => format!("{{\"ev\":\"task\",\"task\":{}}}", task.0),
+        StreamEvent::Lifecycle(l) => match l {
+            Lifecycle::Drained { workers_seen } => {
+                format!("{{\"ev\":\"life\",\"kind\":\"drained\",\"workers\":{workers_seen}}}")
+            }
+            Lifecycle::ShardStalled { shard, capacity } => format!(
+                "{{\"ev\":\"life\",\"kind\":\"stalled\",\"shard\":{shard},\
+                 \"capacity\":{capacity}}}"
+            ),
+            Lifecycle::TaskOutOfRegion { task } => {
+                format!("{{\"ev\":\"life\",\"kind\":\"oor\",\"task\":{}}}", task.0)
+            }
+            Lifecycle::Rebalanced {
+                moved_tasks,
+                max_load,
+                mean_load,
+            } => format!(
+                "{{\"ev\":\"life\",\"kind\":\"rebalanced\",\"moved\":{moved_tasks},\
+                 \"max\":{max_load},\"mean\":\"{}\"}}",
+                hex(*mean_load)
+            ),
+            Lifecycle::ShuttingDown => "{\"ev\":\"life\",\"kind\":\"bye\"}".into(),
+        },
+    }
+}
+
+/// Parses an event frame back into the typed delivery.
+pub fn decode_event(frame: &str) -> Result<StreamEvent, WireError> {
+    let v = json::parse(frame).map_err(|e| e.to_string())?;
+    match word("ev", v.get("ev"))? {
+        "worker" => {
+            let worker = WorkerId(uint("worker", v.get("worker"))?);
+            let batch = v
+                .get("batch")
+                .and_then(Json::as_arr)
+                .ok_or("missing or non-array `batch`")?;
+            let mut events = Vec::with_capacity(batch.len());
+            for e in batch {
+                events.push(match word("k", e.get("k"))? {
+                    "assign" => Event::Assigned {
+                        worker,
+                        task: TaskId(uint("task", e.get("task"))? as u32),
+                        acc: unhex("acc", e.get("acc"))?,
+                        gain: unhex("gain", e.get("gain"))?,
+                    },
+                    "done" => Event::TaskCompleted {
+                        task: TaskId(uint("task", e.get("task"))? as u32),
+                        latency: uint("latency", e.get("latency"))?,
+                    },
+                    "idle" => Event::WorkerIdle { worker },
+                    other => return Err(format!("unknown batch entry `{other}`")),
+                });
+            }
+            Ok(StreamEvent::Worker { worker, events })
+        }
+        "task" => Ok(StreamEvent::TaskPosted {
+            task: TaskId(uint("task", v.get("task"))? as u32),
+        }),
+        "life" => Ok(StreamEvent::Lifecycle(match word("kind", v.get("kind"))? {
+            "drained" => Lifecycle::Drained {
+                workers_seen: uint("workers", v.get("workers"))?,
+            },
+            "stalled" => Lifecycle::ShardStalled {
+                shard: uint("shard", v.get("shard"))? as usize,
+                capacity: uint("capacity", v.get("capacity"))? as usize,
+            },
+            "oor" => Lifecycle::TaskOutOfRegion {
+                task: TaskId(uint("task", v.get("task"))? as u32),
+            },
+            "rebalanced" => Lifecycle::Rebalanced {
+                moved_tasks: uint("moved", v.get("moved"))?,
+                max_load: uint("max", v.get("max"))?,
+                mean_load: unhex("mean", v.get("mean"))?,
+            },
+            "bye" => Lifecycle::ShuttingDown,
+            other => return Err(format!("unknown lifecycle kind `{other}`")),
+        })),
+        other => Err(format!("unknown event `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltc_core::model::Eligibility;
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = vec![
+            Request::Submit {
+                worker: Worker::new(Point::new(1.5, -0.25), 0.875),
+            },
+            Request::Post {
+                task: Task::new(Point::new(f64::MIN_POSITIVE, 1e300)),
+                row: None,
+            },
+            Request::Post {
+                task: Task::new(Point::new(0.1, 0.2)),
+                row: Some(vec![0.9, 0.5 + f64::EPSILON, 0.0]),
+            },
+            Request::Subscribe,
+            Request::Drain,
+            Request::Snapshot,
+            Request::Rebalance,
+            Request::Metrics,
+            Request::Shutdown,
+        ];
+        for req in cases {
+            let frame = req.encode();
+            assert_eq!(Request::decode(&frame).unwrap(), req, "{frame}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let info = SessionInfo {
+            algorithm: Algorithm::Random { seed: u64::MAX },
+            params: ProblemParams {
+                epsilon: 0.3,
+                capacity: 2,
+                d_max: 30.0,
+                min_accuracy: 0.66,
+                eligibility: Eligibility::WithinRange,
+                quality: QualityModel::Hoeffding,
+            },
+            n_shards: 4,
+            n_tasks: 17,
+        };
+        let cases = vec![
+            Response::Hello { info },
+            Response::Submit {
+                worker: WorkerId(u64::MAX),
+            },
+            Response::Post { task: TaskId(7) },
+            Response::Subscribe,
+            Response::Drain,
+            Response::Snapshot {
+                text: "ltc-snapshot v1\nparams …\nend\n".into(),
+            },
+            Response::Rebalance { outcome: None },
+            Response::Rebalance {
+                outcome: Some(RebalanceOutcome {
+                    moved_tasks: 9,
+                    live_loads: vec![3, 0, 5],
+                    stripe_starts: vec![0, 4, 9],
+                }),
+            },
+            Response::Metrics {
+                metrics: ServiceMetrics {
+                    n_workers_seen: 100,
+                    n_assignments: 42,
+                    n_tasks: 10,
+                    n_completed: 10,
+                    clamped_insertions: 3,
+                    rebalances: 1,
+                    shard_loads: vec![0, 0],
+                    latency: Some(97),
+                },
+            },
+            Response::Metrics {
+                metrics: ServiceMetrics::default(),
+            },
+            Response::Shutdown,
+            Response::Err {
+                message: "engine error: task has a non-finite location".into(),
+            },
+        ];
+        for resp in cases {
+            let frame = resp.encode();
+            assert!(!frame.contains('\n'), "{frame}");
+            assert_eq!(Response::decode(&frame).unwrap(), resp, "{frame}");
+        }
+    }
+
+    #[test]
+    fn events_round_trip_bit_exactly() {
+        let w = WorkerId(3);
+        let cases = vec![
+            StreamEvent::Worker {
+                worker: w,
+                events: vec![
+                    Event::Assigned {
+                        worker: w,
+                        task: TaskId(1),
+                        acc: 0.951_234_567_890_123_4,
+                        gain: (2.0 * 0.951_234_567_890_123_4f64 - 1.0).powi(2),
+                    },
+                    Event::TaskCompleted {
+                        task: TaskId(1),
+                        latency: 4,
+                    },
+                ],
+            },
+            StreamEvent::Worker {
+                worker: w,
+                events: vec![Event::WorkerIdle { worker: w }],
+            },
+            StreamEvent::TaskPosted { task: TaskId(0) },
+            StreamEvent::Lifecycle(Lifecycle::Drained { workers_seen: 12 }),
+            StreamEvent::Lifecycle(Lifecycle::ShardStalled {
+                shard: 2,
+                capacity: 1024,
+            }),
+            StreamEvent::Lifecycle(Lifecycle::TaskOutOfRegion { task: TaskId(5) }),
+            StreamEvent::Lifecycle(Lifecycle::Rebalanced {
+                moved_tasks: 6,
+                max_load: 3,
+                mean_load: 2.5,
+            }),
+            StreamEvent::Lifecycle(Lifecycle::ShuttingDown),
+        ];
+        for event in cases {
+            let frame = encode_event(&event);
+            assert!(is_event_frame(&frame), "{frame}");
+            assert_eq!(decode_event(&frame).unwrap(), event, "{frame}");
+        }
+    }
+
+    #[test]
+    fn handshake_frames_validate() {
+        assert_eq!(decode_hello(&encode_hello()).unwrap(), PROTO_VERSION);
+        assert!(decode_hello("{\"proto\":\"other\",\"v\":1}").is_err());
+        assert!(decode_hello("{\"v\":1}").is_err());
+        assert!(decode_hello("garbage").is_err());
+        // A future version parses (the *server* decides to refuse it).
+        assert_eq!(
+            decode_hello("{\"proto\":\"ltc-proto\",\"v\":9}").unwrap(),
+            9
+        );
+    }
+
+    #[test]
+    fn frame_reader_enforces_the_cap_and_boundaries() {
+        let mut ok = io::Cursor::new(b"{\"op\":\"drain\"}\n{\"op\":\"metrics\"}\n".to_vec());
+        assert_eq!(
+            read_frame(&mut ok).unwrap().as_deref(),
+            Some("{\"op\":\"drain\"}")
+        );
+        assert_eq!(
+            read_frame(&mut ok).unwrap().as_deref(),
+            Some("{\"op\":\"metrics\"}")
+        );
+        assert_eq!(read_frame(&mut ok).unwrap(), None);
+
+        let mut truncated = io::Cursor::new(b"{\"op\":\"dra".to_vec());
+        assert!(read_frame(&mut truncated).is_err());
+
+        let mut oversized = io::Cursor::new(vec![b'x'; MAX_FRAME + 10]);
+        assert!(read_frame(&mut oversized).is_err());
+
+        let mut non_utf8 = io::Cursor::new(vec![0xFF, 0xFE, b'\n']);
+        assert!(read_frame(&mut non_utf8).is_err());
+    }
+
+    #[test]
+    fn malformed_wire_input_errors_cleanly() {
+        for frame in [
+            "",
+            "{}",
+            "{\"op\":\"frobnicate\"}",
+            "{\"op\":\"submit\",\"x\":\"zz\"}",
+            "{\"op\":\"submit\",\"x\":1.5,\"y\":\"0\",\"acc\":\"0\"}",
+            "{\"op\":\"post\",\"x\":\"3ff0000000000000\",\"y\":\"3ff0000000000000\",\"row\":3}",
+        ] {
+            assert!(Request::decode(frame).is_err(), "accepted {frame:?}");
+        }
+        for frame in [
+            "",
+            "{}",
+            "{\"ok\":\"nope\"}",
+            "{\"ok\":\"submit\"}",
+            "{\"ok\":\"rebalance\"}",
+            "{\"proto\":\"ltc-proto\",\"v\":2,\"info\":{}}",
+        ] {
+            assert!(Response::decode(frame).is_err(), "accepted {frame:?}");
+        }
+        for frame in ["{\"ev\":\"worker\"}", "{\"ev\":\"life\",\"kind\":\"??\"}"] {
+            assert!(decode_event(frame).is_err(), "accepted {frame:?}");
+        }
+    }
+}

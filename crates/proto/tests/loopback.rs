@@ -1,0 +1,343 @@
+//! Loopback differential tests for the `ltc-proto v1` transport: a
+//! session driven through `LtcClient` → TCP → `LtcServer` must be
+//! observationally identical to driving the `ServiceHandle` in process —
+//! event for event, bit for bit — because the server assigns arrival ids
+//! in request-arrival order and every float crosses the wire as its bit
+//! pattern.
+//!
+//! CI runs this file in the timeout-guarded job: a wedged connection or
+//! a deadlocked quiesce must fail loudly, never hang the build.
+
+use ltc_core::model::{ProblemParams, Task, Worker};
+use ltc_core::service::{
+    Algorithm, Lifecycle, ServiceBuilder, ServiceHandle, Session, StreamEvent,
+};
+use ltc_proto::wire;
+use ltc_proto::{LtcClient, LtcServer};
+use ltc_spatial::{BoundingBox, Point};
+use std::io::BufReader;
+use std::num::NonZeroUsize;
+use std::time::Duration;
+
+/// Per-event wait while collecting; far above any healthy delivery,
+/// far below the CI job timeout.
+const EVENT_TIMEOUT: Duration = Duration::from_secs(20);
+
+fn params() -> ProblemParams {
+    ProblemParams::builder()
+        .epsilon(0.25)
+        .capacity(2)
+        .d_max(30.0)
+        .build()
+        .unwrap()
+}
+
+fn region() -> BoundingBox {
+    BoundingBox::new(Point::ORIGIN, Point::new(1000.0, 1000.0))
+}
+
+fn tasks() -> Vec<Task> {
+    (0..24)
+        .map(|i| {
+            Task::new(Point::new(
+                (i % 8) as f64 * 125.0 + 20.0,
+                (i / 8) as f64 * 300.0,
+            ))
+        })
+        .collect()
+}
+
+fn workers(n: usize, salt: u64) -> Vec<Worker> {
+    (0..n)
+        .map(|i| {
+            let i = i as u64 + salt * 10_007;
+            Worker::new(
+                Point::new((i % 41) as f64 * 25.0, (i % 37) as f64 * 27.0),
+                0.7 + 0.29 * ((i % 13) as f64 / 13.0),
+            )
+        })
+        .collect()
+}
+
+fn handle(n_shards: usize, algorithm: Algorithm) -> ServiceHandle {
+    ServiceBuilder::new(params(), region())
+        .tasks(tasks())
+        .shards(NonZeroUsize::new(n_shards).unwrap())
+        .algorithm(algorithm)
+        .start()
+        .unwrap()
+}
+
+/// Drains `session`, then collects the ordered deliveries (worker
+/// batches and task posts; advisory lifecycle notices dropped) up to the
+/// drain marker covering `expect_workers` released check-ins.
+fn collect_ordered(
+    session: &mut dyn Session,
+    events: &ltc_core::service::EventStream,
+    expect_workers: u64,
+) -> Vec<StreamEvent> {
+    session.drain().unwrap();
+    let mut out = Vec::new();
+    loop {
+        match events
+            .recv_timeout(EVENT_TIMEOUT)
+            .expect("event delivery timed out — transport wedged?")
+        {
+            StreamEvent::Lifecycle(Lifecycle::Drained { workers_seen })
+                if workers_seen >= expect_workers =>
+            {
+                return out;
+            }
+            StreamEvent::Lifecycle(_) => {}
+            ordered => out.push(ordered),
+        }
+    }
+}
+
+#[test]
+fn remote_session_is_event_for_event_identical_to_in_process() {
+    for (n_shards, algorithm) in [
+        (1, Algorithm::Laf),
+        (4, Algorithm::Laf),
+        (1, Algorithm::Aam),
+        (2, Algorithm::Random { seed: 0xFACE }),
+    ] {
+        let server = LtcServer::bind("127.0.0.1:0", handle(n_shards, algorithm))
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let mut remote = LtcClient::connect(server.addr()).unwrap();
+        let mut local = handle(n_shards, algorithm);
+
+        assert_eq!(Session::info(&remote), Session::info(&local));
+
+        let remote_events = remote.subscribe().unwrap();
+        let local_events = local.subscribe().unwrap();
+        let stream = workers(300, 1);
+        for (i, w) in stream.iter().enumerate() {
+            let rid = remote.submit_worker(w).unwrap();
+            let lid = Session::submit_worker(&mut local, w).unwrap();
+            assert_eq!(
+                rid, lid,
+                "{algorithm:?}/{n_shards}: arrival ids diverged at {i}"
+            );
+        }
+        // A mid-stream task post rides the same ordered pipeline.
+        let post = Task::new(Point::new(512.0, 512.0));
+        assert_eq!(
+            remote.post_task(post).unwrap(),
+            Session::post_task(&mut local, post).unwrap()
+        );
+
+        let n = stream.len() as u64;
+        let got = collect_ordered(&mut remote, &remote_events, n);
+        let expect = collect_ordered(&mut local, &local_events, n);
+        assert_eq!(
+            got, expect,
+            "{algorithm:?}/{n_shards}: event streams diverged"
+        );
+
+        let mut remote_metrics = remote.metrics().unwrap();
+        let mut local_metrics = Session::metrics(&mut local).unwrap();
+        assert_eq!(remote_metrics.n_assignments, local_metrics.n_assignments);
+        // Suppress fields that may legitimately lag (none today, but be
+        // explicit that the comparison is total):
+        assert_eq!(remote_metrics, local_metrics);
+        remote_metrics.shard_loads.clear();
+        local_metrics.shard_loads.clear();
+
+        remote.shutdown().unwrap();
+        server.wait().unwrap();
+        Session::shutdown(&mut local).unwrap();
+    }
+}
+
+#[test]
+fn two_concurrent_clients_equal_a_single_session_replay() {
+    let server = LtcServer::bind("127.0.0.1:0", handle(4, Algorithm::Laf))
+        .unwrap()
+        .spawn()
+        .unwrap();
+
+    // The observer subscribes before any submission, so it sees the
+    // complete interleaved history.
+    let mut observer = LtcClient::connect(server.addr()).unwrap();
+    let events = observer.subscribe().unwrap();
+
+    let submit = |salt: u64| {
+        let addr = server.addr();
+        std::thread::spawn(move || {
+            let mut client = LtcClient::connect(addr).unwrap();
+            let mut sent = Vec::new();
+            for w in workers(150, salt) {
+                let id = client.submit_worker(&w).unwrap();
+                sent.push((id, w));
+            }
+            sent
+        })
+    };
+    let a = submit(1);
+    let b = submit(2);
+    let mut order: Vec<(ltc_core::model::WorkerId, Worker)> = a.join().unwrap();
+    order.extend(b.join().unwrap());
+    order.sort_by_key(|&(id, _)| id);
+    // The server allocated each arrival id exactly once, densely.
+    assert_eq!(order.len(), 300);
+    assert!(order
+        .iter()
+        .enumerate()
+        .all(|(i, (id, _))| id.0 == i as u64));
+
+    let observed = collect_ordered(&mut observer, &events, 300);
+
+    // Replay the reconstructed interleaving through a fresh in-process
+    // session: the concurrent run must match it event for event.
+    let mut replay = handle(4, Algorithm::Laf);
+    let replay_events = replay.subscribe().unwrap();
+    for (_, w) in &order {
+        Session::submit_worker(&mut replay, w).unwrap();
+    }
+    let expect = collect_ordered(&mut replay, &replay_events, 300);
+    assert_eq!(
+        observed, expect,
+        "concurrent interleaving diverged from its replay"
+    );
+
+    observer.shutdown().unwrap();
+    server.wait().unwrap();
+    Session::shutdown(&mut replay).unwrap();
+}
+
+#[test]
+fn server_side_snapshot_mid_stream_restores_bit_exact() {
+    let server = LtcServer::bind("127.0.0.1:0", handle(3, Algorithm::Random { seed: 9 }))
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut remote = LtcClient::connect(server.addr()).unwrap();
+    let remote_events = remote.subscribe().unwrap();
+
+    let stream = workers(240, 5);
+    for w in &stream[..120] {
+        remote.submit_worker(w).unwrap();
+    }
+    // Quiesced server-side mid-stream snapshot, shipped over the wire.
+    let snapshot = remote.snapshot().unwrap();
+    let mut text = Vec::new();
+    ltc_core::snapshot::write_snapshot(&snapshot, &mut text).unwrap();
+
+    // A twin restored from the wire-carried snapshot continues exactly
+    // like the remote session it was cloned from.
+    let mut twin = ServiceHandle::restore(snapshot).unwrap();
+    let twin_events = twin.subscribe().unwrap();
+    for w in &stream[120..] {
+        let rid = remote.submit_worker(w).unwrap();
+        let tid = Session::submit_worker(&mut twin, w).unwrap();
+        assert_eq!(rid, tid);
+    }
+    let got = collect_ordered(&mut remote, &remote_events, 240);
+    let expect = collect_ordered(&mut twin, &twin_events, 240);
+    // The twin's subscription started at worker 120; the remote one at
+    // 0 — compare the common suffix.
+    assert_eq!(got[got.len() - expect.len()..], expect[..]);
+
+    // And both final states serialize to byte-identical snapshots.
+    let mut from_remote = Vec::new();
+    ltc_core::snapshot::write_snapshot(&remote.snapshot().unwrap(), &mut from_remote).unwrap();
+    let mut from_twin = Vec::new();
+    ltc_core::snapshot::write_snapshot(&Session::snapshot(&mut twin).unwrap(), &mut from_twin)
+        .unwrap();
+    assert_eq!(from_remote, from_twin, "post-restore states diverged");
+
+    remote.shutdown().unwrap();
+    server.wait().unwrap();
+    Session::shutdown(&mut twin).unwrap();
+}
+
+#[test]
+fn remote_rebalance_and_metrics_round_trip() {
+    let server = LtcServer::bind("127.0.0.1:0", handle(4, Algorithm::Laf))
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut remote = LtcClient::connect(server.addr()).unwrap();
+    // Skew the pool: an out-of-region cluster on the right.
+    for i in 0..16 {
+        remote
+            .post_task(Task::new(Point::new(4000.0 + i as f64 * 10.0, 500.0)))
+            .unwrap();
+    }
+    let before = remote.metrics().unwrap();
+    assert_eq!(before.n_tasks, 24 + 16);
+    assert_eq!(before.clamped_insertions, 16);
+    assert_eq!(before.shard_loads.len(), 4);
+
+    let outcome = remote
+        .rebalance()
+        .unwrap()
+        .expect("the far cluster skews the load");
+    assert!(outcome.moved_tasks > 0);
+    let after = remote.metrics().unwrap();
+    assert_eq!(after.rebalances, 1);
+    assert_eq!(
+        after.clamped_insertions, before.clamped_insertions,
+        "clamp telemetry must survive a remote rebalance"
+    );
+    // A rebalance with nothing further to move reports None.
+    assert_eq!(remote.rebalance().unwrap(), None);
+
+    remote.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
+#[test]
+fn version_mismatch_is_refused_cleanly() {
+    let server = LtcServer::bind("127.0.0.1:0", handle(1, Algorithm::Laf))
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut conn = std::net::TcpStream::connect(server.addr()).unwrap();
+    wire::write_frame(&mut conn, "{\"proto\":\"ltc-proto\",\"v\":2}").unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let reply = wire::read_frame(&mut reader).unwrap().unwrap();
+    match wire::Response::decode(&reply).unwrap() {
+        wire::Response::Err { message } => {
+            assert!(message.contains("version 2"), "{message}");
+        }
+        other => panic!("expected a refusal, got {other:?}"),
+    }
+    // The connection is closed after the refusal.
+    assert_eq!(wire::read_frame(&mut reader).unwrap(), None);
+    drop(reader);
+
+    // A well-versed client still gets in afterwards.
+    let mut ok = LtcClient::connect(server.addr()).unwrap();
+    ok.drain().unwrap();
+    ok.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
+#[test]
+fn shutdown_ends_the_session_for_every_client() {
+    let server = LtcServer::bind("127.0.0.1:0", handle(2, Algorithm::Laf))
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut a = LtcClient::connect(server.addr()).unwrap();
+    let mut b = LtcClient::connect(server.addr()).unwrap();
+    let b_events = b.subscribe().unwrap();
+    a.submit_worker(&workers(1, 3)[0]).unwrap();
+    a.shutdown().unwrap();
+    server.wait().unwrap();
+
+    // B's subscription delivers the farewell and then ends; B's next
+    // request fails instead of hanging.
+    let mut saw_bye = false;
+    while let Some(event) = b_events.recv_timeout(EVENT_TIMEOUT) {
+        if event == StreamEvent::Lifecycle(Lifecycle::ShuttingDown) {
+            saw_bye = true;
+        }
+    }
+    assert!(saw_bye, "subscribers must be told the session ended");
+    assert!(b.drain().is_err());
+}

@@ -189,6 +189,19 @@ impl<T: Copy> GridIndex<T> {
         self.clamped
     }
 
+    /// Overwrites the clamp counter with a recorded value — the restore
+    /// half of durable clamp telemetry. Rebuilding an index from durable
+    /// state re-inserts only the *live* entries, so the re-counted value
+    /// under-states the cumulative history (evicted entries and clamps
+    /// against earlier, smaller extents are gone); callers restoring an
+    /// engine pass the persisted counter through here so the telemetry —
+    /// and any growth threshold armed on it — continues where it left
+    /// off instead of silently resetting.
+    #[inline]
+    pub fn restore_clamp_counter(&mut self, clamped: u64) {
+        self.clamped = clamped;
+    }
+
     /// Inserts a point. Points outside the build-time extent are clamped
     /// into border cells (queries stay exact; see the type-level docs).
     ///

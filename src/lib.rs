@@ -17,6 +17,7 @@
 //! | [`mod@core`] | model + engine + **`LtcService` facade** + all six algorithms |
 //! | [`spatial`] | geometry, evicting grid index, shard router, KD-tree, hulls |
 //! | [`mcmf`] | min-cost max-flow (SSPA) |
+//! | [`proto`] | the `ltc-proto v1` wire protocol: TCP server + remote client |
 //! | [`workload`] | Table IV / Table V dataset generators |
 //! | [`sim`] | ground truth, voting, error rates, truth inference |
 //!
@@ -100,6 +101,21 @@
 //! `ltc snapshot`/`ltc resume` persist and continue a live session
 //! (random policies resume their RNG streams bit-exactly).
 //!
+//! ## Remote sessions (the `Session` trait and `ltc-proto`)
+//!
+//! Every session verb lives on the transport-agnostic
+//! [`Session`](core::service::Session) trait, which
+//! [`ServiceHandle`](core::service::ServiceHandle) implements natively
+//! and [`proto::LtcClient`] implements over TCP against an `ltc serve`
+//! process ([`proto::LtcServer`]): requesters and workers can be remote
+//! processes, with arrival order decided server-side
+//! (connection-interleaved), back-pressure and lifecycle events
+//! forwarded on the wire, and every float crossing as its IEEE-754 bit
+//! pattern — so `ltc stream --connect HOST:PORT` emits **byte-identical
+//! NDJSON** to the in-process path and a server-side mid-stream
+//! snapshot restores bit-exactly. Grammar and semantics:
+//! `docs/PROTOCOL.md`.
+//!
 //! ## The synchronous facade (batch/replay path)
 //!
 //! [`LtcService`](core::service::LtcService), built with
@@ -150,6 +166,7 @@
 
 pub use ltc_core as core;
 pub use ltc_mcmf as mcmf;
+pub use ltc_proto as proto;
 pub use ltc_sim as sim;
 pub use ltc_spatial as spatial;
 pub use ltc_workload as workload;
@@ -166,8 +183,9 @@ pub mod prelude {
     pub use ltc_core::online::{run_online, Aam, Laf, OnlineAlgorithm, RandomAssign};
     pub use ltc_core::service::{
         Algorithm, Event, EventStream, Lifecycle, LtcService, ServiceBuilder, ServiceError,
-        ServiceHandle, ServiceMetrics, ServiceSnapshot, StreamEvent,
+        ServiceHandle, ServiceMetrics, ServiceSnapshot, Session, SessionInfo, StreamEvent,
     };
+    pub use ltc_proto::{LtcClient, LtcServer};
     pub use ltc_sim::{simulate, GroundTruth};
     pub use ltc_spatial::{Point, ShardRouter};
     pub use ltc_workload::{AccuracyDistribution, CheckinCityConfig, SyntheticConfig};
