@@ -26,8 +26,11 @@
 //! (1-core interleaving would make them misleading).
 //!
 //! Run with `cargo bench -p ltc-bench --bench skewed_throughput`; scale
-//! the stream with `LTC_BENCH_SCALE` (smaller = longer stream).
+//! the stream with `LTC_BENCH_SCALE` (smaller = longer stream). Pass
+//! `-- --out PATH` to also write the measurements as a schema-stable
+//! `ltc-bench/v1` JSON report (the committed `BENCH_skew.json`).
 
+use ltc_bench::{BenchReport, Row};
 use ltc_core::service::{Algorithm, LtcService, ServiceBuilder};
 use ltc_workload::{DriftEvent, HotspotDriftConfig};
 use std::num::NonZeroUsize;
@@ -104,7 +107,20 @@ fn report(label: &str, m: &Measurement, baseline_secs: f64, show_ratio: bool) {
     );
 }
 
+fn json_row(name: &str, shards: usize, adaptive: bool, m: &Measurement) -> Row {
+    Row::new(name)
+        .field("shards", shards)
+        .field("adaptive", adaptive)
+        .field("events", m.events)
+        .field("secs", m.secs)
+        .field("events_per_sec", m.events as f64 / m.secs.max(f64::EPSILON))
+        .field("assignments", m.assignments)
+        .field("clamped_max", m.max_clamped)
+        .field("clamped_late", m.late_clamped)
+}
+
 fn main() {
+    let out_path = ltc_bench::json::out_path_from_args();
     let scale = ltc_bench::bench_scale().min(64);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("skewed_throughput (LTC_BENCH_SCALE = {scale}; LAF policy) cores={cores}");
@@ -184,6 +200,21 @@ fn main() {
         );
     }
     println!("  ok: parity, steady-state clamping, and load-skew targets all hold");
+
+    if let Some(path) = out_path {
+        let mut json = BenchReport::new("skew", scale);
+        json.push_row(json_row("static/x1", 1, false, &single));
+        json.push_row(json_row("static/x4", 4, false, &static4));
+        json.push_row(json_row("adaptive/x4", 4, true, &adaptive4));
+        json.push_row(
+            Row::new("rebalance/x4")
+                .field("moved_tasks", outcome.moved_tasks)
+                .field("max_mean_ratio", outcome.max_mean_ratio()),
+        );
+        json.write_to(&path)
+            .unwrap_or_else(|e| panic!("writing {} failed: {e}", path.display()));
+        println!("  wrote {}", path.display());
+    }
 }
 
 fn replay(service: &mut LtcService, events: &[DriftEvent]) {

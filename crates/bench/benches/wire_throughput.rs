@@ -7,8 +7,11 @@
 //!
 //! Run with `cargo bench -p ltc-bench --bench wire_throughput`; scale
 //! the stream with `LTC_BENCH_SCALE` (smaller = bigger instance,
-//! default 8). CI runs this with a large scale as a smoke test.
+//! default 8). CI runs this with a large scale as a smoke test. Pass
+//! `-- --out PATH` to also write the measurements as a schema-stable
+//! `ltc-bench/v1` JSON report (the committed `BENCH_wire.json`).
 
+use ltc_bench::{BenchReport, Row};
 use ltc_core::model::Instance;
 use ltc_core::service::{Algorithm, ServiceBuilder, ServiceHandle, Session};
 use ltc_proto::{LtcClient, LtcServer};
@@ -89,7 +92,20 @@ fn report(label: &str, m: &Measurement) {
     );
 }
 
+fn json_row(name: &str, shards: usize, m: &Measurement) -> Row {
+    Row::new(name)
+        .field("shards", shards)
+        .field("workers", m.workers)
+        .field("secs", m.secs)
+        .field(
+            "workers_per_sec",
+            m.workers as f64 / m.secs.max(f64::EPSILON),
+        )
+        .field("assignments", m.assignments)
+}
+
 fn main() {
+    let out_path = ltc_bench::json::out_path_from_args();
     let scale = ltc_bench::bench_scale().min(64);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
@@ -106,6 +122,7 @@ fn main() {
         instance.params().epsilon
     );
 
+    let mut json = BenchReport::new("wire", scale);
     for shards in [1usize, 4] {
         let local = run_in_process(&instance, shards);
         report(&format!("in-process x{shards}"), &local);
@@ -124,5 +141,16 @@ fn main() {
             remote.secs / local.secs.max(f64::EPSILON),
             1e6 * remote.secs / remote.workers.max(1) as f64
         );
+        json.push_row(json_row(&format!("in-process/x{shards}"), shards, &local));
+        json.push_row(json_row(
+            &format!("remote-lockstep/x{shards}"),
+            shards,
+            &remote,
+        ));
+    }
+    if let Some(path) = out_path {
+        json.write_to(&path)
+            .unwrap_or_else(|e| panic!("writing {} failed: {e}", path.display()));
+        println!("  wrote {}", path.display());
     }
 }

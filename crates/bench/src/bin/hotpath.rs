@@ -1,0 +1,195 @@
+//! `ltc-bench hotpath` — the reproducible hot-path runner behind the
+//! committed `BENCH_hotpath.json` trajectory artifact.
+//!
+//! Streams the paper's Table-IV synthetic workloads through the evicting
+//! [`AssignmentEngine`] under the LAF policy and reports, per
+//! configuration: sustained workers/sec, peak live heap bytes, and the
+//! allocation-event counts of the steady state (allocations per
+//! `push_worker` after a warmup prefix — the metric the zero-alloc
+//! regression test in `crates/bench/tests/alloc_regression.rs` gates).
+//!
+//! ```text
+//! cargo run --release -p ltc-bench --bin hotpath            # print + BENCH_hotpath.json
+//! cargo run --release -p ltc-bench --bin hotpath -- --out X # custom path
+//! cargo run --release -p ltc-bench --bin hotpath -- --smoke # tiny stream, schema check
+//! ```
+//!
+//! `--smoke` shrinks the stream to CI scale, validates the emitted JSON
+//! against the `ltc-bench/v1` schema, and exits non-zero on drift — it
+//! never gates on the timing numbers themselves. Scale the full run with
+//! `LTC_BENCH_SCALE` (1 = the paper's cardinalities) like every other
+//! bench.
+
+use ltc_bench::{alloc, json, BenchReport, Row};
+use ltc_core::engine::AssignmentEngine;
+use ltc_core::model::Instance;
+use ltc_core::online::Laf;
+use ltc_workload::SyntheticConfig;
+use std::time::Instant;
+
+/// Workers pushed before the steady-state allocation window opens (the
+/// scratch buffers and bucket slabs reach their watermarks during this
+/// prefix — a generous prefix, since a late worker in an unusually
+/// dense neighborhood can still grow the candidate scratch once).
+const WARMUP_WORKERS: usize = 1024;
+
+struct HotpathRun {
+    workers: u64,
+    secs: f64,
+    assignments: usize,
+    completed: bool,
+    peak_live_bytes: u64,
+    steady_allocs: u64,
+    steady_workers: u64,
+}
+
+fn run_hotpath(instance: &Instance) -> HotpathRun {
+    // Peak-byte baseline set before engine construction, so the row
+    // reports the engine's whole live footprint (index, state vectors,
+    // arrangement log), not just stream-time growth.
+    let baseline_peak = alloc::reset_peak();
+    let mut engine = AssignmentEngine::from_instance(instance);
+    // Pre-size the append-only arrangement log: with it reserved, the
+    // steady-state serve path performs no heap allocation at all.
+    engine.reserve_assignments(instance.n_workers() * instance.params().capacity as usize);
+    let mut algo = Laf::new();
+    let mut allocs_mark = alloc::thread_alloc_count();
+    let start = Instant::now();
+    let mut workers = 0u64;
+    for (i, worker) in instance.workers().iter().enumerate() {
+        if engine.all_completed() {
+            break;
+        }
+        if i == WARMUP_WORKERS {
+            allocs_mark = alloc::thread_alloc_count();
+        }
+        engine.push_worker(worker, &mut algo);
+        workers += 1;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let steady_workers = workers.saturating_sub(WARMUP_WORKERS as u64);
+    let steady_allocs = if steady_workers > 0 {
+        alloc::thread_alloc_count() - allocs_mark
+    } else {
+        0
+    };
+    HotpathRun {
+        workers,
+        secs,
+        assignments: engine.arrangement().len(),
+        completed: engine.all_completed(),
+        peak_live_bytes: alloc::peak_bytes().saturating_sub(baseline_peak),
+        steady_allocs,
+        steady_workers,
+    }
+}
+
+fn row(name: &str, run: &HotpathRun) -> Row {
+    Row::new(name)
+        .field("workers", run.workers)
+        .field("secs", run.secs)
+        .field(
+            "workers_per_sec",
+            run.workers as f64 / run.secs.max(f64::EPSILON),
+        )
+        .field("assignments", run.assignments)
+        .field("completed", run.completed)
+        .field("peak_live_bytes", run.peak_live_bytes)
+        .field("steady_allocs", run.steady_allocs)
+        .field(
+            "allocs_per_worker_steady",
+            run.steady_allocs as f64 / run.steady_workers.max(1) as f64,
+        )
+}
+
+fn configs(scale: usize, smoke: bool) -> Vec<(&'static str, SyntheticConfig)> {
+    let mut out = vec![
+        (
+            "table-iv/default",
+            SyntheticConfig::default().scaled_down(scale),
+        ),
+        (
+            "table-iv/eps0.06",
+            SyntheticConfig {
+                epsilon: 0.06,
+                ..SyntheticConfig::default().scaled_down(scale)
+            },
+        ),
+    ];
+    if !smoke {
+        out.push((
+            "scalability/40k-workers",
+            SyntheticConfig {
+                n_tasks: (10_000 / scale).max(1),
+                n_workers: 40_000,
+                ..SyntheticConfig::default()
+            },
+        ));
+    }
+    out
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = std::path::PathBuf::from("BENCH_hotpath.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = args
+                    .next()
+                    .unwrap_or_else(|| {
+                        eprintln!("--out needs a path");
+                        std::process::exit(2);
+                    })
+                    .into();
+            }
+            // Criterion-style flags cargo bench forwards; harmless here.
+            "--bench" => {}
+            other => {
+                eprintln!("unknown flag {other} (supported: --smoke, --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let scale = if smoke {
+        512
+    } else {
+        ltc_bench::bench_scale().min(64)
+    };
+    let mut report = BenchReport::new("hotpath", scale);
+    println!("hotpath (LTC_BENCH_SCALE = {scale}; LAF policy; evicting engine)");
+    for (name, cfg) in configs(scale, smoke) {
+        let instance = cfg.generate();
+        let run = run_hotpath(&instance);
+        println!(
+            "  {name:<26} {:>9} workers in {:>8.3}s  =  {:>10.0} workers/sec  \
+             (peak {} KiB live, {:.3} allocs/worker steady, completed: {})",
+            run.workers,
+            run.secs,
+            run.workers as f64 / run.secs.max(f64::EPSILON),
+            run.peak_live_bytes / 1024,
+            run.steady_allocs as f64 / run.steady_workers.max(1) as f64,
+            run.completed,
+        );
+        report.push_row(row(name, &run));
+    }
+
+    report
+        .write_to(&out_path)
+        .unwrap_or_else(|e| panic!("writing {} failed: {e}", out_path.display()));
+    let written = std::fs::read_to_string(&out_path)
+        .unwrap_or_else(|e| panic!("reading back {} failed: {e}", out_path.display()));
+    if let Err(e) = json::validate(&written) {
+        eprintln!("schema validation failed for {}: {e}", out_path.display());
+        std::process::exit(1);
+    }
+    println!(
+        "  wrote {} ({} schema{})",
+        out_path.display(),
+        json::SCHEMA,
+        if smoke { ", smoke-validated" } else { "" }
+    );
+}

@@ -9,8 +9,10 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod json;
 pub mod runner;
 
+pub use json::{BenchReport, Row};
 pub use runner::{measure, Algo, Measurement, ALL_ALGOS};
 
 /// Down-scaling factor used by the Criterion benches, overridable with the

@@ -29,8 +29,8 @@ use crate::model::{
 };
 use crate::online::OnlineAlgorithm;
 use crate::smallvec::SmallVec;
+use crate::units::UnitCounts;
 use ltc_spatial::{BoundingBox, GridIndex};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Tolerance for `S[t] ≥ δ` completion checks (see
@@ -94,10 +94,11 @@ pub struct AssignmentEngine {
     /// Exact sum of `units` (integer-valued, so f64 addition is exact
     /// below 2^53 regardless of update order).
     units_sum: f64,
-    /// Multiset of the nonzero `units` values keyed by their IEEE-754
-    /// bits (bit order equals numeric order for non-negative floats), so
-    /// the maximum is the last key: O(log distinct-values) per update.
-    units_counts: BTreeMap<u64, u32>,
+    /// Multiset of the nonzero `units` values, bucketed by whole-unit
+    /// value (pre-sized to `⌈δ⌉`), so every update is O(1) and
+    /// allocation-free and the maximum is read directly (see
+    /// [`crate::units::UnitCounts`]).
+    units_counts: UnitCounts,
     /// Scratch buffers reused across `push_worker` calls.
     cand_buf: Vec<Candidate>,
     picks_buf: Vec<TaskId>,
@@ -117,8 +118,9 @@ impl AssignmentEngine {
             Eligibility::WithinRange => Some(GridIndex::with_bounds(params.d_max, region)),
             Eligibility::Unrestricted => None,
         };
+        let delta = params.delta();
         Ok(Self {
-            delta: params.delta(),
+            delta,
             params,
             accuracy: AccuracyModel::Sigmoid,
             tasks: Vec::new(),
@@ -132,7 +134,7 @@ impl AssignmentEngine {
             index_clamp_mark: 0,
             units: Vec::new(),
             units_sum: 0.0,
-            units_counts: BTreeMap::new(),
+            units_counts: UnitCounts::for_delta(delta),
             cand_buf: Vec::new(),
             picks_buf: Vec::new(),
         })
@@ -154,9 +156,9 @@ impl AssignmentEngine {
         };
         let delta = params.delta();
         let full_units = delta.ceil();
-        let mut units_counts = BTreeMap::new();
+        let mut units_counts = UnitCounts::for_delta(delta);
         if n > 0 {
-            units_counts.insert(full_units.to_bits(), n as u32);
+            units_counts.add_count(full_units, n as u32);
         }
         Self {
             delta,
@@ -296,11 +298,7 @@ impl AssignmentEngine {
     /// so it equals a fresh scan in any order.
     #[inline]
     pub fn remaining_units(&self) -> (f64, f64) {
-        let max = self
-            .units_counts
-            .last_key_value()
-            .map_or(0.0, |(&bits, _)| f64::from_bits(bits));
-        (self.units_sum, max)
+        (self.units_sum, self.units_counts.max_value())
     }
 
     /// Re-points `units[idx]` to `new`, keeping the sum and multiset in
@@ -312,18 +310,10 @@ impl AssignmentEngine {
             return;
         }
         if old > 0.0 {
-            let bits = old.to_bits();
-            let count = self
-                .units_counts
-                .get_mut(&bits)
-                .expect("unit multiset out of sync with per-task units");
-            *count -= 1;
-            if *count == 0 {
-                self.units_counts.remove(&bits);
-            }
+            self.units_counts.remove(old);
         }
         if new > 0.0 {
-            *self.units_counts.entry(new.to_bits()).or_insert(0) += 1;
+            self.units_counts.add(new);
         }
         self.units_sum += new - old;
         self.units[idx] = new;
@@ -438,6 +428,16 @@ impl AssignmentEngine {
         &self.arrangement
     }
 
+    /// Reserves capacity for at least `additional` more committed
+    /// assignments. The append-only arrangement log is the one unbounded
+    /// growth site on the [`AssignmentEngine::push_worker`] hot path
+    /// (every other buffer reaches a steady capacity after warmup), so a
+    /// caller that knows its stream volume — a benchmark, a batch replay —
+    /// can pre-size it and stream with zero heap allocations per worker.
+    pub fn reserve_assignments(&mut self, additional: usize) {
+        self.arrangement.reserve(additional);
+    }
+
     /// Predicted accuracy `Acc(w,t)` of `worker` (arriving as `w`) on a
     /// task.
     #[inline]
@@ -493,12 +493,38 @@ impl AssignmentEngine {
         let start = out.len();
         match &self.task_index {
             Some(index) => {
-                out.extend(
-                    index
-                        .within(worker.loc, self.params.d_max)
-                        .map(|t| self.candidate(w, worker, TaskId(t)))
-                        .filter(|c| c.acc >= 0.5),
-                );
+                match &self.accuracy {
+                    AccuracyModel::Sigmoid => {
+                        // Eq. 1 needs only the worker and the task
+                        // location, and the index stores each task's
+                        // location next to its id — computing the
+                        // candidate from the stored point skips a
+                        // dependent `tasks[t]` load per hit.
+                        let d_max = self.params.d_max;
+                        let quality = self.params.quality;
+                        index.for_each_within_entries(worker.loc, d_max, |t, p| {
+                            let d = worker.loc.distance(p);
+                            let acc = worker.accuracy / (1.0 + (-(d_max - d)).exp());
+                            if acc >= 0.5 {
+                                let contribution = match quality {
+                                    QualityModel::Hoeffding => crate::model::acc_star(acc),
+                                    QualityModel::FixedThreshold(_) => acc,
+                                };
+                                out.push(Candidate {
+                                    task: TaskId(t),
+                                    acc,
+                                    contribution,
+                                });
+                            }
+                        });
+                    }
+                    AccuracyModel::Table(_) => out.extend(
+                        index
+                            .within(worker.loc, self.params.d_max)
+                            .map(|t| self.candidate(w, worker, TaskId(t)))
+                            .filter(|c| c.acc >= 0.5),
+                    ),
+                }
                 // The grid yields tasks in cell order; restore id order
                 // for deterministic downstream tie-breaking.
                 out[start..].sort_unstable_by_key(|c| c.task);
@@ -793,7 +819,7 @@ impl AssignmentEngine {
             index_clamp_mark: state.clamp_mark,
             units: vec![0.0; n],
             units_sum: 0.0,
-            units_counts: BTreeMap::new(),
+            units_counts: UnitCounts::for_delta(delta),
             cand_buf: Vec::new(),
             picks_buf: Vec::new(),
         };

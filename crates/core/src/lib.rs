@@ -196,6 +196,7 @@ pub mod service;
 pub mod smallvec;
 pub mod snapshot;
 pub mod toy;
+mod units;
 
 pub use engine::{AssignmentBatch, AssignmentEngine, Candidate, EngineError, EngineState};
 pub use model::{

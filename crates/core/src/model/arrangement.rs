@@ -38,6 +38,13 @@ impl Arrangement {
         Self::default()
     }
 
+    /// Reserves capacity for at least `additional` more assignments, so a
+    /// caller that knows its commit volume up front can keep the append
+    /// path allocation-free.
+    pub fn reserve(&mut self, additional: usize) {
+        self.assignments.reserve(additional);
+    }
+
     /// Commits an assignment (append-only).
     pub fn push(&mut self, assignment: Assignment) {
         self.max_worker = Some(match self.max_worker {

@@ -452,10 +452,19 @@ impl LtcService {
     /// arrival id whether or not anything was assignable (mirroring the
     /// engine's arrival semantics).
     pub fn check_in(&mut self, worker: &Worker) -> Vec<Event> {
-        let w = self.take_arrival_id();
         let mut events = Vec::new();
-        self.check_in_as(w, worker, &mut events);
+        self.check_in_into(worker, &mut events);
         events
+    }
+
+    /// The buffer-reusing twin of [`LtcService::check_in`]: appends the
+    /// check-in's events (same contents, same order) to `events` instead
+    /// of returning a fresh `Vec`. Callers streaming many check-ins can
+    /// clear and reuse one buffer and keep the whole serve path free of
+    /// per-call heap allocations once warmed up.
+    pub fn check_in_into(&mut self, worker: &Worker, events: &mut Vec<Event>) {
+        let w = self.take_arrival_id();
+        self.check_in_as(w, worker, events);
     }
 
     fn take_arrival_id(&mut self) -> WorkerId {

@@ -1,0 +1,225 @@
+//! A multiset of whole worker-unit values with O(1) updates.
+//!
+//! AAM's regime switch (paper Sec. IV-C) reads two statistics over the
+//! uncompleted tasks on **every** worker arrival: the sum and the
+//! maximum of the per-task remaining worker-units `⌈(δ − S[t])⁺⌉`. The
+//! sum is one running f64; the maximum needs a multiset. The engine
+//! previously kept a `BTreeMap` keyed by f64 bits — correct, but every
+//! commit paid O(log n) pointer-chasing *and a node allocation*, on a
+//! path that is otherwise allocation-free.
+//!
+//! Worker-units are small non-negative integers (at most `⌈δ⌉`; under
+//! the Hoeffding bound `δ = 2·ln(1/ε) < 1491` for any representable
+//! `ε ∈ (0, 1)`), so the multiset is a dense bucket vector indexed by
+//! the unit value, pre-sized at construction: increment/decrement is
+//! O(1) and allocation-free, and the tracked maximum re-scans downward
+//! only when the last top bucket drains — amortized O(1) because the
+//! maximum only ever *rises* to `⌈δ⌉` (when a fresh task is posted).
+//!
+//! A [`QualityModel::FixedThreshold`](crate::model::QualityModel) only
+//! has to be finite and positive, so an absurd threshold could make the
+//! bucket vector enormous; those engines fall back to the `BTreeMap`
+//! (the exactness proptest covers both representations).
+
+use std::collections::BTreeMap;
+
+/// Largest `⌈δ⌉` the dense representation will allocate buckets for
+/// (256 KiB of counts). Hoeffding deltas are always far below this;
+/// only a pathological fixed threshold exceeds it.
+const MAX_BUCKETS: usize = 1 << 16;
+
+/// Multiset of the nonzero per-task worker-unit values, maintaining the
+/// maximum incrementally. Values must be non-negative integer-valued
+/// f64s bounded by the capacity this was built with.
+#[derive(Debug, Clone)]
+pub(crate) enum UnitCounts {
+    /// `counts[v]` = number of tasks with `v` remaining units; `max` is
+    /// the largest `v` with `counts[v] > 0` (0 when the set is empty).
+    Buckets {
+        /// Dense per-value counters, length `⌈δ⌉ + 1`.
+        counts: Vec<u32>,
+        /// Index of the largest occupied bucket (0 = empty set).
+        max: usize,
+    },
+    /// Sorted-map fallback for thresholds too large to bucket densely.
+    /// Keys are the f64 bit patterns (bit order equals numeric order for
+    /// non-negative floats).
+    Tree(BTreeMap<u64, u32>),
+}
+
+impl UnitCounts {
+    /// An empty multiset able to hold values up to `⌈delta⌉` without
+    /// allocating on later updates.
+    pub(crate) fn for_delta(delta: f64) -> Self {
+        let ceil = delta.ceil();
+        if ceil >= 0.0 && ceil <= MAX_BUCKETS as f64 {
+            Self::Buckets {
+                counts: vec![0; ceil as usize + 1],
+                max: 0,
+            }
+        } else {
+            Self::Tree(BTreeMap::new())
+        }
+    }
+
+    /// Adds `n` occurrences of `value` (a positive whole number).
+    pub(crate) fn add_count(&mut self, value: f64, n: u32) {
+        debug_assert!(value > 0.0 && value.fract() == 0.0);
+        match self {
+            Self::Buckets { counts, max } => {
+                let v = value as usize;
+                counts[v] += n;
+                *max = (*max).max(v);
+            }
+            Self::Tree(map) => *map.entry(value.to_bits()).or_insert(0) += n,
+        }
+    }
+
+    /// Adds one occurrence of `value` (a positive whole number).
+    #[inline]
+    pub(crate) fn add(&mut self, value: f64) {
+        self.add_count(value, 1);
+    }
+
+    /// Removes one occurrence of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `value` is not present — the engine's
+    /// multiset is maintained in lock-step with its per-task units, so a
+    /// miss is a bookkeeping bug.
+    pub(crate) fn remove(&mut self, value: f64) {
+        match self {
+            Self::Buckets { counts, max } => {
+                let v = value as usize;
+                debug_assert!(counts[v] > 0, "unit multiset out of sync");
+                counts[v] -= 1;
+                if v == *max && counts[v] == 0 {
+                    // Scan down to the next occupied bucket. Amortized
+                    // O(1): the maximum only rises when a fresh task is
+                    // posted at ⌈δ⌉, and between rises the scans cover
+                    // each bucket at most once.
+                    let mut m = *max;
+                    while m > 0 && counts[m] == 0 {
+                        m -= 1;
+                    }
+                    *max = m;
+                }
+            }
+            Self::Tree(map) => {
+                let bits = value.to_bits();
+                let count = map.get_mut(&bits).expect("unit multiset out of sync");
+                *count -= 1;
+                if *count == 0 {
+                    map.remove(&bits);
+                }
+            }
+        }
+    }
+
+    /// The largest value present, or `0.0` when the set is empty.
+    #[inline]
+    pub(crate) fn max_value(&self) -> f64 {
+        match self {
+            Self::Buckets { max, .. } => *max as f64,
+            Self::Tree(map) => map
+                .last_key_value()
+                .map_or(0.0, |(&bits, _)| f64::from_bits(bits)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The naive reference: a flat list of values, max by full scan.
+    #[derive(Default)]
+    struct Naive(Vec<f64>);
+
+    impl Naive {
+        fn add(&mut self, v: f64) {
+            self.0.push(v);
+        }
+        fn remove(&mut self, v: f64) {
+            let i = self.0.iter().position(|&x| x == v).unwrap();
+            self.0.swap_remove(i);
+        }
+        fn max_value(&self) -> f64 {
+            self.0.iter().copied().fold(0.0, f64::max)
+        }
+    }
+
+    #[test]
+    fn bucketed_tracks_max_through_churn() {
+        let mut u = UnitCounts::for_delta(10.0);
+        assert_eq!(u.max_value(), 0.0);
+        u.add(4.0);
+        u.add(7.0);
+        u.add(7.0);
+        assert_eq!(u.max_value(), 7.0);
+        u.remove(7.0);
+        assert_eq!(u.max_value(), 7.0, "one occurrence left");
+        u.remove(7.0);
+        assert_eq!(u.max_value(), 4.0, "scan down past drained buckets");
+        u.remove(4.0);
+        assert_eq!(u.max_value(), 0.0);
+        // The maximum can rise again after draining.
+        u.add(10.0);
+        assert_eq!(u.max_value(), 10.0);
+    }
+
+    #[test]
+    fn huge_threshold_falls_back_to_tree() {
+        let mut u = UnitCounts::for_delta(1.0e12);
+        assert!(matches!(u, UnitCounts::Tree(_)));
+        u.add(999_999_999_999.0);
+        u.add(5.0);
+        assert_eq!(u.max_value(), 999_999_999_999.0);
+        u.remove(999_999_999_999.0);
+        assert_eq!(u.max_value(), 5.0);
+    }
+
+    #[test]
+    fn bulk_add_counts() {
+        let mut u = UnitCounts::for_delta(20.0);
+        u.add_count(20.0, 1000);
+        assert_eq!(u.max_value(), 20.0);
+        for _ in 0..999 {
+            u.remove(20.0);
+        }
+        assert_eq!(u.max_value(), 20.0);
+        u.remove(20.0);
+        assert_eq!(u.max_value(), 0.0);
+    }
+
+    proptest! {
+        /// Both representations agree with the naive full-scan multiset
+        /// on any add/remove sequence — the exact-parity property the
+        /// engine's AAM regime aggregate relies on.
+        #[test]
+        fn matches_naive_scan(ops in prop::collection::vec((0u32..3, 1u32..30), 1..200)) {
+            for delta in [29.0, 2.0e12] {
+                let mut fast = UnitCounts::for_delta(delta);
+                let mut naive = Naive::default();
+                for (kind, raw) in &ops {
+                    let v = *raw as f64;
+                    match kind {
+                        0 | 1 => {
+                            fast.add(v);
+                            naive.add(v);
+                        }
+                        _ => {
+                            if naive.0.contains(&v) {
+                                fast.remove(v);
+                                naive.remove(v);
+                            }
+                        }
+                    }
+                    prop_assert_eq!(fast.max_value(), naive.max_value());
+                }
+            }
+        }
+    }
+}
