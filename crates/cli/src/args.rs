@@ -21,7 +21,9 @@ USAGE:
   ltc resume   --snapshot FILE [--checkins FILE] [--pipeline D]
                [--rebalance N] [--snapshot-out FILE] [--metrics-out FILE]
   ltc serve    --input FILE --algo <aam|laf|random> --addr HOST:PORT
-               [--seed S] [--shards N]
+               [--seed S] [--shards N] [--wal DIR [--sync POLICY]
+               [--checkpoint-every N] [--checkpoint-format text|binary]]
+  ltc recover  --wal DIR [--snapshot-out FILE]
   ltc exact    --input FILE [--budget NODES]
   ltc simulate --input FILE --algo <...> [--trials N] [--seed S]
   ltc bounds   --input FILE
@@ -69,7 +71,24 @@ until one sends a shutdown. `stream --connect HOST:PORT` (and `snapshot
 — same NDJSON output, byte for byte; --connect replaces --input/--algo/
 --shards/--seed, which the server already owns. A snapshot taken over
 --connect is produced server-side at a quiesced point and written
-locally.";
+locally.
+
+`serve --wal DIR` makes the served session durable (docs/DURABILITY.md):
+every state-changing request is appended to a write-ahead log in DIR
+before it is applied, and periodic checkpoints bound the replay work.
+--sync picks the fsync policy: `always` (fsync per record), `every=N`
+(fsync every N records), or `os` (leave flushing to the kernel; default
+— survives process crashes, not host power loss). --checkpoint-every N
+checkpoints after every N logged records (default 4096);
+--checkpoint-format picks the snapshot encoding (`text` = the golden
+`ltc-snapshot v1` form, default; `binary` = the compact encoding). A
+DIR that already holds a log resumes it: the dataset is only used on
+first initialization. `recover --wal DIR` repairs and replays such a
+log without serving: it truncates a torn tail, restores the newest
+valid checkpoint, replays the suffix, writes a fresh covering
+checkpoint, compacts the log, and prints a summary line (optionally
+writing the recovered state to --snapshot-out as `ltc-snapshot v1`
+text, resumable with `ltc resume`).";
 
 /// Which arrangement algorithm a command should run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,6 +149,72 @@ impl Preset {
             other => Err(ParseError(format!("unknown preset `{other}`"))),
         }
     }
+}
+
+/// The WAL fsync policy of `ltc serve --wal` (parsed here, interpreted
+/// by the `ltc-durable` layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncChoice {
+    /// fsync after every appended record.
+    Always,
+    /// fsync after every N appended records.
+    Every(u64),
+    /// Never fsync explicitly; the kernel flushes on its own schedule.
+    Os,
+}
+
+impl SyncChoice {
+    fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "always" => Ok(SyncChoice::Always),
+            "os" => Ok(SyncChoice::Os),
+            other => {
+                let n = other.strip_prefix("every=").unwrap_or(other);
+                match n.parse::<u64>() {
+                    Ok(0) => Err(ParseError("--sync every=N needs N >= 1".into())),
+                    Ok(n) => Ok(SyncChoice::Every(n)),
+                    Err(_) => Err(ParseError(format!(
+                        "unknown sync policy `{other}` (always, os, every=N)"
+                    ))),
+                }
+            }
+        }
+    }
+}
+
+/// The checkpoint snapshot encoding of `ltc serve --wal`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointFormat {
+    /// The golden `ltc-snapshot v1` text form.
+    Text,
+    /// The compact `ltc-snapshot-bin v1` form.
+    Binary,
+}
+
+impl CheckpointFormat {
+    fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "text" => Ok(CheckpointFormat::Text),
+            "binary" | "bin" => Ok(CheckpointFormat::Binary),
+            other => Err(ParseError(format!(
+                "unknown checkpoint format `{other}` (text, binary)"
+            ))),
+        }
+    }
+}
+
+/// The durability options of `ltc serve --wal DIR`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalChoice {
+    /// The log directory.
+    pub dir: String,
+    /// The fsync policy.
+    pub sync: SyncChoice,
+    /// Checkpoint after every this many logged records (`None` = the
+    /// `ltc-durable` default).
+    pub checkpoint_every: Option<u64>,
+    /// The checkpoint snapshot encoding.
+    pub format: CheckpointFormat,
 }
 
 /// Where `ltc stream`/`ltc snapshot` get their session from.
@@ -228,6 +313,16 @@ pub enum Command {
         shards: usize,
         /// The address to listen on (`HOST:PORT`; port 0 picks one).
         addr: String,
+        /// Durability options (`None` = serve without a WAL).
+        wal: Option<WalChoice>,
+    },
+    /// `ltc recover`.
+    Recover {
+        /// The WAL directory to repair and replay.
+        wal: String,
+        /// Where to also write the recovered state as `ltc-snapshot v1`
+        /// text, if anywhere.
+        snapshot_out: Option<String>,
     },
     /// `ltc exact`.
     Exact {
@@ -437,7 +532,17 @@ impl Command {
                 })
             }
             "serve" => {
-                flags.reject_unknown(&["--input", "--algo", "--addr", "--seed", "--shards"])?;
+                flags.reject_unknown(&[
+                    "--input",
+                    "--algo",
+                    "--addr",
+                    "--seed",
+                    "--shards",
+                    "--wal",
+                    "--sync",
+                    "--checkpoint-every",
+                    "--checkpoint-format",
+                ])?;
                 let StreamSource::Dataset {
                     input,
                     algo,
@@ -456,6 +561,17 @@ impl Command {
                         .value("--addr")?
                         .ok_or_else(|| ParseError("serve requires --addr HOST:PORT".into()))?
                         .to_string(),
+                    wal: parse_wal(&mut flags)?,
+                })
+            }
+            "recover" => {
+                flags.reject_unknown(&["--wal", "--snapshot-out"])?;
+                Ok(Command::Recover {
+                    wal: flags
+                        .value("--wal")?
+                        .ok_or_else(|| ParseError("recover requires --wal DIR".into()))?
+                        .to_string(),
+                    snapshot_out: flags.value("--snapshot-out")?.map(str::to_string),
                 })
             }
             "exact" => {
@@ -543,6 +659,45 @@ fn parse_stream_source(flags: &mut Flags<'_>, cmd: &str) -> Result<StreamSource,
         },
         shards,
     })
+}
+
+/// The `--wal DIR [--sync POLICY] [--checkpoint-every N]
+/// [--checkpoint-format F]` group of `serve`. The satellites are only
+/// meaningful with `--wal`; given without it they would silently do
+/// nothing, so that is an error.
+fn parse_wal(flags: &mut Flags<'_>) -> Result<Option<WalChoice>, ParseError> {
+    let Some(dir) = flags.value("--wal")? else {
+        for needs_wal in ["--sync", "--checkpoint-every", "--checkpoint-format"] {
+            if flags.present(needs_wal) {
+                return Err(ParseError(format!("{needs_wal} requires --wal DIR")));
+            }
+        }
+        return Ok(None);
+    };
+    let sync = match flags.value("--sync")? {
+        Some(v) => SyncChoice::parse(v)?,
+        None => SyncChoice::Os,
+    };
+    let checkpoint_every = match flags.value("--checkpoint-every")? {
+        Some(v) => {
+            let every = parse_num::<u64>(v, "checkpoint interval")?;
+            if every == 0 {
+                return Err(ParseError("--checkpoint-every must be positive".into()));
+            }
+            Some(every)
+        }
+        None => None,
+    };
+    let format = match flags.value("--checkpoint-format")? {
+        Some(v) => CheckpointFormat::parse(v)?,
+        None => CheckpointFormat::Text,
+    };
+    Ok(Some(WalChoice {
+        dir: dir.to_string(),
+        sync,
+        checkpoint_every,
+        format,
+    }))
 }
 
 fn parse_pipeline(flags: &mut Flags<'_>) -> Result<usize, ParseError> {
@@ -769,6 +924,7 @@ mod tests {
                 seed: 9,
                 shards: 4,
                 addr: "127.0.0.1:0".into(),
+                wal: None,
             }
         );
         assert!(Command::parse(&argv("serve --input x.tsv --algo laf")).is_err());
@@ -780,6 +936,85 @@ mod tests {
             .is_err(),
             "serve requires an online algorithm"
         );
+    }
+
+    #[test]
+    fn serve_wal_group_parses_with_defaults_and_overrides() {
+        let cmd = Command::parse(&argv(
+            "serve --input x.tsv --algo laf --addr 127.0.0.1:0 --wal w",
+        ))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Serve {
+                wal: Some(WalChoice {
+                    ref dir,
+                    sync: SyncChoice::Os,
+                    checkpoint_every: None,
+                    format: CheckpointFormat::Text,
+                }),
+                ..
+            } if dir == "w"
+        ));
+        let cmd = Command::parse(&argv(
+            "serve --input x.tsv --algo laf --addr 127.0.0.1:0 --wal w \
+             --sync every=64 --checkpoint-every 100 --checkpoint-format binary",
+        ))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Serve {
+                wal: Some(WalChoice {
+                    sync: SyncChoice::Every(64),
+                    checkpoint_every: Some(100),
+                    format: CheckpointFormat::Binary,
+                    ..
+                }),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn sync_policies_parse_and_reject_nonsense() {
+        assert_eq!(SyncChoice::parse("always").unwrap(), SyncChoice::Always);
+        assert_eq!(SyncChoice::parse("os").unwrap(), SyncChoice::Os);
+        assert_eq!(
+            SyncChoice::parse("every=32").unwrap(),
+            SyncChoice::Every(32)
+        );
+        assert_eq!(SyncChoice::parse("8").unwrap(), SyncChoice::Every(8));
+        assert!(SyncChoice::parse("every=0").is_err());
+        assert!(SyncChoice::parse("sometimes").is_err());
+    }
+
+    #[test]
+    fn wal_satellite_flags_require_wal() {
+        for orphan in [
+            "serve --input x.tsv --algo laf --addr 127.0.0.1:0 --sync os",
+            "serve --input x.tsv --algo laf --addr 127.0.0.1:0 --checkpoint-every 10",
+            "serve --input x.tsv --algo laf --addr 127.0.0.1:0 --checkpoint-format text",
+        ] {
+            assert!(Command::parse(&argv(orphan)).is_err(), "{orphan}");
+        }
+        assert!(Command::parse(&argv(
+            "serve --input x.tsv --algo laf --addr 127.0.0.1:0 --wal w --checkpoint-every 0"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn recover_parses_and_requires_wal() {
+        let cmd = Command::parse(&argv("recover --wal w --snapshot-out s.ltc")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Recover {
+                wal: "w".into(),
+                snapshot_out: Some("s.ltc".into()),
+            }
+        );
+        assert!(Command::parse(&argv("recover")).is_err());
+        assert!(Command::parse(&argv("recover --snapshot-out s.ltc")).is_err());
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Execution of parsed `ltc` commands.
 
-use crate::args::{AlgoChoice, Command, Preset, StreamSource};
+use crate::args::{
+    AlgoChoice, CheckpointFormat, Command, Preset, StreamSource, SyncChoice, WalChoice,
+};
 use ltc_core::bounds::{batch_size, latency_lower_bound, latency_upper_bound};
 use ltc_core::metrics::ArrangementStats;
 use ltc_core::model::{Instance, RunOutcome, Worker};
@@ -11,6 +13,7 @@ use ltc_core::service::{
     StreamEvent,
 };
 use ltc_core::snapshot as snapshot_format;
+use ltc_durable::{DurableHandle, DurableOptions, SnapshotFormat, SyncPolicy};
 use ltc_proto::{LtcClient, LtcServer};
 use ltc_sim::{infer_em, infer_majority, simulate, AnswerSet, EmConfig, GroundTruth};
 use ltc_spatial::Point;
@@ -71,7 +74,9 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
             seed,
             shards,
             addr,
-        } => serve_cmd(&input, algo, seed, shards, &addr, out),
+            wal,
+        } => serve_cmd(&input, algo, seed, shards, &addr, wal, out),
+        Command::Recover { wal, snapshot_out } => recover_cmd(&wal, snapshot_out.as_deref(), out),
         Command::Exact { input, budget } => exact(&input, budget, out),
         Command::Simulate {
             input,
@@ -356,30 +361,116 @@ fn resume_cmd(
     )
 }
 
+/// Translates the CLI's durability flags into `ltc-durable` terms.
+fn durable_options(choice: &WalChoice) -> DurableOptions {
+    DurableOptions {
+        sync: match choice.sync {
+            SyncChoice::Always => SyncPolicy::Always,
+            SyncChoice::Every(n) => SyncPolicy::Every(n),
+            SyncChoice::Os => SyncPolicy::Os,
+        },
+        checkpoint_every: choice
+            .checkpoint_every
+            .unwrap_or(ltc_durable::DEFAULT_CHECKPOINT_EVERY),
+        format: match choice.format {
+            CheckpointFormat::Text => SnapshotFormat::Text,
+            CheckpointFormat::Binary => SnapshotFormat::Binary,
+        },
+    }
+}
+
 /// `ltc serve`: build the service exactly like `stream --input` would
 /// and expose it over TCP (`ltc-proto v1`) until a client requests
 /// shutdown. The bound address is printed (and flushed) first, so
 /// scripts may bind port 0 and read the real port back.
+///
+/// With `--wal DIR` the session is wrapped in a
+/// [`DurableHandle`]: a fresh directory is initialized from the
+/// dataset, while a directory that already holds a log is *resumed* —
+/// recovered, replayed, re-checkpointed — and `--input` is only used
+/// if the directory is fresh.
 fn serve_cmd(
     input: &str,
     algo: AlgoChoice,
     seed: u64,
     shards: usize,
     addr: &str,
+    wal: Option<WalChoice>,
     out: &mut dyn Write,
 ) -> CmdResult {
-    let handle = start_dataset_session(input, algo, seed, shards)?;
-    let n_tasks = handle.n_tasks();
-    let server = LtcServer::bind(addr, handle).map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+    let bind_failed = |e: std::io::Error| format!("cannot bind `{addr}`: {e}");
+    let (server, n_shards, n_tasks, wal_note) = match &wal {
+        None => {
+            let handle = start_dataset_session(input, algo, seed, shards)?;
+            let (n_shards, n_tasks) = (handle.n_shards(), handle.n_tasks() as u64);
+            let server = LtcServer::bind(addr, handle).map_err(bind_failed)?;
+            (server, n_shards, n_tasks, String::new())
+        }
+        Some(choice) => {
+            let dir = std::path::Path::new(&choice.dir);
+            let options = durable_options(choice);
+            let mut wal_note = String::from(",\"wal\":");
+            ltc_proto::json::push_escaped(&mut wal_note, &choice.dir);
+            let session = if DurableHandle::is_initialized(dir) {
+                let (session, report) = DurableHandle::resume(dir, options)?;
+                wal_note.push_str(&format!(
+                    ",\"resumed\":true,\"replayed\":{},\"truncated_bytes\":{}",
+                    report.replayed, report.truncated_bytes
+                ));
+                session
+            } else {
+                let handle = start_dataset_session(input, algo, seed, shards)?;
+                DurableHandle::create(handle, dir, options)?
+            };
+            let info = session.info();
+            let server = LtcServer::bind(addr, session).map_err(bind_failed)?;
+            (server, info.n_shards, info.n_tasks, wal_note)
+        }
+    };
     writeln!(
         out,
-        "{{\"serve\":true,\"addr\":\"{}\",\"algo\":\"{}\",\"shards\":{shards},\"tasks\":{n_tasks}}}",
+        "{{\"serve\":true,\"addr\":\"{}\",\"algo\":\"{}\",\"shards\":{n_shards},\
+         \"tasks\":{n_tasks}{wal_note}}}",
         server.local_addr(),
         algo.name()
     )?;
     out.flush()?;
     server.run()?;
     writeln!(out, "{{\"serve_stopped\":true}}")?;
+    Ok(())
+}
+
+/// `ltc recover`: run crash recovery on a `--wal` directory without
+/// serving — repair a torn tail, restore the newest checkpoint, replay
+/// the log suffix, seal the result under a fresh covering checkpoint,
+/// and compact. Idempotent, and exactly what a `serve --wal` restart
+/// would do first; running it separately lets an operator inspect the
+/// outcome (or export `--snapshot-out` for `ltc resume`) before
+/// bringing the service back.
+fn recover_cmd(wal: &str, snapshot_out: Option<&str>, out: &mut dyn Write) -> CmdResult {
+    let dir = std::path::Path::new(wal);
+    let (mut session, report) = DurableHandle::resume(dir, DurableOptions::default())?;
+    if let Some(path) = snapshot_out {
+        let snap = session.snapshot()?;
+        let file =
+            std::fs::File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))?;
+        let mut file = std::io::BufWriter::new(file);
+        snapshot_format::write_snapshot(&snap, &mut file)?;
+        file.flush()?;
+    }
+    session.shutdown()?;
+    let mut dir_json = String::new();
+    ltc_proto::json::push_escaped(&mut dir_json, wal);
+    writeln!(
+        out,
+        "{{\"recover\":true,\"wal\":{dir_json},\"checkpoint_seq\":{},\
+         \"checkpoints_skipped\":{},\"replayed\":{},\"truncated_bytes\":{},\"next_seq\":{}}}",
+        report.checkpoint_seq,
+        report.checkpoints_skipped,
+        report.replayed,
+        report.truncated_bytes,
+        report.next_seq
+    )?;
     Ok(())
 }
 
@@ -441,9 +532,14 @@ fn write_metrics_line(path: &str, algo: &str, m: &ServiceMetrics) -> CmdResult {
         write!(file, "{load}")?;
     }
     match m.latency {
-        Some(l) => writeln!(file, "],\"latency\":{l}}}")?,
-        None => writeln!(file, "],\"latency\":null}}")?,
+        Some(l) => write!(file, "],\"latency\":{l}")?,
+        None => write!(file, "],\"latency\":null")?,
     }
+    writeln!(
+        file,
+        ",\"wal_records\":{},\"checkpoints\":{}}}",
+        m.wal_records, m.checkpoints
+    )?;
     // Surface buffered-write failures (ENOSPC at drop time would
     // otherwise vanish and leave a truncated file behind an exit 0).
     file.flush()?;
@@ -1220,7 +1316,7 @@ mod tests {
             line,
             "{\"metrics\":true,\"algo\":\"LAF\",\"workers\":3,\"assignments\":3,\
              \"tasks\":1,\"completed_tasks\":1,\"clamped_insertions\":0,\"rebalances\":0,\
-             \"shard_loads\":[0],\"latency\":3}\n"
+             \"shard_loads\":[0],\"latency\":3,\"wal_records\":0,\"checkpoints\":0}\n"
         );
         for p in [&data_path, &checkin_path, &metrics_path] {
             std::fs::remove_file(p).ok();
@@ -1250,5 +1346,71 @@ mod tests {
         // via run(); nothing to assert beyond the entry-point behaviour.
         let (code, _) = run_cli("");
         assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn recover_command_repairs_a_crashed_wal_directory() {
+        use ltc_core::model::{ProblemParams, Task, Worker};
+        use ltc_core::service::{Algorithm, ServiceBuilder, Session as _};
+        use ltc_core::snapshot::read_snapshot;
+        use ltc_durable::{DurableHandle, DurableOptions};
+        use ltc_spatial::{BoundingBox, Point};
+        use std::num::NonZeroUsize;
+
+        let wal_dir = temp_path("recover_cmd_wal");
+        std::fs::remove_dir_all(&wal_dir).ok();
+        let params = ProblemParams::builder()
+            .epsilon(0.2)
+            .capacity(2)
+            .d_max(30.0)
+            .build()
+            .unwrap();
+        let region = BoundingBox::new(Point::ORIGIN, Point::new(100.0, 100.0));
+        let handle = ServiceBuilder::new(params, region)
+            .algorithm(Algorithm::Laf)
+            .shards(NonZeroUsize::new(2).unwrap())
+            .start()
+            .unwrap();
+        let mut durable = DurableHandle::create(
+            handle,
+            std::path::Path::new(&wal_dir),
+            DurableOptions {
+                checkpoint_every: 3,
+                ..DurableOptions::default()
+            },
+        )
+        .unwrap();
+        for i in 0..4 {
+            durable
+                .post_task(Task::new(Point::new(10.0 + 20.0 * i as f64, 40.0)))
+                .unwrap();
+        }
+        for i in 0..6 {
+            durable
+                .submit_worker(&Worker::new(Point::new(12.0 + 15.0 * i as f64, 42.0), 0.9))
+                .unwrap();
+        }
+        drop(durable); // crash: no shutdown, the log is left mid-flight
+
+        let snap_path = temp_path("recover_cmd.ltc");
+        let (code, out) = run_cli(&format!(
+            "recover --wal {wal_dir} --snapshot-out {snap_path}"
+        ));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("\"recover\":true"), "{out}");
+        assert!(out.contains("\"next_seq\":10"), "{out}");
+        let text = std::fs::read_to_string(&snap_path).unwrap();
+        assert!(text.starts_with("ltc-snapshot v1\n"), "{text}");
+        read_snapshot(text.as_bytes()).expect("recovered snapshot must parse");
+
+        // Recovery seals the log with a covering checkpoint, so a
+        // second run replays nothing and lands in the same place.
+        let (code, again) = run_cli(&format!("recover --wal {wal_dir}"));
+        assert_eq!(code, 0, "{again}");
+        assert!(again.contains("\"replayed\":0"), "{again}");
+        assert!(again.contains("\"next_seq\":10"), "{again}");
+
+        std::fs::remove_dir_all(&wal_dir).ok();
+        std::fs::remove_file(&snap_path).ok();
     }
 }

@@ -86,6 +86,19 @@ pub enum Lifecycle {
         /// Mean live-task count per shard after the rebalance.
         mean_load: f64,
     },
+    /// A durability checkpoint was written: every submission with a
+    /// write-ahead-log sequence number below `seq` is now covered by a
+    /// persisted snapshot, and the log segments it superseded are
+    /// eligible for compaction. Announced by the `ltc-durable` layer
+    /// (the core runtime itself never checkpoints) through
+    /// [`ServiceHandle::announce_lifecycle`](super::ServiceHandle::announce_lifecycle)
+    /// at a drained quiesce point, so it is ordered exactly after the
+    /// [`Lifecycle::Drained`] of the quiesce that captured the state.
+    Checkpointed {
+        /// The first log sequence number *not* covered by the
+        /// checkpoint (= records persisted so far).
+        seq: u64,
+    },
     /// The handle began shutting down; no further events will follow.
     ShuttingDown,
 }
@@ -253,6 +266,15 @@ pub struct ServiceMetrics {
     /// workers — once every posted task completed, else `None`. On a
     /// live handle it reflects *released* events; exact after a drain.
     pub latency: Option<u64>,
+    /// Records appended to the write-ahead log over the session's
+    /// lifetime (equivalently: the next log sequence number). Zero for
+    /// sessions running without a durability layer — only the
+    /// `ltc-durable` wrapper maintains it.
+    pub wal_records: u64,
+    /// Durability checkpoints taken over the session's lifetime
+    /// (genesis and shutdown checkpoints included). Zero without a
+    /// durability layer.
+    pub checkpoints: u64,
 }
 
 impl ServiceMetrics {

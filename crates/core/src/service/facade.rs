@@ -275,6 +275,8 @@ impl LtcService {
                 .map(|s| s.engine.n_uncompleted() as u64)
                 .collect(),
             latency: self.latency(),
+            wal_records: 0,
+            checkpoints: 0,
         }
     }
 

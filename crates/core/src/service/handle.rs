@@ -268,6 +268,16 @@ impl ServiceHandle {
         }
     }
 
+    /// Announces an out-of-band [`Lifecycle`] notice to every
+    /// subscriber — the hook by which wrapping layers surface their own
+    /// lifecycle moments through the session's event stream (the
+    /// `ltc-durable` checkpointer announces
+    /// [`Lifecycle::Checkpointed`] this way). Advisory delivery, like
+    /// every non-`Drained` lifecycle notice; a no-op after shutdown.
+    pub fn announce_lifecycle(&self, lifecycle: Lifecycle) {
+        self.announce(lifecycle);
+    }
+
     /// Sends to a shard mailbox, announcing back-pressure the moment the
     /// bounded channel is full, then blocking until the shard catches up.
     fn send_shard(&self, shard: usize, msg: ShardMsg) -> Result<(), ServiceError> {
@@ -621,6 +631,8 @@ impl ServiceHandle {
             rebalances: self.rebalances,
             shard_loads,
             latency: self.latency(),
+            wal_records: 0,
+            checkpoints: 0,
         })
     }
 

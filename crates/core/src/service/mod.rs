@@ -206,10 +206,11 @@ pub enum ServiceError {
     /// The pipelined runtime stopped serving (a shard thread died, a
     /// mailbox disconnected, or a drain timed out on a stalled shard).
     RuntimeStopped(&'static str),
-    /// A remote [`Session`] transport failed (connection refused or
-    /// dropped, protocol violation, version mismatch). Carries the
-    /// transport's own description; raised only by remote
-    /// implementations such as `ltc_proto::LtcClient`.
+    /// A [`Session`] transport or persistence layer failed (connection
+    /// refused or dropped, protocol violation, version mismatch, a
+    /// write-ahead-log append that could not reach disk). Carries the
+    /// layer's own description; raised only by wrapping implementations
+    /// such as `ltc_proto::LtcClient` and `ltc_durable::DurableHandle`.
     Transport(String),
 }
 

@@ -77,6 +77,19 @@ pub trait Session {
     /// submitted after it.
     fn post_task(&mut self, task: Task) -> Result<TaskId, ServiceError>;
 
+    /// Posts a task together with its table-model accuracy row (one
+    /// `Acc(w,t)` column per declared worker). Only meaningful under
+    /// [`AccuracyModel::Table`](crate::model::AccuracyModel::Table)
+    /// sessions; implementations reject a row whose width disagrees
+    /// with the declared worker count exactly as
+    /// [`LtcService::post_task_with_accuracies`](super::LtcService::post_task_with_accuracies)
+    /// would.
+    fn post_task_with_accuracies(
+        &mut self,
+        task: Task,
+        accuracies: &[f64],
+    ) -> Result<TaskId, ServiceError>;
+
     /// Attaches a subscriber receiving every event produced from now on.
     fn subscribe(&mut self) -> Result<EventStream, ServiceError>;
 
@@ -121,6 +134,14 @@ impl Session for ServiceHandle {
 
     fn post_task(&mut self, task: Task) -> Result<TaskId, ServiceError> {
         ServiceHandle::post_task(self, task)
+    }
+
+    fn post_task_with_accuracies(
+        &mut self,
+        task: Task,
+        accuracies: &[f64],
+    ) -> Result<TaskId, ServiceError> {
+        ServiceHandle::post_task_with_accuracies(self, task, accuracies)
     }
 
     fn subscribe(&mut self) -> Result<EventStream, ServiceError> {

@@ -1,0 +1,255 @@
+//! Checkpoints: whole-state snapshots written next to the log.
+//!
+//! A checkpoint file `checkpoint-<seq>.ltc` (text) or `.ltcb`
+//! ([`binsnap`] binary) holds the service state after
+//! every operation below sequence number `seq` — so recovery restores
+//! it and replays only the log records stamped `seq` and above. Files
+//! are written to a temporary name and renamed into place, so a crash
+//! mid-checkpoint leaves at most a stray `*.tmp` that the loader
+//! ignores; the previous checkpoint stays intact and recovery simply
+//! replays a longer suffix.
+//!
+//! [`load_latest`] walks the checkpoints newest-first and takes the
+//! first one that decodes, skipping damaged ones — a half-written or
+//! bit-rotted newest checkpoint costs replay time, never correctness.
+
+use crate::{binsnap, wal, DurableError};
+use ltc_core::service::ServiceSnapshot;
+use ltc_core::snapshot::{read_snapshot, write_snapshot, SNAPSHOT_HEADER};
+use std::fs::{self, File};
+use std::io::{BufReader, Read};
+use std::path::{Path, PathBuf};
+
+/// On-disk encoding of a checkpoint. Either decodes to the same
+/// [`ServiceSnapshot`]; text is the golden, diffable, debuggable form,
+/// binary the compact one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotFormat {
+    /// `ltc-snapshot v1` text (`.ltc`).
+    #[default]
+    Text,
+    /// `ltc-snapshot-bin v1` (`.ltcb`): the lossless token-level
+    /// recoding of the text form.
+    Binary,
+}
+
+/// The path a checkpoint covering `seq` is written to. The sequence is
+/// zero-padded so lexicographic directory order is sequence order.
+pub fn checkpoint_path(dir: &Path, seq: u64, format: SnapshotFormat) -> PathBuf {
+    let ext = match format {
+        SnapshotFormat::Text => "ltc",
+        SnapshotFormat::Binary => "ltcb",
+    };
+    dir.join(format!("checkpoint-{seq:020}.{ext}"))
+}
+
+/// Writes a checkpoint atomically (temp file, fsync, rename, directory
+/// fsync) and returns its final path.
+pub fn write_checkpoint(
+    dir: &Path,
+    seq: u64,
+    snapshot: &ServiceSnapshot,
+    format: SnapshotFormat,
+) -> Result<PathBuf, DurableError> {
+    let mut text = Vec::new();
+    write_snapshot(snapshot, &mut text)?;
+    let bytes = match format {
+        SnapshotFormat::Text => text,
+        SnapshotFormat::Binary => {
+            let text = String::from_utf8(text).expect("snapshot text is UTF-8");
+            let bin = binsnap::encode(&text).map_err(|what| DurableError::Corrupt {
+                path: dir.to_path_buf(),
+                what: format!("snapshot text not binsnap-encodable: {what}"),
+            })?;
+            // The whole point of the token-level codec is that
+            // losslessness is checkable, so check it: a checkpoint that
+            // would not decode back to its own text must never reach
+            // disk.
+            debug_assert_eq!(binsnap::decode(&bin).as_deref(), Ok(text.as_str()));
+            bin
+        }
+    };
+    let path = checkpoint_path(dir, seq, format);
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, &bytes)?;
+    File::open(&tmp)?.sync_all()?;
+    fs::rename(&tmp, &path)?;
+    wal::sync_dir(dir);
+    Ok(path)
+}
+
+/// Lists `(seq, path)` for every checkpoint file in the directory, in
+/// ascending sequence order. Purely name-based; contents are validated
+/// by [`load_latest`].
+pub fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>, DurableError> {
+    let mut found = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(seq) = name
+            .strip_prefix("checkpoint-")
+            .and_then(|rest| {
+                rest.strip_suffix(".ltc")
+                    .or_else(|| rest.strip_suffix(".ltcb"))
+            })
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            found.push((seq, entry.path()));
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// Loads one checkpoint file, auto-detecting text vs binary by its
+/// header line (the extension is advisory). The read is capped at
+/// [`wal::MAX_RECORD`] × 64 bytes so a garbage file cannot balloon
+/// memory — far above any real snapshot, far below pathology.
+pub fn load_checkpoint(path: &Path) -> Result<ServiceSnapshot, DurableError> {
+    const MAX_CHECKPOINT: u64 = wal::MAX_RECORD as u64 * 64;
+    let mut bytes = Vec::new();
+    File::open(path)?
+        .take(MAX_CHECKPOINT + 1)
+        .read_to_end(&mut bytes)?;
+    if bytes.len() as u64 > MAX_CHECKPOINT {
+        return Err(DurableError::Corrupt {
+            path: path.to_path_buf(),
+            what: format!("checkpoint exceeds the {MAX_CHECKPOINT}-byte cap"),
+        });
+    }
+    let corrupt = |what: String| DurableError::Corrupt {
+        path: path.to_path_buf(),
+        what,
+    };
+    let text: String;
+    let text = if bytes.starts_with(binsnap::BINSNAP_HEADER.as_bytes()) {
+        text = binsnap::decode(&bytes).map_err(corrupt)?;
+        text.as_str()
+    } else {
+        std::str::from_utf8(&bytes).map_err(|_| corrupt("checkpoint is not UTF-8".into()))?
+    };
+    if !text.starts_with(SNAPSHOT_HEADER) {
+        return Err(corrupt(format!(
+            "checkpoint does not open with \"{SNAPSHOT_HEADER}\""
+        )));
+    }
+    read_snapshot(BufReader::new(text.as_bytes()))
+        .map_err(|e| corrupt(format!("undecodable snapshot: {e}")))
+}
+
+/// Restores the newest checkpoint that actually decodes, returning its
+/// covered sequence number, its snapshot, and how many newer-but-broken
+/// checkpoints were skipped on the way down. `Ok(None)` means the
+/// directory holds no readable checkpoint at all.
+#[allow(clippy::type_complexity)]
+pub fn load_latest(dir: &Path) -> Result<Option<(u64, ServiceSnapshot, u64)>, DurableError> {
+    let mut skipped = 0;
+    for (seq, path) in list_checkpoints(dir)?.into_iter().rev() {
+        match load_checkpoint(&path) {
+            Ok(snapshot) => return Ok(Some((seq, snapshot, skipped))),
+            Err(DurableError::Io(e)) => return Err(DurableError::Io(e)),
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok(None)
+}
+
+/// Deletes every checkpoint strictly older than `keep_seq`. Called
+/// after a new checkpoint lands; the newest stays, history goes.
+pub fn compact_checkpoints(dir: &Path, keep_seq: u64) -> Result<u64, DurableError> {
+    let mut removed = 0;
+    for (seq, path) in list_checkpoints(dir)? {
+        if seq < keep_seq {
+            fs::remove_file(&path)?;
+            removed += 1;
+        }
+    }
+    if removed > 0 {
+        wal::sync_dir(dir);
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltc_core::model::ProblemParams;
+    use ltc_core::service::ServiceBuilder;
+    use ltc_spatial::{BoundingBox, Point};
+    use std::path::PathBuf;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ltc-ckpt-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_snapshot() -> ServiceSnapshot {
+        let params = ProblemParams::builder()
+            .epsilon(0.3)
+            .capacity(1)
+            .build()
+            .unwrap();
+        let region = BoundingBox::new(Point::ORIGIN, Point::new(50.0, 50.0));
+        let mut handle = ServiceBuilder::new(params, region).start().unwrap();
+        handle
+            .post_task(ltc_core::model::Task::new(Point::new(10.0, 10.0)))
+            .unwrap();
+        let snap = handle.snapshot().unwrap();
+        handle.close().unwrap();
+        snap
+    }
+
+    fn text_of(snap: &ServiceSnapshot) -> String {
+        let mut out = Vec::new();
+        ltc_core::snapshot::write_snapshot(snap, &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn both_formats_round_trip_and_newest_valid_wins() {
+        let dir = temp_dir("roundtrip");
+        let snap = sample_snapshot();
+        write_checkpoint(&dir, 0, &snap, SnapshotFormat::Text).unwrap();
+        write_checkpoint(&dir, 7, &snap, SnapshotFormat::Binary).unwrap();
+        // A newer checkpoint that is pure garbage must be skipped.
+        fs::write(checkpoint_path(&dir, 9, SnapshotFormat::Text), "garbage").unwrap();
+
+        let (seq, loaded, skipped) = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(seq, 7);
+        assert_eq!(skipped, 1);
+        assert_eq!(text_of(&loaded), text_of(&snap));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_keeps_the_covering_checkpoint() {
+        let dir = temp_dir("compact");
+        let snap = sample_snapshot();
+        for seq in [0, 3, 9] {
+            write_checkpoint(&dir, seq, &snap, SnapshotFormat::Text).unwrap();
+        }
+        assert_eq!(compact_checkpoints(&dir, 9).unwrap(), 2);
+        let left = list_checkpoints(&dir).unwrap();
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].0, 9);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_stray_tmp_file_is_invisible_to_the_loader() {
+        let dir = temp_dir("tmp");
+        let snap = sample_snapshot();
+        write_checkpoint(&dir, 4, &snap, SnapshotFormat::Binary).unwrap();
+        fs::write(
+            dir.join("checkpoint-00000000000000000009.tmp"),
+            "half-written",
+        )
+        .unwrap();
+        let (seq, _, skipped) = load_latest(&dir).unwrap().unwrap();
+        assert_eq!((seq, skipped), (4, 0));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

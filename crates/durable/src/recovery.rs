@@ -1,0 +1,140 @@
+//! Crash recovery: checkpoint restore plus log-suffix replay.
+//!
+//! Recovery leans entirely on determinism. The engine's state after a
+//! sequence of operations is a pure function of that sequence, so
+//! restoring the newest checkpoint (state after operations `< S`) and
+//! re-issuing the logged operations `≥ S` through the ordinary session
+//! API reproduces — byte for byte, as snapshot text — the state an
+//! uninterrupted process would hold. Operations the service rejected
+//! the first time are rejected identically on replay (the rejection is
+//! itself deterministic), so the log does not even need to record
+//! outcomes.
+
+use crate::wal::{self, WalRecord};
+use crate::{checkpoint, DurableError};
+use ltc_core::service::{ServiceError, ServiceHandle};
+use std::path::Path;
+
+/// What [`recover`] rebuilt, with enough accounting for an operator
+/// (or the `ltc recover` summary line) to see what happened.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The restored, fully replayed, drained session.
+    pub handle: ServiceHandle,
+    /// Sequence number covered by the checkpoint that was restored.
+    pub checkpoint_seq: u64,
+    /// Newer checkpoint files that existed but did not decode and were
+    /// skipped in favor of an older one.
+    pub checkpoints_skipped: u64,
+    /// Log records replayed on top of the checkpoint.
+    pub replayed: u64,
+    /// Bytes of torn final record truncated off the log, if the crash
+    /// left one mid-write.
+    pub truncated_bytes: u64,
+    /// The sequence number the next logged operation will carry.
+    pub next_seq: u64,
+    /// Index a resuming writer's next segment should use.
+    pub next_segment: u64,
+}
+
+/// Replays one logged operation. A [`ServiceError::Engine`] rejection
+/// is the operation deterministically failing exactly as it originally
+/// did — replay continues; anything else means the *service* is broken
+/// and recovery must stop.
+fn replay(handle: &mut ServiceHandle, record: &WalRecord) -> Result<(), DurableError> {
+    let outcome = match record {
+        WalRecord::Submit { worker } => handle.submit_worker(worker).map(|_| ()),
+        WalRecord::Post { task, row: None } => handle.post_task(*task).map(|_| ()),
+        WalRecord::Post {
+            task,
+            row: Some(row),
+        } => handle.post_task_with_accuracies(*task, row).map(|_| ()),
+        WalRecord::Rebalance => handle.rebalance().map(|_| ()),
+    };
+    match outcome {
+        Ok(()) | Err(ServiceError::Engine(_)) => Ok(()),
+        Err(e) => Err(DurableError::Service(e)),
+    }
+}
+
+/// Restores the newest readable checkpoint in `dir`, repairs a torn
+/// final log record if the crash left one, replays the surviving log
+/// suffix, and drains. The returned session is byte-identical (as
+/// snapshot text) to an uninterrupted run over the same
+/// [`next_seq`](Recovery::next_seq)-operation prefix.
+///
+/// Recovery is idempotent: it mutates the directory only to truncate a
+/// torn tail, so running it twice — or crashing *during* it and running
+/// it again — lands in the same state.
+pub fn recover(dir: &Path) -> Result<Recovery, DurableError> {
+    let (checkpoint_seq, snapshot, checkpoints_skipped) = checkpoint::load_latest(dir)?
+        .ok_or_else(|| match wal::list_segments(dir) {
+            Ok(segments) if !segments.is_empty() => DurableError::NoCheckpoint(dir.to_path_buf()),
+            _ => DurableError::NotInitialized(dir.to_path_buf()),
+        })?;
+
+    // A directory with checkpoints but no log at all is a legitimate
+    // crash state, not corruption: creation writes the genesis
+    // checkpoint before segment 0, and repairing a torn-header-only
+    // log deletes its final (sole) segment. Either way the checkpoint
+    // alone fixes the position and a fresh segment 0 is safe — every
+    // lower-numbered segment was compacted away, so no index collides.
+    let mut scan = match wal::scan(dir) {
+        Ok(scan) => scan,
+        Err(DurableError::NotInitialized(_)) => wal::LogScan {
+            records: Vec::new(),
+            next_seq: checkpoint_seq,
+            segments: Vec::new(),
+            next_segment: 0,
+            torn: None,
+        },
+        Err(e) => return Err(e),
+    };
+    let truncated_bytes = match scan.torn.take() {
+        Some(tail) => {
+            wal::repair(&tail)?;
+            tail.torn_bytes
+        }
+        None => 0,
+    };
+
+    // The checkpoint must sit inside the log's sequence window: old
+    // enough that no surviving record predates compaction's promise,
+    // new enough that no record between checkpoint and log start was
+    // deleted. When the only segment's *header* was torn away (a crash
+    // right at rotation), no readable segment remains and the log's
+    // position is exactly what the checkpoint says.
+    let (log_start, next_seq) = match scan.segments.first() {
+        Some(first) => (first.base_seq, scan.next_seq),
+        None => (checkpoint_seq, checkpoint_seq),
+    };
+    if checkpoint_seq < log_start || checkpoint_seq > next_seq {
+        return Err(DurableError::Corrupt {
+            path: dir.to_path_buf(),
+            what: format!(
+                "checkpoint covers seq {checkpoint_seq} but the log spans {log_start}..{next_seq}"
+            ),
+        });
+    }
+
+    let mut handle = ServiceHandle::restore(snapshot)?;
+    let mut replayed = 0;
+    for (seq, record) in &scan.records {
+        if *seq < checkpoint_seq {
+            continue;
+        }
+        replay(&mut handle, record)?;
+        replayed += 1;
+    }
+    handle.drain()?;
+
+    Ok(Recovery {
+        handle,
+        checkpoint_seq,
+        checkpoints_skipped,
+        replayed,
+        truncated_bytes,
+        next_seq,
+        next_segment: scan.next_segment,
+    })
+}

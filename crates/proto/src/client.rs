@@ -172,6 +172,20 @@ impl Session for LtcClient {
         }
     }
 
+    fn post_task_with_accuracies(
+        &mut self,
+        task: Task,
+        accuracies: &[f64],
+    ) -> Result<TaskId, ServiceError> {
+        match self.request(&Request::Post {
+            task,
+            row: Some(accuracies.to_vec()),
+        })? {
+            Response::Post { task } => Ok(task),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
     fn subscribe(&mut self) -> Result<EventStream, ServiceError> {
         // Register the local receiver *before* the wire round trip: the
         // server may race an event frame ahead of the Subscribe response

@@ -1,5 +1,8 @@
 //! The `ltc serve` layer: a TCP server multiplexing N concurrent
-//! clients onto one in-process [`ServiceHandle`].
+//! clients onto one in-process [`Session`] (the bare
+//! [`ServiceHandle`](ltc_core::service::ServiceHandle), or any wrapper
+//! implementing the trait — the durability layer serves through here
+//! unchanged).
 //!
 //! ## Ordering model
 //!
@@ -24,7 +27,7 @@
 //! ## Event flow
 //!
 //! A connection that sends `subscribe` gets its own
-//! [`ServiceHandle::subscribe`] stream, pumped to the socket by a
+//! [`Session::subscribe`] stream, pumped to the socket by a
 //! dedicated forwarder thread (events and responses interleave on the
 //! wire; frames are written atomically under the connection's writer
 //! lock). Delivery per subscriber is in exact submission order — the
@@ -43,13 +46,29 @@
 //! disconnects.
 
 use crate::wire::{self, Request, Response};
-use ltc_core::service::{ServiceError, ServiceHandle, Session};
+use ltc_core::service::{ServiceError, Session};
 use std::io::{self, BufReader};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// The boxed session every connection thread drives — any [`Session`]
+/// implementation works: the in-process
+/// [`ServiceHandle`](ltc_core::service::ServiceHandle), or a durability
+/// wrapper layered over it.
+type BoxedSession = Box<dyn Session + Send>;
+
+/// Locks a mutex, recovering from poisoning instead of propagating it:
+/// a connection thread that panicked mid-request must fail *its own*
+/// connection, not wedge every other client behind a permanently
+/// poisoned lock. The guarded values stay sound across a recovered
+/// panic — the session rejects later calls itself once closed, and a
+/// writer is just a socket.
+fn lock_recovering<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// How often an idle event forwarder re-checks whether its peer is gone
 /// or the server is stopping (events themselves are forwarded the
@@ -58,10 +77,10 @@ const FORWARDER_POLL: Duration = Duration::from_millis(100);
 
 /// The serving state every connection thread shares.
 struct Shared {
-    /// The one served session. `ServiceHandle::close` (via the
-    /// [`Session`] trait) leaves it inert after a shutdown request, so
-    /// later calls fail with `RuntimeStopped` rather than panicking.
-    session: Mutex<ServiceHandle>,
+    /// The one served session. [`Session::shutdown`] leaves it inert
+    /// after a shutdown request, so later calls fail with
+    /// `RuntimeStopped` rather than panicking.
+    session: Mutex<BoxedSession>,
     /// Set by a `shutdown` request; checked by the acceptor and the
     /// event forwarders.
     stopping: AtomicBool,
@@ -90,7 +109,7 @@ impl Shared {
 }
 
 /// A bound, not-yet-running `ltc-proto v1` server over one
-/// [`ServiceHandle`]. [`LtcServer::run`] serves on the calling thread
+/// [`Session`]. [`LtcServer::run`] serves on the calling thread
 /// until a client requests shutdown; [`LtcServer::spawn`] does the same
 /// on a background thread (tests, and anything that needs the bound
 /// address before serving).
@@ -117,8 +136,8 @@ impl RunningServer {
     /// Idempotent with a client-sent `shutdown`.
     pub fn stop(self) -> io::Result<()> {
         {
-            let mut session = self.shared.session.lock().unwrap();
-            session.close().ok();
+            let mut session = lock_recovering(&self.shared.session);
+            session.shutdown().ok();
         }
         self.shared.stop();
         self.join
@@ -136,15 +155,20 @@ impl RunningServer {
 }
 
 impl LtcServer {
-    /// Binds the listener. `addr` may use port 0; read the resolved
+    /// Binds the listener over any [`Session`] implementation — the
+    /// in-process handle, or a wrapper (durability, instrumentation)
+    /// layered over it. `addr` may use port 0; read the resolved
     /// address back with [`LtcServer::local_addr`].
-    pub fn bind(addr: impl ToSocketAddrs, handle: ServiceHandle) -> io::Result<Self> {
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        session: impl Session + Send + 'static,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         Ok(Self {
             listener,
             shared: Arc::new(Shared {
-                session: Mutex::new(handle),
+                session: Mutex::new(Box::new(session)),
                 stopping: AtomicBool::new(false),
                 addr,
             }),
@@ -206,7 +230,7 @@ fn serve_connection(conn: TcpStream, shared: Arc<Shared>) {
     converse(&mut reader, &writer, &gone, &shared, &mut forwarder);
 
     gone.store(true, Ordering::SeqCst);
-    writer.lock().unwrap().shutdown(Shutdown::Both).ok();
+    lock_recovering(&writer).shutdown(Shutdown::Both).ok();
     if let Some(join) = forwarder {
         join.join().ok();
     }
@@ -227,7 +251,7 @@ fn converse(
     };
     let reply = match wire::decode_hello(&hello) {
         Ok(wire::PROTO_VERSION) => {
-            let session = shared.session.lock().unwrap();
+            let session = lock_recovering(&shared.session);
             Response::Hello {
                 info: session.info(),
             }
@@ -290,7 +314,7 @@ fn write_response(writer: &Arc<Mutex<TcpStream>>, response: &Response) -> io::Re
         }
         .encode();
     }
-    let mut stream = writer.lock().unwrap();
+    let mut stream = lock_recovering(writer);
     wire::write_frame(&mut *stream, &frame)
 }
 
@@ -313,14 +337,14 @@ fn execute(
 ) -> (Response, bool) {
     let response = match request {
         Request::Submit { worker } => {
-            let mut session = shared.session.lock().unwrap();
+            let mut session = lock_recovering(&shared.session);
             match session.submit_worker(worker) {
                 Ok(worker) => Response::Submit { worker },
                 Err(e) => err_response(e),
             }
         }
         Request::Post { task, row } => {
-            let mut session = shared.session.lock().unwrap();
+            let mut session = lock_recovering(&shared.session);
             let posted = match row {
                 None => session.post_task(*task),
                 Some(row) => session.post_task_with_accuracies(*task, row),
@@ -335,7 +359,7 @@ fn execute(
                 return (Response::Subscribe, false); // idempotent per connection
             }
             let stream = {
-                let mut session = shared.session.lock().unwrap();
+                let mut session = lock_recovering(&shared.session);
                 match session.subscribe() {
                     Ok(stream) => stream,
                     Err(e) => return (err_response(e), false),
@@ -350,7 +374,7 @@ fn execute(
                     match stream.recv_timeout(FORWARDER_POLL) {
                         Some(event) => {
                             let frame = wire::encode_event(&event);
-                            let mut sock = writer.lock().unwrap();
+                            let mut sock = lock_recovering(&writer);
                             if wire::write_frame(&mut *sock, &frame).is_err() {
                                 return;
                             }
@@ -364,7 +388,7 @@ fn execute(
                             {
                                 while let Some(event) = stream.try_recv() {
                                     let frame = wire::encode_event(&event);
-                                    let mut sock = writer.lock().unwrap();
+                                    let mut sock = lock_recovering(&writer);
                                     if wire::write_frame(&mut *sock, &frame).is_err() {
                                         return;
                                     }
@@ -386,14 +410,14 @@ fn execute(
             }
         }
         Request::Drain => {
-            let mut session = shared.session.lock().unwrap();
+            let mut session = lock_recovering(&shared.session);
             match session.drain() {
                 Ok(()) => Response::Drain,
                 Err(e) => err_response(e),
             }
         }
         Request::Snapshot => {
-            let mut session = shared.session.lock().unwrap();
+            let mut session = lock_recovering(&shared.session);
             match session.snapshot() {
                 Ok(snapshot) => {
                     let mut text = Vec::new();
@@ -411,14 +435,14 @@ fn execute(
             }
         }
         Request::Rebalance => {
-            let mut session = shared.session.lock().unwrap();
+            let mut session = lock_recovering(&shared.session);
             match session.rebalance() {
                 Ok(outcome) => Response::Rebalance { outcome },
                 Err(e) => err_response(e),
             }
         }
         Request::Metrics => {
-            let mut session = shared.session.lock().unwrap();
+            let mut session = lock_recovering(&shared.session);
             match session.metrics() {
                 Ok(metrics) => Response::Metrics { metrics },
                 Err(e) => err_response(e),
@@ -426,8 +450,8 @@ fn execute(
         }
         Request::Shutdown => {
             let result = {
-                let mut session = shared.session.lock().unwrap();
-                session.close()
+                let mut session = lock_recovering(&shared.session);
+                session.shutdown()
             };
             return match result {
                 Ok(()) => (Response::Shutdown, true),
@@ -436,4 +460,59 @@ fn execute(
         }
     };
     (response, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::LtcClient;
+    use ltc_core::model::{ProblemParams, Worker};
+    use ltc_core::service::ServiceBuilder;
+    use ltc_spatial::{BoundingBox, Point};
+
+    fn test_session() -> ltc_core::service::ServiceHandle {
+        let params = ProblemParams::builder()
+            .epsilon(0.3)
+            .capacity(1)
+            .build()
+            .unwrap();
+        let region = BoundingBox::new(Point::ORIGIN, Point::new(100.0, 100.0));
+        ServiceBuilder::new(params, region).start().unwrap()
+    }
+
+    /// Regression: a connection thread panicking while it holds the
+    /// session lock used to poison the mutex for good — every later
+    /// request on every other connection died unwrapping it. The lock
+    /// must recover so only the offending connection fails.
+    #[test]
+    fn a_poisoned_session_mutex_does_not_wedge_other_clients() {
+        let server = LtcServer::bind("127.0.0.1:0", test_session()).unwrap();
+        let shared = Arc::clone(&server.shared);
+        let running = server.spawn().unwrap();
+
+        // Simulate the offending connection: panic while holding the
+        // session lock, exactly as a request handler would.
+        let poisoner = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("poisoner".into())
+            .spawn(move || {
+                let _guard = poisoner.session.lock().unwrap();
+                panic!("connection thread dies mid-request");
+            })
+            .unwrap()
+            .join()
+            .unwrap_err();
+        assert!(shared.session.is_poisoned());
+
+        // Every later client must still get served, end to end.
+        let mut client = LtcClient::connect(running.addr()).unwrap();
+        let id = client
+            .submit_worker(&Worker::new(Point::new(1.0, 1.0), 0.9))
+            .unwrap();
+        assert_eq!(id.0, 0);
+        let metrics = client.metrics().unwrap();
+        assert_eq!(metrics.n_workers_seen, 1);
+        client.shutdown().unwrap();
+        running.wait().unwrap();
+    }
 }

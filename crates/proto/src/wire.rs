@@ -55,11 +55,18 @@ pub const MAX_FRAME: usize = 1 << 26;
 /// A decode failure: what was wrong with the offending frame.
 pub type WireError = String;
 
-fn hex(v: f64) -> String {
+/// Renders an `f64` as its 16-hex-digit IEEE-754 bit pattern — the
+/// `ltc-snapshot v1` / `ltc-proto v1` exactness convention, shared by
+/// every layer that persists or transmits floats (the `ltc-durable`
+/// write-ahead log reuses it verbatim).
+pub fn hex(v: f64) -> String {
     format!("{:016x}", v.to_bits())
 }
 
-fn unhex(field: &'static str, v: Option<&Json>) -> Result<f64, WireError> {
+/// Parses a [`hex`]-rendered bit pattern back into the identical `f64`,
+/// rejecting anything that is not exactly 16 hex digits inside a JSON
+/// string.
+pub fn unhex(field: &'static str, v: Option<&Json>) -> Result<f64, WireError> {
     let s = v
         .and_then(Json::as_str)
         .ok_or_else(|| format!("missing or non-string `{field}`"))?;
@@ -445,9 +452,13 @@ impl Response {
                 );
                 push_u64_array(&mut out, "loads", &m.shard_loads);
                 match m.latency {
-                    Some(l) => out.push_str(&format!(",\"latency\":{l}}}")),
-                    None => out.push_str(",\"latency\":null}"),
+                    Some(l) => out.push_str(&format!(",\"latency\":{l}")),
+                    None => out.push_str(",\"latency\":null"),
                 }
+                out.push_str(&format!(
+                    ",\"wal\":{},\"checkpoints\":{}}}",
+                    m.wal_records, m.checkpoints
+                ));
                 out
             }
             Response::Shutdown => "{\"ok\":\"shutdown\"}".into(),
@@ -518,6 +529,10 @@ impl Response {
                         Some(Json::Null) => None,
                         other => Some(uint("latency", other)?),
                     },
+                    // Added after v1 shipped: absent on frames from
+                    // older peers, so default rather than reject.
+                    wal_records: v.get("wal").and_then(Json::as_u64).unwrap_or(0),
+                    checkpoints: v.get("checkpoints").and_then(Json::as_u64).unwrap_or(0),
                 },
             }),
             "shutdown" => Ok(Response::Shutdown),
@@ -583,6 +598,9 @@ pub fn encode_event(event: &StreamEvent) -> String {
                  \"max\":{max_load},\"mean\":\"{}\"}}",
                 hex(*mean_load)
             ),
+            Lifecycle::Checkpointed { seq } => {
+                format!("{{\"ev\":\"life\",\"kind\":\"checkpointed\",\"seq\":{seq}}}")
+            }
             Lifecycle::ShuttingDown => "{\"ev\":\"life\",\"kind\":\"bye\"}".into(),
         },
     }
@@ -635,6 +653,9 @@ pub fn decode_event(frame: &str) -> Result<StreamEvent, WireError> {
                 moved_tasks: uint("moved", v.get("moved"))?,
                 max_load: uint("max", v.get("max"))?,
                 mean_load: unhex("mean", v.get("mean"))?,
+            },
+            "checkpointed" => Lifecycle::Checkpointed {
+                seq: uint("seq", v.get("seq"))?,
             },
             "bye" => Lifecycle::ShuttingDown,
             other => return Err(format!("unknown lifecycle kind `{other}`")),
@@ -719,6 +740,8 @@ mod tests {
                     rebalances: 1,
                     shard_loads: vec![0, 0],
                     latency: Some(97),
+                    wal_records: 1234,
+                    checkpoints: 5,
                 },
             },
             Response::Metrics {
@@ -771,12 +794,30 @@ mod tests {
                 max_load: 3,
                 mean_load: 2.5,
             }),
+            StreamEvent::Lifecycle(Lifecycle::Checkpointed { seq: u64::MAX }),
             StreamEvent::Lifecycle(Lifecycle::ShuttingDown),
         ];
         for event in cases {
             let frame = encode_event(&event);
             assert!(is_event_frame(&frame), "{frame}");
             assert_eq!(decode_event(&frame).unwrap(), event, "{frame}");
+        }
+    }
+
+    #[test]
+    fn metrics_frames_without_durability_fields_still_decode() {
+        // A pre-durability v1 peer omits `wal`/`checkpoints`; the
+        // compatibility policy (ignore unknown, default absent) makes
+        // that a zero, not an error.
+        let frame = "{\"ok\":\"metrics\",\"workers\":1,\"assignments\":0,\"tasks\":0,\
+                     \"completed\":0,\"clamped\":0,\"rebalances\":0,\"loads\":[0],\
+                     \"latency\":null}";
+        match Response::decode(frame).unwrap() {
+            Response::Metrics { metrics } => {
+                assert_eq!(metrics.wal_records, 0);
+                assert_eq!(metrics.checkpoints, 0);
+            }
+            other => panic!("decoded {other:?}"),
         }
     }
 
