@@ -13,8 +13,8 @@
 
 use ltc_bench::{BenchReport, Row};
 use ltc_core::model::Instance;
-use ltc_core::service::{Algorithm, ServiceBuilder, ServiceHandle, Session};
-use ltc_proto::{LtcClient, LtcServer};
+use ltc_core::service::{Algorithm, ServiceBuilder, ServiceError, ServiceHandle, Session};
+use ltc_proto::{LtcClient, LtcServer, SessionConfig, SessionFactory, SessionTable};
 use std::num::NonZeroUsize;
 use std::time::Instant;
 
@@ -79,6 +79,68 @@ fn run_remote_lockstep(instance: &Instance, shards: usize, stop_at: u64) -> Meas
         assignments: metrics.n_assignments,
         secs,
     }
+}
+
+/// Per-verb cost of the `ltc-proto v2` session lifecycle against a
+/// loopback multi-session server. `open` is the expensive verb — it
+/// spawns a whole service (shard threads, engine loaded with the
+/// template instance) behind a fresh name; `close` quiesces and
+/// removes it. One open + close pair per cycle, each verb timed
+/// separately; the untimed re-attach to the default session between
+/// them keeps the connection bound to a live session throughout.
+fn run_session_lifecycle(instance: &Instance, cycles: u64) -> (f64, f64) {
+    let template = ServiceBuilder::from_instance(instance).algorithm(Algorithm::Laf);
+    let factory: SessionFactory = {
+        let template = template.clone();
+        Box::new(move |config: &SessionConfig| {
+            let mut builder = template.clone();
+            if let Some(algo) = config.algorithm {
+                builder = builder.algorithm(algo);
+            }
+            if let Some(shards) = config.shards {
+                let shards = NonZeroUsize::new(shards)
+                    .ok_or_else(|| ServiceError::Session("0 shards".into()))?;
+                builder = builder.shards(shards);
+            }
+            if let Some(region) = config.region {
+                builder = builder.region(region);
+            }
+            Ok(Box::new(builder.start()?))
+        })
+    };
+    let table = SessionTable::with_factory(
+        template.start().expect("default session starts"),
+        factory,
+        2,
+        None,
+    );
+    let server = LtcServer::bind_table("127.0.0.1:0", table)
+        .expect("bind loopback")
+        .spawn()
+        .expect("spawn server");
+    let mut client = LtcClient::connect_v2(server.addr()).expect("connect v2");
+    let config = SessionConfig::default();
+    let (mut open_secs, mut close_secs) = (0.0, 0.0);
+    for i in 0..cycles {
+        let sid = format!("bench-{i}");
+        let t = Instant::now();
+        client.open_session(&sid, &config).expect("open");
+        open_secs += t.elapsed().as_secs_f64();
+        client.attach_session("default").expect("attach default");
+        let t = Instant::now();
+        client.close_session(&sid).expect("close");
+        close_secs += t.elapsed().as_secs_f64();
+    }
+    client.shutdown().expect("shutdown");
+    server.wait().expect("server stops");
+    (open_secs, close_secs)
+}
+
+fn session_row(name: &str, cycles: u64, secs: f64) -> Row {
+    Row::new(name)
+        .field("cycles", cycles)
+        .field("secs", secs)
+        .field("us_per_op", 1e6 * secs / cycles.max(1) as f64)
 }
 
 fn report(label: &str, m: &Measurement) {
@@ -148,6 +210,16 @@ fn main() {
             &remote,
         ));
     }
+    let cycles = 32;
+    let (open_secs, close_secs) = run_session_lifecycle(&instance, cycles);
+    println!(
+        "  session lifecycle ({cycles} open+close cycles): \
+         open {:.1} µs/op, close {:.1} µs/op",
+        1e6 * open_secs / cycles as f64,
+        1e6 * close_secs / cycles as f64,
+    );
+    json.push_row(session_row("session-open", cycles, open_secs));
+    json.push_row(session_row("session-close", cycles, close_secs));
     if let Some(path) = out_path {
         json.write_to(&path)
             .unwrap_or_else(|e| panic!("writing {} failed: {e}", path.display()));

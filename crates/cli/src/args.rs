@@ -11,18 +11,21 @@ USAGE:
                [--epsilon E] [--out FILE]
   ltc run      --input FILE --algo <aam|laf|random|mcf-ltc|base-off> [--stats]
   ltc stream   ( --input FILE --algo <aam|laf|random> [--seed S] [--shards N]
-               | --connect HOST:PORT )
+               | --connect HOST:PORT [--session NAME] )
                [--checkins FILE] [--pipeline D] [--rebalance N]
                [--snapshot-out FILE] [--metrics-out FILE]
   ltc snapshot ( --input FILE --algo <aam|laf|random> [--seed S] [--shards N]
-               | --connect HOST:PORT ) --out FILE
+               | --connect HOST:PORT [--session NAME] ) --out FILE
                [--checkins FILE] [--pipeline D] [--rebalance N]
                [--metrics-out FILE]
   ltc resume   --snapshot FILE [--checkins FILE] [--pipeline D]
                [--rebalance N] [--snapshot-out FILE] [--metrics-out FILE]
   ltc serve    --input FILE --algo <aam|laf|random> --addr HOST:PORT
-               [--seed S] [--shards N] [--wal DIR [--sync POLICY]
+               [--seed S] [--shards N]
+               [--max-sessions N [--idle-timeout SECS]]
+               [--wal DIR [--sync POLICY]
                [--checkpoint-every N] [--checkpoint-format text|binary]]
+  ltc sessions --connect HOST:PORT
   ltc recover  --wal DIR [--snapshot-out FILE]
   ltc exact    --input FILE [--budget NODES]
   ltc simulate --input FILE --algo <...> [--trials N] [--seed S]
@@ -62,7 +65,7 @@ writes one machine-readable JSON line of final service metrics
 (assignments, clamped insertions, rebalances, per-shard load) for bench
 harnesses.
 
-`serve` exposes the same session over TCP (`ltc-proto v1`, see
+`serve` exposes the same session over TCP (`ltc-proto`, see
 docs/PROTOCOL.md): it builds the service from --input exactly like
 `stream` would, listens on --addr (port 0 picks a free port; the bound
 address is printed first), and serves any number of concurrent clients
@@ -72,6 +75,19 @@ until one sends a shutdown. `stream --connect HOST:PORT` (and `snapshot
 --shards/--seed, which the server already owns. A snapshot taken over
 --connect is produced server-side at a quiesced point and written
 locally.
+
+`serve --max-sessions N` turns the server multi-session (`ltc-proto
+v2`): clients may open up to N named sessions (the default session
+included), each its own fresh service built from the --input template
+with optional per-session algorithm/seed/shards/region overrides, each
+with an independent lifecycle. `--idle-timeout SECS` evicts non-default
+sessions with no connected client that have been idle at least SECS
+seconds (subscribers of an evicted session see a `SessionEvicted`
+lifecycle event before their stream ends). `stream --connect --session
+NAME` binds the stream to the named session, opening it if it does not
+exist yet; `ltc sessions --connect` lists a server's live sessions, one
+NDJSON line each. Without --max-sessions the server carries exactly its
+one default session (the v1 serving model; `open` is refused).
 
 `serve --wal DIR` makes the served session durable (docs/DURABILITY.md):
 every state-changing request is appended to a write-ahead log in DIR
@@ -236,6 +252,9 @@ pub enum StreamSource {
     Connect {
         /// The server address (`HOST:PORT`).
         addr: String,
+        /// Named session to bind on a multi-session server (opened on
+        /// first use; `None` = the default session, plain `ltc-proto v1`).
+        session: Option<String>,
     },
 }
 
@@ -313,8 +332,21 @@ pub enum Command {
         shards: usize,
         /// The address to listen on (`HOST:PORT`; port 0 picks one).
         addr: String,
+        /// Session capacity: 1 = the fixed single-session server
+        /// (`open` refused), N > 1 = clients may open named sessions
+        /// up to this many (the default session counts).
+        max_sessions: usize,
+        /// Evict non-default sessions with no attached client after
+        /// this many idle seconds (`None` = never; requires a
+        /// multi-session server).
+        idle_timeout: Option<u64>,
         /// Durability options (`None` = serve without a WAL).
         wal: Option<WalChoice>,
+    },
+    /// `ltc sessions`.
+    Sessions {
+        /// The server address (`HOST:PORT`).
+        addr: String,
     },
     /// `ltc recover`.
     Recover {
@@ -465,6 +497,7 @@ impl Command {
                         "--input",
                         "--algo",
                         "--connect",
+                        "--session",
                         "--checkins",
                         "--seed",
                         "--shards",
@@ -478,6 +511,7 @@ impl Command {
                         "--input",
                         "--algo",
                         "--connect",
+                        "--session",
                         "--checkins",
                         "--seed",
                         "--shards",
@@ -538,6 +572,8 @@ impl Command {
                     "--addr",
                     "--seed",
                     "--shards",
+                    "--max-sessions",
+                    "--idle-timeout",
                     "--wal",
                     "--sync",
                     "--checkpoint-every",
@@ -552,6 +588,17 @@ impl Command {
                 else {
                     unreachable!("serve does not accept --connect");
                 };
+                let (max_sessions, idle_timeout) = parse_sessions(&mut flags)?;
+                let wal = parse_wal(&mut flags)?;
+                if max_sessions > 1 && wal.is_some() {
+                    // Only the default session could be durable; refusing
+                    // beats silently serving mixed durability guarantees.
+                    return Err(ParseError(
+                        "--max-sessions does not combine with --wal (dynamically opened \
+                         sessions would not be durable)"
+                            .into(),
+                    ));
+                }
                 Ok(Command::Serve {
                     input,
                     algo,
@@ -561,7 +608,18 @@ impl Command {
                         .value("--addr")?
                         .ok_or_else(|| ParseError("serve requires --addr HOST:PORT".into()))?
                         .to_string(),
-                    wal: parse_wal(&mut flags)?,
+                    max_sessions,
+                    idle_timeout,
+                    wal,
+                })
+            }
+            "sessions" => {
+                flags.reject_unknown(&["--connect"])?;
+                Ok(Command::Sessions {
+                    addr: flags
+                        .value("--connect")?
+                        .ok_or_else(|| ParseError("sessions requires --connect HOST:PORT".into()))?
+                        .to_string(),
                 })
             }
             "recover" => {
@@ -630,7 +688,13 @@ fn parse_stream_source(flags: &mut Flags<'_>, cmd: &str) -> Result<StreamSource,
         }
         return Ok(StreamSource::Connect {
             addr: addr.to_string(),
+            session: flags.value("--session")?.map(str::to_string),
         });
+    }
+    if flags.present("--session") {
+        return Err(ParseError(
+            "--session names a session on a remote server; it requires --connect".into(),
+        ));
     }
     let algo = AlgoChoice::parse(
         flags
@@ -659,6 +723,41 @@ fn parse_stream_source(flags: &mut Flags<'_>, cmd: &str) -> Result<StreamSource,
         },
         shards,
     })
+}
+
+/// The `--max-sessions N [--idle-timeout SECS]` group of `serve`.
+/// `--idle-timeout` is only meaningful on a multi-session server (the
+/// default session is never evicted); given without `--max-sessions`
+/// it would silently do nothing, so that is an error.
+fn parse_sessions(flags: &mut Flags<'_>) -> Result<(usize, Option<u64>), ParseError> {
+    let max_sessions = match flags.value("--max-sessions")? {
+        Some(v) => {
+            let n = parse_num::<usize>(v, "session capacity")?;
+            if n == 0 {
+                return Err(ParseError("--max-sessions must be positive".into()));
+            }
+            n
+        }
+        None => 1,
+    };
+    let idle_timeout = match flags.value("--idle-timeout")? {
+        Some(v) => {
+            if max_sessions <= 1 {
+                return Err(ParseError(
+                    "--idle-timeout requires --max-sessions N (N > 1); a single-session \
+                     server never evicts its default session"
+                        .into(),
+                ));
+            }
+            let secs = parse_num::<u64>(v, "idle timeout")?;
+            if secs == 0 {
+                return Err(ParseError("--idle-timeout must be positive".into()));
+            }
+            Some(secs)
+        }
+        None => None,
+    };
+    Ok((max_sessions, idle_timeout))
 }
 
 /// The `--wal DIR [--sync POLICY] [--checkpoint-every N]
@@ -879,6 +978,7 @@ mod tests {
             Command::Stream {
                 source: StreamSource::Connect {
                     addr: "127.0.0.1:7171".into(),
+                    session: None,
                 },
                 checkins: Some("c.tsv".into()),
                 pipeline: 1,
@@ -924,6 +1024,8 @@ mod tests {
                 seed: 9,
                 shards: 4,
                 addr: "127.0.0.1:0".into(),
+                max_sessions: 1,
+                idle_timeout: None,
                 wal: None,
             }
         );
@@ -936,6 +1038,53 @@ mod tests {
             .is_err(),
             "serve requires an online algorithm"
         );
+    }
+
+    #[test]
+    fn serve_session_group_parses_and_validates() {
+        let cmd = Command::parse(&argv(
+            "serve --input x.tsv --algo laf --addr 127.0.0.1:0 --max-sessions 8 --idle-timeout 30",
+        ))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Serve {
+                max_sessions: 8,
+                idle_timeout: Some(30),
+                ..
+            }
+        ));
+        for bad in [
+            // Idle eviction is meaningless on a single-session server.
+            "serve --input x.tsv --algo laf --addr 127.0.0.1:0 --idle-timeout 30",
+            "serve --input x.tsv --algo laf --addr 127.0.0.1:0 --max-sessions 1 --idle-timeout 30",
+            "serve --input x.tsv --algo laf --addr 127.0.0.1:0 --max-sessions 0",
+            "serve --input x.tsv --algo laf --addr 127.0.0.1:0 --max-sessions 2 --idle-timeout 0",
+            // Dynamically opened sessions would not be durable.
+            "serve --input x.tsv --algo laf --addr 127.0.0.1:0 --max-sessions 2 --wal w",
+        ] {
+            assert!(Command::parse(&argv(bad)).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn stream_session_flag_requires_connect_and_sessions_parses() {
+        let cmd = Command::parse(&argv("stream --connect 127.0.0.1:7171 --session west")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Stream {
+                source: StreamSource::Connect { ref session, .. },
+                ..
+            } if session.as_deref() == Some("west")
+        ));
+        assert!(Command::parse(&argv("stream --input x.tsv --algo laf --session west")).is_err());
+        assert_eq!(
+            Command::parse(&argv("sessions --connect 127.0.0.1:7171")).unwrap(),
+            Command::Sessions {
+                addr: "127.0.0.1:7171".into(),
+            }
+        );
+        assert!(Command::parse(&argv("sessions")).is_err());
     }
 
     #[test]

@@ -9,12 +9,12 @@ use ltc_core::model::{Instance, RunOutcome, Worker};
 use ltc_core::offline::{BaseOff, ExactSolver, McfLtc};
 use ltc_core::online::{run_online, Aam, Laf, RandomAssign};
 use ltc_core::service::{
-    Algorithm, Event, EventStream, ServiceBuilder, ServiceHandle, ServiceMetrics, Session,
-    StreamEvent,
+    Algorithm, Event, EventStream, ServiceBuilder, ServiceError, ServiceHandle, ServiceMetrics,
+    Session, StreamEvent,
 };
 use ltc_core::snapshot as snapshot_format;
 use ltc_durable::{DurableHandle, DurableOptions, SnapshotFormat, SyncPolicy};
-use ltc_proto::{LtcClient, LtcServer};
+use ltc_proto::{LtcClient, LtcServer, SessionConfig, SessionFactory, SessionTable};
 use ltc_sim::{infer_em, infer_majority, simulate, AnswerSet, EmConfig, GroundTruth};
 use ltc_spatial::Point;
 use ltc_workload::{dataset, CheckinCityConfig, SyntheticConfig};
@@ -74,8 +74,21 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
             seed,
             shards,
             addr,
+            max_sessions,
+            idle_timeout,
             wal,
-        } => serve_cmd(&input, algo, seed, shards, &addr, wal, out),
+        } => serve_cmd(
+            &input,
+            algo,
+            seed,
+            shards,
+            &addr,
+            max_sessions,
+            idle_timeout,
+            wal,
+            out,
+        ),
+        Command::Sessions { addr } => sessions_cmd(&addr, out),
         Command::Recover { wal, snapshot_out } => recover_cmd(&wal, snapshot_out.as_deref(), out),
         Command::Exact { input, budget } => exact(&input, budget, out),
         Command::Simulate {
@@ -320,9 +333,13 @@ fn stream_cmd(
             seed,
             shards,
         } => Box::new(start_dataset_session(input, *algo, *seed, *shards)?),
-        StreamSource::Connect { addr } => Box::new(
-            LtcClient::connect(addr.as_str()).map_err(|e| format!("cannot reach `{addr}`: {e}"))?,
-        ),
+        StreamSource::Connect { addr, session } => match session {
+            None => Box::new(
+                LtcClient::connect(addr.as_str())
+                    .map_err(|e| format!("cannot reach `{addr}`: {e}"))?,
+            ),
+            Some(name) => Box::new(connect_session(addr, name)?),
+        },
     };
     drive_stream(
         session.as_mut(),
@@ -379,31 +396,85 @@ fn durable_options(choice: &WalChoice) -> DurableOptions {
     }
 }
 
+/// Builds the session factory a multi-session server opens named
+/// sessions through: every session starts from the serve command's
+/// dataset template (same problem parameters, region, tasks) with the
+/// open request's algorithm/shard/region overrides applied.
+fn session_factory(template: ServiceBuilder) -> SessionFactory {
+    Box::new(move |config: &SessionConfig| {
+        let mut builder = template.clone();
+        if let Some(algorithm) = config.algorithm {
+            builder = builder.algorithm(algorithm);
+        }
+        if let Some(shards) = config.shards {
+            let shards = NonZeroUsize::new(shards)
+                .ok_or_else(|| ServiceError::Session("shards must be positive".into()))?;
+            builder = builder.shards(shards);
+        }
+        if let Some(region) = config.region {
+            builder = builder.region(region);
+        }
+        Ok(Box::new(builder.start()?))
+    })
+}
+
 /// `ltc serve`: build the service exactly like `stream --input` would
-/// and expose it over TCP (`ltc-proto v1`) until a client requests
+/// and expose it over TCP (`ltc-proto`) until a client requests
 /// shutdown. The bound address is printed (and flushed) first, so
 /// scripts may bind port 0 and read the real port back.
+///
+/// With `--max-sessions N` the server carries a [`SessionTable`] with a
+/// factory: `ltc-proto v2` clients may open up to N named sessions,
+/// each a fresh service built from the dataset template. Idle evictions
+/// (`--idle-timeout`) are announced as NDJSON lines on **stderr** (the
+/// stdout NDJSON stream belongs to the banner protocol, and the
+/// eviction fires on the reaper thread).
 ///
 /// With `--wal DIR` the session is wrapped in a
 /// [`DurableHandle`]: a fresh directory is initialized from the
 /// dataset, while a directory that already holds a log is *resumed* —
 /// recovered, replayed, re-checkpointed — and `--input` is only used
 /// if the directory is fresh.
+#[allow(clippy::too_many_arguments)]
 fn serve_cmd(
     input: &str,
     algo: AlgoChoice,
     seed: u64,
     shards: usize,
     addr: &str,
+    max_sessions: usize,
+    idle_timeout: Option<u64>,
     wal: Option<WalChoice>,
     out: &mut dyn Write,
 ) -> CmdResult {
     let bind_failed = |e: std::io::Error| format!("cannot bind `{addr}`: {e}");
-    let (server, n_shards, n_tasks, wal_note) = match &wal {
+    let (server, n_shards, n_tasks, mut notes) = match &wal {
         None => {
-            let handle = start_dataset_session(input, algo, seed, shards)?;
+            let instance = load(input)?;
+            let template = ServiceBuilder::from_instance(&instance)
+                .algorithm(service_algorithm(algo, seed))
+                .shards(NonZeroUsize::new(shards).ok_or("--shards must be positive")?);
+            let handle = template.clone().start()?;
             let (n_shards, n_tasks) = (handle.n_shards(), handle.n_tasks() as u64);
-            let server = LtcServer::bind(addr, handle).map_err(bind_failed)?;
+            let server = if max_sessions > 1 {
+                let table = SessionTable::with_factory(
+                    handle,
+                    session_factory(template),
+                    max_sessions,
+                    idle_timeout.map(std::time::Duration::from_secs),
+                )
+                .on_evict(|sid| {
+                    let mut line = String::from("{\"session_evicted\":true,\"sid\":");
+                    ltc_proto::json::push_escaped(&mut line, sid);
+                    line.push('}');
+                    let mut err = std::io::stderr().lock();
+                    writeln!(err, "{line}").ok();
+                });
+                LtcServer::bind_table(addr, table)
+            } else {
+                LtcServer::bind(addr, handle)
+            }
+            .map_err(bind_failed)?;
             (server, n_shards, n_tasks, String::new())
         }
         Some(choice) => {
@@ -427,16 +498,68 @@ fn serve_cmd(
             (server, info.n_shards, info.n_tasks, wal_note)
         }
     };
+    if max_sessions > 1 {
+        notes.push_str(&format!(",\"max_sessions\":{max_sessions}"));
+        if let Some(secs) = idle_timeout {
+            notes.push_str(&format!(",\"idle_timeout_s\":{secs}"));
+        }
+    }
     writeln!(
         out,
         "{{\"serve\":true,\"addr\":\"{}\",\"algo\":\"{}\",\"shards\":{n_shards},\
-         \"tasks\":{n_tasks}{wal_note}}}",
+         \"tasks\":{n_tasks}{notes}}}",
         server.local_addr(),
         algo.name()
     )?;
     out.flush()?;
     server.run()?;
     writeln!(out, "{{\"serve_stopped\":true}}")?;
+    Ok(())
+}
+
+/// Connects an `ltc-proto v2` client bound to the named session,
+/// opening it (with the server's template configuration) if the server
+/// does not carry it yet. The open is raced against concurrent
+/// openers: losing the race falls back to attaching to the winner's
+/// session.
+fn connect_session(addr: &str, name: &str) -> Result<LtcClient, Box<dyn Error>> {
+    let mut client =
+        LtcClient::connect_v2(addr).map_err(|e| format!("cannot reach `{addr}`: {e}"))?;
+    if client.attach_session(name).is_ok() {
+        return Ok(client);
+    }
+    match client.open_session(name, &SessionConfig::default()) {
+        Ok(_) => Ok(client),
+        Err(open_err) => {
+            // A concurrent opener may have won the race after our
+            // attach probe; attaching to its session is the intent.
+            client
+                .attach_session(name)
+                .map_err(|_| format!("cannot bind session `{name}` on `{addr}`: {open_err}"))?;
+            Ok(client)
+        }
+    }
+}
+
+/// `ltc sessions`: list a server's live sessions, one NDJSON line per
+/// session (name order), plus a `sessions` summary line.
+fn sessions_cmd(addr: &str, out: &mut dyn Write) -> CmdResult {
+    let mut client =
+        LtcClient::connect_v2(addr).map_err(|e| format!("cannot reach `{addr}`: {e}"))?;
+    let sessions = client.list_sessions()?;
+    for stat in &sessions {
+        let mut line = String::from("{\"session\":");
+        ltc_proto::json::push_escaped(&mut line, &stat.sid);
+        line.push_str(&format!(
+            ",\"algo\":\"{}\",\"shards\":{},\"tasks\":{},\"attached\":{}}}",
+            stat.algorithm.name(),
+            stat.n_shards,
+            stat.n_tasks,
+            stat.attached
+        ));
+        writeln!(out, "{line}")?;
+    }
+    writeln!(out, "{{\"sessions\":true,\"open\":{}}}", sessions.len())?;
     Ok(())
 }
 
@@ -537,8 +660,8 @@ fn write_metrics_line(path: &str, algo: &str, m: &ServiceMetrics) -> CmdResult {
     }
     writeln!(
         file,
-        ",\"wal_records\":{},\"checkpoints\":{}}}",
-        m.wal_records, m.checkpoints
+        ",\"wal_records\":{},\"checkpoints\":{},\"sessions_open\":{},\"sessions_evicted\":{}}}",
+        m.wal_records, m.checkpoints, m.sessions_open, m.sessions_evicted
     )?;
     // Surface buffered-write failures (ENOSPC at drop time would
     // otherwise vanish and leave a truncated file behind an exit 0).
@@ -1165,64 +1288,73 @@ mod tests {
         std::fs::remove_file(&checkin_path).ok();
     }
 
-    #[test]
-    fn serve_command_round_trips_on_localhost() {
-        // End-to-end through the *CLI* serve command: bind port 0, read
-        // the printed address, drive a remote stream, shut the server
-        // down over the wire.
-        use std::io::Write as _;
-        use std::sync::mpsc;
-
-        let data_path = temp_path("serve_cmd.tsv");
-        let checkin_path = temp_path("serve_cmd_checkins.tsv");
-        write_parity_fixture(&data_path, &checkin_path);
-
-        /// Captures serve's output and hands the first line (the
-        /// address announcement) to the test the moment it is flushed.
-        struct AnnounceWriter {
-            buf: Vec<u8>,
-            first_line: Option<mpsc::Sender<String>>,
-        }
-        impl std::io::Write for AnnounceWriter {
-            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
-                self.buf.extend_from_slice(data);
-                if self.buf.contains(&b'\n') {
-                    if let Some(tx) = self.first_line.take() {
-                        let line = String::from_utf8_lossy(&self.buf);
-                        tx.send(line.lines().next().unwrap_or("").to_string()).ok();
-                    }
+    /// Captures serve's output and hands the first line (the address
+    /// announcement) to the test the moment it is flushed.
+    struct AnnounceWriter {
+        buf: Vec<u8>,
+        first_line: Option<std::sync::mpsc::Sender<String>>,
+    }
+    impl std::io::Write for AnnounceWriter {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.buf.extend_from_slice(data);
+            if self.buf.contains(&b'\n') {
+                if let Some(tx) = self.first_line.take() {
+                    let line = String::from_utf8_lossy(&self.buf);
+                    tx.send(line.lines().next().unwrap_or("").to_string()).ok();
                 }
-                Ok(data.len())
             }
-            fn flush(&mut self) -> std::io::Result<()> {
-                Ok(())
-            }
+            Ok(data.len())
         }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
 
-        let (tx, rx) = mpsc::channel();
-        let serve_args: Vec<String> =
-            format!("serve --input {data_path} --algo laf --shards 2 --addr 127.0.0.1:0")
-                .split_whitespace()
-                .map(str::to_string)
-                .collect();
+    /// Runs an `ltc serve` command line on a background thread and
+    /// returns its announce line (with the resolved `--addr 0` port)
+    /// plus the join handle yielding `(exit code, full output)`.
+    fn spawn_serve_cli(line: &str) -> (String, std::thread::JoinHandle<(i32, String)>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let argv: Vec<String> = line.split_whitespace().map(str::to_string).collect();
         let serve_thread = std::thread::spawn(move || {
             let mut out = AnnounceWriter {
                 buf: Vec::new(),
                 first_line: Some(tx),
             };
-            let code = crate::run(&serve_args, &mut out);
+            let code = crate::run(&argv, &mut out);
             (code, String::from_utf8_lossy(&out.buf).into_owned())
         });
         let announce = rx
             .recv_timeout(std::time::Duration::from_secs(30))
             .expect("serve must announce its address");
         assert!(announce.contains("\"serve\":true"), "{announce}");
-        let addr = announce
+        (announce, serve_thread)
+    }
+
+    fn announced_addr(announce: &str) -> String {
+        announce
             .split("\"addr\":\"")
             .nth(1)
             .and_then(|rest| rest.split('\"').next())
             .expect("address in the announce line")
-            .to_string();
+            .to_string()
+    }
+
+    #[test]
+    fn serve_command_round_trips_on_localhost() {
+        // End-to-end through the *CLI* serve command: bind port 0, read
+        // the printed address, drive a remote stream, shut the server
+        // down over the wire.
+        use std::io::Write as _;
+
+        let data_path = temp_path("serve_cmd.tsv");
+        let checkin_path = temp_path("serve_cmd_checkins.tsv");
+        write_parity_fixture(&data_path, &checkin_path);
+
+        let (announce, serve_thread) = spawn_serve_cli(&format!(
+            "serve --input {data_path} --algo laf --shards 2 --addr 127.0.0.1:0"
+        ));
+        let addr = announced_addr(&announce);
 
         let (code, out) = run_cli(&format!(
             "stream --connect {addr} --checkins {checkin_path}"
@@ -1240,6 +1372,81 @@ mod tests {
         let _ = std::io::sink().flush();
         std::fs::remove_file(&data_path).ok();
         std::fs::remove_file(&checkin_path).ok();
+    }
+
+    #[test]
+    fn multi_session_serve_isolates_sessions_and_lists_them() {
+        // Two named sessions on one `serve --max-sessions` process,
+        // each driven through `stream --connect --session`, must emit
+        // NDJSON byte-identical to dedicated in-process runs over the
+        // same dataset template (fresh arrival ids, no cross-session
+        // event leakage — a leaked completion would corrupt the other
+        // session's summary counters), and `ltc sessions` must list
+        // them.
+        let data_path = temp_path("multi_session.tsv");
+        let a_checkins = temp_path("multi_session_a.tsv");
+        let b_checkins = temp_path("multi_session_b.tsv");
+        write_parity_fixture(&data_path, &a_checkins);
+        let mut b = String::new();
+        for i in 0..60 {
+            b.push_str(&format!("{}\t6\t0.9{}\n", ((i * 3) % 8) * 100, i % 7));
+        }
+        std::fs::write(&b_checkins, &b).unwrap();
+
+        let (announce, serve_thread) = spawn_serve_cli(&format!(
+            "serve --input {data_path} --algo laf --addr 127.0.0.1:0 --max-sessions 3"
+        ));
+        assert!(announce.contains("\"max_sessions\":3"), "{announce}");
+        let addr = announced_addr(&announce);
+
+        let (code, west) = run_cli(&format!(
+            "stream --connect {addr} --session west --checkins {a_checkins}"
+        ));
+        assert_eq!(code, 0, "{west}");
+        let (code, east) = run_cli(&format!(
+            "stream --connect {addr} --session east --checkins {b_checkins}"
+        ));
+        assert_eq!(code, 0, "{east}");
+
+        let (code, base_a) = run_cli(&format!(
+            "stream --input {data_path} --algo laf --checkins {a_checkins}"
+        ));
+        assert_eq!(code, 0, "{base_a}");
+        let (code, base_b) = run_cli(&format!(
+            "stream --input {data_path} --algo laf --checkins {b_checkins}"
+        ));
+        assert_eq!(code, 0, "{base_b}");
+        assert_eq!(strip_elapsed(&west), strip_elapsed(&base_a));
+        assert_eq!(strip_elapsed(&east), strip_elapsed(&base_b));
+
+        // A rerun against an existing session *attaches* (arrival ids
+        // keep counting where the first run left them).
+        let (code, west2) = run_cli(&format!(
+            "stream --connect {addr} --session west --checkins {a_checkins}"
+        ));
+        assert_eq!(code, 0, "{west2}");
+        assert_ne!(strip_elapsed(&west2), strip_elapsed(&west));
+
+        let (code, listing) = run_cli(&format!("sessions --connect {addr}"));
+        assert_eq!(code, 0, "{listing}");
+        let lines: Vec<&str> = listing.lines().collect();
+        assert!(
+            lines[0].starts_with("{\"session\":\"default\""),
+            "{listing}"
+        );
+        assert!(lines[1].starts_with("{\"session\":\"east\""), "{listing}");
+        assert!(lines[2].starts_with("{\"session\":\"west\""), "{listing}");
+        assert_eq!(lines[3], "{\"sessions\":true,\"open\":3}", "{listing}");
+
+        use ltc_core::service::Session as _;
+        let mut closer = LtcClient::connect(addr.as_str()).unwrap();
+        closer.shutdown().unwrap();
+        let (code, serve_out) = serve_thread.join().unwrap();
+        assert_eq!(code, 0, "{serve_out}");
+        assert!(serve_out.contains("\"serve_stopped\":true"), "{serve_out}");
+        for p in [&data_path, &a_checkins, &b_checkins] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]
@@ -1316,7 +1523,8 @@ mod tests {
             line,
             "{\"metrics\":true,\"algo\":\"LAF\",\"workers\":3,\"assignments\":3,\
              \"tasks\":1,\"completed_tasks\":1,\"clamped_insertions\":0,\"rebalances\":0,\
-             \"shard_loads\":[0],\"latency\":3,\"wal_records\":0,\"checkpoints\":0}\n"
+             \"shard_loads\":[0],\"latency\":3,\"wal_records\":0,\"checkpoints\":0,\
+             \"sessions_open\":1,\"sessions_evicted\":0}\n"
         );
         for p in [&data_path, &checkin_path, &metrics_path] {
             std::fs::remove_file(p).ok();

@@ -116,6 +116,16 @@ impl ServiceBuilder {
         }
     }
 
+    /// Replaces the service region (the one [`ServiceBuilder::new`] or
+    /// [`ServiceBuilder::from_instance`] chose). Out-of-region work is
+    /// still handled exactly — the region only seeds the routing grid —
+    /// so this is a placement hint, not a correctness knob. A session
+    /// table uses it to give each hosted session its own region.
+    pub fn region(mut self, region: BoundingBox) -> Self {
+        self.region = region;
+        self
+    }
+
     /// Sets the online policy (default [`Algorithm::Laf`]).
     pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = algorithm;

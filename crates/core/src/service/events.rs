@@ -99,6 +99,15 @@ pub enum Lifecycle {
         /// checkpoint (= records persisted so far).
         seq: u64,
     },
+    /// The session is being evicted from a hosting session table (an
+    /// idle timeout fired, or a peer closed it by name). Announced by
+    /// the hosting layer (`ltc_proto`'s session table) through
+    /// [`ServiceHandle::announce_lifecycle`](super::ServiceHandle::announce_lifecycle)
+    /// just before the eviction shuts the session down, so subscribers
+    /// see it directly before [`Lifecycle::ShuttingDown`]. The session
+    /// identity is contextual — every subscriber receives only its own
+    /// session's events.
+    SessionEvicted,
     /// The handle began shutting down; no further events will follow.
     ShuttingDown,
 }
@@ -275,6 +284,14 @@ pub struct ServiceMetrics {
     /// (genesis and shutdown checkpoints included). Zero without a
     /// durability layer.
     pub checkpoints: u64,
+    /// Sessions the hosting process serves right now. A bare in-process
+    /// session reports `1` (itself); a multi-session server substitutes
+    /// its session-table count, so local and remote single-session
+    /// metrics agree.
+    pub sessions_open: u64,
+    /// Sessions the hosting process has evicted over its lifetime (idle
+    /// timeouts plus explicit closes). Zero outside a session table.
+    pub sessions_evicted: u64,
 }
 
 impl ServiceMetrics {

@@ -277,6 +277,8 @@ impl LtcService {
             latency: self.latency(),
             wal_records: 0,
             checkpoints: 0,
+            sessions_open: 1,
+            sessions_evicted: 0,
         }
     }
 

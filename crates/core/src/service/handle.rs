@@ -633,6 +633,8 @@ impl ServiceHandle {
             latency: self.latency(),
             wal_records: 0,
             checkpoints: 0,
+            sessions_open: 1,
+            sessions_evicted: 0,
         })
     }
 

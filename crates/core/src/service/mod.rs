@@ -212,6 +212,12 @@ pub enum ServiceError {
     /// layer's own description; raised only by wrapping implementations
     /// such as `ltc_proto::LtcClient` and `ltc_durable::DurableHandle`.
     Transport(String),
+    /// A multi-session server's session table refused the operation:
+    /// unknown or duplicate session name, session capacity reached, the
+    /// protected default session, or a session verb against a server
+    /// hosting a fixed session set. Raised by `ltc_proto`'s session
+    /// table (and surfaced to remote peers as an `err` frame).
+    Session(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -229,6 +235,7 @@ impl fmt::Display for ServiceError {
             ServiceError::BadSnapshot(what) => write!(f, "corrupt service snapshot: {what}"),
             ServiceError::RuntimeStopped(what) => write!(f, "service runtime stopped: {what}"),
             ServiceError::Transport(what) => write!(f, "session transport failed: {what}"),
+            ServiceError::Session(what) => write!(f, "session table: {what}"),
         }
     }
 }

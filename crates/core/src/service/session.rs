@@ -116,6 +116,15 @@ pub trait Session {
     /// Idempotent; afterwards every other operation reports
     /// [`ServiceError::RuntimeStopped`] or a transport error.
     fn shutdown(&mut self) -> Result<(), ServiceError>;
+
+    /// Announces an out-of-band [`Lifecycle`](super::Lifecycle) notice
+    /// to this session's subscribers — the hook hosting layers use to
+    /// surface their own lifecycle moments (checkpoints, session
+    /// eviction) through the session's event stream. Advisory delivery;
+    /// the default implementation is a no-op, which is the correct
+    /// behavior for implementations with no local subscribers to notify
+    /// (a remote client's lifecycle notices originate on the server).
+    fn announce_lifecycle(&mut self, _lifecycle: super::Lifecycle) {}
 }
 
 impl Session for ServiceHandle {
@@ -166,5 +175,9 @@ impl Session for ServiceHandle {
 
     fn shutdown(&mut self) -> Result<(), ServiceError> {
         self.close()
+    }
+
+    fn announce_lifecycle(&mut self, lifecycle: super::Lifecycle) {
+        ServiceHandle::announce_lifecycle(self, lifecycle);
     }
 }

@@ -310,6 +310,10 @@ impl Session for DurableHandle {
         let stopped = self.inner.close();
         sealed.and(synced).and(stopped)
     }
+
+    fn announce_lifecycle(&mut self, lifecycle: Lifecycle) {
+        self.inner.announce_lifecycle(lifecycle);
+    }
 }
 
 impl Drop for DurableHandle {

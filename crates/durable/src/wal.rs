@@ -1,4 +1,4 @@
-//! The `ltc-wal v1` write-ahead event log.
+//! The `ltc-wal v2` write-ahead event log.
 //!
 //! A log is a directory of numbered *segments* (`wal-00000000.log`,
 //! `wal-00000001.log`, …). Each segment is NDJSON — one record per
@@ -7,20 +7,32 @@
 //! global sequence:
 //!
 //! ```text
-//! {"wal":"ltc-wal","v":1,"segment":3,"base_seq":8192}
+//! {"wal":"ltc-wal","v":2,"segment":3,"base_seq":8192}
 //! ```
 //!
 //! Every state-changing session operation becomes one record, stamped
-//! with the next sequence number. Floats cross into the log as 16-digit
-//! hex bit patterns — the same discipline as the `ltc-proto v1` wire
-//! format, reusing its codec — so replay is bit-exact:
+//! with the next sequence number and sealed with a CRC-32 of its own
+//! bytes. Floats cross into the log as 16-digit hex bit patterns — the
+//! same discipline as the `ltc-proto` wire format, reusing its codec —
+//! so replay is bit-exact:
 //!
 //! ```text
-//! {"seq":0,"op":"submit","x":"4049000000000000","y":"4049000000000000","acc":"3feccccccccccccd"}
-//! {"seq":1,"op":"post","x":"4024000000000000","y":"4034000000000000"}
-//! {"seq":2,"op":"post","x":"4024000000000000","y":"4034000000000000","row":["3fe0000000000000"]}
-//! {"seq":3,"op":"rebalance"}
+//! {"seq":0,"op":"submit","x":"4049000000000000","y":"4049000000000000","acc":"3feccccccccccccd","crc":"c4763cc0"}
+//! {"seq":1,"op":"post","x":"4024000000000000","y":"4034000000000000","crc":"f50b04f7"}
+//! {"seq":2,"op":"rebalance","crc":"9e37983e"}
 //! ```
+//!
+//! The `crc` member is always the record's final member: it covers the
+//! line with the member itself spliced out (everything before
+//! `,"crc":…` plus the closing `}`), so verification needs no
+//! re-encoding. Segments headed `"v":1` — logs written before the
+//! checksum existed — still load; their records simply carry no `crc`
+//! and get no verification beyond the sequence check. Under a `v2`
+//! header a missing or mismatched `crc` on an *interior* record is
+//! corruption (bit rot that JSON parsing alone would miss — a flipped
+//! hex digit still parses, but replays different bits); on the final
+//! record of the final segment it is a torn tail, repaired by
+//! truncation like any other tear.
 //!
 //! Sequence numbers are contiguous across segments: segment `n + 1`
 //! begins at exactly the sequence after segment `n`'s last record.
@@ -61,8 +73,13 @@ use std::path::{Path, PathBuf};
 /// Format name in every segment header.
 pub const WAL_NAME: &str = "ltc-wal";
 
-/// Format version in every segment header.
-pub const WAL_VERSION: u64 = 1;
+/// Format version written in every new segment header (`v2`: every
+/// record seals itself with a [`crc32`] member).
+pub const WAL_VERSION: u64 = 2;
+
+/// The checksum-less original format. Still readable: a `v1`-headed
+/// segment's records carry no `crc` and get none checked.
+pub const WAL_VERSION_V1: u64 = 1;
 
 /// Upper bound on one log line, delimiter included — the same cap as an
 /// `ltc-proto v1` frame, enforced *while reading* so a hostile or
@@ -127,6 +144,89 @@ fn segment_path(dir: &Path, index: u64) -> PathBuf {
     dir.join(format!("wal-{index:08}.log"))
 }
 
+/// The reflected CRC-32 (IEEE 802.3, polynomial `0xEDB88320`) lookup
+/// table, built at compile time — the offline build has no checksum
+/// crate, and 256 entries buy byte-at-a-time throughput on the append
+/// hot path.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+fn crc32_update(crc: u32, bytes: &[u8]) -> u32 {
+    let mut c = crc;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+/// The CRC-32 (IEEE) of `bytes` — what a `v2` record's `crc` member
+/// stores, computed over the record line with the member itself
+/// spliced out.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !crc32_update(!0, bytes)
+}
+
+/// Byte length of the `,"crc":"xxxxxxxx"}` suffix closing every `v2`
+/// record line.
+const CRC_SUFFIX_LEN: usize = 18;
+
+/// Seals an encoded record (a complete `{…}` line) with its `crc`
+/// member: pops the closing brace, appends `,"crc":"<8 hex>"}` where
+/// the checksum covers the original line bytes.
+fn push_record_crc(out: &mut String, body_start: usize) {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let crc = crc32(&out.as_bytes()[body_start..]);
+    debug_assert_eq!(out.as_bytes().last(), Some(&b'}'));
+    out.pop();
+    out.push_str(",\"crc\":\"");
+    for i in 0..8 {
+        out.push(HEX[((crc >> (28 - 4 * i)) & 0xF) as usize] as char);
+    }
+    out.push_str("\"}");
+}
+
+/// Checks a `v2` record line's `crc` seal without decoding it. The
+/// member is always the line's final member, so the covered bytes are
+/// everything before the suffix plus the closing brace.
+fn verify_record_crc(line: &str) -> Result<(), String> {
+    let bytes = line.as_bytes();
+    if bytes.len() < CRC_SUFFIX_LEN {
+        return Err("record is missing its \"crc\" seal".into());
+    }
+    let (covered, suffix) = bytes.split_at(bytes.len() - CRC_SUFFIX_LEN);
+    if !suffix.starts_with(b",\"crc\":\"") || !suffix.ends_with(b"\"}") {
+        return Err("record is missing its \"crc\" seal".into());
+    }
+    let stored = std::str::from_utf8(&suffix[8..16])
+        .ok()
+        .and_then(|h| u32::from_str_radix(h, 16).ok())
+        .ok_or("record carries an unparsable \"crc\"")?;
+    let actual = !crc32_update(crc32_update(!0, covered), b"}");
+    if stored != actual {
+        return Err(format!(
+            "crc mismatch: record stores {stored:08x}, its bytes hash to {actual:08x}"
+        ));
+    }
+    Ok(())
+}
+
 fn header_line(segment: u64, base_seq: u64) -> String {
     format!("{{\"wal\":\"{WAL_NAME}\",\"v\":{WAL_VERSION},\"segment\":{segment},\"base_seq\":{base_seq}}}")
 }
@@ -171,6 +271,7 @@ fn push_hex_bits(out: &mut String, v: f64) {
 /// ([`WalWriter::append`] reuses one buffer so steady-state logging
 /// allocates nothing).
 fn encode_record_into(out: &mut String, seq: u64, record: &WalRecord) {
+    let body_start = out.len();
     out.push_str("{\"seq\":");
     push_decimal(out, seq);
     match record {
@@ -207,6 +308,7 @@ fn encode_record_into(out: &mut String, seq: u64, record: &WalRecord) {
             out.push_str(",\"op\":\"rebalance\"}");
         }
     }
+    push_record_crc(out, body_start);
 }
 
 /// Decodes one NDJSON record line into its sequence number and
@@ -408,6 +510,9 @@ pub struct SegmentInfo {
     pub base_seq: u64,
     /// Path to the segment file.
     pub path: PathBuf,
+    /// Format version the header announced ([`WAL_VERSION_V1`] records
+    /// carry no `crc`; [`WAL_VERSION`] seals every record).
+    pub version: u64,
 }
 
 /// Reads one `\n`-terminated line of at most [`MAX_RECORD`] bytes.
@@ -492,16 +597,16 @@ fn read_header(
         Ok(header) => header,
         Err(e) => return physically_torn(format!("bad header: {e}")),
     };
-    match (
+    let version = match (
         header.get("wal").and_then(Json::as_str),
         header.get("v").and_then(Json::as_u64),
     ) {
-        (Some(WAL_NAME), Some(WAL_VERSION)) => {}
+        (Some(WAL_NAME), Some(v @ (WAL_VERSION_V1 | WAL_VERSION))) => v,
         (Some(WAL_NAME), Some(v)) => {
             return Err(corrupt(format!("unsupported {WAL_NAME} version {v}")))
         }
         _ => return Err(corrupt("header does not announce ltc-wal".into())),
-    }
+    };
     let header_index = header
         .get("segment")
         .and_then(Json::as_u64)
@@ -520,6 +625,7 @@ fn read_header(
             index,
             base_seq,
             path: path.to_path_buf(),
+            version,
         },
         consumed,
     )))
@@ -636,10 +742,12 @@ pub fn scan(dir: &Path) -> Result<LogScan, DurableError> {
         debug_assert_eq!(skipped_header.map(|h| h.2), Some(header_len));
         let mut offset = header_len;
         while let Some((line, terminated, consumed)) = read_record_line(&mut reader)? {
-            let parsed = if terminated {
-                decode_record(&line)
-            } else {
+            let parsed = if !terminated {
                 Err("no terminating newline".into())
+            } else if info.version >= WAL_VERSION {
+                verify_record_crc(&line).and_then(|()| decode_record(&line))
+            } else {
+                decode_record(&line)
             };
             match parsed {
                 Ok((seq, record)) if seq == next_seq => {
@@ -913,6 +1021,144 @@ mod tests {
             Err(DurableError::Corrupt { .. }) => {}
             other => panic!("a sequence gap must refuse to load, got {other:?}"),
         }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_vector() {
+        // The canonical CRC-32 check value: crc32(b"123456789").
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn every_record_carries_a_valid_final_crc_member() {
+        for (i, record) in sample_records().into_iter().enumerate() {
+            let line = encode_record(i as u64, &record);
+            verify_record_crc(&line).unwrap();
+            let stripped = strip_crc(&line);
+            assert!(
+                !stripped.contains("crc"),
+                "crc must be the line's final member"
+            );
+            assert!(verify_record_crc(&stripped).is_err());
+        }
+    }
+
+    /// The record line as `ltc-wal` v1 wrote it: the `crc` suffix
+    /// spliced out.
+    fn strip_crc(line: &str) -> String {
+        assert!(line.len() > CRC_SUFFIX_LEN && line.ends_with("\"}"));
+        format!("{}}}", &line[..line.len() - CRC_SUFFIX_LEN])
+    }
+
+    /// Hand-writes a v1 segment — header announcing `"v":1` and crc-less
+    /// record lines — as an ltc-wal v1 writer would have left it.
+    fn write_v1_segment(dir: &Path, index: u64, base_seq: u64, records: &[WalRecord]) {
+        let mut bytes = format!(
+            "{{\"wal\":\"{WAL_NAME}\",\"v\":{WAL_VERSION_V1},\"segment\":{index},\"base_seq\":{base_seq}}}\n"
+        );
+        for (i, r) in records.iter().enumerate() {
+            bytes.push_str(&strip_crc(&encode_record(base_seq + i as u64, r)));
+            bytes.push('\n');
+        }
+        fs::write(segment_path(dir, index), bytes).unwrap();
+    }
+
+    #[test]
+    fn v1_segments_still_load_and_resumed_logs_mix_versions() {
+        let dir = temp_dir("v1-mixed");
+        let records = sample_records();
+        write_v1_segment(&dir, 0, 0, &records[..2]);
+        let log = scan(&dir).unwrap();
+        assert_eq!(log.next_seq, 2);
+        assert!(log.torn.is_none());
+        assert_eq!(log.segments[0].version, WAL_VERSION_V1);
+
+        // Resume appends into a fresh (v2) segment, as recovery does.
+        let mut w = WalWriter::new_segment(&dir, 1, 2, SyncPolicy::Os).unwrap();
+        for r in &records[2..] {
+            w.append(r).unwrap();
+        }
+        drop(w);
+        let log = scan(&dir).unwrap();
+        assert_eq!(log.next_seq, 4);
+        assert!(log.torn.is_none());
+        assert_eq!(
+            log.segments.iter().map(|s| s.version).collect::<Vec<_>>(),
+            vec![WAL_VERSION_V1, WAL_VERSION]
+        );
+        for (i, (seq, r)) in log.records.iter().enumerate() {
+            assert_eq!(*seq, i as u64);
+            assert_eq!(encode_record(*seq, r), encode_record(*seq, &records[i]));
+        }
+
+        // A crc-less line under a v2 header, by contrast, is corruption.
+        let v2_path = segment_path(&dir, 1);
+        let text = fs::read_to_string(&v2_path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        lines[1] = strip_crc(&lines[1]);
+        fs::write(&v2_path, format!("{}\n", lines.join("\n"))).unwrap();
+        match scan(&dir) {
+            Err(DurableError::Corrupt { what, .. }) => assert!(what.contains("crc")),
+            other => panic!("a v2 record without a crc must refuse to load, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interior_bit_rot_that_still_parses_is_caught_by_the_crc() {
+        let dir = temp_dir("bitrot");
+        let mut w = WalWriter::new_segment(&dir, 0, 0, SyncPolicy::Os).unwrap();
+        for r in sample_records() {
+            w.append(&r).unwrap();
+        }
+        drop(w);
+        let path = segment_path(&dir, 0);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one payload hex digit in the *first* record: the line
+        // still parses as JSON with the right seq, so only the crc can
+        // tell — this exact damage loaded silently under v1.
+        let x_pos = bytes
+            .windows(5)
+            .position(|w| w == b"\"x\":\"")
+            .map(|p| p + 5)
+            .unwrap();
+        bytes[x_pos] = if bytes[x_pos] == b'0' { b'1' } else { b'0' };
+        fs::write(&path, &bytes).unwrap();
+        match scan(&dir) {
+            Err(DurableError::Corrupt { what, .. }) => {
+                assert!(what.contains("crc mismatch"), "got: {what}")
+            }
+            other => panic!("interior bit rot must refuse to load, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damage_on_the_final_line_crc_is_a_repairable_tear() {
+        let dir = temp_dir("tail-crc");
+        let mut w = WalWriter::new_segment(&dir, 0, 0, SyncPolicy::Os).unwrap();
+        for r in sample_records() {
+            w.append(&r).unwrap();
+        }
+        drop(w);
+        let path = segment_path(&dir, 0);
+        let mut bytes = fs::read(&path).unwrap();
+        // Corrupt a crc hex digit on the *final* record: damage on the
+        // last line is indistinguishable from a torn write, so it must
+        // repair, not refuse.
+        let flip = bytes.len() - 5;
+        bytes[flip] = if bytes[flip] == b'0' { b'1' } else { b'0' };
+        fs::write(&path, &bytes).unwrap();
+        let log = scan(&dir).unwrap();
+        assert_eq!(log.next_seq, 3);
+        let tail = log.torn.expect("a final-line crc failure is a tear");
+        repair(&tail).unwrap();
+        let repaired = scan(&dir).unwrap();
+        assert!(repaired.torn.is_none());
+        assert_eq!(repaired.next_seq, 3);
+        assert_eq!(repaired.records.len(), 3);
         fs::remove_dir_all(&dir).unwrap();
     }
 

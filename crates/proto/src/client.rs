@@ -1,7 +1,9 @@
 //! The remote [`Session`] implementation: a TCP client speaking
-//! `ltc-proto v1` to an `ltc serve` process.
+//! `ltc-proto` (`v1`, or `v2` with its session namespace) to an
+//! `ltc serve` process.
 
-use crate::wire::{self, Request, Response};
+use crate::session_table::SessionConfig;
+use crate::wire::{self, Request, Response, SessionStat};
 use ltc_core::model::{Task, TaskId, Worker, WorkerId};
 use ltc_core::service::{
     EventStream, RebalanceOutcome, ServiceError, ServiceMetrics, ServiceSnapshot, Session,
@@ -38,6 +40,12 @@ fn transport(what: impl Into<String>) -> ServiceError {
 /// server assigns arrival ids in request-arrival order — the loopback
 /// differential tests assert byte-identical NDJSON output through both
 /// paths.
+///
+/// A `v2` client ([`LtcClient::connect_v2`]) is additionally a citizen
+/// of the server's session namespace: it starts bound to the default
+/// session and can [`open_session`](LtcClient::open_session) /
+/// [`attach_session`](LtcClient::attach_session) to rebind, every frame
+/// it sends and receives carrying the bound session's `"sid"`.
 #[derive(Debug)]
 pub struct LtcClient {
     stream: TcpStream,
@@ -45,6 +53,10 @@ pub struct LtcClient {
     subscribers: Arc<Mutex<Vec<Sender<StreamEvent>>>>,
     reader: Option<JoinHandle<()>>,
     info: SessionInfo,
+    version: u64,
+    /// The bound session's id (meaningful on `v2`; `v1` keeps the
+    /// default it can never leave).
+    sid: String,
     subscribed: bool,
     closed: bool,
 }
@@ -54,10 +66,26 @@ impl LtcClient {
     /// client is ready to submit; [`Session::subscribe`] starts the
     /// event flow.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServiceError> {
+        Self::connect_version(addr, wire::PROTO_VERSION)
+    }
+
+    /// Connects with the `ltc-proto v2` handshake: same session surface,
+    /// plus the session verbs. The connection starts bound to the
+    /// server's default session.
+    pub fn connect_v2(addr: impl ToSocketAddrs) -> Result<Self, ServiceError> {
+        Self::connect_version(addr, wire::PROTO_VERSION_V2)
+    }
+
+    fn connect_version(addr: impl ToSocketAddrs, version: u64) -> Result<Self, ServiceError> {
         let mut stream =
             TcpStream::connect(addr).map_err(|e| transport(format!("connect: {e}")))?;
         stream.set_nodelay(true).ok();
-        wire::write_frame(&mut stream, &wire::encode_hello())
+        let hello = if version == wire::PROTO_VERSION_V2 {
+            wire::encode_hello_v2()
+        } else {
+            wire::encode_hello()
+        };
+        wire::write_frame(&mut stream, &hello)
             .map_err(|e| transport(format!("handshake send: {e}")))?;
 
         let mut reader = BufReader::new(
@@ -119,6 +147,8 @@ impl LtcClient {
             subscribers,
             reader: Some(reader),
             info,
+            version,
+            sid: wire::DEFAULT_SESSION.to_string(),
             subscribed: false,
             closed: false,
         })
@@ -129,11 +159,105 @@ impl LtcClient {
         self.stream.peer_addr().ok()
     }
 
+    /// The session this connection is bound to (`"default"` until a
+    /// successful [`open_session`](LtcClient::open_session) or
+    /// [`attach_session`](LtcClient::attach_session)).
+    pub fn session_id(&self) -> &str {
+        &self.sid
+    }
+
+    /// Creates (and binds to) a named session on the server — the `v2`
+    /// `open` verb. Knobs left `None` in `config` inherit the server's
+    /// template. Fails on a `v1` connection, after
+    /// [`subscribe`](Session::subscribe), on a duplicate or illegal
+    /// name, and on a full or fixed session table.
+    pub fn open_session(
+        &mut self,
+        sid: &str,
+        config: &SessionConfig,
+    ) -> Result<SessionInfo, ServiceError> {
+        self.require_v2()?;
+        match self.request(&Request::Open {
+            sid: sid.to_string(),
+            algorithm: config.algorithm,
+            shards: config.shards,
+            region: config.region,
+        })? {
+            Response::Open { info } => {
+                self.sid = sid.to_string();
+                self.info = info.clone();
+                Ok(info)
+            }
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Binds this connection to an existing named session — the `v2`
+    /// `attach` verb.
+    pub fn attach_session(&mut self, sid: &str) -> Result<SessionInfo, ServiceError> {
+        self.require_v2()?;
+        match self.request(&Request::Attach {
+            sid: sid.to_string(),
+        })? {
+            Response::Attach { info } => {
+                self.sid = sid.to_string();
+                self.info = info.clone();
+                Ok(info)
+            }
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Quiesces and evicts a named session — the `v2` `close` verb. The
+    /// connection's own binding is untouched (closing the bound session
+    /// leaves later requests failing with `RuntimeStopped`).
+    pub fn close_session(&mut self, sid: &str) -> Result<(), ServiceError> {
+        self.require_v2()?;
+        match self.request(&Request::Close {
+            sid: sid.to_string(),
+        })? {
+            Response::Close => Ok(()),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Lists the server's live sessions — the `v2` `sessions` verb.
+    pub fn list_sessions(&mut self) -> Result<Vec<SessionStat>, ServiceError> {
+        self.require_v2()?;
+        match self.request(&Request::Sessions)? {
+            Response::Sessions { sessions } => Ok(sessions),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    fn require_v2(&self) -> Result<(), ServiceError> {
+        if self.version != wire::PROTO_VERSION_V2 {
+            return Err(ServiceError::Session(format!(
+                "session verbs require {} v{} (connect with `connect_v2`)",
+                wire::PROTO_NAME,
+                wire::PROTO_VERSION_V2
+            )));
+        }
+        Ok(())
+    }
+
     fn request(&mut self, request: &Request) -> Result<Response, ServiceError> {
         if self.closed {
             return Err(ServiceError::RuntimeStopped("the session is shut down"));
         }
-        wire::write_frame(&mut (&self.stream), &request.encode())
+        let mut frame = request.encode();
+        if self.version == wire::PROTO_VERSION_V2 {
+            // The session verbs already carry their target `"sid"`;
+            // everything else addresses the bound session.
+            let carries_sid = matches!(
+                request,
+                Request::Open { .. } | Request::Attach { .. } | Request::Close { .. }
+            );
+            if !carries_sid {
+                frame = wire::with_sid(frame, &self.sid);
+            }
+        }
+        wire::write_frame(&mut (&self.stream), &frame)
             .map_err(|e| transport(format!("send: {e}")))?;
         match self.responses.recv_timeout(RESPONSE_TIMEOUT) {
             Ok(Ok(Response::Err { message })) => Err(transport(message)),

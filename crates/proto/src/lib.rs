@@ -1,32 +1,40 @@
-//! `ltc-proto v1` — the wire protocol that lifts the
-//! [`Session`](ltc_core::service::Session) API onto a transport, so
-//! requesters and workers can be remote processes instead of linking
-//! `ltc_core`.
+//! `ltc-proto` — the wire protocol (`v1` single-session, `v2` session
+//! namespace) that lifts the [`Session`](ltc_core::service::Session)
+//! API onto a transport, so requesters and workers can be remote
+//! processes instead of linking `ltc_core`.
 //!
-//! Three layers, bottom up:
+//! Four layers, bottom up:
 //!
 //! * [`json`] — a minimal, hostile-input-safe JSON reader/writer (the
 //!   offline build has no serde; numbers stay text so 64-bit ids never
 //!   pass through `f64`).
 //! * [`wire`] — the versioned message vocabulary and NDJSON framing:
 //!   one JSON object per `\n`-delimited frame (size-capped), a
-//!   `{"proto":"ltc-proto","v":1}` handshake, [`wire::Request`] /
+//!   `{"proto":"ltc-proto","v":N}` handshake, [`wire::Request`] /
 //!   [`wire::Response`] / event frames, every `f64` as its IEEE-754 bit
 //!   pattern so remote observations are **bit-identical** to local
-//!   ones.
+//!   ones. `v2` frames carry a trailing `"sid"` member naming their
+//!   session; `v1` frames stay byte-identical to what they always were.
+//! * [`session_table`] — the server-side registry of named sessions:
+//!   a fixed default session, a [`SessionFactory`] that `open` spawns
+//!   fresh services through, per-session lifecycle (spawn → serve →
+//!   quiesce → evict) with capacity and idle-timeout policies.
 //! * [`server`] / [`client`] — [`LtcServer`] multiplexes N concurrent
-//!   TCP clients onto one
-//!   [`ServiceHandle`](ltc_core::service::ServiceHandle) (global
-//!   submission order = connection-interleaved arrival order, decided by
-//!   one session mutex), and [`LtcClient`] implements the same
+//!   TCP clients onto a [`SessionTable`] (global submission order *per
+//!   session* = connection-interleaved arrival order, decided by one
+//!   mutex per session), and [`LtcClient`] implements the same
 //!   [`Session`](ltc_core::service::Session) trait remotely — one code
 //!   path drives in-process and remote runs, differentially tested
-//!   byte-identical (`tests/loopback.rs`, plus the CLI parity tests).
+//!   byte-identical (`tests/loopback.rs`, plus the CLI parity tests),
+//!   with `v2` session verbs ([`LtcClient::open_session`] /
+//!   `attach_session` / `close_session` / `list_sessions`) on top.
 //!
-//! The CLI front-ends: `ltc serve --addr … --shards …` runs the server,
-//! `ltc stream --connect HOST:PORT` drives it. `docs/PROTOCOL.md` has
-//! the full grammar, ordering/back-pressure semantics, and the
-//! compatibility policy.
+//! The CLI front-ends: `ltc serve --addr … --shards …
+//! [--max-sessions N [--idle-timeout SECS]]` runs the server,
+//! `ltc stream --connect HOST:PORT [--session NAME]` drives one of its
+//! sessions, `ltc sessions --connect HOST:PORT` lists them.
+//! `docs/PROTOCOL.md` has the full grammar, ordering/back-pressure
+//! semantics, and the compatibility policy.
 //!
 //! ```no_run
 //! use ltc_core::model::{ProblemParams, Task, Worker};
@@ -56,7 +64,9 @@
 pub mod client;
 pub mod json;
 pub mod server;
+pub mod session_table;
 pub mod wire;
 
 pub use client::LtcClient;
 pub use server::{LtcServer, RunningServer};
+pub use session_table::{SessionConfig, SessionEntry, SessionFactory, SessionTable};

@@ -1,50 +1,70 @@
 //! The `ltc serve` layer: a TCP server multiplexing N concurrent
-//! clients onto one in-process [`Session`] (the bare
-//! [`ServiceHandle`](ltc_core::service::ServiceHandle), or any wrapper
-//! implementing the trait — the durability layer serves through here
-//! unchanged).
+//! clients onto a [`SessionTable`] of named in-process [`Session`]s
+//! (bare [`ServiceHandle`](ltc_core::service::ServiceHandle)s, or any
+//! wrapper implementing the trait — the durability layer serves through
+//! here unchanged).
+//!
+//! ## Sessions
+//!
+//! Every connection is **bound to exactly one session** at a time. A
+//! `v1` connection is bound to the default session by the handshake and
+//! stays there — the `v1` serving model is a special case of the table.
+//! A `v2` connection starts on the default session and may rebind with
+//! the `open`/`attach` verbs (until it subscribes — a subscribed
+//! connection's event stream belongs to one session, so rebinding is
+//! refused). Each `v2` request must carry the bound session's `"sid"`;
+//! every `v2` response and event carries it back. A connection bound to
+//! session A never observes session B's events — isolation falls out of
+//! the binding, not filtering.
 //!
 //! ## Ordering model
 //!
-//! The served handle sits behind one mutex. Every state-touching request
-//! (submit, post, drain, snapshot, rebalance, metrics, shutdown) runs
-//! under it, so the **global submission order is the connection-
-//! interleaved arrival order** — exactly the order in which requests won
-//! the lock — and the committed assignments are the ones a single
-//! in-process session fed that interleaving would commit (asserted by
-//! the loopback differential tests). Arrival ids are assigned under the
-//! lock and returned in each response, so clients can reconstruct the
-//! global order after the fact.
+//! Each session sits behind its own mutex. Every state-touching request
+//! runs under its bound session's lock, so the **per-session global
+//! submission order is the connection-interleaved arrival order** —
+//! exactly the order in which requests won that session's lock — and
+//! the committed assignments are the ones a single in-process session
+//! fed that interleaving would commit (asserted by the loopback
+//! differential tests). Sessions never serialize against each other.
+//! Arrival ids are assigned under the lock and returned in each
+//! response, so clients can reconstruct the per-session order after the
+//! fact.
 //!
-//! Back-pressure composes: when a shard mailbox is full, the submitting
-//! request blocks *inside* the lock until the shard catches up — which
-//! pauses every other client too. That is deliberate: admitting other
-//! submissions while one is blocked would reorder arrivals. Subscribers
-//! observe the stall as the usual
+//! Back-pressure composes per session: when a shard mailbox is full,
+//! the submitting request blocks *inside* its session's lock until the
+//! shard catches up — which pauses that session's other clients too.
+//! That is deliberate: admitting other submissions while one is blocked
+//! would reorder arrivals. Subscribers observe the stall as the usual
 //! [`Lifecycle::ShardStalled`](ltc_core::service::Lifecycle::ShardStalled)
 //! event, forwarded on the wire like every other event.
 //!
 //! ## Event flow
 //!
 //! A connection that sends `subscribe` gets its own
-//! [`Session::subscribe`] stream, pumped to the socket by a
-//! dedicated forwarder thread (events and responses interleave on the
-//! wire; frames are written atomically under the connection's writer
-//! lock). Delivery per subscriber is in exact submission order — the
-//! runtime's collector guarantees it, the forwarder preserves it. The
-//! forwarder paces its waits so it can notice a departed peer or a
-//! stopping server instead of blocking forever on an idle stream.
+//! [`Session::subscribe`] stream on its bound session, pumped to the
+//! socket by a dedicated forwarder thread (events and responses
+//! interleave on the wire; frames are written atomically under the
+//! connection's writer lock). Delivery per subscriber is in exact
+//! submission order — the runtime's collector guarantees it, the
+//! forwarder preserves it. The forwarder paces its waits so it can
+//! notice a departed peer, a stopping server, or an evicted session
+//! instead of blocking forever on an idle stream.
 //!
-//! ## Shutdown
+//! ## Lifecycle and shutdown
 //!
-//! A `shutdown` request ends the *session* for everyone: the handle
-//! drains, subscribers receive
-//! [`Lifecycle::ShuttingDown`](ltc_core::service::Lifecycle::ShuttingDown)
-//! and their streams end, the requester gets its response, and then the
-//! acceptor stops. Requests on surviving connections get an error
-//! response (never a hang); their threads exit when the client
-//! disconnects.
+//! A `v2` `close` evicts **one** named session: its subscribers receive
+//! [`Lifecycle::SessionEvicted`](ltc_core::service::Lifecycle::SessionEvicted),
+//! the session drains and shuts down
+//! ([`Lifecycle::ShuttingDown`](ltc_core::service::Lifecycle::ShuttingDown)
+//! ends the streams), and its name becomes free. The idle policy
+//! ([`SessionTable::with_factory`]) evicts the same way, from a reaper
+//! thread. A `shutdown` request (either version) still ends the *whole
+//! server*: every session shuts down, subscribers' streams end, the
+//! requester gets its response, and then the acceptor stops. Requests
+//! on surviving connections get an error response (never a hang); their
+//! threads exit when the client disconnects.
 
+use crate::session_table::{SessionConfig, SessionEntry, SessionTable};
 use crate::wire::{self, Request, Response};
 use ltc_core::service::{ServiceError, Session};
 use std::io::{self, BufReader};
@@ -53,12 +73,6 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
-
-/// The boxed session every connection thread drives — any [`Session`]
-/// implementation works: the in-process
-/// [`ServiceHandle`](ltc_core::service::ServiceHandle), or a durability
-/// wrapper layered over it.
-type BoxedSession = Box<dyn Session + Send>;
 
 /// Locks a mutex, recovering from poisoning instead of propagating it:
 /// a connection thread that panicked mid-request must fail *its own*
@@ -70,19 +84,23 @@ fn lock_recovering<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// How often an idle event forwarder re-checks whether its peer is gone
-/// or the server is stopping (events themselves are forwarded the
-/// moment they arrive; only silence costs a poll).
+/// How often an idle event forwarder re-checks whether its peer is
+/// gone, its session was evicted, or the server is stopping (events
+/// themselves are forwarded the moment they arrive; only silence costs
+/// a poll).
 const FORWARDER_POLL: Duration = Duration::from_millis(100);
+
+/// How often the idle reaper re-checks the stop flag between sweeps.
+const REAPER_POLL: Duration = Duration::from_millis(100);
 
 /// The serving state every connection thread shares.
 struct Shared {
-    /// The one served session. [`Session::shutdown`] leaves it inert
-    /// after a shutdown request, so later calls fail with
-    /// `RuntimeStopped` rather than panicking.
-    session: Mutex<BoxedSession>,
-    /// Set by a `shutdown` request; checked by the acceptor and the
-    /// event forwarders.
+    /// The session registry. Server `shutdown` leaves every session
+    /// inert, so later calls fail with `RuntimeStopped` rather than
+    /// panicking.
+    table: SessionTable,
+    /// Set by a `shutdown` request; checked by the acceptor, the event
+    /// forwarders, and the reaper.
     stopping: AtomicBool,
     addr: SocketAddr,
 }
@@ -108,8 +126,9 @@ impl Shared {
     }
 }
 
-/// A bound, not-yet-running `ltc-proto v1` server over one
-/// [`Session`]. [`LtcServer::run`] serves on the calling thread
+/// A bound, not-yet-running `ltc-proto` server over a [`SessionTable`]
+/// (or, via [`LtcServer::bind`], a single [`Session`] — the `v1`
+/// serving model). [`LtcServer::run`] serves on the calling thread
 /// until a client requests shutdown; [`LtcServer::spawn`] does the same
 /// on a background thread (tests, and anything that needs the bound
 /// address before serving).
@@ -131,14 +150,11 @@ impl RunningServer {
         self.addr
     }
 
-    /// Stops the server as a client's `shutdown` request would (session
-    /// shutdown + acceptor stop) and waits for the serving thread.
-    /// Idempotent with a client-sent `shutdown`.
+    /// Stops the server as a client's `shutdown` request would (every
+    /// session shuts down, then the acceptor stops) and waits for the
+    /// serving thread. Idempotent with a client-sent `shutdown`.
     pub fn stop(self) -> io::Result<()> {
-        {
-            let mut session = lock_recovering(&self.shared.session);
-            session.shutdown().ok();
-        }
+        self.shared.table.shutdown_all().ok();
         self.shared.stop();
         self.join
             .join()
@@ -155,20 +171,27 @@ impl RunningServer {
 }
 
 impl LtcServer {
-    /// Binds the listener over any [`Session`] implementation — the
-    /// in-process handle, or a wrapper (durability, instrumentation)
-    /// layered over it. `addr` may use port 0; read the resolved
+    /// Binds the listener over one fixed [`Session`] — the in-process
+    /// handle, or a wrapper (durability, instrumentation) layered over
+    /// it. The session becomes the table's default (and only) session;
+    /// `open` is refused. `addr` may use port 0; read the resolved
     /// address back with [`LtcServer::local_addr`].
     pub fn bind(
         addr: impl ToSocketAddrs,
         session: impl Session + Send + 'static,
     ) -> io::Result<Self> {
+        Self::bind_table(addr, SessionTable::single(session))
+    }
+
+    /// Binds the listener over a full [`SessionTable`] — the
+    /// multi-session serving model (`ltc serve --max-sessions`).
+    pub fn bind_table(addr: impl ToSocketAddrs, table: SessionTable) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         Ok(Self {
             listener,
             shared: Arc::new(Shared {
-                session: Mutex::new(Box::new(session)),
+                table,
                 stopping: AtomicBool::new(false),
                 addr,
             }),
@@ -182,9 +205,16 @@ impl LtcServer {
 
     /// Serves until a client requests shutdown. Connection threads exit
     /// when their client disconnects (or promptly after the stop, for
-    /// subscribed ones); they never outlive the session usefully —
+    /// subscribed ones); they never outlive their session usefully —
     /// every request they make afterwards is answered with an error.
     pub fn run(self) -> io::Result<()> {
+        if let Some(timeout) = self.shared.table.idle_timeout() {
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name("ltc-serve-reaper".into())
+                .spawn(move || reap_idle(&shared, timeout))
+                .ok();
+        }
         loop {
             let (conn, _) = self.listener.accept()?;
             if self.shared.stopping.load(Ordering::SeqCst) {
@@ -208,6 +238,52 @@ impl LtcServer {
             .spawn(move || self.run())
             .map_err(|_| io::Error::other("could not spawn the acceptor thread"))?;
         Ok(RunningServer { addr, shared, join })
+    }
+}
+
+/// The idle-eviction loop: sweep the table on the idle-timeout cadence
+/// until the server stops. The poll between sweeps stays short so a
+/// stopping server is never held up by a long timeout.
+fn reap_idle(shared: &Shared, timeout: Duration) {
+    let sweep = timeout.max(REAPER_POLL);
+    let mut since_sweep = Duration::ZERO;
+    loop {
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(REAPER_POLL);
+        since_sweep += REAPER_POLL;
+        if since_sweep >= sweep {
+            since_sweep = Duration::ZERO;
+            shared.table.evict_idle();
+        }
+    }
+}
+
+/// A connection's session binding: counted on the entry, so the idle
+/// policy can see live bindings, and moved by the `v2` rebind verbs.
+/// Dropping the binding (the connection ended) releases the count and
+/// restarts the session's idle clock.
+struct Binding {
+    entry: Arc<SessionEntry>,
+}
+
+impl Binding {
+    fn new(entry: Arc<SessionEntry>) -> Self {
+        entry.bind();
+        Self { entry }
+    }
+
+    fn rebind(&mut self, entry: Arc<SessionEntry>) {
+        entry.bind();
+        self.entry.unbind();
+        self.entry = entry;
+    }
+}
+
+impl Drop for Binding {
+    fn drop(&mut self) {
+        self.entry.unbind();
     }
 }
 
@@ -245,50 +321,85 @@ fn converse(
     shared: &Arc<Shared>,
     forwarder: &mut Option<JoinHandle<()>>,
 ) {
-    // Handshake: exactly one hello, version-checked.
+    // Handshake: exactly one hello, version-checked. Both versions bind
+    // the default session; `v2` echoes its sid.
     let Ok(Some(hello)) = wire::read_frame(reader) else {
         return;
     };
-    let reply = match wire::decode_hello(&hello) {
-        Ok(wire::PROTO_VERSION) => {
-            let session = lock_recovering(&shared.session);
-            Response::Hello {
-                info: session.info(),
-            }
+    let (version, reply) = match wire::decode_hello(&hello) {
+        Ok(version @ (wire::PROTO_VERSION | wire::PROTO_VERSION_V2)) => {
+            let entry = shared.table.default_entry();
+            let info = entry.lock().info();
+            let frame = if version == wire::PROTO_VERSION {
+                Response::Hello { info }.encode()
+            } else {
+                wire::with_sid(wire::encode_hello_response_v2(&info), entry.name())
+            };
+            (Some((version, entry)), frame)
         }
-        Ok(version) => Response::Err {
-            message: format!(
-                "unsupported {} version {version} (serving {})",
-                wire::PROTO_NAME,
-                wire::PROTO_VERSION
-            ),
-        },
-        Err(what) => Response::Err {
-            message: format!("bad handshake: {what}"),
-        },
+        Ok(version) => (
+            None,
+            Response::Err {
+                message: format!(
+                    "unsupported {} version {version} (serving {} and {})",
+                    wire::PROTO_NAME,
+                    wire::PROTO_VERSION,
+                    wire::PROTO_VERSION_V2
+                ),
+            }
+            .encode(),
+        ),
+        Err(what) => (
+            None,
+            Response::Err {
+                message: format!("bad handshake: {what}"),
+            }
+            .encode(),
+        ),
     };
-    let fatal = matches!(reply, Response::Err { .. });
-    if write_response(writer, &reply).is_err() || fatal {
+    let written = write_frame(writer, reply);
+    let Some((version, entry)) = version else {
+        return;
+    };
+    if written.is_err() {
         return;
     }
+    let mut binding = Binding::new(entry);
 
     loop {
         let frame = match wire::read_frame(reader) {
             Ok(Some(frame)) => frame,
             _ => return, // EOF, socket shutdown, or an oversized frame
         };
-        let (response, stop_after) = match Request::decode(&frame) {
+        let (response, stop_after) = match Request::decode_with_sid(&frame) {
             Err(what) => (
                 Response::Err {
                     message: format!("bad request: {what}"),
                 },
                 false,
             ),
-            Ok(request) => execute(&request, shared, writer, gone, forwarder),
+            Ok((request, sid)) => match check_sid(&request, sid.as_deref(), version, &binding) {
+                Err(message) => (Response::Err { message }, false),
+                Ok(()) => execute(
+                    &request,
+                    shared,
+                    writer,
+                    gone,
+                    forwarder,
+                    &mut binding,
+                    version,
+                ),
+            },
         };
+        // Responses carry the *post-execution* binding's sid, so a
+        // successful open/attach is acknowledged under its new session.
+        let mut encoded = response.encode();
+        if version == wire::PROTO_VERSION_V2 {
+            encoded = wire::with_sid(encoded, binding.entry.name());
+        }
         // The requester hears the outcome *before* the acceptor stops —
         // a `shutdown` must be acknowledged, not met with a dead socket.
-        let written = write_response(writer, &response);
+        let written = write_frame(writer, encoded);
         if stop_after {
             shared.stop();
             return;
@@ -299,21 +410,70 @@ fn converse(
     }
 }
 
-fn write_response(writer: &Arc<Mutex<TcpStream>>, response: &Response) -> io::Result<()> {
-    let mut frame = response.encode();
-    // A response that would overflow the peer's frame cap (a snapshot of
-    // an enormous service) must degrade into a recoverable error frame —
-    // sending it anyway would kill the connection on the client side.
-    if frame.len() >= wire::MAX_FRAME {
-        frame = Response::Err {
+/// The `v2` addressing rules (and their `v1` absence): session verbs
+/// need `v2`; a `v2` frame's `"sid"` must name the bound session —
+/// except on the session verbs themselves, where it *is* the target.
+fn check_sid(
+    request: &Request,
+    sid: Option<&str>,
+    version: u64,
+    binding: &Binding,
+) -> Result<(), String> {
+    let session_verb = matches!(
+        request,
+        Request::Open { .. } | Request::Attach { .. } | Request::Close { .. } | Request::Sessions
+    );
+    if version == wire::PROTO_VERSION {
+        if session_verb {
+            return Err(format!(
+                "session verbs require {} v{}",
+                wire::PROTO_NAME,
+                wire::PROTO_VERSION_V2
+            ));
+        }
+        if sid.is_some() {
+            return Err(format!(
+                "`sid` requires {} v{}",
+                wire::PROTO_NAME,
+                wire::PROTO_VERSION_V2
+            ));
+        }
+        return Ok(());
+    }
+    // Open/attach/close address their target; everything else must
+    // address the session this connection is bound to.
+    if matches!(request, Request::Sessions) || !session_verb {
+        let bound = binding.entry.name();
+        match sid {
+            None => return Err("missing `sid` (every v2 request carries one)".into()),
+            Some(sid) if sid != bound => {
+                return Err(format!(
+                    "request sid `{sid}` does not match the bound session `{bound}`"
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(())
+}
+
+/// Writes one already-encoded frame, degrading an oversized one into an
+/// error frame first — a response that would overflow the peer's frame
+/// cap (a snapshot of an enormous service) must stay recoverable;
+/// sending it anyway would kill the connection on the client side.
+fn write_frame(writer: &Arc<Mutex<TcpStream>>, frame: String) -> io::Result<()> {
+    let frame = if frame.len() >= wire::MAX_FRAME {
+        Response::Err {
             message: format!(
                 "response of {} bytes exceeds the {}-byte frame cap",
                 frame.len(),
                 wire::MAX_FRAME
             ),
         }
-        .encode();
-    }
+        .encode()
+    } else {
+        frame
+    };
     let mut stream = lock_recovering(writer);
     wire::write_frame(&mut *stream, &frame)
 }
@@ -324,27 +484,30 @@ fn err_response(e: ServiceError) -> Response {
     }
 }
 
-/// Executes one request against the shared session, returning the
-/// response and whether the server should stop once it is written.
-/// Every arm locks the session for the whole operation — the lock *is*
-/// the global submission order.
+/// Executes one request against the connection's bound session (or the
+/// session table, for the session verbs), returning the response and
+/// whether the server should stop once it is written. Every
+/// state-touching arm locks the session for the whole operation — the
+/// lock *is* that session's global submission order.
 fn execute(
     request: &Request,
     shared: &Arc<Shared>,
     writer: &Arc<Mutex<TcpStream>>,
     gone: &Arc<AtomicBool>,
     forwarder: &mut Option<JoinHandle<()>>,
+    binding: &mut Binding,
+    version: u64,
 ) -> (Response, bool) {
     let response = match request {
         Request::Submit { worker } => {
-            let mut session = lock_recovering(&shared.session);
+            let mut session = binding.entry.lock();
             match session.submit_worker(worker) {
                 Ok(worker) => Response::Submit { worker },
                 Err(e) => err_response(e),
             }
         }
         Request::Post { task, row } => {
-            let mut session = lock_recovering(&shared.session);
+            let mut session = binding.entry.lock();
             let posted = match row {
                 None => session.post_task(*task),
                 Some(row) => session.post_task_with_accuracies(*task, row),
@@ -359,7 +522,7 @@ fn execute(
                 return (Response::Subscribe, false); // idempotent per connection
             }
             let stream = {
-                let mut session = lock_recovering(&shared.session);
+                let mut session = binding.entry.lock();
                 match session.subscribe() {
                     Ok(stream) => stream,
                     Err(e) => return (err_response(e), false),
@@ -368,32 +531,46 @@ fn execute(
             let writer = Arc::clone(writer);
             let gone = Arc::clone(gone);
             let shared = Arc::clone(shared);
+            let entry = Arc::clone(&binding.entry);
             let join = std::thread::Builder::new()
                 .name("ltc-serve-events".into())
-                .spawn(move || loop {
-                    match stream.recv_timeout(FORWARDER_POLL) {
-                        Some(event) => {
-                            let frame = wire::encode_event(&event);
-                            let mut sock = lock_recovering(&writer);
-                            if wire::write_frame(&mut *sock, &frame).is_err() {
-                                return;
-                            }
+                .spawn(move || {
+                    // `v2` events carry the bound session's sid like
+                    // every other frame; `v1` events stay byte-identical
+                    // to the `v1` grammar.
+                    let sid = (version == wire::PROTO_VERSION_V2).then(|| entry.name().to_string());
+                    let emit = |event: &_, writer: &Arc<Mutex<TcpStream>>| {
+                        let mut frame = wire::encode_event(event);
+                        if let Some(sid) = &sid {
+                            frame = wire::with_sid(frame, sid);
                         }
-                        // Idle (or the stream ended — the two are
-                        // indistinguishable here): keep pacing until the
-                        // peer leaves or the server stops, then let the
-                        // channel drain one last time and exit.
-                        None => {
-                            if gone.load(Ordering::SeqCst) || shared.stopping.load(Ordering::SeqCst)
-                            {
-                                while let Some(event) = stream.try_recv() {
-                                    let frame = wire::encode_event(&event);
-                                    let mut sock = lock_recovering(&writer);
-                                    if wire::write_frame(&mut *sock, &frame).is_err() {
-                                        return;
-                                    }
+                        let mut sock = lock_recovering(writer);
+                        wire::write_frame(&mut *sock, &frame)
+                    };
+                    loop {
+                        match stream.recv_timeout(FORWARDER_POLL) {
+                            Some(event) => {
+                                if emit(&event, &writer).is_err() {
+                                    return;
                                 }
-                                return;
+                            }
+                            // Idle (or the stream ended — the two are
+                            // indistinguishable here): keep pacing until
+                            // the peer leaves, the session is evicted, or
+                            // the server stops, then let the channel
+                            // drain one last time and exit.
+                            None => {
+                                if gone.load(Ordering::SeqCst)
+                                    || entry.is_closed()
+                                    || shared.stopping.load(Ordering::SeqCst)
+                                {
+                                    while let Some(event) = stream.try_recv() {
+                                        if emit(&event, &writer).is_err() {
+                                            return;
+                                        }
+                                    }
+                                    return;
+                                }
                             }
                         }
                     }
@@ -410,14 +587,14 @@ fn execute(
             }
         }
         Request::Drain => {
-            let mut session = lock_recovering(&shared.session);
+            let mut session = binding.entry.lock();
             match session.drain() {
                 Ok(()) => Response::Drain,
                 Err(e) => err_response(e),
             }
         }
         Request::Snapshot => {
-            let mut session = lock_recovering(&shared.session);
+            let mut session = binding.entry.lock();
             match session.snapshot() {
                 Ok(snapshot) => {
                     let mut text = Vec::new();
@@ -435,29 +612,87 @@ fn execute(
             }
         }
         Request::Rebalance => {
-            let mut session = lock_recovering(&shared.session);
+            let mut session = binding.entry.lock();
             match session.rebalance() {
                 Ok(outcome) => Response::Rebalance { outcome },
                 Err(e) => err_response(e),
             }
         }
         Request::Metrics => {
-            let mut session = lock_recovering(&shared.session);
+            let mut session = binding.entry.lock();
             match session.metrics() {
-                Ok(metrics) => Response::Metrics { metrics },
+                Ok(mut metrics) => {
+                    // The hosting process's view, not the session's: the
+                    // table knows how many sessions this server carries.
+                    metrics.sessions_open = shared.table.open_count();
+                    metrics.sessions_evicted = shared.table.evicted_count();
+                    Response::Metrics { metrics }
+                }
                 Err(e) => err_response(e),
             }
         }
         Request::Shutdown => {
-            let result = {
-                let mut session = lock_recovering(&shared.session);
-                session.shutdown()
-            };
+            let result = shared.table.shutdown_all();
             return match result {
                 Ok(()) => (Response::Shutdown, true),
                 Err(e) => (err_response(e), false),
             };
         }
+        Request::Open {
+            sid,
+            algorithm,
+            shards,
+            region,
+        } => {
+            if forwarder.is_some() {
+                return (
+                    Response::Err {
+                        message: "a subscribed connection cannot rebind (open a new connection)"
+                            .into(),
+                    },
+                    false,
+                );
+            }
+            let config = SessionConfig {
+                algorithm: *algorithm,
+                shards: *shards,
+                region: *region,
+            };
+            match shared.table.open(sid, &config) {
+                Ok(entry) => {
+                    let info = entry.lock().info();
+                    binding.rebind(entry);
+                    Response::Open { info }
+                }
+                Err(e) => err_response(e),
+            }
+        }
+        Request::Attach { sid } => {
+            if forwarder.is_some() {
+                return (
+                    Response::Err {
+                        message: "a subscribed connection cannot rebind (open a new connection)"
+                            .into(),
+                    },
+                    false,
+                );
+            }
+            match shared.table.get(sid) {
+                Ok(entry) => {
+                    let info = entry.lock().info();
+                    binding.rebind(entry);
+                    Response::Attach { info }
+                }
+                Err(e) => err_response(e),
+            }
+        }
+        Request::Close { sid } => match shared.table.close(sid) {
+            Ok(()) => Response::Close,
+            Err(e) => err_response(e),
+        },
+        Request::Sessions => Response::Sessions {
+            sessions: shared.table.list(),
+        },
     };
     (response, false)
 }
@@ -480,7 +715,7 @@ mod tests {
         ServiceBuilder::new(params, region).start().unwrap()
     }
 
-    /// Regression: a connection thread panicking while it holds the
+    /// Regression: a connection thread panicking while it holds a
     /// session lock used to poison the mutex for good — every later
     /// request on every other connection died unwrapping it. The lock
     /// must recover so only the offending connection fails.
@@ -491,18 +726,18 @@ mod tests {
         let running = server.spawn().unwrap();
 
         // Simulate the offending connection: panic while holding the
-        // session lock, exactly as a request handler would.
-        let poisoner = Arc::clone(&shared);
+        // default session's lock, exactly as a request handler would.
+        let poisoner = shared.table.default_entry();
         std::thread::Builder::new()
             .name("poisoner".into())
             .spawn(move || {
-                let _guard = poisoner.session.lock().unwrap();
+                let _guard = poisoner.lock();
                 panic!("connection thread dies mid-request");
             })
             .unwrap()
             .join()
             .unwrap_err();
-        assert!(shared.session.is_poisoned());
+        assert!(shared.table.default_entry().is_poisoned());
 
         // Every later client must still get served, end to end.
         let mut client = LtcClient::connect(running.addr()).unwrap();

@@ -1,4 +1,5 @@
-//! The `ltc-proto v1` message vocabulary and its NDJSON codec.
+//! The `ltc-proto` message vocabulary and its NDJSON codec (versions
+//! [`PROTO_VERSION`] and [`PROTO_VERSION_V2`]).
 //!
 //! ## Framing
 //!
@@ -19,6 +20,18 @@
 //! connection has subscribed, [`StreamEvent`] frames (`"ev"` key) flow
 //! server→client interleaved between responses; the `"ev"`/`"ok"`/
 //! `"err"` key is the demultiplexer.
+//!
+//! ## Sessions (`v2`)
+//!
+//! A `v2` connection speaks to a **named session** on a multi-session
+//! server. The handshake is `{"proto":"ltc-proto","v":2}`, the
+//! connection starts bound to the [`DEFAULT_SESSION`], and the
+//! session verbs [`Request::Open`] / [`Request::Attach`] /
+//! [`Request::Close`] / [`Request::Sessions`] manage the server's
+//! session table. Every `v2` request, response, and event frame carries
+//! the session id as a trailing `"sid"` member ([`with_sid`]); `v1`
+//! frames stay byte-identical to what they always were, and a `v1`
+//! hello binds the default session.
 //!
 //! ## Exactness
 //!
@@ -41,13 +54,58 @@ use ltc_core::model::{ProblemParams, QualityModel, Task, TaskId, Worker, WorkerI
 use ltc_core::service::{
     Algorithm, Event, Lifecycle, RebalanceOutcome, ServiceMetrics, SessionInfo, StreamEvent,
 };
-use ltc_spatial::Point;
+use ltc_spatial::{BoundingBox, Point};
 use std::io::{self, BufRead, Read, Write};
 
 /// The protocol name, sent in both handshake frames.
 pub const PROTO_NAME: &str = "ltc-proto";
-/// The protocol version this build speaks.
+/// The baseline protocol version: one implicit session per server.
 pub const PROTO_VERSION: u64 = 1;
+/// The session-namespace protocol version: named sessions behind one
+/// server, a `"sid"` member on every frame.
+pub const PROTO_VERSION_V2: u64 = 2;
+/// The session a `v1` hello (or a fresh `v2` connection) is bound to.
+pub const DEFAULT_SESSION: &str = "default";
+
+/// Whether `name` is a legal session id: 1–64 ASCII characters from
+/// `[A-Za-z0-9._-]`. The restriction keeps session ids free of JSON
+/// escapes, so they can ride every frame verbatim.
+pub fn valid_session_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+}
+
+/// Appends the trailing `"sid"` member every `v2` frame carries. The
+/// frame must be one JSON object (every encoder here emits exactly
+/// that) and the sid a [`valid_session_name`], so no escaping is
+/// needed.
+pub fn with_sid(frame: String, sid: &str) -> String {
+    debug_assert!(frame.ends_with('}'), "{frame}");
+    debug_assert!(valid_session_name(sid), "{sid}");
+    let mut out = frame;
+    out.pop();
+    out.push_str(",\"sid\":\"");
+    out.push_str(sid);
+    out.push_str("\"}");
+    out
+}
+
+/// The `"sid"` member of a frame, if present and well-formed.
+pub fn frame_sid(v: &Json) -> Result<Option<&str>, WireError> {
+    match v.get("sid") {
+        None => Ok(None),
+        Some(sid) => {
+            let sid = sid.as_str().ok_or("non-string `sid`")?;
+            if !valid_session_name(sid) {
+                return Err(format!("illegal session id `{sid}`"));
+            }
+            Ok(Some(sid))
+        }
+    }
+}
 /// Upper bound on one frame, delimiter included (64 MiB — snapshots of
 /// large services travel as a single frame).
 pub const MAX_FRAME: usize = 1 << 26;
@@ -129,6 +187,20 @@ pub fn encode_hello() -> String {
     format!("{{\"proto\":\"{PROTO_NAME}\",\"v\":{PROTO_VERSION}}}")
 }
 
+/// The client half of a `v2` handshake.
+pub fn encode_hello_v2() -> String {
+    format!("{{\"proto\":\"{PROTO_NAME}\",\"v\":{PROTO_VERSION_V2}}}")
+}
+
+/// The server half of a `v2` handshake (the caller appends the bound
+/// session's sid with [`with_sid`], like on every other `v2` frame).
+pub fn encode_hello_response_v2(info: &SessionInfo) -> String {
+    let mut out = format!("{{\"proto\":\"{PROTO_NAME}\",\"v\":{PROTO_VERSION_V2},\"info\":");
+    encode_info(&mut out, info);
+    out.push('}');
+    out
+}
+
 /// Validates a client hello, returning the version it asked for.
 pub fn decode_hello(frame: &str) -> Result<u64, WireError> {
     let v = json::parse(frame).map_err(|e| e.to_string())?;
@@ -165,6 +237,34 @@ pub enum Request {
     Metrics,
     /// End the served session.
     Shutdown,
+    /// `v2`: create a named session in the server's session table and
+    /// bind this connection to it. Absent knobs inherit the server's
+    /// template (the configuration its default session was built from).
+    Open {
+        /// The new session's id.
+        sid: String,
+        /// Policy override (its seed rides inside
+        /// [`Algorithm::Random`]).
+        algorithm: Option<Algorithm>,
+        /// Shard-count override.
+        shards: Option<usize>,
+        /// Service-region override.
+        region: Option<BoundingBox>,
+    },
+    /// `v2`: bind this connection to an existing named session.
+    Attach {
+        /// The target session's id.
+        sid: String,
+    },
+    /// `v2`: quiesce and evict a named session (its subscribers see
+    /// [`Lifecycle::SessionEvicted`] and then the stream ends). The
+    /// default session cannot be closed — `shutdown` ends the server.
+    Close {
+        /// The doomed session's id.
+        sid: String,
+    },
+    /// `v2`: list the server's live sessions.
+    Sessions,
 }
 
 impl Request {
@@ -204,12 +304,55 @@ impl Request {
             Request::Rebalance => "{\"op\":\"rebalance\"}".into(),
             Request::Metrics => "{\"op\":\"metrics\"}".into(),
             Request::Shutdown => "{\"op\":\"shutdown\"}".into(),
+            Request::Open {
+                sid,
+                algorithm,
+                shards,
+                region,
+            } => {
+                let mut out = format!("{{\"op\":\"open\",\"sid\":\"{sid}\"");
+                if let Some(algorithm) = algorithm {
+                    out.push(',');
+                    encode_algorithm(&mut out, *algorithm);
+                }
+                if let Some(shards) = shards {
+                    out.push_str(&format!(",\"shards\":{shards}"));
+                }
+                if let Some(region) = region {
+                    out.push_str(&format!(
+                        ",\"region\":[\"{}\",\"{}\",\"{}\",\"{}\"]",
+                        hex(region.min.x),
+                        hex(region.min.y),
+                        hex(region.max.x),
+                        hex(region.max.y)
+                    ));
+                }
+                out.push('}');
+                out
+            }
+            Request::Attach { sid } => format!("{{\"op\":\"attach\",\"sid\":\"{sid}\"}}"),
+            Request::Close { sid } => format!("{{\"op\":\"close\",\"sid\":\"{sid}\"}}"),
+            Request::Sessions => "{\"op\":\"sessions\"}".into(),
         }
+    }
+
+    /// Parses a request frame, also returning its `"sid"` member — the
+    /// session a `v2` request addresses (for the session verbs, the
+    /// target session). `None` on `v1` frames.
+    pub fn decode_with_sid(frame: &str) -> Result<(Request, Option<String>), WireError> {
+        let v = json::parse(frame).map_err(|e| e.to_string())?;
+        let sid = frame_sid(&v)?.map(str::to_owned);
+        let request = Self::decode_value(&v)?;
+        Ok((request, sid))
     }
 
     /// Parses a request frame.
     pub fn decode(frame: &str) -> Result<Request, WireError> {
         let v = json::parse(frame).map_err(|e| e.to_string())?;
+        Self::decode_value(&v)
+    }
+
+    fn decode_value(v: &Json) -> Result<Request, WireError> {
         match word("op", v.get("op"))? {
             "submit" => Ok(Request::Submit {
                 worker: Worker::new(
@@ -238,9 +381,52 @@ impl Request {
             "rebalance" => Ok(Request::Rebalance),
             "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
+            "open" => Ok(Request::Open {
+                sid: required_sid(v)?,
+                algorithm: match v.get("algo") {
+                    None => None,
+                    Some(_) => Some(decode_algorithm(v)?),
+                },
+                shards: match v.get("shards") {
+                    None => None,
+                    Some(_) => Some(uint("shards", v.get("shards"))? as usize),
+                },
+                region: match v.get("region") {
+                    None => None,
+                    Some(region) => {
+                        let corners = region.as_arr().filter(|a| a.len() == 4).ok_or(
+                            "`region` must be a 4-element [min_x,min_y,max_x,max_y] array",
+                        )?;
+                        Some(BoundingBox::new(
+                            Point::new(
+                                unhex("region entry", Some(&corners[0]))?,
+                                unhex("region entry", Some(&corners[1]))?,
+                            ),
+                            Point::new(
+                                unhex("region entry", Some(&corners[2]))?,
+                                unhex("region entry", Some(&corners[3]))?,
+                            ),
+                        ))
+                    }
+                },
+            }),
+            "attach" => Ok(Request::Attach {
+                sid: required_sid(v)?,
+            }),
+            "close" => Ok(Request::Close {
+                sid: required_sid(v)?,
+            }),
+            "sessions" => Ok(Request::Sessions),
             other => Err(format!("unknown op `{other}`")),
         }
     }
+}
+
+/// The mandatory `"sid"` of a session verb.
+fn required_sid(v: &Json) -> Result<String, WireError> {
+    frame_sid(v)?
+        .map(str::to_owned)
+        .ok_or_else(|| "missing `sid`".into())
 }
 
 /// A server→client reply. Exactly one per [`Request`], in request order
@@ -283,12 +469,44 @@ pub enum Response {
     },
     /// The session ended.
     Shutdown,
+    /// `v2`: a session was created and this connection bound to it.
+    Open {
+        /// The new session's description.
+        info: SessionInfo,
+    },
+    /// `v2`: this connection is now bound to the named session.
+    Attach {
+        /// The bound session's description.
+        info: SessionInfo,
+    },
+    /// `v2`: the named session was quiesced and evicted.
+    Close,
+    /// `v2`: the server's live sessions.
+    Sessions {
+        /// One entry per live session, in session-name order.
+        sessions: Vec<SessionStat>,
+    },
     /// The operation failed; the session (and connection) remain usable
     /// unless the message says otherwise.
     Err {
         /// Human-readable failure description.
         message: String,
     },
+}
+
+/// One row of a `v2` `sessions` listing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionStat {
+    /// The session's id.
+    pub sid: String,
+    /// The policy it runs.
+    pub algorithm: Algorithm,
+    /// Its shard count.
+    pub n_shards: usize,
+    /// Tasks it currently holds.
+    pub n_tasks: u64,
+    /// Connections currently bound to it.
+    pub attached: u64,
 }
 
 fn encode_algorithm(out: &mut String, algorithm: Algorithm) {
@@ -456,12 +674,42 @@ impl Response {
                     None => out.push_str(",\"latency\":null"),
                 }
                 out.push_str(&format!(
-                    ",\"wal\":{},\"checkpoints\":{}}}",
-                    m.wal_records, m.checkpoints
+                    ",\"wal\":{},\"checkpoints\":{},\"sessions_open\":{},\
+                     \"sessions_evicted\":{}}}",
+                    m.wal_records, m.checkpoints, m.sessions_open, m.sessions_evicted
                 ));
                 out
             }
             Response::Shutdown => "{\"ok\":\"shutdown\"}".into(),
+            Response::Open { info } => {
+                let mut out = String::from("{\"ok\":\"open\",\"info\":");
+                encode_info(&mut out, info);
+                out.push('}');
+                out
+            }
+            Response::Attach { info } => {
+                let mut out = String::from("{\"ok\":\"attach\",\"info\":");
+                encode_info(&mut out, info);
+                out.push('}');
+                out
+            }
+            Response::Close => "{\"ok\":\"close\"}".into(),
+            Response::Sessions { sessions } => {
+                let mut out = String::from("{\"ok\":\"sessions\",\"sessions\":[");
+                for (i, s) in sessions.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{{\"sid\":\"{}\",", s.sid));
+                    encode_algorithm(&mut out, s.algorithm);
+                    out.push_str(&format!(
+                        ",\"shards\":{},\"tasks\":{},\"attached\":{}}}",
+                        s.n_shards, s.n_tasks, s.attached
+                    ));
+                }
+                out.push_str("]}");
+                out
+            }
             Response::Err { message } => {
                 let mut out = String::from("{\"err\":");
                 json::push_escaped(&mut out, message);
@@ -481,9 +729,10 @@ impl Response {
         }
         if v.get("proto").is_some() {
             let version = uint("v", v.get("v"))?;
-            if version != PROTO_VERSION {
+            if version != PROTO_VERSION && version != PROTO_VERSION_V2 {
                 return Err(format!(
-                    "server speaks {PROTO_NAME} v{version}, this client v{PROTO_VERSION}"
+                    "server speaks {PROTO_NAME} v{version}, this client v{PROTO_VERSION}\
+                     /v{PROTO_VERSION_V2}"
                 ));
             }
             return Ok(Response::Hello {
@@ -533,9 +782,38 @@ impl Response {
                     // older peers, so default rather than reject.
                     wal_records: v.get("wal").and_then(Json::as_u64).unwrap_or(0),
                     checkpoints: v.get("checkpoints").and_then(Json::as_u64).unwrap_or(0),
+                    sessions_open: v.get("sessions_open").and_then(Json::as_u64).unwrap_or(0),
+                    sessions_evicted: v
+                        .get("sessions_evicted")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0),
                 },
             }),
             "shutdown" => Ok(Response::Shutdown),
+            "open" => Ok(Response::Open {
+                info: decode_info(v.get("info").ok_or("missing `info`")?)?,
+            }),
+            "attach" => Ok(Response::Attach {
+                info: decode_info(v.get("info").ok_or("missing `info`")?)?,
+            }),
+            "close" => Ok(Response::Close),
+            "sessions" => {
+                let items = v
+                    .get("sessions")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing or non-array `sessions`")?;
+                let mut sessions = Vec::with_capacity(items.len());
+                for s in items {
+                    sessions.push(SessionStat {
+                        sid: required_sid(s)?,
+                        algorithm: decode_algorithm(s)?,
+                        n_shards: uint("shards", s.get("shards"))? as usize,
+                        n_tasks: uint("tasks", s.get("tasks"))?,
+                        attached: uint("attached", s.get("attached"))?,
+                    });
+                }
+                Ok(Response::Sessions { sessions })
+            }
             other => Err(format!("unknown response `{other}`")),
         }
     }
@@ -601,6 +879,7 @@ pub fn encode_event(event: &StreamEvent) -> String {
             Lifecycle::Checkpointed { seq } => {
                 format!("{{\"ev\":\"life\",\"kind\":\"checkpointed\",\"seq\":{seq}}}")
             }
+            Lifecycle::SessionEvicted => "{\"ev\":\"life\",\"kind\":\"evicted\"}".into(),
             Lifecycle::ShuttingDown => "{\"ev\":\"life\",\"kind\":\"bye\"}".into(),
         },
     }
@@ -657,6 +936,7 @@ pub fn decode_event(frame: &str) -> Result<StreamEvent, WireError> {
             "checkpointed" => Lifecycle::Checkpointed {
                 seq: uint("seq", v.get("seq"))?,
             },
+            "evicted" => Lifecycle::SessionEvicted,
             "bye" => Lifecycle::ShuttingDown,
             other => return Err(format!("unknown lifecycle kind `{other}`")),
         })),
@@ -689,11 +969,69 @@ mod tests {
             Request::Rebalance,
             Request::Metrics,
             Request::Shutdown,
+            Request::Open {
+                sid: "region-7".into(),
+                algorithm: None,
+                shards: None,
+                region: None,
+            },
+            Request::Open {
+                sid: "a".into(),
+                algorithm: Some(Algorithm::Random { seed: 42 }),
+                shards: Some(4),
+                region: Some(ltc_spatial::BoundingBox::new(
+                    Point::new(-1.5, 0.0),
+                    Point::new(1e300, 2.25),
+                )),
+            },
+            Request::Attach { sid: "a".into() },
+            Request::Close { sid: "a".into() },
+            Request::Sessions,
         ];
         for req in cases {
             let frame = req.encode();
             assert_eq!(Request::decode(&frame).unwrap(), req, "{frame}");
         }
+    }
+
+    #[test]
+    fn sid_rides_any_frame_and_round_trips() {
+        let framed = with_sid(Request::Drain.encode(), "s-1");
+        assert_eq!(framed, "{\"op\":\"drain\",\"sid\":\"s-1\"}");
+        let (req, sid) = Request::decode_with_sid(&framed).unwrap();
+        assert_eq!(req, Request::Drain);
+        assert_eq!(sid.as_deref(), Some("s-1"));
+        // v1 frames carry no sid.
+        assert_eq!(
+            Request::decode_with_sid(&Request::Drain.encode())
+                .unwrap()
+                .1,
+            None
+        );
+        // The session verbs surface their target through the same member.
+        let (_, sid) = Request::decode_with_sid("{\"op\":\"attach\",\"sid\":\"x\"}").unwrap();
+        assert_eq!(sid.as_deref(), Some("x"));
+        // Responses and events take the member the same way.
+        let ok = with_sid(Response::Drain.encode(), "s-1");
+        assert_eq!(ok, "{\"ok\":\"drain\",\"sid\":\"s-1\"}");
+        assert_eq!(Response::decode(&ok).unwrap(), Response::Drain);
+        let ev = with_sid(
+            encode_event(&StreamEvent::TaskPosted { task: TaskId(3) }),
+            "s-1",
+        );
+        assert!(is_event_frame(&ev), "{ev}");
+        assert_eq!(
+            decode_event(&ev).unwrap(),
+            StreamEvent::TaskPosted { task: TaskId(3) }
+        );
+        // Illegal ids are rejected, not smuggled.
+        assert!(Request::decode_with_sid("{\"op\":\"drain\",\"sid\":\"a b\"}").is_err());
+        assert!(Request::decode_with_sid("{\"op\":\"attach\",\"sid\":7}").is_err());
+        assert!(Request::decode("{\"op\":\"attach\"}").is_err());
+        assert!(!valid_session_name(""));
+        assert!(!valid_session_name(&"x".repeat(65)));
+        assert!(!valid_session_name("a\"b"));
+        assert!(valid_session_name("Region_7.east-2"));
     }
 
     #[test]
@@ -711,6 +1049,8 @@ mod tests {
             n_shards: 4,
             n_tasks: 17,
         };
+        let info2 = info.clone();
+        let info3 = info.clone();
         let cases = vec![
             Response::Hello { info },
             Response::Submit {
@@ -742,12 +1082,36 @@ mod tests {
                     latency: Some(97),
                     wal_records: 1234,
                     checkpoints: 5,
+                    sessions_open: 3,
+                    sessions_evicted: 2,
                 },
             },
             Response::Metrics {
                 metrics: ServiceMetrics::default(),
             },
             Response::Shutdown,
+            Response::Open { info: info2 },
+            Response::Attach { info: info3 },
+            Response::Close,
+            Response::Sessions { sessions: vec![] },
+            Response::Sessions {
+                sessions: vec![
+                    SessionStat {
+                        sid: "default".into(),
+                        algorithm: Algorithm::Laf,
+                        n_shards: 1,
+                        n_tasks: 24,
+                        attached: 2,
+                    },
+                    SessionStat {
+                        sid: "region-7".into(),
+                        algorithm: Algorithm::Random { seed: 9 },
+                        n_shards: 4,
+                        n_tasks: 0,
+                        attached: 0,
+                    },
+                ],
+            },
             Response::Err {
                 message: "engine error: task has a non-finite location".into(),
             },
@@ -795,6 +1159,7 @@ mod tests {
                 mean_load: 2.5,
             }),
             StreamEvent::Lifecycle(Lifecycle::Checkpointed { seq: u64::MAX }),
+            StreamEvent::Lifecycle(Lifecycle::SessionEvicted),
             StreamEvent::Lifecycle(Lifecycle::ShuttingDown),
         ];
         for event in cases {

@@ -1,19 +1,22 @@
-//! Loopback differential tests for the `ltc-proto v1` transport: a
-//! session driven through `LtcClient` → TCP → `LtcServer` must be
-//! observationally identical to driving the `ServiceHandle` in process —
-//! event for event, bit for bit — because the server assigns arrival ids
-//! in request-arrival order and every float crosses the wire as its bit
-//! pattern.
+//! Loopback differential tests for the `ltc-proto` transport (`v1`
+//! and the `v2` session namespace): a session driven through
+//! `LtcClient` → TCP → `LtcServer` must be observationally identical
+//! to driving the `ServiceHandle` in process — event for event, bit
+//! for bit — because the server assigns arrival ids in request-arrival
+//! order and every float crosses the wire as its bit pattern. The same
+//! bar holds per session on a multi-session server: sessions co-hosted
+//! on one table must be bit-identical to dedicated servers, and `v1`
+//! clients must see byte-identical frames against either.
 //!
 //! CI runs this file in the timeout-guarded job: a wedged connection or
 //! a deadlocked quiesce must fail loudly, never hang the build.
 
 use ltc_core::model::{ProblemParams, Task, Worker};
 use ltc_core::service::{
-    Algorithm, Lifecycle, ServiceBuilder, ServiceHandle, Session, StreamEvent,
+    Algorithm, Lifecycle, ServiceBuilder, ServiceError, ServiceHandle, Session, StreamEvent,
 };
 use ltc_proto::wire;
-use ltc_proto::{LtcClient, LtcServer};
+use ltc_proto::{LtcClient, LtcServer, SessionConfig, SessionFactory, SessionTable};
 use ltc_spatial::{BoundingBox, Point};
 use std::io::BufReader;
 use std::num::NonZeroUsize;
@@ -297,12 +300,12 @@ fn version_mismatch_is_refused_cleanly() {
         .spawn()
         .unwrap();
     let mut conn = std::net::TcpStream::connect(server.addr()).unwrap();
-    wire::write_frame(&mut conn, "{\"proto\":\"ltc-proto\",\"v\":2}").unwrap();
+    wire::write_frame(&mut conn, "{\"proto\":\"ltc-proto\",\"v\":99}").unwrap();
     let mut reader = BufReader::new(conn.try_clone().unwrap());
     let reply = wire::read_frame(&mut reader).unwrap().unwrap();
     match wire::Response::decode(&reply).unwrap() {
         wire::Response::Err { message } => {
-            assert!(message.contains("version 2"), "{message}");
+            assert!(message.contains("version 99"), "{message}");
         }
         other => panic!("expected a refusal, got {other:?}"),
     }
@@ -314,6 +317,257 @@ fn version_mismatch_is_refused_cleanly() {
     let mut ok = LtcClient::connect(server.addr()).unwrap();
     ok.drain().unwrap();
     ok.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
+/// The factory a multi-session test server opens named sessions
+/// through: same fixture parameters/tasks as [`handle`], with the open
+/// request's overrides applied.
+fn session_factory() -> SessionFactory {
+    Box::new(|config: &SessionConfig| {
+        let shards = NonZeroUsize::new(config.shards.unwrap_or(1))
+            .ok_or_else(|| ServiceError::Session("shards must be positive".into()))?;
+        let built = ServiceBuilder::new(params(), config.region.unwrap_or_else(region))
+            .tasks(tasks())
+            .shards(shards)
+            .algorithm(config.algorithm.unwrap_or(Algorithm::Laf))
+            .start()?;
+        Ok(Box::new(built))
+    })
+}
+
+#[test]
+fn two_sessions_on_one_server_equal_two_dedicated_servers() {
+    // The tentpole differential: two named sessions co-hosted on one
+    // multi-session server, driven in lockstep with two dedicated
+    // single-session servers, must be observationally identical — same
+    // arrival ids, same event streams bit for bit, same metrics (modulo
+    // the table-level session counters) — at 1 and 4 shards.
+    for n_shards in [1usize, 4] {
+        let table =
+            SessionTable::with_factory(handle(1, Algorithm::Laf), session_factory(), 3, None);
+        let shared = LtcServer::bind_table("127.0.0.1:0", table)
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let dedicated_a = LtcServer::bind("127.0.0.1:0", handle(n_shards, Algorithm::Laf))
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let dedicated_b = LtcServer::bind("127.0.0.1:0", handle(n_shards, Algorithm::Aam))
+            .unwrap()
+            .spawn()
+            .unwrap();
+
+        let config = |algorithm| SessionConfig {
+            algorithm: Some(algorithm),
+            shards: Some(n_shards),
+            region: None,
+        };
+        let mut sess_a = LtcClient::connect_v2(shared.addr()).unwrap();
+        sess_a.open_session("a", &config(Algorithm::Laf)).unwrap();
+        let mut sess_b = LtcClient::connect_v2(shared.addr()).unwrap();
+        sess_b.open_session("b", &config(Algorithm::Aam)).unwrap();
+        let mut solo_a = LtcClient::connect(dedicated_a.addr()).unwrap();
+        let mut solo_b = LtcClient::connect(dedicated_b.addr()).unwrap();
+        assert_eq!(Session::info(&sess_a), Session::info(&solo_a));
+        assert_eq!(Session::info(&sess_b), Session::info(&solo_b));
+
+        let ev_a = sess_a.subscribe().unwrap();
+        let ev_b = sess_b.subscribe().unwrap();
+        let solo_ev_a = solo_a.subscribe().unwrap();
+        let solo_ev_b = solo_b.subscribe().unwrap();
+
+        // Interleave submissions across the co-hosted sessions so any
+        // cross-session leakage would surface in both streams.
+        let stream_a = workers(160, 7);
+        let stream_b = workers(160, 8);
+        for (wa, wb) in stream_a.iter().zip(&stream_b) {
+            assert_eq!(
+                sess_a.submit_worker(wa).unwrap(),
+                solo_a.submit_worker(wa).unwrap()
+            );
+            assert_eq!(
+                sess_b.submit_worker(wb).unwrap(),
+                solo_b.submit_worker(wb).unwrap()
+            );
+        }
+        let got_a = collect_ordered(&mut sess_a, &ev_a, 160);
+        let got_b = collect_ordered(&mut sess_b, &ev_b, 160);
+        assert_eq!(
+            got_a,
+            collect_ordered(&mut solo_a, &solo_ev_a, 160),
+            "{n_shards} shards: co-hosted session `a` diverged"
+        );
+        assert_eq!(
+            got_b,
+            collect_ordered(&mut solo_b, &solo_ev_b, 160),
+            "{n_shards} shards: co-hosted session `b` diverged"
+        );
+
+        // Metrics match too; the session counters are the one designed
+        // difference (the co-hosting table carries three sessions).
+        let mut shared_metrics = sess_a.metrics().unwrap();
+        let solo_metrics = solo_a.metrics().unwrap();
+        assert_eq!(shared_metrics.sessions_open, 3);
+        assert_eq!(solo_metrics.sessions_open, 1);
+        shared_metrics.sessions_open = solo_metrics.sessions_open;
+        assert_eq!(shared_metrics, solo_metrics);
+
+        sess_a.shutdown().unwrap();
+        shared.wait().unwrap();
+        solo_a.shutdown().unwrap();
+        dedicated_a.wait().unwrap();
+        solo_b.shutdown().unwrap();
+        dedicated_b.wait().unwrap();
+    }
+}
+
+#[test]
+fn concurrent_clients_per_session_match_their_replays() {
+    // Per-session replay equivalence under concurrency: two writers per
+    // session, racing across two co-hosted sessions. Each session must
+    // allocate its own dense arrival-id space, and each observer's
+    // interleaved history must replay exactly on a fresh in-process
+    // session.
+    let table = SessionTable::with_factory(handle(4, Algorithm::Laf), session_factory(), 3, None);
+    let server = LtcServer::bind_table("127.0.0.1:0", table)
+        .unwrap()
+        .spawn()
+        .unwrap();
+
+    let observe = |sid: &str| {
+        let mut observer = LtcClient::connect_v2(server.addr()).unwrap();
+        observer
+            .open_session(
+                sid,
+                &SessionConfig {
+                    shards: Some(4),
+                    ..SessionConfig::default()
+                },
+            )
+            .unwrap();
+        let events = observer.subscribe().unwrap();
+        (observer, events)
+    };
+    let (mut obs_a, ev_a) = observe("a");
+    let (mut obs_b, ev_b) = observe("b");
+
+    let submit = |sid: &'static str, salt: u64| {
+        let addr = server.addr();
+        std::thread::spawn(move || {
+            let mut client = LtcClient::connect_v2(addr).unwrap();
+            client.attach_session(sid).unwrap();
+            let mut sent = Vec::new();
+            for w in workers(120, salt) {
+                sent.push((client.submit_worker(&w).unwrap(), w));
+            }
+            sent
+        })
+    };
+    let writers = [
+        ("a", submit("a", 1)),
+        ("b", submit("b", 2)),
+        ("a", submit("a", 3)),
+        ("b", submit("b", 4)),
+    ];
+    let mut order_a = Vec::new();
+    let mut order_b = Vec::new();
+    for (sid, writer) in writers {
+        let sent = writer.join().unwrap();
+        match sid {
+            "a" => order_a.extend(sent),
+            _ => order_b.extend(sent),
+        }
+    }
+    for (sid, order, observer, events) in [
+        ("a", &mut order_a, &mut obs_a, &ev_a),
+        ("b", &mut order_b, &mut obs_b, &ev_b),
+    ] {
+        order.sort_by_key(|&(id, _)| id);
+        // Dense per-session id spaces: isolation means neither session
+        // sees the other's arrivals.
+        assert_eq!(order.len(), 240, "session `{sid}`");
+        assert!(
+            order
+                .iter()
+                .enumerate()
+                .all(|(i, (id, _))| id.0 == i as u64),
+            "session `{sid}`: arrival ids not dense"
+        );
+        let observed = collect_ordered(&mut *observer, events, 240);
+        let mut replay = handle(4, Algorithm::Laf);
+        let replay_events = replay.subscribe().unwrap();
+        for (_, w) in order.iter() {
+            Session::submit_worker(&mut replay, w).unwrap();
+        }
+        let expect = collect_ordered(&mut replay, &replay_events, 240);
+        assert_eq!(
+            observed, expect,
+            "session `{sid}`: concurrent interleaving diverged from its replay"
+        );
+        Session::shutdown(&mut replay).unwrap();
+    }
+
+    obs_a.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
+#[test]
+fn v1_clients_bind_the_default_session_with_unchanged_frames() {
+    // Backward-compat regression: a raw v1 conversation — the literal
+    // frames a PR-5-era client writes — binds the default session and
+    // gets byte-identical replies; no `sid` ever rides a v1 frame, and
+    // the v2 session verbs are refused with a pointer at v2.
+    let server = LtcServer::bind("127.0.0.1:0", handle(1, Algorithm::Laf))
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut conn = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let mut ask = |frame: &str| -> String {
+        wire::write_frame(&mut conn, frame).unwrap();
+        wire::read_frame(&mut reader).unwrap().expect("a reply")
+    };
+
+    let hello = ask("{\"proto\":\"ltc-proto\",\"v\":1}");
+    assert!(
+        hello.starts_with(
+            "{\"proto\":\"ltc-proto\",\"v\":1,\"info\":{\"algo\":\"laf\",\
+             \"shards\":1,\"tasks\":24,\"params\":{"
+        ),
+        "{hello}"
+    );
+    assert!(!hello.contains("\"sid\""), "{hello}");
+
+    // v1 responses are the exact pre-session literals.
+    assert_eq!(ask("{\"op\":\"drain\"}"), "{\"ok\":\"drain\"}");
+    assert_eq!(
+        ask("{\"op\":\"post\",\"x\":\"4080000000000000\",\"y\":\"4080000000000000\"}"),
+        "{\"ok\":\"post\",\"task\":24}"
+    );
+
+    // Session verbs — and explicit sids on any verb — are v2-only.
+    for refused in [
+        "{\"op\":\"sessions\"}",
+        "{\"op\":\"attach\",\"sid\":\"default\"}",
+        "{\"op\":\"open\",\"sid\":\"fresh\"}",
+        "{\"op\":\"drain\",\"sid\":\"default\"}",
+    ] {
+        let reply = ask(refused);
+        assert!(reply.starts_with("{\"err\":"), "{refused} → {reply}");
+        assert!(reply.contains("v2"), "{refused} → {reply}");
+    }
+
+    // Events reach a v1 subscriber in the v1 shape: no session id.
+    assert_eq!(ask("{\"op\":\"subscribe\"}"), "{\"ok\":\"subscribe\"}");
+    let mut feeder = LtcClient::connect(server.addr()).unwrap();
+    feeder.submit_worker(&workers(1, 6)[0]).unwrap();
+    let event = wire::read_frame(&mut reader).unwrap().expect("an event");
+    assert!(event.starts_with("{\"ev\":"), "{event}");
+    assert!(!event.contains("\"sid\""), "{event}");
+
+    feeder.shutdown().unwrap();
     server.wait().unwrap();
 }
 
