@@ -81,6 +81,46 @@ fn run_remote_lockstep(instance: &Instance, shards: usize, stop_at: u64) -> Meas
     }
 }
 
+/// Windowed submission over `v2`: up to `window` submit frames in
+/// flight before their acknowledgements arrive. The stream of applied
+/// decisions is identical to lockstep (the server applies frames in
+/// arrival order either way); what changes is how many TCP round trips
+/// the client's wall clock absorbs.
+fn run_remote_windowed(
+    instance: &Instance,
+    shards: usize,
+    stop_at: u64,
+    window: usize,
+) -> Measurement {
+    let server = LtcServer::bind("127.0.0.1:0", start_handle(instance, shards))
+        .expect("bind loopback")
+        .spawn()
+        .expect("spawn server");
+    let mut client = LtcClient::connect_v2(server.addr()).expect("connect v2");
+    let granted = client.set_window(window).expect("negotiate window");
+    assert_eq!(granted, window, "server narrowed the bench window");
+    let start = Instant::now();
+    let mut workers = 0u64;
+    for worker in instance.workers() {
+        if workers >= stop_at {
+            break;
+        }
+        client.submit_worker_windowed(worker).expect("submit");
+        workers += 1;
+    }
+    client.flush_window().expect("flush window");
+    client.drain().expect("drain");
+    let secs = start.elapsed().as_secs_f64();
+    let metrics = client.metrics().expect("metrics");
+    client.shutdown().expect("shutdown");
+    server.wait().expect("server stops");
+    Measurement {
+        workers,
+        assignments: metrics.n_assignments,
+        secs,
+    }
+}
+
 /// Per-verb cost of the `ltc-proto v2` session lifecycle against a
 /// loopback multi-session server. `open` is the expensive verb — it
 /// spawns a whole service (shard threads, engine loaded with the
@@ -209,6 +249,36 @@ fn main() {
             shards,
             &remote,
         ));
+    }
+    // Windowed submission at 1 shard: the lockstep row above is the
+    // W = 1 baseline's semantic twin (same round-trip cadence over the
+    // v1 handshake); the wider windows show what the in-flight pipeline
+    // buys. Identical assignment counts prove the stream of decisions
+    // never changed — only the waiting did.
+    {
+        let shards = 1usize;
+        let baseline = run_in_process(&instance, shards);
+        let lockstep = run_remote_lockstep(&instance, shards, baseline.workers);
+        for window in [1usize, 16, 256] {
+            let windowed = run_remote_windowed(&instance, shards, baseline.workers, window);
+            report(&format!("remote windowed w={window}"), &windowed);
+            assert_eq!(
+                windowed.assignments, baseline.assignments,
+                "windowed LAF diverged from in-process at window {window}"
+            );
+            println!(
+                "  window {window}: {:.2}x lockstep submission throughput",
+                lockstep.secs / windowed.secs.max(f64::EPSILON)
+            );
+            json.push_row(
+                json_row(&format!("remote-windowed/w{window}"), shards, &windowed)
+                    .field("window", window as u64)
+                    .field(
+                        "speedup_vs_lockstep",
+                        lockstep.secs / windowed.secs.max(f64::EPSILON),
+                    ),
+            );
+        }
     }
     let cycles = 32;
     let (open_secs, close_secs) = run_session_lifecycle(&instance, cycles);

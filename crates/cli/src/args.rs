@@ -12,11 +12,11 @@ USAGE:
   ltc run      --input FILE --algo <aam|laf|random|mcf-ltc|base-off> [--stats]
   ltc stream   ( --input FILE --algo <aam|laf|random> [--seed S] [--shards N]
                | --connect HOST:PORT [--session NAME] )
-               [--checkins FILE] [--pipeline D] [--rebalance N]
+               [--checkins FILE] [--pipeline D] [--window W] [--rebalance N]
                [--snapshot-out FILE] [--metrics-out FILE]
   ltc snapshot ( --input FILE --algo <aam|laf|random> [--seed S] [--shards N]
                | --connect HOST:PORT [--session NAME] ) --out FILE
-               [--checkins FILE] [--pipeline D] [--rebalance N]
+               [--checkins FILE] [--pipeline D] [--window W] [--rebalance N]
                [--metrics-out FILE]
   ltc resume   --snapshot FILE [--checkins FILE] [--pipeline D]
                [--rebalance N] [--snapshot-out FILE] [--metrics-out FILE]
@@ -50,7 +50,14 @@ shards (default 1; single-shard output is bit-identical to the engine).
 --pipeline D keeps up to D check-ins in flight across the shard threads
 (default 1 = lockstep, byte-stable output; with D > 1 the stream may
 consume up to D-1 extra check-ins past completion — they assign nothing,
-but the summary's worker count includes them). --rebalance N quiesces
+but the summary's worker count includes them). --window W requests a
+remote submission window: over --connect, up to W check-in frames are
+fired before their acknowledgements arrive (clamped to what the server
+advertises). The server applies frames in arrival order either way, so
+every event line is byte-identical to --window 1; like --pipeline, a
+window above 1 may consume up to W-1 extra check-ins past completion.
+In-process sessions are their own acknowledgement, so --window is a
+no-op there (granted 1). --rebalance N quiesces
 the session every N accepted check-ins and re-splits the shard stripes
 by live-task load (task migration is exact, so assignments are
 unchanged; skipped rebalances print nothing, applied ones emit a
@@ -293,6 +300,9 @@ pub enum Command {
         /// Check-ins kept in flight across the session (1 = lockstep,
         /// byte-stable output).
         pipeline: usize,
+        /// Requested remote submission window (1 = lockstep requests;
+        /// clamped to what the server grants, always 1 in process).
+        window: usize,
         /// Rebalance the shard stripes every this many accepted
         /// check-ins (`None` = never).
         rebalance: Option<u64>,
@@ -502,6 +512,7 @@ impl Command {
                         "--seed",
                         "--shards",
                         "--pipeline",
+                        "--window",
                         "--rebalance",
                         "--snapshot-out",
                         "--metrics-out",
@@ -516,6 +527,7 @@ impl Command {
                         "--seed",
                         "--shards",
                         "--pipeline",
+                        "--window",
                         "--rebalance",
                         "--out",
                         "--metrics-out",
@@ -524,6 +536,7 @@ impl Command {
                 flags.reject_unknown(known)?;
                 let source = parse_stream_source(&mut flags, cmd)?;
                 let pipeline = parse_pipeline(&mut flags)?;
+                let window = parse_window(&mut flags)?;
                 let rebalance = parse_rebalance(&mut flags)?;
                 let snapshot_out = if cmd == "stream" {
                     flags.value("--snapshot-out")?.map(str::to_string)
@@ -539,6 +552,7 @@ impl Command {
                     source,
                     checkins: flags.value("--checkins")?.map(str::to_string),
                     pipeline,
+                    window,
                     rebalance,
                     snapshot_out,
                     metrics_out: flags.value("--metrics-out")?.map(str::to_string),
@@ -810,6 +824,17 @@ fn parse_pipeline(flags: &mut Flags<'_>) -> Result<usize, ParseError> {
     Ok(pipeline)
 }
 
+fn parse_window(flags: &mut Flags<'_>) -> Result<usize, ParseError> {
+    let window = match flags.value("--window")? {
+        Some(v) => parse_num::<usize>(v, "submission window")?,
+        None => 1,
+    };
+    if window == 0 {
+        return Err(ParseError("--window must be positive".into()));
+    }
+    Ok(window)
+}
+
 fn parse_rebalance(flags: &mut Flags<'_>) -> Result<Option<u64>, ParseError> {
     match flags.value("--rebalance")? {
         Some(v) => {
@@ -941,6 +966,7 @@ mod tests {
                 },
                 checkins: None,
                 pipeline: 1,
+                window: 1,
                 rebalance: None,
                 snapshot_out: None,
                 metrics_out: None,
@@ -962,6 +988,7 @@ mod tests {
                 },
                 checkins: Some("c.tsv".into()),
                 pipeline: 32,
+                window: 1,
                 rebalance: None,
                 snapshot_out: Some("s.ltc".into()),
                 metrics_out: Some("m.json".into()),
@@ -982,6 +1009,7 @@ mod tests {
                 },
                 checkins: Some("c.tsv".into()),
                 pipeline: 1,
+                window: 1,
                 rebalance: None,
                 snapshot_out: None,
                 metrics_out: None,
@@ -1193,6 +1221,22 @@ mod tests {
     }
 
     #[test]
+    fn window_parses_and_rejects_zero() {
+        let cmd = Command::parse(&argv("stream --connect 127.0.0.1:7171 --window 256")).unwrap();
+        assert!(matches!(cmd, Command::Stream { window: 256, .. }));
+        // Accepted (and harmless) in process, where the session grants 1.
+        let cmd = Command::parse(&argv("stream --input x.tsv --algo aam --window 16")).unwrap();
+        assert!(matches!(cmd, Command::Stream { window: 16, .. }));
+        assert!(Command::parse(&argv(
+            "snapshot --connect 127.0.0.1:1 --out s.ltc --window 16"
+        ))
+        .is_ok());
+        assert!(Command::parse(&argv("stream --input x.tsv --algo aam --window 0")).is_err());
+        // resume drives an in-process session only — no window flag.
+        assert!(Command::parse(&argv("resume --snapshot s.ltc --window 4")).is_err());
+    }
+
+    #[test]
     fn stream_rejects_offline_algorithms() {
         let err = Command::parse(&argv("stream --input x.tsv --algo mcf-ltc")).unwrap_err();
         assert!(err.to_string().contains("online algorithm"));
@@ -1215,6 +1259,7 @@ mod tests {
                 },
                 checkins: None,
                 pipeline: 1,
+                window: 1,
                 rebalance: None,
                 snapshot_out: Some("s.ltc".into()),
                 metrics_out: None,

@@ -10,7 +10,7 @@ use ltc_core::offline::{BaseOff, ExactSolver, McfLtc};
 use ltc_core::online::{run_online, Aam, Laf, RandomAssign};
 use ltc_core::service::{
     Algorithm, Event, EventStream, ServiceBuilder, ServiceError, ServiceHandle, ServiceMetrics,
-    Session, StreamEvent,
+    Session, StreamEvent, WindowAck,
 };
 use ltc_core::snapshot as snapshot_format;
 use ltc_durable::{DurableHandle, DurableOptions, SnapshotFormat, SyncPolicy};
@@ -40,6 +40,7 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
             source,
             checkins,
             pipeline,
+            window,
             rebalance,
             snapshot_out,
             metrics_out,
@@ -47,6 +48,7 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> CmdResult {
             &source,
             checkins.as_deref(),
             pipeline,
+            window,
             rebalance,
             snapshot_out.as_deref(),
             metrics_out.as_deref(),
@@ -317,10 +319,12 @@ fn start_dataset_session(
 /// through a [`Session`] — the in-process pipelined runtime for
 /// `--input`, a remote `ltc serve` process for `--connect`; both run
 /// the same [`drive_stream`] code path and emit identical NDJSON.
+#[allow(clippy::too_many_arguments)]
 fn stream_cmd(
     source: &StreamSource,
     checkins: Option<&str>,
     pipeline: usize,
+    window: usize,
     rebalance: Option<u64>,
     snapshot_out: Option<&str>,
     metrics_out: Option<&str>,
@@ -334,8 +338,15 @@ fn stream_cmd(
             shards,
         } => Box::new(start_dataset_session(input, *algo, *seed, *shards)?),
         StreamSource::Connect { addr, session } => match session {
-            None => Box::new(
+            // Windowed submission rides the `v2` `"seq"` member, so a
+            // window above 1 upgrades the bare connection to `v2` (still
+            // bound to the default session — same NDJSON, byte for byte).
+            None if window <= 1 => Box::new(
                 LtcClient::connect(addr.as_str())
+                    .map_err(|e| format!("cannot reach `{addr}`: {e}"))?,
+            ),
+            None => Box::new(
+                LtcClient::connect_v2(addr.as_str())
                     .map_err(|e| format!("cannot reach `{addr}`: {e}"))?,
             ),
             Some(name) => Box::new(connect_session(addr, name)?),
@@ -345,6 +356,7 @@ fn stream_cmd(
         session.as_mut(),
         checkins,
         pipeline,
+        window,
         rebalance,
         snapshot_out,
         metrics_out,
@@ -371,6 +383,7 @@ fn resume_cmd(
         session.as_mut(),
         checkins,
         pipeline,
+        1,
         rebalance,
         snapshot_out,
         metrics_out,
@@ -669,6 +682,17 @@ fn write_metrics_line(path: &str, algo: &str, m: &ServiceMetrics) -> CmdResult {
     Ok(())
 }
 
+/// Collects the worker arrival ids out of a batch of deferred window
+/// acknowledgements (`drive_stream` submits no tasks, so only worker
+/// acks can appear).
+fn register_acks(acks: Vec<WindowAck>, mine: &mut std::collections::HashSet<u64>) {
+    for ack in acks {
+        if let WindowAck::Worker(id) = ack {
+            mine.insert(id.0);
+        }
+    }
+}
+
 /// The shared streaming loop behind `stream`, `snapshot`, and `resume`
 /// — written against `dyn Session`, so the in-process runtime and a
 /// remote `ltc serve` session run the *same* code path and emit
@@ -679,10 +703,21 @@ fn write_metrics_line(path: &str, algo: &str, m: &ServiceMetrics) -> CmdResult {
 /// the delivered events themselves (the session's counters may lag
 /// in-flight work, and polling a remote one per line would cost a round
 /// trip).
+///
+/// A `window` above 1 additionally batches *submissions*: up to
+/// `max(window, pipeline)` check-ins are fired through
+/// [`Session::submit_worker_windowed`] before the loop stops to collect
+/// their deferred acknowledgements and pump their events — the acks must
+/// land first, because the subscription is filtered by the arrival ids
+/// they carry. Output stays byte-identical to lockstep: events are
+/// still written in submission order, only the request/ack cadence
+/// changes.
+#[allow(clippy::too_many_arguments)]
 fn drive_stream(
     session: &mut dyn Session,
     checkins: Option<&str>,
     pipeline: usize,
+    window: usize,
     rebalance_every: Option<u64>,
     snapshot_out: Option<&str>,
     metrics_out: Option<&str>,
@@ -710,7 +745,14 @@ fn drive_stream(
     let mut completed_tasks = opening.n_completed;
     let total_tasks = opening.n_tasks;
 
-    let depth = pipeline.max(1);
+    // Negotiate the submission window first (a remote session clamps to
+    // what its server advertises; in-process sessions grant 1).
+    let window = if window > 1 {
+        session.set_window(window)?
+    } else {
+        1
+    };
+    let depth = pipeline.max(window).max(1);
     let events = session.subscribe()?;
     let started = std::time::Instant::now();
     let mut spam_skipped: u64 = 0;
@@ -740,11 +782,30 @@ fn drive_stream(
             spam_skipped += 1;
             continue;
         }
-        mine.insert(session.submit_worker(&worker)?.0);
+        // With a window of 1 this is exactly `submit_worker`: the ack —
+        // and the arrival id the event filter needs — comes back
+        // immediately. Deeper windows defer acks; they are collected
+        // (below) before any event could be pumped against them.
+        if let Some(ack) = session.submit_worker_windowed(&worker)? {
+            register_acks(vec![ack], &mut mine);
+        }
         in_flight += 1;
         accepted += 1;
-        while in_flight >= depth {
-            completed_tasks += pump_worker_event(&events, &mut mine, &mut in_flight, out)?;
+        if window > 1 {
+            // Batch cadence: fire a full window, then settle it — the
+            // acks (all buffered by now; firing ran ahead of them) and
+            // then the events. Draining the whole batch keeps the next
+            // window's sends free of per-submission round trips.
+            if in_flight >= depth {
+                register_acks(session.flush_window()?, &mut mine);
+                while in_flight > 0 {
+                    completed_tasks += pump_worker_event(&events, &mut mine, &mut in_flight, out)?;
+                }
+            }
+        } else {
+            while in_flight >= depth {
+                completed_tasks += pump_worker_event(&events, &mut mine, &mut in_flight, out)?;
+            }
         }
         if let Some(every) = rebalance_every {
             if accepted.is_multiple_of(every) {
@@ -752,6 +813,7 @@ fn drive_stream(
                 // submission order around the quiesce, then re-split the
                 // stripes by live-task load (exact — assignments are
                 // unchanged, only placement).
+                register_acks(session.flush_window()?, &mut mine);
                 while in_flight > 0 {
                     completed_tasks += pump_worker_event(&events, &mut mine, &mut in_flight, out)?;
                 }
@@ -767,6 +829,7 @@ fn drive_stream(
             }
         }
     }
+    register_acks(session.flush_window()?, &mut mine);
     while in_flight > 0 {
         pump_worker_event(&events, &mut mine, &mut in_flight, out)?;
     }

@@ -280,16 +280,21 @@ impl ServiceHandle {
 
     /// Sends to a shard mailbox, announcing back-pressure the moment the
     /// bounded channel is full, then blocking until the shard catches up.
+    /// After shutdown the mailboxes are gone: a late submission (a
+    /// server thread racing an eviction) is a clean refusal, never a
+    /// panic.
     fn send_shard(&self, shard: usize, msg: ShardMsg) -> Result<(), ServiceError> {
-        match self.shard_txs[shard].try_send(msg) {
+        let Some(tx) = self.shard_txs.get(shard) else {
+            return Err(ServiceError::RuntimeStopped("the runtime is shut down"));
+        };
+        match tx.try_send(msg) {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(msg)) => {
                 self.announce(Lifecycle::ShardStalled {
                     shard,
                     capacity: self.batch_capacity,
                 });
-                self.shard_txs[shard]
-                    .send(msg)
+                tx.send(msg)
                     .map_err(|_| ServiceError::RuntimeStopped("a shard mailbox disconnected"))
             }
             Err(TrySendError::Disconnected(_)) => {

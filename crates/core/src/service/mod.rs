@@ -79,7 +79,7 @@ pub use events::{Event, EventStream, Lifecycle, ServiceMetrics, StreamEvent};
 pub use facade::{LtcService, ServiceSnapshot};
 pub use handle::ServiceHandle;
 pub use rebalance::{RebalanceOutcome, StripeLayout};
-pub use session::{Session, SessionInfo};
+pub use session::{Session, SessionInfo, WindowAck};
 
 use crate::engine::EngineError;
 use crate::online::{Aam, AamStrategy, Laf, OnlineAlgorithm, RandomAssign};

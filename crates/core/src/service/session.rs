@@ -59,6 +59,18 @@ pub struct SessionInfo {
     pub n_tasks: u64,
 }
 
+/// One deferred acknowledgement from a windowed submission (see
+/// [`Session::submit_worker_windowed`]): the service-global id the
+/// submission was accepted under, delivered when the window slides past
+/// it rather than when the submitting call returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowAck {
+    /// A `submit_worker` was accepted under this arrival id.
+    Worker(WorkerId),
+    /// A `post_task` was accepted under this task id.
+    Task(TaskId),
+}
+
 /// One live LTC service session, independent of transport. See the
 /// module docs for the ordering contract; see
 /// [`ServiceHandle`] for the in-process implementation and
@@ -89,6 +101,52 @@ pub trait Session {
         task: Task,
         accuracies: &[f64],
     ) -> Result<TaskId, ServiceError>;
+
+    /// Requests a submission window of up to `window` in-flight
+    /// `submit_worker`/`post_task` operations whose acknowledgements are
+    /// deferred (see
+    /// [`submit_worker_windowed`](Session::submit_worker_windowed)),
+    /// returning the window actually granted. Transports negotiate: a remote session clamps to what
+    /// the server advertises. The default implementation — correct for
+    /// any in-process session, where a submission *is* its own
+    /// acknowledgement — stays lockstep and grants 1.
+    fn set_window(&mut self, window: usize) -> Result<usize, ServiceError> {
+        let _ = window;
+        Ok(1)
+    }
+
+    /// Like [`submit_worker`](Session::submit_worker), but under the
+    /// granted window the call may return before the submission is
+    /// acknowledged: `Ok(None)` means the check-in was sent and its ack
+    /// is now in flight; `Ok(Some(ack))` surfaces the *oldest* deferred
+    /// acknowledgement (the window was full, so the call stalled until
+    /// the window slid — submissions are never reordered). Deferred
+    /// outcomes, including errors, surface in submission order here or
+    /// at the next [`flush_window`](Session::flush_window). With a
+    /// window of 1 this is exactly `submit_worker`.
+    fn submit_worker_windowed(
+        &mut self,
+        worker: &Worker,
+    ) -> Result<Option<WindowAck>, ServiceError> {
+        self.submit_worker(worker)
+            .map(|id| Some(WindowAck::Worker(id)))
+    }
+
+    /// The windowed form of [`post_task`](Session::post_task) — same
+    /// deferred-acknowledgement contract as
+    /// [`submit_worker_windowed`](Session::submit_worker_windowed).
+    fn post_task_windowed(&mut self, task: Task) -> Result<Option<WindowAck>, ServiceError> {
+        self.post_task(task).map(|id| Some(WindowAck::Task(id)))
+    }
+
+    /// Waits for every in-flight windowed submission and returns their
+    /// acknowledgements in submission order. A deferred failure stops
+    /// the flush and surfaces as the error of the submission that was
+    /// refused; remaining in-flight acks are collected by calling again.
+    /// Lockstep sessions (the default) have nothing in flight.
+    fn flush_window(&mut self) -> Result<Vec<WindowAck>, ServiceError> {
+        Ok(Vec::new())
+    }
 
     /// Attaches a subscriber receiving every event produced from now on.
     fn subscribe(&mut self) -> Result<EventStream, ServiceError>;

@@ -7,8 +7,9 @@ use crate::wire::{self, Request, Response, SessionStat};
 use ltc_core::model::{Task, TaskId, Worker, WorkerId};
 use ltc_core::service::{
     EventStream, RebalanceOutcome, ServiceError, ServiceMetrics, ServiceSnapshot, Session,
-    SessionInfo, StreamEvent,
+    SessionInfo, StreamEvent, WindowAck,
 };
+use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::sync::mpsc::{self, Receiver, Sender};
@@ -17,11 +18,23 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// How long one request may wait for its response before the session is
-/// declared wedged. Generous: a drain of a deep pipeline legitimately
-/// takes a while, but a dead server must surface as an error, not a
-/// hang (the server's own drain gives up after 60 s, so 90 s covers the
-/// full round trip).
-const RESPONSE_TIMEOUT: Duration = Duration::from_secs(90);
+/// declared wedged (override per client with
+/// [`LtcClient::with_timeout`]). Generous: a drain of a deep pipeline
+/// legitimately takes a while, but a dead server must surface as an
+/// error, not a hang (the server's own drain gives up after 60 s, so
+/// 90 s covers the full round trip).
+pub const DEFAULT_RESPONSE_TIMEOUT: Duration = Duration::from_secs(90);
+
+/// Flush threshold for batched windowed sends — far above a window of
+/// small frames, so it only triggers on wide `post` rows.
+const SEND_BATCH_CAP: usize = 256 * 1024;
+
+/// What kind of acknowledgement an in-flight windowed frame owes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PendingKind {
+    Submit,
+    Post,
+}
 
 fn transport(what: impl Into<String>) -> ServiceError {
     ServiceError::Transport(what.into())
@@ -46,6 +59,24 @@ fn transport(what: impl Into<String>) -> ServiceError {
 /// session and can [`open_session`](LtcClient::open_session) /
 /// [`attach_session`](LtcClient::attach_session) to rebind, every frame
 /// it sends and receives carrying the bound session's `"sid"`.
+///
+/// ## Windowed submission
+///
+/// By default every request is lockstep: one frame out, one response
+/// awaited. [`Session::set_window`] negotiates a submission window of
+/// up to W (clamped to what the server's hello advertised; `v1` servers
+/// advertise nothing and stay lockstep), after which
+/// [`submit_worker_windowed`](Session::submit_worker_windowed) /
+/// [`post_task_windowed`](Session::post_task_windowed) fire their
+/// frames immediately and defer the acknowledgements. Each windowed
+/// frame carries a `"seq"` correlation number the server echoes back;
+/// responses arrive strictly FIFO per connection, and the client
+/// verifies every echoed `"seq"` against the head of its in-flight
+/// queue — a mismatch is a protocol corruption that fails the session
+/// rather than reordering anything. When the window is full, the next
+/// windowed call **stalls** on the oldest in-flight ack (back-pressure
+/// surfaces as that stall, never as reordering); every lockstep request
+/// is a sequence point that first drains the window completely.
 #[derive(Debug)]
 pub struct LtcClient {
     stream: TcpStream,
@@ -59,6 +90,24 @@ pub struct LtcClient {
     sid: String,
     subscribed: bool,
     closed: bool,
+    /// Per-request response deadline ([`DEFAULT_RESPONSE_TIMEOUT`]
+    /// unless overridden with [`LtcClient::with_timeout`]).
+    timeout: Duration,
+    /// The granted submission window (1 = lockstep).
+    window: usize,
+    /// The largest window the server's hello advertised (1 on `v1`).
+    server_window: usize,
+    /// The next windowed frame's `"seq"` correlation number.
+    next_seq: u64,
+    /// In-flight windowed submissions, oldest first: each owes exactly
+    /// one response carrying this `"seq"`.
+    pending: VecDeque<(u64, PendingKind)>,
+    /// Windowed frames batched for the next send: fires coalesce into
+    /// one `write` per stall instead of one per frame, which is most of
+    /// the windowed throughput win. Invariant: non-empty only while
+    /// `pending` is non-empty, and always flushed before a blocking
+    /// wait, so the server never owes a response to bytes still here.
+    send_buf: Vec<u8>,
 }
 
 impl LtcClient {
@@ -96,8 +145,8 @@ impl LtcClient {
         let hello = wire::read_frame(&mut reader)
             .map_err(|e| transport(format!("handshake read: {e}")))?
             .ok_or_else(|| transport("server closed during the handshake"))?;
-        let info = match Response::decode(&hello).map_err(transport)? {
-            Response::Hello { info } => info,
+        let (info, advertised) = match Response::decode(&hello).map_err(transport)? {
+            Response::Hello { info, win } => (info, win),
             Response::Err { message } => return Err(transport(message)),
             other => return Err(transport(format!("unexpected handshake reply {other:?}"))),
         };
@@ -151,7 +200,41 @@ impl LtcClient {
             sid: wire::DEFAULT_SESSION.to_string(),
             subscribed: false,
             closed: false,
+            timeout: DEFAULT_RESPONSE_TIMEOUT,
+            window: 1,
+            server_window: advertised.clamp(1, wire::MAX_WINDOW) as usize,
+            next_seq: 0,
+            pending: VecDeque::new(),
+            send_buf: Vec::new(),
         })
+    }
+
+    /// Replaces the per-request response deadline
+    /// ([`DEFAULT_RESPONSE_TIMEOUT`] otherwise): how long any await on
+    /// the server — a lockstep response, a deferred windowed ack — may
+    /// take before the session is declared wedged. Tests shrink this so
+    /// a dead server fails in seconds, not minutes.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The largest submission window the server's hello advertised
+    /// (what [`Session::set_window`] requests are clamped to; 1 on a
+    /// `v1` or pre-windowing server).
+    pub fn server_window(&self) -> usize {
+        self.server_window
+    }
+
+    /// The currently granted submission window (1 = lockstep).
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// How many windowed submissions are in flight right now.
+    pub fn window_in_flight(&self) -> usize {
+        self.pending.len()
     }
 
     /// The address of the serving peer.
@@ -245,6 +328,14 @@ impl LtcClient {
         if self.closed {
             return Err(ServiceError::RuntimeStopped("the session is shut down"));
         }
+        // Every lockstep request is a sequence point: the in-flight
+        // window must drain first so responses keep matching requests
+        // one-to-one. A deferred refusal surfaces here, before the new
+        // request is sent; ids that matter should have been collected
+        // with `flush_window` already.
+        while !self.pending.is_empty() {
+            self.await_oldest()?;
+        }
         let mut frame = request.encode();
         if self.version == wire::PROTO_VERSION_V2 {
             // The session verbs already carry their target `"sid"`;
@@ -259,7 +350,7 @@ impl LtcClient {
         }
         wire::write_frame(&mut (&self.stream), &frame)
             .map_err(|e| transport(format!("send: {e}")))?;
-        match self.responses.recv_timeout(RESPONSE_TIMEOUT) {
+        match self.responses.recv_timeout(self.timeout) {
             Ok(Ok(Response::Err { message })) => Err(transport(message)),
             Ok(Ok(response)) => Ok(response),
             Ok(Err(what)) => Err(transport(what)),
@@ -270,6 +361,120 @@ impl LtcClient {
                 Err(transport("the server closed the connection"))
             }
         }
+    }
+
+    /// Consumes the oldest in-flight windowed acknowledgement. A server
+    /// refusal (`err` frame) consumes the entry and surfaces as the
+    /// submission's error; anything that breaks the FIFO/`"seq"`
+    /// correspondence — a transport failure, a timeout, or an ack whose
+    /// echoed `"seq"` is not the head of the window — is a protocol
+    /// corruption that fails the whole session.
+    fn await_oldest(&mut self) -> Result<WindowAck, ServiceError> {
+        // Batched fires must be on the wire before anything blocks on
+        // their responses.
+        self.flush_sends()?;
+        let (seq, kind) = self
+            .pending
+            .pop_front()
+            .expect("await_oldest requires an in-flight window");
+        let response = match self.responses.recv_timeout(self.timeout) {
+            Ok(Ok(response)) => response,
+            Ok(Err(what)) => {
+                self.closed = true;
+                return Err(transport(what));
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                self.closed = true;
+                return Err(transport("no response within the timeout — server wedged?"));
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                self.closed = true;
+                return Err(transport("the server closed the connection"));
+            }
+        };
+        match (kind, response) {
+            (_, Response::Err { message }) => Err(transport(message)),
+            (
+                PendingKind::Submit,
+                Response::Submit {
+                    worker,
+                    seq: Some(got),
+                },
+            ) if got == seq => Ok(WindowAck::Worker(worker)),
+            (
+                PendingKind::Post,
+                Response::Post {
+                    task,
+                    seq: Some(got),
+                },
+            ) if got == seq => Ok(WindowAck::Task(task)),
+            (_, other) => {
+                self.closed = true;
+                Err(transport(format!(
+                    "window ack out of range: expected seq {seq}, got {other:?}"
+                )))
+            }
+        }
+    }
+
+    /// Consumes one deferred windowed acknowledgement, oldest first:
+    /// `None` when nothing is in flight, otherwise the submission's
+    /// outcome (its [`WindowAck`], or the error it was refused with).
+    /// Finer-grained than [`Session::flush_window`] — per-submission
+    /// outcomes survive an interleaved refusal.
+    pub fn next_window_ack(&mut self) -> Option<Result<WindowAck, ServiceError>> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        Some(self.await_oldest())
+    }
+
+    /// Fires one windowed frame (stalling on the oldest ack first if
+    /// the window is full) and records its pending acknowledgement.
+    fn fire_windowed(
+        &mut self,
+        request: &Request,
+        kind: PendingKind,
+        seq: u64,
+    ) -> Result<Option<WindowAck>, ServiceError> {
+        if self.closed {
+            return Err(ServiceError::RuntimeStopped("the session is shut down"));
+        }
+        let acked = if self.pending.len() >= self.window {
+            Some(self.await_oldest()?)
+        } else {
+            None
+        };
+        // A granted window above 1 implies a v2 connection (v1 servers
+        // advertise no window), so the frame always carries the sid.
+        debug_assert_eq!(self.version, wire::PROTO_VERSION_V2);
+        let frame = wire::with_sid(request.encode(), &self.sid);
+        self.send_buf.extend_from_slice(frame.as_bytes());
+        self.send_buf.push(b'\n');
+        self.pending.push_back((seq, kind));
+        // Unusually large batches (posts with wide probability rows) go
+        // out early rather than ballooning the buffer.
+        if self.send_buf.len() >= SEND_BATCH_CAP {
+            self.flush_sends()?;
+        }
+        Ok(acked)
+    }
+
+    /// Puts every batched windowed frame on the wire in one `write`. A
+    /// torn send breaks the frame/response correspondence for good —
+    /// it fails the session, not just one submission.
+    fn flush_sends(&mut self) -> Result<(), ServiceError> {
+        if self.send_buf.is_empty() {
+            return Ok(());
+        }
+        use std::io::Write as _;
+        let result = (&self.stream).write_all(&self.send_buf);
+        self.send_buf.clear();
+        if let Err(e) = result {
+            self.closed = true;
+            return Err(transport(format!("send: {e}")));
+        }
+        Ok(())
     }
 
     fn unexpected(response: Response) -> ServiceError {
@@ -283,15 +488,22 @@ impl Session for LtcClient {
     }
 
     fn submit_worker(&mut self, worker: &Worker) -> Result<WorkerId, ServiceError> {
-        match self.request(&Request::Submit { worker: *worker })? {
-            Response::Submit { worker } => Ok(worker),
+        match self.request(&Request::Submit {
+            worker: *worker,
+            seq: None,
+        })? {
+            Response::Submit { worker, seq: None } => Ok(worker),
             other => Err(Self::unexpected(other)),
         }
     }
 
     fn post_task(&mut self, task: Task) -> Result<TaskId, ServiceError> {
-        match self.request(&Request::Post { task, row: None })? {
-            Response::Post { task } => Ok(task),
+        match self.request(&Request::Post {
+            task,
+            row: None,
+            seq: None,
+        })? {
+            Response::Post { task, seq: None } => Ok(task),
             other => Err(Self::unexpected(other)),
         }
     }
@@ -304,10 +516,70 @@ impl Session for LtcClient {
         match self.request(&Request::Post {
             task,
             row: Some(accuracies.to_vec()),
+            seq: None,
         })? {
-            Response::Post { task } => Ok(task),
+            Response::Post { task, seq: None } => Ok(task),
             other => Err(Self::unexpected(other)),
         }
+    }
+
+    fn set_window(&mut self, window: usize) -> Result<usize, ServiceError> {
+        if self.closed {
+            return Err(ServiceError::RuntimeStopped("the session is shut down"));
+        }
+        // Resizing is a sequence point too: the old window drains under
+        // its own discipline before the new one applies.
+        while !self.pending.is_empty() {
+            self.await_oldest()?;
+        }
+        self.window = window.clamp(1, self.server_window);
+        Ok(self.window)
+    }
+
+    fn submit_worker_windowed(
+        &mut self,
+        worker: &Worker,
+    ) -> Result<Option<WindowAck>, ServiceError> {
+        if self.window <= 1 {
+            return self
+                .submit_worker(worker)
+                .map(|id| Some(WindowAck::Worker(id)));
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.fire_windowed(
+            &Request::Submit {
+                worker: *worker,
+                seq: Some(seq),
+            },
+            PendingKind::Submit,
+            seq,
+        )
+    }
+
+    fn post_task_windowed(&mut self, task: Task) -> Result<Option<WindowAck>, ServiceError> {
+        if self.window <= 1 {
+            return self.post_task(task).map(|id| Some(WindowAck::Task(id)));
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.fire_windowed(
+            &Request::Post {
+                task,
+                row: None,
+                seq: Some(seq),
+            },
+            PendingKind::Post,
+            seq,
+        )
+    }
+
+    fn flush_window(&mut self) -> Result<Vec<WindowAck>, ServiceError> {
+        let mut acks = Vec::with_capacity(self.pending.len());
+        while !self.pending.is_empty() {
+            acks.push(self.await_oldest()?);
+        }
+        Ok(acks)
     }
 
     fn subscribe(&mut self) -> Result<EventStream, ServiceError> {
@@ -366,6 +638,16 @@ impl Session for LtcClient {
     }
 
     fn shutdown(&mut self) -> Result<(), ServiceError> {
+        if self.closed {
+            return Ok(());
+        }
+        // Settle the window first, swallowing deferred refusals — a
+        // shutdown must not be derailed by a submission the server
+        // already answered with an error (transport failures mark the
+        // client closed and end the loop).
+        while !self.pending.is_empty() && !self.closed {
+            let _ = self.await_oldest();
+        }
         if self.closed {
             return Ok(());
         }

@@ -15,6 +15,12 @@
 //!   pattern so remote observations are **bit-identical** to local
 //!   ones. `v2` frames carry a trailing `"sid"` member naming their
 //!   session; `v1` frames stay byte-identical to what they always were.
+//!   `v2` `submit`/`post` frames may additionally carry a `"seq"`
+//!   member for **windowed** submission — up to a negotiated W frames
+//!   in flight before the client awaits an acknowledgement, FIFO-
+//!   matched by the echoed `"seq"`, with back-pressure surfacing as
+//!   window stalls (never reordering) and output byte-identical to
+//!   lockstep at any W.
 //! * [`session_table`] — the server-side registry of named sessions:
 //!   a fixed default session, a [`SessionFactory`] that `open` spawns
 //!   fresh services through, per-session lifecycle (spawn → serve →
@@ -31,8 +37,9 @@
 //!
 //! The CLI front-ends: `ltc serve --addr … --shards …
 //! [--max-sessions N [--idle-timeout SECS]]` runs the server,
-//! `ltc stream --connect HOST:PORT [--session NAME]` drives one of its
-//! sessions, `ltc sessions --connect HOST:PORT` lists them.
+//! `ltc stream --connect HOST:PORT [--session NAME] [--window W]`
+//! drives one of its sessions (windowed past `--window 1`),
+//! `ltc sessions --connect HOST:PORT` lists them.
 //! `docs/PROTOCOL.md` has the full grammar, ordering/back-pressure
 //! semantics, and the compatibility policy.
 //!

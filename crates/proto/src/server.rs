@@ -30,6 +30,15 @@
 //! response, so clients can reconstruct the per-session order after the
 //! fact.
 //!
+//! Windowed submission (`v2`) changes none of this: a client firing up
+//! to W `submit`/`post` frames ahead of their acknowledgements simply
+//! keeps the connection's read loop saturated — the frames queue in the
+//! socket, each is applied under the session lock in arrival order, and
+//! each response echoes its request's `"seq"` so the client can verify
+//! the one-response-per-request FIFO correspondence. The per-session
+//! submission mutex is untouched; global order is still the
+//! connection-interleaved lock order.
+//!
 //! Back-pressure composes per session: when a shard mailbox is full,
 //! the submitting request blocks *inside* its session's lock until the
 //! shard catches up — which pauses that session's other clients too.
@@ -331,9 +340,14 @@ fn converse(
             let entry = shared.table.default_entry();
             let info = entry.lock().info();
             let frame = if version == wire::PROTO_VERSION {
-                Response::Hello { info }.encode()
+                Response::Hello { info, win: 1 }.encode()
             } else {
-                wire::with_sid(wire::encode_hello_response_v2(&info), entry.name())
+                // A `v2` hello advertises the submission window the
+                // server honors; `v1` stays byte-identical (lockstep).
+                wire::with_sid(
+                    wire::encode_hello_response_v2(&info, wire::MAX_WINDOW),
+                    entry.name(),
+                )
             };
             (Some((version, entry)), frame)
         }
@@ -366,12 +380,35 @@ fn converse(
     }
     let mut binding = Binding::new(entry);
 
+    // Acknowledgements to windowed frames batch here and go out in one
+    // `write` when the pipelined burst is exhausted (or a lockstep
+    // response needs the wire first) — the server half of the windowed
+    // throughput win. The client never blocks on bytes held here: it
+    // only awaits acks for frames it finished sending, and the batch is
+    // flushed before this thread blocks on the next read.
+    let mut acks: Vec<u8> = Vec::new();
     loop {
+        // About to block? Everything batched must be on the wire first.
+        // (A partial frame in the read buffer means its remainder is
+        // already in flight from a client that writes whole frames
+        // before awaiting, so waiting for it cannot deadlock.)
+        if !acks.is_empty() && reader.buffer().is_empty() && flush_acks(writer, &mut acks).is_err()
+        {
+            return;
+        }
         let frame = match wire::read_frame(reader) {
             Ok(Some(frame)) => frame,
             _ => return, // EOF, socket shutdown, or an oversized frame
         };
-        let (response, stop_after) = match Request::decode_with_sid(&frame) {
+        let decoded = Request::decode_with_sid(&frame);
+        let windowed = matches!(
+            &decoded,
+            Ok((
+                Request::Submit { seq: Some(_), .. } | Request::Post { seq: Some(_), .. },
+                _
+            ))
+        );
+        let (response, stop_after) = match decoded {
             Err(what) => (
                 Response::Err {
                     message: format!("bad request: {what}"),
@@ -397,6 +434,22 @@ fn converse(
         if version == wire::PROTO_VERSION_V2 {
             encoded = wire::with_sid(encoded, binding.entry.name());
         }
+        if windowed {
+            // Windowed acks (including refusals of windowed frames) are
+            // tiny and never `stop_after`; they ride the batch in FIFO
+            // position.
+            acks.extend_from_slice(encoded.as_bytes());
+            acks.push(b'\n');
+            if acks.len() >= ACK_BATCH_CAP && flush_acks(writer, &mut acks).is_err() {
+                return;
+            }
+            continue;
+        }
+        // Lockstep responses keep their immediate write, behind any
+        // batched acks still owed (FIFO across the whole connection).
+        if !acks.is_empty() && flush_acks(writer, &mut acks).is_err() {
+            return;
+        }
         // The requester hears the outcome *before* the acceptor stops —
         // a `shutdown` must be acknowledged, not met with a dead socket.
         let written = write_frame(writer, encoded);
@@ -408,6 +461,20 @@ fn converse(
             return;
         }
     }
+}
+
+/// Flush threshold for batched windowed acknowledgements.
+const ACK_BATCH_CAP: usize = 64 * 1024;
+
+/// Writes the batched windowed acknowledgements in one locked `write`
+/// (events from the forwarder still interleave only at frame
+/// boundaries).
+fn flush_acks(writer: &Arc<Mutex<TcpStream>>, acks: &mut Vec<u8>) -> io::Result<()> {
+    use std::io::Write as _;
+    let mut stream = lock_recovering(writer);
+    let result = stream.write_all(acks);
+    acks.clear();
+    result
 }
 
 /// The `v2` addressing rules (and their `v1` absence): session verbs
@@ -434,6 +501,16 @@ fn check_sid(
         if sid.is_some() {
             return Err(format!(
                 "`sid` requires {} v{}",
+                wire::PROTO_NAME,
+                wire::PROTO_VERSION_V2
+            ));
+        }
+        if matches!(
+            request,
+            Request::Submit { seq: Some(_), .. } | Request::Post { seq: Some(_), .. }
+        ) {
+            return Err(format!(
+                "windowed submission (`seq`) requires {} v{}",
                 wire::PROTO_NAME,
                 wire::PROTO_VERSION_V2
             ));
@@ -499,21 +576,27 @@ fn execute(
     version: u64,
 ) -> (Response, bool) {
     let response = match request {
-        Request::Submit { worker } => {
+        Request::Submit { worker, seq } => {
+            // Windowed or lockstep, the handling is identical: the
+            // session lock is taken per request, so frames the client
+            // fired ahead queue in the socket and are applied
+            // back-to-back in arrival order — the pipelining *is* the
+            // read loop. The echoed `"seq"` lets the client verify the
+            // FIFO correspondence.
             let mut session = binding.entry.lock();
             match session.submit_worker(worker) {
-                Ok(worker) => Response::Submit { worker },
+                Ok(worker) => Response::Submit { worker, seq: *seq },
                 Err(e) => err_response(e),
             }
         }
-        Request::Post { task, row } => {
+        Request::Post { task, row, seq } => {
             let mut session = binding.entry.lock();
             let posted = match row {
                 None => session.post_task(*task),
                 Some(row) => session.post_task_with_accuracies(*task, row),
             };
             match posted {
-                Ok(task) => Response::Post { task },
+                Ok(task) => Response::Post { task, seq: *seq },
                 Err(e) => err_response(e),
             }
         }

@@ -147,11 +147,18 @@ impl SessionEntry {
         (attached, idle)
     }
 
-    /// Quiesce and stop: announce the eviction to subscribers, then
-    /// shut the session down (drain → `ShuttingDown` → threads join).
+    /// Quiesce and stop: drain, announce the eviction to subscribers,
+    /// then shut the session down (drain → `ShuttingDown` → threads
+    /// join). The explicit drain *before* the announcement makes the
+    /// eviction boundary deterministic for subscribers: every
+    /// submission that won the session lock ahead of this eviction has
+    /// fully applied and its events are already ordered ahead of
+    /// `SessionEvicted`; everything after the lock is refused whole —
+    /// a racing submission is never half-visible.
     fn evict(&self) {
         self.closed.store(true, Ordering::SeqCst);
         let mut session = lock_recovering(&self.session);
+        session.drain().ok();
         session.announce_lifecycle(Lifecycle::SessionEvicted);
         session.shutdown().ok();
     }

@@ -33,6 +33,19 @@
 //! frames stay byte-identical to what they always were, and a `v1`
 //! hello binds the default session.
 //!
+//! ## Windowed submission (`v2`)
+//!
+//! A `v2` server advertises the largest submission window it accepts as
+//! a `"win"` member of its hello response ([`MAX_WINDOW`]; absent means
+//! 1, i.e. lockstep only). A windowed client then fires up to that many
+//! `submit`/`post` frames without awaiting their responses, tagging
+//! each with a monotonically increasing `"seq"` member; the server
+//! echoes the `"seq"` back on the matching response, so the client can
+//! verify the FIFO response order against its in-flight window. `"seq"`
+//! never changes what an operation does — untagged `v2` frames (and all
+//! of `v1`, where `"seq"` is refused like `"sid"`) stay lockstep and
+//! byte-identical to what they always were.
+//!
 //! ## Exactness
 //!
 //! Every `f64` crosses the wire as its 16-hex-digit IEEE-754 bit
@@ -66,6 +79,10 @@ pub const PROTO_VERSION: u64 = 1;
 pub const PROTO_VERSION_V2: u64 = 2;
 /// The session a `v1` hello (or a fresh `v2` connection) is bound to.
 pub const DEFAULT_SESSION: &str = "default";
+/// The largest submission window a server grants (and advertises in its
+/// `v2` hello response): how many `submit`/`post` frames one connection
+/// may have in flight before it must await an acknowledgement.
+pub const MAX_WINDOW: u64 = 256;
 
 /// Whether `name` is a legal session id: 1–64 ASCII characters from
 /// `[A-Za-z0-9._-]`. The restriction keeps session ids free of JSON
@@ -146,6 +163,127 @@ fn word<'a>(field: &'static str, v: Option<&'a Json>) -> Result<&'a str, WireErr
         .ok_or_else(|| format!("missing or non-string `{field}`"))
 }
 
+// ---------------------------------------------------------------------
+// Exact-layout fast paths for the two frame shapes that dominate a
+// streaming connection: the submission request and its acknowledgement.
+// Each accepts precisely the byte layout our own encoders emit (fixed
+// member order, optional `"seq"`/`"sid"` tails) and decodes to exactly
+// what the generic JSON route would produce; any deviation returns
+// `None` and falls back to the generic parser, so foreign-but-valid
+// framings still work and hostile input hits the same guarded path it
+// always did. The differential unit test pins the agreement.
+
+/// Consumes exactly 16 hex digits (a [`hex`]-rendered `f64`).
+fn eat_hex16(rest: &[u8]) -> Option<(f64, &[u8])> {
+    if rest.len() < 16 {
+        return None;
+    }
+    let (digits, rest) = rest.split_at(16);
+    let mut bits = 0u64;
+    for &b in digits {
+        bits = (bits << 4) | (b as char).to_digit(16)? as u64;
+    }
+    Some((f64::from_bits(bits), rest))
+}
+
+/// Consumes a canonical JSON unsigned integer (no sign, no leading
+/// zeros — anything else falls back to the generic parser).
+fn eat_u64(rest: &[u8]) -> Option<(u64, &[u8])> {
+    let end = rest
+        .iter()
+        .position(|b| !b.is_ascii_digit())
+        .unwrap_or(rest.len());
+    if end == 0 || (end > 1 && rest[0] == b'0') {
+        return None;
+    }
+    let n: u64 = std::str::from_utf8(&rest[..end]).ok()?.parse().ok()?;
+    Some((n, &rest[end..]))
+}
+
+/// Consumes the optional `,"seq":N` tail.
+fn eat_seq(rest: &[u8]) -> Option<(Option<u64>, &[u8])> {
+    match rest.strip_prefix(b",\"seq\":") {
+        None => Some((None, rest)),
+        Some(r) => {
+            let (n, r) = eat_u64(r)?;
+            Some((Some(n), r))
+        }
+    }
+}
+
+/// Consumes the optional `,"sid":"name"` tail ([`valid_session_name`]
+/// enforced, like [`frame_sid`]).
+fn eat_sid(rest: &[u8]) -> Option<(Option<&str>, &[u8])> {
+    match rest.strip_prefix(b",\"sid\":\"") {
+        None => Some((None, rest)),
+        Some(r) => {
+            let quote = r.iter().position(|&b| b == b'"')?;
+            let name = std::str::from_utf8(&r[..quote]).ok()?;
+            if !valid_session_name(name) {
+                return None;
+            }
+            Some((Some(name), &r[quote + 1..]))
+        }
+    }
+}
+
+/// The submission-request fast path (see the block comment above).
+fn fast_decode_submit(frame: &str) -> Option<(Request, Option<String>)> {
+    let rest = frame
+        .as_bytes()
+        .strip_prefix(b"{\"op\":\"submit\",\"x\":\"")?;
+    let (x, rest) = eat_hex16(rest)?;
+    let rest = rest.strip_prefix(b"\",\"y\":\"")?;
+    let (y, rest) = eat_hex16(rest)?;
+    let rest = rest.strip_prefix(b"\",\"acc\":\"")?;
+    let (acc, rest) = eat_hex16(rest)?;
+    let rest = rest.strip_prefix(b"\"")?;
+    let (seq, rest) = eat_seq(rest)?;
+    let (sid, rest) = eat_sid(rest)?;
+    if rest != b"}" {
+        return None;
+    }
+    Some((
+        Request::Submit {
+            worker: Worker::new(Point::new(x, y), acc),
+            seq,
+        },
+        sid.map(str::to_owned),
+    ))
+}
+
+/// The acknowledgement fast path (see the block comment above): the
+/// `submit`/`post` success responses, whose `"sid"` the client ignores
+/// exactly like the generic route does.
+fn fast_decode_ack(frame: &str) -> Option<Response> {
+    let bytes = frame.as_bytes();
+    let (is_submit, rest) = if let Some(r) = bytes.strip_prefix(b"{\"ok\":\"submit\",\"worker\":") {
+        (true, r)
+    } else if let Some(r) = bytes.strip_prefix(b"{\"ok\":\"post\",\"task\":") {
+        (false, r)
+    } else {
+        return None;
+    };
+    let (id, rest) = eat_u64(rest)?;
+    let (seq, rest) = eat_seq(rest)?;
+    let (_sid, rest) = eat_sid(rest)?;
+    if rest != b"}" {
+        return None;
+    }
+    Some(if is_submit {
+        Response::Submit {
+            worker: WorkerId(id),
+            seq,
+        }
+    } else {
+        Response::Post {
+            // The generic route truncates the same way (`as u32`).
+            task: TaskId(id as u32),
+            seq,
+        }
+    })
+}
+
 /// Reads one frame (without its trailing `\n`), enforcing [`MAX_FRAME`]
 /// while reading. `Ok(None)` is a clean end of stream at a frame
 /// boundary; a frame truncated by EOF or overflowing the cap is an
@@ -194,9 +332,12 @@ pub fn encode_hello_v2() -> String {
 
 /// The server half of a `v2` handshake (the caller appends the bound
 /// session's sid with [`with_sid`], like on every other `v2` frame).
-pub fn encode_hello_response_v2(info: &SessionInfo) -> String {
+/// `win` advertises the largest submission window the server grants
+/// (1 = lockstep only; servers built here say [`MAX_WINDOW`]).
+pub fn encode_hello_response_v2(info: &SessionInfo, win: u64) -> String {
     let mut out = format!("{{\"proto\":\"{PROTO_NAME}\",\"v\":{PROTO_VERSION_V2},\"info\":");
     encode_info(&mut out, info);
+    out.push_str(&format!(",\"win\":{win}"));
     out.push('}');
     out
 }
@@ -217,6 +358,9 @@ pub enum Request {
     Submit {
         /// The check-in.
         worker: Worker,
+        /// `v2` windowed submission: the client's correlation number,
+        /// echoed on the response. `None` = lockstep (all of `v1`).
+        seq: Option<u64>,
     },
     /// `post_task` (with the accuracy-table row under tabular models).
     Post {
@@ -224,6 +368,9 @@ pub enum Request {
         task: Task,
         /// Per-worker accuracies, when the model is tabular.
         row: Option<Vec<f64>>,
+        /// `v2` windowed submission correlation number (see
+        /// [`Request::Submit`]).
+        seq: Option<u64>,
     },
     /// Start forwarding events on this connection.
     Subscribe,
@@ -271,13 +418,20 @@ impl Request {
     /// Serializes the request as one frame.
     pub fn encode(&self) -> String {
         match self {
-            Request::Submit { worker } => format!(
-                "{{\"op\":\"submit\",\"x\":\"{}\",\"y\":\"{}\",\"acc\":\"{}\"}}",
-                hex(worker.loc.x),
-                hex(worker.loc.y),
-                hex(worker.accuracy)
-            ),
-            Request::Post { task, row } => {
+            Request::Submit { worker, seq } => {
+                let mut out = format!(
+                    "{{\"op\":\"submit\",\"x\":\"{}\",\"y\":\"{}\",\"acc\":\"{}\"",
+                    hex(worker.loc.x),
+                    hex(worker.loc.y),
+                    hex(worker.accuracy)
+                );
+                if let Some(seq) = seq {
+                    out.push_str(&format!(",\"seq\":{seq}"));
+                }
+                out.push('}');
+                out
+            }
+            Request::Post { task, row, seq } => {
                 let mut out = format!(
                     "{{\"op\":\"post\",\"x\":\"{}\",\"y\":\"{}\"",
                     hex(task.loc.x),
@@ -294,6 +448,9 @@ impl Request {
                         out.push('"');
                     }
                     out.push(']');
+                }
+                if let Some(seq) = seq {
+                    out.push_str(&format!(",\"seq\":{seq}"));
                 }
                 out.push('}');
                 out
@@ -340,6 +497,9 @@ impl Request {
     /// session a `v2` request addresses (for the session verbs, the
     /// target session). `None` on `v1` frames.
     pub fn decode_with_sid(frame: &str) -> Result<(Request, Option<String>), WireError> {
+        if let Some(decoded) = fast_decode_submit(frame) {
+            return Ok(decoded);
+        }
         let v = json::parse(frame).map_err(|e| e.to_string())?;
         let sid = frame_sid(&v)?.map(str::to_owned);
         let request = Self::decode_value(&v)?;
@@ -348,6 +508,9 @@ impl Request {
 
     /// Parses a request frame.
     pub fn decode(frame: &str) -> Result<Request, WireError> {
+        if let Some((request, _)) = fast_decode_submit(frame) {
+            return Ok(request);
+        }
         let v = json::parse(frame).map_err(|e| e.to_string())?;
         Self::decode_value(&v)
     }
@@ -359,6 +522,7 @@ impl Request {
                     Point::new(unhex("x", v.get("x"))?, unhex("y", v.get("y"))?),
                     unhex("acc", v.get("acc"))?,
                 ),
+                seq: optional_seq(v)?,
             }),
             "post" => {
                 let task = Task::new(Point::new(unhex("x", v.get("x"))?, unhex("y", v.get("y"))?));
@@ -373,7 +537,11 @@ impl Request {
                         Some(out)
                     }
                 };
-                Ok(Request::Post { task, row })
+                Ok(Request::Post {
+                    task,
+                    row,
+                    seq: optional_seq(v)?,
+                })
             }
             "subscribe" => Ok(Request::Subscribe),
             "drain" => Ok(Request::Drain),
@@ -422,6 +590,19 @@ impl Request {
     }
 }
 
+/// The optional `"seq"` correlation member of a windowed `submit`/
+/// `post` frame (and its response). Absent is lockstep; present but
+/// malformed is a protocol error, never a silent fallback.
+fn optional_seq(v: &Json) -> Result<Option<u64>, WireError> {
+    match v.get("seq") {
+        None => Ok(None),
+        Some(seq) => seq
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| "non-integer `seq`".into()),
+    }
+}
+
 /// The mandatory `"sid"` of a session verb.
 fn required_sid(v: &Json) -> Result<String, WireError> {
     frame_sid(v)?
@@ -437,16 +618,24 @@ pub enum Response {
     Hello {
         /// The session description.
         info: SessionInfo,
+        /// The largest submission window the server grants (absent on
+        /// the wire means 1 — lockstep only; see [`MAX_WINDOW`]).
+        win: u64,
     },
     /// A worker was accepted under this arrival id.
     Submit {
         /// The service-global arrival id.
         worker: WorkerId,
+        /// The windowed request's `"seq"`, echoed back (see
+        /// [`Request::Submit`]); `None` on lockstep responses.
+        seq: Option<u64>,
     },
     /// A task was accepted under this global id.
     Post {
         /// The service-global task id.
         task: TaskId,
+        /// The windowed request's `"seq"`, echoed back.
+        seq: Option<u64>,
     },
     /// Events will now flow on this connection.
     Subscribe,
@@ -625,15 +814,34 @@ impl Response {
     /// Serializes the response as one frame.
     pub fn encode(&self) -> String {
         match self {
-            Response::Hello { info } => {
+            Response::Hello { info, win } => {
                 let mut out =
                     format!("{{\"proto\":\"{PROTO_NAME}\",\"v\":{PROTO_VERSION},\"info\":");
                 encode_info(&mut out, info);
+                // The `v1` hello never advertised a window; keep it
+                // byte-identical for the lockstep-only default.
+                if *win != 1 {
+                    out.push_str(&format!(",\"win\":{win}"));
+                }
                 out.push('}');
                 out
             }
-            Response::Submit { worker } => format!("{{\"ok\":\"submit\",\"worker\":{}}}", worker.0),
-            Response::Post { task } => format!("{{\"ok\":\"post\",\"task\":{}}}", task.0),
+            Response::Submit { worker, seq } => {
+                let mut out = format!("{{\"ok\":\"submit\",\"worker\":{}", worker.0);
+                if let Some(seq) = seq {
+                    out.push_str(&format!(",\"seq\":{seq}"));
+                }
+                out.push('}');
+                out
+            }
+            Response::Post { task, seq } => {
+                let mut out = format!("{{\"ok\":\"post\",\"task\":{}", task.0);
+                if let Some(seq) = seq {
+                    out.push_str(&format!(",\"seq\":{seq}"));
+                }
+                out.push('}');
+                out
+            }
             Response::Subscribe => "{\"ok\":\"subscribe\"}".into(),
             Response::Drain => "{\"ok\":\"drain\"}".into(),
             Response::Snapshot { text } => {
@@ -721,6 +929,16 @@ impl Response {
 
     /// Parses a response frame (which must not be an event frame).
     pub fn decode(frame: &str) -> Result<Response, WireError> {
+        if let Some(response) = fast_decode_ack(frame) {
+            return Ok(response);
+        }
+        Self::decode_generic(frame)
+    }
+
+    /// The generic JSON route [`Response::decode`] falls back to when
+    /// the frame is not a hot-path acknowledgement (also exercised
+    /// directly by the fast-path differential test).
+    fn decode_generic(frame: &str) -> Result<Response, WireError> {
         let v = json::parse(frame).map_err(|e| e.to_string())?;
         if let Some(message) = v.get("err") {
             return Ok(Response::Err {
@@ -737,14 +955,24 @@ impl Response {
             }
             return Ok(Response::Hello {
                 info: decode_info(v.get("info").ok_or("missing `info`")?)?,
+                // Absent on pre-windowing servers (and every v1 hello):
+                // lockstep only, per the add-optional-members policy.
+                // Present-but-malformed is refused, not coerced — a
+                // garbled advertisement means a garbled peer.
+                win: match v.get("win") {
+                    None => 1,
+                    Some(w) => w.as_u64().ok_or("non-integer `win`")?.max(1),
+                },
             });
         }
         match word("ok", v.get("ok"))? {
             "submit" => Ok(Response::Submit {
                 worker: WorkerId(uint("worker", v.get("worker"))?),
+                seq: optional_seq(&v)?,
             }),
             "post" => Ok(Response::Post {
                 task: TaskId(uint("task", v.get("task"))? as u32),
+                seq: optional_seq(&v)?,
             }),
             "subscribe" => Ok(Response::Subscribe),
             "drain" => Ok(Response::Drain),
@@ -954,14 +1182,21 @@ mod tests {
         let cases = vec![
             Request::Submit {
                 worker: Worker::new(Point::new(1.5, -0.25), 0.875),
+                seq: None,
+            },
+            Request::Submit {
+                worker: Worker::new(Point::new(1.5, -0.25), 0.875),
+                seq: Some(u64::MAX),
             },
             Request::Post {
                 task: Task::new(Point::new(f64::MIN_POSITIVE, 1e300)),
                 row: None,
+                seq: None,
             },
             Request::Post {
                 task: Task::new(Point::new(0.1, 0.2)),
                 row: Some(vec![0.9, 0.5 + f64::EPSILON, 0.0]),
+                seq: Some(0),
             },
             Request::Subscribe,
             Request::Drain,
@@ -1051,12 +1286,29 @@ mod tests {
         };
         let info2 = info.clone();
         let info3 = info.clone();
+        let info4 = info.clone();
         let cases = vec![
-            Response::Hello { info },
+            Response::Hello { info, win: 1 },
+            Response::Hello {
+                info: info4,
+                win: MAX_WINDOW,
+            },
             Response::Submit {
                 worker: WorkerId(u64::MAX),
+                seq: None,
             },
-            Response::Post { task: TaskId(7) },
+            Response::Submit {
+                worker: WorkerId(3),
+                seq: Some(17),
+            },
+            Response::Post {
+                task: TaskId(7),
+                seq: None,
+            },
+            Response::Post {
+                task: TaskId(7),
+                seq: Some(u64::MAX),
+            },
             Response::Subscribe,
             Response::Drain,
             Response::Snapshot {
@@ -1247,5 +1499,244 @@ mod tests {
         for frame in ["{\"ev\":\"worker\"}", "{\"ev\":\"life\",\"kind\":\"??\"}"] {
             assert!(decode_event(frame).is_err(), "accepted {frame:?}");
         }
+    }
+
+    #[test]
+    fn fast_paths_agree_with_the_generic_parser() {
+        // Requests: every hot-frame variant (seq/sid tails, windowed or
+        // not) plus near-misses that must fall back — the fast path may
+        // only ever accept frames the generic route parses identically.
+        let submits = [
+            Request::Submit {
+                worker: Worker::new(Point::new(325.0, -0.125), 0.83),
+                seq: None,
+            }
+            .encode(),
+            Request::Submit {
+                worker: Worker::new(Point::new(f64::MIN_POSITIVE, 1e300), 1.0),
+                seq: Some(0),
+            }
+            .encode(),
+            with_sid(
+                Request::Submit {
+                    worker: Worker::new(Point::new(1.5, 2.5), 0.99),
+                    seq: Some(u64::MAX),
+                }
+                .encode(),
+                "Region_7.east-2",
+            ),
+        ];
+        for frame in &submits {
+            let v = json::parse(frame).unwrap();
+            let generic = (
+                Request::decode_value(&v).unwrap(),
+                frame_sid(&v).unwrap().map(str::to_owned),
+            );
+            assert_eq!(fast_decode_submit(frame), Some(generic.clone()), "{frame}");
+            assert_eq!(Request::decode_with_sid(frame).unwrap(), generic, "{frame}");
+        }
+        // Foreign-but-valid framings (reordered members, whitespace,
+        // uppercase hex) must fall back and still parse.
+        for frame in [
+            "{\"x\":\"4074400000000000\",\"op\":\"submit\",\"y\":\"4074400000000000\",\"acc\":\"3feA000000000000\"}",
+            "{\"op\":\"submit\", \"x\":\"4074400000000000\",\"y\":\"4074400000000000\",\"acc\":\"3fea000000000000\"}",
+        ] {
+            assert_eq!(fast_decode_submit(frame), None, "{frame}");
+            assert!(Request::decode(frame).is_ok(), "{frame}");
+        }
+        // Acknowledgements, both verbs, all tail combinations.
+        let acks = [
+            Response::Submit {
+                worker: WorkerId(0),
+                seq: None,
+            }
+            .encode(),
+            with_sid(
+                Response::Submit {
+                    worker: WorkerId(u64::MAX),
+                    seq: Some(41),
+                }
+                .encode(),
+                "default",
+            ),
+            Response::Post {
+                task: TaskId(7),
+                seq: Some(u64::MAX),
+            }
+            .encode(),
+            with_sid(
+                Response::Post {
+                    task: TaskId(1),
+                    seq: None,
+                }
+                .encode(),
+                "s-1",
+            ),
+        ];
+        for frame in &acks {
+            let generic = Response::decode_generic(frame).unwrap();
+            assert_eq!(fast_decode_ack(frame), Some(generic.clone()), "{frame}");
+            assert_eq!(Response::decode(frame).unwrap(), generic, "{frame}");
+        }
+        // Near-misses fall back to the generic route's verdict.
+        for frame in [
+            "{\"ok\":\"submit\",\"worker\":007}",
+            "{\"ok\":\"submit\",\"worker\":3,\"seq\":-1}",
+            "{\"ok\":\"post\",\"task\":3,\"sid\":\"no spaces\"}",
+        ] {
+            assert_eq!(fast_decode_ack(frame), None, "{frame}");
+        }
+    }
+
+    /// xorshift64* — a deterministic corpus generator, so every fuzz
+    /// failure below reproduces from the constant seed in the test
+    /// (printed in the assertion) without an RNG dev-dependency.
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    /// Every decoder entry point the server or client feeds untrusted
+    /// bytes into. Returning `Err` is fine; panicking or wedging is the
+    /// failure mode under test.
+    fn exercise_decoders(frame: &str) {
+        let _ = Request::decode(frame);
+        let _ = Request::decode_with_sid(frame);
+        let _ = Response::decode(frame);
+        let _ = decode_event(frame);
+        let _ = decode_hello(frame);
+        let _ = is_event_frame(frame);
+    }
+
+    #[test]
+    fn fuzz_random_bytes_never_panic_reader_or_decoders() {
+        // Hostile-input sweep: raw random bytes through the frame reader
+        // (arbitrary split points, missing delimiters, non-UTF-8), and
+        // random printable JSON-ish garbage through every decoder. The
+        // generator is seeded, so `iter` in a failure message pins the
+        // exact offending input.
+        let mut rng = XorShift(0x1CDE_2018_0000_0001);
+        const JSONISH: &[u8] = br#"{}[]":,.-0123456789aeflnopqrstuvx\ "#;
+        for iter in 0..4096u32 {
+            let len = (rng.next() % 160) as usize;
+            let raw: Vec<u8> = (0..len).map(|_| (rng.next() >> 32) as u8).collect();
+            let mut cursor = io::Cursor::new(raw.clone());
+            while let Ok(Some(_)) = read_frame(&mut cursor) {}
+            let jsonish: String = (0..len)
+                .map(|_| JSONISH[(rng.next() as usize) % JSONISH.len()] as char)
+                .collect();
+            exercise_decoders(&jsonish);
+            exercise_decoders(&String::from_utf8_lossy(&raw));
+            debug_assert!(len < 160, "iter {iter}: corpus length out of bounds");
+        }
+    }
+
+    #[test]
+    fn fuzz_truncations_and_mutations_of_valid_frames_error_cleanly() {
+        // Every prefix and a spray of single-byte corruptions of real
+        // frames (windowed submits included) must decode to a clean
+        // error or a different valid value — never a panic. Truncated
+        // frames fed to the reader without their delimiter must surface
+        // the mid-frame error, not hang or fabricate a frame.
+        let corpus: Vec<String> = vec![
+            Request::Submit {
+                worker: Worker::new(Point::new(13.25, -4.5), 0.875),
+                seq: Some(41),
+            }
+            .encode(),
+            with_sid(
+                Request::Post {
+                    task: Task::new(Point::new(0.5, 99.0)),
+                    row: Some(vec![0.25, 1.0]),
+                    seq: Some(u64::MAX),
+                }
+                .encode(),
+                "sess-9",
+            ),
+            encode_hello_v2(),
+            Response::Submit {
+                worker: WorkerId(7),
+                seq: Some(7),
+            }
+            .encode(),
+            Response::Err {
+                message: "over capacity".into(),
+            }
+            .encode(),
+            encode_event(&StreamEvent::Lifecycle(Lifecycle::SessionEvicted)),
+        ];
+        let mut rng = XorShift(0x1CDE_2018_0000_0002);
+        for frame in &corpus {
+            for cut in 0..frame.len() {
+                exercise_decoders(&frame[..cut]);
+                if cut > 0 {
+                    let mut truncated = io::Cursor::new(frame.as_bytes()[..cut].to_vec());
+                    let err = read_frame(&mut truncated)
+                        .expect_err("a frame cut before its delimiter must error");
+                    assert!(err.to_string().contains("mid-frame"), "{err}");
+                }
+            }
+            for _ in 0..256 {
+                let mut bytes = frame.clone().into_bytes();
+                let at = (rng.next() as usize) % bytes.len();
+                bytes[at] = (rng.next() >> 32) as u8;
+                exercise_decoders(&String::from_utf8_lossy(&bytes));
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_sids_and_seqs_are_refused() {
+        // Malformed session ids: wrong type, empty, over-long, or
+        // containing bytes outside the sid alphabet — all refused by the
+        // sid layer before any verb dispatch.
+        let long = format!("{{\"op\":\"drain\",\"sid\":\"{}\"}}", "a".repeat(65));
+        for frame in [
+            "{\"op\":\"drain\",\"sid\":5}",
+            "{\"op\":\"drain\",\"sid\":\"\"}",
+            "{\"op\":\"drain\",\"sid\":\"no spaces\"}",
+            "{\"op\":\"drain\",\"sid\":\"semi;colon\"}",
+            "{\"op\":\"attach\"}",
+            long.as_str(),
+        ] {
+            assert!(Request::decode_with_sid(frame).is_err(), "accepted {frame}");
+        }
+        // Hostile `"seq"` members: anything but a JSON unsigned integer
+        // is refused on both directions of the wire (a float, string, or
+        // negative seq could silently desynchronize a window).
+        for seq in ["-1", "1.5", "\"7\"", "null", "18446744073709551616"] {
+            let request = format!(
+                "{{\"op\":\"submit\",\"x\":\"{x}\",\"y\":\"{x}\",\"acc\":\"{x}\",\"seq\":{seq}}}",
+                x = hex(1.0)
+            );
+            assert!(Request::decode(&request).is_err(), "accepted {request}");
+            let response = format!("{{\"ok\":\"submit\",\"worker\":3,\"seq\":{seq}}}");
+            assert!(Response::decode(&response).is_err(), "accepted {response}");
+        }
+        // The window advertisement is equally guarded: present but
+        // malformed is a refused hello, not a silent lockstep fallback.
+        let info = SessionInfo {
+            algorithm: Algorithm::Laf,
+            params: ProblemParams::builder().build().unwrap(),
+            n_shards: 1,
+            n_tasks: 0,
+        };
+        let hello = encode_hello_response_v2(&info, MAX_WINDOW);
+        assert!(matches!(
+            Response::decode(&hello).unwrap(),
+            Response::Hello { win, .. } if win == MAX_WINDOW
+        ));
+        let garbled = hello.replace(&format!("\"win\":{MAX_WINDOW}"), "\"win\":\"lots\"");
+        assert_ne!(garbled, hello);
+        let err = Response::decode(&garbled).expect_err("a non-integer `win` must be refused");
+        assert!(err.contains("win"), "{err}");
     }
 }

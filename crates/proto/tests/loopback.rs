@@ -11,9 +11,10 @@
 //! CI runs this file in the timeout-guarded job: a wedged connection or
 //! a deadlocked quiesce must fail loudly, never hang the build.
 
-use ltc_core::model::{ProblemParams, Task, Worker};
+use ltc_core::model::{ProblemParams, Task, Worker, WorkerId};
 use ltc_core::service::{
     Algorithm, Lifecycle, ServiceBuilder, ServiceError, ServiceHandle, Session, StreamEvent,
+    WindowAck,
 };
 use ltc_proto::wire;
 use ltc_proto::{LtcClient, LtcServer, SessionConfig, SessionFactory, SessionTable};
@@ -569,6 +570,582 @@ fn v1_clients_bind_the_default_session_with_unchanged_frames() {
 
     feeder.shutdown().unwrap();
     server.wait().unwrap();
+}
+
+/// Unwraps a batch of window acks into worker arrival ids (these tests
+/// submit only workers through the window).
+fn worker_ids(acks: Vec<WindowAck>) -> Vec<WorkerId> {
+    acks.into_iter()
+        .map(|ack| match ack {
+            WindowAck::Worker(id) => id,
+            WindowAck::Task(id) => panic!("unexpected task ack {id:?}"),
+        })
+        .collect()
+}
+
+#[test]
+fn windowed_submission_is_byte_identical_to_lockstep() {
+    // The tentpole bar: the same submission sequence driven windowed at
+    // any W and lockstep through v1 must produce byte-identical event
+    // streams, identical arrival ids (delivered FIFO through the
+    // deferred acks), and bit-identical final snapshots.
+    for window in [2usize, 16, 256] {
+        let w_server = LtcServer::bind("127.0.0.1:0", handle(2, Algorithm::Laf))
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let l_server = LtcServer::bind("127.0.0.1:0", handle(2, Algorithm::Laf))
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let mut windowed = LtcClient::connect_v2(w_server.addr()).unwrap();
+        assert_eq!(windowed.server_window(), wire::MAX_WINDOW as usize);
+        assert_eq!(windowed.set_window(window).unwrap(), window);
+        let mut lockstep = LtcClient::connect(l_server.addr()).unwrap();
+        assert_eq!(lockstep.server_window(), 1, "v1 advertises no window");
+
+        let w_events = windowed.subscribe().unwrap();
+        let l_events = lockstep.subscribe().unwrap();
+
+        let stream = workers(300, 4);
+        let mut acked: Vec<WorkerId> = Vec::new();
+        for (i, w) in stream.iter().enumerate() {
+            if let Some(ack) = windowed.submit_worker_windowed(w).unwrap() {
+                acked.extend(worker_ids(vec![ack]));
+            }
+            if i == 149 {
+                // A mid-stream lockstep request is a sequence point: it
+                // drains the window (acks collected first so none are
+                // dropped), then rides the ordered pipeline like any
+                // other request.
+                acked.extend(worker_ids(windowed.flush_window().unwrap()));
+                assert_eq!(windowed.window_in_flight(), 0);
+                let post = Task::new(Point::new(512.0, 512.0));
+                let wid = windowed.post_task(post).unwrap();
+                let lid = {
+                    for w in &stream[..150] {
+                        lockstep.submit_worker(w).unwrap();
+                    }
+                    lockstep.post_task(post).unwrap()
+                };
+                assert_eq!(wid, lid, "window {window}: post ids diverged");
+            }
+        }
+        acked.extend(worker_ids(windowed.flush_window().unwrap()));
+        let lock_ids: Vec<WorkerId> = stream[150..]
+            .iter()
+            .map(|w| lockstep.submit_worker(w).unwrap())
+            .collect();
+        // FIFO ack correspondence: the deferred acks carry exactly the
+        // ids the lockstep path saw, in submission order.
+        assert_eq!(acked.len(), 300, "window {window}");
+        assert!(
+            acked.iter().enumerate().all(|(i, id)| id.0 == i as u64),
+            "window {window}: acks not FIFO-dense: {acked:?}"
+        );
+        assert_eq!(acked[150..], lock_ids[..], "window {window}");
+
+        let got = collect_ordered(&mut windowed, &w_events, 300);
+        let expect = collect_ordered(&mut lockstep, &l_events, 300);
+        assert_eq!(got, expect, "window {window}: event streams diverged");
+
+        let mut from_windowed = Vec::new();
+        ltc_core::snapshot::write_snapshot(&windowed.snapshot().unwrap(), &mut from_windowed)
+            .unwrap();
+        let mut from_lockstep = Vec::new();
+        ltc_core::snapshot::write_snapshot(&lockstep.snapshot().unwrap(), &mut from_lockstep)
+            .unwrap();
+        assert_eq!(
+            from_windowed, from_lockstep,
+            "window {window}: snapshots diverged"
+        );
+
+        windowed.shutdown().unwrap();
+        w_server.wait().unwrap();
+        lockstep.shutdown().unwrap();
+        l_server.wait().unwrap();
+    }
+}
+
+#[test]
+fn windowed_concurrent_clients_equal_a_single_session_replay() {
+    // The 2-client replay harness, windowed: two writers race deep
+    // submission windows into one session; the acks reconstruct each
+    // writer's arrival ids, and the merged interleaving must replay
+    // exactly on a fresh in-process session.
+    let server = LtcServer::bind("127.0.0.1:0", handle(4, Algorithm::Laf))
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut observer = LtcClient::connect(server.addr()).unwrap();
+    let events = observer.subscribe().unwrap();
+
+    let submit = |salt: u64, window: usize| {
+        let addr = server.addr();
+        std::thread::spawn(move || {
+            let mut client = LtcClient::connect_v2(addr).unwrap();
+            assert_eq!(client.set_window(window).unwrap(), window);
+            let submitted = workers(150, salt);
+            let mut acks = Vec::new();
+            for w in &submitted {
+                if let Some(ack) = client.submit_worker_windowed(w).unwrap() {
+                    acks.push(ack);
+                }
+            }
+            acks.extend(client.flush_window().unwrap());
+            worker_ids(acks)
+                .into_iter()
+                .zip(submitted)
+                .collect::<Vec<_>>()
+        })
+    };
+    let a = submit(1, 32);
+    let b = submit(2, 256);
+    let mut order = a.join().unwrap();
+    order.extend(b.join().unwrap());
+    order.sort_by_key(|&(id, _)| id);
+    assert_eq!(order.len(), 300);
+    assert!(order
+        .iter()
+        .enumerate()
+        .all(|(i, (id, _))| id.0 == i as u64));
+
+    let observed = collect_ordered(&mut observer, &events, 300);
+    let mut replay = handle(4, Algorithm::Laf);
+    let replay_events = replay.subscribe().unwrap();
+    for (_, w) in &order {
+        Session::submit_worker(&mut replay, w).unwrap();
+    }
+    let expect = collect_ordered(&mut replay, &replay_events, 300);
+    assert_eq!(
+        observed, expect,
+        "windowed concurrent interleaving diverged from its replay"
+    );
+
+    observer.shutdown().unwrap();
+    server.wait().unwrap();
+    Session::shutdown(&mut replay).unwrap();
+}
+
+/// One randomized operation of the windowed/lockstep equivalence
+/// property (satellite: proptest differential).
+#[derive(Debug, Clone, Copy)]
+enum MixOp {
+    Submit(u64),
+    Post(u64),
+    Drain,
+    Snapshot,
+}
+
+mod windowed_property {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn op() -> impl Strategy<Value = MixOp> {
+        (0usize..10, 0u64..1_000_000).prop_map(|(kind, salt)| match kind {
+            0..=6 => MixOp::Submit(salt),
+            7 => MixOp::Post(salt),
+            8 => MixOp::Drain,
+            _ => MixOp::Snapshot,
+        })
+    }
+
+    fn algorithm(pick: u64) -> Algorithm {
+        match pick % 3 {
+            0 => Algorithm::Laf,
+            1 => Algorithm::Aam,
+            _ => Algorithm::Random { seed: pick },
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Random op mixes (submit/post/drain/snapshot) × algorithm ×
+        /// shard count × window: the windowed remote path must be
+        /// byte-for-byte equivalent to a lockstep in-process session fed
+        /// the same sequence — same arrival ids through the deferred
+        /// acks, same event stream, same snapshot text. The drawn values
+        /// are printed in every assertion, so a failing case is
+        /// reproducible from the panic message alone (the runner is
+        /// deterministic per test-path and case index).
+        #[test]
+        fn windowed_op_mixes_equal_lockstep(
+            ops in prop::collection::vec(op(), 8..48),
+            algo_pick in 0u64..1000,
+            shards in 1usize..=4,
+            window in 1usize..=256,
+        ) {
+            let seed = format!(
+                "algo={algo_pick} shards={shards} window={window} ops={ops:?}"
+            );
+            let algorithm = algorithm(algo_pick);
+            let server = LtcServer::bind("127.0.0.1:0", handle(shards, algorithm))
+                .unwrap()
+                .spawn()
+                .unwrap();
+            let mut remote = LtcClient::connect_v2(server.addr()).unwrap();
+            let granted = remote.set_window(window).unwrap();
+            prop_assert_eq!(granted, window, "window grant: {}", seed);
+            let mut local = handle(shards, algorithm);
+            let remote_events = remote.subscribe().unwrap();
+            let local_events = local.subscribe().unwrap();
+
+            let mut expect_acks: Vec<WindowAck> = Vec::new();
+            let mut got_acks: Vec<WindowAck> = Vec::new();
+            let mut submitted: u64 = 0;
+            for op in &ops {
+                match *op {
+                    MixOp::Submit(salt) => {
+                        let w = workers(1, salt)[0];
+                        if let Some(ack) = remote.submit_worker_windowed(&w).unwrap() {
+                            got_acks.push(ack);
+                        }
+                        expect_acks.push(WindowAck::Worker(
+                            Session::submit_worker(&mut local, &w).unwrap(),
+                        ));
+                        submitted += 1;
+                    }
+                    MixOp::Post(salt) => {
+                        let t = Task::new(Point::new(
+                            (salt % 83) as f64 * 12.0,
+                            (salt % 67) as f64 * 15.0,
+                        ));
+                        if let Some(ack) = remote.post_task_windowed(t).unwrap() {
+                            got_acks.push(ack);
+                        }
+                        expect_acks.push(WindowAck::Task(
+                            Session::post_task(&mut local, t).unwrap(),
+                        ));
+                    }
+                    MixOp::Drain => {
+                        // Collect in-flight acks first (a sequence point
+                        // consumes them), then the barrier on both sides.
+                        got_acks.extend(remote.flush_window().unwrap());
+                        remote.drain().unwrap();
+                        Session::drain(&mut local).unwrap();
+                    }
+                    MixOp::Snapshot => {
+                        got_acks.extend(remote.flush_window().unwrap());
+                        let mut over_wire = Vec::new();
+                        ltc_core::snapshot::write_snapshot(
+                            &remote.snapshot().unwrap(),
+                            &mut over_wire,
+                        )
+                        .unwrap();
+                        let mut in_process = Vec::new();
+                        ltc_core::snapshot::write_snapshot(
+                            &Session::snapshot(&mut local).unwrap(),
+                            &mut in_process,
+                        )
+                        .unwrap();
+                        prop_assert_eq!(
+                            over_wire, in_process,
+                            "mid-stream snapshot diverged: {}", seed
+                        );
+                    }
+                }
+            }
+            got_acks.extend(remote.flush_window().unwrap());
+            prop_assert_eq!(
+                &got_acks, &expect_acks,
+                "deferred acks diverged from lockstep ids: {}", seed
+            );
+
+            let got = collect_ordered(&mut remote, &remote_events, submitted);
+            let expect = collect_ordered(&mut local, &local_events, submitted);
+            prop_assert_eq!(got, expect, "event streams diverged: {}", seed);
+
+            let mut over_wire = Vec::new();
+            ltc_core::snapshot::write_snapshot(&remote.snapshot().unwrap(), &mut over_wire)
+                .unwrap();
+            let mut in_process = Vec::new();
+            ltc_core::snapshot::write_snapshot(
+                &Session::snapshot(&mut local).unwrap(),
+                &mut in_process,
+            )
+            .unwrap();
+            prop_assert_eq!(over_wire, in_process, "final snapshots diverged: {}", seed);
+
+            remote.shutdown().unwrap();
+            server.wait().unwrap();
+            Session::shutdown(&mut local).unwrap();
+        }
+    }
+}
+
+#[test]
+fn eviction_racing_windowed_submissions_resolves_deterministically() {
+    // Regression: a session evicted while a submission window is in
+    // flight (the idle reaper and the v2 `close` verb share the same
+    // eviction path — quiesce, announce, shut down) must resolve every
+    // in-flight submission deterministically. The acked prefix fully
+    // applies, its events ordered ahead of the `SessionEvicted` notice;
+    // everything after the eviction is refused whole. No partial state,
+    // no interleaving, no hang.
+    let table = SessionTable::with_factory(
+        handle(2, Algorithm::Laf),
+        session_factory(),
+        4,
+        Some(Duration::from_secs(3600)),
+    );
+    let server = LtcServer::bind_table("127.0.0.1:0", table)
+        .unwrap()
+        .spawn()
+        .unwrap();
+
+    let config = SessionConfig {
+        shards: Some(2),
+        ..SessionConfig::default()
+    };
+    let mut submitter = LtcClient::connect_v2(server.addr())
+        .unwrap()
+        .with_timeout(Duration::from_secs(10));
+    submitter.open_session("racy", &config).unwrap();
+    assert_eq!(submitter.set_window(256).unwrap(), 256);
+
+    let mut observer = LtcClient::connect_v2(server.addr()).unwrap();
+    observer.attach_session("racy").unwrap();
+    let events = observer.subscribe().unwrap();
+
+    // The eviction races the submission stream from another connection.
+    let closer = {
+        let addr = server.addr();
+        std::thread::spawn(move || {
+            let mut closer = LtcClient::connect_v2(addr).unwrap();
+            std::thread::sleep(Duration::from_millis(15));
+            closer.close_session("racy").unwrap();
+        })
+    };
+
+    let stream = workers(2000, 9);
+    let mut acked: Vec<WorkerId> = Vec::new();
+    let mut refusals: usize = 0;
+    for w in &stream {
+        match submitter.submit_worker_windowed(w) {
+            Ok(Some(ack)) => acked.extend(worker_ids(vec![ack])),
+            Ok(None) => {}
+            Err(_) => {
+                refusals += 1;
+                break;
+            }
+        }
+    }
+    // Per-submission outcomes for whatever is still in flight, oldest
+    // first: the deterministic shape is all-acks-then-all-refusals.
+    while let Some(outcome) = submitter.next_window_ack() {
+        match outcome {
+            Ok(ack) => {
+                assert_eq!(
+                    refusals, 0,
+                    "a submission applied after an earlier one was refused"
+                );
+                acked.extend(worker_ids(vec![ack]));
+            }
+            Err(_) => refusals += 1,
+        }
+    }
+    closer.join().unwrap();
+    // The session is gone: one more submission must be refused (so the
+    // test is never vacuous even if the close won the whole race).
+    assert!(
+        submitter.submit_worker(&stream[0]).is_err(),
+        "the evicted session accepted a submission"
+    );
+
+    // The acked prefix is exactly the session's arrival-id space.
+    assert!(
+        acked.iter().enumerate().all(|(i, id)| id.0 == i as u64),
+        "acked ids not a dense prefix: {acked:?}"
+    );
+
+    // The observer's stream: every acked worker's events, *then* the
+    // eviction notice, then the farewell — nothing after, nothing
+    // interleaved, nothing partial.
+    let mut observed = Vec::new();
+    while let Some(event) = events.recv_timeout(EVENT_TIMEOUT) {
+        observed.push(event);
+    }
+    let evicted_at = observed
+        .iter()
+        .position(|e| *e == StreamEvent::Lifecycle(Lifecycle::SessionEvicted))
+        .expect("subscribers must see the eviction");
+    let ordered: Vec<&StreamEvent> = observed
+        .iter()
+        .filter(|e| !matches!(e, StreamEvent::Lifecycle(_)))
+        .collect();
+    assert!(
+        observed[evicted_at..]
+            .iter()
+            .all(|e| matches!(e, StreamEvent::Lifecycle(_))),
+        "ordered events after the eviction notice"
+    );
+    assert_eq!(
+        ordered.len(),
+        acked.len(),
+        "delivered worker batches must match the acked prefix exactly"
+    );
+
+    // And the acked prefix replays bit-exactly in process: the eviction
+    // cut the stream, never a submission in half.
+    let mut replay = handle(2, Algorithm::Laf);
+    let replay_events = replay.subscribe().unwrap();
+    for w in &stream[..acked.len()] {
+        Session::submit_worker(&mut replay, w).unwrap();
+    }
+    let expect = collect_ordered(&mut replay, &replay_events, acked.len() as u64);
+    assert_eq!(
+        ordered,
+        expect.iter().collect::<Vec<_>>(),
+        "the acked prefix diverged from its replay"
+    );
+    Session::shutdown(&mut replay).unwrap();
+
+    let mut admin = LtcClient::connect_v2(server.addr()).unwrap();
+    admin.shutdown().unwrap();
+    server.wait().unwrap();
+}
+
+/// A hand-rolled server for hostile-transport tests: accepts one
+/// connection, replies to the handshake with `hello`, then hands the
+/// connection to `script`.
+fn fake_server(
+    hello: String,
+    script: impl FnOnce(std::net::TcpStream, BufReader<std::net::TcpStream>) + Send + 'static,
+) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let join = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        wire::read_frame(&mut reader).unwrap().expect("a handshake");
+        wire::write_frame(&mut conn, &hello).unwrap();
+        script(conn, reader);
+    });
+    (addr, join)
+}
+
+fn fake_info() -> ltc_core::service::SessionInfo {
+    ltc_core::service::SessionInfo {
+        algorithm: Algorithm::Laf,
+        params: params(),
+        n_shards: 1,
+        n_tasks: 0,
+    }
+}
+
+#[test]
+fn with_timeout_fails_a_wedged_server_in_seconds() {
+    // Satellite fix: the response deadline is configurable, so a wedged
+    // server fails a test suite in well under a second instead of the
+    // default 90 s.
+    let hello = wire::Response::Hello {
+        info: fake_info(),
+        win: 1,
+    }
+    .encode();
+    let (addr, join) = fake_server(hello, |_conn, mut reader| {
+        // Swallow every request, answer nothing, keep the socket open
+        // until the client gives up and disconnects.
+        while let Ok(Some(_)) = wire::read_frame(&mut reader) {}
+    });
+    let mut client = LtcClient::connect(addr)
+        .unwrap()
+        .with_timeout(Duration::from_millis(250));
+    let started = std::time::Instant::now();
+    let err = client.drain().expect_err("a wedged server must time out");
+    let waited = started.elapsed();
+    assert!(
+        err.to_string().contains("wedged"),
+        "unexpected error: {err}"
+    );
+    assert!(
+        waited >= Duration::from_millis(250) && waited < Duration::from_secs(10),
+        "timed out after {waited:?}, configured 250ms"
+    );
+    drop(client);
+    join.join().unwrap();
+}
+
+#[test]
+fn out_of_range_window_acks_fail_the_session_cleanly() {
+    // Hostile-input satellite: a server echoing a `"seq"` that is not
+    // the head of the in-flight window is a protocol corruption — the
+    // client must fail the session (never reorder, never hang), and
+    // later calls must fail fast instead of touching the broken wire.
+    let hello = wire::Response::Hello {
+        info: fake_info(),
+        win: wire::MAX_WINDOW,
+    }
+    .encode();
+    let (addr, join) = fake_server(hello, |mut conn, mut reader| {
+        // Answer the first windowed submit with a shifted seq, then
+        // drain the socket until the client leaves.
+        if let Ok(Some(frame)) = wire::read_frame(&mut reader) {
+            let seq = match wire::Request::decode(&frame) {
+                Ok(wire::Request::Submit { seq: Some(seq), .. }) => seq,
+                other => panic!("expected a windowed submit, got {other:?}"),
+            };
+            let lie = wire::Response::Submit {
+                worker: WorkerId(0),
+                seq: Some(seq + 7),
+            }
+            .encode();
+            wire::write_frame(&mut conn, &lie).unwrap();
+        }
+        while let Ok(Some(_)) = wire::read_frame(&mut reader) {}
+    });
+    let mut client = LtcClient::connect_v2(addr)
+        .unwrap()
+        .with_timeout(Duration::from_secs(5));
+    assert_eq!(client.set_window(8).unwrap(), 8);
+    let w = workers(1, 2)[0];
+    assert_eq!(client.submit_worker_windowed(&w).unwrap(), None);
+    let err = client
+        .flush_window()
+        .expect_err("a shifted seq must be refused");
+    assert!(
+        err.to_string().contains("window ack"),
+        "unexpected error: {err}"
+    );
+    // The session is condemned: no hang, no retry against broken state.
+    let started = std::time::Instant::now();
+    assert!(client.submit_worker(&w).is_err());
+    assert!(client.drain().is_err());
+    assert!(started.elapsed() < Duration::from_secs(1), "must fail fast");
+    drop(client);
+    join.join().unwrap();
+}
+
+#[test]
+fn mid_frame_connection_drop_is_a_clean_error() {
+    // Hostile-input satellite: a connection torn down halfway through a
+    // response frame surfaces as a clean transport error on the very
+    // call that awaited it.
+    let hello = wire::Response::Hello {
+        info: fake_info(),
+        win: 1,
+    }
+    .encode();
+    let (addr, join) = fake_server(hello, |mut conn, mut reader| {
+        wire::read_frame(&mut reader).unwrap();
+        use std::io::Write as _;
+        conn.write_all(b"{\"ok\":\"submit\",\"wor").unwrap();
+        conn.flush().unwrap();
+        conn.shutdown(std::net::Shutdown::Both).ok();
+    });
+    let mut client = LtcClient::connect(addr)
+        .unwrap()
+        .with_timeout(Duration::from_secs(5));
+    let err = client
+        .submit_worker(&workers(1, 3)[0])
+        .expect_err("a torn frame must fail the call");
+    assert!(
+        err.to_string().contains("mid-frame"),
+        "unexpected error: {err}"
+    );
+    drop(client);
+    join.join().unwrap();
 }
 
 #[test]
