@@ -1,0 +1,595 @@
+//! Per-file analysis context shared by every rule: the token stream,
+//! test-region detection, function spans, waiver directives, hot-path
+//! annotations, and a cheap intra-file type approximation (which
+//! identifiers are `f64`, which are hash collections).
+//!
+//! Everything here is deliberately *syntactic*. The linter has no type
+//! checker; instead each rule matches token patterns that the
+//! workspace's own disciplines make reliable (e.g. wire modules route
+//! every float through the bit-pattern helpers, so a formatted `f64`
+//! identifier is always a finding or a waiver — never noise). False
+//! negatives are acceptable (CI's differential tests still backstop the
+//! runtime behavior); false positives must be rare enough that an
+//! inline waiver with a written reason is a feature, not a burden.
+
+use crate::lexer::{tokenize, Tok, TokKind};
+use std::collections::BTreeSet;
+
+/// The invariant families a file can be subject to (see
+/// [`crate::classify`] for the path → discipline map).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Discipline {
+    /// Bytes that another machine (or a future run) re-reads: protocol
+    /// frames, snapshots, the WAL, committed artifacts. L001 (float
+    /// formatting) and L005 (uncapped reads) apply.
+    Wire,
+    /// Code whose control flow decides or serializes assignments — the
+    /// bit-exactness surface. L002 (iteration order) and L006
+    /// (wall-clock) apply.
+    Decision,
+}
+
+/// One inline waiver directive: `// ltc-lint: allow(L00x[,L00y]) reason`.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Codes this waiver covers.
+    pub codes: Vec<String>,
+    /// The written justification (required).
+    pub reason: String,
+    /// The source line the waiver applies to (its own line for trailing
+    /// comments, the next code-bearing line for leading ones).
+    pub applies_to: u32,
+    /// Where the directive itself sits (for unused-waiver reporting).
+    pub at: u32,
+    /// Set when a finding consumed this waiver.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// The analyzed form of one source file.
+pub struct FileContext {
+    /// Every token, comments included.
+    pub toks: Vec<Tok>,
+    /// Indices into `toks` of the non-comment tokens.
+    pub code: Vec<usize>,
+    /// Source lines (for finding snippets and baseline keys).
+    pub lines: Vec<String>,
+    /// Lines covered by `#[test]` / `#[cfg(test)]` items.
+    pub test_lines: BTreeSet<u32>,
+    /// Parsed `allow(...)` directives.
+    pub waivers: Vec<Waiver>,
+    /// Line ranges (inclusive) marked `// ltc-lint: hot-path`.
+    pub hot_ranges: Vec<(u32, u32)>,
+    /// Effective disciplines (path classification ∪ in-file overrides).
+    pub disciplines: BTreeSet<Discipline>,
+    /// Identifiers the intra-file approximation types as `f64`.
+    pub f64_idents: BTreeSet<String>,
+    /// Function names the approximation types as returning `f64`.
+    pub f64_fns: BTreeSet<String>,
+    /// Identifiers typed as `HashMap`/`HashSet`.
+    pub hash_idents: BTreeSet<String>,
+    /// `fn` body spans as `(open_brace, close_brace)` indices into
+    /// `code` (innermost-last ordering not guaranteed; scan all).
+    pub fn_spans: Vec<(usize, usize)>,
+    /// Malformed `ltc-lint:` directives: `(line, what)`.
+    pub directive_errors: Vec<(u32, String)>,
+}
+
+impl FileContext {
+    /// Analyzes one source file under the given base disciplines.
+    pub fn new(src: &str, base: &[Discipline]) -> Self {
+        let toks = tokenize(src);
+        let code: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let lines: Vec<String> = src.lines().map(str::to_string).collect();
+        let mut ctx = Self {
+            toks,
+            code,
+            lines,
+            test_lines: BTreeSet::new(),
+            waivers: Vec::new(),
+            hot_ranges: Vec::new(),
+            disciplines: base.iter().copied().collect(),
+            f64_idents: BTreeSet::new(),
+            f64_fns: BTreeSet::new(),
+            hash_idents: BTreeSet::new(),
+            fn_spans: Vec::new(),
+            directive_errors: Vec::new(),
+        };
+        ctx.scan_directives();
+        ctx.scan_test_regions();
+        ctx.scan_fn_spans();
+        ctx.collect_types();
+        ctx
+    }
+
+    /// The code token at code-index `i`.
+    pub fn ct(&self, i: usize) -> &Tok {
+        &self.toks[self.code[i]]
+    }
+
+    /// Number of code tokens.
+    pub fn n_code(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether `line` is inside test-only code.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_lines.contains(&line)
+    }
+
+    /// Whether `line` is inside a hot-path annotated item.
+    pub fn is_hot_line(&self, line: u32) -> bool {
+        self.hot_ranges
+            .iter()
+            .any(|&(a, b)| (a..=b).contains(&line))
+    }
+
+    /// Consumes a waiver covering `code` at `line`, if one exists.
+    pub fn try_waive(&self, code: &str, line: u32) -> Option<&Waiver> {
+        let w = self
+            .waivers
+            .iter()
+            .find(|w| w.applies_to == line && w.codes.iter().any(|c| c == code))?;
+        w.used.set(true);
+        Some(w)
+    }
+
+    /// The trimmed source line (1-based), for snippets and baseline keys.
+    pub fn snippet(&self, line: u32) -> &str {
+        self.lines
+            .get(line as usize - 1)
+            .map(|l| l.trim())
+            .unwrap_or("")
+    }
+
+    /// Innermost `fn` body span (code-token indices) containing code
+    /// token `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<(usize, usize)> {
+        self.fn_spans
+            .iter()
+            .copied()
+            .filter(|&(open, close)| (open..=close).contains(&i))
+            .min_by_key(|&(open, close)| close - open)
+    }
+
+    // ---- construction passes ----------------------------------------
+
+    /// Parses every `ltc-lint:` comment directive.
+    fn scan_directives(&mut self) {
+        for (ti, tok) in self.toks.iter().enumerate() {
+            if !matches!(tok.kind, TokKind::LineComment | TokKind::BlockComment) {
+                continue;
+            }
+            let Some(rest) = tok.text.trim_start().strip_prefix("ltc-lint:") else {
+                continue;
+            };
+            let rest = rest.trim();
+            if rest == "hot-path" {
+                if let Some(range) = self.next_item_range(ti) {
+                    self.hot_ranges.push(range);
+                } else {
+                    self.directive_errors
+                        .push((tok.line, "hot-path directive precedes no item".into()));
+                }
+            } else if let Some(body) = rest.strip_prefix("allow(") {
+                match parse_allow(body) {
+                    Ok((codes, reason)) => {
+                        let applies_to = self.directive_target_line(ti);
+                        self.waivers.push(Waiver {
+                            codes,
+                            reason,
+                            applies_to,
+                            at: tok.line,
+                            used: std::cell::Cell::new(false),
+                        });
+                    }
+                    Err(what) => self.directive_errors.push((tok.line, what)),
+                }
+            } else if let Some(body) = rest.strip_prefix("discipline(") {
+                match parse_disciplines(body) {
+                    Ok(set) => self.disciplines = set,
+                    Err(what) => self.directive_errors.push((tok.line, what)),
+                }
+            } else {
+                self.directive_errors
+                    .push((tok.line, format!("unknown directive `{rest}`")));
+            }
+        }
+    }
+
+    /// A trailing directive (code earlier on its line) governs its own
+    /// line; a leading one governs the next line carrying code.
+    fn directive_target_line(&self, comment_ti: usize) -> u32 {
+        let line = self.toks[comment_ti].line;
+        let trailing = self.toks[..comment_ti].iter().rev().any(|t| {
+            t.line == line && !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment)
+        });
+        if trailing {
+            return line;
+        }
+        self.toks[comment_ti..]
+            .iter()
+            .find(|t| {
+                t.line > line && !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment)
+            })
+            .map_or(line, |t| t.line)
+    }
+
+    /// Line range of the next item (through its matching brace, or its
+    /// terminating `;`) after token `ti` — the scope of `hot-path`.
+    fn next_item_range(&self, ti: usize) -> Option<(u32, u32)> {
+        let start_ci = self.code.iter().position(|&c| c > ti)?;
+        let from = self.toks[self.code[start_ci]].line;
+        let mut depth = 0usize;
+        for ci in start_ci..self.code.len() {
+            let t = self.ct(ci);
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((from, t.line));
+                }
+            } else if t.is_punct(';') && depth == 0 {
+                return Some((from, t.line));
+            }
+        }
+        Some((from, self.toks.last().map_or(from, |t| t.line)))
+    }
+
+    /// Marks the lines of every `#[test]` / `#[cfg(..test..)]` item.
+    fn scan_test_regions(&mut self) {
+        let mut ci = 0;
+        while ci < self.n_code() {
+            if self.ct(ci).is_punct('#') && ci + 1 < self.n_code() && self.ct(ci + 1).is_punct('[')
+            {
+                // Scan the attribute to its matching `]`.
+                let mut depth = 0usize;
+                let mut has_test = false;
+                let mut end = ci + 1;
+                for aj in ci + 1..self.n_code() {
+                    let t = self.ct(aj);
+                    if t.is_punct('[') {
+                        depth += 1;
+                    } else if t.is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = aj;
+                            break;
+                        }
+                    } else if t.is_ident("test") {
+                        has_test = true;
+                    }
+                }
+                if has_test {
+                    // The item body: to the matching `}` of the first
+                    // brace, or a `;` met first (e.g. `#[cfg(test)] use`).
+                    let mut depth = 0usize;
+                    let from = self.ct(ci).line;
+                    let mut to = from;
+                    for bj in end + 1..self.n_code() {
+                        let t = self.ct(bj);
+                        if t.is_punct('{') {
+                            depth += 1;
+                        } else if t.is_punct('}') {
+                            depth = depth.saturating_sub(1);
+                            if depth == 0 {
+                                to = t.line;
+                                break;
+                            }
+                        } else if t.is_punct(';') && depth == 0 {
+                            to = t.line;
+                            break;
+                        }
+                        to = t.line;
+                    }
+                    for l in from..=to {
+                        self.test_lines.insert(l);
+                    }
+                }
+                ci = end + 1;
+                continue;
+            }
+            ci += 1;
+        }
+    }
+
+    /// Records every `fn` body as a code-token span.
+    fn scan_fn_spans(&mut self) {
+        for ci in 0..self.n_code() {
+            if !self.ct(ci).is_ident("fn") {
+                continue;
+            }
+            // Find the body's opening brace; a `;` first means a
+            // bodyless declaration (trait method, extern).
+            let mut open = None;
+            let mut depth_angle = 0i32;
+            for bj in ci + 1..self.n_code() {
+                let t = self.ct(bj);
+                // `->` return types may contain braces only inside
+                // angle-bracketed generics in this codebase; a plain
+                // scan to the first top-level `{` is sufficient.
+                if t.is_punct('<') {
+                    depth_angle += 1;
+                } else if t.is_punct('>') {
+                    depth_angle -= 1;
+                } else if t.is_punct('{') && depth_angle <= 0 {
+                    open = Some(bj);
+                    break;
+                } else if t.is_punct(';') && depth_angle <= 0 {
+                    break;
+                }
+            }
+            let Some(open) = open else { continue };
+            let mut depth = 0usize;
+            for bj in open..self.n_code() {
+                let t = self.ct(bj);
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.fn_spans.push((open, bj));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The intra-file type approximation: `ident : f64`,
+    /// `F64 ( ident )` enum-variant bindings, `fn name (..) -> f64`,
+    /// and `ident : HashMap/HashSet` / `ident = HashMap::…` bindings.
+    fn collect_types(&mut self) {
+        for ci in 0..self.n_code() {
+            if self.ct(ci).kind != TokKind::Ident {
+                continue;
+            }
+            let text = self.ct(ci).text.clone();
+            // `name : f64` / `name : & f64` (param, field, let-type).
+            if text == "f64" && ci >= 2 {
+                let mut j = ci - 1;
+                while j > 0 && (self.ct(j).is_punct('&') || self.ct(j).is_ident("mut")) {
+                    j -= 1;
+                }
+                if self.ct(j).is_punct(':') && j > 0 && self.ct(j - 1).kind == TokKind::Ident {
+                    let name = self.ct(j - 1).text.clone();
+                    self.f64_idents.insert(name);
+                }
+            }
+            // `F64 ( name )` — a float-carrying enum variant binding.
+            if text == "F64"
+                && ci + 3 < self.n_code()
+                && self.ct(ci + 1).is_punct('(')
+                && self.ct(ci + 2).kind == TokKind::Ident
+                && self.ct(ci + 3).is_punct(')')
+            {
+                let name = self.ct(ci + 2).text.clone();
+                self.f64_idents.insert(name);
+            }
+            // `fn name ( … ) -> f64`.
+            if text == "fn" && ci + 1 < self.n_code() {
+                let name = self.ct(ci + 1).text.clone();
+                // Find the parameter list's closing paren, then `-> f64`.
+                if let Some(open) = (ci + 2..self.n_code()).find(|&j| self.ct(j).is_punct('(')) {
+                    let mut depth = 0usize;
+                    for j in open..self.n_code() {
+                        if self.ct(j).is_punct('(') {
+                            depth += 1;
+                        } else if self.ct(j).is_punct(')') {
+                            depth -= 1;
+                            if depth == 0 {
+                                if j + 3 < self.n_code()
+                                    && self.ct(j + 1).is_punct('-')
+                                    && self.ct(j + 2).is_punct('>')
+                                    && self.ct(j + 3).is_ident("f64")
+                                {
+                                    self.f64_fns.insert(name);
+                                }
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            // Hash collections: `name : HashMap/HashSet` or
+            // `name = HashMap :: new/with_capacity/from/default ( … )`.
+            if text == "HashMap" || text == "HashSet" {
+                if ci >= 2 && self.ct(ci - 1).is_punct(':') {
+                    // Skip over `std :: collections ::` path prefixes:
+                    // the `:` directly left of HashMap may be a path
+                    // separator, not a type ascription.
+                    if !(ci >= 2 && self.ct(ci - 2).is_punct(':')) {
+                        if self.ct(ci - 2).kind == TokKind::Ident {
+                            self.hash_idents.insert(self.ct(ci - 2).text.clone());
+                        }
+                    } else {
+                        // `… std :: collections :: HashMap` — walk left
+                        // past the path to the `name :` that started it.
+                        let mut j = ci - 1;
+                        while j >= 2
+                            && self.ct(j).is_punct(':')
+                            && self.ct(j - 1).is_punct(':')
+                            && self.ct(j - 2).kind == TokKind::Ident
+                        {
+                            j -= 3;
+                        }
+                        if j >= 1
+                            && self.ct(j).is_punct(':')
+                            && self.ct(j - 1).kind == TokKind::Ident
+                        {
+                            self.hash_idents.insert(self.ct(j - 1).text.clone());
+                        }
+                    }
+                }
+                // `name = [path ::] HashMap :: ctor`.
+                let mut j = ci;
+                // Walk left over a `std :: collections ::` prefix.
+                while j >= 3
+                    && self.ct(j - 1).is_punct(':')
+                    && self.ct(j - 2).is_punct(':')
+                    && self.ct(j - 3).kind == TokKind::Ident
+                {
+                    j -= 3;
+                }
+                if j >= 2 && self.ct(j - 1).is_punct('=') && self.ct(j - 2).kind == TokKind::Ident {
+                    self.hash_idents.insert(self.ct(j - 2).text.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Parses `L00x[, L00y]) reason…` (the part after `allow(`).
+fn parse_allow(body: &str) -> Result<(Vec<String>, String), String> {
+    let Some(close) = body.find(')') else {
+        return Err("allow(...) is missing its closing parenthesis".into());
+    };
+    let mut codes = Vec::new();
+    for code in body[..close].split(',') {
+        let code = code.trim();
+        let ok = code.len() == 4
+            && code.starts_with('L')
+            && code[1..].bytes().all(|b| b.is_ascii_digit());
+        if !ok {
+            return Err(format!("`{code}` is not a lint code (expected L0xx)"));
+        }
+        codes.push(code.to_string());
+    }
+    let reason = body[close + 1..].trim().to_string();
+    if reason.is_empty() {
+        return Err("a waiver requires a written reason after allow(...)".into());
+    }
+    Ok((codes, reason))
+}
+
+/// Parses `wire, decision)` / `none)` (the part after `discipline(`).
+fn parse_disciplines(body: &str) -> Result<BTreeSet<Discipline>, String> {
+    let Some(close) = body.find(')') else {
+        return Err("discipline(...) is missing its closing parenthesis".into());
+    };
+    let mut set = BTreeSet::new();
+    for word in body[..close].split(',') {
+        match word.trim() {
+            "wire" => {
+                set.insert(Discipline::Wire);
+            }
+            "decision" => {
+                set.insert(Discipline::Decision);
+            }
+            "none" => {}
+            other => return Err(format!("unknown discipline `{other}`")),
+        }
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_regions_cover_cfg_test_mods_and_test_fns() {
+        let src = "fn prod() { x(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n\
+                   #[test]\nfn unit() {\n    y();\n}\n";
+        let ctx = FileContext::new(src, &[]);
+        assert!(!ctx.is_test_line(1));
+        for l in 2..=5 {
+            assert!(ctx.is_test_line(l), "line {l} should be test");
+        }
+        for l in 6..=9 {
+            assert!(ctx.is_test_line(l), "line {l} should be test");
+        }
+    }
+
+    #[test]
+    fn cfg_test_use_statement_does_not_swallow_the_file() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn prod() {}\n";
+        let ctx = FileContext::new(src, &[]);
+        assert!(ctx.is_test_line(2));
+        assert!(!ctx.is_test_line(3));
+    }
+
+    #[test]
+    fn waiver_targets_trailing_and_leading_lines() {
+        let src = "a(); // ltc-lint: allow(L003) same line\n\
+                   // ltc-lint: allow(L001,L006) next line\n\
+                   b();\n";
+        let ctx = FileContext::new(src, &[]);
+        assert_eq!(ctx.waivers.len(), 2);
+        assert_eq!(ctx.waivers[0].applies_to, 1);
+        assert_eq!(ctx.waivers[0].codes, vec!["L003".to_string()]);
+        assert_eq!(ctx.waivers[1].applies_to, 3);
+        assert_eq!(ctx.waivers[1].codes.len(), 2);
+        assert_eq!(ctx.waivers[1].reason, "next line");
+    }
+
+    #[test]
+    fn malformed_directives_are_errors() {
+        for bad in [
+            "// ltc-lint: allow(L003)\nx();",      // missing reason
+            "// ltc-lint: allow(E42) why\nx();",   // bad code
+            "// ltc-lint: frobnicate\nx();",       // unknown verb
+            "// ltc-lint: discipline(warp)\nx();", // unknown discipline
+        ] {
+            let ctx = FileContext::new(bad, &[]);
+            assert_eq!(ctx.directive_errors.len(), 1, "{bad}");
+        }
+    }
+
+    #[test]
+    fn hot_path_covers_the_next_item_only() {
+        let src = "// ltc-lint: hot-path\nfn hot(a: u32) {\n    body();\n}\n\nfn cold() {}\n";
+        let ctx = FileContext::new(src, &[]);
+        assert!(ctx.is_hot_line(2));
+        assert!(ctx.is_hot_line(3));
+        assert!(ctx.is_hot_line(4));
+        assert!(!ctx.is_hot_line(6));
+    }
+
+    #[test]
+    fn type_approximation_finds_floats_and_hashes() {
+        let src = "struct S { x: f64 }\n\
+                   fn acc(a: &f64, n: u32) -> f64 { *a }\n\
+                   fn go() {\n\
+                     let m: std::collections::HashMap<u32, u32> = Default::default();\n\
+                     let s = HashSet::new();\n\
+                     if let Value::F64(v) = val {}\n\
+                   }\n";
+        let ctx = FileContext::new(src, &[]);
+        assert!(ctx.f64_idents.contains("x"));
+        assert!(ctx.f64_idents.contains("a"));
+        assert!(ctx.f64_idents.contains("v"));
+        assert!(ctx.f64_fns.contains("acc"));
+        assert!(ctx.hash_idents.contains("m"));
+        assert!(ctx.hash_idents.contains("s"));
+    }
+
+    #[test]
+    fn discipline_override_replaces_the_base_set() {
+        let ctx = FileContext::new(
+            "// ltc-lint: discipline(none)\nfn f() {}\n",
+            &[Discipline::Wire],
+        );
+        assert!(ctx.disciplines.is_empty());
+        let ctx = FileContext::new("// ltc-lint: discipline(wire, decision)\nfn f() {}\n", &[]);
+        assert_eq!(ctx.disciplines.len(), 2);
+    }
+
+    #[test]
+    fn enclosing_fn_finds_the_innermost_body() {
+        let src = "fn outer() {\n  fn inner() { deep(); }\n  shallow();\n}\n";
+        let ctx = FileContext::new(src, &[]);
+        assert_eq!(ctx.fn_spans.len(), 2);
+        let deep_ci = (0..ctx.n_code())
+            .find(|&i| ctx.ct(i).is_ident("deep"))
+            .unwrap();
+        let (open, close) = ctx.enclosing_fn(deep_ci).unwrap();
+        assert!(close - open < 8, "picked the inner span");
+    }
+}

@@ -1,0 +1,453 @@
+//! A minimal Rust tokenizer — just enough fidelity for the workspace
+//! invariant rules (see [`crate::rules`]).
+//!
+//! Like `ltc_proto::json`, this is hand-rolled because the build
+//! environment has no crate registry (no `syn`, no `proc-macro2`), and
+//! like that parser it is hostile-input safe: every input, however
+//! malformed, produces a token stream (unterminated literals degrade to
+//! a token that runs to end-of-file) — the linter must never panic on a
+//! source file it cannot make sense of.
+//!
+//! Fidelity choices, driven by what the rules match on:
+//!
+//! * **Comments are tokens**, not trivia — waiver directives
+//!   (`// ltc-lint: allow(...)`) live in them.
+//! * **Strings keep their decoded-enough text** so format strings can
+//!   be inspected for placeholder specs; raw strings (`r#"…"#`, any
+//!   hash depth) and byte strings are recognized so a `"` inside one
+//!   never desynchronizes the stream.
+//! * **Lifetimes and char literals are distinguished** (`'a` vs `'a'`),
+//!   so a generic parameter never eats the rest of the file.
+//! * **Punctuation stays single-byte.** Rules match multi-character
+//!   operators as adjacent tokens (`:` `:` for a path separator), which
+//!   keeps the lexer trivial and the match patterns explicit.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, `r#type`).
+    Ident,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// String literal of any flavor — the text is the *content* (quotes
+    /// and raw-string hashes stripped, escapes left as written).
+    Str,
+    /// Character or byte literal (content kept verbatim).
+    Char,
+    /// A lifetime (`'a`) — text excludes the quote.
+    Lifetime,
+    /// One punctuation byte.
+    Punct,
+    /// `// …` comment (text excludes the slashes, includes doc comments).
+    LineComment,
+    /// `/* … */` comment (text excludes the delimiters; nesting folded).
+    BlockComment,
+}
+
+/// One token: its kind, its text, and the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// Lexeme text (see [`TokKind`] for what is included).
+    pub text: String,
+    /// 1-based source line of the token's first byte.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the given punctuation byte.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+
+    /// Whether this token is the given identifier/keyword.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+/// Tokenizes one Rust source file. Never fails: malformed input yields
+/// a best-effort stream (see the module docs).
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        toks: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    toks: Vec<Tok>,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, tracking newlines.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(b) = self.peek() {
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek_at(1) == Some(b'/') => self.line_comment(line),
+                b'/' if self.peek_at(1) == Some(b'*') => self.block_comment(line),
+                b'r' | b'b' | b'c' if self.raw_or_prefixed_string(line) => {}
+                b'"' => self.string(line),
+                b'\'' => self.char_or_lifetime(line),
+                b'0'..=b'9' => self.number(line),
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.ident(line),
+                _ => {
+                    self.bump();
+                    // Multi-byte UTF-8 only occurs inside literals,
+                    // comments, and idents in valid Rust; a stray byte
+                    // here is surfaced as punctuation and ignored by
+                    // every rule.
+                    self.push(TokKind::Punct, (b as char).to_string(), line);
+                }
+            }
+        }
+        self.toks
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.pos += 2; // the `//`
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(TokKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.pos += 2; // the `/*`
+        let start = self.pos;
+        let mut depth = 1usize;
+        while let Some(b) = self.peek() {
+            if b == b'/' && self.peek_at(1) == Some(b'*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if b == b'*' && self.peek_at(1) == Some(b'/') {
+                depth -= 1;
+                let end = self.pos;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    let text = String::from_utf8_lossy(&self.bytes[start..end]).into_owned();
+                    self.push(TokKind::BlockComment, text, line);
+                    return;
+                }
+            } else {
+                self.bump();
+            }
+        }
+        // Unterminated: the rest of the file is comment.
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(TokKind::BlockComment, text, line);
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, `c"…"`, and raw
+    /// identifiers (`r#type`). Returns false when the `r`/`b`/`c` is an
+    /// ordinary identifier start (the caller falls through to
+    /// [`Lexer::ident`]).
+    fn raw_or_prefixed_string(&mut self, line: u32) -> bool {
+        let mut ahead = 1;
+        // Optional second prefix byte (`br`, `cr` — raw byte/C strings).
+        if matches!(self.peek(), Some(b'b' | b'c')) && self.peek_at(ahead) == Some(b'r') {
+            ahead += 1;
+        }
+        let mut hashes = 0usize;
+        while self.peek_at(ahead + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        match self.peek_at(ahead + hashes) {
+            Some(b'"') => {}
+            // `r#ident` — a raw identifier, not a string.
+            Some(b'A'..=b'Z' | b'a'..=b'z' | b'_') if self.peek() == Some(b'r') && hashes == 1 => {
+                self.pos += 2; // the `r#`
+                self.ident(line);
+                return true;
+            }
+            _ => return false,
+        }
+        // Hashed strings only follow an `r` prefix; `b"` and `c"` take
+        // the escape-aware path instead.
+        let raw = hashes > 0 || self.peek_at(ahead - 1) == Some(b'r');
+        for _ in 0..ahead + hashes + 1 {
+            self.bump();
+        }
+        let start = self.pos;
+        let mut end;
+        loop {
+            end = self.pos;
+            match self.bump() {
+                None => break, // unterminated: content runs to EOF
+                Some(b'"') => {
+                    let mut seen = 0;
+                    while seen < hashes && self.peek() == Some(b'#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(b'\\') if !raw => {
+                    self.bump(); // the escaped byte cannot close the string
+                }
+                Some(_) => {}
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..end]).into_owned();
+        self.push(TokKind::Str, text, line);
+        true
+    }
+
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        let start = self.pos;
+        let mut end;
+        loop {
+            end = self.pos;
+            match self.bump() {
+                None | Some(b'"') => break,
+                Some(b'\\') => {
+                    self.bump();
+                }
+                Some(_) => {}
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..end]).into_owned();
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// `'a'` / `'\n'` / `b'x'` are char literals; `'a` is a lifetime.
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // opening quote
+        match self.peek() {
+            Some(b'\\') => {
+                // Escaped char literal: consume through the closing quote.
+                let start = self.pos;
+                self.bump();
+                self.bump(); // the escaped byte ( `\u{..}` keeps going below )
+                while let Some(b) = self.peek() {
+                    self.bump();
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                let end = self.pos.saturating_sub(1).max(start);
+                let text = String::from_utf8_lossy(&self.bytes[start..end]).into_owned();
+                self.push(TokKind::Char, text, line);
+            }
+            Some(b'A'..=b'Z' | b'a'..=b'z' | b'_') if self.peek_at(1) != Some(b'\'') => {
+                // A lifetime: identifier characters, no closing quote.
+                let start = self.pos;
+                while matches!(
+                    self.peek(),
+                    Some(b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_')
+                ) {
+                    self.bump();
+                }
+                let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                self.push(TokKind::Lifetime, text, line);
+            }
+            _ => {
+                // Unescaped char literal (possibly multi-byte UTF-8).
+                let start = self.pos;
+                let mut end;
+                loop {
+                    end = self.pos;
+                    match self.bump() {
+                        None | Some(b'\'') => break,
+                        Some(_) => {}
+                    }
+                }
+                let text = String::from_utf8_lossy(&self.bytes[start..end]).into_owned();
+                self.push(TokKind::Char, text, line);
+            }
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let start = self.pos;
+        self.bump();
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'a'..=b'd' | b'f'..=b'z' | b'A'..=b'D' | b'F'..=b'Z' | b'_' => {
+                    self.bump();
+                }
+                // Exponent: consume a following sign too (`1e-5`).
+                b'e' | b'E' => {
+                    self.bump();
+                    if matches!(self.peek(), Some(b'+' | b'-')) {
+                        self.bump();
+                    }
+                }
+                // A decimal point only if a digit follows (`1.5`, not
+                // the range `1..5` or method call `1.max(2)`).
+                b'.' if matches!(self.peek_at(1), Some(b'0'..=b'9')) => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(TokKind::Number, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_')
+        ) {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let toks = kinds("let x = 42 + y_2;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Number, "42".into()),
+                (TokKind::Punct, "+".into()),
+                (TokKind::Ident, "y_2".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn float_and_range_numbers() {
+        let toks = kinds("1.5e-3 0..10 1.0f64 0xff_u8 1.max(2)");
+        assert_eq!(toks[0], (TokKind::Number, "1.5e-3".into()));
+        assert_eq!(toks[1], (TokKind::Number, "0".into()));
+        assert_eq!(toks[2], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[3], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[4], (TokKind::Number, "10".into()));
+        assert_eq!(toks[5], (TokKind::Number, "1.0f64".into()));
+        assert_eq!(toks[6], (TokKind::Number, "0xff_u8".into()));
+        assert_eq!(toks[7], (TokKind::Number, "1".into()));
+        assert_eq!(toks[8], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[9], (TokKind::Ident, "max".into()));
+    }
+
+    #[test]
+    fn strings_of_every_flavor() {
+        let toks = kinds(r###"("a\"b" r"raw" r#"ha"sh"# b"bytes" c"cstr")"###);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, vec![r#"a\"b"#, "raw", "ha\"sh", "bytes", "cstr"]);
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        let toks = kinds("r#type r#fn");
+        assert_eq!(toks[0], (TokKind::Ident, "type".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "fn".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("<'a> 'x' '\\n' 'static");
+        assert!(toks.contains(&(TokKind::Lifetime, "a".into())));
+        assert!(toks.contains(&(TokKind::Char, "x".into())));
+        assert!(toks.contains(&(TokKind::Char, "\\n".into())));
+        assert!(toks.contains(&(TokKind::Lifetime, "static".into())));
+    }
+
+    #[test]
+    fn comments_carry_text_and_lines() {
+        let toks = tokenize("code(); // ltc-lint: allow(L001) why\n/* block\nspan */ more");
+        assert_eq!(toks[4].kind, TokKind::LineComment);
+        assert_eq!(toks[4].text, " ltc-lint: allow(L001) why");
+        assert_eq!(toks[4].line, 1);
+        assert_eq!(toks[5].kind, TokKind::BlockComment);
+        assert_eq!(toks[6].kind, TokKind::Ident);
+        assert_eq!(toks[6].line, 3, "newlines inside comments count");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* a /* b */ c */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn quote_inside_raw_string_does_not_desynchronize() {
+        let toks = kinds(r##"r#"contains " quote"# after"##);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[1], (TokKind::Ident, "after".into()));
+    }
+
+    #[test]
+    fn hostile_inputs_never_panic() {
+        for bad in [
+            "\"unterminated",
+            "r#\"unterminated",
+            "/* unterminated",
+            "'",
+            "b'",
+            "\u{FFFD}\u{1F600} emoji soup \"\u{1F600}\"",
+            "r###\"deep\"## not closed",
+            "\\ \\ \\",
+        ] {
+            let _ = tokenize(bad);
+        }
+    }
+}

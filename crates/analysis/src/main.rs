@@ -1,0 +1,134 @@
+//! `ltc-lint` CLI: lints the workspace tree against the determinism,
+//! allocation, and wire-safety disciplines (see `docs/LINTS.md`).
+//!
+//! ```text
+//! ltc-lint --workspace [ROOT] [--deny] [--json PATH] [--baseline PATH]
+//!          [--write-baseline] [--include-vendor]
+//! ```
+//!
+//! Exit codes: 0 clean (or report-only), 1 findings under `--deny`,
+//! 2 usage or I/O error.
+
+use ltc_analysis::baseline::Baseline;
+use ltc_analysis::{lint_workspace, report, Options};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    deny: bool,
+    json: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+    include_vendor: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ltc-lint --workspace [ROOT] [--deny] [--json PATH|-] \
+         [--baseline PATH] [--write-baseline] [--include-vendor]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        deny: false,
+        json: None,
+        baseline: None,
+        write_baseline: false,
+        include_vendor: false,
+    };
+    let mut saw_mode = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--workspace" => saw_mode = true,
+            "--deny" => args.deny = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--include-vendor" => args.include_vendor = true,
+            "--json" => match argv.next() {
+                Some(p) => args.json = Some(p.into()),
+                None => usage(),
+            },
+            "--baseline" => match argv.next() {
+                Some(p) => args.baseline = Some(p.into()),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && saw_mode => args.root = other.into(),
+            _ => usage(),
+        }
+    }
+    if !saw_mode {
+        usage();
+    }
+    args
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("ltc-lint: {msg}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let opts = Options {
+        include_vendor: args.include_vendor,
+    };
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| args.root.join("ltc-lint.baseline"));
+
+    if args.write_baseline {
+        // A raw run (no baseline absorption) snapshots today's findings.
+        let report = match lint_workspace(&args.root, &opts, &Baseline::default()) {
+            Ok(r) => r,
+            Err(e) => return fail(&e),
+        };
+        let b = Baseline::from_findings(
+            report
+                .findings
+                .iter()
+                .map(|f| (f.code, f.path.as_str(), f.snippet.as_str())),
+        );
+        if let Err(e) = std::fs::write(&baseline_path, b.serialize()) {
+            return fail(&format!("{}: {e}", baseline_path.display()));
+        }
+        println!(
+            "wrote {} entr(ies) to {}",
+            b.entries.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => return fail(&e),
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+        Err(e) => return fail(&format!("{}: {e}", baseline_path.display())),
+    };
+
+    let report = match lint_workspace(&args.root, &opts, &baseline) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    print!("{}", report::text(&report));
+    if let Some(json_path) = &args.json {
+        let doc = report::json(&report);
+        if json_path.as_os_str() == "-" {
+            print!("{doc}");
+        } else if let Err(e) = std::fs::write(json_path, doc) {
+            return fail(&format!("{}: {e}", json_path.display()));
+        }
+    }
+    if args.deny && report.is_dirty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,527 @@
+//! The six lint rules (L001–L006) plus L000 directive hygiene, all
+//! running over a [`FileContext`]. Each rule emits raw candidates; the
+//! shared driver ([`run`]) strips test-region hits, consumes inline
+//! waivers, and reports dead waivers so a stale `allow(...)` can never
+//! silently mask a future regression.
+
+use crate::analysis::{Discipline, FileContext};
+use crate::lexer::TokKind;
+
+/// One diagnostic, file-relative (the workspace walker adds the path).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Source line (1-based).
+    pub line: u32,
+    /// Stable code, e.g. `"L003"`.
+    pub code: &'static str,
+    /// Human explanation with the expected remedy.
+    pub message: String,
+}
+
+/// A finding that an inline waiver absorbed, kept for reporting.
+#[derive(Debug, Clone)]
+pub struct Waived {
+    pub line: u32,
+    pub code: &'static str,
+    pub reason: String,
+}
+
+/// The result of linting one file.
+pub struct FileReport {
+    pub findings: Vec<Finding>,
+    pub waived: Vec<Waived>,
+}
+
+/// Runs every rule over the file.
+pub fn run(ctx: &FileContext) -> FileReport {
+    let mut raw: Vec<Finding> = Vec::new();
+    l001_float_format(ctx, &mut raw);
+    l002_iteration_order(ctx, &mut raw);
+    l003_lock_hygiene(ctx, &mut raw);
+    l004_hot_path_alloc(ctx, &mut raw);
+    l005_uncapped_read(ctx, &mut raw);
+    l006_wall_clock(ctx, &mut raw);
+
+    let mut findings = Vec::new();
+    let mut waived = Vec::new();
+    for f in raw {
+        if ctx.is_test_line(f.line) {
+            continue;
+        }
+        match ctx.try_waive(f.code, f.line) {
+            Some(w) => waived.push(Waived {
+                line: f.line,
+                code: f.code,
+                reason: w.reason.clone(),
+            }),
+            None => findings.push(f),
+        }
+    }
+    // Directive hygiene comes last so `used` flags are settled.
+    for (line, what) in &ctx.directive_errors {
+        findings.push(Finding {
+            line: *line,
+            code: "L000",
+            message: format!("malformed ltc-lint directive: {what}"),
+        });
+    }
+    for w in &ctx.waivers {
+        if !w.used.get() && !ctx.is_test_line(w.at) {
+            findings.push(Finding {
+                line: w.at,
+                code: "L000",
+                message: format!(
+                    "waiver allow({}) matches no finding — remove it or fix its target",
+                    w.codes.join(",")
+                ),
+            });
+        }
+    }
+    findings.sort();
+    FileReport { findings, waived }
+}
+
+const FORMAT_MACROS: [&str; 8] = [
+    "format",
+    "write",
+    "writeln",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "format_args",
+];
+
+/// L001 — no `Display`/`Debug` formatting of `f64` on wire paths.
+///
+/// Fires inside [`Discipline::Wire`] files on a format-macro invocation
+/// whose format string carries a float-shaped spec (`{:.N}`, `{:e}`) or
+/// interpolates a known-`f64` identifier, either inline (`"{v}"`) or as
+/// a trailing argument. An `f64` argument immediately followed by a
+/// method call (e.g. `v.to_bits()`) is NOT flagged — that is exactly the
+/// sanctioned bit-pattern route.
+fn l001_float_format(ctx: &FileContext, out: &mut Vec<Finding>) {
+    if !ctx.disciplines.contains(&Discipline::Wire) {
+        return;
+    }
+    let n = ctx.n_code();
+    for ci in 0..n {
+        let t = ctx.ct(ci);
+        if t.kind != TokKind::Ident || !FORMAT_MACROS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if ci + 1 >= n || !ctx.ct(ci + 1).is_punct('!') {
+            continue;
+        }
+        // Span of the macro call: to the matching close delimiter.
+        let Some(open) = (ci + 2..n).find(|&j| {
+            ctx.ct(j).is_punct('(') || ctx.ct(j).is_punct('[') || ctx.ct(j).is_punct('{')
+        }) else {
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut close = open;
+        for j in open..n {
+            let u = ctx.ct(j);
+            if u.is_punct('(') || u.is_punct('[') || u.is_punct('{') {
+                depth += 1;
+            } else if u.is_punct(')') || u.is_punct(']') || u.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    close = j;
+                    break;
+                }
+            }
+        }
+        let line = t.line;
+        let mut flagged = false;
+        for j in open + 1..close {
+            let a = ctx.ct(j);
+            match a.kind {
+                TokKind::Str => {
+                    for (name, spec) in format_specs(&a.text) {
+                        let floaty =
+                            spec.contains('.') || spec.ends_with('e') || spec.ends_with('E');
+                        if floaty || ctx.f64_idents.contains(name) {
+                            flagged = true;
+                        }
+                    }
+                }
+                // A *bare* f64 argument (`, v ,` / `, v )` / `, self.x )`)
+                // reaches Display directly. Anything wrapped — `bits(v)`,
+                // `v.to_bits()` — formats the wrapper's result, which is
+                // exactly the sanctioned bit-pattern route.
+                TokKind::Ident if ctx.f64_idents.contains(&a.text) => {
+                    let prev_ok = j > open + 1
+                        && (ctx.ct(j - 1).is_punct(',') || ctx.ct(j - 1).is_punct('.'));
+                    let next_ok = j + 1 == close || ctx.ct(j + 1).is_punct(',');
+                    if prev_ok && next_ok {
+                        flagged = true;
+                    }
+                }
+                // A direct call to a known f64-returning function still
+                // produces an f64 for Display.
+                TokKind::Ident
+                    if ctx.f64_fns.contains(&a.text)
+                        && j + 1 < close
+                        && ctx.ct(j + 1).is_punct('(')
+                        && (ctx.ct(j - 1).is_punct(',') || j == open + 1) =>
+                {
+                    flagged = true;
+                }
+                TokKind::Ident
+                    if a.text == "as" && j + 1 < close && ctx.ct(j + 1).is_ident("f64") =>
+                {
+                    flagged = true;
+                }
+                _ => {}
+            }
+        }
+        if flagged {
+            out.push(Finding {
+                line,
+                code: "L001",
+                message: format!(
+                    "f64 formatted via {}! on a wire path — route floats through \
+                     the 16-hex bit-pattern helpers so bytes round-trip bit-exactly",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Extracts `(name, spec)` pairs from a format string's `{...}` holes,
+/// skipping `{{` escapes. `name` may be empty (positional).
+fn format_specs(s: &str) -> Vec<(&str, &str)> {
+    let mut holes = Vec::new();
+    let b = s.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] == b'{' {
+            if i + 1 < b.len() && b[i + 1] == b'{' {
+                i += 2;
+                continue;
+            }
+            if let Some(end) = s[i + 1..].find('}') {
+                let hole = &s[i + 1..i + 1 + end];
+                let (name, spec) = match hole.find(':') {
+                    Some(c) => (&hole[..c], &hole[c + 1..]),
+                    None => (hole, ""),
+                };
+                holes.push((name, spec));
+                i += end + 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    holes
+}
+
+const HASH_ITER_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+];
+
+/// L002 — no `HashMap`/`HashSet` iteration on serialization or decision
+/// paths: iteration order varies run-to-run, which breaks the bit-exact
+/// guarantee the differential tests enforce. Use `BTreeMap`/`BTreeSet`
+/// or sort before iterating.
+fn l002_iteration_order(ctx: &FileContext, out: &mut Vec<Finding>) {
+    if ctx.disciplines.is_empty() {
+        return;
+    }
+    let n = ctx.n_code();
+    for ci in 0..n {
+        let t = ctx.ct(ci);
+        if t.kind != TokKind::Ident || !ctx.hash_idents.contains(&t.text) {
+            continue;
+        }
+        // `for pat in [&[mut]] h` …
+        let mut j = ci;
+        while j > 0 && (ctx.ct(j - 1).is_punct('&') || ctx.ct(j - 1).is_ident("mut")) {
+            j -= 1;
+        }
+        let for_loop = j > 0 && ctx.ct(j - 1).is_ident("in");
+        // … or `h.iter()` and friends.
+        let method_iter = ci + 2 < n
+            && ctx.ct(ci + 1).is_punct('.')
+            && ctx.ct(ci + 2).kind == TokKind::Ident
+            && HASH_ITER_METHODS.contains(&ctx.ct(ci + 2).text.as_str());
+        if for_loop || method_iter {
+            out.push(Finding {
+                line: t.line,
+                code: "L002",
+                message: format!(
+                    "iteration over hash collection `{}` on a determinism path — \
+                     hash order varies run-to-run; use a BTree collection or sort first",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// L003 — no `.lock().unwrap()` outside tests: a panic on one thread
+/// poisons the mutex and cascades into every other holder. Use
+/// `lock().unwrap_or_else(PoisonError::into_inner)` when the guarded
+/// state is valid at every await point, or waive with the reason the
+/// panic should propagate.
+fn l003_lock_hygiene(ctx: &FileContext, out: &mut Vec<Finding>) {
+    let n = ctx.n_code();
+    for ci in 0..n {
+        if n - ci < 8 {
+            break;
+        }
+        let seq_ok = ctx.ct(ci).is_punct('.')
+            && ctx.ct(ci + 1).is_ident("lock")
+            && ctx.ct(ci + 2).is_punct('(')
+            && ctx.ct(ci + 3).is_punct(')')
+            && ctx.ct(ci + 4).is_punct('.')
+            && ctx.ct(ci + 5).is_ident("unwrap")
+            && ctx.ct(ci + 6).is_punct('(')
+            && ctx.ct(ci + 7).is_punct(')');
+        if seq_ok {
+            out.push(Finding {
+                line: ctx.ct(ci + 5).line,
+                code: "L003",
+                message: ".lock().unwrap() poisons on panic — recover with \
+                          unwrap_or_else(PoisonError::into_inner) or waive with a reason"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// L004 — no allocation in `// ltc-lint: hot-path` items. Complements
+/// the runtime CountingAllocator gate: the allocator proves steady
+/// state is clean today, this lint stops tomorrow's patch from
+/// reintroducing a `collect` the benches only notice later.
+fn l004_hot_path_alloc(ctx: &FileContext, out: &mut Vec<Finding>) {
+    if ctx.hot_ranges.is_empty() {
+        return;
+    }
+    let n = ctx.n_code();
+    for ci in 0..n {
+        let t = ctx.ct(ci);
+        if t.kind != TokKind::Ident || !ctx.is_hot_line(t.line) {
+            continue;
+        }
+        let what: Option<&str> = match t.text.as_str() {
+            // `Vec::new` / `Vec::with_capacity`.
+            "Vec" | "String" | "Box"
+                if ci + 2 < n && ctx.ct(ci + 1).is_punct(':') && ctx.ct(ci + 2).is_punct(':') =>
+            {
+                Some("constructor")
+            }
+            // `.collect(` / `.to_vec(` / `.to_owned(` / `.to_string(`.
+            "collect" | "to_vec" | "to_owned" | "to_string"
+                if ci >= 1
+                    && ctx.ct(ci - 1).is_punct('.')
+                    && ci + 1 < n
+                    && ctx.ct(ci + 1).is_punct('(') =>
+            {
+                Some("method")
+            }
+            // `format!` / `vec!`.
+            "format" | "vec" if ci + 1 < n && ctx.ct(ci + 1).is_punct('!') => Some("macro"),
+            _ => None,
+        };
+        if let Some(kind) = what {
+            out.push(Finding {
+                line: t.line,
+                code: "L004",
+                message: format!(
+                    "allocating {kind} `{}` inside a hot-path item — reuse \
+                     caller-provided buffers (see the CountingAllocator gate)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+const CAPPED_READERS: [&str; 2] = ["read_line", "read_until"];
+
+/// L005 — every wire/WAL read loop sits under a length cap. A
+/// `read_line`/`read_until` whose enclosing function never calls
+/// `.take(..)` will buffer an unbounded line from a hostile or corrupt
+/// peer (PROTOCOL.md's hostile-input rule).
+fn l005_uncapped_read(ctx: &FileContext, out: &mut Vec<Finding>) {
+    if !ctx.disciplines.contains(&Discipline::Wire) {
+        return;
+    }
+    let n = ctx.n_code();
+    for ci in 0..n {
+        let t = ctx.ct(ci);
+        if t.kind != TokKind::Ident || !CAPPED_READERS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if ci == 0 || !ctx.ct(ci - 1).is_punct('.') {
+            continue;
+        }
+        let capped = match ctx.enclosing_fn(ci) {
+            Some((open, close)) => (open..=close).any(|j| ctx.ct(j).is_ident("take")),
+            None => false,
+        };
+        if !capped {
+            out.push(Finding {
+                line: t.line,
+                code: "L005",
+                message: format!(
+                    "`.{}()` without a `.take(cap)` guard in this function — a \
+                     hostile peer can grow the buffer without bound; cap the reader",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// L006 — no wall-clock reads (`Instant::now`, `SystemTime::now`) in
+/// decision or serialization code: replayability requires time to enter
+/// through the simulation clock or recorded inputs only.
+fn l006_wall_clock(ctx: &FileContext, out: &mut Vec<Finding>) {
+    if !ctx.disciplines.contains(&Discipline::Decision) {
+        return;
+    }
+    let n = ctx.n_code();
+    for ci in 0..n {
+        let t = ctx.ct(ci);
+        if t.kind != TokKind::Ident || (t.text != "Instant" && t.text != "SystemTime") {
+            continue;
+        }
+        let now_call = ci + 3 < n
+            && ctx.ct(ci + 1).is_punct(':')
+            && ctx.ct(ci + 2).is_punct(':')
+            && ctx.ct(ci + 3).is_ident("now");
+        if now_call {
+            out.push(Finding {
+                line: t.line,
+                code: "L006",
+                message: format!(
+                    "{}::now() on a decision/serialization path breaks replay — \
+                     thread time in from the sim clock or waive with a reason",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{Discipline, FileContext};
+
+    fn lint(src: &str, d: &[Discipline]) -> Vec<Finding> {
+        run(&FileContext::new(src, d)).findings
+    }
+
+    #[test]
+    fn l001_flags_inline_capture_and_precision() {
+        let src = "fn f(v: f64, out: &mut String) {\n\
+                   let _ = write!(out, \"{v}\");\n\
+                   let _ = write!(out, \"{:.6}\", n);\n\
+                   }\n";
+        let f = lint(src, &[Discipline::Wire]);
+        assert_eq!(f.iter().filter(|f| f.code == "L001").count(), 2);
+    }
+
+    #[test]
+    fn l001_bit_pattern_route_is_clean() {
+        let src = "fn f(v: f64, out: &mut String) {\n\
+                   let _ = write!(out, \"{:016x}\", v.to_bits());\n\
+                   }\n";
+        assert!(lint(src, &[Discipline::Wire]).is_empty());
+    }
+
+    #[test]
+    fn l001_silent_without_wire_discipline() {
+        let src = "fn f(v: f64) { let _ = format!(\"{v}\"); }\n";
+        assert!(lint(src, &[Discipline::Decision]).is_empty());
+    }
+
+    #[test]
+    fn l002_flags_hash_iteration_but_not_lookup() {
+        let src = "fn f() {\n\
+                   let m: HashMap<u32, u32> = HashMap::new();\n\
+                   for k in m.keys() { use_it(k); }\n\
+                   let v = m.get(&1);\n\
+                   }\n";
+        let f = lint(src, &[Discipline::Decision]);
+        assert_eq!(f.iter().filter(|f| f.code == "L002").count(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn l003_flags_everywhere_but_tests() {
+        let src = "fn f(m: &Mutex<u32>) { let g = m.lock().unwrap(); }\n\
+                   #[test]\nfn t() { let g = M.lock().unwrap(); }\n";
+        let f = lint(src, &[]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "L003");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn l003_recovering_lock_is_clean() {
+        let src = "fn f(m: &Mutex<u32>) {\n\
+                   let g = m.lock().unwrap_or_else(PoisonError::into_inner);\n\
+                   }\n";
+        assert!(lint(src, &[]).is_empty());
+    }
+
+    #[test]
+    fn l004_only_fires_in_hot_items() {
+        let src = "// ltc-lint: hot-path\n\
+                   fn hot(xs: &[u32]) -> Vec<u32> { xs.iter().copied().collect() }\n\
+                   fn cold(xs: &[u32]) -> Vec<u32> { xs.to_vec() }\n";
+        let f = lint(src, &[]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "L004");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn l005_take_cap_suppresses() {
+        let src = "fn raw(r: &mut impl BufRead, buf: &mut Vec<u8>) {\n\
+                   r.read_until(b'\\n', buf).unwrap();\n\
+                   }\n\
+                   fn capped(r: &mut impl BufRead, buf: &mut Vec<u8>) {\n\
+                   r.by_ref().take(MAX).read_until(b'\\n', buf).unwrap();\n\
+                   }\n";
+        let f = lint(src, &[Discipline::Wire]);
+        assert_eq!(f.iter().filter(|f| f.code == "L005").count(), 1);
+        assert_eq!(f.iter().find(|f| f.code == "L005").unwrap().line, 2);
+    }
+
+    #[test]
+    fn l006_flags_instant_now_in_decision_code() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        let f = lint(src, &[Discipline::Decision]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "L006");
+        assert!(lint(src, &[Discipline::Wire]).is_empty());
+    }
+
+    #[test]
+    fn waivers_absorb_and_dead_waivers_fire_l000() {
+        let src = "fn f(m: &Mutex<u32>) {\n\
+                   let g = m.lock().unwrap(); // ltc-lint: allow(L003) poison means torn state\n\
+                   }\n\
+                   // ltc-lint: allow(L006) dead waiver\n\
+                   fn g() {}\n";
+        let report = run(&FileContext::new(src, &[]));
+        assert_eq!(report.waived.len(), 1);
+        assert_eq!(report.waived[0].code, "L003");
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].code, "L000");
+    }
+}

@@ -1,0 +1,7 @@
+//! Control fixture: obeys every discipline — zero findings.
+
+use std::collections::BTreeMap;
+
+pub fn total_load(loads: &BTreeMap<u32, u64>) -> u64 {
+    loads.values().sum()
+}

@@ -1,0 +1,7 @@
+//! L000 fixture: a waiver that absorbs nothing is itself a finding —
+//! a stale `allow(...)` must never linger to mask a future regression.
+
+// ltc-lint: allow(L006) stale: the stopwatch this waived was removed
+pub fn nothing_left_to_waive() -> u32 {
+    41 + 1
+}

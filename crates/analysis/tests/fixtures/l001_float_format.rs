@@ -1,0 +1,9 @@
+//! L001 fixture: an `f64` reaching `Display` on a wire path — the
+//! shortest-roundtrip decimal is not bit-exact across rewrites.
+// ltc-lint: discipline(wire)
+
+use std::fmt::Write as _;
+
+pub fn emit_accuracy(v: f64, out: &mut String) {
+    let _ = write!(out, "worker accuracy {v}");
+}

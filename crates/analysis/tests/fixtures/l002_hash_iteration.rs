@@ -1,0 +1,12 @@
+//! L002 fixture: hash-order iteration on a determinism path — the
+//! visit order varies run to run.
+
+use std::collections::HashMap;
+
+pub fn drain_in_hash_order(loads: HashMap<u32, u64>) -> u64 {
+    let mut sum = 0;
+    for (_task, load) in loads.iter() {
+        sum += load;
+    }
+    sum
+}

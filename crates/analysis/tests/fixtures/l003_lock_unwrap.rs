@@ -1,0 +1,8 @@
+//! L003 fixture: `.lock().unwrap()` poisons every other holder when
+//! any thread panics with the guard live.
+
+use std::sync::Mutex;
+
+pub fn bump(counter: &Mutex<u64>) {
+    *counter.lock().unwrap() += 1;
+}

@@ -1,0 +1,6 @@
+//! L004 fixture: an allocating `collect` inside a hot-path item.
+
+// ltc-lint: hot-path
+pub fn doubled(xs: &[u32]) -> Vec<u32> {
+    xs.iter().map(|x| x * 2).collect()
+}

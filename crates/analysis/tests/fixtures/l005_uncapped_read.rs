@@ -1,0 +1,11 @@
+//! L005 fixture: an uncapped line read on a wire path — a hostile
+//! peer can grow the buffer without bound.
+// ltc-lint: discipline(wire)
+
+use std::io::BufRead;
+
+pub fn next_frame(reader: &mut impl BufRead) -> std::io::Result<String> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    Ok(line)
+}

@@ -1,0 +1,8 @@
+//! L006 fixture: a wall-clock read in decision code breaks replay.
+
+use std::time::Instant;
+
+pub fn decide_epoch() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}

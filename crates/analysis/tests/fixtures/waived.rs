@@ -1,0 +1,8 @@
+//! Waiver fixture: a real L006 hit absorbed by an inline waiver with
+//! a written reason — zero findings, one waived.
+
+use std::time::Instant;
+
+pub fn stopwatch_start() -> Instant {
+    Instant::now() // ltc-lint: allow(L006) fixture stopwatch: elapsed time is the measurement
+}

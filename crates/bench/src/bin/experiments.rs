@@ -314,7 +314,7 @@ fn ablation_batch(opts: Options) {
         .scaled_down(opts.scale)
         .generate();
     for scale in [0.5f64, 1.0, 1.5, 2.0] {
-        let started = std::time::Instant::now();
+        let started = std::time::Instant::now(); // ltc-lint: allow(L006) bench stopwatch: measuring wall-clock is the point
         let outcome = McfLtc::with_batch_scale(scale).run(&instance);
         let secs = started.elapsed().as_secs_f64();
         println!(

@@ -54,7 +54,7 @@ fn run_hotpath(instance: &Instance) -> HotpathRun {
     engine.reserve_assignments(instance.n_workers() * instance.params().capacity as usize);
     let mut algo = Laf::new();
     let mut allocs_mark = alloc::thread_alloc_count();
-    let start = Instant::now();
+    let start = Instant::now(); // ltc-lint: allow(L006) bench stopwatch: measuring wall-clock is the point
     let mut workers = 0u64;
     for (i, worker) in instance.workers().iter().enumerate() {
         if engine.all_completed() {

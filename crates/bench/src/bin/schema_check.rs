@@ -1,0 +1,37 @@
+//! `schema_check` — validates report files against the `ltc-bench/v1`
+//! schema from the command line, so CI jobs (and developers) can gate
+//! any emitted artifact — bench trajectories, `ltc-lint --json` reports
+//! — with the same checker the library test-suites use.
+//!
+//! ```text
+//! cargo run -p ltc-bench --bin schema_check -- FILE [FILE...]
+//! ```
+//!
+//! Exit codes: 0 when every file validates, 1 on the first schema or
+//! parse error, 2 on usage or I/O problems.
+
+use ltc_bench::json;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() || files.iter().any(|f| f.starts_with('-')) {
+        eprintln!("usage: schema_check FILE [FILE...]");
+        return ExitCode::from(2);
+    }
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(what) = json::validate(&text) {
+            eprintln!("{file}: not a valid ltc-bench/v1 report: {what}");
+            return ExitCode::from(1);
+        }
+        println!("{file}: ok (ltc-bench/v1)");
+    }
+    ExitCode::SUCCESS
+}

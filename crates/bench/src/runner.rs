@@ -72,7 +72,7 @@ pub struct Measurement {
 /// Runs one algorithm under the stopwatch and the counting allocator.
 pub fn measure(algo: Algo, instance: &Instance, seed: u64) -> Measurement {
     let baseline = alloc::reset_peak();
-    let start = Instant::now();
+    let start = Instant::now(); // ltc-lint: allow(L006) bench stopwatch: measuring wall-clock is the point
     let outcome = algo.run(instance, seed);
     let seconds = start.elapsed().as_secs_f64();
     let peak_bytes = alloc::peak_bytes().saturating_sub(baseline);

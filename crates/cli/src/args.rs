@@ -53,9 +53,10 @@ consume up to D-1 extra check-ins past completion — they assign nothing,
 but the summary's worker count includes them). --window W requests a
 remote submission window: over --connect, up to W check-in frames are
 fired before their acknowledgements arrive (clamped to what the server
-advertises). The server applies frames in arrival order either way, so
-every event line is byte-identical to --window 1; like --pipeline, a
-window above 1 may consume up to W-1 extra check-ins past completion.
+advertises). The server applies frames in arrival order either way, and
+the batch shrinks to ceil(remaining-tasks / capacity) as the instance
+nears completion, so the whole output — event lines and summary,
+workers-read count included — is byte-identical to --window 1.
 In-process sessions are their own acknowledgement, so --window is a
 no-op there (granted 1). --rebalance N quiesces
 the session every N accepted check-ins and re-splits the shard stripes

@@ -172,7 +172,7 @@ fn generate(
 
 fn run_algo(input: &str, algo: AlgoChoice, stats: bool, out: &mut dyn Write) -> CmdResult {
     let instance = load(input)?;
-    let started = std::time::Instant::now();
+    let started = std::time::Instant::now(); // ltc-lint: allow(L006) informational elapsed-time line in CLI output; assignments never read it
     let outcome = run_choice(&instance, algo);
     let elapsed = started.elapsed().as_secs_f64();
     writeln!(
@@ -709,9 +709,11 @@ fn register_acks(acks: Vec<WindowAck>, mine: &mut std::collections::HashSet<u64>
 /// [`Session::submit_worker_windowed`] before the loop stops to collect
 /// their deferred acknowledgements and pump their events — the acks must
 /// land first, because the subscription is filtered by the arrival ids
-/// they carry. Output stays byte-identical to lockstep: events are
-/// still written in submission order, only the request/ack cadence
-/// changes.
+/// they carry. Near the end of the instance the batch shrinks to
+/// `ceil(remaining_tasks / capacity)`, so the window never submits a
+/// check-in lockstep would not have read. Output stays byte-identical
+/// to lockstep, summary line included: events are still written in
+/// submission order, only the request/ack cadence changes.
 #[allow(clippy::too_many_arguments)]
 fn drive_stream(
     session: &mut dyn Session,
@@ -739,6 +741,7 @@ fn drive_stream(
     let info = session.info();
     let algo_name = info.algorithm.name();
     let min_accuracy = info.params.min_accuracy;
+    let capacity = u64::from(info.params.capacity).max(1);
     // One round trip up front: how much of the pool is already done
     // (resumed sessions, or a shared remote session mid-run).
     let opening = session.metrics()?;
@@ -754,7 +757,8 @@ fn drive_stream(
     };
     let depth = pipeline.max(window).max(1);
     let events = session.subscribe()?;
-    let started = std::time::Instant::now();
+    let started = std::time::Instant::now(); // ltc-lint: allow(L006) informational elapsed-time summary; the event stream and totals are clock-free
+
     let mut spam_skipped: u64 = 0;
     let mut in_flight: usize = 0;
     let mut accepted: u64 = 0;
@@ -796,7 +800,19 @@ fn drive_stream(
             // acks (all buffered by now; firing ran ahead of them) and
             // then the events. Draining the whole batch keeps the next
             // window's sends free of per-submission round trips.
-            if in_flight >= depth {
+            //
+            // The batch is completion-aware: one check-in completes at
+            // most `capacity` tasks, so once only `remaining` tasks are
+            // open, any submission beyond ceil(remaining / capacity)
+            // reads a worker the lockstep cadence could never consume —
+            // the batch's earlier check-ins cannot have finished the
+            // instance. Capping there keeps the summary's workers-read
+            // count exactly equal to lockstep's (`completed_tasks` is
+            // exact at fire time: every settle drains the window to
+            // empty before the next fire).
+            let remaining = total_tasks.saturating_sub(completed_tasks);
+            let effective = depth.min(remaining.div_ceil(capacity).max(1) as usize);
+            if in_flight >= effective {
                 register_acks(session.flush_window()?, &mut mine);
                 while in_flight > 0 {
                     completed_tasks += pump_worker_event(&events, &mut mine, &mut in_flight, out)?;
@@ -1347,6 +1363,38 @@ mod tests {
             std::fs::remove_file(&local_snap).ok();
             std::fs::remove_file(&remote_snap).ok();
         }
+        std::fs::remove_file(&data_path).ok();
+        std::fs::remove_file(&checkin_path).ok();
+    }
+
+    #[test]
+    fn windowed_stream_summary_matches_lockstep() {
+        // The windowed driver drains completion-aware: near the end of
+        // the instance the batch shrinks to ceil(remaining / capacity),
+        // so a deep window submits exactly the check-ins lockstep reads
+        // and the closing summary — workers-read count included — is
+        // byte-identical, not just the event lines. (Before this, a
+        // wide window consumed up to W-1 extra check-ins past
+        // completion and the summaries legitimately diverged.)
+        let data_path = temp_path("windowed_summary.tsv");
+        let checkin_path = temp_path("windowed_summary_checkins.tsv");
+        write_parity_fixture(&data_path, &checkin_path);
+        let mut outputs = Vec::new();
+        for window in [1usize, 256] {
+            let server = spawn_server(&data_path, 4);
+            let (code, out) = run_cli(&format!(
+                "stream --connect {} --checkins {checkin_path} --window {window}",
+                server.addr()
+            ));
+            assert_eq!(code, 0, "window={window}: {out}");
+            server.stop().unwrap();
+            assert!(out.contains("\"completed\":true"), "{out}");
+            outputs.push(strip_elapsed(&out));
+        }
+        assert_eq!(
+            outputs[0], outputs[1],
+            "window=256 output (summary included) diverged from lockstep"
+        );
         std::fs::remove_file(&data_path).ok();
         std::fs::remove_file(&checkin_path).ok();
     }

@@ -639,6 +639,7 @@ impl AssignmentEngine {
     /// Panics (with a descriptive message) when `w` exceeds the row count
     /// of a fixed [`AccuracyModel::Table`] — tabular models cover a
     /// closed worker set.
+    // ltc-lint: hot-path
     pub fn push_worker_as<A: OnlineAlgorithm + ?Sized>(
         &mut self,
         w: WorkerId,

@@ -62,6 +62,7 @@ impl TopK {
 
     /// Offers a candidate; keeps it only if it ranks among the best K so
     /// far.
+    // ltc-lint: hot-path
     pub fn offer(&mut self, key: f64, task: TaskId) {
         debug_assert!(!key.is_nan(), "selection keys must not be NaN");
         if self.k == 0 {

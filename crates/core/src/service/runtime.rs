@@ -275,6 +275,7 @@ fn serve_rendezvous(
     // serial pass would compute.
     let units = if rv.hybrid {
         let (sum, max) = rt.shard.engine.remaining_units();
+        // ltc-lint: allow(L003) a peer panicking mid-barrier leaves partial sums; propagating poison kills this shard thread joinably instead of merging torn state
         let mut st = rv.state.lock().unwrap();
         st.units_sum += sum;
         st.units_max = st.units_max.max(max);
@@ -301,6 +302,7 @@ fn serve_rendezvous(
             .propose(rt.shard_id, w, worker, rv.k, &mut rt.scratch, &mut mine);
     }
     let my_picks: Vec<Proposal> = {
+        // ltc-lint: allow(L003) proposal merge: poison means a peer died with proposals half-deposited; deciding from them would commit a torn arrangement
         let mut st = rv.state.lock().unwrap();
         st.proposals.append(&mut mine);
         st.proposed += 1;
@@ -330,6 +332,7 @@ fn serve_rendezvous(
             completed.push(p.global);
         }
     }
+    // ltc-lint: allow(L003) commit tally: a poisoned barrier must stop the event batch from shipping, so the panic propagates to the joinable shard thread
     let mut st = rv.state.lock().unwrap();
     st.completed.extend(completed);
     st.committed += 1;

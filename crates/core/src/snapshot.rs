@@ -71,7 +71,7 @@ use crate::model::{
 use crate::service::{Algorithm, LtcService, ServiceError, ServiceSnapshot, StripeLayout};
 use ltc_spatial::{BoundingBox, Point};
 use std::fmt;
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read, Write};
 
 /// The header the v1 format starts with.
 pub const SNAPSHOT_HEADER: &str = "ltc-snapshot v1";
@@ -83,6 +83,11 @@ const MAX_PREALLOC: usize = 1 << 20;
 /// Hard ceiling on shard ids a snapshot may reference (far above any
 /// real deployment; a guard against hostile `taskmap` entries).
 const MAX_SHARDS: usize = 1 << 20;
+
+/// Hard ceiling on one snapshot line (64 MiB — whole task/quality
+/// arrays sit on a single line, so this is generous; a truncated or
+/// hostile file must still not buffer without bound).
+const MAX_SNAPSHOT_LINE: usize = 1 << 26;
 
 /// Why a snapshot could not be read.
 #[derive(Debug)]
@@ -476,6 +481,7 @@ pub fn read_snapshot<R: BufRead>(reader: R) -> Result<ServiceSnapshot, SnapshotE
                 for _ in 0..n_values {
                     let v = tk.f64()?;
                     if !(0.0..=1.0).contains(&v) {
+                        // ltc-lint: allow(L001) parse-error diagnostic for humans; echoes the rejected value, never re-enters the snapshot
                         return Err(tk.bad(format!("table accuracy {v} outside [0, 1]")));
                     }
                     values.push(v);
@@ -556,18 +562,33 @@ impl<R: BufRead> Lines<R> {
     }
 
     fn next_line(&mut self) -> Result<String, SnapshotError> {
-        let mut buf = String::new();
         loop {
-            buf.clear();
-            if self.reader.read_line(&mut buf)? == 0 {
+            // A snapshot line legitimately holds a whole task or quality
+            // array, so the cap is generous — but a truncated or hostile
+            // file must not buffer without bound.
+            let mut buf = Vec::new();
+            let n = (&mut self.reader)
+                .take(MAX_SNAPSHOT_LINE as u64)
+                .read_until(b'\n', &mut buf)?;
+            if n == 0 {
                 return Err(SnapshotError::Parse {
                     line: self.lineno + 1,
                     what: "unexpected end of snapshot".into(),
                 });
             }
+            if n == MAX_SNAPSHOT_LINE && buf.last() != Some(&b'\n') {
+                return Err(SnapshotError::Parse {
+                    line: self.lineno + 1,
+                    what: format!("line exceeds the {MAX_SNAPSHOT_LINE}-byte cap"),
+                });
+            }
             self.lineno += 1;
-            if !buf.trim().is_empty() {
-                return Ok(buf);
+            let line = String::from_utf8(buf).map_err(|_| SnapshotError::Parse {
+                line: self.lineno,
+                what: "line is not valid UTF-8".into(),
+            })?;
+            if !line.trim().is_empty() {
+                return Ok(line);
             }
         }
     }

@@ -601,9 +601,9 @@ fn read_header(
         header.get("wal").and_then(Json::as_str),
         header.get("v").and_then(Json::as_u64),
     ) {
-        (Some(WAL_NAME), Some(v @ (WAL_VERSION_V1 | WAL_VERSION))) => v,
-        (Some(WAL_NAME), Some(v)) => {
-            return Err(corrupt(format!("unsupported {WAL_NAME} version {v}")))
+        (Some(WAL_NAME), Some(ver @ (WAL_VERSION_V1 | WAL_VERSION))) => ver,
+        (Some(WAL_NAME), Some(ver)) => {
+            return Err(corrupt(format!("unsupported {WAL_NAME} version {ver}")))
         }
         _ => return Err(corrupt("header does not announce ltc-wal".into())),
     };

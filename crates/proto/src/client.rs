@@ -13,7 +13,7 @@ use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -34,6 +34,16 @@ const SEND_BATCH_CAP: usize = 256 * 1024;
 enum PendingKind {
     Submit,
     Post,
+}
+
+/// Locks the subscriber fanout, recovering from poisoning instead of
+/// propagating it: a subscriber that panicked mid-send must not wedge
+/// the reader thread (and with it every other subscriber) behind a
+/// permanently poisoned lock. The guarded `Vec<Sender>` is sound at
+/// every point a panic can unwind through — dead receivers are pruned
+/// on the next fanout anyway.
+fn lock_recovering<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 fn transport(what: impl Into<String>) -> ServiceError {
@@ -161,7 +171,7 @@ impl LtcClient {
                     Ok(Some(frame)) if wire::is_event_frame(&frame) => {
                         match wire::decode_event(&frame) {
                             Ok(event) => {
-                                let mut subs = fanout.lock().unwrap();
+                                let mut subs = lock_recovering(&fanout);
                                 subs.retain(|tx| tx.send(event.clone()).is_ok());
                             }
                             Err(what) => {
@@ -591,16 +601,16 @@ impl Session for LtcClient {
         // once per connection; local subscribers fan out from the reader
         // thread, so only the first subscription crosses the wire.
         let (tx, rx) = mpsc::channel();
-        self.subscribers.lock().unwrap().push(tx);
+        lock_recovering(&self.subscribers).push(tx);
         if !self.subscribed {
             match self.request(&Request::Subscribe) {
                 Ok(Response::Subscribe) => self.subscribed = true,
                 Ok(other) => {
-                    self.subscribers.lock().unwrap().pop();
+                    lock_recovering(&self.subscribers).pop();
                     return Err(Self::unexpected(other));
                 }
                 Err(e) => {
-                    self.subscribers.lock().unwrap().pop();
+                    lock_recovering(&self.subscribers).pop();
                     return Err(e);
                 }
             }

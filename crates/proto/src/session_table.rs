@@ -100,6 +100,7 @@ impl SessionEntry {
             session: Mutex::new(session),
             attached: AtomicU64::new(0),
             closed: AtomicBool::new(false),
+            // ltc-lint: allow(L006) idle-eviction clock: wall-time by contract (idle_timeout is a real-time bound, never replayed)
             last_used: Mutex::new(Instant::now()),
         })
     }
@@ -113,7 +114,7 @@ impl SessionEntry {
     /// lock *is* this session's global submission order; poisoning is
     /// recovered so one panicked connection cannot wedge the rest.
     pub fn lock(&self) -> MutexGuard<'_, BoxedSession> {
-        *lock_recovering(&self.last_used) = Instant::now();
+        *lock_recovering(&self.last_used) = Instant::now(); // ltc-lint: allow(L006) idle-eviction clock stamp, not decision input
         lock_recovering(&self.session)
     }
 
@@ -132,13 +133,13 @@ impl SessionEntry {
     /// Records one more bound connection.
     pub fn bind(&self) {
         self.attached.fetch_add(1, Ordering::SeqCst);
-        *lock_recovering(&self.last_used) = Instant::now();
+        *lock_recovering(&self.last_used) = Instant::now(); // ltc-lint: allow(L006) idle-eviction clock stamp, not decision input
     }
 
     /// Records a departed connection (restarting the idle clock).
     pub fn unbind(&self) {
         self.attached.fetch_sub(1, Ordering::SeqCst);
-        *lock_recovering(&self.last_used) = Instant::now();
+        *lock_recovering(&self.last_used) = Instant::now(); // ltc-lint: allow(L006) idle-eviction clock stamp, not decision input
     }
 
     fn idle_for(&self) -> (u64, Duration) {

@@ -571,6 +571,7 @@ impl<T: Copy> GridIndex<T> {
     /// blocks, with no iterator-adaptor state).
     ///
     /// Visit order is the same as [`Self::within_entries`]'s yield order.
+    // ltc-lint: hot-path
     pub fn for_each_within_entries(&self, center: Point, radius: f64, mut f: impl FnMut(T, Point)) {
         assert!(
             radius.is_finite() && radius >= 0.0,
